@@ -1,0 +1,272 @@
+//! Maze pathfinding by task-parallel BFS (paper §IV-A *bfs*/*maze*).
+//!
+//! Table I features: `parallel`, `single`, `task`. The maze is a square
+//! grid (entrance top-left, exit bottom-right, `0` = path, `1` = wall);
+//! each feasible move spawns a task, exactly as the paper describes. The
+//! distance array is relaxed monotonically, so racy re-expansions are
+//! benign and the fixed point is the true BFS distance (verified against
+//! the sequential BFS in `minigraph`).
+//!
+//! The paper reports that PyOMP fails with a Numba error on this benchmark.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use minigraph::{maze_grid, Maze};
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ParallelConfig, TaskCtx};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::workloads::DEFAULT_SEED;
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str = "parallel, single, task | implicit barriers";
+
+/// Problem parameters (paper: 2.1k×2.1k grid; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Grid side length.
+    pub side: usize,
+    /// Wall probability (a carved path keeps the maze solvable).
+    pub wall_probability: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { side: 61, wall_probability: 0.35, seed: DEFAULT_SEED }
+    }
+}
+
+/// Build the maze for the parameters.
+pub fn maze(p: &Params) -> Maze {
+    maze_grid(p.side, p.wall_probability, p.seed)
+}
+
+/// Sequential reference: BFS distance from entrance to exit.
+pub fn seq(p: &Params) -> usize {
+    let m = maze(p);
+    let g = m.to_graph();
+    minigraph::bfs_shortest_path_len(&g, 0, m.idx(p.side - 1, p.side - 1))
+        .expect("generated mazes are always solvable")
+}
+
+fn expand<'sc>(tc: &TaskCtx<'sc>, m: &'sc Maze, dist: &'sc [AtomicUsize], r: usize, c: usize) {
+    let d = dist[m.idx(r, c)].load(Ordering::Acquire);
+    for (nr, nc) in m.open_neighbors(r, c) {
+        let idx = m.idx(nr, nc);
+        let mut cur = dist[idx].load(Ordering::Acquire);
+        loop {
+            if d + 1 >= cur {
+                break;
+            }
+            match dist[idx].compare_exchange(cur, d + 1, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    // A feasible move improves the cell: spawn a task.
+                    tc.task(move |tc| expand(tc, m, dist, nr, nc));
+                    break;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// CompiledDT: native task-parallel relaxation.
+pub fn native(p: &Params, threads: usize) -> usize {
+    let m = maze(p);
+    let n = p.side * p.side;
+    let dist: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    dist[0].store(0, Ordering::Release);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    {
+        let m = &m;
+        let dist = &dist[..];
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                ctx.task(move |tc| expand(tc, m, dist, 0, 0));
+            });
+        });
+    }
+    dist[n - 1].load(Ordering::Acquire)
+}
+
+/// Compiled: the same task relaxation over a boxed distance list guarded by
+/// a critical section (dynamic values have no CAS, matching Python).
+pub fn dynamic(p: &Params, threads: usize) -> usize {
+    let m = std::sync::Arc::new(maze(p));
+    let n = p.side * p.side;
+    let dist = Value::list(
+        (0..n)
+            .map(|i| Value::Int(if i == 0 { 0 } else { i64::MAX }))
+            .collect(),
+    );
+
+    fn expand_dyn(tc: &TaskCtx<'_>, m: std::sync::Arc<Maze>, dist: Value, r: usize, c: usize) {
+        let d = match &dist {
+            Value::List(l) => l.read()[m.idx(r, c)].as_int().expect("d"),
+            _ => unreachable!(),
+        };
+        for (nr, nc) in m.open_neighbors(r, c) {
+            let idx = m.idx(nr, nc);
+            let improved = omp4rs::locks::critical(Some("bfs_dyn"), || {
+                if let Value::List(l) = &dist {
+                    let mut l = l.write();
+                    let cur = l[idx].as_int().expect("cur");
+                    if d + 1 < cur {
+                        l[idx] = Value::Int(d + 1);
+                        return true;
+                    }
+                }
+                false
+            });
+            if improved {
+                let m2 = std::sync::Arc::clone(&m);
+                let dist2 = dist.clone();
+                tc.task(move |tc| expand_dyn(tc, m2, dist2, nr, nc));
+            }
+        }
+    }
+
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        ctx.single_nowait(|| {
+            let m2 = std::sync::Arc::clone(&m);
+            let dist2 = dist.clone();
+            ctx.task(move |tc| expand_dyn(tc, m2, dist2, 0, 0));
+        });
+    });
+    match &dist {
+        Value::List(l) => l.read()[n - 1].as_int().expect("d") as usize,
+        _ => unreachable!(),
+    }
+}
+
+/// The minipy source (Pure/Hybrid). `maze` is a flat list of 0/1 cells.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def expand(maze, dist, side, r, c):
+    d = dist[r * side + c]
+    moves = []
+    if r > 0 and maze[(r - 1) * side + c] == 0:
+        moves.append((r - 1, c))
+    if r + 1 < side and maze[(r + 1) * side + c] == 0:
+        moves.append((r + 1, c))
+    if c > 0 and maze[r * side + c - 1] == 0:
+        moves.append((r, c - 1))
+    if c + 1 < side and maze[r * side + c + 1] == 0:
+        moves.append((r, c + 1))
+    for nr, nc in moves:
+        updated = False
+        with omp("critical"):
+            if d + 1 < dist[nr * side + nc]:
+                dist[nr * side + nc] = d + 1
+                updated = True
+        if updated:
+            with omp("task firstprivate(nr, nc)"):
+                expand(maze, dist, side, nr, nc)
+    return 0
+
+@omp
+def bfs(maze, dist, side, nthreads):
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            dist[0] = 0
+            expand(maze, dist, side, 0, 0)
+    return dist[side * side - 1]
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> usize {
+    let m = maze(p);
+    let runner = interpreted_runner(mode, SOURCE);
+    let cells = Value::list(m.cells.iter().map(|&c| Value::Int(c as i64)).collect());
+    let n = p.side * p.side;
+    let dist = Value::list(
+        (0..n)
+            .map(|i| Value::Int(if i == 0 { 0 } else { i64::MAX }))
+            .collect(),
+    );
+    let result = runner
+        .call_global(
+            "bfs",
+            vec![cells, dist, Value::Int(p.side as i64), Value::Int(threads as i64)],
+        )
+        .expect("bfs benchmark failed");
+    result.as_int().expect("distance") as usize
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns the paper's Numba error for [`Mode::PyOmp`].
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("bfs").expect("bfs unsupported").to_owned());
+    }
+    let (dist, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput { seconds, check: dist as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params { side: 17, wall_probability: 0.3, seed: 31 }
+    }
+
+    #[test]
+    fn seq_finds_path() {
+        let p = small();
+        let d = seq(&p);
+        assert!(d >= 2 * (p.side - 1));
+        assert!(d < p.side * p.side);
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = seq(&p);
+        for threads in [1, 4] {
+            assert_eq!(native(&p, threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert_eq!(dynamic(&p, 3), seq(&p));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { side: 9, wall_probability: 0.25, seed: 32 };
+        let reference = seq(&p);
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert_eq!(interpreted(mode, &p, 2), reference, "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_reports_numba_error() {
+        let err = run(Mode::PyOmp, 2, &small()).unwrap_err();
+        assert!(err.contains("Numba"), "{err}");
+    }
+
+    #[test]
+    fn open_maze_distance_is_manhattan() {
+        let p = Params { side: 12, wall_probability: 0.0, seed: 1 };
+        assert_eq!(native(&p, 4), 2 * (p.side - 1));
+    }
+}

@@ -1,0 +1,251 @@
+//! Clustering coefficient over a random graph (paper §IV-B).
+//!
+//! The paper's point: the per-node work is a **library call** (NetworkX),
+//! which Numba/PyOMP cannot compile, and which Cython cannot optimize
+//! beyond the call boundary — so all OMP4Py modes perform similarly. Here
+//! the library is `minigraph`; interpreted code reaches it through an
+//! opaque graph object, and the compiled modes call it directly, preserving
+//! exactly that property.
+//!
+//! Also the substrate for Fig. 7's scheduling-policy comparison
+//! (static/dynamic/guided, chunk 300).
+
+use std::sync::Arc;
+
+use minigraph::Graph;
+use minipy::error::PyErr;
+use minipy::{Interp, Opaque, Value};
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::{Backend, ScheduleKind};
+use parking_lot::Mutex;
+
+use crate::modes::{timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::workloads::DEFAULT_SEED;
+
+/// Features exercised (Fig. 6/7 benchmark; not part of Table I).
+pub const FEATURES: &str = "parallel for (library calls), reduction(+) | schedule sweep";
+
+/// Problem parameters (paper: 300k nodes × 100 edges; scaled default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Node count.
+    pub nodes: usize,
+    /// Average edges per node.
+    pub edges_per_node: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Schedule for the node loop (Fig. 7 sweeps this).
+    pub schedule: ScheduleKind,
+    /// Chunk size (paper uses 300).
+    pub chunk: Option<u64>,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            nodes: 2_000,
+            edges_per_node: 16,
+            seed: DEFAULT_SEED,
+            schedule: ScheduleKind::Dynamic,
+            chunk: Some(300),
+        }
+    }
+}
+
+/// Build the input graph.
+pub fn graph(p: &Params) -> Graph {
+    minigraph::random_graph(p.nodes, p.edges_per_node, p.seed)
+}
+
+/// Sequential reference: average clustering coefficient.
+pub fn seq(p: &Params) -> f64 {
+    minigraph::average_clustering(&graph(p))
+}
+
+fn for_spec(p: &Params) -> ForSpec {
+    ForSpec::new().schedule(p.schedule, p.chunk)
+}
+
+/// CompiledDT / Compiled: both call the native graph library — Cython
+/// cannot optimize past the library boundary, so the implementations are
+/// identical (the paper observes the same).
+pub fn native(p: &Params, threads: usize, g: &Graph) -> f64 {
+    let n = p.nodes as i64;
+    let result = Mutex::new(0.0f64);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        let total = ctx.for_reduce(
+            for_spec(p),
+            0..n,
+            0.0f64,
+            |u, acc| *acc += g.clustering(u as usize),
+            |a, b| a + b,
+        );
+        ctx.master(|| *result.lock() = total / p.nodes as f64);
+    });
+    result.into_inner()
+}
+
+/// The graph handle exposed to interpreted code (a NetworkX stand-in).
+#[derive(Debug)]
+pub struct GraphValue(pub Arc<Graph>);
+
+impl Opaque for GraphValue {
+    fn type_name(&self) -> &str {
+        "Graph"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn len(&self) -> Option<usize> {
+        Some(self.0.node_count())
+    }
+    fn call_method(
+        &self,
+        _interp: &Interp,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, PyErr> {
+        match name {
+            "clustering" => {
+                let u = args
+                    .first()
+                    .ok_or_else(|| minipy::error::type_err("clustering() needs a node"))?
+                    .as_int()? as usize;
+                Ok(Value::Float(self.0.clustering(u)))
+            }
+            "degree" => {
+                let u = args
+                    .first()
+                    .ok_or_else(|| minipy::error::type_err("degree() needs a node"))?
+                    .as_int()? as usize;
+                Ok(Value::Int(self.0.degree(u) as i64))
+            }
+            "number_of_nodes" => Ok(Value::Int(self.0.node_count() as i64)),
+            "number_of_edges" => Ok(Value::Int(self.0.edge_count() as i64)),
+            other => Err(PyErr::new(
+                minipy::ErrKind::Attribute,
+                format!("'Graph' object has no attribute '{other}'"),
+            )),
+        }
+    }
+}
+
+/// Interpreted source, parameterized by the schedule clause (directive
+/// strings are static, so the clause is formatted in).
+pub fn source_with_schedule(schedule: &str) -> String {
+    format!(
+        r#"
+from omp4py import *
+
+@omp
+def avg_clustering(g, n, nthreads):
+    total = 0.0
+    with omp("parallel for reduction(+:total) num_threads(nthreads) {schedule}"):
+        for u in range(n):
+            total += g.clustering(u)
+    return total / n
+"#
+    )
+}
+
+fn schedule_clause(p: &Params) -> String {
+    match p.chunk {
+        Some(c) => format!("schedule({}, {c})", p.schedule.name()),
+        None => format!("schedule({})", p.schedule.name()),
+    }
+}
+
+/// Pure/Hybrid: interpreted execution over the opaque graph.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize, g: &Arc<Graph>) -> f64 {
+    let source = source_with_schedule(&schedule_clause(p));
+    let runner = crate::modes::interpreted_runner(mode, &source);
+    let gv = Value::Opaque(Arc::new(GraphValue(Arc::clone(g))));
+    runner
+        .call_global(
+            "avg_clustering",
+            vec![gv, Value::Int(p.nodes as i64), Value::Int(threads as i64)],
+        )
+        .expect("clustering benchmark failed")
+        .as_float()
+        .expect("average clustering")
+}
+
+/// Run in any mode, timed (graph generation excluded).
+///
+/// # Errors
+///
+/// Returns the paper's incompatibility for [`Mode::PyOmp`] (NetworkX).
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("clustering")
+            .expect("clustering unsupported")
+            .to_owned());
+    }
+    let g = Arc::new(graph(p));
+    let (value, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads, &g)),
+        // Compiled and CompiledDT are identical here (library-bound).
+        Mode::Compiled | Mode::CompiledDT => timed(|| native(p, threads, &g)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput { seconds, check: value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params {
+            nodes: 150,
+            edges_per_node: 8,
+            seed: 41,
+            schedule: ScheduleKind::Dynamic,
+            chunk: Some(16),
+        }
+    }
+
+    #[test]
+    fn seq_in_unit_interval() {
+        let v = seq(&small());
+        assert!((0.0..=1.0).contains(&v));
+        assert!(v > 0.0, "a dense-ish random graph has triangles");
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let g = graph(&p);
+        for threads in [1, 4] {
+            assert!(close(native(&p, threads, &g), seq(&p), 1e-10));
+        }
+    }
+
+    #[test]
+    fn schedules_agree() {
+        let g = graph(&small());
+        for schedule in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
+            let p = Params { schedule, ..small() };
+            assert!(close(native(&p, 3, &g), seq(&small()), 1e-10), "{schedule}");
+        }
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { nodes: 60, edges_per_node: 6, ..small() };
+        let g = Arc::new(graph(&p));
+        let reference = minigraph::average_clustering(&g);
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(close(interpreted(mode, &p, 2, &g), reference, 1e-10), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_cannot_compile_networkx() {
+        let err = run(Mode::PyOmp, 2, &small()).unwrap_err();
+        assert!(err.contains("NetworkX"), "{err}");
+    }
+}

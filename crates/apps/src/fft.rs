@@ -1,0 +1,418 @@
+//! Fast Fourier Transform (paper §IV-A *fft*).
+//!
+//! Iterative radix-2 Cooley–Tukey over a complex vector (separate re/im
+//! arrays). Table I features: `parallel`, `for`, implicit barriers — one
+//! parallel region per transform, a work-shared bit-reversal pass, then one
+//! work-shared butterfly loop per stage with the stage boundary as the
+//! implicit barrier.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{random_f64s, DEFAULT_SEED};
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str = "parallel, for | implicit barriers";
+
+/// Problem parameters (paper: 16M complex numbers; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// log2 of the transform length.
+    pub log2_n: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { log2_n: 12, seed: DEFAULT_SEED }
+    }
+}
+
+impl Params {
+    /// Transform length.
+    pub fn n(&self) -> usize {
+        1 << self.log2_n
+    }
+}
+
+/// Generate the input signal (re, im).
+pub fn input(p: &Params) -> (Vec<f64>, Vec<f64>) {
+    let n = p.n();
+    let data = random_f64s(2 * n, p.seed);
+    (data[..n].to_vec(), data[n..].to_vec())
+}
+
+/// Sequential reference FFT (in place).
+pub fn seq_fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    bit_reverse_permute(re, im);
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (wr, wi) = (ang * k as f64).cos_sin();
+                butterfly(re, im, start + k, start + k + len / 2, wr, wi);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+trait CosSin {
+    fn cos_sin(self) -> (f64, f64);
+}
+impl CosSin for f64 {
+    fn cos_sin(self) -> (f64, f64) {
+        (self.cos(), self.sin())
+    }
+}
+
+#[inline]
+fn butterfly(re: &mut [f64], im: &mut [f64], a: usize, b: usize, wr: f64, wi: f64) {
+    let (tr, ti) = (re[b] * wr - im[b] * wi, re[b] * wi + im[b] * wr);
+    let (ar, ai) = (re[a], im[a]);
+    re[a] = ar + tr;
+    im[a] = ai + ti;
+    re[b] = ar - tr;
+    im[b] = ai - ti;
+}
+
+fn bit_reverse_permute(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().rotate_left(bits) as usize & (n - 1);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+}
+
+/// Checksum: sum of magnitudes (mode-independent).
+pub fn checksum(re: &[f64], im: &[f64]) -> f64 {
+    re.iter().zip(im).map(|(r, i)| (r * r + i * i).sqrt()).sum()
+}
+
+fn parallel_fft_impl(
+    re: &mut [f64],
+    im: &mut [f64],
+    threads: usize,
+    spec: ForSpec,
+    backend: Backend,
+) {
+    let n = re.len();
+    // Sequential bit-reversal (swap-based permutation does not decompose
+    // into disjoint index writes); the stages dominate anyway.
+    bit_reverse_permute(re, im);
+    let re_s = SharedSlice::new(re);
+    let im_s = SharedSlice::new(im);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(backend);
+    parallel_region(&cfg, |ctx| {
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let pairs = (n / 2) as i64;
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            // Each flat index maps to one butterfly: disjoint (a, b) pairs.
+            ctx.for_each(spec, 0..pairs, |t| {
+                let t = t as usize;
+                let group = t / half;
+                let k = t % half;
+                let a = group * len + k;
+                let b = a + half;
+                let (wr, wi) = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                // SAFETY: butterflies of one stage touch disjoint pairs.
+                unsafe {
+                    let (rb, ib) = (re_s.get(b), im_s.get(b));
+                    let (tr, ti) = (rb * wr - ib * wi, rb * wi + ib * wr);
+                    let (ar, ai) = (re_s.get(a), im_s.get(a));
+                    re_s.set(a, ar + tr);
+                    im_s.set(a, ai + ti);
+                    re_s.set(b, ar - tr);
+                    im_s.set(b, ai - ti);
+                }
+            });
+            // `for_each` ends with the implicit barrier the stages need.
+            len <<= 1;
+        }
+    });
+}
+
+/// CompiledDT: native `f64` arrays.
+pub fn native(p: &Params, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let (mut re, mut im) = input(p);
+    parallel_fft_impl(&mut re, &mut im, threads, ForSpec::new(), Backend::Atomic);
+    (re, im)
+}
+
+/// Compiled: butterflies over boxed values stored in `minipy` lists.
+pub fn dynamic(p: &Params, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let (re0, im0) = input(p);
+    let n = re0.len();
+    let re = Value::list(re0.iter().map(|&v| Value::Float(v)).collect());
+    let im = Value::list(im0.iter().map(|&v| Value::Float(v)).collect());
+    // Bit reversal on the boxed lists.
+    if let (Value::List(rl), Value::List(il)) = (&re, &im) {
+        let mut rl = rl.write();
+        let mut il = il.write();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u64).reverse_bits().rotate_left(bits) as usize & (n - 1);
+            if i < j {
+                rl.swap(i, j);
+                il.swap(i, j);
+            }
+        }
+    }
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let pairs = (n / 2) as i64;
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            ctx.for_each(ForSpec::new(), 0..pairs, |t| {
+                let t = t as usize;
+                let group = t / half;
+                let k = t % half;
+                let a = group * len + k;
+                let b = a + half;
+                let (wr, wi) = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                if let (Value::List(rl), Value::List(il)) = (&re, &im) {
+                    // Boxed element loads (per-object lock + unbox).
+                    let (rb, ib, ar, ai) = {
+                        let rl = rl.read();
+                        let il = il.read();
+                        (
+                            rl[b].as_float().expect("re"),
+                            il[b].as_float().expect("im"),
+                            rl[a].as_float().expect("re"),
+                            il[a].as_float().expect("im"),
+                        )
+                    };
+                    let (tr, ti) = (rb * wr - ib * wi, rb * wi + ib * wr);
+                    let mut rl = rl.write();
+                    let mut il = il.write();
+                    rl[a] = Value::Float(ar + tr);
+                    il[a] = Value::Float(ai + ti);
+                    rl[b] = Value::Float(ar - tr);
+                    il[b] = Value::Float(ai - ti);
+                }
+            });
+            len <<= 1;
+        }
+    });
+    let out_re = match &re {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("re")).collect(),
+        _ => unreachable!(),
+    };
+    let out_im = match &im {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("im")).collect(),
+        _ => unreachable!(),
+    };
+    (out_re, out_im)
+}
+
+/// The minipy source (Pure/Hybrid).
+pub const SOURCE: &str = r#"
+from omp4py import *
+import math
+
+@omp
+def fft(re, im, n, nthreads):
+    # bit reversal (sequential)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j = j ^ bit
+            bit = bit >> 1
+        j = j | bit
+        if i < j:
+            t = re[i]
+            re[i] = re[j]
+            re[j] = t
+            t = im[i]
+            im[i] = im[j]
+            im[j] = t
+    with omp("parallel num_threads(nthreads)"):
+        length = 2
+        while length <= n:
+            half = length // 2
+            ang = -2.0 * math.pi / length
+            with omp("for"):
+                for t in range(n // 2):
+                    group = t // half
+                    k = t - group * half
+                    a = group * length + k
+                    b = a + half
+                    wr = math.cos(ang * k)
+                    wi = math.sin(ang * k)
+                    rb = re[b]
+                    ib = im[b]
+                    tr = rb * wr - ib * wi
+                    ti = rb * wi + ib * wr
+                    ar = re[a]
+                    ai = im[a]
+                    re[a] = ar + tr
+                    im[a] = ai + ti
+                    re[b] = ar - tr
+                    im[b] = ai - ti
+            length = length * 2
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution (mutates and returns re/im).
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let (re0, im0) = input(p);
+    let runner = interpreted_runner(mode, SOURCE);
+    let re = Value::list(re0.iter().map(|&v| Value::Float(v)).collect());
+    let im = Value::list(im0.iter().map(|&v| Value::Float(v)).collect());
+    runner
+        .call_global(
+            "fft",
+            vec![re.clone(), im.clone(), Value::Int(p.n() as i64), Value::Int(threads as i64)],
+        )
+        .expect("fft benchmark failed");
+    let out = |v: &Value| match v {
+        Value::List(l) => l.read().iter().map(|x| x.as_float().expect("c")).collect(),
+        _ => unreachable!(),
+    };
+    (out(&re), out(&im))
+}
+
+/// PyOMP baseline (static schedule only).
+pub fn pyomp_baseline(p: &Params, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let (mut re, mut im) = input(p);
+    let n = re.len();
+    bit_reverse_permute(&mut re, &mut im);
+    {
+        let re_s = SharedSlice::new(&mut re);
+        let im_s = SharedSlice::new(&mut im);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            // PyOMP's prange per stage (region per stage, static schedule).
+            pyomp::prange(threads, (n / 2) as i64, |t| {
+                let t = t as usize;
+                let group = t / half;
+                let k = t % half;
+                let a = group * len + k;
+                let b = a + half;
+                let (wr, wi) = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                // SAFETY: disjoint butterfly pairs per stage.
+                unsafe {
+                    let (rb, ib) = (re_s.get(b), im_s.get(b));
+                    let (tr, ti) = (rb * wr - ib * wi, rb * wi + ib * wr);
+                    let (ar, ai) = (re_s.get(a), im_s.get(a));
+                    re_s.set(a, ar + tr);
+                    im_s.set(a, ai + ti);
+                    re_s.set(b, ar - tr);
+                    im_s.set(b, ai - ti);
+                }
+            });
+            len <<= 1;
+        }
+    }
+    (re, im)
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Never fails: every mode supports *fft*.
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    let ((re, im), seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
+    };
+    Ok(BenchOutput { seconds, check: checksum(&re, &im) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    /// Naive O(n²) DFT for verification.
+    fn dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or_ = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                or_[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or_, oi)
+    }
+
+    #[test]
+    fn seq_fft_matches_naive_dft() {
+        let p = Params { log2_n: 5, seed: 3 };
+        let (mut re, mut im) = input(&p);
+        let (er, ei) = dft(&re, &im);
+        seq_fft(&mut re, &mut im);
+        for k in 0..re.len() {
+            assert!(close(re[k], er[k], 1e-9), "re[{k}]: {} vs {}", re[k], er[k]);
+            assert!(close(im[k], ei[k], 1e-9), "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = Params { log2_n: 8, seed: 4 };
+        let (mut re, mut im) = input(&p);
+        seq_fft(&mut re, &mut im);
+        let (pr, pi_) = native(&p, 4);
+        assert!(close(checksum(&pr, &pi_), checksum(&re, &im), 1e-10));
+        assert!(pr.iter().zip(&re).all(|(a, b)| close(*a, *b, 1e-9)));
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = Params { log2_n: 6, seed: 4 };
+        let (mut re, mut im) = input(&p);
+        seq_fft(&mut re, &mut im);
+        let (pr, pi_) = dynamic(&p, 3);
+        assert!(close(checksum(&pr, &pi_), checksum(&re, &im), 1e-10));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { log2_n: 4, seed: 5 };
+        let (mut re, mut im) = input(&p);
+        seq_fft(&mut re, &mut im);
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            let (pr, pi_) = interpreted(mode, &p, 2);
+            assert!(
+                close(checksum(&pr, &pi_), checksum(&re, &im), 1e-9),
+                "{mode}: {} vs {}",
+                checksum(&pr, &pi_),
+                checksum(&re, &im)
+            );
+        }
+    }
+
+    #[test]
+    fn pyomp_matches_seq() {
+        let p = Params { log2_n: 8, seed: 4 };
+        let (mut re, mut im) = input(&p);
+        seq_fft(&mut re, &mut im);
+        let (pr, pi_) = pyomp_baseline(&p, 4);
+        assert!(close(checksum(&pr, &pi_), checksum(&re, &im), 1e-10));
+    }
+}

@@ -1,0 +1,368 @@
+//! Jacobi iterative solver for `A·x = b` (paper §IV-A *jacobi*).
+//!
+//! Table I features: `parallel`, `for reduction(+)`, `single`, **explicit
+//! barrier**. One long-lived parallel region drives the whole iteration
+//! loop: a work-shared update of `x_new`, a max-norm error reduction, a
+//! `single` that commits `x ← x_new`, and an explicit barrier before every
+//! thread tests convergence.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::Backend;
+use parking_lot::Mutex;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{diag_dominant_system, DEFAULT_SEED};
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str =
+    "parallel, for reduction(+), single | explicit barrier";
+
+/// Problem parameters (paper: 3k×3k, ≤1000 iterations, tol 1e-6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence tolerance (max-norm of the update).
+    pub tol: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { n: 96, max_iters: 1000, tol: 1e-6, seed: DEFAULT_SEED }
+    }
+}
+
+/// Sequential reference; returns the solution vector.
+pub fn seq(p: &Params) -> Vec<f64> {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    let mut x = vec![0.0; p.n];
+    let mut x_new = vec![0.0; p.n];
+    for _ in 0..p.max_iters {
+        let mut err = 0.0f64;
+        for i in 0..p.n {
+            let mut s = 0.0;
+            for j in 0..p.n {
+                if j != i {
+                    s += a[i][j] * x[j];
+                }
+            }
+            let v = (b[i] - s) / a[i][i];
+            err = err.max((v - x[i]).abs());
+            x_new[i] = v;
+        }
+        std::mem::swap(&mut x, &mut x_new);
+        if err < p.tol {
+            break;
+        }
+    }
+    x
+}
+
+/// Residual max-norm `‖A·x − b‖∞` (verification).
+pub fn residual(p: &Params, x: &[f64]) -> f64 {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    (0..p.n)
+        .map(|i| {
+            let ax: f64 = (0..p.n).map(|j| a[i][j] * x[j]).sum();
+            (ax - b[i]).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Checksum of a solution vector.
+pub fn checksum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+fn native_impl(p: &Params, threads: usize, backend: Backend) -> Vec<f64> {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    let n = p.n as i64;
+    let mut x = vec![0.0f64; p.n];
+    let mut x_new = vec![0.0f64; p.n];
+    {
+        let x_s = SharedSlice::new(&mut x);
+        let x_new_s = SharedSlice::new(&mut x_new);
+        let err_slot = Mutex::new(f64::INFINITY);
+        let cfg = ParallelConfig::new().num_threads(threads).backend(backend);
+        parallel_region(&cfg, |ctx| {
+            for _ in 0..p.max_iters {
+                let err = ctx.for_reduce(
+                    ForSpec::new(),
+                    0..n,
+                    0.0f64,
+                    |i, acc| {
+                        let i = i as usize;
+                        let row = &a[i];
+                        let mut s = 0.0;
+                        for (j, &aij) in row.iter().enumerate() {
+                            if j != i {
+                                // SAFETY: x is only written inside the
+                                // `single` below, behind barriers.
+                                s += aij * unsafe { x_s.get(j) };
+                            }
+                        }
+                        let v = (b[i] - s) / row[i];
+                        // SAFETY: index i is owned by this thread's chunk.
+                        let old = unsafe { x_s.get(i) };
+                        unsafe { x_new_s.set(i, v) };
+                        *acc = acc.max((v - old).abs());
+                    },
+                    f64::max,
+                );
+                ctx.single(|| {
+                    for j in 0..p.n {
+                        // SAFETY: all other threads wait at the single's
+                        // implicit barrier.
+                        unsafe { x_s.set(j, x_new_s.get(j)) };
+                    }
+                    *err_slot.lock() = err;
+                });
+                // Explicit barrier before the convergence test (Table I).
+                ctx.barrier();
+                if *err_slot.lock() < p.tol {
+                    break;
+                }
+            }
+        });
+    }
+    x
+}
+
+/// CompiledDT: native `f64` arrays.
+pub fn native(p: &Params, threads: usize) -> Vec<f64> {
+    native_impl(p, threads, Backend::Atomic)
+}
+
+/// Compiled: the same structure over boxed values. The hot inner product
+/// runs on `minipy::Value` lists, reproducing Cython's generic-object path.
+pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    let n = p.n as i64;
+    // Dynamic-value copies of the system.
+    let a_v: Vec<Vec<Value>> =
+        a.iter().map(|row| row.iter().map(|&v| Value::Float(v)).collect()).collect();
+    let b_v: Vec<Value> = b.iter().map(|&v| Value::Float(v)).collect();
+    let x = Value::list(vec![Value::Float(0.0); p.n]);
+    let x_new = Value::list(vec![Value::Float(0.0); p.n]);
+    let err_slot = Mutex::new(f64::INFINITY);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        for _ in 0..p.max_iters {
+            let err = ctx.for_reduce(
+                ForSpec::new(),
+                0..n,
+                0.0f64,
+                |i, acc| {
+                    let i = i as usize;
+                    let row = &a_v[i];
+                    let mut s = 0.0f64;
+                    let x_list = match &x {
+                        Value::List(l) => l.read(),
+                        _ => unreachable!(),
+                    };
+                    for (j, aij) in row.iter().enumerate() {
+                        if j != i {
+                            // Boxed loads + dynamic dispatch per element.
+                            s += aij.as_float().expect("a") * x_list[j].as_float().expect("x");
+                        }
+                    }
+                    let v = (b_v[i].as_float().expect("b") - s)
+                        / row[i].as_float().expect("diag");
+                    let old = x_list[i].as_float().expect("x_i");
+                    drop(x_list);
+                    if let Value::List(l) = &x_new {
+                        l.write()[i] = Value::Float(v);
+                    }
+                    *acc = acc.max((v - old).abs());
+                },
+                f64::max,
+            );
+            ctx.single(|| {
+                if let (Value::List(xs), Value::List(xn)) = (&x, &x_new) {
+                    let src = xn.read();
+                    let mut dst = xs.write();
+                    dst.clone_from_slice(&src);
+                }
+                *err_slot.lock() = err;
+            });
+            ctx.barrier();
+            if *err_slot.lock() < p.tol {
+                break;
+            }
+        }
+    });
+    match &x {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("x")).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// The minipy source (Pure/Hybrid).
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def jacobi(a, b, n, max_iters, tol, nthreads):
+    x = [0.0] * n
+    x_new = [0.0] * n
+    err = 0.0
+    with omp("parallel num_threads(nthreads)"):
+        it = 0
+        while it < max_iters:
+            with omp("single"):
+                err = 0.0
+            with omp("for reduction(max:err)"):
+                for i in range(n):
+                    row = a[i]
+                    s = 0.0
+                    for j in range(n):
+                        if j != i:
+                            s += row[j] * x[j]
+                    v = (b[i] - s) / row[i]
+                    d = v - x[i]
+                    if d < 0.0:
+                        d = -d
+                    x_new[i] = v
+                    err = max(err, d)
+            with omp("single"):
+                for j in range(n):
+                    x[j] = x_new[j]
+            local_err = err
+            omp("barrier")
+            if local_err < tol:
+                break
+            it += 1
+    return x
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    let runner = interpreted_runner(mode, SOURCE);
+    let a_v = Value::list(
+        a.iter()
+            .map(|row| Value::list(row.iter().map(|&v| Value::Float(v)).collect()))
+            .collect(),
+    );
+    let b_v = Value::list(b.iter().map(|&v| Value::Float(v)).collect());
+    let result = runner
+        .call_global(
+            "jacobi",
+            vec![
+                a_v,
+                b_v,
+                Value::Int(p.n as i64),
+                Value::Int(p.max_iters as i64),
+                Value::Float(p.tol),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("jacobi benchmark failed");
+    match result {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("x")).collect(),
+        other => panic!("jacobi returned {}", other.type_name()),
+    }
+}
+
+/// PyOMP baseline: static-schedule loops over `f64` buffers. The iterative
+/// structure uses repeated parallel regions (PyOMP's prange idiom).
+pub fn pyomp_baseline(p: &Params, threads: usize) -> Vec<f64> {
+    let (a, b) = diag_dominant_system(p.n, p.seed);
+    let n = p.n as i64;
+    let mut x = vec![0.0f64; p.n];
+    let mut x_new = vec![0.0f64; p.n];
+    for _ in 0..p.max_iters {
+        let err = {
+            let x_ref = &x;
+            let x_new_s = SharedSlice::new(&mut x_new);
+            pyomp::prange_reduce_max(threads, n, |i| {
+                let i = i as usize;
+                let mut s = 0.0;
+                for (j, &aij) in a[i].iter().enumerate() {
+                    if j != i {
+                        s += aij * x_ref[j];
+                    }
+                }
+                let v = (b[i] - s) / a[i][i];
+                // SAFETY: disjoint indices per thread.
+                unsafe { x_new_s.set(i, v) };
+                (v - x_ref[i]).abs()
+            })
+        };
+        std::mem::swap(&mut x, &mut x_new);
+        if err < p.tol {
+            break;
+        }
+    }
+    x
+}
+
+/// Run in any mode, timed (setup excluded where possible).
+///
+/// # Errors
+///
+/// Never fails: every mode supports jacobi.
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    let (x, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
+    };
+    Ok(BenchOutput { seconds, check: checksum(&x) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params { n: 24, max_iters: 500, tol: 1e-9, seed: 11 }
+    }
+
+    #[test]
+    fn seq_converges_to_solution() {
+        let p = small();
+        let x = seq(&p);
+        assert!(residual(&p, &x) < 1e-6, "residual {}", residual(&p, &x));
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = checksum(&seq(&p));
+        for threads in [1, 4] {
+            assert!(close(checksum(&native(&p, threads)), reference, 1e-8));
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&dynamic(&p, 3)), checksum(&seq(&p)), 1e-8));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { n: 10, max_iters: 200, tol: 1e-8, seed: 11 };
+        let reference = checksum(&seq(&p));
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            let x = interpreted(mode, &p, 2);
+            assert!(close(checksum(&x), reference, 1e-6), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&pyomp_baseline(&p, 4)), checksum(&seq(&p)), 1e-8));
+    }
+}

@@ -1,0 +1,48 @@
+//! # omp4rs-apps — the OMP4Py paper's benchmark suite
+//!
+//! Every application of the paper's evaluation (§IV), each implemented in
+//! all applicable execution modes:
+//!
+//! | module | paper benchmark | Table I features |
+//! |---|---|---|
+//! | [`fft`] | Fast Fourier Transform | `parallel`, `for` |
+//! | [`jacobi`] | Jacobi method | `parallel`, `for reduction(+)`, `single`, explicit barrier |
+//! | [`lu`] | LU decomposition | `parallel`, multiple `for` loops, `single` |
+//! | [`md`] | molecular dynamics | `parallel reduction(+)` with inner `for`, `parallel for` |
+//! | [`pi`] | Riemann integration | `parallel for reduction(+)` |
+//! | [`qsort`] | quicksort | `parallel`, `single`, `task` with `if` clause |
+//! | [`bfs`] | maze pathfinding | `parallel`, `single`, `task` |
+//! | [`clustering`] | clustering coefficient (NetworkX) | `parallel for` (library calls) |
+//! | [`wordcount`] | word count (dict/str heavy) | `parallel for` + `critical` merge |
+//!
+//! Modes ([`Mode`]): **Pure** and **Hybrid** run the benchmark's minipy
+//! source through the `omp4rs-pyfront` transformer; **Compiled** runs native
+//! Rust closures over boxed dynamic values (`minipy::Value`, the Cython
+//! generic-object analogue); **CompiledDT** runs native Rust over `f64`/`i64`
+//! (the Cython typed analogue); **PyOmp** is the restricted Numba-style
+//! baseline ([`pyomp`]).
+//!
+//! Every module has a sequential reference and `verify` helpers; the
+//! cross-mode integration tests assert all modes agree.
+
+// Public API items carry doc comments; enum struct-variant fields are
+// documented at the variant level.
+#![warn(missing_docs)]
+#![allow(missing_docs)]
+
+pub mod bfs;
+pub mod clustering;
+pub mod fft;
+pub mod hybrid;
+pub mod jacobi;
+pub mod lu;
+pub mod md;
+pub mod modes;
+pub mod pi;
+pub mod pyomp;
+pub mod qsort;
+pub mod util;
+pub mod wordcount;
+pub mod workloads;
+
+pub use modes::{BenchOutput, Mode};

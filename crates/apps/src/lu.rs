@@ -1,0 +1,304 @@
+//! LU decomposition without pivoting (paper §IV-A *lu*).
+//!
+//! Table I features: `parallel`, multiple `for` loops, `single`, implicit
+//! barriers. One parallel region sweeps the elimination steps: a `single`
+//! prepares each step, then a work-shared loop updates the trailing rows.
+//! Diagonally dominant inputs keep the factorization stable without
+//! pivoting.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{diag_dominant_system, DEFAULT_SEED};
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str = "parallel, multiple for loops, single | implicit barriers";
+
+/// Problem parameters (paper: 2k×2k matrix; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { n: 64, seed: DEFAULT_SEED }
+    }
+}
+
+/// The input matrix (rows).
+pub fn input(p: &Params) -> Vec<Vec<f64>> {
+    diag_dominant_system(p.n, p.seed).0
+}
+
+/// Sequential in-place LU (Doolittle, L below the diagonal, U on/above).
+pub fn seq(p: &Params) -> Vec<Vec<f64>> {
+    let mut a = input(p);
+    let n = p.n;
+    for k in 0..n {
+        for i in (k + 1)..n {
+            let factor = a[i][k] / a[k][k];
+            a[i][k] = factor;
+            for j in (k + 1)..n {
+                a[i][j] -= factor * a[k][j];
+            }
+        }
+    }
+    a
+}
+
+/// Max-norm of `L·U − A` (verification).
+pub fn factorization_error(p: &Params, lu: &[Vec<f64>]) -> f64 {
+    let a = input(p);
+    let n = p.n;
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut v = 0.0;
+            for (k, row_k) in lu.iter().enumerate().take(n) {
+                let l = if k < i {
+                    lu[i][k]
+                } else if k == i {
+                    1.0
+                } else {
+                    0.0
+                };
+                let u = if k <= j { row_k[j] } else { 0.0 };
+                v += l * u;
+            }
+            worst = worst.max((v - a[i][j]).abs());
+        }
+    }
+    worst
+}
+
+/// Checksum of a factorization.
+pub fn checksum(a: &[Vec<f64>]) -> f64 {
+    a.iter().flatten().map(|v| v.abs()).sum()
+}
+
+/// CompiledDT: native `f64` rows.
+pub fn native(p: &Params, threads: usize) -> Vec<Vec<f64>> {
+    let mut a = input(p);
+    let n = p.n;
+    {
+        // One SharedSlice per row: a step's updates touch disjoint rows.
+        let rows: Vec<SharedSlice<'_, f64>> =
+            a.iter_mut().map(|row| SharedSlice::new(row)).collect();
+        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        parallel_region(&cfg, |ctx| {
+            for k in 0..n {
+                // SAFETY: row k is read-only during this step; rows below k
+                // are partitioned by the work-sharing loop.
+                let pivot = unsafe { rows[k].get(k) };
+                ctx.for_each(ForSpec::new(), (k + 1) as i64..n as i64, |i| {
+                    let i = i as usize;
+                    // SAFETY: each worker owns whole distinct rows i.
+                    unsafe {
+                        let factor = rows[i].get(k) / pivot;
+                        rows[i].set(k, factor);
+                        for j in (k + 1)..n {
+                            let v = rows[i].get(j) - factor * rows[k].get(j);
+                            rows[i].set(j, v);
+                        }
+                    }
+                });
+                // Implicit barrier: step k+1 reads the updated row k+1.
+            }
+        });
+    }
+    a
+}
+
+/// Compiled: boxed-value rows.
+pub fn dynamic(p: &Params, threads: usize) -> Vec<Vec<f64>> {
+    let a0 = input(p);
+    let n = p.n;
+    let a: Vec<Value> = a0
+        .iter()
+        .map(|row| Value::list(row.iter().map(|&v| Value::Float(v)).collect()))
+        .collect();
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        for k in 0..n {
+            let pivot = match &a[k] {
+                Value::List(l) => l.read()[k].as_float().expect("pivot"),
+                _ => unreachable!(),
+            };
+            ctx.for_each(ForSpec::new(), (k + 1) as i64..n as i64, |i| {
+                let i = i as usize;
+                let row_k: Vec<f64> = match &a[k] {
+                    Value::List(l) => {
+                        l.read()[k + 1..n].iter().map(|v| v.as_float().expect("u")).collect()
+                    }
+                    _ => unreachable!(),
+                };
+                if let Value::List(l) = &a[i] {
+                    let mut row = l.write();
+                    let factor = row[k].as_float().expect("l") / pivot;
+                    row[k] = Value::Float(factor);
+                    for (off, &ukj) in row_k.iter().enumerate() {
+                        let j = k + 1 + off;
+                        let v = row[j].as_float().expect("a") - factor * ukj;
+                        row[j] = Value::Float(v);
+                    }
+                }
+            });
+        }
+    });
+    a.iter()
+        .map(|row| match row {
+            Value::List(l) => l.read().iter().map(|v| v.as_float().expect("a")).collect(),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+/// The minipy source (Pure/Hybrid). Uses `single` to stage the pivot and
+/// multiple work-shared loops, matching Table I.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def lu(a, n, nthreads):
+    pivot = [0.0]
+    with omp("parallel num_threads(nthreads)"):
+        k = 0
+        while k < n:
+            with omp("single"):
+                pivot[0] = a[k][k]
+            with omp("for"):
+                for i in range(k + 1, n):
+                    row = a[i]
+                    row_k = a[k]
+                    factor = row[k] / pivot[0]
+                    row[k] = factor
+                    for j in range(k + 1, n):
+                        row[j] = row[j] - factor * row_k[j]
+            k += 1
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<Vec<f64>> {
+    let a0 = input(p);
+    let runner = interpreted_runner(mode, SOURCE);
+    let a = Value::list(
+        a0.iter()
+            .map(|row| Value::list(row.iter().map(|&v| Value::Float(v)).collect()))
+            .collect(),
+    );
+    runner
+        .call_global(
+            "lu",
+            vec![a.clone(), Value::Int(p.n as i64), Value::Int(threads as i64)],
+        )
+        .expect("lu benchmark failed");
+    match &a {
+        Value::List(rows) => rows
+            .read()
+            .iter()
+            .map(|row| match row {
+                Value::List(l) => l.read().iter().map(|v| v.as_float().expect("a")).collect(),
+                _ => unreachable!(),
+            })
+            .collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// PyOMP baseline: one static prange per elimination step.
+pub fn pyomp_baseline(p: &Params, threads: usize) -> Vec<Vec<f64>> {
+    let mut a = input(p);
+    let n = p.n;
+    {
+        let rows: Vec<SharedSlice<'_, f64>> =
+            a.iter_mut().map(|row| SharedSlice::new(row)).collect();
+        for k in 0..n {
+            // SAFETY: row k is frozen during step k.
+            let pivot = unsafe { rows[k].get(k) };
+            pyomp::prange(threads, (n - k - 1) as i64, |off| {
+                let i = k + 1 + off as usize;
+                // SAFETY: whole distinct rows per worker.
+                unsafe {
+                    let factor = rows[i].get(k) / pivot;
+                    rows[i].set(k, factor);
+                    for j in (k + 1)..n {
+                        let v = rows[i].get(j) - factor * rows[k].get(j);
+                        rows[i].set(j, v);
+                    }
+                }
+            });
+        }
+    }
+    a
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Never fails: every mode supports *lu*.
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    let (a, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
+    };
+    Ok(BenchOutput { seconds, check: checksum(&a) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params { n: 20, seed: 13 }
+    }
+
+    #[test]
+    fn seq_factorization_reconstructs() {
+        let p = small();
+        let lu = seq(&p);
+        assert!(factorization_error(&p, &lu) < 1e-9);
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = checksum(&seq(&p));
+        for threads in [1, 4] {
+            assert!(close(checksum(&native(&p, threads)), reference, 1e-10));
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&dynamic(&p, 3)), checksum(&seq(&p)), 1e-10));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { n: 8, seed: 13 };
+        let reference = checksum(&seq(&p));
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(close(checksum(&interpreted(mode, &p, 2)), reference, 1e-9), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&pyomp_baseline(&p, 4)), checksum(&seq(&p)), 1e-10));
+    }
+}

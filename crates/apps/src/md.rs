@@ -1,0 +1,501 @@
+//! Molecular dynamics with velocity-Verlet integration (paper §IV-A *md*).
+//!
+//! Particles interact through a smooth central pair potential
+//! `V(r²) = 1 / (r² + ε)`; each step computes forces (a `parallel` region
+//! with a `reduction(+)` on the potential energy and an inner `for` over
+//! partners) and then integrates positions/velocities (`parallel for`),
+//! matching Table I.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::Backend;
+use parking_lot::Mutex;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{particles, DEFAULT_SEED};
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str =
+    "parallel reduction(+) with inner for, parallel for | implicit barriers";
+
+/// Softening constant of the pair potential.
+pub const EPS: f64 = 0.5;
+/// Integration timestep.
+pub const DT: f64 = 1e-3;
+
+/// Problem parameters (paper: 8000 particles; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of particles.
+    pub n: usize,
+    /// Verlet steps.
+    pub steps: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { n: 128, steps: 3, seed: DEFAULT_SEED }
+    }
+}
+
+/// Pairwise force contribution of j on i and the pair potential energy.
+#[inline]
+fn pair(pi: [f64; 3], pj: [f64; 3]) -> ([f64; 3], f64) {
+    let d = [pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]];
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS;
+    // V = 1/r2 → F = -dV/dr * r̂ = 2/r2² * d
+    let f = 2.0 / (r2 * r2);
+    ([f * d[0], f * d[1], f * d[2]], 1.0 / r2)
+}
+
+fn forces_seq(pos: &[[f64; 3]], forces: &mut [[f64; 3]]) -> f64 {
+    let n = pos.len();
+    let mut potential = 0.0;
+    for i in 0..n {
+        let mut f = [0.0; 3];
+        for j in 0..n {
+            if i != j {
+                let (fij, v) = pair(pos[i], pos[j]);
+                f[0] += fij[0];
+                f[1] += fij[1];
+                f[2] += fij[2];
+                potential += 0.5 * v;
+            }
+        }
+        forces[i] = f;
+    }
+    potential
+}
+
+/// Sequential reference: runs the simulation, returning
+/// `(positions, final potential energy)`.
+pub fn seq(p: &Params) -> (Vec<[f64; 3]>, f64) {
+    let (mut pos, mut vel) = particles(p.n, 10.0, p.seed);
+    let mut forces = vec![[0.0; 3]; p.n];
+    let mut potential = forces_seq(&pos, &mut forces);
+    for _ in 0..p.steps {
+        for i in 0..p.n {
+            for c in 0..3 {
+                vel[i][c] += 0.5 * DT * forces[i][c];
+                pos[i][c] += DT * vel[i][c];
+            }
+        }
+        potential = forces_seq(&pos, &mut forces);
+        for i in 0..p.n {
+            for c in 0..3 {
+                vel[i][c] += 0.5 * DT * forces[i][c];
+            }
+        }
+    }
+    (pos, potential)
+}
+
+/// Checksum of final positions.
+pub fn checksum(pos: &[[f64; 3]]) -> f64 {
+    pos.iter().flatten().sum()
+}
+
+/// CompiledDT: native arrays.
+pub fn native(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
+    let (mut pos, mut vel) = particles(p.n, 10.0, p.seed);
+    let mut forces = vec![[0.0f64; 3]; p.n];
+    let n = p.n as i64;
+    let potential_out = Mutex::new(0.0f64);
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        let vel_s = SharedSlice::new(&mut vel);
+        let f_s = SharedSlice::new(&mut forces);
+        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        parallel_region(&cfg, |ctx| {
+            // Initial forces: parallel reduction(+:potential) with inner for.
+            let compute_forces = |ctx: &omp4rs::WorkerCtx<'_>| -> f64 {
+                ctx.for_reduce(
+                    ForSpec::new(),
+                    0..n,
+                    0.0f64,
+                    |i, acc| {
+                        let i = i as usize;
+                        // SAFETY: positions are stable during force phases.
+                        let pi = unsafe { pos_s.get(i) };
+                        let mut f = [0.0; 3];
+                        for j in 0..p.n {
+                            if i != j {
+                                let (fij, v) = pair(pi, unsafe { pos_s.get(j) });
+                                f[0] += fij[0];
+                                f[1] += fij[1];
+                                f[2] += fij[2];
+                                *acc += 0.5 * v;
+                            }
+                        }
+                        // SAFETY: index i owned by this thread's chunk.
+                        unsafe { f_s.set(i, f) };
+                    },
+                    |a, b| a + b,
+                )
+            };
+            let mut potential = compute_forces(ctx);
+            for _ in 0..p.steps {
+                ctx.for_each(ForSpec::new(), 0..n, |i| {
+                    let i = i as usize;
+                    // SAFETY: disjoint indices.
+                    unsafe {
+                        let f = f_s.get(i);
+                        let v = vel_s.get_mut(i);
+                        let x = pos_s.get_mut(i);
+                        for c in 0..3 {
+                            v[c] += 0.5 * DT * f[c];
+                            x[c] += DT * v[c];
+                        }
+                    }
+                });
+                potential = compute_forces(ctx);
+                ctx.for_each(ForSpec::new(), 0..n, |i| {
+                    let i = i as usize;
+                    // SAFETY: disjoint indices.
+                    unsafe {
+                        let f = f_s.get(i);
+                        let v = vel_s.get_mut(i);
+                        for c in 0..3 {
+                            v[c] += 0.5 * DT * f[c];
+                        }
+                    }
+                });
+            }
+            ctx.master(|| *potential_out.lock() = potential);
+        });
+    }
+    (pos, potential_out.into_inner())
+}
+
+/// Compiled: boxed-value coordinate lists (flat `3n` lists).
+pub fn dynamic(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
+    let (pos0, vel0) = particles(p.n, 10.0, p.seed);
+    let n = p.n;
+    let boxed = |src: &Vec<[f64; 3]>| {
+        Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect())
+    };
+    let pos = boxed(&pos0);
+    let vel = boxed(&vel0);
+    let forces = Value::list(vec![Value::Float(0.0); 3 * n]);
+    let potential_out = Mutex::new(0.0f64);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let getf = |l: &Value, i: usize| -> f64 {
+        match l {
+            Value::List(v) => v.read()[i].as_float().expect("f"),
+            _ => unreachable!(),
+        }
+    };
+    let setf = |l: &Value, i: usize, x: f64| {
+        if let Value::List(v) = l {
+            v.write()[i] = Value::Float(x);
+        }
+    };
+    parallel_region(&cfg, |ctx| {
+        let compute_forces = |ctx: &omp4rs::WorkerCtx<'_>| -> f64 {
+            ctx.for_reduce(
+                ForSpec::new(),
+                0..n as i64,
+                0.0f64,
+                |i, acc| {
+                    let i = i as usize;
+                    let pi = [getf(&pos, 3 * i), getf(&pos, 3 * i + 1), getf(&pos, 3 * i + 2)];
+                    let mut f = [0.0; 3];
+                    for j in 0..n {
+                        if i != j {
+                            let pj = [
+                                getf(&pos, 3 * j),
+                                getf(&pos, 3 * j + 1),
+                                getf(&pos, 3 * j + 2),
+                            ];
+                            let (fij, v) = pair(pi, pj);
+                            f[0] += fij[0];
+                            f[1] += fij[1];
+                            f[2] += fij[2];
+                            *acc += 0.5 * v;
+                        }
+                    }
+                    for c in 0..3 {
+                        setf(&forces, 3 * i + c, f[c]);
+                    }
+                },
+                |a, b| a + b,
+            )
+        };
+        let mut potential = compute_forces(ctx);
+        for _ in 0..p.steps {
+            ctx.for_each(ForSpec::new(), 0..n as i64, |i| {
+                let i = i as usize;
+                for c in 0..3 {
+                    let v = getf(&vel, 3 * i + c) + 0.5 * DT * getf(&forces, 3 * i + c);
+                    setf(&vel, 3 * i + c, v);
+                    setf(&pos, 3 * i + c, getf(&pos, 3 * i + c) + DT * v);
+                }
+            });
+            potential = compute_forces(ctx);
+            ctx.for_each(ForSpec::new(), 0..n as i64, |i| {
+                let i = i as usize;
+                for c in 0..3 {
+                    let v = getf(&vel, 3 * i + c) + 0.5 * DT * getf(&forces, 3 * i + c);
+                    setf(&vel, 3 * i + c, v);
+                }
+            });
+        }
+        ctx.master(|| *potential_out.lock() = potential);
+    });
+    let out: Vec<[f64; 3]> = match &pos {
+        Value::List(l) => {
+            let l = l.read();
+            (0..n)
+                .map(|i| {
+                    [
+                        l[3 * i].as_float().expect("x"),
+                        l[3 * i + 1].as_float().expect("y"),
+                        l[3 * i + 2].as_float().expect("z"),
+                    ]
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    };
+    (out, potential_out.into_inner())
+}
+
+/// The minipy source (Pure/Hybrid). Flat coordinate lists, two parallel
+/// constructs per step as in the native version.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+EPS = 0.5
+DT = 0.001
+
+@omp
+def forces_step(pos, forces, n):
+    potential = 0.0
+    with omp("parallel for reduction(+:potential)"):
+        for i in range(n):
+            fx = 0.0
+            fy = 0.0
+            fz = 0.0
+            xi = pos[3 * i]
+            yi = pos[3 * i + 1]
+            zi = pos[3 * i + 2]
+            for j in range(n):
+                if i != j:
+                    dx = xi - pos[3 * j]
+                    dy = yi - pos[3 * j + 1]
+                    dz = zi - pos[3 * j + 2]
+                    r2 = dx * dx + dy * dy + dz * dz + EPS
+                    f = 2.0 / (r2 * r2)
+                    fx += f * dx
+                    fy += f * dy
+                    fz += f * dz
+                    potential += 0.5 / r2
+            forces[3 * i] = fx
+            forces[3 * i + 1] = fy
+            forces[3 * i + 2] = fz
+    return potential
+
+@omp
+def integrate(pos, vel, forces, n, with_position):
+    with omp("parallel for"):
+        for i in range(3 * n):
+            v = vel[i] + 0.5 * DT * forces[i]
+            vel[i] = v
+            if with_position:
+                pos[i] = pos[i] + DT * v
+    return 0
+
+def md(pos, vel, forces, n, steps, nthreads):
+    omp_set_num_threads(nthreads)
+    potential = forces_step(pos, forces, n)
+    for s in range(steps):
+        integrate(pos, vel, forces, n, True)
+        potential = forces_step(pos, forces, n)
+        integrate(pos, vel, forces, n, False)
+    return potential
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
+    let (pos0, vel0) = particles(p.n, 10.0, p.seed);
+    let runner = interpreted_runner(mode, SOURCE);
+    let boxed = |src: &Vec<[f64; 3]>| {
+        Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect())
+    };
+    let pos = boxed(&pos0);
+    let vel = boxed(&vel0);
+    let forces = Value::list(vec![Value::Float(0.0); 3 * p.n]);
+    let potential = runner
+        .call_global(
+            "md",
+            vec![
+                pos.clone(),
+                vel,
+                forces,
+                Value::Int(p.n as i64),
+                Value::Int(p.steps as i64),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("md benchmark failed")
+        .as_float()
+        .expect("potential");
+    let out: Vec<[f64; 3]> = match &pos {
+        Value::List(l) => {
+            let l = l.read();
+            (0..p.n)
+                .map(|i| {
+                    [
+                        l[3 * i].as_float().expect("x"),
+                        l[3 * i + 1].as_float().expect("y"),
+                        l[3 * i + 2].as_float().expect("z"),
+                    ]
+                })
+                .collect()
+        }
+        _ => unreachable!(),
+    };
+    (out, potential)
+}
+
+/// PyOMP baseline: static pranges over `f64` buffers.
+pub fn pyomp_baseline(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
+    let (mut pos, mut vel) = particles(p.n, 10.0, p.seed);
+    let mut forces = vec![[0.0f64; 3]; p.n];
+    let n = p.n as i64;
+    let mut potential;
+    {
+        let pos_s = SharedSlice::new(&mut pos);
+        let vel_s = SharedSlice::new(&mut vel);
+        let f_s = SharedSlice::new(&mut forces);
+        let compute = |threads: usize| {
+            pyomp::prange_reduce_sum(threads, n, |i| {
+                let i = i as usize;
+                // SAFETY: positions stable during force phases.
+                let pi = unsafe { pos_s.get(i) };
+                let mut f = [0.0; 3];
+                let mut acc = 0.0;
+                for j in 0..p.n {
+                    if i != j {
+                        let (fij, v) = pair(pi, unsafe { pos_s.get(j) });
+                        f[0] += fij[0];
+                        f[1] += fij[1];
+                        f[2] += fij[2];
+                        acc += 0.5 * v;
+                    }
+                }
+                // SAFETY: disjoint indices.
+                unsafe { f_s.set(i, f) };
+                acc
+            })
+        };
+        potential = compute(threads);
+        for _ in 0..p.steps {
+            pyomp::prange(threads, n, |i| {
+                let i = i as usize;
+                // SAFETY: disjoint indices.
+                unsafe {
+                    let f = f_s.get(i);
+                    let v = vel_s.get_mut(i);
+                    let x = pos_s.get_mut(i);
+                    for c in 0..3 {
+                        v[c] += 0.5 * DT * f[c];
+                        x[c] += DT * v[c];
+                    }
+                }
+            });
+            potential = compute(threads);
+            pyomp::prange(threads, n, |i| {
+                let i = i as usize;
+                // SAFETY: disjoint indices.
+                unsafe {
+                    let f = f_s.get(i);
+                    let v = vel_s.get_mut(i);
+                    for c in 0..3 {
+                        v[c] += 0.5 * DT * f[c];
+                    }
+                }
+            });
+        }
+    }
+    (pos, potential)
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Never fails: every mode supports *md*.
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    let ((pos, _potential), seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
+    };
+    Ok(BenchOutput { seconds, check: checksum(&pos) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params { n: 24, steps: 2, seed: 17 }
+    }
+
+    #[test]
+    fn seq_is_deterministic_and_finite() {
+        let p = small();
+        let (pos1, e1) = seq(&p);
+        let (pos2, e2) = seq(&p);
+        assert_eq!(checksum(&pos1), checksum(&pos2));
+        assert_eq!(e1, e2);
+        assert!(e1.is_finite() && e1 > 0.0);
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let (pos_ref, e_ref) = seq(&p);
+        for threads in [1, 4] {
+            let (pos, e) = native(&p, threads);
+            assert!(close(checksum(&pos), checksum(&pos_ref), 1e-9), "t={threads}");
+            assert!(close(e, e_ref, 1e-9));
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        let (pos_ref, e_ref) = seq(&p);
+        let (pos, e) = dynamic(&p, 3);
+        assert!(close(checksum(&pos), checksum(&pos_ref), 1e-9));
+        assert!(close(e, e_ref, 1e-9));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { n: 10, steps: 1, seed: 17 };
+        let (pos_ref, e_ref) = seq(&p);
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            let (pos, e) = interpreted(mode, &p, 2);
+            assert!(close(checksum(&pos), checksum(&pos_ref), 1e-8), "{mode}");
+            assert!(close(e, e_ref, 1e-8), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_matches_seq() {
+        let p = small();
+        let (pos_ref, e_ref) = seq(&p);
+        let (pos, e) = pyomp_baseline(&p, 4);
+        assert!(close(checksum(&pos), checksum(&pos_ref), 1e-9));
+        assert!(close(e, e_ref, 1e-9));
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution-mode plumbing shared by all benchmarks.
+
+use std::fmt;
+use std::time::Instant;
+
+use omp4rs_pyfront::{ExecMode, Runner};
+
+/// The paper's execution modes plus the PyOMP baseline (artifact §D:
+/// `0` Pure, `1` Hybrid, `2` Compiled, `3` CompiledDT, `-1` PyOMP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Interpreted user code, mutex runtime internals.
+    Pure,
+    /// Interpreted user code, atomic runtime internals.
+    Hybrid,
+    /// Native closures over boxed dynamic values (Cython, generic objects).
+    Compiled,
+    /// Native closures over native numeric types (Cython + `int`/`float`).
+    CompiledDT,
+    /// The restricted Numba-style baseline.
+    PyOmp,
+}
+
+impl Mode {
+    /// All five modes, in the paper's presentation order.
+    pub fn all() -> [Mode; 5] {
+        [Mode::Pure, Mode::Hybrid, Mode::Compiled, Mode::CompiledDT, Mode::PyOmp]
+    }
+
+    /// The four OMP4Py modes (excluding the baseline).
+    pub fn omp4py_modes() -> [Mode; 4] {
+        [Mode::Pure, Mode::Hybrid, Mode::Compiled, Mode::CompiledDT]
+    }
+
+    /// Parse the artifact's numeric code or a name.
+    pub fn parse(text: &str) -> Option<Mode> {
+        Some(match text.trim() {
+            "0" | "pure" | "Pure" => Mode::Pure,
+            "1" | "hybrid" | "Hybrid" => Mode::Hybrid,
+            "2" | "compiled" | "Compiled" => Mode::Compiled,
+            "3" | "compileddt" | "CompiledDT" | "compiled_dt" => Mode::CompiledDT,
+            "-1" | "pyomp" | "PyOMP" | "PyOmp" => Mode::PyOmp,
+            _ => return None,
+        })
+    }
+
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Pure => "Pure",
+            Mode::Hybrid => "Hybrid",
+            Mode::Compiled => "Compiled",
+            Mode::CompiledDT => "CompiledDT",
+            Mode::PyOmp => "PyOMP",
+        }
+    }
+
+    /// Whether the mode runs through the minipy interpreter.
+    pub fn is_interpreted(self) -> bool {
+        matches!(self, Mode::Pure | Mode::Hybrid)
+    }
+
+    /// The pyfront execution mode for interpreted modes.
+    pub fn exec_mode(self) -> Option<ExecMode> {
+        match self {
+            Mode::Pure => Some(ExecMode::Pure),
+            Mode::Hybrid => Some(ExecMode::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The timed result of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchOutput {
+    /// Wall-clock seconds of the computation (excluding setup/transform).
+    pub seconds: f64,
+    /// A mode-independent checksum of the result, for cross-mode checks.
+    pub check: f64,
+}
+
+/// Time a closure, returning its result and elapsed seconds.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Build an interpreted-mode runner with the benchmark source loaded.
+///
+/// # Panics
+///
+/// Panics if the embedded benchmark source fails to load — a bug, not a
+/// user error.
+pub fn interpreted_runner(mode: Mode, source: &str) -> Runner {
+    let exec = mode.exec_mode().expect("interpreted_runner requires Pure/Hybrid");
+    let runner = Runner::new(exec);
+    runner
+        .run(source)
+        .unwrap_or_else(|e| panic!("benchmark source failed to load: {e}"));
+    runner
+}
+
+/// Relative-tolerance float comparison for result verification.
+pub fn close(a: f64, b: f64, rel_tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel_tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_matches_artifact_codes() {
+        assert_eq!(Mode::parse("0"), Some(Mode::Pure));
+        assert_eq!(Mode::parse("1"), Some(Mode::Hybrid));
+        assert_eq!(Mode::parse("2"), Some(Mode::Compiled));
+        assert_eq!(Mode::parse("3"), Some(Mode::CompiledDT));
+        assert_eq!(Mode::parse("-1"), Some(Mode::PyOmp));
+        assert_eq!(Mode::parse("pyomp"), Some(Mode::PyOmp));
+        assert_eq!(Mode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for mode in Mode::all() {
+            assert_eq!(Mode::parse(mode.name()), Some(mode), "{mode}");
+        }
+    }
+
+    #[test]
+    fn close_tolerances() {
+        assert!(close(1.0, 1.0 + 1e-9, 1e-6));
+        assert!(!close(1.0, 1.1, 1e-6));
+        assert!(close(0.0, 1e-9, 1e-6));
+    }
+}

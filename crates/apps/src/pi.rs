@@ -1,0 +1,205 @@
+//! Riemann integration of π (paper Fig. 1 / §IV-A *pi*).
+//!
+//! Table I features: `parallel for reduction(+)`, implicit barriers.
+
+use minipy::ast::BinOp;
+use minipy::interp::binary_op;
+use minipy::Value;
+
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str = "parallel, for | reduction(+) | implicit barriers";
+
+/// Problem parameters (paper: 20 billion intervals; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of integration intervals.
+    pub n: i64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { n: 200_000 }
+    }
+}
+
+/// Sequential reference.
+pub fn seq(p: &Params) -> f64 {
+    let w = 1.0 / p.n as f64;
+    let mut acc = 0.0;
+    for i in 0..p.n {
+        let x = (i as f64 + 0.5) * w;
+        acc += 4.0 / (1.0 + x * x);
+    }
+    acc * w
+}
+
+/// CompiledDT: native `f64` loop (Cython with type annotations).
+pub fn native(p: &Params, threads: usize) -> f64 {
+    let n = p.n;
+    let w = 1.0 / n as f64;
+    let result = parking_lot::Mutex::new(0.0f64);
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        let local = ctx.for_reduce(
+            ForSpec::new(),
+            0..n,
+            0.0f64,
+            |i, acc| {
+                let x = (i as f64 + 0.5) * w;
+                *acc += 4.0 / (1.0 + x * x);
+            },
+            |a, b| a + b,
+        );
+        ctx.master(|| *result.lock() = local * w);
+    });
+    result.into_inner()
+}
+
+/// Compiled: the same loop over boxed dynamic values (Cython without type
+/// annotations — every operation dispatches on boxed objects).
+pub fn dynamic(p: &Params, threads: usize) -> f64 {
+    let n = p.n;
+    let w = Value::Float(1.0 / n as f64);
+    let half = Value::Float(0.5);
+    let four = Value::Float(4.0);
+    let one = Value::Float(1.0);
+    let result = parking_lot::Mutex::new(Value::Float(0.0));
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        let local = ctx.for_reduce(
+            ForSpec::new(),
+            0..n,
+            Value::Float(0.0),
+            |i, acc: &mut Value| {
+                let x = binary_op(
+                    BinOp::Mul,
+                    &binary_op(BinOp::Add, &Value::Int(i), &half).expect("add"),
+                    &w,
+                )
+                .expect("mul");
+                let denom =
+                    binary_op(BinOp::Add, &one, &binary_op(BinOp::Mul, &x, &x).expect("sq"))
+                        .expect("denom");
+                let term = binary_op(BinOp::Div, &four, &denom).expect("div");
+                *acc = binary_op(BinOp::Add, acc, &term).expect("acc");
+            },
+            |a, b| binary_op(BinOp::Add, &a, &b).expect("combine"),
+        );
+        ctx.master(|| {
+            *result.lock() = binary_op(BinOp::Mul, &local, &w).expect("scale");
+        });
+    });
+    result.into_inner().as_float().expect("pi is a float")
+}
+
+/// The minipy source (paper Fig. 1, verbatim shape).
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def pi(n, nthreads):
+    w = 1.0 / n
+    pi_value = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(nthreads)"):
+        for i in range(n):
+            local = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> f64 {
+    let runner = interpreted_runner(mode, SOURCE);
+    runner
+        .call_global("pi", vec![Value::Int(p.n), Value::Int(threads as i64)])
+        .expect("pi benchmark failed")
+        .as_float()
+        .expect("pi returns float")
+}
+
+/// PyOMP baseline: static-schedule native loop through the restricted API.
+pub fn pyomp_baseline(p: &Params, threads: usize) -> f64 {
+    let n = p.n;
+    let w = 1.0 / n as f64;
+    let acc = pyomp::prange_reduce_sum(threads, n, |i| {
+        let x = (i as f64 + 0.5) * w;
+        4.0 / (1.0 + x * x)
+    });
+    acc * w
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns an error string for unsupported modes (none here: every mode
+/// supports *pi*).
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    // Interpreted sizes are scaled: the paper uses the same problem sizes
+    // everywhere, but a tree-walking interpreter at 20G intervals would take
+    // hours; the bench harness scales per-mode and reports per-iteration
+    // costs. Here `p.n` is taken as-is.
+    let (value, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
+    };
+    Ok(BenchOutput { seconds, check: value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    #[test]
+    fn seq_converges() {
+        let v = seq(&Params { n: 100_000 });
+        assert!(close(v, PI, 1e-8), "{v}");
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = Params { n: 50_000 };
+        assert!(close(native(&p, 4), seq(&p), 1e-10));
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = Params { n: 10_000 };
+        assert!(close(dynamic(&p, 3), seq(&p), 1e-10));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params { n: 2_000 };
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(close(interpreted(mode, &p, 2), seq(&p), 1e-10), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_matches_seq() {
+        let p = Params { n: 50_000 };
+        assert!(close(pyomp_baseline(&p, 4), seq(&p), 1e-10));
+    }
+
+    #[test]
+    fn run_all_modes() {
+        let p = Params { n: 1_000 };
+        for mode in Mode::all() {
+            let out = run(mode, 2, &p).unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(close(out.check, PI, 1e-3), "{mode}: {}", out.check);
+            assert!(out.seconds >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Parallel quicksort (paper §IV-A *qsort*).
+//!
+//! Table I features: `parallel`, `single`, `task` with `if` clause. One
+//! thread enters `single` and starts the recursive decomposition; each
+//! partition spawns tasks for the two halves, with the `if` clause cutting
+//! off task creation for small subarrays (below [`Params::cutoff`] the
+//! recursion continues inline).
+//!
+//! The paper notes this benchmark **cannot run under PyOMP**: its recursive
+//! tasks with the `if` clause are unsupported there.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ParallelConfig, TaskCtx};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::workloads::{random_f64s, DEFAULT_SEED};
+
+/// Table I row for this benchmark.
+pub const FEATURES: &str = "parallel, single, task with if clause | implicit barriers";
+
+/// Problem parameters (paper: 400M floats; scaled default below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Array length.
+    pub n: usize,
+    /// Subarrays at or below this size are sorted without new tasks.
+    pub cutoff: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params { n: 200_000, cutoff: 2_000, seed: DEFAULT_SEED }
+    }
+}
+
+/// Input array.
+pub fn input(p: &Params) -> Vec<f64> {
+    random_f64s(p.n, p.seed)
+}
+
+/// Checksum sensitive to element order.
+pub fn checksum(data: &[f64]) -> f64 {
+    data.iter().enumerate().map(|(i, &v)| v * ((i % 97) + 1) as f64).sum()
+}
+
+/// Lomuto partition (last element as pivot after a median-of-three swap).
+fn partition(data: &mut [f64]) -> usize {
+    let n = data.len();
+    let mid = n / 2;
+    // Median-of-three: move the median to the end as pivot.
+    if data[0] > data[mid] {
+        data.swap(0, mid);
+    }
+    if data[0] > data[n - 1] {
+        data.swap(0, n - 1);
+    }
+    if data[mid] > data[n - 1] {
+        data.swap(mid, n - 1);
+    }
+    data.swap(mid, n - 1);
+    let pivot = data[n - 1];
+    let mut i = 0;
+    for j in 0..n - 1 {
+        if data[j] <= pivot {
+            data.swap(i, j);
+            i += 1;
+        }
+    }
+    data.swap(i, n - 1);
+    i
+}
+
+fn insertion_sort(data: &mut [f64]) {
+    for i in 1..data.len() {
+        let v = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > v {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = v;
+    }
+}
+
+fn quicksort_seq(data: &mut [f64]) {
+    if data.len() <= 16 {
+        insertion_sort(data);
+        return;
+    }
+    let p = partition(data);
+    let (lo, hi) = data.split_at_mut(p);
+    quicksort_seq(lo);
+    quicksort_seq(&mut hi[1..]);
+}
+
+/// Sequential reference.
+pub fn seq(p: &Params) -> Vec<f64> {
+    let mut data = input(p);
+    quicksort_seq(&mut data);
+    data
+}
+
+fn quicksort_tasks<'sc>(tc: &TaskCtx<'sc>, data: &'sc mut [f64], cutoff: usize) {
+    if data.len() <= 16 {
+        insertion_sort(data);
+        return;
+    }
+    let p = partition(data);
+    let (lo, rest) = data.split_at_mut(p);
+    let hi = &mut rest[1..];
+    let spawn_lo = lo.len() > cutoff;
+    let spawn_hi = hi.len() > cutoff;
+    // `task if(size > cutoff)`: small halves run undeferred on this thread.
+    tc.task_if(spawn_lo, move |tc| quicksort_tasks(tc, lo, cutoff));
+    tc.task_if(spawn_hi, move |tc| quicksort_tasks(tc, hi, cutoff));
+    tc.taskwait();
+}
+
+/// CompiledDT: native task-parallel quicksort.
+pub fn native(p: &Params, threads: usize) -> Vec<f64> {
+    let mut data = input(p);
+    let cutoff = p.cutoff;
+    {
+        let slice = &mut data[..];
+        let slot = parking_lot::Mutex::new(Some(slice));
+        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                let slice = slot.lock().take().expect("single runs once");
+                ctx.task(move |tc| quicksort_tasks(tc, slice, cutoff));
+            });
+            // The region's task-draining barrier completes the sort.
+        });
+    }
+    data
+}
+
+/// Compiled: the same task recursion over a boxed `minipy` list.
+pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
+    let data = Value::list(input(p).iter().map(|&v| Value::Float(v)).collect());
+    let cutoff = p.cutoff as i64;
+
+    fn getf(list: &Value, i: i64) -> f64 {
+        match list {
+            Value::List(l) => l.read()[i as usize].as_float().expect("f"),
+            _ => unreachable!(),
+        }
+    }
+    fn swap(list: &Value, i: i64, j: i64) {
+        if let Value::List(l) = list {
+            l.write().swap(i as usize, j as usize);
+        }
+    }
+    fn part(list: &Value, lo: i64, hi: i64) -> i64 {
+        let mid = lo + (hi - lo) / 2;
+        if getf(list, lo) > getf(list, mid) {
+            swap(list, lo, mid);
+        }
+        if getf(list, lo) > getf(list, hi) {
+            swap(list, lo, hi);
+        }
+        if getf(list, mid) > getf(list, hi) {
+            swap(list, mid, hi);
+        }
+        swap(list, mid, hi);
+        let pivot = getf(list, hi);
+        let mut i = lo;
+        for j in lo..hi {
+            if getf(list, j) <= pivot {
+                swap(list, i, j);
+                i += 1;
+            }
+        }
+        swap(list, i, hi);
+        i
+    }
+    fn sort_rec(tc: &TaskCtx<'_>, list: Value, lo: i64, hi: i64, cutoff: i64) {
+        if hi - lo < 1 {
+            return;
+        }
+        if hi - lo < 16 {
+            // insertion sort on the boxed list
+            for i in (lo + 1)..=hi {
+                let v = getf(&list, i);
+                let mut j = i;
+                while j > lo && getf(&list, j - 1) > v {
+                    let prev = getf(&list, j - 1);
+                    if let Value::List(l) = &list {
+                        l.write()[j as usize] = Value::Float(prev);
+                    }
+                    j -= 1;
+                }
+                if let Value::List(l) = &list {
+                    l.write()[j as usize] = Value::Float(v);
+                }
+            }
+            return;
+        }
+        let p = part(&list, lo, hi);
+        let l1 = list.clone();
+        let l2 = list.clone();
+        tc.task_if(p - lo > cutoff, move |tc| sort_rec(tc, l1, lo, p - 1, cutoff));
+        tc.task_if(hi - p > cutoff, move |tc| sort_rec(tc, l2, p + 1, hi, cutoff));
+        tc.taskwait();
+    }
+
+    let n = p.n as i64;
+    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        ctx.single_nowait(|| {
+            let list = data.clone();
+            ctx.task(move |tc| sort_rec(tc, list, 0, n - 1, cutoff));
+        });
+    });
+    match &data {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("f")).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// The minipy source (Pure/Hybrid): recursive quicksort with tasks and the
+/// `if` clause, as in the paper.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def qsort(arr, lo, hi, cutoff):
+    if hi - lo < 1:
+        return 0
+    if hi - lo < 16:
+        i = lo + 1
+        while i <= hi:
+            v = arr[i]
+            j = i
+            while j > lo and arr[j - 1] > v:
+                arr[j] = arr[j - 1]
+                j -= 1
+            arr[j] = v
+            i += 1
+        return 0
+    mid = lo + (hi - lo) // 2
+    if arr[lo] > arr[mid]:
+        t = arr[lo]
+        arr[lo] = arr[mid]
+        arr[mid] = t
+    if arr[lo] > arr[hi]:
+        t = arr[lo]
+        arr[lo] = arr[hi]
+        arr[hi] = t
+    if arr[mid] > arr[hi]:
+        t = arr[mid]
+        arr[mid] = arr[hi]
+        arr[hi] = t
+    t = arr[mid]
+    arr[mid] = arr[hi]
+    arr[hi] = t
+    pivot = arr[hi]
+    i = lo
+    for j in range(lo, hi):
+        if arr[j] <= pivot:
+            t = arr[i]
+            arr[i] = arr[j]
+            arr[j] = t
+            i += 1
+    t = arr[i]
+    arr[i] = arr[hi]
+    arr[hi] = t
+    with omp("task if(i - lo > cutoff)"):
+        qsort(arr, lo, i - 1, cutoff)
+    with omp("task if(hi - i > cutoff)"):
+        qsort(arr, i + 1, hi, cutoff)
+    omp("taskwait")
+    return 0
+
+@omp
+def run_qsort(arr, n, cutoff, nthreads):
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            qsort(arr, 0, n - 1, cutoff)
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
+    let runner = interpreted_runner(mode, SOURCE);
+    let arr = Value::list(input(p).iter().map(|&v| Value::Float(v)).collect());
+    runner
+        .call_global(
+            "run_qsort",
+            vec![
+                arr.clone(),
+                Value::Int(p.n as i64),
+                Value::Int(p.cutoff as i64),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("qsort benchmark failed");
+    match &arr {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("f")).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns the paper's incompatibility for [`Mode::PyOmp`].
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("qsort").expect("qsort unsupported").to_owned());
+    }
+    let (data, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput { seconds, check: checksum(&data) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(data: &[f64]) -> bool {
+        data.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn seq_sorts() {
+        let p = Params { n: 5_000, cutoff: 100, seed: 21 };
+        let out = seq(&p);
+        assert!(is_sorted(&out));
+        assert_eq!(out.len(), p.n);
+    }
+
+    #[test]
+    fn native_sorts_and_matches_seq() {
+        let p = Params { n: 20_000, cutoff: 500, seed: 21 };
+        let reference = seq(&p);
+        for threads in [1, 4] {
+            let out = native(&p, threads);
+            assert!(is_sorted(&out), "t={threads}");
+            assert_eq!(checksum(&out), checksum(&reference));
+        }
+    }
+
+    #[test]
+    fn dynamic_sorts() {
+        let p = Params { n: 3_000, cutoff: 200, seed: 22 };
+        let out = dynamic(&p, 3);
+        assert!(is_sorted(&out));
+        assert_eq!(checksum(&out), checksum(&seq(&p)));
+    }
+
+    #[test]
+    fn interpreted_sorts() {
+        let p = Params { n: 300, cutoff: 50, seed: 23 };
+        let reference = seq(&p);
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            let out = interpreted(mode, &p, 2);
+            assert!(is_sorted(&out), "{mode}");
+            assert_eq!(checksum(&out), checksum(&reference), "{mode}");
+        }
+    }
+
+    #[test]
+    fn pyomp_is_unsupported() {
+        let p = Params { n: 100, cutoff: 10, seed: 1 };
+        let err = run(Mode::PyOmp, 2, &p).unwrap_err();
+        assert!(err.contains("if clause"), "{err}");
+    }
+
+    #[test]
+    fn already_sorted_and_duplicates() {
+        let mut data: Vec<f64> = (0..1000).map(|i| (i / 10) as f64).collect();
+        quicksort_seq(&mut data);
+        assert!(is_sorted(&data));
+        let mut rev: Vec<f64> = (0..1000).rev().map(|i| i as f64).collect();
+        quicksort_seq(&mut rev);
+        assert!(is_sorted(&rev));
+    }
+}

@@ -1,0 +1,109 @@
+//! Small helpers shared by the native benchmark implementations.
+
+use std::cell::UnsafeCell;
+
+/// A shared mutable slice written at disjoint indices by a work-sharing
+/// loop (the standard OpenMP shared-array idiom).
+///
+/// # Safety contract
+///
+/// Callers must guarantee that no two threads write the same index
+/// concurrently and that reads do not race writes of the same index —
+/// exactly the guarantee a correct `omp for` over distinct indices gives.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: see the struct-level contract; all unsynchronized access is
+// constrained to disjoint indices by the work-sharing loops that use this.
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        // SAFETY: `&mut [T]` → `&[UnsafeCell<T>]` is sound: UnsafeCell<T>
+        // has the same layout as T and we hold the unique borrow.
+        let data = unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const UnsafeCell<T>, slice.len())
+        };
+        SharedSlice { data }
+    }
+
+    /// Length of the slice.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access `index` concurrently.
+    pub unsafe fn set(&self, index: usize, value: T) {
+        *self.data[index].get() = value;
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may write `index` concurrently.
+    pub unsafe fn get(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.data[index].get()
+    }
+
+    /// Get a mutable reference to `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access `index` concurrently.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, index: usize) -> &mut T {
+        &mut *self.data[index].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0usize; 100];
+        {
+            let shared = SharedSlice::new(&mut data);
+            let cfg = ParallelConfig::new().num_threads(4);
+            parallel_region(&cfg, |ctx| {
+                ctx.for_each(ForSpec::new(), 0..100, |i| {
+                    // SAFETY: each index written by exactly one thread.
+                    unsafe { shared.set(i as usize, i as usize * 2) };
+                });
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn len_and_get() {
+        let mut data = vec![1.5f64, 2.5];
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(shared.len(), 2);
+        assert!(!shared.is_empty());
+        // SAFETY: single-threaded access.
+        unsafe {
+            assert_eq!(shared.get(1), 2.5);
+            *shared.get_mut(0) += 1.0;
+            assert_eq!(shared.get(0), 2.5);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Seeded workload generators (artifact: "synthetic data generated from a
+//! fixed seed").
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default seed used throughout the benchmark suite.
+pub const DEFAULT_SEED: u64 = 0x0_5EED;
+
+/// Uniform random `f64`s in `[0, 1)`.
+pub fn random_f64s(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// A diagonally dominant `n × n` matrix (as rows) and RHS vector, the
+/// classic convergent Jacobi/LU input.
+pub fn diag_dominant_system(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = vec![vec![0.0; n]; n];
+    let mut b = vec![0.0; n];
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                a[i][j] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[i][i] = row_sum + rng.gen_range(1.0..2.0);
+        b[i] = rng.gen_range(-10.0..10.0);
+    }
+    (a, b)
+}
+
+/// Particle initial positions/velocities for the MD benchmark: `n`
+/// particles in a `[0, box_side)^3` box.
+pub fn particles(n: usize, box_side: f64, seed: u64) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = (0..n)
+        .map(|_| {
+            [
+                rng.gen::<f64>() * box_side,
+                rng.gen::<f64>() * box_side,
+                rng.gen::<f64>() * box_side,
+            ]
+        })
+        .collect();
+    let vel = (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+            ]
+        })
+        .collect();
+    (pos, vel)
+}
+
+/// A synthetic Zipf-distributed word corpus: `lines` lines of `words_per_line`
+/// words drawn from a vocabulary of `vocab` words with Zipf exponent ~1.1
+/// (the artifact's fallback when no Wikipedia dump is supplied; Zipf matches
+/// natural-language token distribution, which is what drives wordcount's
+/// dict behaviour and the load imbalance Fig. 7 exercises).
+///
+/// Line lengths vary (±50%) to create the imbalance dynamic scheduling
+/// exploits.
+pub fn zipf_corpus(lines: usize, words_per_line: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = vocab.max(2);
+    let zipf = ZipfSampler::new(vocab, 1.1);
+    let words: Vec<String> = (0..vocab).map(word_for_index).collect();
+    (0..lines)
+        .map(|_| {
+            let len_scale = rng.gen_range(0.5..1.5);
+            let len = ((words_per_line as f64 * len_scale) as usize).max(1);
+            let mut line = String::new();
+            for k in 0..len {
+                if k > 0 {
+                    line.push(' ');
+                }
+                line.push_str(&words[zipf.sample(&mut rng)]);
+            }
+            line
+        })
+        .collect()
+}
+
+/// Human-ish word for a vocabulary index (deterministic).
+fn word_for_index(mut i: usize) -> String {
+    const SYLLABLES: [&str; 16] = [
+        "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe", "qui", "ro",
+        "su", "ta",
+    ];
+    let mut s = String::new();
+    loop {
+        s.push_str(SYLLABLES[i % SYLLABLES.len()]);
+        i /= SYLLABLES.len();
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Simple Zipf sampler over ranks `0..n` with exponent `s` (inverse-CDF on a
+/// precomputed table).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> ZipfSampler {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl Distribution<usize> for ZipfSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_f64s_deterministic() {
+        assert_eq!(random_f64s(10, 1), random_f64s(10, 1));
+        assert_ne!(random_f64s(10, 1), random_f64s(10, 2));
+        assert!(random_f64s(100, 3).iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn diag_dominance_holds() {
+        let (a, b) = diag_dominant_system(20, 7);
+        assert_eq!(b.len(), 20);
+        for (i, row) in a.iter().enumerate() {
+            let off: f64 = row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
+            assert!(row[i].abs() > off, "row {i} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn particles_in_box() {
+        let (pos, vel) = particles(50, 10.0, 3);
+        assert_eq!(pos.len(), 50);
+        assert_eq!(vel.len(), 50);
+        assert!(pos.iter().flatten().all(|&c| (0.0..10.0).contains(&c)));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_zipfy() {
+        let c1 = zipf_corpus(200, 20, 500, 9);
+        let c2 = zipf_corpus(200, 20, 500, 9);
+        assert_eq!(c1, c2);
+        // The most frequent word should dominate: count ranks.
+        let mut counts = std::collections::HashMap::new();
+        for line in &c1 {
+            for w in line.split(' ') {
+                *counts.entry(w.to_owned()).or_insert(0usize) += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] > freqs[freqs.len() / 2] * 5, "distribution should be skewed");
+    }
+
+    #[test]
+    fn corpus_line_lengths_vary() {
+        let c = zipf_corpus(100, 30, 100, 11);
+        let lens: Vec<usize> = c.iter().map(|l| l.split(' ').count()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "line lengths must vary for Fig. 7's imbalance");
+    }
+
+    #[test]
+    fn words_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(word_for_index(i)), "collision at {i}");
+        }
+    }
+}

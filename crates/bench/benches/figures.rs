@@ -1,0 +1,140 @@
+//! Criterion benches exercising every table/figure code path at small sizes.
+//!
+//! The full tables/figures come from the harness binaries
+//! (`cargo run -p omp4rs-bench --release --bin figure5` etc.); these benches
+//! keep each experiment's kernel measurable under `cargo bench` with one
+//! target per table/figure, as required for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp4rs_apps::*;
+
+/// Table I / Fig. 5 kernels: one small per-mode measurement per benchmark.
+fn bench_figure5_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    let modes = [Mode::Pure, Mode::Compiled, Mode::CompiledDT];
+    for mode in modes {
+        let scale = |full: usize| match mode {
+            Mode::Pure | Mode::Hybrid => full / 50,
+            Mode::Compiled => full / 4,
+            _ => full,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pi", mode.name()),
+            &mode,
+            |b, &mode| {
+                let p = pi::Params { n: scale(100_000).max(100) as i64 };
+                b.iter(|| pi::run(mode, 2, &p).expect("supported"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("jacobi", mode.name()),
+            &mode,
+            |b, &mode| {
+                let p = jacobi::Params {
+                    n: scale(64).max(8),
+                    max_iters: 10,
+                    tol: 0.0,
+                    ..jacobi::Params::default()
+                };
+                b.iter(|| jacobi::run(mode, 2, &p).expect("supported"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("qsort", mode.name()),
+            &mode,
+            |b, &mode| {
+                let n = scale(40_000).max(200);
+                let p = qsort::Params { n, cutoff: (n / 16).max(16), ..qsort::Params::default() };
+                b.iter(|| qsort::run(mode, 2, &p).expect("supported"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 6 kernels: clustering & wordcount per mode.
+fn bench_figure6_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6");
+    for mode in [Mode::Pure, Mode::CompiledDT] {
+        group.bench_with_input(
+            BenchmarkId::new("clustering", mode.name()),
+            &mode,
+            |b, &mode| {
+                let p = clustering::Params {
+                    nodes: if mode.is_interpreted() { 100 } else { 800 },
+                    edges_per_node: 8,
+                    ..clustering::Params::default()
+                };
+                b.iter(|| clustering::run(mode, 2, &p).expect("supported"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wordcount", mode.name()),
+            &mode,
+            |b, &mode| {
+                let p = wordcount::Params {
+                    lines: if mode.is_interpreted() { 60 } else { 1_500 },
+                    ..wordcount::Params::default()
+                };
+                b.iter(|| wordcount::run(mode, 2, &p).expect("supported"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 7 kernel: the schedule axis on the wordcount loop (native mode).
+fn bench_figure7_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7");
+    for kind in [
+        omp4rs::ScheduleKind::Static,
+        omp4rs::ScheduleKind::Dynamic,
+        omp4rs::ScheduleKind::Guided,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("wordcount_schedule", kind.name()),
+            &kind,
+            |b, &kind| {
+                let p = wordcount::Params {
+                    lines: 1_500,
+                    schedule: kind,
+                    chunk: Some(300),
+                    ..wordcount::Params::default()
+                };
+                let lines = wordcount::corpus(&p);
+                b.iter(|| wordcount::native(&p, 2, &lines));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 8 kernel: one hybrid MPI/OpenMP jacobi iteration set per node count.
+fn bench_figure8_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8");
+    for nodes in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_jacobi_nodes", nodes),
+            &nodes,
+            |b, &nodes| {
+                let p = hybrid::Params { n: 48, max_iters: 20, tol: 0.0, ..hybrid::Params::default() };
+                b.iter(|| {
+                    hybrid::run(Mode::CompiledDT, nodes, 2, &p, minimpi::NetModel::cluster(1))
+                        .expect("supported")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets =
+        bench_figure5_kernels,
+        bench_figure6_kernels,
+        bench_figure7_schedules,
+        bench_figure8_hybrid
+);
+criterion_main!(figures);

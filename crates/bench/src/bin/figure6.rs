@@ -1,0 +1,63 @@
+//! Regenerate Fig. 6: scalability of *clustering coefficient* and
+//! *wordcount* under the four OMP4Py modes (PyOMP cannot run either).
+//!
+//! Usage: `figure6 [--scale <f64>]`
+
+use omp4rs_apps::Mode;
+use omp4rs_bench::{measure_primitives, sim_sweep, AppKind, SWEEP_THREADS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+
+    println!("FIGURE 6 — clustering coefficient and wordcount scalability");
+    println!("(PyOMP: clustering → Numba cannot compile NetworkX; wordcount → no dict support)\n");
+    let prims = measure_primitives();
+
+    for app in AppKind::figure6() {
+        println!("=== {} ===", app.name());
+        let mut costs = Vec::new();
+        for mode in Mode::omp4py_modes() {
+            match omp4rs_bench::figures::measure(app, mode, scale) {
+                Some(m) => {
+                    println!(
+                        "  measured {:<11} {:>10.2} ms  → {:>10.1} ns/unit",
+                        mode.name(),
+                        m.seconds * 1e3,
+                        m.per_unit() * 1e9
+                    );
+                    costs.push((mode, m.per_unit()));
+                }
+                None => println!("  measured {:<11} unsupported", mode.name()),
+            }
+        }
+        // PyOMP row: the paper's incompatibility message.
+        let reason = omp4rs_apps::pyomp::unsupported_reason(app.name())
+            .or_else(|| omp4rs_apps::pyomp::unsupported_reason("clustering"))
+            .unwrap_or("unsupported");
+        println!("  measured {:<11} cannot run: {reason}", "PyOMP");
+
+        print!("  {:<11}", "sim threads");
+        for t in SWEEP_THREADS {
+            print!(" {t:>9}");
+        }
+        println!();
+        for (mode, per_unit) in &costs {
+            let sweep = sim_sweep(app, *mode, *per_unit, &prims, false, None);
+            let t1 = sweep[0].1;
+            print!("  {:<11}", mode.name());
+            for &(_, t) in &sweep {
+                print!(" {:>8.2}x", t1 / t);
+            }
+            println!("   (t1 = {:.2} ms)", t1 * 1e3);
+        }
+        println!();
+    }
+    println!("(paper: both applications scale in all modes — clustering ~5x, wordcount ~10x at 32 threads —");
+    println!(" with compiled modes only slightly ahead, since the work is library/str/dict-bound)");
+}

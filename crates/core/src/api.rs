@@ -1,0 +1,182 @@
+//! The OpenMP 3.0 runtime library API (`omp_*` functions).
+//!
+//! These are free functions mirroring the C API names, backed by the global
+//! ICVs ([`crate::icv::Icvs`]) and the per-thread context
+//! ([`crate::context`]). The interpreter bridge re-exports them to
+//! interpreted code under the same names.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::context;
+use crate::directive::ScheduleKind;
+use crate::icv::{available_parallelism, Icvs};
+
+/// `omp_set_num_threads`: set the default team size (`nthreads-var`).
+pub fn omp_set_num_threads(n: usize) {
+    if n > 0 {
+        Icvs::update(|icvs| icvs.num_threads = n);
+    }
+}
+
+/// `omp_get_num_threads`: size of the current team (1 outside parallel).
+pub fn omp_get_num_threads() -> usize {
+    context::num_threads()
+}
+
+/// `omp_get_max_threads`: team size the next `parallel` would use.
+pub fn omp_get_max_threads() -> usize {
+    Icvs::current().num_threads
+}
+
+/// `omp_get_thread_num`: this thread's number in the current team.
+pub fn omp_get_thread_num() -> usize {
+    context::thread_num()
+}
+
+/// `omp_get_num_procs`: available hardware parallelism.
+pub fn omp_get_num_procs() -> usize {
+    available_parallelism()
+}
+
+/// `omp_in_parallel`: whether an enclosing *active* parallel region exists.
+pub fn omp_in_parallel() -> bool {
+    context::in_parallel()
+}
+
+/// `omp_set_dynamic` (`dyn-var`). Dynamic adjustment is accepted but this
+/// implementation never shrinks teams below the requested size.
+pub fn omp_set_dynamic(dynamic: bool) {
+    Icvs::update(|icvs| icvs.dynamic = dynamic);
+}
+
+/// `omp_get_dynamic`.
+pub fn omp_get_dynamic() -> bool {
+    Icvs::current().dynamic
+}
+
+/// `omp_set_nested` (`nest-var`): enable nested parallel regions.
+pub fn omp_set_nested(nested: bool) {
+    Icvs::update(|icvs| icvs.nested = nested);
+}
+
+/// `omp_get_nested`.
+pub fn omp_get_nested() -> bool {
+    Icvs::current().nested
+}
+
+/// `omp_set_schedule`: set the `schedule(runtime)` policy.
+pub fn omp_set_schedule(kind: ScheduleKind, chunk: Option<u64>) {
+    Icvs::update(|icvs| icvs.run_schedule = (kind, chunk));
+}
+
+/// `omp_get_schedule`.
+pub fn omp_get_schedule() -> (ScheduleKind, Option<u64>) {
+    Icvs::current().run_schedule
+}
+
+/// `omp_get_thread_limit`.
+pub fn omp_get_thread_limit() -> usize {
+    Icvs::current().thread_limit
+}
+
+/// `omp_set_max_active_levels`.
+pub fn omp_set_max_active_levels(levels: usize) {
+    Icvs::update(|icvs| icvs.max_active_levels = levels);
+}
+
+/// `omp_get_max_active_levels`.
+pub fn omp_get_max_active_levels() -> usize {
+    Icvs::current().max_active_levels
+}
+
+/// `omp_get_level`: nesting depth of parallel regions (active or not).
+pub fn omp_get_level() -> usize {
+    context::level()
+}
+
+/// `omp_get_active_level`: nesting depth of *active* parallel regions.
+pub fn omp_get_active_level() -> usize {
+    context::active_level()
+}
+
+/// `omp_get_ancestor_thread_num(level)`; -1 if the level does not exist.
+pub fn omp_get_ancestor_thread_num(level: i64) -> i64 {
+    context::ancestor_thread_num(level)
+}
+
+/// `omp_get_team_size(level)`; -1 if the level does not exist.
+pub fn omp_get_team_size(level: i64) -> i64 {
+    context::team_size(level)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// `omp_get_wtime`: monotonic wall-clock seconds (per-process epoch).
+pub fn omp_get_wtime() -> f64 {
+    epoch().elapsed().as_secs_f64()
+}
+
+/// `omp_get_wtick`: timer resolution in seconds.
+pub fn omp_get_wtick() -> f64 {
+    // `Instant` is nanosecond-resolution on the supported platforms.
+    1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outside_parallel_defaults() {
+        assert_eq!(omp_get_thread_num(), 0);
+        assert_eq!(omp_get_num_threads(), 1);
+        assert!(!omp_in_parallel());
+        assert_eq!(omp_get_level(), 0);
+        assert_eq!(omp_get_active_level(), 0);
+        assert_eq!(omp_get_ancestor_thread_num(0), 0);
+        assert_eq!(omp_get_ancestor_thread_num(1), -1);
+        assert_eq!(omp_get_team_size(0), 1);
+        assert_eq!(omp_get_team_size(3), -1);
+        assert!(omp_get_num_procs() >= 1);
+    }
+
+    #[test]
+    fn num_threads_round_trip() {
+        let before = Icvs::current();
+        omp_set_num_threads(6);
+        assert_eq!(omp_get_max_threads(), 6);
+        omp_set_num_threads(0); // ignored, like a conforming implementation
+        assert_eq!(omp_get_max_threads(), 6);
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let before = Icvs::current();
+        omp_set_schedule(ScheduleKind::Guided, Some(8));
+        assert_eq!(omp_get_schedule(), (ScheduleKind::Guided, Some(8)));
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn nested_and_dynamic_flags() {
+        let before = Icvs::current();
+        omp_set_nested(true);
+        assert!(omp_get_nested());
+        omp_set_dynamic(true);
+        assert!(omp_get_dynamic());
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn wtime_is_monotone() {
+        let t0 = omp_get_wtime();
+        let t1 = omp_get_wtime();
+        assert!(t1 >= t0);
+        assert!(omp_get_wtick() > 0.0);
+    }
+}

@@ -1,0 +1,1243 @@
+//! OpenMP 3.0 directive and clause parser.
+//!
+//! Parses directive strings like
+//! `"parallel for reduction(+:pi_value) schedule(dynamic, 300) nowait"`
+//! into a validated [`Directive`]. This is the directive language both the
+//! `@omp`-style frontend and the compiled-mode API accept.
+//!
+//! Besides OpenMP 3.0 syntax, the OpenMP 6.0 *syntax* extensions the paper
+//! calls out are supported: underscores in combined directive names
+//! (`parallel_for`), semicolons separating clauses, and an optional argument
+//! to `nowait`.
+
+use std::fmt;
+
+/// A parse or validation error for a directive string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the directive string, when known.
+    pub offset: Option<usize>,
+}
+
+impl DirectiveError {
+    fn new(msg: impl Into<String>) -> DirectiveError {
+        DirectiveError { msg: msg.into(), offset: None }
+    }
+
+    fn at(msg: impl Into<String>, offset: usize) -> DirectiveError {
+        DirectiveError { msg: msg.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "invalid OpenMP directive: {} (at offset {off})", self.msg),
+            None => write!(f, "invalid OpenMP directive: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for DirectiveError {}
+
+/// The directive name (possibly combined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `parallel`
+    Parallel,
+    /// `for`
+    For,
+    /// `parallel for` (combined)
+    ParallelFor,
+    /// `sections`
+    Sections,
+    /// `parallel sections` (combined)
+    ParallelSections,
+    /// `section` (inside `sections`)
+    Section,
+    /// `single`
+    Single,
+    /// `master`
+    Master,
+    /// `critical` with optional region name
+    Critical(Option<String>),
+    /// `barrier`
+    Barrier,
+    /// `atomic`
+    Atomic,
+    /// `ordered`
+    Ordered,
+    /// `task`
+    Task,
+    /// `taskloop` — OpenMP 4.5; §V of the paper calls it a straightforward
+    /// extension ("their semantics build on existing constructs"), so it is
+    /// implemented here.
+    Taskloop,
+    /// `taskwait`
+    Taskwait,
+    /// `taskyield`
+    Taskyield,
+    /// `flush` with optional variable list
+    Flush(Vec<String>),
+    /// `threadprivate(vars)`
+    Threadprivate(Vec<String>),
+    /// `declare reduction(name : combiner)` — OpenMP 4.0 feature the paper
+    /// explicitly includes.
+    DeclareReduction {
+        /// The reduction identifier usable in `reduction(name: …)` clauses.
+        name: String,
+        /// Combiner expression text (host-interpreted).
+        combiner: String,
+        /// Initializer expression text, if given.
+        initializer: Option<String>,
+    },
+}
+
+impl DirectiveKind {
+    /// Canonical (spec) spelling of the directive name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirectiveKind::Parallel => "parallel",
+            DirectiveKind::For => "for",
+            DirectiveKind::ParallelFor => "parallel for",
+            DirectiveKind::Sections => "sections",
+            DirectiveKind::ParallelSections => "parallel sections",
+            DirectiveKind::Section => "section",
+            DirectiveKind::Single => "single",
+            DirectiveKind::Master => "master",
+            DirectiveKind::Critical(_) => "critical",
+            DirectiveKind::Barrier => "barrier",
+            DirectiveKind::Atomic => "atomic",
+            DirectiveKind::Ordered => "ordered",
+            DirectiveKind::Task => "task",
+            DirectiveKind::Taskloop => "taskloop",
+            DirectiveKind::Taskwait => "taskwait",
+            DirectiveKind::Taskyield => "taskyield",
+            DirectiveKind::Flush(_) => "flush",
+            DirectiveKind::Threadprivate(_) => "threadprivate",
+            DirectiveKind::DeclareReduction { .. } => "declare reduction",
+        }
+    }
+
+    /// Whether this directive opens a structured block (used with `with`).
+    pub fn is_block(&self) -> bool {
+        matches!(
+            self,
+            DirectiveKind::Parallel
+                | DirectiveKind::For
+                | DirectiveKind::ParallelFor
+                | DirectiveKind::Sections
+                | DirectiveKind::ParallelSections
+                | DirectiveKind::Section
+                | DirectiveKind::Single
+                | DirectiveKind::Master
+                | DirectiveKind::Critical(_)
+                | DirectiveKind::Atomic
+                | DirectiveKind::Ordered
+                | DirectiveKind::Task
+                | DirectiveKind::Taskloop
+        )
+    }
+}
+
+/// `default(...)` clause argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultKind {
+    /// `default(shared)`
+    Shared,
+    /// `default(none)`
+    None,
+    /// `default(private)` — OpenMP ≥ 5.0, included per the paper.
+    Private,
+    /// `default(firstprivate)` — OpenMP ≥ 5.0, included per the paper.
+    Firstprivate,
+}
+
+/// `schedule(...)` kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScheduleKind {
+    /// Chunks assigned round-robin in advance.
+    #[default]
+    Static,
+    /// Threads claim chunks from a shared counter as they finish.
+    Dynamic,
+    /// Decreasing chunk sizes from a shared counter.
+    Guided,
+    /// Implementation chooses (here: static).
+    Auto,
+    /// Taken from the `run-sched-var` ICV (`OMP_SCHEDULE` /
+    /// `omp_set_schedule`).
+    Runtime,
+}
+
+impl ScheduleKind {
+    /// Parse a schedule kind name.
+    pub fn parse(s: &str) -> Option<ScheduleKind> {
+        Some(match s {
+            "static" => ScheduleKind::Static,
+            "dynamic" => ScheduleKind::Dynamic,
+            "guided" => ScheduleKind::Guided,
+            "auto" => ScheduleKind::Auto,
+            "runtime" => ScheduleKind::Runtime,
+            _ => return None,
+        })
+    }
+
+    /// Spec spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Static => "static",
+            ScheduleKind::Dynamic => "dynamic",
+            ScheduleKind::Guided => "guided",
+            ScheduleKind::Auto => "auto",
+            ScheduleKind::Runtime => "runtime",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Built-in reduction operators (OpenMP 3.0) plus user-declared identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReductionOp {
+    /// `+`
+    Add,
+    /// `-` (same combination as `+` per the spec)
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// A `declare reduction` identifier.
+    Custom(String),
+}
+
+impl ReductionOp {
+    /// Parse a reduction operator token.
+    pub fn parse(s: &str) -> ReductionOp {
+        match s {
+            "+" => ReductionOp::Add,
+            "-" => ReductionOp::Sub,
+            "*" => ReductionOp::Mul,
+            "&" => ReductionOp::BitAnd,
+            "|" => ReductionOp::BitOr,
+            "^" => ReductionOp::BitXor,
+            "&&" => ReductionOp::LogicalAnd,
+            "||" => ReductionOp::LogicalOr,
+            "min" => ReductionOp::Min,
+            "max" => ReductionOp::Max,
+            other => ReductionOp::Custom(other.to_owned()),
+        }
+    }
+
+    /// Spec spelling.
+    pub fn symbol(&self) -> &str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Sub => "-",
+            ReductionOp::Mul => "*",
+            ReductionOp::BitAnd => "&",
+            ReductionOp::BitOr => "|",
+            ReductionOp::BitXor => "^",
+            ReductionOp::LogicalAnd => "&&",
+            ReductionOp::LogicalOr => "||",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+            ReductionOp::Custom(name) => name,
+        }
+    }
+}
+
+/// A parsed clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `private(a, b)`
+    Private(Vec<String>),
+    /// `firstprivate(a, b)`
+    Firstprivate(Vec<String>),
+    /// `lastprivate(a, b)`
+    Lastprivate(Vec<String>),
+    /// `shared(a, b)`
+    Shared(Vec<String>),
+    /// `copyin(a, b)`
+    Copyin(Vec<String>),
+    /// `copyprivate(a, b)`
+    Copyprivate(Vec<String>),
+    /// `default(kind)`
+    Default(DefaultKind),
+    /// `reduction(op: a, b)`
+    Reduction {
+        /// The operator.
+        op: ReductionOp,
+        /// The reduced variables.
+        vars: Vec<String>,
+    },
+    /// `num_threads(expr)` — expression text evaluated by the host.
+    NumThreads(String),
+    /// `schedule(kind[, chunk-expr])`
+    Schedule {
+        /// The schedule kind.
+        kind: ScheduleKind,
+        /// Chunk-size expression text, if given.
+        chunk: Option<String>,
+    },
+    /// `collapse(n)`
+    Collapse(u32),
+    /// `ordered`
+    Ordered,
+    /// `nowait` with the optional OpenMP 6.0 argument.
+    Nowait(Option<String>),
+    /// `if([modifier:] expr)`
+    If {
+        /// Optional directive-name modifier (e.g. `task`).
+        modifier: Option<String>,
+        /// Condition expression text.
+        expr: String,
+    },
+    /// `final(expr)` (task)
+    Final(String),
+    /// `grainsize(expr)` (taskloop): target iterations per task.
+    Grainsize(String),
+    /// `num_tasks(expr)` (taskloop): target number of tasks.
+    NumTasks(String),
+    /// `nogroup` (taskloop): skip the implicit taskwait.
+    Nogroup,
+    /// `untied` (task)
+    Untied,
+    /// `mergeable` (task)
+    Mergeable,
+}
+
+impl Clause {
+    /// Clause keyword, for error messages and duplicate checks.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Clause::Private(_) => "private",
+            Clause::Firstprivate(_) => "firstprivate",
+            Clause::Lastprivate(_) => "lastprivate",
+            Clause::Shared(_) => "shared",
+            Clause::Copyin(_) => "copyin",
+            Clause::Copyprivate(_) => "copyprivate",
+            Clause::Default(_) => "default",
+            Clause::Reduction { .. } => "reduction",
+            Clause::NumThreads(_) => "num_threads",
+            Clause::Schedule { .. } => "schedule",
+            Clause::Collapse(_) => "collapse",
+            Clause::Ordered => "ordered",
+            Clause::Nowait(_) => "nowait",
+            Clause::If { .. } => "if",
+            Clause::Final(_) => "final",
+            Clause::Grainsize(_) => "grainsize",
+            Clause::NumTasks(_) => "num_tasks",
+            Clause::Nogroup => "nogroup",
+            Clause::Untied => "untied",
+            Clause::Mergeable => "mergeable",
+        }
+    }
+}
+
+/// A fully parsed and validated directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// The directive name.
+    pub kind: DirectiveKind,
+    /// Its clauses, in source order.
+    pub clauses: Vec<Clause>,
+}
+
+impl Directive {
+    /// Parse and validate a directive string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DirectiveError`] for unknown directives/clauses, clauses
+    /// not permitted on the directive, malformed arguments, or duplicated
+    /// unique clauses.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omp4rs::directive::{Directive, DirectiveKind};
+    ///
+    /// # fn main() -> Result<(), omp4rs::directive::DirectiveError> {
+    /// let d = Directive::parse("parallel for reduction(+: pi) num_threads(4)")?;
+    /// assert_eq!(d.kind, DirectiveKind::ParallelFor);
+    /// assert_eq!(d.clauses.len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(text: &str) -> Result<Directive, DirectiveError> {
+        let mut p = DirParser::new(text);
+        let directive = p.parse_directive()?;
+        validate(&directive)?;
+        Ok(directive)
+    }
+
+    /// Find the first clause matching a predicate.
+    pub fn find_clause<'a, T>(&'a self, f: impl Fn(&'a Clause) -> Option<T>) -> Option<T> {
+        self.clauses.iter().find_map(f)
+    }
+
+    /// All variables named in `private` clauses.
+    pub fn private_vars(&self) -> Vec<&str> {
+        self.collect_vars(|c| match c {
+            Clause::Private(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All variables named in `firstprivate` clauses.
+    pub fn firstprivate_vars(&self) -> Vec<&str> {
+        self.collect_vars(|c| match c {
+            Clause::Firstprivate(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All variables named in `lastprivate` clauses.
+    pub fn lastprivate_vars(&self) -> Vec<&str> {
+        self.collect_vars(|c| match c {
+            Clause::Lastprivate(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All variables named in `shared` clauses.
+    pub fn shared_vars(&self) -> Vec<&str> {
+        self.collect_vars(|c| match c {
+            Clause::Shared(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All `(op, var)` reduction pairs.
+    pub fn reductions(&self) -> Vec<(&ReductionOp, &str)> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            if let Clause::Reduction { op, vars } = c {
+                for v in vars {
+                    out.push((op, v.as_str()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `nowait` flag.
+    pub fn has_nowait(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, Clause::Nowait(_)))
+    }
+
+    /// The `ordered` flag.
+    pub fn has_ordered(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, Clause::Ordered))
+    }
+
+    /// The `collapse(n)` value (defaults to 1).
+    pub fn collapse(&self) -> u32 {
+        self.find_clause(|c| match c {
+            Clause::Collapse(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(1)
+    }
+
+    /// The `schedule` clause, if present.
+    pub fn schedule(&self) -> Option<(ScheduleKind, Option<&str>)> {
+        self.find_clause(|c| match c {
+            Clause::Schedule { kind, chunk } => Some((*kind, chunk.as_deref())),
+            _ => None,
+        })
+    }
+
+    /// The `if` clause expression applying to this directive, if present.
+    pub fn if_expr(&self) -> Option<&str> {
+        self.find_clause(|c| match c {
+            Clause::If { expr, .. } => Some(expr.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The `num_threads` clause expression, if present.
+    pub fn num_threads_expr(&self) -> Option<&str> {
+        self.find_clause(|c| match c {
+            Clause::NumThreads(e) => Some(e.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The `default(...)` kind, if present.
+    pub fn default_kind(&self) -> Option<DefaultKind> {
+        self.find_clause(|c| match c {
+            Clause::Default(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    fn collect_vars<'a>(&'a self, f: impl Fn(&'a Clause) -> Option<&'a Vec<String>>) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            if let Some(vars) = f(c) {
+                out.extend(vars.iter().map(String::as_str));
+            }
+        }
+        out
+    }
+}
+
+// ---- parser -------------------------------------------------------------
+
+struct DirParser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DirParser<'a> {
+    fn new(text: &'a str) -> DirParser<'a> {
+        DirParser { text, bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_whitespace() || self.bytes[self.pos] == b';')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.bytes.len()
+    }
+
+    fn word(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(&self.text[start..self.pos])
+        }
+    }
+
+    fn peek_word(&mut self) -> Option<&'a str> {
+        let save = self.pos;
+        let w = self.word();
+        self.pos = save;
+        w
+    }
+
+    /// Balanced-paren argument: consumes `( ... )`, returns the inside.
+    fn paren_arg(&mut self) -> Result<Option<&'a str>, DirectiveError> {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'(' {
+            return Ok(None);
+        }
+        let open = self.pos;
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = &self.text[start..self.pos];
+                        self.pos += 1;
+                        return Ok(Some(inner));
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(DirectiveError::at("unbalanced parenthesis", open))
+    }
+
+    fn parse_directive(&mut self) -> Result<Directive, DirectiveError> {
+        let first = self
+            .word()
+            .ok_or_else(|| DirectiveError::new("empty directive"))?;
+
+        // Combined names may use underscores (OpenMP 6.0 syntax): split them.
+        let mut parts: Vec<&str> = first.split('_').filter(|s| !s.is_empty()).collect();
+        if parts.is_empty() {
+            return Err(DirectiveError::new("empty directive"));
+        }
+        // `num_threads` etc. must not be split — only split when the first
+        // fragment is a directive name.
+        if !is_directive_word(parts[0]) {
+            parts = vec![first];
+        }
+
+        let head = parts[0];
+        let kind = match head {
+            "parallel" => {
+                let second = if parts.len() > 1 {
+                    Some(parts[1].to_owned())
+                } else if matches!(self.peek_word(), Some("for") | Some("sections")) {
+                    self.word().map(str::to_owned)
+                } else {
+                    None
+                };
+                match second.as_deref() {
+                    Some("for") => DirectiveKind::ParallelFor,
+                    Some("sections") => DirectiveKind::ParallelSections,
+                    Some(other) => {
+                        return Err(DirectiveError::new(format!(
+                            "unknown combined directive 'parallel {other}'"
+                        )))
+                    }
+                    None => DirectiveKind::Parallel,
+                }
+            }
+            "for" => DirectiveKind::For,
+            "sections" => DirectiveKind::Sections,
+            "section" => DirectiveKind::Section,
+            "single" => DirectiveKind::Single,
+            "master" => DirectiveKind::Master,
+            "critical" => {
+                let name = self.paren_arg()?.map(|s| s.trim().to_owned()).filter(|s| !s.is_empty());
+                DirectiveKind::Critical(name)
+            }
+            "barrier" => DirectiveKind::Barrier,
+            "atomic" => DirectiveKind::Atomic,
+            "ordered" => DirectiveKind::Ordered,
+            "task" => DirectiveKind::Task,
+            "taskloop" => DirectiveKind::Taskloop,
+            "taskwait" => DirectiveKind::Taskwait,
+            "taskyield" => DirectiveKind::Taskyield,
+            "flush" => {
+                let vars = match self.paren_arg()? {
+                    Some(arg) => split_names(arg)?,
+                    None => Vec::new(),
+                };
+                DirectiveKind::Flush(vars)
+            }
+            "threadprivate" => {
+                let arg = self.paren_arg()?.ok_or_else(|| {
+                    DirectiveError::new("threadprivate requires a variable list")
+                })?;
+                DirectiveKind::Threadprivate(split_names(arg)?)
+            }
+            "declare" => {
+                let second = self.word().or_else(|| parts.get(1).copied());
+                if second != Some("reduction") {
+                    return Err(DirectiveError::new("expected 'declare reduction'"));
+                }
+                let arg = self.paren_arg()?.ok_or_else(|| {
+                    DirectiveError::new("declare reduction requires '(name : combiner)'")
+                })?;
+                let mut pieces = arg.splitn(2, ':');
+                let name = pieces
+                    .next()
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| DirectiveError::new("declare reduction: missing name"))?;
+                let combiner = pieces
+                    .next()
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| DirectiveError::new("declare reduction: missing combiner"))?;
+                // Optional trailing `initializer(...)` clause.
+                let initializer = {
+                    let save = self.pos;
+                    match self.word() {
+                        Some("initializer") => self
+                            .paren_arg()?
+                            .map(|s| s.trim().to_owned()),
+                        _ => {
+                            self.pos = save;
+                            None
+                        }
+                    }
+                };
+                return Ok(Directive {
+                    kind: DirectiveKind::DeclareReduction {
+                        name: name.to_owned(),
+                        combiner: combiner.to_owned(),
+                        initializer,
+                    },
+                    clauses: Vec::new(),
+                });
+            }
+            other => return Err(DirectiveError::new(format!("unknown directive '{other}'"))),
+        };
+
+        let mut clauses = Vec::new();
+        while !self.at_end() {
+            let offset = self.pos;
+            let name = self
+                .word()
+                .ok_or_else(|| DirectiveError::at("expected clause name", offset))?;
+            clauses.push(self.parse_clause(name, offset)?);
+        }
+        Ok(Directive { kind, clauses })
+    }
+
+    fn parse_clause(&mut self, name: &str, offset: usize) -> Result<Clause, DirectiveError> {
+        let require_arg = |arg: Option<&'a str>| {
+            arg.ok_or_else(|| DirectiveError::at(format!("clause '{name}' requires an argument"), offset))
+        };
+        Ok(match name {
+            "private" => Clause::Private(split_names(require_arg(self.paren_arg()?)?)?),
+            "firstprivate" => Clause::Firstprivate(split_names(require_arg(self.paren_arg()?)?)?),
+            "lastprivate" => Clause::Lastprivate(split_names(require_arg(self.paren_arg()?)?)?),
+            "shared" => Clause::Shared(split_names(require_arg(self.paren_arg()?)?)?),
+            "copyin" => Clause::Copyin(split_names(require_arg(self.paren_arg()?)?)?),
+            "copyprivate" => Clause::Copyprivate(split_names(require_arg(self.paren_arg()?)?)?),
+            "default" => {
+                let arg = require_arg(self.paren_arg()?)?.trim();
+                let kind = match arg {
+                    "shared" => DefaultKind::Shared,
+                    "none" => DefaultKind::None,
+                    "private" => DefaultKind::Private,
+                    "firstprivate" => DefaultKind::Firstprivate,
+                    other => {
+                        return Err(DirectiveError::at(
+                            format!("invalid default kind '{other}'"),
+                            offset,
+                        ))
+                    }
+                };
+                Clause::Default(kind)
+            }
+            "reduction" => {
+                let arg = require_arg(self.paren_arg()?)?;
+                let (op_text, vars_text) = arg.split_once(':').ok_or_else(|| {
+                    DirectiveError::at("reduction clause requires 'op : vars'", offset)
+                })?;
+                let op_text = op_text.trim();
+                if op_text.is_empty() {
+                    return Err(DirectiveError::at("reduction: missing operator", offset));
+                }
+                Clause::Reduction {
+                    op: ReductionOp::parse(op_text),
+                    vars: split_names(vars_text)?,
+                }
+            }
+            "num_threads" => Clause::NumThreads(require_arg(self.paren_arg()?)?.trim().to_owned()),
+            "schedule" => {
+                let arg = require_arg(self.paren_arg()?)?;
+                let mut pieces = arg.splitn(2, ',');
+                let kind_text = pieces.next().unwrap_or("").trim();
+                let kind = ScheduleKind::parse(kind_text).ok_or_else(|| {
+                    DirectiveError::at(format!("invalid schedule kind '{kind_text}'"), offset)
+                })?;
+                let chunk = pieces.next().map(|s| s.trim().to_owned()).filter(|s| !s.is_empty());
+                if kind == ScheduleKind::Runtime && chunk.is_some() {
+                    return Err(DirectiveError::at(
+                        "schedule(runtime) must not specify a chunk size",
+                        offset,
+                    ));
+                }
+                Clause::Schedule { kind, chunk }
+            }
+            "collapse" => {
+                let arg = require_arg(self.paren_arg()?)?.trim().to_owned();
+                let n: u32 = arg.parse().map_err(|_| {
+                    DirectiveError::at("collapse requires a positive integer constant", offset)
+                })?;
+                if n == 0 {
+                    return Err(DirectiveError::at("collapse argument must be >= 1", offset));
+                }
+                Clause::Collapse(n)
+            }
+            "ordered" => Clause::Ordered,
+            "nowait" => Clause::Nowait(self.paren_arg()?.map(|s| s.trim().to_owned())),
+            "if" => {
+                let arg = require_arg(self.paren_arg()?)?;
+                match arg.split_once(':') {
+                    Some((modifier, expr))
+                        if is_directive_word(modifier.trim()) =>
+                    {
+                        Clause::If {
+                            modifier: Some(modifier.trim().to_owned()),
+                            expr: expr.trim().to_owned(),
+                        }
+                    }
+                    _ => Clause::If { modifier: None, expr: arg.trim().to_owned() },
+                }
+            }
+            "final" => Clause::Final(require_arg(self.paren_arg()?)?.trim().to_owned()),
+            "grainsize" => Clause::Grainsize(require_arg(self.paren_arg()?)?.trim().to_owned()),
+            "num_tasks" => Clause::NumTasks(require_arg(self.paren_arg()?)?.trim().to_owned()),
+            "nogroup" => Clause::Nogroup,
+            "untied" => Clause::Untied,
+            "mergeable" => Clause::Mergeable,
+            other => {
+                return Err(DirectiveError::at(format!("unknown clause '{other}'"), offset))
+            }
+        })
+    }
+}
+
+fn is_directive_word(s: &str) -> bool {
+    matches!(
+        s,
+        "parallel"
+            | "for"
+            | "sections"
+            | "section"
+            | "single"
+            | "master"
+            | "critical"
+            | "barrier"
+            | "atomic"
+            | "ordered"
+            | "task"
+            | "taskloop"
+            | "taskwait"
+            | "taskyield"
+            | "flush"
+            | "threadprivate"
+            | "declare"
+    )
+}
+
+fn split_names(arg: &str) -> Result<Vec<String>, DirectiveError> {
+    let mut out = Vec::new();
+    for part in arg.split(',') {
+        let name = part.trim();
+        if name.is_empty() {
+            return Err(DirectiveError::new("empty name in variable list"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err(DirectiveError::new(format!("invalid variable name '{name}'")));
+        }
+        out.push(name.to_owned());
+    }
+    Ok(out)
+}
+
+// ---- validation -----------------------------------------------------------
+
+/// Which clauses each directive admits (OpenMP 3.0 tables, plus the paper's
+/// extensions: `if` on `task`, `nowait` argument, `default` variants).
+fn allowed_clauses(kind: &DirectiveKind) -> &'static [&'static str] {
+    match kind {
+        DirectiveKind::Parallel => &[
+            "if",
+            "num_threads",
+            "default",
+            "private",
+            "firstprivate",
+            "shared",
+            "copyin",
+            "reduction",
+        ],
+        DirectiveKind::For => &[
+            "private",
+            "firstprivate",
+            "lastprivate",
+            "reduction",
+            "schedule",
+            "collapse",
+            "ordered",
+            "nowait",
+        ],
+        DirectiveKind::ParallelFor => &[
+            "if",
+            "num_threads",
+            "default",
+            "private",
+            "firstprivate",
+            "lastprivate",
+            "shared",
+            "copyin",
+            "reduction",
+            "schedule",
+            "collapse",
+            "ordered",
+        ],
+        DirectiveKind::Sections => &[
+            "private",
+            "firstprivate",
+            "lastprivate",
+            "reduction",
+            "nowait",
+        ],
+        DirectiveKind::ParallelSections => &[
+            "if",
+            "num_threads",
+            "default",
+            "private",
+            "firstprivate",
+            "lastprivate",
+            "shared",
+            "copyin",
+            "reduction",
+        ],
+        DirectiveKind::Section => &[],
+        DirectiveKind::Single => &["private", "firstprivate", "copyprivate", "nowait"],
+        DirectiveKind::Master => &[],
+        DirectiveKind::Critical(_) => &[],
+        DirectiveKind::Barrier => &[],
+        DirectiveKind::Atomic => &[],
+        DirectiveKind::Ordered => &[],
+        DirectiveKind::Task => &[
+            "if",
+            "final",
+            "untied",
+            "mergeable",
+            "default",
+            "private",
+            "firstprivate",
+            "shared",
+        ],
+        DirectiveKind::Taskloop => &[
+            "if",
+            "final",
+            "untied",
+            "mergeable",
+            "default",
+            "private",
+            "firstprivate",
+            "shared",
+            "grainsize",
+            "num_tasks",
+            "nogroup",
+        ],
+        DirectiveKind::Taskwait | DirectiveKind::Taskyield => &[],
+        DirectiveKind::Flush(_) | DirectiveKind::Threadprivate(_) => &[],
+        DirectiveKind::DeclareReduction { .. } => &[],
+    }
+}
+
+/// Clauses that may appear at most once on a directive.
+const UNIQUE_CLAUSES: &[&str] = &[
+    "default",
+    "num_threads",
+    "schedule",
+    "collapse",
+    "if",
+    "final",
+    "nowait",
+    "ordered",
+    "grainsize",
+    "num_tasks",
+    "nogroup",
+];
+
+fn validate(d: &Directive) -> Result<(), DirectiveError> {
+    let allowed = allowed_clauses(&d.kind);
+    let mut seen: Vec<&str> = Vec::new();
+    for clause in &d.clauses {
+        let kw = clause.keyword();
+        if !allowed.contains(&kw) {
+            return Err(DirectiveError::new(format!(
+                "clause '{kw}' is not valid on directive '{}'",
+                d.kind.name()
+            )));
+        }
+        if UNIQUE_CLAUSES.contains(&kw) && seen.contains(&kw) {
+            return Err(DirectiveError::new(format!(
+                "duplicate '{kw}' clause on directive '{}'",
+                d.kind.name()
+            )));
+        }
+        seen.push(kw);
+    }
+    // A variable may appear in at most one data-sharing clause.
+    let mut data_vars: Vec<&str> = Vec::new();
+    for clause in &d.clauses {
+        let vars: Option<&Vec<String>> = match clause {
+            Clause::Private(v)
+            | Clause::Firstprivate(v)
+            | Clause::Lastprivate(v)
+            | Clause::Shared(v) => Some(v),
+            Clause::Reduction { vars, .. } => Some(vars),
+            _ => None,
+        };
+        if let Some(vars) = vars {
+            for v in vars {
+                // firstprivate+lastprivate on the same var is legal in 3.0;
+                // treat that single combination as allowed.
+                let is_fl = matches!(clause, Clause::Firstprivate(_) | Clause::Lastprivate(_));
+                if data_vars.contains(&v.as_str()) && !is_fl {
+                    return Err(DirectiveError::new(format!(
+                        "variable '{v}' appears in multiple data-sharing clauses"
+                    )));
+                }
+                data_vars.push(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_parallel() {
+        let d = Directive::parse("parallel").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Parallel);
+        assert!(d.clauses.is_empty());
+    }
+
+    #[test]
+    fn parse_combined_parallel_for() {
+        let d = Directive::parse("parallel for reduction(+:pi_value)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::ParallelFor);
+        let reds = d.reductions();
+        assert_eq!(reds.len(), 1);
+        assert_eq!(*reds[0].0, ReductionOp::Add);
+        assert_eq!(reds[0].1, "pi_value");
+    }
+
+    #[test]
+    fn parse_underscore_combined_name() {
+        // OpenMP 6.0 syntax: underscores in combined directives.
+        let d = Directive::parse("parallel_for schedule(static)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::ParallelFor);
+        let d = Directive::parse("parallel_sections").unwrap();
+        assert_eq!(d.kind, DirectiveKind::ParallelSections);
+    }
+
+    #[test]
+    fn semicolon_clause_separators() {
+        // OpenMP 6.0 syntax: semicolons between clauses.
+        let d = Directive::parse("parallel num_threads(4); default(shared)").unwrap();
+        assert_eq!(d.clauses.len(), 2);
+    }
+
+    #[test]
+    fn schedule_clause_forms() {
+        let d = Directive::parse("for schedule(dynamic, 300)").unwrap();
+        assert_eq!(d.schedule(), Some((ScheduleKind::Dynamic, Some("300"))));
+        let d = Directive::parse("for schedule(guided)").unwrap();
+        assert_eq!(d.schedule(), Some((ScheduleKind::Guided, None)));
+        let d = Directive::parse("for schedule(runtime)").unwrap();
+        assert_eq!(d.schedule(), Some((ScheduleKind::Runtime, None)));
+        assert!(Directive::parse("for schedule(runtime, 4)").is_err());
+        assert!(Directive::parse("for schedule(bogus)").is_err());
+    }
+
+    #[test]
+    fn chunk_may_be_expression() {
+        let d = Directive::parse("for schedule(dynamic, n // 2)").unwrap();
+        assert_eq!(d.schedule(), Some((ScheduleKind::Dynamic, Some("n // 2"))));
+    }
+
+    #[test]
+    fn num_threads_expression() {
+        let d = Directive::parse("parallel num_threads(2 * n)").unwrap();
+        assert_eq!(d.num_threads_expr(), Some("2 * n"));
+    }
+
+    #[test]
+    fn data_sharing_clauses() {
+        let d = Directive::parse(
+            "parallel private(a, b) firstprivate(c) shared(d) default(none)",
+        )
+        .unwrap();
+        assert_eq!(d.private_vars(), vec!["a", "b"]);
+        assert_eq!(d.firstprivate_vars(), vec!["c"]);
+        assert_eq!(d.shared_vars(), vec!["d"]);
+        assert_eq!(d.default_kind(), Some(DefaultKind::None));
+    }
+
+    #[test]
+    fn default_50_variants_accepted() {
+        assert!(Directive::parse("parallel default(private)").is_ok());
+        assert!(Directive::parse("parallel default(firstprivate)").is_ok());
+        assert!(Directive::parse("parallel default(everything)").is_err());
+    }
+
+    #[test]
+    fn critical_with_name() {
+        let d = Directive::parse("critical(update)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Critical(Some("update".into())));
+        let d = Directive::parse("critical").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Critical(None));
+    }
+
+    #[test]
+    fn task_with_if_and_final() {
+        let d = Directive::parse("task if(n > 20) final(n < 5) untied").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Task);
+        assert_eq!(d.if_expr(), Some("n > 20"));
+    }
+
+    #[test]
+    fn if_with_directive_modifier() {
+        let d = Directive::parse("task if(task: depth < 4)").unwrap();
+        match &d.clauses[0] {
+            Clause::If { modifier, expr } => {
+                assert_eq!(modifier.as_deref(), Some("task"));
+                assert_eq!(expr, "depth < 4");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_with_colon_expression_no_modifier() {
+        // A colon inside a dict-ish expression must not be mistaken for a
+        // modifier.
+        let d = Directive::parse("task if(d[k: 2])").unwrap();
+        match &d.clauses[0] {
+            Clause::If { modifier, .. } => assert!(modifier.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nowait_with_optional_argument() {
+        let d = Directive::parse("for nowait").unwrap();
+        assert!(d.has_nowait());
+        let d = Directive::parse("for nowait(1)").unwrap();
+        assert!(d.has_nowait());
+    }
+
+    #[test]
+    fn collapse_validation() {
+        let d = Directive::parse("for collapse(2)").unwrap();
+        assert_eq!(d.collapse(), 2);
+        assert!(Directive::parse("for collapse(0)").is_err());
+        assert!(Directive::parse("for collapse(x)").is_err());
+    }
+
+    #[test]
+    fn clause_placement_validated() {
+        assert!(Directive::parse("parallel schedule(static)").is_err());
+        assert!(Directive::parse("barrier nowait").is_err());
+        assert!(Directive::parse("single reduction(+:x)").is_err());
+        assert!(Directive::parse("task schedule(dynamic)").is_err());
+        // parallel for takes schedule but not nowait.
+        assert!(Directive::parse("parallel for nowait").is_err());
+    }
+
+    #[test]
+    fn duplicate_unique_clause_rejected() {
+        assert!(Directive::parse("parallel num_threads(2) num_threads(4)").is_err());
+        assert!(Directive::parse("for schedule(static) schedule(dynamic)").is_err());
+        // Repeatable clauses are fine.
+        assert!(Directive::parse("parallel private(a) private(b)").is_ok());
+    }
+
+    #[test]
+    fn variable_in_two_data_clauses_rejected() {
+        assert!(Directive::parse("parallel private(x) shared(x)").is_err());
+        assert!(Directive::parse("parallel for reduction(+:x) private(x)").is_err());
+        // firstprivate+lastprivate together is allowed by 3.0.
+        assert!(Directive::parse("for firstprivate(x) lastprivate(x)").is_ok());
+    }
+
+    #[test]
+    fn reduction_operators() {
+        for (text, op) in [
+            ("+", ReductionOp::Add),
+            ("-", ReductionOp::Sub),
+            ("*", ReductionOp::Mul),
+            ("&", ReductionOp::BitAnd),
+            ("|", ReductionOp::BitOr),
+            ("^", ReductionOp::BitXor),
+            ("&&", ReductionOp::LogicalAnd),
+            ("||", ReductionOp::LogicalOr),
+            ("min", ReductionOp::Min),
+            ("max", ReductionOp::Max),
+        ] {
+            let d = Directive::parse(&format!("for reduction({text}: x)")).unwrap();
+            assert_eq!(*d.reductions()[0].0, op, "operator {text}");
+        }
+        let d = Directive::parse("for reduction(my_add: x)").unwrap();
+        assert_eq!(*d.reductions()[0].0, ReductionOp::Custom("my_add".into()));
+    }
+
+    #[test]
+    fn declare_reduction() {
+        let d = Directive::parse("declare reduction(sumsq : a + b * b)").unwrap();
+        match d.kind {
+            DirectiveKind::DeclareReduction { name, combiner, initializer } => {
+                assert_eq!(name, "sumsq");
+                assert_eq!(combiner, "a + b * b");
+                assert!(initializer.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let d = Directive::parse("declare reduction(m : merge(a, b)) initializer({})").unwrap();
+        match d.kind {
+            DirectiveKind::DeclareReduction { initializer, .. } => {
+                assert_eq!(initializer.as_deref(), Some("{}"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_and_threadprivate() {
+        let d = Directive::parse("flush(a, b)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Flush(vec!["a".into(), "b".into()]));
+        let d = Directive::parse("flush").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Flush(vec![]));
+        let d = Directive::parse("threadprivate(counter)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Threadprivate(vec!["counter".into()]));
+        assert!(Directive::parse("threadprivate").is_err());
+    }
+
+    #[test]
+    fn standalone_directives() {
+        for text in ["barrier", "taskwait", "taskyield", "master", "atomic", "ordered", "section", "single"] {
+            Directive::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = Directive::parse("paralel").unwrap_err();
+        assert!(err.msg.contains("paralel"));
+        let err = Directive::parse("parallel bogus_clause").unwrap_err();
+        assert!(err.msg.contains("bogus_clause"));
+        let err = Directive::parse("for schedule(dynamic").unwrap_err();
+        assert!(err.msg.contains("unbalanced"));
+        let err = Directive::parse("for reduction(x)").unwrap_err();
+        assert!(err.msg.contains("op : vars"));
+    }
+
+    #[test]
+    fn invalid_variable_names_rejected() {
+        assert!(Directive::parse("parallel private(2bad)").is_err());
+        assert!(Directive::parse("parallel private(a, )").is_err());
+        assert!(Directive::parse("parallel private(a b)").is_err());
+    }
+
+    #[test]
+    fn paper_figure1_directive() {
+        // The exact directive from Fig. 1 of the paper.
+        let d = Directive::parse("parallel for reduction(+:pi_value)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::ParallelFor);
+        assert_eq!(d.reductions(), vec![(&ReductionOp::Add, "pi_value")]);
+    }
+}

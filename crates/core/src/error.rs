@@ -1,0 +1,80 @@
+//! Error type for the omp4rs runtime API.
+
+use std::fmt;
+
+use crate::directive::DirectiveError;
+
+/// Errors reported by the omp4rs runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmpError {
+    /// A directive string failed to parse or validate.
+    Directive(DirectiveError),
+    /// A clause argument that must be a compile-time constant in this mode
+    /// (e.g. a chunk size in compiled mode) was not.
+    NonConstantClause {
+        /// The clause keyword.
+        clause: &'static str,
+        /// The offending expression text.
+        expr: String,
+    },
+    /// A malformed loop description (zero step, no dimensions).
+    InvalidLoop(String),
+    /// A directive was used outside its required context (e.g. `section`
+    /// outside `sections`, `ordered` in a loop without the `ordered` clause).
+    InvalidContext(String),
+    /// A `reduction(op: …)` named an undeclared custom reduction.
+    UnknownReduction(String),
+}
+
+impl fmt::Display for OmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpError::Directive(e) => write!(f, "{e}"),
+            OmpError::NonConstantClause { clause, expr } => {
+                write!(f, "clause '{clause}' requires a constant here, got '{expr}'")
+            }
+            OmpError::InvalidLoop(msg) => write!(f, "invalid parallel loop: {msg}"),
+            OmpError::InvalidContext(msg) => write!(f, "invalid directive nesting: {msg}"),
+            OmpError::UnknownReduction(name) => {
+                write!(f, "unknown reduction identifier '{name}' (missing declare reduction?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OmpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OmpError::Directive(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DirectiveError> for OmpError {
+    fn from(e: DirectiveError) -> OmpError {
+        OmpError::Directive(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OmpError::from(crate::directive::Directive::parse("bogus").unwrap_err());
+        assert!(e.to_string().contains("bogus"));
+        let e = OmpError::NonConstantClause { clause: "schedule", expr: "n + 1".into() };
+        assert!(e.to_string().contains("schedule"));
+        assert!(e.to_string().contains("n + 1"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = OmpError::from(crate::directive::Directive::parse("bogus").unwrap_err());
+        assert!(e.source().is_some());
+        assert!(OmpError::InvalidLoop("x".into()).source().is_none());
+    }
+}

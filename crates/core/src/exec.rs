@@ -1,0 +1,780 @@
+//! Compiled-mode execution API.
+//!
+//! This is the Rust analogue of the paper's **Compiled**/**CompiledDT**
+//! modes: user code is native (Rust closures) and links directly against the
+//! runtime, with directives expressed as clause strings or builders.
+//!
+//! ```
+//! use omp4rs::exec::{parallel, ForSpec};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let total = AtomicU64::new(0);
+//! parallel("num_threads(4)", |ctx| {
+//!     let mut local = 0u64;
+//!     ctx.for_each(ForSpec::parse("schedule(dynamic, 8)").unwrap(), 0..100, |i| {
+//!         local += i as u64;
+//!     });
+//!     total.fetch_add(local, Ordering::Relaxed);
+//! });
+//! assert_eq!(total.load(Ordering::Relaxed), 4950);
+//! ```
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::context;
+use crate::directive::{Clause, Directive, ScheduleKind};
+use crate::error::OmpError;
+use crate::icv::Icvs;
+use crate::locks;
+use crate::schedule::{ForBounds, LoopDims, ResolvedSchedule};
+use crate::sync::Backend;
+use crate::team::Team;
+
+/// Invariant lifetime marker (prevents scope-shortening coercions that would
+/// let tasks capture data shorter-lived than the parallel region).
+type ScopeMarker<'scope> = PhantomData<std::cell::Cell<&'scope ()>>;
+
+/// Configuration for a `parallel` directive.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// `num_threads(n)` clause; `None` uses the `nthreads-var` ICV.
+    pub num_threads: Option<usize>,
+    /// `if(expr)` clause result; `false` serializes the region.
+    pub if_parallel: bool,
+    /// Synchronization backend for the team's runtime internals.
+    pub backend: Backend,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig { num_threads: None, if_parallel: true, backend: Backend::Atomic }
+    }
+}
+
+impl ParallelConfig {
+    /// Default configuration (atomic backend, ICV thread count).
+    pub fn new() -> ParallelConfig {
+        ParallelConfig::default()
+    }
+
+    /// Set an explicit team size.
+    pub fn num_threads(mut self, n: usize) -> ParallelConfig {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
+    /// Set the `if` clause value.
+    pub fn if_parallel(mut self, cond: bool) -> ParallelConfig {
+        self.if_parallel = cond;
+        self
+    }
+
+    /// Select the synchronization backend.
+    pub fn backend(mut self, backend: Backend) -> ParallelConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Parse `parallel` clause text (e.g. `"num_threads(4) if(1)"`).
+    ///
+    /// In compiled mode `num_threads`/`if` arguments must be integer
+    /// constants; host-evaluated expressions use the builder methods instead.
+    ///
+    /// # Errors
+    ///
+    /// [`OmpError`] for invalid clause text or non-constant arguments.
+    pub fn parse(clauses: &str) -> Result<ParallelConfig, OmpError> {
+        let mut cfg = ParallelConfig::default();
+        if clauses.trim().is_empty() {
+            return Ok(cfg);
+        }
+        let d = Directive::parse(&format!("parallel {clauses}"))?;
+        for clause in &d.clauses {
+            match clause {
+                Clause::NumThreads(expr) => {
+                    let n: usize = expr.trim().parse().map_err(|_| {
+                        OmpError::NonConstantClause { clause: "num_threads", expr: expr.clone() }
+                    })?;
+                    cfg.num_threads = Some(n.max(1));
+                }
+                Clause::If { expr, .. } => {
+                    let v: i64 = expr.trim().parse().map_err(|_| {
+                        OmpError::NonConstantClause { clause: "if", expr: expr.clone() }
+                    })?;
+                    cfg.if_parallel = v != 0;
+                }
+                // Data-sharing clauses are a no-op in compiled mode: Rust's
+                // ownership rules make privatization explicit in user code.
+                Clause::Private(_)
+                | Clause::Firstprivate(_)
+                | Clause::Shared(_)
+                | Clause::Default(_)
+                | Clause::Copyin(_)
+                | Clause::Reduction { .. } => {}
+                other => {
+                    return Err(OmpError::InvalidContext(format!(
+                        "clause '{}' is not supported by ParallelConfig::parse",
+                        other.keyword()
+                    )))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Loop specification for [`WorkerCtx::for_each`] / [`WorkerCtx::for_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ForSpec {
+    /// `schedule(kind[, chunk])`; `None` uses `def-sched-var`.
+    pub schedule: Option<(ScheduleKind, Option<u64>)>,
+    /// `nowait`: skip the implicit end-of-loop barrier.
+    pub nowait: bool,
+    /// `ordered`: the loop body may call [`WorkerCtx::ordered`].
+    pub ordered: bool,
+}
+
+impl ForSpec {
+    /// The default specification (static schedule, barrier at end).
+    pub fn new() -> ForSpec {
+        ForSpec::default()
+    }
+
+    /// Set the schedule.
+    pub fn schedule(mut self, kind: ScheduleKind, chunk: Option<u64>) -> ForSpec {
+        self.schedule = Some((kind, chunk));
+        self
+    }
+
+    /// Skip the implicit barrier.
+    pub fn nowait(mut self) -> ForSpec {
+        self.nowait = true;
+        self
+    }
+
+    /// Enable `ordered` regions in the loop body.
+    pub fn ordered(mut self) -> ForSpec {
+        self.ordered = true;
+        self
+    }
+
+    /// Parse `for` clause text (e.g. `"schedule(guided, 4) nowait"`).
+    ///
+    /// # Errors
+    ///
+    /// [`OmpError`] for invalid clause text, non-constant chunk sizes, or
+    /// clauses without a compiled-mode meaning (`collapse` is implied by
+    /// [`WorkerCtx::for_each2`]).
+    pub fn parse(text: &str) -> Result<ForSpec, OmpError> {
+        let mut spec = ForSpec::default();
+        if text.trim().is_empty() {
+            return Ok(spec);
+        }
+        let d = Directive::parse(&format!("for {text}"))?;
+        for clause in &d.clauses {
+            match clause {
+                Clause::Schedule { kind, chunk } => {
+                    let chunk = match chunk {
+                        Some(expr) => Some(expr.trim().parse::<u64>().map_err(|_| {
+                            OmpError::NonConstantClause { clause: "schedule", expr: expr.clone() }
+                        })?),
+                        None => None,
+                    };
+                    spec.schedule = Some((*kind, chunk));
+                }
+                Clause::Nowait(_) => spec.nowait = true,
+                Clause::Ordered => spec.ordered = true,
+                Clause::Collapse(_) => {
+                    // Collapse is expressed structurally (for_each2) in
+                    // compiled mode; accept and ignore the clause.
+                }
+                Clause::Private(_)
+                | Clause::Firstprivate(_)
+                | Clause::Lastprivate(_)
+                | Clause::Reduction { .. } => {}
+                other => {
+                    return Err(OmpError::InvalidContext(format!(
+                        "clause '{}' is not supported by ForSpec::parse",
+                        other.keyword()
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl std::str::FromStr for ForSpec {
+    type Err = OmpError;
+    fn from_str(s: &str) -> Result<ForSpec, OmpError> {
+        ForSpec::parse(s)
+    }
+}
+
+/// Open a parallel region with clause text (panics on malformed clauses —
+/// they are programmer errors, like a malformed `format!` string).
+///
+/// See [`parallel_region`] for the builder-based, non-panicking variant.
+///
+/// # Panics
+///
+/// Panics if `clauses` fails to parse, or propagates the first panic raised
+/// by any team thread or task after the region completes.
+pub fn parallel<'env, F>(clauses: &str, body: F)
+where
+    F: Fn(&WorkerCtx<'env>) + Sync,
+{
+    let cfg = match ParallelConfig::parse(clauses) {
+        Ok(cfg) => cfg,
+        Err(e) => panic!("{e}"),
+    };
+    parallel_region(&cfg, body);
+}
+
+/// Open a parallel region: fork a team, run `body` on every thread, join at
+/// the implicit end barrier (which also drains the task queue).
+///
+/// Nested calls create teams of one thread unless `omp_set_nested(true)`.
+///
+/// # Panics
+///
+/// Re-raises the first panic captured from a team thread or task after all
+/// threads have joined (the paper's rule: exceptions never propagate *out of*
+/// a running region; here they are re-thrown once the region is complete).
+pub fn parallel_region<'env, F>(cfg: &ParallelConfig, body: F)
+where
+    F: Fn(&WorkerCtx<'env>) + Sync,
+{
+    let icvs = Icvs::current();
+    let level = context::level();
+    let active = context::active_level();
+    let size = if !cfg.if_parallel {
+        1
+    } else if level >= 1 && !icvs.nested {
+        1
+    } else if active >= icvs.max_active_levels {
+        1
+    } else {
+        cfg.num_threads.unwrap_or(icvs.num_threads).min(icvs.thread_limit).max(1)
+    };
+
+    let team = Team::new(size, cfg.backend);
+    let parent_positions = context::current_positions();
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for t in 1..size {
+            let team = Arc::clone(&team);
+            let positions = parent_positions.clone();
+            let body = &body;
+            let panic_slot = &panic_slot;
+            std::thread::Builder::new()
+                .name(format!("omp4rs-worker-{t}"))
+                // Generous stacks: Pure/Hybrid-mode workers run a tree-walking
+                // interpreter with deep recursion.
+                .stack_size(16 * 1024 * 1024)
+                .spawn_scoped(scope, move || {
+                    run_worker(team, t, positions, body, panic_slot);
+                })
+                .expect("failed to spawn team thread");
+        }
+        run_worker(Arc::clone(&team), 0, parent_positions.clone(), &body, &panic_slot);
+    });
+
+    let task_panic = team.tasks().take_panic();
+    let thread_panic = panic_slot.into_inner();
+    if let Some(p) = thread_panic.or(task_panic) {
+        std::panic::resume_unwind(p);
+    }
+}
+
+fn run_worker<'env, F>(
+    team: Arc<Team>,
+    thread_num: usize,
+    positions: Vec<(usize, usize)>,
+    body: &F,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+) where
+    F: Fn(&WorkerCtx<'env>) + Sync,
+{
+    let _guard = context::enter_team(Arc::clone(&team), thread_num, positions);
+    let ctx = WorkerCtx { team: Arc::clone(&team), _scope: PhantomData };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+    if let Err(p) = result {
+        let mut slot = panic_slot.lock();
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+    // Implicit barrier at region end; also drains the task queue. Runs even
+    // after a panic so the rest of the team is not deadlocked.
+    team.barrier();
+}
+
+/// Handle to the enclosing parallel region, passed to the region body.
+///
+/// `'scope` is the lifetime of data the region (and its tasks) may borrow.
+pub struct WorkerCtx<'scope> {
+    team: Arc<Team>,
+    _scope: ScopeMarker<'scope>,
+}
+
+impl std::fmt::Debug for WorkerCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx")
+            .field("thread_num", &self.thread_num())
+            .field("num_threads", &self.num_threads())
+            .finish()
+    }
+}
+
+impl<'scope> WorkerCtx<'scope> {
+    /// This thread's number within the team.
+    pub fn thread_num(&self) -> usize {
+        context::thread_num()
+    }
+
+    /// The team size.
+    pub fn num_threads(&self) -> usize {
+        self.team.size()
+    }
+
+    /// The team's synchronization backend.
+    pub fn backend(&self) -> Backend {
+        self.team.backend()
+    }
+
+    /// Explicit barrier (also a task scheduling point).
+    pub fn barrier(&self) {
+        self.team.barrier();
+    }
+
+    /// Work-share a 1-D loop across the team.
+    ///
+    /// Accepts a [`ForSpec`] or a clause string (via [`TryInto`]); strings
+    /// panic on malformed clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause-string spec fails to parse.
+    pub fn for_each<S>(&self, spec: S, range: Range<i64>, mut body: impl FnMut(i64))
+    where
+        S: IntoForSpec,
+    {
+        let spec = spec.into_for_spec();
+        let dims = LoopDims::new(&[(range.start, range.end, 1)]).expect("step 1 valid");
+        self.drive_loop(&spec, dims, &mut |vars, _flat| body(vars.0));
+    }
+
+    /// Work-share a loop over an explicit `(start, stop, step)` triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0` or a clause-string spec fails to parse.
+    pub fn for_range<S>(&self, spec: S, triplet: (i64, i64, i64), mut body: impl FnMut(i64))
+    where
+        S: IntoForSpec,
+    {
+        let spec = spec.into_for_spec();
+        let dims = LoopDims::new(&[triplet]).unwrap_or_else(|e| panic!("{e}"));
+        self.drive_loop(&spec, dims, &mut |vars, _flat| body(vars.0));
+    }
+
+    /// Work-share a collapsed 2-D loop nest (`collapse(2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause-string spec fails to parse.
+    pub fn for_each2<S>(
+        &self,
+        spec: S,
+        outer: Range<i64>,
+        inner: Range<i64>,
+        mut body: impl FnMut(i64, i64),
+    ) where
+        S: IntoForSpec,
+    {
+        let spec = spec.into_for_spec();
+        let dims = LoopDims::new(&[(outer.start, outer.end, 1), (inner.start, inner.end, 1)])
+            .expect("step 1 valid");
+        self.drive_collapsed(&spec, dims, &mut |vars| body(vars[0], vars[1]));
+    }
+
+    /// Work-share a 1-D loop with a reduction; every thread receives the
+    /// combined result (after the mandatory end-of-loop barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause-string spec fails to parse.
+    pub fn for_reduce<S, T>(
+        &self,
+        spec: S,
+        range: Range<i64>,
+        identity: T,
+        mut body: impl FnMut(i64, &mut T),
+        combine: impl Fn(T, T) -> T,
+    ) -> T
+    where
+        S: IntoForSpec,
+        T: Clone + Send + 'static,
+    {
+        let spec = spec.into_for_spec();
+        let dims = LoopDims::new(&[(range.start, range.end, 1)]).expect("step 1 valid");
+        let frame = context::current_frame().expect("for_reduce outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        let sched = ResolvedSchedule::resolve(spec.schedule);
+        let mut fb = ForBounds::init(
+            dims,
+            sched,
+            frame.thread_num,
+            self.team.size(),
+            Some(Arc::clone(&inst)),
+        );
+        let mut local = identity.clone();
+        if spec.ordered {
+            frame.set_current_instance(Some(Arc::clone(&inst)));
+        }
+        while fb.next() {
+            let (mut v, end, step) = fb.dims.var_chunk(fb.lo, fb.hi);
+            let mut flat = fb.lo;
+            while if step > 0 { v < end } else { v > end } {
+                if spec.ordered {
+                    frame.set_current_iter(Some(flat));
+                }
+                body(v, &mut local);
+                v += step;
+                flat += 1;
+            }
+        }
+        if spec.ordered {
+            frame.set_current_iter(None);
+            frame.set_current_instance(None);
+        }
+        inst.reduce_merge(local, &combine);
+        self.team.worksharing().leave(seq);
+        // Reduction results require the barrier (nowait is ignored here; the
+        // combined value could not be returned otherwise).
+        self.team.barrier();
+        inst.reduce_result::<T>().unwrap_or(identity)
+    }
+
+    fn drive_loop(&self, spec: &ForSpec, dims: LoopDims, body: &mut dyn FnMut((i64,), u64)) {
+        let frame = context::current_frame().expect("worksharing loop outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        let sched = ResolvedSchedule::resolve(spec.schedule);
+        let mut fb =
+            ForBounds::init(dims, sched, frame.thread_num, self.team.size(), Some(Arc::clone(&inst)));
+        if spec.ordered {
+            frame.set_current_instance(Some(Arc::clone(&inst)));
+        }
+        while fb.next() {
+            let (mut v, end, step) = fb.dims.var_chunk(fb.lo, fb.hi);
+            let mut flat = fb.lo;
+            while if step > 0 { v < end } else { v > end } {
+                if spec.ordered {
+                    frame.set_current_iter(Some(flat));
+                }
+                body((v,), flat);
+                v += step;
+                flat += 1;
+            }
+        }
+        if spec.ordered {
+            frame.set_current_iter(None);
+            frame.set_current_instance(None);
+        }
+        self.team.worksharing().leave(seq);
+        if !spec.nowait {
+            self.team.barrier();
+        }
+    }
+
+    fn drive_collapsed(&self, spec: &ForSpec, dims: LoopDims, body: &mut dyn FnMut(&[i64])) {
+        let frame = context::current_frame().expect("worksharing loop outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        let sched = ResolvedSchedule::resolve(spec.schedule);
+        let mut fb =
+            ForBounds::init(dims, sched, frame.thread_num, self.team.size(), Some(Arc::clone(&inst)));
+        if spec.ordered {
+            frame.set_current_instance(Some(Arc::clone(&inst)));
+        }
+        while fb.next() {
+            for flat in fb.lo..fb.hi {
+                if spec.ordered {
+                    frame.set_current_iter(Some(flat));
+                }
+                let vars = fb.dims.vars_of(flat);
+                body(&vars);
+            }
+        }
+        if spec.ordered {
+            frame.set_current_iter(None);
+            frame.set_current_instance(None);
+        }
+        self.team.worksharing().leave(seq);
+        if !spec.nowait {
+            self.team.barrier();
+        }
+    }
+
+    /// `ordered` region inside an `ordered` loop: executes `f` in iteration
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a loop declared with [`ForSpec::ordered`].
+    pub fn ordered<R>(&self, f: impl FnOnce() -> R) -> R {
+        let frame = context::current_frame().expect("ordered outside parallel region");
+        let inst = frame
+            .current_instance()
+            .expect("ordered requires a loop with the ordered clause");
+        let flat = frame.current_iter().expect("ordered requires an active loop iteration");
+        inst.ordered_enter(flat);
+        let result = f();
+        inst.ordered_exit(flat);
+        result
+    }
+
+    /// `single`: `f` runs on exactly one thread; returns `Some` on that
+    /// thread. Implicit barrier at the end unless `nowait`.
+    pub fn single<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        self.single_impl(false, f)
+    }
+
+    /// `single nowait`.
+    pub fn single_nowait<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        self.single_impl(true, f)
+    }
+
+    fn single_impl<R>(&self, nowait: bool, f: impl FnOnce() -> R) -> Option<R> {
+        let frame = context::current_frame().expect("single outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        let out = if inst.claim.try_claim() { Some(f()) } else { None };
+        self.team.worksharing().leave(seq);
+        if !nowait {
+            self.team.barrier();
+        }
+        out
+    }
+
+    /// `single copyprivate`: the winner's value is broadcast to every thread.
+    pub fn single_copyprivate<T: Clone + Send + 'static>(&self, f: impl FnOnce() -> T) -> T {
+        let frame = context::current_frame().expect("single outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        if inst.claim.try_claim() {
+            let value = f();
+            inst.copyprivate_publish(Box::new(value));
+        }
+        let value = inst.copyprivate_read::<T>();
+        self.team.worksharing().leave(seq);
+        self.team.barrier();
+        value
+    }
+
+    /// `master`: `f` runs only on thread 0 (no implied barrier).
+    pub fn master<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        if self.thread_num() == 0 {
+            Some(f())
+        } else {
+            None
+        }
+    }
+
+    /// `sections`: each closure runs exactly once, distributed over the team
+    /// via the shared counter (§III-D). Implicit barrier unless `nowait`.
+    pub fn sections(&self, nowait: bool, sections: &[&(dyn Fn() + Sync)]) {
+        let frame = context::current_frame().expect("sections outside parallel region");
+        let seq = frame.next_ws_seq();
+        let inst = self.team.worksharing().enter(seq);
+        let n = sections.len() as u64;
+        loop {
+            let i = inst.counter.fetch_add(1);
+            if i >= n {
+                break;
+            }
+            sections[i as usize]();
+        }
+        self.team.worksharing().leave(seq);
+        if !nowait {
+            self.team.barrier();
+        }
+    }
+
+    /// `critical[(name)]`: mutual exclusion across the whole program.
+    pub fn critical<R>(&self, name: Option<&str>, f: impl FnOnce() -> R) -> R {
+        locks::critical(name, f)
+    }
+
+    /// `task`: submit a deferred task; any team thread may execute it.
+    ///
+    /// The closure receives a [`TaskCtx`] for nested task operations
+    /// (recursive decomposition, `taskwait`).
+    pub fn task<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        self.task_if(true, f);
+    }
+
+    /// `task if(cond)`: `cond == false` makes the task *undeferred* (it runs
+    /// immediately on this thread), the cutoff idiom of the paper's `qsort`.
+    pub fn task_if<F>(&self, deferred: bool, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task(&self.team, deferred, f);
+    }
+
+    /// `taskloop` (OpenMP 4.5; a §V extension the paper defers): distribute
+    /// the iterations of a loop as tasks. `grainsize` fixes iterations per
+    /// task; otherwise `num_tasks` (default `2 × team size`) decides the
+    /// task count. Unless `nogroup`, waits for all generated tasks.
+    pub fn taskloop<F>(
+        &self,
+        grainsize: Option<u64>,
+        num_tasks: Option<u64>,
+        nogroup: bool,
+        range: Range<i64>,
+        body: F,
+    ) where
+        F: Fn(i64) + Send + Sync + 'scope,
+    {
+        let total = (range.end - range.start).max(0) as u64;
+        if total == 0 {
+            return;
+        }
+        let grain = grainsize
+            .unwrap_or_else(|| {
+                let nt = num_tasks.unwrap_or(2 * self.num_threads() as u64).max(1);
+                total.div_ceil(nt)
+            })
+            .max(1) as i64;
+        let body = Arc::new(body);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + grain).min(range.end);
+            let b = Arc::clone(&body);
+            self.task(move |_| {
+                for i in lo..hi {
+                    b(i);
+                }
+            });
+            lo = hi;
+        }
+        if !nogroup {
+            self.taskwait();
+        }
+    }
+
+    /// `taskwait`: wait for all direct child tasks of the current task.
+    pub fn taskwait(&self) {
+        self.team.taskwait();
+    }
+
+    /// `taskyield`: offer to execute one queued task.
+    pub fn taskyield(&self) {
+        self.team.taskyield();
+    }
+
+    /// `flush`: a full memory fence (the runtime's locks/atomics already
+    /// publish, so this is only needed for hand-rolled synchronization).
+    pub fn flush(&self) {
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Handle passed to task bodies, allowing nested `task`/`taskwait`.
+pub struct TaskCtx<'scope> {
+    team: Arc<Team>,
+    _scope: ScopeMarker<'scope>,
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx").finish()
+    }
+}
+
+impl<'scope> TaskCtx<'scope> {
+    /// Submit a nested deferred task.
+    pub fn task<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        self.task_if(true, f);
+    }
+
+    /// Submit a nested task with an `if` clause.
+    pub fn task_if<F>(&self, deferred: bool, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task(&self.team, deferred, f);
+    }
+
+    /// Wait for this task's direct children.
+    pub fn taskwait(&self) {
+        self.team.taskwait();
+    }
+
+    /// The executing thread's number within the team.
+    pub fn thread_num(&self) -> usize {
+        context::thread_num()
+    }
+}
+
+fn submit_scoped_task<'scope, F>(team: &Arc<Team>, deferred: bool, f: F)
+where
+    F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+{
+    let team_for_body = Arc::clone(team);
+    let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+        let tc = TaskCtx { team: team_for_body, _scope: PhantomData };
+        f(&tc);
+    });
+    // SAFETY: the task is guaranteed to complete (and its closure to be
+    // dropped) before `parallel_region` returns: every worker executes the
+    // team's final task-draining barrier, which releases only when the task
+    // queue is empty and no task is in progress. `'scope` outlives the
+    // `parallel_region` call (enforced by the invariant lifetime on
+    // `WorkerCtx`/`TaskCtx`), so the boxed closure never outlives the data
+    // it borrows. This is the same argument `std::thread::scope` makes.
+    let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+    team.submit_task(body, deferred);
+}
+
+/// Convert clause strings or [`ForSpec`] values into a [`ForSpec`].
+pub trait IntoForSpec {
+    /// Perform the conversion.
+    ///
+    /// Implementations for string types panic on malformed clause text.
+    fn into_for_spec(self) -> ForSpec;
+}
+
+impl IntoForSpec for ForSpec {
+    fn into_for_spec(self) -> ForSpec {
+        self
+    }
+}
+
+impl IntoForSpec for &str {
+    fn into_for_spec(self) -> ForSpec {
+        ForSpec::parse(self).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl IntoForSpec for &ForSpec {
+    fn into_for_spec(self) -> ForSpec {
+        *self
+    }
+}

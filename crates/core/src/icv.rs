@@ -1,0 +1,157 @@
+//! Internal control variables (ICVs) and `OMP_*` environment handling.
+//!
+//! OpenMP 3.0 defines a set of ICVs initialized from environment variables
+//! and mutable through the runtime API (`omp_set_num_threads`,
+//! `omp_set_schedule`, …). This implementation keeps one global ICV set
+//! (the spec's per-task ICV inheritance is simplified to global state, which
+//! matches how the benchmarks — and most programs — use them).
+
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+use crate::directive::ScheduleKind;
+
+/// The mutable ICV set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Icvs {
+    /// `nthreads-var`: default team size (`OMP_NUM_THREADS`).
+    pub num_threads: usize,
+    /// `dyn-var`: dynamic adjustment of team size (`OMP_DYNAMIC`).
+    pub dynamic: bool,
+    /// `nest-var`: nested parallelism enabled (`OMP_NESTED`).
+    pub nested: bool,
+    /// `max-active-levels-var` (`OMP_MAX_ACTIVE_LEVELS`).
+    pub max_active_levels: usize,
+    /// `thread-limit-var` (`OMP_THREAD_LIMIT`).
+    pub thread_limit: usize,
+    /// `run-sched-var`: the `schedule(runtime)` policy (`OMP_SCHEDULE`).
+    pub run_schedule: (ScheduleKind, Option<u64>),
+    /// `def-sched-var`: policy when no `schedule` clause is given.
+    pub def_schedule: (ScheduleKind, Option<u64>),
+}
+
+impl Default for Icvs {
+    fn default() -> Icvs {
+        Icvs {
+            num_threads: available_parallelism(),
+            dynamic: false,
+            nested: false,
+            max_active_levels: usize::MAX,
+            thread_limit: usize::MAX,
+            run_schedule: (ScheduleKind::Static, None),
+            def_schedule: (ScheduleKind::Static, None),
+        }
+    }
+}
+
+/// Host parallelism (used for `omp_get_num_procs` and the default team size).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn store() -> &'static RwLock<Icvs> {
+    static STORE: OnceLock<RwLock<Icvs>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(Icvs::from_env()))
+}
+
+impl Icvs {
+    /// Build an ICV set from `OMP_*` environment variables.
+    pub fn from_env() -> Icvs {
+        let mut icvs = Icvs::default();
+        if let Some(n) = env_usize("OMP_NUM_THREADS") {
+            if n > 0 {
+                icvs.num_threads = n;
+            }
+        }
+        if let Some(b) = env_bool("OMP_DYNAMIC") {
+            icvs.dynamic = b;
+        }
+        if let Some(b) = env_bool("OMP_NESTED") {
+            icvs.nested = b;
+        }
+        if let Some(n) = env_usize("OMP_MAX_ACTIVE_LEVELS") {
+            icvs.max_active_levels = n;
+        }
+        if let Some(n) = env_usize("OMP_THREAD_LIMIT") {
+            if n > 0 {
+                icvs.thread_limit = n;
+            }
+        }
+        if let Ok(text) = std::env::var("OMP_SCHEDULE") {
+            if let Some(sched) = parse_omp_schedule(&text) {
+                icvs.run_schedule = sched;
+            }
+        }
+        icvs
+    }
+
+    /// Read a snapshot of the current global ICVs.
+    pub fn current() -> Icvs {
+        store().read().clone()
+    }
+
+    /// Mutate the global ICVs.
+    pub fn update(f: impl FnOnce(&mut Icvs)) {
+        f(&mut store().write());
+    }
+
+    /// Reset the global ICVs (primarily for tests/benchmarks).
+    pub fn reset(icvs: Icvs) {
+        *store().write() = icvs;
+    }
+}
+
+/// Parse `OMP_SCHEDULE` syntax: `kind[,chunk]`.
+pub fn parse_omp_schedule(text: &str) -> Option<(ScheduleKind, Option<u64>)> {
+    let mut parts = text.splitn(2, ',');
+    let kind = ScheduleKind::parse(parts.next()?.trim())?;
+    let chunk = match parts.next() {
+        Some(c) => Some(c.trim().parse().ok()?),
+        None => None,
+    };
+    Some((kind, chunk))
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_bool(name: &str) -> Option<bool> {
+    match std::env::var(name).ok()?.trim().to_ascii_lowercase().as_str() {
+        "true" | "1" | "yes" | "on" => Some(true),
+        "false" | "0" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let icvs = Icvs::default();
+        assert!(icvs.num_threads >= 1);
+        assert!(!icvs.dynamic);
+        assert!(!icvs.nested);
+        assert_eq!(icvs.def_schedule, (ScheduleKind::Static, None));
+    }
+
+    #[test]
+    fn parse_schedule_env() {
+        assert_eq!(parse_omp_schedule("dynamic,4"), Some((ScheduleKind::Dynamic, Some(4))));
+        assert_eq!(parse_omp_schedule("guided"), Some((ScheduleKind::Guided, None)));
+        assert_eq!(parse_omp_schedule(" static , 16 "), Some((ScheduleKind::Static, Some(16))));
+        assert_eq!(parse_omp_schedule("bogus"), None);
+        assert_eq!(parse_omp_schedule("static,abc"), None);
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let before = Icvs::current();
+        Icvs::update(|icvs| icvs.num_threads = 7);
+        assert_eq!(Icvs::current().num_threads, 7);
+        Icvs::reset(before);
+    }
+}

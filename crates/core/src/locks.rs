@@ -1,0 +1,361 @@
+//! OpenMP lock API, named `critical` sections, and `atomic` helpers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::{Mutex, RawMutex};
+
+/// An OpenMP simple lock (`omp_init_lock` family).
+///
+/// Unlike a scoped Rust mutex guard, OpenMP locks are set and unset by
+/// explicit calls that may live in different functions; `OmpLock` therefore
+/// wraps a raw mutex with manual pairing.
+///
+/// # Examples
+///
+/// ```
+/// use omp4rs::locks::OmpLock;
+///
+/// let lock = OmpLock::new();
+/// lock.set();
+/// assert!(!lock.test());
+/// lock.unset();
+/// assert!(lock.test());
+/// lock.unset();
+/// ```
+pub struct OmpLock {
+    raw: RawMutex,
+}
+
+impl Default for OmpLock {
+    fn default() -> OmpLock {
+        OmpLock::new()
+    }
+}
+
+impl std::fmt::Debug for OmpLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmpLock").finish()
+    }
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    pub fn new() -> OmpLock {
+        OmpLock { raw: RawMutex::INIT }
+    }
+
+    /// `omp_set_lock`: blocks until the lock is acquired.
+    pub fn set(&self) {
+        self.raw.lock();
+    }
+
+    /// `omp_unset_lock`.
+    ///
+    /// # Panics
+    ///
+    /// The caller must hold the lock; releasing an unheld `parking_lot`
+    /// raw mutex is library UB, so we gate with `try_lock` state where
+    /// possible. As in C OpenMP, unsetting an unheld lock is a programming
+    /// error.
+    pub fn unset(&self) {
+        // SAFETY: per the OpenMP contract, the calling thread set the lock.
+        unsafe { self.raw.unlock() };
+    }
+
+    /// `omp_test_lock`: acquire without blocking; returns whether acquired.
+    pub fn test(&self) -> bool {
+        self.raw.try_lock()
+    }
+}
+
+/// An OpenMP nestable lock (`omp_init_nest_lock` family): the owning thread
+/// may re-acquire it, and must unset it a matching number of times.
+#[derive(Debug, Default)]
+pub struct OmpNestLock {
+    state: Mutex<NestState>,
+    wake: crate::sync::Notifier,
+}
+
+#[derive(Debug, Default)]
+struct NestState {
+    owner: Option<std::thread::ThreadId>,
+    count: u64,
+}
+
+impl OmpNestLock {
+    /// `omp_init_nest_lock`.
+    pub fn new() -> OmpNestLock {
+        OmpNestLock::default()
+    }
+
+    /// `omp_set_nest_lock`: blocks unless free or already owned by the
+    /// calling thread. Returns the new nesting count.
+    pub fn set(&self) -> u64 {
+        let me = std::thread::current().id();
+        loop {
+            {
+                let mut st = self.state.lock();
+                match st.owner {
+                    None => {
+                        st.owner = Some(me);
+                        st.count = 1;
+                        return 1;
+                    }
+                    Some(owner) if owner == me => {
+                        st.count += 1;
+                        return st.count;
+                    }
+                    Some(_) => {}
+                }
+            }
+            self.wake.wait_tick();
+        }
+    }
+
+    /// `omp_unset_nest_lock`: returns the remaining nesting count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the lock.
+    pub fn unset(&self) -> u64 {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        assert_eq!(st.owner, Some(me), "omp_unset_nest_lock: caller does not own the lock");
+        st.count -= 1;
+        if st.count == 0 {
+            st.owner = None;
+            drop(st);
+            self.wake.notify_all();
+            return 0;
+        }
+        st.count
+    }
+
+    /// `omp_test_nest_lock`: non-blocking set; returns the nesting count,
+    /// or 0 if the lock is held by another thread.
+    pub fn test(&self) -> u64 {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        match st.owner {
+            None => {
+                st.owner = Some(me);
+                st.count = 1;
+                1
+            }
+            Some(owner) if owner == me => {
+                st.count += 1;
+                st.count
+            }
+            Some(_) => 0,
+        }
+    }
+}
+
+/// Global registry of named `critical` section mutexes. Per the spec, all
+/// unnamed `critical` regions share one global lock, and all regions with
+/// the same name share one lock across the whole program.
+fn critical_registry() -> &'static Mutex<HashMap<String, Arc<Mutex<()>>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<Mutex<()>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The mutex backing `critical(name)` (`None` = the unnamed region).
+pub fn critical_mutex(name: Option<&str>) -> Arc<Mutex<()>> {
+    let key = name.unwrap_or("\0unnamed");
+    let mut registry = critical_registry().lock();
+    Arc::clone(registry.entry(key.to_owned()).or_default())
+}
+
+/// Run `f` inside the named critical section.
+///
+/// # Examples
+///
+/// ```
+/// let result = omp4rs::locks::critical(Some("update"), || 40 + 2);
+/// assert_eq!(result, 42);
+/// ```
+pub fn critical<R>(name: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let mutex = critical_mutex(name);
+    let _guard = mutex.lock();
+    f()
+}
+
+/// A lock-free `f64` cell (CAS on the bit pattern) for `atomic` updates in
+/// compiled mode — the cruntime's hardware-level synchronization.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Create with an initial value.
+    pub fn new(v: f64) -> AtomicF64 {
+        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+    }
+
+    /// Read the value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Write the value.
+    pub fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Release);
+    }
+
+    /// Atomic read-modify-write; returns the previous value.
+    pub fn fetch_update(&self, f: impl Fn(f64) -> f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let new = f(f64::from_bits(cur)).to_bits();
+            match self.bits.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// `atomic` add; returns the previous value.
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        self.fetch_update(|cur| cur + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_lock_mutual_exclusion() {
+        let lock = Arc::new(OmpLock::new());
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    lock.set();
+                    *counter.lock() += 1;
+                    lock.unset();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 2000);
+    }
+
+    #[test]
+    fn test_lock_nonblocking() {
+        let lock = OmpLock::new();
+        assert!(lock.test());
+        assert!(!lock.test());
+        lock.unset();
+        assert!(lock.test());
+        lock.unset();
+    }
+
+    #[test]
+    fn nest_lock_reentrant_same_thread() {
+        let lock = OmpNestLock::new();
+        assert_eq!(lock.set(), 1);
+        assert_eq!(lock.set(), 2);
+        assert_eq!(lock.test(), 3);
+        assert_eq!(lock.unset(), 2);
+        assert_eq!(lock.unset(), 1);
+        assert_eq!(lock.unset(), 0);
+        assert_eq!(lock.test(), 1);
+        lock.unset();
+    }
+
+    #[test]
+    fn nest_lock_blocks_other_threads() {
+        let lock = Arc::new(OmpNestLock::new());
+        lock.set();
+        let l2 = Arc::clone(&lock);
+        let handle = std::thread::spawn(move || l2.test());
+        assert_eq!(handle.join().unwrap(), 0);
+        lock.unset();
+        let l3 = Arc::clone(&lock);
+        let handle = std::thread::spawn(move || {
+            let n = l3.set();
+            l3.unset();
+            n
+        });
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn named_criticals_are_independent() {
+        let a = critical_mutex(Some("a"));
+        let b = critical_mutex(Some("b"));
+        let a2 = critical_mutex(Some("a"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        let unnamed = critical_mutex(None);
+        assert!(!Arc::ptr_eq(&unnamed, &a));
+    }
+
+    #[test]
+    fn critical_excludes_concurrent_updates() {
+        let value = Arc::new(std::cell::UnsafeCell::new(0u64));
+        struct Wrap(Arc<std::cell::UnsafeCell<u64>>);
+        // SAFETY: all accesses go through the critical section below.
+        unsafe impl Send for Wrap {}
+        unsafe impl Sync for Wrap {}
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let w = Wrap(Arc::clone(&value));
+            handles.push(std::thread::spawn(move || {
+                // Capture the whole wrapper (not the disjoint `w.0` path),
+                // so the `Send` impl on `Wrap` applies.
+                let w = w;
+                for _ in 0..1000 {
+                    critical(Some("ctest"), || {
+                        // SAFETY: serialized by the critical section.
+                        unsafe { *w.0.get() += 1 };
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { *value.get() }, 4000);
+    }
+
+    #[test]
+    fn atomic_f64_concurrent_adds_exact() {
+        let a = Arc::new(AtomicF64::new(0.0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    a.fetch_add(1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(), 4000.0);
+    }
+
+    #[test]
+    fn atomic_f64_basic() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+        assert_eq!(a.fetch_add(1.0), -2.25);
+        assert_eq!(a.load(), -1.25);
+        assert_eq!(a.fetch_update(|v| v * 2.0), -1.25);
+        assert_eq!(a.load(), -2.5);
+    }
+}

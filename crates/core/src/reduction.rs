@@ -1,0 +1,171 @@
+//! Reduction identities/combiners and the `declare reduction` registry.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+use crate::directive::ReductionOp;
+use crate::error::OmpError;
+
+/// Identity element for a built-in reduction over `f64`.
+///
+/// Returns `None` for [`ReductionOp::Custom`] (identities for declared
+/// reductions come from their `initializer`).
+pub fn identity_f64(op: &ReductionOp) -> Option<f64> {
+    Some(match op {
+        ReductionOp::Add | ReductionOp::Sub => 0.0,
+        ReductionOp::Mul => 1.0,
+        ReductionOp::Min => f64::INFINITY,
+        ReductionOp::Max => f64::NEG_INFINITY,
+        ReductionOp::LogicalAnd => 1.0,
+        ReductionOp::LogicalOr => 0.0,
+        ReductionOp::BitAnd | ReductionOp::BitOr | ReductionOp::BitXor => return None,
+        ReductionOp::Custom(_) => return None,
+    })
+}
+
+/// Combine two `f64` partial results.
+///
+/// # Errors
+///
+/// [`OmpError::UnknownReduction`] for custom ops and bitwise ops (which are
+/// integer-only).
+pub fn combine_f64(op: &ReductionOp, a: f64, b: f64) -> Result<f64, OmpError> {
+    Ok(match op {
+        ReductionOp::Add | ReductionOp::Sub => a + b,
+        ReductionOp::Mul => a * b,
+        ReductionOp::Min => a.min(b),
+        ReductionOp::Max => a.max(b),
+        ReductionOp::LogicalAnd => f64::from(a != 0.0 && b != 0.0),
+        ReductionOp::LogicalOr => f64::from(a != 0.0 || b != 0.0),
+        other => return Err(OmpError::UnknownReduction(other.symbol().to_owned())),
+    })
+}
+
+/// Identity element for a built-in reduction over `i64`.
+pub fn identity_i64(op: &ReductionOp) -> Option<i64> {
+    Some(match op {
+        ReductionOp::Add | ReductionOp::Sub => 0,
+        ReductionOp::Mul => 1,
+        ReductionOp::Min => i64::MAX,
+        ReductionOp::Max => i64::MIN,
+        ReductionOp::BitAnd => -1,
+        ReductionOp::BitOr | ReductionOp::BitXor => 0,
+        ReductionOp::LogicalAnd => 1,
+        ReductionOp::LogicalOr => 0,
+        ReductionOp::Custom(_) => return None,
+    })
+}
+
+/// Combine two `i64` partial results.
+///
+/// # Errors
+///
+/// [`OmpError::UnknownReduction`] for custom ops.
+pub fn combine_i64(op: &ReductionOp, a: i64, b: i64) -> Result<i64, OmpError> {
+    Ok(match op {
+        ReductionOp::Add | ReductionOp::Sub => a.wrapping_add(b),
+        ReductionOp::Mul => a.wrapping_mul(b),
+        ReductionOp::Min => a.min(b),
+        ReductionOp::Max => a.max(b),
+        ReductionOp::BitAnd => a & b,
+        ReductionOp::BitOr => a | b,
+        ReductionOp::BitXor => a ^ b,
+        ReductionOp::LogicalAnd => i64::from(a != 0 && b != 0),
+        ReductionOp::LogicalOr => i64::from(a != 0 || b != 0),
+        ReductionOp::Custom(name) => return Err(OmpError::UnknownReduction(name.clone())),
+    })
+}
+
+/// A reduction declared with `declare reduction(name : combiner)`.
+///
+/// The combiner is expression text over the conventional names `a`
+/// (accumulated) and `b` (incoming); the host front-end evaluates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclaredReduction {
+    /// Combiner expression text (over `a` and `b`).
+    pub combiner: String,
+    /// Initializer expression text, if declared.
+    pub initializer: Option<String>,
+}
+
+fn registry() -> &'static RwLock<HashMap<String, DeclaredReduction>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<String, DeclaredReduction>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register a `declare reduction` (idempotent per name: later wins).
+pub fn declare_reduction(name: &str, decl: DeclaredReduction) {
+    registry().write().insert(name.to_owned(), decl);
+}
+
+/// Look up a declared reduction by name.
+pub fn declared_reduction(name: &str) -> Option<DeclaredReduction> {
+    registry().read().get(name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral_f64() {
+        for op in [
+            ReductionOp::Add,
+            ReductionOp::Mul,
+            ReductionOp::Min,
+            ReductionOp::Max,
+        ] {
+            let id = identity_f64(&op).unwrap();
+            for v in [-3.5, 0.0, 7.25] {
+                assert_eq!(combine_f64(&op, id, v).unwrap(), v, "{op:?} identity");
+            }
+        }
+    }
+
+    #[test]
+    fn identities_are_neutral_i64() {
+        for op in [
+            ReductionOp::Add,
+            ReductionOp::Mul,
+            ReductionOp::Min,
+            ReductionOp::Max,
+            ReductionOp::BitAnd,
+            ReductionOp::BitOr,
+            ReductionOp::BitXor,
+        ] {
+            let id = identity_i64(&op).unwrap();
+            for v in [-3i64, 0, 7] {
+                assert_eq!(combine_i64(&op, id, v).unwrap(), v, "{op:?} identity");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_ops() {
+        assert_eq!(combine_i64(&ReductionOp::LogicalAnd, 1, 0).unwrap(), 0);
+        assert_eq!(combine_i64(&ReductionOp::LogicalAnd, 2, 3).unwrap(), 1);
+        assert_eq!(combine_i64(&ReductionOp::LogicalOr, 0, 0).unwrap(), 0);
+        assert_eq!(combine_i64(&ReductionOp::LogicalOr, 0, 5).unwrap(), 1);
+    }
+
+    #[test]
+    fn custom_op_is_error_for_builtin_combine() {
+        let op = ReductionOp::Custom("merge".into());
+        assert!(combine_f64(&op, 1.0, 2.0).is_err());
+        assert!(combine_i64(&op, 1, 2).is_err());
+        assert!(identity_f64(&op).is_none());
+    }
+
+    #[test]
+    fn declare_reduction_registry() {
+        declare_reduction(
+            "sumsq_test",
+            DeclaredReduction { combiner: "a + b * b".into(), initializer: Some("0".into()) },
+        );
+        let d = declared_reduction("sumsq_test").unwrap();
+        assert_eq!(d.combiner, "a + b * b");
+        assert!(declared_reduction("nope_test").is_none());
+    }
+}

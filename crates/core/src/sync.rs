@@ -1,0 +1,471 @@
+//! Dual-backend synchronization primitives.
+//!
+//! The OMP4Py paper's central design is a *dual runtime*: a pure-Python
+//! runtime whose shared state is coordinated with **mutexes**, and a
+//! Cython-generated native runtime (`cruntime`) that replaces those mutexes
+//! with **atomic operations** (`fetch_add` for loop-scheduling counters,
+//! `compare_exchange` for task enqueueing, direct `PyEvent` signaling).
+//!
+//! [`Backend`] selects between the two faithful analogues here:
+//!
+//! * [`Backend::Mutex`] — every shared counter/flag/event update takes a
+//!   `parking_lot::Mutex` (the paper's `runtime`, i.e. **Pure** mode).
+//! * [`Backend::Atomic`] — lock-free `fetch_add`/CAS paths (the paper's
+//!   `cruntime`, i.e. **Hybrid**/**Compiled** modes).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Which synchronization implementation a team uses.
+///
+/// Mirrors the paper's `runtime` (mutex-based, Pure mode) vs `cruntime`
+/// (atomics-based, Hybrid/Compiled modes) split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Mutex-coordinated shared state (the pure-Python runtime analogue).
+    Mutex,
+    /// Atomic `fetch_add`/CAS shared state (the Cython cruntime analogue).
+    #[default]
+    Atomic,
+}
+
+/// A shared monotone counter used by dynamic/guided scheduling, `sections`,
+/// and `single` claims.
+///
+/// The paper (§III-D): *"In the `runtime`, this coordination relies on a
+/// shared mutex … In contrast, cruntime uses atomic operations, where counter
+/// creation is done with an atomic swap, and updates are performed using a
+/// `fetch_add` operation."*
+#[derive(Debug)]
+pub struct SharedCounter {
+    backend: Backend,
+    atomic: AtomicU64,
+    mutex: Mutex<u64>,
+}
+
+impl SharedCounter {
+    /// Create a counter starting at `0`.
+    pub fn new(backend: Backend) -> SharedCounter {
+        SharedCounter { backend, atomic: AtomicU64::new(0), mutex: Mutex::new(0) }
+    }
+
+    /// The backend this counter uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Atomically add `n`, returning the previous value.
+    pub fn fetch_add(&self, n: u64) -> u64 {
+        match self.backend {
+            Backend::Atomic => self.atomic.fetch_add(n, Ordering::AcqRel),
+            Backend::Mutex => {
+                let mut guard = self.mutex.lock();
+                let prev = *guard;
+                *guard += n;
+                prev
+            }
+        }
+    }
+
+    /// Read the current value.
+    pub fn load(&self) -> u64 {
+        match self.backend {
+            Backend::Atomic => self.atomic.load(Ordering::Acquire),
+            Backend::Mutex => *self.mutex.lock(),
+        }
+    }
+
+    /// CAS-style update: `f` maps the current value to `Some(new)` to commit
+    /// or `None` to abort. Returns `Ok(previous)` on commit, `Err(current)`
+    /// on abort. Guided scheduling's decreasing-chunk claims use this.
+    pub fn fetch_update(&self, mut f: impl FnMut(u64) -> Option<u64>) -> Result<u64, u64> {
+        match self.backend {
+            Backend::Atomic => self
+                .atomic
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| f(v)),
+            Backend::Mutex => {
+                let mut guard = self.mutex.lock();
+                match f(*guard) {
+                    Some(new) => {
+                        let prev = *guard;
+                        *guard = new;
+                        Ok(prev)
+                    }
+                    None => Err(*guard),
+                }
+            }
+        }
+    }
+}
+
+/// A one-shot claim flag (`single` regions, copyprivate publication).
+///
+/// `try_claim` returns `true` for exactly one caller.
+#[derive(Debug)]
+pub struct ClaimFlag {
+    backend: Backend,
+    atomic: AtomicBool,
+    mutex: Mutex<bool>,
+}
+
+impl ClaimFlag {
+    /// Create an unclaimed flag.
+    pub fn new(backend: Backend) -> ClaimFlag {
+        ClaimFlag { backend, atomic: AtomicBool::new(false), mutex: Mutex::new(false) }
+    }
+
+    /// Attempt the claim; exactly one caller ever receives `true`.
+    ///
+    /// The atomic backend performs the paper's "atomic swap"; the mutex
+    /// backend locks.
+    pub fn try_claim(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => !self.atomic.swap(true, Ordering::AcqRel),
+            Backend::Mutex => {
+                let mut guard = self.mutex.lock();
+                let claimed = *guard;
+                *guard = true;
+                !claimed
+            }
+        }
+    }
+
+    /// Whether the flag has been claimed.
+    pub fn is_claimed(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => self.atomic.load(Ordering::Acquire),
+            Backend::Mutex => *self.mutex.lock(),
+        }
+    }
+}
+
+/// A wait/notify hub pairing a `Condvar` with a dummy mutex.
+///
+/// Waits are always timed (default granularity [`Notifier::DEFAULT_TICK`]) so
+/// state checked outside the lock can never produce a lost-wakeup hang.
+#[derive(Debug, Default)]
+pub struct Notifier {
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl Notifier {
+    /// Granularity of the timed fallback wait.
+    pub const DEFAULT_TICK: Duration = Duration::from_micros(500);
+
+    /// Create a notifier.
+    pub fn new() -> Notifier {
+        Notifier::default()
+    }
+
+    /// Wake all current waiters.
+    pub fn notify_all(&self) {
+        let _guard = self.mutex.lock();
+        self.condvar.notify_all();
+    }
+
+    /// Block until notified or the default tick elapses.
+    pub fn wait_tick(&self) {
+        self.wait_timeout(Notifier::DEFAULT_TICK);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) {
+        let mut guard = self.mutex.lock();
+        let _ = self.condvar.wait_for(&mut guard, timeout);
+    }
+}
+
+/// A settable completion event (the analogue of `threading.Event` /
+/// CPython's internal `PyEvent`).
+///
+/// The paper (§III-E): the pure runtime waits on `threading.Event` objects,
+/// while the cruntime *"bypasses Python code entirely by interfacing directly
+/// with `PyEvent`"*. Here the mutex backend keeps the flag under a lock and
+/// the atomic backend reads an `AtomicBool` fast path before parking.
+#[derive(Debug)]
+pub struct OmpEvent {
+    backend: Backend,
+    atomic: AtomicBool,
+    state: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl OmpEvent {
+    /// Create an unset event.
+    pub fn new(backend: Backend) -> OmpEvent {
+        OmpEvent {
+            backend,
+            atomic: AtomicBool::new(false),
+            state: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Set the event, waking all waiters. Idempotent.
+    pub fn set(&self) {
+        match self.backend {
+            Backend::Atomic => {
+                self.atomic.store(true, Ordering::Release);
+                let _guard = self.state.lock();
+                self.condvar.notify_all();
+            }
+            Backend::Mutex => {
+                let mut guard = self.state.lock();
+                *guard = true;
+                self.condvar.notify_all();
+            }
+        }
+    }
+
+    /// Whether the event is set.
+    pub fn is_set(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => self.atomic.load(Ordering::Acquire),
+            Backend::Mutex => *self.state.lock(),
+        }
+    }
+
+    /// Block until the event is set.
+    pub fn wait(&self) {
+        match self.backend {
+            Backend::Atomic => {
+                // Fast path without the lock.
+                if self.atomic.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut guard = self.state.lock();
+                while !self.atomic.load(Ordering::Acquire) {
+                    let _ = self
+                        .condvar
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+            Backend::Mutex => {
+                let mut guard = self.state.lock();
+                while !*guard {
+                    let _ = self
+                        .condvar
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+/// A lock-free-or-locked MPMC bag of work items.
+///
+/// The atomic backend uses a lock-free segment queue (standing in for the
+/// paper's `compare_exchange` linked-list enqueue); the mutex backend guards
+/// a `VecDeque` with a lock (the paper's mutex-updated next-reference).
+#[derive(Debug)]
+pub struct WorkBag<T> {
+    backend: Backend,
+    locked: Mutex<std::collections::VecDeque<T>>,
+    lockfree: crossbeam::queue::SegQueue<T>,
+}
+
+impl<T> WorkBag<T> {
+    /// Create an empty bag.
+    pub fn new(backend: Backend) -> WorkBag<T> {
+        WorkBag {
+            backend,
+            locked: Mutex::new(std::collections::VecDeque::new()),
+            lockfree: crossbeam::queue::SegQueue::new(),
+        }
+    }
+
+    /// Enqueue an item.
+    pub fn push(&self, item: T) {
+        match self.backend {
+            Backend::Atomic => self.lockfree.push(item),
+            Backend::Mutex => self.locked.lock().push_back(item),
+        }
+    }
+
+    /// Dequeue an item (FIFO), if any.
+    pub fn pop(&self) -> Option<T> {
+        match self.backend {
+            Backend::Atomic => self.lockfree.pop(),
+            Backend::Mutex => self.locked.lock().pop_front(),
+        }
+    }
+
+    /// Whether the bag is currently empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => self.lockfree.is_empty(),
+            Backend::Mutex => self.locked.lock().is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn both() -> [Backend; 2] {
+        [Backend::Mutex, Backend::Atomic]
+    }
+
+    #[test]
+    fn counter_fetch_add_sequential() {
+        for backend in both() {
+            let c = SharedCounter::new(backend);
+            assert_eq!(c.fetch_add(3), 0);
+            assert_eq!(c.fetch_add(2), 3);
+            assert_eq!(c.load(), 5);
+        }
+    }
+
+    #[test]
+    fn counter_fetch_add_concurrent_is_exact() {
+        for backend in both() {
+            let c = Arc::new(SharedCounter::new(backend));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(), 8000, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn counter_fetch_update_commit_and_abort() {
+        for backend in both() {
+            let c = SharedCounter::new(backend);
+            c.fetch_add(10);
+            assert_eq!(c.fetch_update(|v| Some(v * 2)), Ok(10));
+            assert_eq!(c.load(), 20);
+            assert_eq!(c.fetch_update(|_| None), Err(20));
+            assert_eq!(c.load(), 20);
+        }
+    }
+
+    #[test]
+    fn claim_flag_exactly_once() {
+        for backend in both() {
+            let flag = Arc::new(ClaimFlag::new(backend));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let flag = Arc::clone(&flag);
+                handles.push(std::thread::spawn(move || flag.try_claim() as usize));
+            }
+            let wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(wins, 1, "{backend:?}");
+            assert!(flag.is_claimed());
+        }
+    }
+
+    #[test]
+    fn event_set_wakes_waiters() {
+        for backend in both() {
+            let event = Arc::new(OmpEvent::new(backend));
+            assert!(!event.is_set());
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let event = Arc::clone(&event);
+                handles.push(std::thread::spawn(move || {
+                    event.wait();
+                    assert!(event.is_set());
+                }));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            event.set();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn event_wait_after_set_returns_immediately() {
+        for backend in both() {
+            let event = OmpEvent::new(backend);
+            event.set();
+            event.wait();
+            event.set(); // idempotent
+            assert!(event.is_set());
+        }
+    }
+
+    #[test]
+    fn work_bag_fifo_single_thread() {
+        for backend in both() {
+            let bag = WorkBag::new(backend);
+            assert!(bag.is_empty());
+            bag.push(1);
+            bag.push(2);
+            bag.push(3);
+            assert_eq!(bag.pop(), Some(1));
+            assert_eq!(bag.pop(), Some(2));
+            assert_eq!(bag.pop(), Some(3));
+            assert_eq!(bag.pop(), None);
+        }
+    }
+
+    #[test]
+    fn work_bag_concurrent_no_loss_no_dup() {
+        for backend in both() {
+            let bag = Arc::new(WorkBag::new(backend));
+            let total = 4 * 500;
+            let mut producers = Vec::new();
+            for p in 0..4 {
+                let bag = Arc::clone(&bag);
+                producers.push(std::thread::spawn(move || {
+                    for i in 0..500 {
+                        bag.push(p * 500 + i);
+                    }
+                }));
+            }
+            let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+            let done = Arc::new(AtomicBool::new(false));
+            let mut consumers = Vec::new();
+            for _ in 0..4 {
+                let bag = Arc::clone(&bag);
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                consumers.push(std::thread::spawn(move || loop {
+                    match bag.pop() {
+                        Some(v) => {
+                            assert!(seen.lock().insert(v), "duplicate item {v}");
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) && bag.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }));
+            }
+            for h in producers {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            for h in consumers {
+                h.join().unwrap();
+            }
+            assert_eq!(seen.lock().len(), total, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn notifier_timed_wait_returns() {
+        let n = Notifier::new();
+        let start = std::time::Instant::now();
+        n.wait_timeout(Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+}

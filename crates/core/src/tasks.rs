@@ -1,0 +1,296 @@
+//! Explicit tasking (`task`, `taskwait`, `taskyield`).
+//!
+//! Follows §III-E of the paper: tasks are packaged into nodes carrying an
+//! execution state (*free* → *in-progress* → *completed*) and a completion
+//! event, and are placed in a team-wide shared queue. Idle threads — and
+//! threads waiting at implicit barriers — pull tasks from this queue.
+//! Enqueueing uses a mutex in the [`Backend::Mutex`] runtime and lock-free
+//! operations in the [`Backend::Atomic`] runtime.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sync::{Backend, Notifier, OmpEvent, WorkBag};
+
+/// Lifecycle state of a task node (paper: free / in-progress / completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Submitted, not yet claimed by a thread.
+    Free,
+    /// A thread is executing it.
+    InProgress,
+    /// Finished.
+    Completed,
+}
+
+const STATE_FREE: u8 = 0;
+const STATE_IN_PROGRESS: u8 = 1;
+const STATE_COMPLETED: u8 = 2;
+
+/// A queued unit of work.
+pub struct TaskNode {
+    state: AtomicU8,
+    done: OmpEvent,
+    body: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl std::fmt::Debug for TaskNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskNode").field("state", &self.state()).finish()
+    }
+}
+
+impl TaskNode {
+    fn new(backend: Backend, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        Arc::new(TaskNode {
+            state: AtomicU8::new(STATE_FREE),
+            done: OmpEvent::new(backend),
+            body: Mutex::new(Some(body)),
+        })
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_FREE => TaskState::Free,
+            STATE_IN_PROGRESS => TaskState::InProgress,
+            _ => TaskState::Completed,
+        }
+    }
+
+    /// Whether the task has completed.
+    pub fn is_done(&self) -> bool {
+        self.done.is_set()
+    }
+
+    /// Block until the task completes.
+    pub fn wait_done(&self) {
+        self.done.wait();
+    }
+
+    /// Atomically claim the task for execution on the calling thread.
+    ///
+    /// Returns the body if this caller won the claim (Free → InProgress).
+    /// Used both by queue pops and by `taskwait` executing its own children
+    /// inline (which bounds stack growth to the task-tree depth instead of
+    /// the task count).
+    pub fn try_claim(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        if self
+            .state
+            .compare_exchange(
+                STATE_FREE,
+                STATE_IN_PROGRESS,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.body.lock().take()
+        } else {
+            None
+        }
+    }
+
+    /// Mark a claimed task finished, running its body.
+    ///
+    /// Panics in the body are caught and returned (not propagated): per the
+    /// OpenMP rule the paper cites, exceptions must not escape a task. The
+    /// node is still marked completed so barriers and `taskwait` release.
+    fn finish(&self, body: Option<Box<dyn FnOnce() + Send>>) -> Option<Box<dyn std::any::Any + Send>> {
+        let panic = match body {
+            Some(body) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).err(),
+            None => None,
+        };
+        self.state.store(STATE_COMPLETED, Ordering::Release);
+        self.done.set();
+        panic
+    }
+}
+
+/// The team-shared task queue.
+pub struct TaskQueue {
+    bag: WorkBag<Arc<TaskNode>>,
+    outstanding: AtomicUsize,
+    wake: Arc<Notifier>,
+    backend: Backend,
+    panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl std::fmt::Debug for TaskQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskQueue")
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+impl TaskQueue {
+    /// Create a queue whose submissions/completions signal `wake` (shared
+    /// with the team barrier, so barrier waiters learn about new tasks —
+    /// the paper's "threads waiting at the barrier are reawakened to execute
+    /// the work").
+    pub fn new(backend: Backend, wake: Arc<Notifier>) -> TaskQueue {
+        TaskQueue {
+            bag: WorkBag::new(backend),
+            outstanding: AtomicUsize::new(0),
+            wake,
+            backend,
+            panic_slot: Mutex::new(None),
+        }
+    }
+
+    /// Take the first panic payload captured from a task body, if any.
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic_slot.lock().take()
+    }
+
+    fn record_panic(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(p) = panic {
+            let mut slot = self.panic_slot.lock();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+    }
+
+    /// Number of submitted-but-not-completed tasks (queued or in-progress).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Enqueue a deferred task; returns its node (for child tracking).
+    pub fn submit(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        let node = TaskNode::new(self.backend, body);
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.bag.push(Arc::clone(&node));
+        self.wake.notify_all();
+        node
+    }
+
+    /// Execute an *undeferred* task (an `if(false)` task) immediately on the
+    /// calling thread, off the queue, as required by the spec.
+    pub fn run_undeferred(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        let node = TaskNode::new(self.backend, body);
+        let body = node.try_claim();
+        self.record_panic(node.finish(body));
+        node
+    }
+
+    /// Execute a specific claimed node (used by `taskwait` child inlining).
+    /// The caller must have obtained `body` from [`TaskNode::try_claim`].
+    pub fn execute_claimed(&self, node: &TaskNode, body: Box<dyn FnOnce() + Send>) {
+        self.record_panic(node.finish(Some(body)));
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        self.wake.notify_all();
+    }
+
+    /// Pop and execute one task, if any is available. Returns whether a task
+    /// was run. Nodes already claimed inline by `taskwait` are skipped.
+    pub fn run_one(&self) -> bool {
+        while let Some(node) = self.bag.pop() {
+            if let Some(body) = node.try_claim() {
+                self.record_panic(node.finish(Some(body)));
+                self.outstanding.fetch_sub(1, Ordering::AcqRel);
+                self.wake.notify_all();
+                return true;
+            }
+            // Claimed elsewhere: its executor handles the bookkeeping.
+        }
+        false
+    }
+
+    /// Whether the queue currently holds no runnable tasks (advisory).
+    pub fn is_empty(&self) -> bool {
+        self.bag.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn both() -> [Backend; 2] {
+        [Backend::Mutex, Backend::Atomic]
+    }
+
+    #[test]
+    fn submit_and_run_one() {
+        for backend in both() {
+            let q = TaskQueue::new(backend, Arc::new(Notifier::new()));
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            let node = q.submit(Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+            assert_eq!(node.state(), TaskState::Free);
+            assert_eq!(q.outstanding(), 1);
+            assert!(q.run_one());
+            assert!(!q.run_one());
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+            assert_eq!(q.outstanding(), 0);
+            assert_eq!(node.state(), TaskState::Completed);
+            assert!(node.is_done());
+        }
+    }
+
+    #[test]
+    fn undeferred_runs_inline() {
+        for backend in both() {
+            let q = TaskQueue::new(backend, Arc::new(Notifier::new()));
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            let node = q.run_undeferred(Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+            assert!(node.is_done());
+            assert_eq!(q.outstanding(), 0);
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn tasks_run_by_other_threads() {
+        for backend in both() {
+            let q = Arc::new(TaskQueue::new(backend, Arc::new(Notifier::new())));
+            let hits = Arc::new(AtomicUsize::new(0));
+            let mut nodes = Vec::new();
+            for _ in 0..100 {
+                let h = Arc::clone(&hits);
+                nodes.push(q.submit(Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })));
+            }
+            let mut workers = Vec::new();
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                workers.push(std::thread::spawn(move || while q.run_one() {}));
+            }
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(hits.load(Ordering::SeqCst), 100);
+            assert!(nodes.iter().all(|n| n.is_done()));
+        }
+    }
+
+    #[test]
+    fn wait_done_blocks_until_executed() {
+        for backend in both() {
+            let q = Arc::new(TaskQueue::new(backend, Arc::new(Notifier::new())));
+            let node = q.submit(Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }));
+            let runner = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.run_one())
+            };
+            node.wait_done();
+            assert!(node.is_done());
+            assert!(runner.join().unwrap());
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Thread teams and the task-draining implicit barrier.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use std::cell::Cell;
+
+use crate::context;
+use crate::sync::{Backend, Notifier};
+use crate::tasks::{TaskNode, TaskQueue};
+use crate::worksharing::WorkshareRegistry;
+
+/// A team of threads created by a `parallel` directive.
+///
+/// Owns the barrier state, the shared task queue, and the work-sharing
+/// registry. Created by [`crate::exec::parallel_region`] (compiled mode) or
+/// the interpreter bridge's `parallel_run` intrinsic.
+pub struct Team {
+    size: usize,
+    backend: Backend,
+    wake: Arc<Notifier>,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    release: Mutex<()>,
+    tasks: TaskQueue,
+    ws: WorkshareRegistry,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("size", &self.size)
+            .field("backend", &self.backend)
+            .field("outstanding_tasks", &self.tasks.outstanding())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Nested task-execution depth for the current thread.
+    static EXEC_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Beyond this inline depth, threads stop stealing unrelated queued tasks.
+const STEAL_DEPTH_LIMIT: usize = 24;
+
+impl Team {
+    /// Create a team of `size` threads using the given backend.
+    pub fn new(size: usize, backend: Backend) -> Arc<Team> {
+        let wake = Arc::new(Notifier::new());
+        Arc::new(Team {
+            size: size.max(1),
+            backend,
+            wake: Arc::clone(&wake),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            release: Mutex::new(()),
+            tasks: TaskQueue::new(backend, Arc::clone(&wake)),
+            ws: WorkshareRegistry::new(backend, size.max(1), wake),
+        })
+    }
+
+    /// Number of threads in the team.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The team's synchronization backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The team's work-sharing registry.
+    pub fn worksharing(&self) -> &WorkshareRegistry {
+        &self.ws
+    }
+
+    /// The team's task queue.
+    pub fn tasks(&self) -> &TaskQueue {
+        &self.tasks
+    }
+
+    /// The team's wakeup hub.
+    pub fn wake(&self) -> &Arc<Notifier> {
+        &self.wake
+    }
+
+    /// Task-draining barrier (§III-E): all threads must arrive *and* all
+    /// outstanding tasks must complete before any thread proceeds. Threads
+    /// waiting at the barrier execute queued tasks instead of idling, and
+    /// are re-awakened when new tasks are submitted.
+    pub fn barrier(&self) {
+        if self.size == 1 {
+            // Single-thread team: the barrier reduces to draining tasks.
+            while self.tasks.outstanding() > 0 {
+                if !self.run_one_task() {
+                    self.wake.wait_tick();
+                }
+            }
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            if self.arrived.load(Ordering::Acquire) == self.size
+                && self.tasks.outstanding() == 0
+            {
+                // Candidate releaser: commit under the release lock so a
+                // stale thread can never reset `arrived` after the flip.
+                let _g = self.release.lock();
+                if self.generation.load(Ordering::Acquire) == gen {
+                    if self.arrived.load(Ordering::Acquire) == self.size
+                        && self.tasks.outstanding() == 0
+                    {
+                        self.arrived.store(0, Ordering::Release);
+                        self.generation.store(gen + 1, Ordering::Release);
+                        self.wake.notify_all();
+                        return;
+                    }
+                } else {
+                    return;
+                }
+                continue;
+            }
+            // Not releasable yet: make progress on tasks, else park briefly.
+            if !self.run_one_task() {
+                self.wake.wait_tick();
+            }
+        }
+    }
+
+    /// Execute one queued task on the calling thread, maintaining the task
+    /// frame so nested submissions become children of that task.
+    ///
+    /// Refuses when the thread's inline-execution depth exceeds the steal
+    /// limit: running arbitrary queued tasks from deep inside other task
+    /// bodies would grow the stack with the task *count*; beyond the limit
+    /// threads instead park and let shallower threads drain the queue
+    /// (`taskwait` still executes its *own* children inline, which is
+    /// bounded by the task-tree depth).
+    pub fn run_one_task(&self) -> bool {
+        if EXEC_DEPTH.with(|d| d.get()) >= STEAL_DEPTH_LIMIT {
+            return false;
+        }
+        EXEC_DEPTH.with(|d| d.set(d.get() + 1));
+        let ran = self.tasks.run_one();
+        EXEC_DEPTH.with(|d| d.set(d.get() - 1));
+        ran
+    }
+
+    /// Submit a task (§III-E). `deferred == false` corresponds to an
+    /// `if(false)` clause: the task executes immediately on this thread.
+    ///
+    /// The body is wrapped so that, on whichever thread runs it, a task
+    /// frame is pushed (nested `task` directives then register as children
+    /// of this task) and popped even if the body panics.
+    pub fn submit_task(&self, body: Box<dyn FnOnce() + Send>, deferred: bool) -> Arc<TaskNode> {
+        let wrapped = Box::new(move || {
+            let frame = context::current_frame();
+            if let Some(f) = &frame {
+                f.push_task_frame();
+            }
+            // Pop the frame even on unwind.
+            struct PopGuard(Option<std::rc::Rc<context::Frame>>);
+            impl Drop for PopGuard {
+                fn drop(&mut self) {
+                    if let Some(f) = &self.0 {
+                        f.pop_task_frame();
+                    }
+                }
+            }
+            let _guard = PopGuard(frame);
+            body();
+        });
+        let node = if deferred {
+            self.tasks.submit(wrapped)
+        } else {
+            self.tasks.run_undeferred(wrapped)
+        };
+        if let Some(frame) = context::current_frame() {
+            frame.register_child(Arc::clone(&node));
+        }
+        node
+    }
+
+    /// `taskwait`: block until all direct children of the current task are
+    /// complete, executing queued tasks while waiting.
+    ///
+    /// Unclaimed children are preferentially executed *inline* (stack growth
+    /// bounded by the task-tree depth); only then are unrelated queued tasks
+    /// stolen, up to the per-thread depth limit.
+    pub fn taskwait(&self) {
+        let frame = match context::current_frame() {
+            Some(f) => f,
+            None => return,
+        };
+        loop {
+            frame.prune_done_children();
+            let children = frame.current_children();
+            if children.iter().all(|c| c.is_done()) {
+                return;
+            }
+            // Run one of our own pending children inline, if claimable.
+            let mut ran_child = false;
+            for child in &children {
+                if let Some(body) = child.try_claim() {
+                    EXEC_DEPTH.with(|d| d.set(d.get() + 1));
+                    self.tasks.execute_claimed(child, body);
+                    EXEC_DEPTH.with(|d| d.set(d.get() - 1));
+                    ran_child = true;
+                    break;
+                }
+            }
+            if ran_child {
+                continue;
+            }
+            if !self.run_one_task() {
+                // Nothing runnable: a child is in progress on another
+                // thread. Park until it signals.
+                self.wake.wait_tick();
+            }
+        }
+    }
+
+    /// `taskyield`: offer to run one queued task.
+    pub fn taskyield(&self) {
+        self.run_one_task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> [Backend; 2] {
+        [Backend::Mutex, Backend::Atomic]
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        for backend in both() {
+            let team = Team::new(4, backend);
+            let phase_counter = Arc::new(AtomicUsize::new(0));
+            let violations = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let team = Arc::clone(&team);
+                let phase_counter = Arc::clone(&phase_counter);
+                let violations = Arc::clone(&violations);
+                handles.push(std::thread::spawn(move || {
+                    for phase in 0..10usize {
+                        phase_counter.fetch_add(1, Ordering::SeqCst);
+                        team.barrier();
+                        // After barrier `phase + 1` full rounds completed.
+                        let count = phase_counter.load(Ordering::SeqCst);
+                        if count < (phase + 1) * 4 {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        team.barrier();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(violations.load(Ordering::SeqCst), 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn barrier_drains_tasks() {
+        for backend in both() {
+            let team = Team::new(2, backend);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for t in 0..2 {
+                let team = Arc::clone(&team);
+                let hits = Arc::clone(&hits);
+                handles.push(std::thread::spawn(move || {
+                    if t == 0 {
+                        for _ in 0..50 {
+                            let hits = Arc::clone(&hits);
+                            team.submit_task(
+                                Box::new(move || {
+                                    hits.fetch_add(1, Ordering::SeqCst);
+                                }),
+                                true,
+                            );
+                        }
+                    }
+                    team.barrier();
+                    // All tasks must be complete once the barrier releases.
+                    assert_eq!(hits.load(Ordering::SeqCst), 50);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_team_barrier_runs_tasks() {
+        for backend in both() {
+            let team = Team::new(1, backend);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            team.submit_task(
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }),
+                true,
+            );
+            team.barrier();
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn undeferred_task_runs_inline() {
+        let team = Team::new(2, Backend::Atomic);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        team.submit_task(
+            Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+            false,
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(team.tasks().outstanding(), 0);
+    }
+
+    #[test]
+    fn barrier_reusable_many_generations() {
+        let team = Team::new(3, Backend::Atomic);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let team = Arc::clone(&team);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    team.barrier();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Work-sharing region bookkeeping (`for`, `sections`, `single`).
+//!
+//! Threads of a team encountering the *n*-th work-sharing region must agree
+//! on shared state for it (the scheduling counter, the `single` claim, the
+//! `copyprivate` slot, the `ordered` turn counter). Each thread counts the
+//! regions it encounters; the first thread to arrive at a region creates the
+//! shared instance (paper: *"the threads must coordinate to determine who
+//! creates the shared counter"* — an atomic swap in the cruntime, a mutex in
+//! the pure runtime).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sync::{Backend, ClaimFlag, Notifier, OmpEvent, SharedCounter};
+
+/// Shared state for one dynamic occurrence of a work-sharing region.
+#[derive(Debug)]
+pub struct WsInstance {
+    /// Scheduling counter: next unassigned flattened iteration (for
+    /// dynamic/guided loops) or next section index (for `sections`).
+    pub counter: SharedCounter,
+    /// One-shot claim for `single` regions.
+    pub claim: ClaimFlag,
+    /// `copyprivate` broadcast slot (set by the `single` winner).
+    cp_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Signaled when the `copyprivate` slot is filled.
+    cp_event: OmpEvent,
+    /// Merge slot for compiled-mode reductions.
+    reduce_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Next flattened iteration allowed to run its `ordered` region.
+    ordered_next: AtomicU64,
+    /// Wakeups for `ordered` turn-taking.
+    wake: Arc<Notifier>,
+}
+
+impl WsInstance {
+    fn new(backend: Backend, wake: Arc<Notifier>) -> WsInstance {
+        WsInstance {
+            counter: SharedCounter::new(backend),
+            claim: ClaimFlag::new(backend),
+            cp_slot: Mutex::new(None),
+            cp_event: OmpEvent::new(backend),
+            reduce_slot: Mutex::new(None),
+            ordered_next: AtomicU64::new(0),
+            wake,
+        }
+    }
+
+    /// Publish a `copyprivate` value (called by the `single` winner).
+    pub fn copyprivate_publish(&self, value: Box<dyn Any + Send>) {
+        *self.cp_slot.lock() = Some(value);
+        self.cp_event.set();
+    }
+
+    /// Wait for and read the `copyprivate` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the published value's type does not match `T` — a
+    /// programming error equivalent to mismatched copyprivate types in C.
+    pub fn copyprivate_read<T: Clone + 'static>(&self) -> T {
+        self.cp_event.wait();
+        let slot = self.cp_slot.lock();
+        let any = slot.as_ref().expect("copyprivate slot set before event");
+        any.downcast_ref::<T>().expect("copyprivate type mismatch").clone()
+    }
+
+    /// Merge a thread-local reduction value into the shared slot.
+    pub fn reduce_merge<T: Send + 'static>(&self, value: T, combine: impl Fn(T, T) -> T) {
+        let mut slot = self.reduce_slot.lock();
+        let merged = match slot.take() {
+            Some(prev) => {
+                let prev = *prev.downcast::<T>().expect("reduction type mismatch");
+                combine(prev, value)
+            }
+            None => value,
+        };
+        *slot = Some(Box::new(merged));
+    }
+
+    /// Read the merged reduction value (after the region barrier).
+    pub fn reduce_result<T: Clone + 'static>(&self) -> Option<T> {
+        self.reduce_slot.lock().as_ref().and_then(|b| b.downcast_ref::<T>().cloned())
+    }
+
+    /// Block until it is `flat_iter`'s turn for the `ordered` region.
+    pub fn ordered_enter(&self, flat_iter: u64) {
+        while self.ordered_next.load(Ordering::Acquire) != flat_iter {
+            self.wake.wait_tick();
+        }
+    }
+
+    /// Finish the `ordered` region for `flat_iter`, releasing the next one.
+    pub fn ordered_exit(&self, flat_iter: u64) {
+        self.ordered_next.store(flat_iter + 1, Ordering::Release);
+        self.wake.notify_all();
+    }
+}
+
+/// Registry mapping a team's work-sharing sequence numbers to instances.
+#[derive(Debug)]
+pub struct WorkshareRegistry {
+    backend: Backend,
+    team_size: usize,
+    wake: Arc<Notifier>,
+    map: Mutex<HashMap<u64, (Arc<WsInstance>, usize)>>,
+}
+
+impl WorkshareRegistry {
+    /// Create a registry for a team.
+    pub fn new(backend: Backend, team_size: usize, wake: Arc<Notifier>) -> WorkshareRegistry {
+        WorkshareRegistry { backend, team_size, wake, map: Mutex::new(HashMap::new()) }
+    }
+
+    /// Enter the work-sharing region with the given per-thread sequence
+    /// number, creating the shared instance if this thread arrives first.
+    pub fn enter(&self, seq: u64) -> Arc<WsInstance> {
+        let mut map = self.map.lock();
+        let entry = map.entry(seq).or_insert_with(|| {
+            (Arc::new(WsInstance::new(self.backend, Arc::clone(&self.wake))), 0)
+        });
+        Arc::clone(&entry.0)
+    }
+
+    /// Mark the region complete for one thread; the instance is dropped from
+    /// the registry when the whole team has finished it.
+    pub fn leave(&self, seq: u64) {
+        let mut map = self.map.lock();
+        if let Some(entry) = map.get_mut(&seq) {
+            entry.1 += 1;
+            if entry.1 >= self.team_size {
+                map.remove(&seq);
+            }
+        }
+    }
+
+    /// Number of live instances (diagnostic).
+    pub fn live_instances(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_arriver_creates_instance_once() {
+        let reg = WorkshareRegistry::new(Backend::Atomic, 4, Arc::new(Notifier::new()));
+        let a = reg.enter(0);
+        let b = reg.enter(0);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = reg.enter(1);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn instance_removed_when_team_leaves() {
+        let reg = WorkshareRegistry::new(Backend::Mutex, 2, Arc::new(Notifier::new()));
+        let _ = reg.enter(0);
+        assert_eq!(reg.live_instances(), 1);
+        reg.leave(0);
+        assert_eq!(reg.live_instances(), 1);
+        reg.leave(0);
+        assert_eq!(reg.live_instances(), 0);
+    }
+
+    #[test]
+    fn single_claim_via_instance() {
+        let reg = WorkshareRegistry::new(Backend::Atomic, 3, Arc::new(Notifier::new()));
+        let inst = reg.enter(0);
+        assert!(inst.claim.try_claim());
+        assert!(!inst.claim.try_claim());
+    }
+
+    #[test]
+    fn copyprivate_round_trip() {
+        let reg = WorkshareRegistry::new(Backend::Atomic, 2, Arc::new(Notifier::new()));
+        let inst = reg.enter(0);
+        let reader = {
+            let inst = Arc::clone(&inst);
+            std::thread::spawn(move || inst.copyprivate_read::<i64>())
+        };
+        inst.copyprivate_publish(Box::new(42i64));
+        assert_eq!(reader.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn reduce_merge_accumulates() {
+        let reg = WorkshareRegistry::new(Backend::Mutex, 4, Arc::new(Notifier::new()));
+        let inst = reg.enter(0);
+        for v in [1.0f64, 2.0, 3.0] {
+            inst.reduce_merge(v, |a, b| a + b);
+        }
+        assert_eq!(inst.reduce_result::<f64>(), Some(6.0));
+    }
+
+    #[test]
+    fn ordered_turns_serialize() {
+        let reg = WorkshareRegistry::new(Backend::Atomic, 3, Arc::new(Notifier::new()));
+        let inst = reg.enter(0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Three threads execute ordered regions for iterations 2, 1, 0.
+        for iter in [2u64, 1, 0] {
+            let inst = Arc::clone(&inst);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                inst.ordered_enter(iter);
+                order.lock().push(iter);
+                inst.ordered_exit(iter);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Sequential reference algorithms (used to verify the parallel benchmark
+//! implementations).
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+
+/// Average clustering coefficient over all nodes (NetworkX
+/// `average_clustering`).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n).map(|u| g.clustering(u)).sum();
+    total / n as f64
+}
+
+/// Length (in edges) of the shortest path between two nodes, by BFS.
+/// `None` if unreachable.
+pub fn bfs_shortest_path_len(g: &Graph, from: usize, to: usize) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[from] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                if v == to {
+                    return Some(dist[v]);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_clustering_triangle_plus_tail() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        // c(0)=1, c(1)=1, c(2)=1/3, c(3)=0 → avg = (1+1+1/3)/4
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 4.0;
+        assert!((average_clustering(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_clustering_empty_graph() {
+        assert_eq!(average_clustering(&Graph::new(0)), 0.0);
+        assert_eq!(average_clustering(&Graph::new(5)), 0.0);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(0, 4);
+        g.add_edge(4, 3);
+        assert_eq!(bfs_shortest_path_len(&g, 0, 3), Some(2)); // via 4
+        assert_eq!(bfs_shortest_path_len(&g, 0, 0), Some(0));
+        assert_eq!(bfs_shortest_path_len(&g, 0, 5), None); // isolated
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::generators::random_graph;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Clustering coefficients are always within [0, 1].
+        #[test]
+        fn clustering_in_unit_interval(n in 2usize..60, k in 2usize..10, seed in 0u64..1000) {
+            let g = random_graph(n, k, seed);
+            for u in 0..n {
+                let c = g.clustering(u);
+                prop_assert!((0.0..=1.0).contains(&c), "c({u}) = {c}");
+            }
+        }
+
+        /// Sum of per-node triangle counts is divisible by 3 (each triangle
+        /// is counted once per corner).
+        #[test]
+        fn triangle_counts_consistent(n in 3usize..50, k in 2usize..8, seed in 0u64..1000) {
+            let g = random_graph(n, k, seed);
+            let total: usize = (0..n).map(|u| g.triangles(u)).sum();
+            prop_assert_eq!(total % 3, 0);
+        }
+
+        /// BFS distance obeys the triangle inequality through any midpoint.
+        #[test]
+        fn bfs_triangle_inequality(n in 3usize..40, k in 2usize..6, seed in 0u64..500) {
+            let g = random_graph(n, k, seed);
+            let (a, b, m) = (0, n - 1, n / 2);
+            if let (Some(ab), Some(am), Some(mb)) = (
+                bfs_shortest_path_len(&g, a, b),
+                bfs_shortest_path_len(&g, a, m),
+                bfs_shortest_path_len(&g, m, b),
+            ) {
+                prop_assert!(ab <= am + mb);
+            }
+        }
+    }
+}

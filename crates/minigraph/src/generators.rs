@@ -1,0 +1,184 @@
+//! Seeded workload generators: random graphs (clustering benchmark) and
+//! grid mazes (bfs/pathfinding benchmark).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Graph;
+
+/// Generate a seeded random graph with `n` nodes and approximately
+/// `edges_per_node * n / 2`… no — exactly `edges_per_node` edge *endpoints*
+/// per node on average: each node draws `edges_per_node / 2` random
+/// neighbors, giving an expected degree of `edges_per_node` (the paper's
+/// "300k-node graph with 100 edges per node").
+pub fn random_graph(n: usize, edges_per_node: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draws_per_node = (edges_per_node / 2).max(1);
+    for u in 0..n {
+        for _ in 0..draws_per_node {
+            let v = rng.gen_range(0..n);
+            if v != u {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A grid maze: `0` cells are paths, `1` cells are walls (the paper's bfs
+/// benchmark: entrance top-left, exit bottom-right, 4-neighbor moves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Maze {
+    /// Side length of the square grid.
+    pub side: usize,
+    /// Row-major cells; `0` = path, `1` = wall.
+    pub cells: Vec<u8>,
+}
+
+impl Maze {
+    /// Whether a cell is a wall.
+    pub fn is_wall(&self, row: usize, col: usize) -> bool {
+        self.cells[row * self.side + col] != 0
+    }
+
+    /// Flattened index of a cell.
+    pub fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.side + col
+    }
+
+    /// Open 4-neighbors of a cell.
+    pub fn open_neighbors(&self, row: usize, col: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(4);
+        if row > 0 && !self.is_wall(row - 1, col) {
+            out.push((row - 1, col));
+        }
+        if row + 1 < self.side && !self.is_wall(row + 1, col) {
+            out.push((row + 1, col));
+        }
+        if col > 0 && !self.is_wall(row, col - 1) {
+            out.push((row, col - 1));
+        }
+        if col + 1 < self.side && !self.is_wall(row, col + 1) {
+            out.push((row, col + 1));
+        }
+        out
+    }
+
+    /// View the maze as a graph over open cells (walls become isolated
+    /// nodes), for cross-checking parallel BFS against [`crate::algorithms`].
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.side * self.side);
+        for row in 0..self.side {
+            for col in 0..self.side {
+                if self.is_wall(row, col) {
+                    continue;
+                }
+                if col + 1 < self.side && !self.is_wall(row, col + 1) {
+                    g.add_edge(self.idx(row, col), self.idx(row, col + 1));
+                }
+                if row + 1 < self.side && !self.is_wall(row + 1, col) {
+                    g.add_edge(self.idx(row, col), self.idx(row + 1, col));
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Generate a seeded maze with a guaranteed open path from the top-left
+/// entrance to the bottom-right exit.
+///
+/// A random staircase walk from entrance to exit is carved first, then each
+/// remaining cell independently becomes a wall with probability
+/// `wall_probability`.
+pub fn maze_grid(side: usize, wall_probability: f64, seed: u64) -> Maze {
+    let side = side.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cells = vec![0u8; side * side];
+    for cell in cells.iter_mut() {
+        if rng.gen_bool(wall_probability.clamp(0.0, 1.0)) {
+            *cell = 1;
+        }
+    }
+    // Carve a guaranteed path: monotone walk with random interleaving.
+    let (mut row, mut col) = (0usize, 0usize);
+    cells[0] = 0;
+    while row + 1 < side || col + 1 < side {
+        if row + 1 >= side {
+            col += 1;
+        } else if col + 1 >= side {
+            row += 1;
+        } else if rng.gen_bool(0.5) {
+            row += 1;
+        } else {
+            col += 1;
+        }
+        cells[row * side + col] = 0;
+    }
+    Maze { side, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::bfs_shortest_path_len;
+
+    #[test]
+    fn random_graph_deterministic_by_seed() {
+        let a = random_graph(100, 8, 42);
+        let b = random_graph(100, 8, 42);
+        let c = random_graph(100, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_graph_expected_degree() {
+        let n = 2000;
+        let g = random_graph(n, 10, 7);
+        let avg_degree = 2.0 * g.edge_count() as f64 / n as f64;
+        // Each node draws 5 neighbors; collisions make it slightly < 10.
+        assert!(avg_degree > 8.0 && avg_degree <= 10.0, "avg degree {avg_degree}");
+    }
+
+    #[test]
+    fn random_graph_edge_cases() {
+        assert_eq!(random_graph(0, 10, 1).node_count(), 0);
+        assert_eq!(random_graph(1, 10, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn maze_is_deterministic_and_solvable() {
+        let m1 = maze_grid(31, 0.35, 9);
+        let m2 = maze_grid(31, 0.35, 9);
+        assert_eq!(m1, m2);
+        assert!(!m1.is_wall(0, 0));
+        assert!(!m1.is_wall(30, 30));
+        let g = m1.to_graph();
+        let dist = bfs_shortest_path_len(&g, m1.idx(0, 0), m1.idx(30, 30));
+        assert!(dist.is_some(), "carved path must connect entrance to exit");
+        // Shortest path in a grid is at least the Manhattan distance.
+        assert!(dist.unwrap() >= 60);
+    }
+
+    #[test]
+    fn maze_open_neighbors_respect_walls() {
+        let m = Maze { side: 3, cells: vec![0, 1, 0, 0, 0, 0, 1, 0, 0] };
+        assert_eq!(m.open_neighbors(0, 0), vec![(1, 0)]);
+        let mut center = m.open_neighbors(1, 1);
+        center.sort_unstable();
+        assert_eq!(center, vec![(1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn fully_open_maze_shortest_path() {
+        let m = maze_grid(10, 0.0, 3);
+        let g = m.to_graph();
+        let dist = bfs_shortest_path_len(&g, 0, m.idx(9, 9)).unwrap();
+        assert_eq!(dist, 18); // Manhattan distance in an open grid.
+    }
+}

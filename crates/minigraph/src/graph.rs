@@ -1,0 +1,173 @@
+//! The undirected graph type.
+
+/// An undirected simple graph over nodes `0..n`, with sorted adjacency
+/// vectors (supporting O(log d) membership tests and O(d1 + d2) neighbor
+/// intersection for triangle counting).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Graph {
+        Graph { adj: vec![Vec::new(); n], edges: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add an (undirected) edge; parallel edges and self-loops are ignored.
+    /// Returns whether the edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let (u32u, u32v) = (u as u32, v as u32);
+        let pos_u = self.adj[u].binary_search(&u32v).unwrap_err();
+        self.adj[u].insert(pos_u, u32v);
+        let pos_v = self.adj[v].binary_search(&u32u).unwrap_err();
+        self.adj[v].insert(pos_v, u32u);
+        self.edges += 1;
+        true
+    }
+
+    /// Whether an edge exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj
+            .get(u)
+            .is_some_and(|nbrs| nbrs.binary_search(&(v as u32)).is_ok())
+    }
+
+    /// Sorted neighbors of a node.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Number of triangles through a node (NetworkX `triangles`).
+    pub fn triangles(&self, u: usize) -> usize {
+        let nbrs = &self.adj[u];
+        let mut count = 0;
+        for (i, &v) in nbrs.iter().enumerate() {
+            // Count common neighbors of u and v that come after v,
+            // avoiding double-counting each triangle.
+            let vn = &self.adj[v as usize];
+            let mut a = i + 1;
+            let mut b = 0;
+            while a < nbrs.len() && b < vn.len() {
+                match nbrs[a].cmp(&vn[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Clustering coefficient of a node (NetworkX `clustering`): the
+    /// fraction of possible triangles through the node that exist.
+    pub fn clustering(&self, u: usize) -> f64 {
+        let d = self.degree(u);
+        if d < 2 {
+            return 0.0;
+        }
+        let possible = d * (d - 1) / 2;
+        self.triangles(u) as f64 / possible as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        let mut g = Graph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_dedups_and_ignores_self_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::new(5);
+        g.add_edge(2, 4);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        assert_eq!(g.neighbors(2), &[0, 3, 4]);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn complete_graph_triangles() {
+        let g = k4();
+        // Each node of K4 is in C(3,2) = 3 triangles.
+        for u in 0..4 {
+            assert_eq!(g.triangles(u), 3);
+            assert_eq!(g.clustering(u), 1.0);
+        }
+    }
+
+    #[test]
+    fn path_graph_has_no_triangles() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        for u in 0..4 {
+            assert_eq!(g.triangles(u), 0);
+            assert_eq!(g.clustering(u), 0.0);
+        }
+    }
+
+    #[test]
+    fn clustering_partial() {
+        // Star with one cross edge: center 0 — leaves 1, 2, 3; edge 1-2.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(1, 2);
+        assert_eq!(g.triangles(0), 1);
+        assert!((g.clustering(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.clustering(1), 1.0);
+        assert_eq!(g.clustering(3), 0.0); // degree 1
+    }
+}

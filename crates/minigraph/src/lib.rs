@@ -1,0 +1,36 @@
+//! # minigraph — a NetworkX-subset graph substrate
+//!
+//! The OMP4Py paper's *clustering coefficient* benchmark exercises full
+//! Python-library support by calling NetworkX, which Numba/PyOMP cannot
+//! compile. This crate rebuilds the slice of NetworkX that benchmark needs:
+//! an undirected [`Graph`], seeded random generators, triangle counting,
+//! per-node clustering coefficients, and BFS (used by the maze benchmark's
+//! verification).
+//!
+//! # Examples
+//!
+//! ```
+//! use minigraph::Graph;
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(0, 2);
+//! g.add_edge(2, 3);
+//! assert_eq!(g.triangles(2), 1);
+//! assert!((g.clustering(0) - 1.0).abs() < 1e-12);
+//! assert_eq!(g.clustering(3), 0.0);
+//! ```
+
+// Public API items carry doc comments; enum struct-variant fields are
+// documented at the variant level.
+#![warn(missing_docs)]
+#![allow(missing_docs)]
+
+pub mod algorithms;
+pub mod generators;
+pub mod graph;
+
+pub use algorithms::{average_clustering, bfs_shortest_path_len};
+pub use generators::{maze_grid, random_graph, Maze};
+pub use graph::Graph;

@@ -1,0 +1,233 @@
+//! Communicators: point-to-point messaging and collectives.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::netmodel::NetModel;
+
+/// A message in flight: (source rank, tag, payload).
+type Packet = (usize, u64, Vec<f64>);
+
+/// Tag space reserved for collectives (user tags must stay below this).
+const COLLECTIVE_TAG_BASE: u64 = 1 << 48;
+
+/// A communicator handle owned by one rank.
+///
+/// Not `Sync`: each rank keeps its own `Comm`, like an MPI process.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    pending: RefCell<Vec<Packet>>,
+    barrier: Arc<std::sync::Barrier>,
+    net: Arc<NetModel>,
+    collective_seq: RefCell<u64>,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm").field("rank", &self.rank).field("size", &self.size).finish()
+    }
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Packet>>,
+        receiver: Receiver<Packet>,
+        barrier: Arc<std::sync::Barrier>,
+        net: Arc<NetModel>,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: RefCell::new(Vec::new()),
+            barrier,
+            net,
+            collective_seq: RefCell::new(0),
+        }
+    }
+
+    /// This rank's index (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The number of ranks (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network model in effect.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Blocking send (`MPI_Send`). User tags must be `< 2^48`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range or the world has been torn down.
+    pub fn send(&self, dest: usize, tag: u64, data: Vec<f64>) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag too large (reserved for collectives)");
+        self.send_raw(dest, tag, data);
+    }
+
+    fn send_raw(&self, dest: usize, tag: u64, data: Vec<f64>) {
+        self.net.charge(self.rank, dest, data.len() * 8);
+        self.senders[dest]
+            .send((self.rank, tag, data))
+            .expect("destination rank has exited");
+    }
+
+    /// Blocking receive (`MPI_Recv`) matching source and tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has been torn down before a match arrives.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag too large (reserved for collectives)");
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw(&self, src: usize, tag: u64) -> Vec<f64> {
+        // Check messages that arrived earlier but did not match then.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|(s, t, _)| *s == src && *t == tag) {
+                return pending.remove(pos).2;
+            }
+        }
+        loop {
+            let packet = self.receiver.recv().expect("world torn down during recv");
+            if packet.0 == src && packet.1 == tag {
+                return packet.2;
+            }
+            self.pending.borrow_mut().push(packet);
+        }
+    }
+
+    fn next_collective_tag(&self) -> u64 {
+        let mut seq = self.collective_seq.borrow_mut();
+        *seq += 1;
+        COLLECTIVE_TAG_BASE + *seq
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// `MPI_Bcast`: returns the root's data on every rank.
+    pub fn bcast(&self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send_raw(dest, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// `MPI_Gather`: root receives every rank's contribution (in rank
+    /// order); non-roots receive `None`.
+    pub fn gather(&self, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+            out[root] = data;
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = self.recv_raw(src, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.send_raw(root, tag, data);
+            None
+        }
+    }
+
+    /// `MPI_Allgather`: every rank receives every contribution, in rank
+    /// order, concatenated (the jacobi exchange in the paper uses this to
+    /// reassemble the solution vector).
+    pub fn allgather(&self, data: Vec<f64>) -> Vec<f64> {
+        let gathered = self.gather(0, data);
+        let flat = match gathered {
+            Some(parts) => parts.concat(),
+            None => Vec::new(),
+        };
+        self.bcast(0, flat)
+    }
+
+    /// `MPI_Scatter`: root splits `parts` (one entry per rank); each rank
+    /// receives its part.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the root if `parts.len() != size`.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size, "scatter needs one part per rank");
+            let mut own = Vec::new();
+            for (dest, part) in parts.into_iter().enumerate() {
+                if dest == root {
+                    own = part;
+                } else {
+                    self.send_raw(dest, tag, part);
+                }
+            }
+            own
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// `MPI_Reduce(MPI_SUM)` on a scalar; root gets the sum.
+    pub fn reduce_sum(&self, root: usize, value: f64) -> Option<f64> {
+        self.gather(root, vec![value]).map(|parts| parts.iter().map(|p| p[0]).sum())
+    }
+
+    /// `MPI_Allreduce(MPI_SUM)` on a scalar.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        let sum = self.reduce_sum(0, value);
+        self.bcast(0, vec![sum.unwrap_or(0.0)])[0]
+    }
+
+    /// `MPI_Allreduce(MPI_MAX)` on a scalar (the jacobi convergence check).
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        let parts = self.gather(0, vec![value]);
+        let max = parts
+            .map(|p| p.iter().map(|v| v[0]).fold(f64::NEG_INFINITY, f64::max))
+            .unwrap_or(f64::NEG_INFINITY);
+        self.bcast(0, vec![max])[0]
+    }
+
+    /// Element-wise `MPI_Allreduce(MPI_SUM)` on equal-length vectors.
+    pub fn allreduce_sum_vec(&self, value: Vec<f64>) -> Vec<f64> {
+        let n = value.len();
+        let parts = self.gather(0, value);
+        let combined = parts.map(|parts| {
+            let mut acc = vec![0.0; n];
+            for part in parts {
+                for (a, v) in acc.iter_mut().zip(part) {
+                    *a += v;
+                }
+            }
+            acc
+        });
+        self.bcast(0, combined.unwrap_or_default())
+    }
+}

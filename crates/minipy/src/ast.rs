@@ -1,0 +1,312 @@
+//! Abstract syntax tree for minipy.
+//!
+//! The tree is deliberately close to Python's `ast` module shapes, because
+//! the OMP4Py-style frontend (`omp4rs-pyfront`) rewrites it the same way the
+//! paper's parser rewrites Python ASTs.
+
+use std::sync::Arc;
+
+/// A parsed source module (sequence of top-level statements).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement together with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement payload.
+    pub kind: StmtKind,
+    /// 1-based line of the statement's first token (0 for synthesized nodes).
+    pub line: u32,
+}
+
+impl Stmt {
+    /// Construct a statement with a line number.
+    pub fn new(kind: StmtKind, line: u32) -> Stmt {
+        Stmt { kind, line }
+    }
+
+    /// Construct a synthesized statement (line 0), used by AST transformers.
+    pub fn synth(kind: StmtKind) -> Stmt {
+        Stmt { kind, line: 0 }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for side effects.
+    Expr(Expr),
+    /// `t1 = t2 = value` — one or more targets.
+    Assign { targets: Vec<Expr>, value: Expr },
+    /// `target op= value`.
+    AugAssign { target: Expr, op: BinOp, value: Expr },
+    /// `if`/`elif`/`else` chain (elif is nested in `orelse`).
+    If { test: Expr, body: Vec<Stmt>, orelse: Vec<Stmt> },
+    /// `while test:`.
+    While { test: Expr, body: Vec<Stmt> },
+    /// `for target in iter:`.
+    For { target: Expr, iter: Expr, body: Vec<Stmt> },
+    /// Function definition (shared so function values can hold the tree).
+    FuncDef(Arc<FuncDef>),
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `pass`.
+    Pass,
+    /// `global a, b`.
+    Global(Vec<String>),
+    /// `nonlocal a, b`.
+    Nonlocal(Vec<String>),
+    /// `with ctx [as name], ...:`.
+    With { items: Vec<WithItem>, body: Vec<Stmt> },
+    /// `try:` with handlers, `else`, `finally`.
+    Try {
+        body: Vec<Stmt>,
+        handlers: Vec<ExceptHandler>,
+        orelse: Vec<Stmt>,
+        finalbody: Vec<Stmt>,
+    },
+    /// `raise [expr]`.
+    Raise(Option<Expr>),
+    /// `assert test[, msg]`.
+    Assert { test: Expr, msg: Option<Expr> },
+    /// `del target, ...`.
+    Del(Vec<Expr>),
+    /// `import name [as alias]` — resolved by the host's module registry.
+    Import { module: String, alias: Option<String> },
+    /// `from module import *` or `from module import a, b`.
+    FromImport { module: String, names: Vec<(String, Option<String>)>, star: bool },
+}
+
+/// One `expr [as name]` item of a `with` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithItem {
+    /// The context expression.
+    pub context: Expr,
+    /// Optional `as` binding name.
+    pub alias: Option<String>,
+}
+
+/// One `except [Type [as name]]:` handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptHandler {
+    /// Exception class name to match (`None` = bare `except:`).
+    pub class_name: Option<String>,
+    /// Optional `as` binding.
+    pub alias: Option<String>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Positional parameters (with optional defaults).
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Decorator expressions, outermost first.
+    pub decorators: Vec<Expr>,
+    /// 1-based line of the `def`.
+    pub line: u32,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression, if any.
+    pub default: Option<Expr>,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True`/`False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Name reference.
+    Name(String),
+    /// Binary arithmetic/bit operation.
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    /// Short-circuit `and`/`or` over two or more values.
+    BoolOp { op: BoolOpKind, values: Vec<Expr> },
+    /// Chained comparison `a < b <= c`.
+    Compare { left: Box<Expr>, ops: Vec<CmpOp>, comparators: Vec<Expr> },
+    /// Function or method call.
+    Call { func: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)> },
+    /// Attribute access `value.attr`.
+    Attribute { value: Box<Expr>, attr: String },
+    /// Subscript `value[index]` (index may be [`Expr::Slice`]).
+    Index { value: Box<Expr>, index: Box<Expr> },
+    /// Slice `lower:upper:step` — only valid inside [`Expr::Index`].
+    Slice {
+        lower: Option<Box<Expr>>,
+        upper: Option<Box<Expr>>,
+        step: Option<Box<Expr>>,
+    },
+    /// List display `[a, b]`.
+    List(Vec<Expr>),
+    /// Tuple display `(a, b)` or bare `a, b`.
+    Tuple(Vec<Expr>),
+    /// Dict display `{k: v}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// Conditional expression `a if t else b`.
+    IfExp { test: Box<Expr>, body: Box<Expr>, orelse: Box<Expr> },
+    /// `lambda params: expr`.
+    Lambda { params: Vec<Param>, body: Box<Expr> },
+}
+
+impl Expr {
+    /// Shorthand for a name expression.
+    pub fn name(s: impl Into<String>) -> Expr {
+        Expr::Name(s.into())
+    }
+
+    /// Shorthand for a call with positional args only.
+    pub fn call(func: Expr, args: Vec<Expr>) -> Expr {
+        Expr::Call { func: Box::new(func), args, kwargs: Vec::new() }
+    }
+
+    /// Shorthand for attribute access.
+    pub fn attr(value: Expr, attr: impl Into<String>) -> Expr {
+        Expr::Attribute { value: Box::new(value), attr: attr.into() }
+    }
+
+    /// Shorthand for subscripting.
+    pub fn index(value: Expr, index: Expr) -> Expr {
+        Expr::Index { value: Box::new(value), index: Box::new(index) }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division — always float)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%` (Python sign semantics)
+    Mod,
+    /// `**`
+    Pow,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// Python surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Pos,
+    /// `not x`
+    Not,
+    /// `~x`
+    Invert,
+}
+
+/// `and` / `or`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOpKind {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Comparison operators (chainable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+    /// `is`
+    Is,
+    /// `is not`
+    IsNot,
+}
+
+impl CmpOp {
+    /// Python surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::NotEq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+            CmpOp::Is => "is",
+            CmpOp::IsNot => "is not",
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Error types for lexing, parsing, and interpretation.
+
+use std::fmt;
+
+/// The category of a runtime error, mirroring Python's builtin exception
+/// hierarchy closely enough for `except NameError:`-style matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ErrKind {
+    /// Mirrors Python `SyntaxError`; also produced by the lexer/parser.
+    Syntax,
+    /// Mirrors Python `NameError`.
+    Name,
+    /// Mirrors Python `TypeError`.
+    Type,
+    /// Mirrors Python `ValueError`.
+    Value,
+    /// Mirrors Python `IndexError`.
+    Index,
+    /// Mirrors Python `KeyError`.
+    Key,
+    /// Mirrors Python `ZeroDivisionError`.
+    ZeroDivision,
+    /// Mirrors Python `AttributeError`.
+    Attribute,
+    /// Mirrors Python `RuntimeError`.
+    Runtime,
+    /// Mirrors Python `AssertionError`.
+    Assertion,
+    /// Mirrors Python `StopIteration`.
+    StopIteration,
+    /// Mirrors Python `KeyboardInterrupt`; used to cancel interpreter threads.
+    Interrupt,
+    /// A user-raised exception with an arbitrary class name.
+    Custom(String),
+}
+
+impl ErrKind {
+    /// Python-style class name for the error, used by `except <Name>:` matching.
+    pub fn class_name(&self) -> &str {
+        match self {
+            ErrKind::Syntax => "SyntaxError",
+            ErrKind::Name => "NameError",
+            ErrKind::Type => "TypeError",
+            ErrKind::Value => "ValueError",
+            ErrKind::Index => "IndexError",
+            ErrKind::Key => "KeyError",
+            ErrKind::ZeroDivision => "ZeroDivisionError",
+            ErrKind::Attribute => "AttributeError",
+            ErrKind::Runtime => "RuntimeError",
+            ErrKind::Assertion => "AssertionError",
+            ErrKind::StopIteration => "StopIteration",
+            ErrKind::Interrupt => "KeyboardInterrupt",
+            ErrKind::Custom(name) => name,
+        }
+    }
+
+    /// Look up a kind from a Python exception class name.
+    ///
+    /// Unknown names become [`ErrKind::Custom`], so user-defined exception
+    /// names still match across `raise`/`except`.
+    pub fn from_class_name(name: &str) -> ErrKind {
+        match name {
+            "SyntaxError" => ErrKind::Syntax,
+            "NameError" => ErrKind::Name,
+            "TypeError" => ErrKind::Type,
+            "ValueError" => ErrKind::Value,
+            "IndexError" => ErrKind::Index,
+            "KeyError" => ErrKind::Key,
+            "ZeroDivisionError" => ErrKind::ZeroDivision,
+            "AttributeError" => ErrKind::Attribute,
+            "RuntimeError" => ErrKind::Runtime,
+            "AssertionError" => ErrKind::Assertion,
+            "StopIteration" => ErrKind::StopIteration,
+            "KeyboardInterrupt" => ErrKind::Interrupt,
+            other => ErrKind::Custom(other.to_owned()),
+        }
+    }
+
+    /// Whether an `except <name>:` clause naming `name` catches this kind.
+    ///
+    /// `Exception` and `BaseException` catch everything, as in Python.
+    pub fn matches(&self, name: &str) -> bool {
+        if name == "Exception" || name == "BaseException" {
+            return true;
+        }
+        self.class_name() == name
+    }
+}
+
+/// A runtime or compile-time error carrying a message and source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PyErr {
+    /// The exception category.
+    pub kind: ErrKind,
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+}
+
+impl PyErr {
+    /// Create an error with no position information.
+    pub fn new(kind: ErrKind, msg: impl Into<String>) -> PyErr {
+        PyErr { kind, msg: msg.into(), line: None }
+    }
+
+    /// Create an error at the given 1-based line.
+    pub fn at(kind: ErrKind, msg: impl Into<String>, line: u32) -> PyErr {
+        PyErr { kind, msg: msg.into(), line: Some(line) }
+    }
+
+    /// Attach a line number if one is not already present.
+    pub fn with_line(mut self, line: u32) -> PyErr {
+        if self.line.is_none() {
+            self.line = Some(line);
+        }
+        self
+    }
+}
+
+impl fmt::Display for PyErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}: {} (line {})", self.kind.class_name(), self.msg, line),
+            None => write!(f, "{}: {}", self.kind.class_name(), self.msg),
+        }
+    }
+}
+
+impl std::error::Error for PyErr {}
+
+/// Convenience constructors used pervasively by the interpreter.
+pub fn type_err(msg: impl Into<String>) -> PyErr {
+    PyErr::new(ErrKind::Type, msg)
+}
+
+/// A `NameError` with the standard Python message shape.
+pub fn name_err(name: &str) -> PyErr {
+    PyErr::new(ErrKind::Name, format!("name '{name}' is not defined"))
+}
+
+/// A `ValueError`.
+pub fn value_err(msg: impl Into<String>) -> PyErr {
+    PyErr::new(ErrKind::Value, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for kind in [
+            ErrKind::Syntax,
+            ErrKind::Name,
+            ErrKind::Type,
+            ErrKind::Value,
+            ErrKind::Index,
+            ErrKind::Key,
+            ErrKind::ZeroDivision,
+            ErrKind::Attribute,
+            ErrKind::Runtime,
+            ErrKind::Assertion,
+            ErrKind::StopIteration,
+            ErrKind::Interrupt,
+        ] {
+            assert_eq!(ErrKind::from_class_name(kind.class_name()), kind);
+        }
+    }
+
+    #[test]
+    fn custom_kind_round_trips() {
+        let kind = ErrKind::from_class_name("MyError");
+        assert_eq!(kind, ErrKind::Custom("MyError".into()));
+        assert!(kind.matches("MyError"));
+        assert!(kind.matches("Exception"));
+        assert!(!kind.matches("ValueError"));
+    }
+
+    #[test]
+    fn exception_catches_all() {
+        assert!(ErrKind::Value.matches("Exception"));
+        assert!(ErrKind::Value.matches("BaseException"));
+        assert!(!ErrKind::Value.matches("TypeError"));
+    }
+
+    #[test]
+    fn display_includes_line() {
+        let err = PyErr::at(ErrKind::Name, "name 'x' is not defined", 3);
+        assert_eq!(format!("{err}"), "NameError: name 'x' is not defined (line 3)");
+    }
+
+    #[test]
+    fn with_line_does_not_overwrite() {
+        let err = PyErr::at(ErrKind::Value, "bad", 1).with_line(9);
+        assert_eq!(err.line, Some(1));
+    }
+}

@@ -1,0 +1,57 @@
+//! # minipy — a Python-subset interpreter substrate
+//!
+//! `minipy` is a from-scratch lexer, parser, AST, and tree-walking
+//! interpreter for a substantial subset of Python, built as the interpreter
+//! substrate for the `omp4rs` reproduction of the OMP4Py paper
+//! (*Unlocking Python Multithreading Capabilities using OpenMP-Based
+//! Programming with OMP4Py*, CGO 2026).
+//!
+//! Two properties matter for that reproduction:
+//!
+//! 1. **Free-threading.** All values are `Arc`-shared with per-object locks,
+//!    and an [`Interp`] handle can be cloned into any number of OS threads —
+//!    like CPython 3.13+ built with `--disable-gil`. A simulated
+//!    [`gil::Gil`] can also be *enabled* to reproduce classic GIL behaviour
+//!    (no multithreaded speedup for CPU-bound code).
+//! 2. **AST rewriting.** Function values carry their [`ast::FuncDef`] trees,
+//!    so a decorator implemented by the host (the OMP4Py `@omp` analogue)
+//!    can transform the AST and return a new function — exactly the paper's
+//!    parser design.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), minipy::PyErr> {
+//! let interp = minipy::Interp::new();
+//! interp.run("def square(x):\n    return x * x\ntotal = square(3) + square(4)\n")?;
+//! assert_eq!(interp.get_global("total").unwrap().as_int()?, 25);
+//! # Ok(())
+//! # }
+//! ```
+
+// Public API items carry doc comments; enum struct-variant fields are
+// documented at the variant level.
+#![warn(missing_docs)]
+#![allow(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod env;
+pub mod error;
+pub mod gil;
+pub mod interp;
+pub mod lexer;
+pub mod methods;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod value;
+
+pub use ast::Module;
+pub use env::Env;
+pub use error::{ErrKind, PyErr};
+pub use gil::{Gil, GilMode};
+pub use interp::{Flow, Interp, ValueIter};
+pub use parser::{parse, parse_expr};
+pub use printer::{print_expr, print_module};
+pub use value::{Args, HKey, NativeFunc, Opaque, Value};

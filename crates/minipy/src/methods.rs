@@ -1,0 +1,340 @@
+//! Method dispatch for built-in types (`list.append`, `str.split`, …).
+
+use std::sync::Arc;
+
+use crate::builtins::sort_values;
+use crate::error::{type_err, value_err, ErrKind, PyErr};
+use crate::interp::{Interp, ValueIter};
+use crate::value::{Args, HKey, Value};
+
+/// Call `obj.method(args)` for a built-in receiver type.
+///
+/// # Errors
+///
+/// `AttributeError` for unknown methods and `TypeError` for bad arguments.
+pub fn call_method(
+    interp: &Interp,
+    obj: &Value,
+    method: &str,
+    args: Args,
+) -> Result<Value, PyErr> {
+    match obj {
+        Value::List(_) => list_method(interp, obj, method, args),
+        Value::Str(s) => str_method(s, method, args),
+        Value::Dict(_) => dict_method(obj, method, args),
+        Value::Tuple(t) => tuple_method(t, method, args),
+        Value::Float(f) => float_method(*f, method, args),
+        Value::Opaque(o) => o.call_method(interp, method, args.pos),
+        other => Err(PyErr::new(
+            ErrKind::Attribute,
+            format!("'{}' object has no attribute '{}'", other.type_name(), method),
+        )),
+    }
+}
+
+fn attr_err(type_name: &str, method: &str) -> PyErr {
+    PyErr::new(
+        ErrKind::Attribute,
+        format!("'{type_name}' object has no attribute '{method}'"),
+    )
+}
+
+fn list_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    let list = match obj {
+        Value::List(l) => l,
+        _ => unreachable!("caller matched list"),
+    };
+    match method {
+        "append" => {
+            args.expect_len(1, "append")?;
+            list.write().push(args.pos.into_iter().next().expect("len checked"));
+            Ok(Value::None)
+        }
+        "extend" => {
+            args.expect_len(1, "extend")?;
+            let items = ValueIter::new(args.req(0)?)?.collect_vec();
+            list.write().extend(items);
+            Ok(Value::None)
+        }
+        "pop" => {
+            let mut items = list.write();
+            if items.is_empty() {
+                return Err(PyErr::new(ErrKind::Index, "pop from empty list"));
+            }
+            let idx = match args.opt(0) {
+                Some(v) => {
+                    let i = v.as_int()?;
+                    let len = items.len() as i64;
+                    let i = if i < 0 { i + len } else { i };
+                    if i < 0 || i >= len {
+                        return Err(PyErr::new(ErrKind::Index, "pop index out of range"));
+                    }
+                    i as usize
+                }
+                None => items.len() - 1,
+            };
+            Ok(items.remove(idx))
+        }
+        "insert" => {
+            args.expect_len(2, "insert")?;
+            let mut items = list.write();
+            let len = items.len() as i64;
+            let i = args.req(0)?.as_int()?.clamp(-len, len);
+            let i = if i < 0 { (i + len) as usize } else { i as usize };
+            items.insert(i, args.req(1)?.clone());
+            Ok(Value::None)
+        }
+        "sort" => {
+            // Copy out, sort, write back: the key function may run interpreted
+            // code, which must not execute while the list lock is held.
+            let mut items = list.read().clone();
+            let reverse = args.kwarg("reverse").map(Value::truthy).unwrap_or(false);
+            sort_values(interp, &mut items, args.kwarg("key"), reverse)?;
+            *list.write() = items;
+            Ok(Value::None)
+        }
+        "reverse" => {
+            list.write().reverse();
+            Ok(Value::None)
+        }
+        "clear" => {
+            list.write().clear();
+            Ok(Value::None)
+        }
+        "index" => {
+            args.expect_len(1, "index")?;
+            let needle = args.req(0)?;
+            let items = list.read();
+            items
+                .iter()
+                .position(|v| v.py_eq(needle))
+                .map(|i| Value::Int(i as i64))
+                .ok_or_else(|| value_err(format!("{} is not in list", needle.repr())))
+        }
+        "count" => {
+            args.expect_len(1, "count")?;
+            let needle = args.req(0)?;
+            Ok(Value::Int(list.read().iter().filter(|v| v.py_eq(needle)).count() as i64))
+        }
+        "copy" => Ok(Value::list(list.read().clone())),
+        "remove" => {
+            args.expect_len(1, "remove")?;
+            let needle = args.req(0)?;
+            let mut items = list.write();
+            match items.iter().position(|v| v.py_eq(needle)) {
+                Some(i) => {
+                    items.remove(i);
+                    Ok(Value::None)
+                }
+                None => Err(value_err("list.remove(x): x not in list")),
+            }
+        }
+        _ => Err(attr_err("list", method)),
+    }
+}
+
+fn dict_method(obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    let dict = match obj {
+        Value::Dict(d) => d,
+        _ => unreachable!("caller matched dict"),
+    };
+    match method {
+        "get" => {
+            let key = HKey::from_value(args.req(0)?)?;
+            match dict.read().get(&key) {
+                Some(v) => Ok(v.clone()),
+                None => Ok(args.opt(1).cloned().unwrap_or(Value::None)),
+            }
+        }
+        "keys" => {
+            let keys: Vec<Value> = dict.read().keys().map(HKey::to_value).collect();
+            Ok(Value::list(keys))
+        }
+        "values" => {
+            let values: Vec<Value> = dict.read().values().cloned().collect();
+            Ok(Value::list(values))
+        }
+        "items" => {
+            let items: Vec<Value> = dict
+                .read()
+                .iter()
+                .map(|(k, v)| Value::tuple(vec![k.to_value(), v.clone()]))
+                .collect();
+            Ok(Value::list(items))
+        }
+        "pop" => {
+            let key = HKey::from_value(args.req(0)?)?;
+            match dict.write().remove(&key) {
+                Some(v) => Ok(v),
+                None => match args.opt(1) {
+                    Some(d) => Ok(d.clone()),
+                    None => Err(PyErr::new(ErrKind::Key, args.req(0)?.repr())),
+                },
+            }
+        }
+        "setdefault" => {
+            let key = HKey::from_value(args.req(0)?)?;
+            let default = args.opt(1).cloned().unwrap_or(Value::None);
+            let mut map = dict.write();
+            Ok(map.entry(key).or_insert(default).clone())
+        }
+        "update" => {
+            args.expect_len(1, "update")?;
+            match args.req(0)? {
+                Value::Dict(src) => {
+                    if Arc::ptr_eq(src, dict) {
+                        return Ok(Value::None);
+                    }
+                    let src_items: Vec<(HKey, Value)> =
+                        src.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    dict.write().extend(src_items);
+                    Ok(Value::None)
+                }
+                other => Err(type_err(format!(
+                    "dict.update() argument must be a dict, not '{}'",
+                    other.type_name()
+                ))),
+            }
+        }
+        "clear" => {
+            dict.write().clear();
+            Ok(Value::None)
+        }
+        "copy" => {
+            let snapshot = dict.read().clone();
+            Ok(Value::Dict(Arc::new(parking_lot::RwLock::new(snapshot))))
+        }
+        _ => Err(attr_err("dict", method)),
+    }
+}
+
+fn tuple_method(t: &Arc<Vec<Value>>, method: &str, args: Args) -> Result<Value, PyErr> {
+    match method {
+        "index" => {
+            args.expect_len(1, "index")?;
+            let needle = args.req(0)?;
+            t.iter()
+                .position(|v| v.py_eq(needle))
+                .map(|i| Value::Int(i as i64))
+                .ok_or_else(|| value_err("tuple.index(x): x not in tuple"))
+        }
+        "count" => {
+            args.expect_len(1, "count")?;
+            let needle = args.req(0)?;
+            Ok(Value::Int(t.iter().filter(|v| v.py_eq(needle)).count() as i64))
+        }
+        _ => Err(attr_err("tuple", method)),
+    }
+}
+
+fn float_method(f: f64, method: &str, args: Args) -> Result<Value, PyErr> {
+    match method {
+        "is_integer" => {
+            args.expect_len(0, "is_integer")?;
+            Ok(Value::Bool(f.fract() == 0.0))
+        }
+        _ => Err(attr_err("float", method)),
+    }
+}
+
+fn str_method(s: &Arc<String>, method: &str, args: Args) -> Result<Value, PyErr> {
+    match method {
+        "split" => match args.opt(0) {
+            None | Some(Value::None) => Ok(Value::list(
+                s.split_whitespace().map(Value::str).collect(),
+            )),
+            Some(sep) => {
+                let sep = sep.as_str()?;
+                if sep.is_empty() {
+                    return Err(value_err("empty separator"));
+                }
+                Ok(Value::list(s.split(sep).map(Value::str).collect()))
+            }
+        },
+        "splitlines" => Ok(Value::list(s.lines().map(Value::str).collect())),
+        "strip" => Ok(strip(s, args, true, true)?),
+        "lstrip" => Ok(strip(s, args, true, false)?),
+        "rstrip" => Ok(strip(s, args, false, true)?),
+        "lower" => Ok(Value::str(s.to_lowercase())),
+        "upper" => Ok(Value::str(s.to_uppercase())),
+        "join" => {
+            args.expect_len(1, "join")?;
+            let items = ValueIter::new(args.req(0)?)?.collect_vec();
+            let parts: Result<Vec<&str>, PyErr> = items.iter().map(Value::as_str).collect();
+            Ok(Value::str(parts?.join(s)))
+        }
+        "startswith" => {
+            args.expect_len(1, "startswith")?;
+            Ok(Value::Bool(s.starts_with(args.req(0)?.as_str()?)))
+        }
+        "endswith" => {
+            args.expect_len(1, "endswith")?;
+            Ok(Value::Bool(s.ends_with(args.req(0)?.as_str()?)))
+        }
+        "replace" => {
+            args.expect_len(2, "replace")?;
+            Ok(Value::str(s.replace(args.req(0)?.as_str()?, args.req(1)?.as_str()?)))
+        }
+        "find" => {
+            args.expect_len(1, "find")?;
+            let needle = args.req(0)?.as_str()?;
+            match s.find(needle) {
+                Some(byte_pos) => {
+                    let char_pos = s[..byte_pos].chars().count();
+                    Ok(Value::Int(char_pos as i64))
+                }
+                None => Ok(Value::Int(-1)),
+            }
+        }
+        "count" => {
+            args.expect_len(1, "count")?;
+            let needle = args.req(0)?.as_str()?;
+            if needle.is_empty() {
+                return Ok(Value::Int(s.chars().count() as i64 + 1));
+            }
+            Ok(Value::Int(s.matches(needle).count() as i64))
+        }
+        "isdigit" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))),
+        "isalpha" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphabetic))),
+        "isalnum" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphanumeric))),
+        "isspace" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_whitespace))),
+        "title" => {
+            let mut out = String::with_capacity(s.len());
+            let mut word_start = true;
+            for c in s.chars() {
+                if c.is_alphabetic() {
+                    if word_start {
+                        out.extend(c.to_uppercase());
+                    } else {
+                        out.extend(c.to_lowercase());
+                    }
+                    word_start = false;
+                } else {
+                    out.push(c);
+                    word_start = true;
+                }
+            }
+            Ok(Value::str(out))
+        }
+        _ => Err(attr_err("str", method)),
+    }
+}
+
+fn strip(s: &str, args: Args, left: bool, right: bool) -> Result<Value, PyErr> {
+    let custom: Option<Vec<char>> = match args.opt(0) {
+        None | Some(Value::None) => None,
+        Some(v) => Some(v.as_str()?.chars().collect()),
+    };
+    let pred = |c: char| match &custom {
+        Some(set) => set.contains(&c),
+        None => c.is_whitespace(),
+    };
+    let mut out = s;
+    if left {
+        out = out.trim_start_matches(pred);
+    }
+    if right {
+        out = out.trim_end_matches(pred);
+    }
+    Ok(Value::str(out))
+}

@@ -1,0 +1,1186 @@
+//! Recursive-descent parser producing a [`Module`] from tokens.
+
+use std::sync::Arc;
+
+use crate::ast::*;
+use crate::error::{ErrKind, PyErr};
+use crate::lexer::tokenize;
+use crate::token::{Kw, Op, Tok, Token};
+
+/// Parse minipy source text into a module AST.
+///
+/// # Errors
+///
+/// Returns a [`PyErr`] with [`ErrKind::Syntax`] describing the first lexical
+/// or grammatical error encountered.
+pub fn parse(src: &str) -> Result<Module, PyErr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut body = Vec::new();
+    while !p.check(&Tok::Eof) {
+        body.push(p.statement()?);
+    }
+    Ok(Module { body })
+}
+
+/// Parse a single expression (used by tests and the directive frontend).
+///
+/// # Errors
+///
+/// Returns a syntax error if the text is not a single valid expression.
+pub fn parse_expr(src: &str) -> Result<Expr, PyErr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr_or_tuple()?;
+    p.expect_newline()?;
+    if !p.check(&Tok::Eof) {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, tok: &Tok) -> bool {
+        self.peek() == tok
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.check(tok) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_op(&mut self, op: Op) -> bool {
+        self.eat(&Tok::Op(op))
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        self.eat(&Tok::Keyword(kw))
+    }
+
+    fn expect_op(&mut self, op: Op) -> Result<(), PyErr> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{op}', found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), PyErr> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}, found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), PyErr> {
+        if self.eat(&Tok::Newline) || self.check(&Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of line, found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, PyErr> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PyErr {
+        PyErr::at(ErrKind::Syntax, msg, self.line())
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Op(Op::At) => self.func_def_with_decorators(),
+            Tok::Keyword(Kw::Def) => self.func_def(Vec::new()),
+            Tok::Keyword(Kw::If) => self.if_stmt(),
+            Tok::Keyword(Kw::While) => self.while_stmt(),
+            Tok::Keyword(Kw::For) => self.for_stmt(),
+            Tok::Keyword(Kw::With) => self.with_stmt(),
+            Tok::Keyword(Kw::Try) => self.try_stmt(),
+            Tok::Keyword(Kw::Class) => Err(self.err("minipy does not support class definitions")),
+            _ => {
+                let stmt = self.simple_stmt(line)?;
+                // Allow `a = 1; b = 2` on one line.
+                if self.eat_op(Op::Semicolon) {
+                    let mut stmts = vec![stmt];
+                    loop {
+                        if self.check(&Tok::Newline) || self.check(&Tok::Eof) {
+                            break;
+                        }
+                        stmts.push(self.simple_stmt(self.line())?);
+                        if !self.eat_op(Op::Semicolon) {
+                            break;
+                        }
+                    }
+                    self.expect_newline()?;
+                    // Wrap multiple simple statements in an if-True block to
+                    // keep `Stmt` a single node.
+                    return Ok(Stmt::new(
+                        StmtKind::If { test: Expr::Bool(true), body: stmts, orelse: Vec::new() },
+                        line,
+                    ));
+                }
+                self.expect_newline()?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn simple_stmt(&mut self, line: u32) -> Result<Stmt, PyErr> {
+        match self.peek().clone() {
+            Tok::Keyword(Kw::Return) => {
+                self.bump();
+                let value = if self.check(&Tok::Newline)
+                    || self.check(&Tok::Eof)
+                    || self.check(&Tok::Op(Op::Semicolon))
+                {
+                    None
+                } else {
+                    Some(self.expr_or_tuple()?)
+                };
+                Ok(Stmt::new(StmtKind::Return(value), line))
+            }
+            Tok::Keyword(Kw::Break) => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Break, line))
+            }
+            Tok::Keyword(Kw::Continue) => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Continue, line))
+            }
+            Tok::Keyword(Kw::Pass) => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Pass, line))
+            }
+            Tok::Keyword(Kw::Global) => {
+                self.bump();
+                let names = self.name_list()?;
+                Ok(Stmt::new(StmtKind::Global(names), line))
+            }
+            Tok::Keyword(Kw::Nonlocal) => {
+                self.bump();
+                let names = self.name_list()?;
+                Ok(Stmt::new(StmtKind::Nonlocal(names), line))
+            }
+            Tok::Keyword(Kw::Raise) => {
+                self.bump();
+                let value = if self.check(&Tok::Newline) || self.check(&Tok::Eof) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Ok(Stmt::new(StmtKind::Raise(value), line))
+            }
+            Tok::Keyword(Kw::Assert) => {
+                self.bump();
+                let test = self.expr()?;
+                let msg = if self.eat_op(Op::Comma) { Some(self.expr()?) } else { None };
+                Ok(Stmt::new(StmtKind::Assert { test, msg }, line))
+            }
+            Tok::Keyword(Kw::Del) => {
+                self.bump();
+                let mut targets = vec![self.expr()?];
+                while self.eat_op(Op::Comma) {
+                    targets.push(self.expr()?);
+                }
+                Ok(Stmt::new(StmtKind::Del(targets), line))
+            }
+            Tok::Keyword(Kw::Import) => {
+                self.bump();
+                let module = self.dotted_name()?;
+                let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                Ok(Stmt::new(StmtKind::Import { module, alias }, line))
+            }
+            Tok::Keyword(Kw::From) => {
+                self.bump();
+                let module = self.dotted_name()?;
+                self.expect_kw(Kw::Import)?;
+                if self.eat_op(Op::Star) {
+                    return Ok(Stmt::new(
+                        StmtKind::FromImport { module, names: Vec::new(), star: true },
+                        line,
+                    ));
+                }
+                let mut names = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                    names.push((name, alias));
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                Ok(Stmt::new(StmtKind::FromImport { module, names, star: false }, line))
+            }
+            _ => self.expr_statement(line),
+        }
+    }
+
+    fn dotted_name(&mut self) -> Result<String, PyErr> {
+        let mut name = self.expect_ident()?;
+        while self.eat_op(Op::Dot) {
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn name_list(&mut self) -> Result<Vec<String>, PyErr> {
+        let mut names = vec![self.expect_ident()?];
+        while self.eat_op(Op::Comma) {
+            names.push(self.expect_ident()?);
+        }
+        Ok(names)
+    }
+
+    fn expr_statement(&mut self, line: u32) -> Result<Stmt, PyErr> {
+        let first = self.expr_or_tuple()?;
+        // Augmented assignment?
+        let aug = match self.peek() {
+            Tok::Op(Op::PlusEq) => Some(BinOp::Add),
+            Tok::Op(Op::MinusEq) => Some(BinOp::Sub),
+            Tok::Op(Op::StarEq) => Some(BinOp::Mul),
+            Tok::Op(Op::SlashEq) => Some(BinOp::Div),
+            Tok::Op(Op::DoubleSlashEq) => Some(BinOp::FloorDiv),
+            Tok::Op(Op::PercentEq) => Some(BinOp::Mod),
+            Tok::Op(Op::DoubleStarEq) => Some(BinOp::Pow),
+            Tok::Op(Op::AmpEq) => Some(BinOp::BitAnd),
+            Tok::Op(Op::PipeEq) => Some(BinOp::BitOr),
+            Tok::Op(Op::CaretEq) => Some(BinOp::BitXor),
+            Tok::Op(Op::ShlEq) => Some(BinOp::Shl),
+            Tok::Op(Op::ShrEq) => Some(BinOp::Shr),
+            _ => None,
+        };
+        if let Some(op) = aug {
+            self.bump();
+            let value = self.expr_or_tuple()?;
+            check_target(&first, self.line())?;
+            return Ok(Stmt::new(StmtKind::AugAssign { target: first, op, value }, line));
+        }
+        if self.check(&Tok::Op(Op::Eq)) {
+            let mut targets = vec![first];
+            let mut value = None;
+            while self.eat_op(Op::Eq) {
+                let e = self.expr_or_tuple()?;
+                if self.check(&Tok::Op(Op::Eq)) {
+                    targets.push(e);
+                } else {
+                    value = Some(e);
+                }
+            }
+            for t in &targets {
+                check_target(t, line)?;
+            }
+            let value = value.expect("loop always sets value");
+            return Ok(Stmt::new(StmtKind::Assign { targets, value }, line));
+        }
+        Ok(Stmt::new(StmtKind::Expr(first), line))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, PyErr> {
+        self.expect_op(Op::Colon)?;
+        if self.eat(&Tok::Newline) {
+            if !self.eat(&Tok::Indent) {
+                return Err(self.err("expected an indented block"));
+            }
+            let mut body = Vec::new();
+            while !self.eat(&Tok::Dedent) {
+                if self.check(&Tok::Eof) {
+                    return Err(self.err("unexpected end of input in block"));
+                }
+                body.push(self.statement()?);
+            }
+            Ok(body)
+        } else {
+            // Inline suite: `if x: y = 1`
+            let line = self.line();
+            let stmt = self.simple_stmt(line)?;
+            let mut body = vec![stmt];
+            while self.eat_op(Op::Semicolon) {
+                if self.check(&Tok::Newline) || self.check(&Tok::Eof) {
+                    break;
+                }
+                body.push(self.simple_stmt(self.line())?);
+            }
+            self.expect_newline()?;
+            Ok(body)
+        }
+    }
+
+    fn func_def_with_decorators(&mut self) -> Result<Stmt, PyErr> {
+        let mut decorators = Vec::new();
+        while self.eat_op(Op::At) {
+            decorators.push(self.expr()?);
+            self.expect_newline()?;
+        }
+        if !self.check(&Tok::Keyword(Kw::Def)) {
+            return Err(self.err("decorator must be followed by a function definition"));
+        }
+        self.func_def(decorators)
+    }
+
+    fn func_def(&mut self, decorators: Vec<Expr>) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::Def)?;
+        let name = self.expect_ident()?;
+        self.expect_op(Op::LParen)?;
+        let params = self.param_list(true)?;
+        self.expect_op(Op::RParen)?;
+        // Optional return annotation: `-> expr` (parsed and discarded).
+        if self.eat_op(Op::Arrow) {
+            let _ = self.expr()?;
+        }
+        let body = self.block()?;
+        Ok(Stmt::new(
+            StmtKind::FuncDef(Arc::new(FuncDef { name, params, body, decorators, line })),
+            line,
+        ))
+    }
+
+    fn param_list(&mut self, allow_annotations: bool) -> Result<Vec<Param>, PyErr> {
+        let mut params = Vec::new();
+        while !self.check(&Tok::Op(Op::RParen)) && !self.check(&Tok::Op(Op::Colon)) {
+            let name = self.expect_ident()?;
+            // Optional type annotation: `x: int` (parsed and discarded; the
+            // CompiledDT analogue in the paper uses these). Lambdas use the
+            // colon as the body delimiter, so annotations are disallowed.
+            if allow_annotations && self.eat_op(Op::Colon) {
+                let _ = self.expr()?;
+            }
+            let default = if self.eat_op(Op::Eq) { Some(self.expr()?) } else { None };
+            params.push(Param { name, default });
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::If)?;
+        let test = self.expr()?;
+        let body = self.block()?;
+        let orelse = self.else_tail()?;
+        Ok(Stmt::new(StmtKind::If { test, body, orelse }, line))
+    }
+
+    fn else_tail(&mut self) -> Result<Vec<Stmt>, PyErr> {
+        if self.check(&Tok::Keyword(Kw::Elif)) {
+            let line = self.line();
+            self.bump();
+            let test = self.expr()?;
+            let body = self.block()?;
+            let orelse = self.else_tail()?;
+            Ok(vec![Stmt::new(StmtKind::If { test, body, orelse }, line)])
+        } else if self.eat_kw(Kw::Else) {
+            self.block()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::While)?;
+        let test = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::new(StmtKind::While { test, body }, line))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::For)?;
+        let target = self.target_tuple()?;
+        self.expect_kw(Kw::In)?;
+        let iter = self.expr_or_tuple()?;
+        let body = self.block()?;
+        Ok(Stmt::new(StmtKind::For { target, iter, body }, line))
+    }
+
+    /// Parse a for-loop target: `i` or `i, j` (optionally parenthesized).
+    fn target_tuple(&mut self) -> Result<Expr, PyErr> {
+        let first = self.postfix_target()?;
+        if self.check(&Tok::Keyword(Kw::In)) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(Op::Comma) {
+            if self.check(&Tok::Keyword(Kw::In)) {
+                break;
+            }
+            items.push(self.postfix_target()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("len checked"))
+        } else {
+            Ok(Expr::Tuple(items))
+        }
+    }
+
+    fn postfix_target(&mut self) -> Result<Expr, PyErr> {
+        if self.eat_op(Op::LParen) {
+            let t = self.target_tuple_inner()?;
+            self.expect_op(Op::RParen)?;
+            return Ok(t);
+        }
+        let e = self.postfix()?;
+        check_target(&e, self.line())?;
+        Ok(e)
+    }
+
+    fn target_tuple_inner(&mut self) -> Result<Expr, PyErr> {
+        let mut items = vec![self.postfix_target()?];
+        while self.eat_op(Op::Comma) {
+            if self.check(&Tok::Op(Op::RParen)) {
+                break;
+            }
+            items.push(self.postfix_target()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("len checked"))
+        } else {
+            Ok(Expr::Tuple(items))
+        }
+    }
+
+    fn with_stmt(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::With)?;
+        let mut items = Vec::new();
+        loop {
+            let context = self.expr()?;
+            let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+            items.push(WithItem { context, alias });
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        let body = self.block()?;
+        Ok(Stmt::new(StmtKind::With { items, body }, line))
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt, PyErr> {
+        let line = self.line();
+        self.expect_kw(Kw::Try)?;
+        let body = self.block()?;
+        let mut handlers = Vec::new();
+        while self.check(&Tok::Keyword(Kw::Except)) {
+            self.bump();
+            let (class_name, alias) = if self.check(&Tok::Op(Op::Colon)) {
+                (None, None)
+            } else {
+                let name = self.expect_ident()?;
+                let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                (Some(name), alias)
+            };
+            let hbody = self.block()?;
+            handlers.push(ExceptHandler { class_name, alias, body: hbody });
+        }
+        let orelse = if self.eat_kw(Kw::Else) { self.block()? } else { Vec::new() };
+        let finalbody = if self.eat_kw(Kw::Finally) { self.block()? } else { Vec::new() };
+        if handlers.is_empty() && finalbody.is_empty() {
+            return Err(self.err("try statement must have except or finally"));
+        }
+        Ok(Stmt::new(StmtKind::Try { body, handlers, orelse, finalbody }, line))
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    /// Expression possibly followed by commas forming a tuple.
+    fn expr_or_tuple(&mut self) -> Result<Expr, PyErr> {
+        let first = self.expr()?;
+        if !self.check(&Tok::Op(Op::Comma)) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(Op::Comma) {
+            if self.is_expr_end() {
+                break;
+            }
+            items.push(self.expr()?);
+        }
+        Ok(Expr::Tuple(items))
+    }
+
+    fn is_expr_end(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Newline
+                | Tok::Eof
+                | Tok::Op(Op::RParen)
+                | Tok::Op(Op::RBracket)
+                | Tok::Op(Op::RBrace)
+                | Tok::Op(Op::Eq)
+                | Tok::Op(Op::Colon)
+                | Tok::Op(Op::Semicolon)
+        )
+    }
+
+    fn expr(&mut self) -> Result<Expr, PyErr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, PyErr> {
+        let body = self.or_expr()?;
+        if self.eat_kw(Kw::If) {
+            let test = self.or_expr()?;
+            self.expect_kw(Kw::Else)?;
+            let orelse = self.expr()?;
+            return Ok(Expr::IfExp {
+                test: Box::new(test),
+                body: Box::new(body),
+                orelse: Box::new(orelse),
+            });
+        }
+        Ok(body)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, PyErr> {
+        let first = self.and_expr()?;
+        if !self.check(&Tok::Keyword(Kw::Or)) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_kw(Kw::Or) {
+            values.push(self.and_expr()?);
+        }
+        Ok(Expr::BoolOp { op: BoolOpKind::Or, values })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, PyErr> {
+        let first = self.not_expr()?;
+        if !self.check(&Tok::Keyword(Kw::And)) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_kw(Kw::And) {
+            values.push(self.not_expr()?);
+        }
+        Ok(Expr::BoolOp { op: BoolOpKind::And, values })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, PyErr> {
+        if self.eat_kw(Kw::Not) {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, PyErr> {
+        let left = self.bit_or()?;
+        let mut ops = Vec::new();
+        let mut comparators = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::EqEq) => CmpOp::Eq,
+                Tok::Op(Op::NotEq) => CmpOp::NotEq,
+                Tok::Op(Op::Lt) => CmpOp::Lt,
+                Tok::Op(Op::Le) => CmpOp::Le,
+                Tok::Op(Op::Gt) => CmpOp::Gt,
+                Tok::Op(Op::Ge) => CmpOp::Ge,
+                Tok::Keyword(Kw::In) => CmpOp::In,
+                Tok::Keyword(Kw::Is) => {
+                    self.bump();
+                    let op = if self.eat_kw(Kw::Not) { CmpOp::IsNot } else { CmpOp::Is };
+                    ops.push(op);
+                    comparators.push(self.bit_or()?);
+                    continue;
+                }
+                Tok::Keyword(Kw::Not) => {
+                    // `not in`
+                    let save = self.pos;
+                    self.bump();
+                    if self.eat_kw(Kw::In) {
+                        ops.push(CmpOp::NotIn);
+                        comparators.push(self.bit_or()?);
+                        continue;
+                    }
+                    self.pos = save;
+                    break;
+                }
+                _ => break,
+            };
+            self.bump();
+            ops.push(op);
+            comparators.push(self.bit_or()?);
+        }
+        if ops.is_empty() {
+            Ok(left)
+        } else {
+            Ok(Expr::Compare { left: Box::new(left), ops, comparators })
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.bit_xor()?;
+        while self.check(&Tok::Op(Op::Pipe)) {
+            self.bump();
+            let right = self.bit_xor()?;
+            left = Expr::Binary { op: BinOp::BitOr, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.bit_and()?;
+        while self.check(&Tok::Op(Op::Caret)) {
+            self.bump();
+            let right = self.bit_and()?;
+            left = Expr::Binary { op: BinOp::BitXor, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.shift()?;
+        while self.check(&Tok::Op(Op::Amp)) {
+            self.bump();
+            let right = self.shift()?;
+            left = Expr::Binary { op: BinOp::BitAnd, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn shift(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.arith()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::Shl) => BinOp::Shl,
+                Tok::Op(Op::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let right = self.arith()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn arith(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::Plus) => BinOp::Add,
+                Tok::Op(Op::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.term()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, PyErr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::Star) => BinOp::Mul,
+                Tok::Op(Op::Slash) => BinOp::Div,
+                Tok::Op(Op::DoubleSlash) => BinOp::FloorDiv,
+                Tok::Op(Op::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, PyErr> {
+        let op = match self.peek() {
+            Tok::Op(Op::Minus) => Some(UnaryOp::Neg),
+            Tok::Op(Op::Plus) => Some(UnaryOp::Pos),
+            Tok::Op(Op::Tilde) => Some(UnaryOp::Invert),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op, operand: Box::new(operand) });
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, PyErr> {
+        let base = self.postfix()?;
+        if self.eat_op(Op::DoubleStar) {
+            // Right-associative; exponent can itself be unary (`2 ** -3`).
+            let exp = self.unary()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                left: Box::new(base),
+                right: Box::new(exp),
+            });
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, PyErr> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat_op(Op::LParen) {
+                let (args, kwargs) = self.call_args()?;
+                self.expect_op(Op::RParen)?;
+                e = Expr::Call { func: Box::new(e), args, kwargs };
+            } else if self.eat_op(Op::Dot) {
+                let attr = self.expect_ident()?;
+                e = Expr::attr(e, attr);
+            } else if self.eat_op(Op::LBracket) {
+                let index = self.subscript()?;
+                self.expect_op(Op::RBracket)?;
+                e = Expr::index(e, index);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), PyErr> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        while !self.check(&Tok::Op(Op::RParen)) {
+            // keyword argument? ident '=' not '=='
+            if let Tok::Ident(name) = self.peek().clone() {
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&Tok::Op(Op::Eq)) {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    kwargs.push((name, value));
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            if !kwargs.is_empty() {
+                return Err(self.err("positional argument after keyword argument"));
+            }
+            args.push(self.expr()?);
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        Ok((args, kwargs))
+    }
+
+    fn subscript(&mut self) -> Result<Expr, PyErr> {
+        // slice forms: [a], [a:b], [:b], [a:], [a:b:c], [:]
+        let lower = if self.check(&Tok::Op(Op::Colon)) { None } else { Some(self.expr()?) };
+        if !self.eat_op(Op::Colon) {
+            let idx = lower.ok_or_else(|| self.err("empty subscript"))?;
+            // tuple index `d[a, b]`
+            if self.check(&Tok::Op(Op::Comma)) {
+                let mut items = vec![idx];
+                while self.eat_op(Op::Comma) {
+                    if self.check(&Tok::Op(Op::RBracket)) {
+                        break;
+                    }
+                    items.push(self.expr()?);
+                }
+                return Ok(Expr::Tuple(items));
+            }
+            return Ok(idx);
+        }
+        let upper = if self.check(&Tok::Op(Op::RBracket)) || self.check(&Tok::Op(Op::Colon)) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        let step = if self.eat_op(Op::Colon) {
+            if self.check(&Tok::Op(Op::RBracket)) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::Slice { lower: lower.map(Box::new), upper: upper.map(Box::new), step })
+    }
+
+    fn atom(&mut self) -> Result<Expr, PyErr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => {
+                // Adjacent string literal concatenation: 'a' 'b' == 'ab'.
+                let mut s = s;
+                while let Tok::Str(next) = self.peek() {
+                    s.push_str(next);
+                    self.bump();
+                }
+                Ok(Expr::Str(s))
+            }
+            Tok::Ident(name) => Ok(Expr::Name(name)),
+            Tok::Keyword(Kw::None) => Ok(Expr::None),
+            Tok::Keyword(Kw::True) => Ok(Expr::Bool(true)),
+            Tok::Keyword(Kw::False) => Ok(Expr::Bool(false)),
+            Tok::Keyword(Kw::Lambda) => {
+                let params = self.param_list(false)?;
+                self.expect_op(Op::Colon)?;
+                let body = self.expr()?;
+                Ok(Expr::Lambda { params, body: Box::new(body) })
+            }
+            Tok::Op(Op::LParen) => {
+                if self.eat_op(Op::RParen) {
+                    return Ok(Expr::Tuple(Vec::new()));
+                }
+                let e = self.expr_or_tuple()?;
+                self.expect_op(Op::RParen)?;
+                Ok(e)
+            }
+            Tok::Op(Op::LBracket) => {
+                let mut items = Vec::new();
+                while !self.check(&Tok::Op(Op::RBracket)) {
+                    items.push(self.expr()?);
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(Op::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            Tok::Op(Op::LBrace) => {
+                let mut items = Vec::new();
+                while !self.check(&Tok::Op(Op::RBrace)) {
+                    let key = self.expr()?;
+                    self.expect_op(Op::Colon)?;
+                    let value = self.expr()?;
+                    items.push((key, value));
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(Op::RBrace)?;
+                Ok(Expr::Dict(items))
+            }
+            other => Err(self.err(format!("unexpected token '{other}'"))),
+        }
+    }
+}
+
+/// Validate that an expression is a legal assignment target.
+fn check_target(e: &Expr, line: u32) -> Result<(), PyErr> {
+    match e {
+        Expr::Name(_) | Expr::Index { .. } | Expr::Attribute { .. } => Ok(()),
+        Expr::Tuple(items) | Expr::List(items) => {
+            for item in items {
+                check_target(item, line)?;
+            }
+            Ok(())
+        }
+        _ => Err(PyErr::at(ErrKind::Syntax, "cannot assign to expression", line)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let m = parse(src).unwrap();
+        assert_eq!(m.body.len(), 1, "expected one statement in {src:?}");
+        m.body.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parse_assignment() {
+        let s = one("x = 1 + 2\n");
+        match s.kind {
+            StmtKind::Assign { targets, value } => {
+                assert_eq!(targets, vec![Expr::name("x")]);
+                assert!(matches!(value, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_right_assoc() {
+        let e = parse_expr("2 ** 3 ** 2").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Pow, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_power_binding() {
+        // -2 ** 2 parses as -(2 ** 2)
+        let e = parse_expr("-2 ** 2").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn chained_comparison() {
+        let e = parse_expr("0 <= i < n").unwrap();
+        match e {
+            Expr::Compare { ops, comparators, .. } => {
+                assert_eq!(ops, vec![CmpOp::Le, CmpOp::Lt]);
+                assert_eq!(comparators.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_operator() {
+        let e = parse_expr("x not in d").unwrap();
+        assert!(matches!(e, Expr::Compare { ref ops, .. } if ops == &[CmpOp::NotIn]));
+    }
+
+    #[test]
+    fn call_with_kwargs() {
+        let e = parse_expr("f(1, x=2)").unwrap();
+        match e {
+            Expr::Call { args, kwargs, .. } => {
+                assert_eq!(args.len(), 1);
+                assert_eq!(kwargs.len(), 1);
+                assert_eq!(kwargs[0].0, "x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn func_def_with_default_and_decorator() {
+        let s = one("@omp\ndef f(a, b=2):\n    return a + b\n");
+        match s.kind {
+            StmtKind::FuncDef(def) => {
+                assert_eq!(def.name, "f");
+                assert_eq!(def.params.len(), 2);
+                assert!(def.params[1].default.is_some());
+                assert_eq!(def.decorators, vec![Expr::name("omp")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decorator_with_args() {
+        let s = one("@omp(compile=True)\ndef f():\n    pass\n");
+        match s.kind {
+            StmtKind::FuncDef(def) => {
+                assert!(matches!(def.decorators[0], Expr::Call { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else() {
+        let s = one("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+        match s.kind {
+            StmtKind::If { orelse, .. } => {
+                assert_eq!(orelse.len(), 1);
+                assert!(matches!(orelse[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_with_tuple_target() {
+        let s = one("for k, v in items:\n    pass\n");
+        match s.kind {
+            StmtKind::For { target, .. } => {
+                assert!(matches!(target, Expr::Tuple(ref t) if t.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_statement() {
+        let s = one("with omp(\"parallel\"):\n    x = 1\n");
+        match s.kind {
+            StmtKind::With { items, body } => {
+                assert_eq!(items.len(), 1);
+                assert!(items[0].alias.is_none());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_except_finally() {
+        let s = one("try:\n    x = 1\nexcept ValueError as e:\n    y = 2\nfinally:\n    z = 3\n");
+        match s.kind {
+            StmtKind::Try { handlers, finalbody, .. } => {
+                assert_eq!(handlers.len(), 1);
+                assert_eq!(handlers[0].class_name.as_deref(), Some("ValueError"));
+                assert_eq!(handlers[0].alias.as_deref(), Some("e"));
+                assert_eq!(finalbody.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slices() {
+        let e = parse_expr("a[1:2]").unwrap();
+        match e {
+            Expr::Index { index, .. } => {
+                assert!(matches!(*index, Expr::Slice { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_expr("a[:]").is_ok());
+        assert!(parse_expr("a[::2]").is_ok());
+        assert!(parse_expr("a[1:]").is_ok());
+    }
+
+    #[test]
+    fn nested_functions() {
+        let m = parse("def outer():\n    def inner():\n        return 1\n    return inner()\n")
+            .unwrap();
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn augmented_assignment() {
+        let s = one("x += 1\n");
+        assert!(matches!(s.kind, StmtKind::AugAssign { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn multiple_assignment() {
+        let s = one("a = b = 0\n");
+        match s.kind {
+            StmtKind::Assign { targets, .. } => assert_eq!(targets.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_assignment() {
+        let s = one("a, b = b, a\n");
+        match s.kind {
+            StmtKind::Assign { targets, value } => {
+                assert!(matches!(targets[0], Expr::Tuple(_)));
+                assert!(matches!(value, Expr::Tuple(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_and_nonlocal() {
+        assert!(matches!(one("global a, b\n").kind, StmtKind::Global(ref v) if v.len() == 2));
+        assert!(matches!(one("nonlocal x\n").kind, StmtKind::Nonlocal(ref v) if v.len() == 1));
+    }
+
+    #[test]
+    fn imports() {
+        assert!(matches!(
+            one("from omp4py import *\n").kind,
+            StmtKind::FromImport { star: true, .. }
+        ));
+        assert!(matches!(one("import math\n").kind, StmtKind::Import { .. }));
+    }
+
+    #[test]
+    fn inline_suite() {
+        let s = one("if x: y = 1\n");
+        match s.kind {
+            StmtKind::If { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_expr() {
+        let e = parse_expr("lambda x: x + 1").unwrap();
+        assert!(matches!(e, Expr::Lambda { .. }));
+    }
+
+    #[test]
+    fn ternary_expr() {
+        let e = parse_expr("a if c else b").unwrap();
+        assert!(matches!(e, Expr::IfExp { .. }));
+    }
+
+    #[test]
+    fn dict_and_list_literals() {
+        assert!(matches!(parse_expr("{}").unwrap(), Expr::Dict(ref v) if v.is_empty()));
+        assert!(matches!(parse_expr("{1: 'a'}").unwrap(), Expr::Dict(ref v) if v.len() == 1));
+        assert!(matches!(parse_expr("[1, 2, 3]").unwrap(), Expr::List(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn cannot_assign_to_literal() {
+        assert!(parse("1 = x\n").is_err());
+        assert!(parse("f(x) = 3\n").is_err());
+    }
+
+    #[test]
+    fn class_unsupported() {
+        assert!(parse("class A:\n    pass\n").is_err());
+    }
+
+    #[test]
+    fn adjacent_string_concat() {
+        assert_eq!(parse_expr("'a' 'b'").unwrap(), Expr::Str("ab".into()));
+    }
+
+    #[test]
+    fn semicolon_statements() {
+        let m = parse("a = 1; b = 2\n").unwrap();
+        assert_eq!(m.body.len(), 1);
+        match &m.body[0].kind {
+            StmtKind::If { body, .. } => assert_eq!(body.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Token definitions shared by the lexer and parser.
+
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: Tok,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// Token kinds produced by [`crate::lexer::tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal (decimal or `0x`-hex, with `_` separators).
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal (quotes and escapes already processed).
+    Str(String),
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Reserved keyword.
+    Keyword(Kw),
+    /// Punctuation or operator.
+    Op(Op),
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Python keywords recognized by minipy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kw {
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Break,
+    Continue,
+    Pass,
+    And,
+    Or,
+    Not,
+    None,
+    True,
+    False,
+    Global,
+    Nonlocal,
+    With,
+    As,
+    Try,
+    Except,
+    Finally,
+    Raise,
+    Assert,
+    Lambda,
+    Import,
+    From,
+    Del,
+    Is,
+    Class,
+}
+
+impl Kw {
+    /// Parse an identifier into a keyword, if it is one.
+    pub fn from_ident(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "return" => Kw::Return,
+            "if" => Kw::If,
+            "elif" => Kw::Elif,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "in" => Kw::In,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "pass" => Kw::Pass,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "None" => Kw::None,
+            "True" => Kw::True,
+            "False" => Kw::False,
+            "global" => Kw::Global,
+            "nonlocal" => Kw::Nonlocal,
+            "with" => Kw::With,
+            "as" => Kw::As,
+            "try" => Kw::Try,
+            "except" => Kw::Except,
+            "finally" => Kw::Finally,
+            "raise" => Kw::Raise,
+            "assert" => Kw::Assert,
+            "lambda" => Kw::Lambda,
+            "import" => Kw::Import,
+            "from" => Kw::From,
+            "del" => Kw::Del,
+            "is" => Kw::Is,
+            "class" => Kw::Class,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    DoubleSlash,
+    Percent,
+    DoubleStar,
+    Eq,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    DoubleSlashEq,
+    PercentEq,
+    DoubleStarEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    At,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Arrow,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Plus => "+",
+            Op::Minus => "-",
+            Op::Star => "*",
+            Op::Slash => "/",
+            Op::DoubleSlash => "//",
+            Op::Percent => "%",
+            Op::DoubleStar => "**",
+            Op::Eq => "=",
+            Op::EqEq => "==",
+            Op::NotEq => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::PlusEq => "+=",
+            Op::MinusEq => "-=",
+            Op::StarEq => "*=",
+            Op::SlashEq => "/=",
+            Op::DoubleSlashEq => "//=",
+            Op::PercentEq => "%=",
+            Op::DoubleStarEq => "**=",
+            Op::AmpEq => "&=",
+            Op::PipeEq => "|=",
+            Op::CaretEq => "^=",
+            Op::ShlEq => "<<=",
+            Op::ShrEq => ">>=",
+            Op::LParen => "(",
+            Op::RParen => ")",
+            Op::LBracket => "[",
+            Op::RBracket => "]",
+            Op::LBrace => "{",
+            Op::RBrace => "}",
+            Op::Comma => ",",
+            Op::Colon => ":",
+            Op::Semicolon => ";",
+            Op::Dot => ".",
+            Op::At => "@",
+            Op::Amp => "&",
+            Op::Pipe => "|",
+            Op::Caret => "^",
+            Op::Tilde => "~",
+            Op::Shl => "<<",
+            Op::Shr => ">>",
+            Op::Arrow => "->",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Keyword(k) => write!(f, "{k:?}"),
+            Tok::Op(op) => write!(f, "{op}"),
+            Tok::Newline => write!(f, "NEWLINE"),
+            Tok::Indent => write!(f, "INDENT"),
+            Tok::Dedent => write!(f, "DEDENT"),
+            Tok::Eof => write!(f, "EOF"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! # omp4rs-pyfront — the OMP4Py-style frontend
+//!
+//! This crate is the paper's *parser* (§III-A) plus its interpreter bridge:
+//! it turns `@omp`-decorated minipy functions containing `with omp("…")`
+//! directives into code that drives the [`omp4rs`] runtime, and exposes the
+//! OpenMP API to interpreted programs.
+//!
+//! Execution modes (paper §III-B):
+//!
+//! * [`ExecMode::Pure`] — interpreted user code + mutex-based runtime
+//!   internals (the pure-Python `runtime`).
+//! * [`ExecMode::Hybrid`] — interpreted user code + atomics-based runtime
+//!   internals (the Cython `cruntime`). The default.
+//!
+//! # Examples
+//!
+//! The paper's Fig. 1 π program, verbatim:
+//!
+//! ```
+//! use minipy::Interp;
+//! use omp4rs_pyfront::{install, ExecMode};
+//!
+//! # fn main() -> Result<(), minipy::PyErr> {
+//! let interp = Interp::new();
+//! install(&interp, ExecMode::Hybrid);
+//! let src = r#"
+//! from omp4py import *
+//!
+//! @omp
+//! def pi(n):
+//!     w = 1.0 / n
+//!     pi_value = 0.0
+//!     with omp("parallel for reduction(+:pi_value)"):
+//!         for i in range(n):
+//!             local = (i + 0.5) * w
+//!             pi_value += 4.0 / (1.0 + local * local)
+//!     return pi_value * w
+//! "#;
+//! interp.run(src)?;
+//! let pi = interp.get_global("pi").unwrap();
+//! let value = interp.call(&pi, vec![minipy::Value::Int(10_000)])?;
+//! assert!((value.as_float()? - std::f64::consts::PI).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+// Public API items carry doc comments; enum struct-variant fields are
+// documented at the variant level.
+#![warn(missing_docs)]
+#![allow(missing_docs)]
+
+pub mod bridge;
+pub mod scope;
+pub mod threadprivate;
+pub mod transform;
+
+pub use bridge::{install, ExecMode};
+pub use transform::transform_function;
+
+use minipy::error::PyErr;
+use minipy::{Interp, Value};
+
+/// Convenience runner: an interpreter with the OMP4Py bridge installed.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minipy::PyErr> {
+/// let runner = omp4rs_pyfront::Runner::new(omp4rs_pyfront::ExecMode::Hybrid);
+/// runner.run("from omp4py import *\nx = omp_get_num_procs()\n")?;
+/// assert!(runner.interp().get_global("x").unwrap().as_int()? >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runner {
+    interp: Interp,
+    mode: ExecMode,
+}
+
+impl Runner {
+    /// Create a runner in the given execution mode.
+    pub fn new(mode: ExecMode) -> Runner {
+        let interp = Interp::new();
+        install(&interp, mode);
+        Runner { interp, mode }
+    }
+
+    /// Create a runner around an existing interpreter (e.g. one with a
+    /// GIL-enabled configuration or captured output).
+    pub fn with_interp(interp: Interp, mode: ExecMode) -> Runner {
+        install(&interp, mode);
+        Runner { interp, mode }
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The underlying interpreter.
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// Run a source program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn run(&self, src: &str) -> Result<(), PyErr> {
+        self.interp.run(src)
+    }
+
+    /// Call a global function by name.
+    ///
+    /// # Errors
+    ///
+    /// `NameError` if the global does not exist; otherwise the call's error.
+    pub fn call_global(&self, name: &str, args: Vec<Value>) -> Result<Value, PyErr> {
+        let f = self
+            .interp
+            .get_global(name)
+            .ok_or_else(|| minipy::error::name_err(name))?;
+        self.interp.call(&f, args)
+    }
+}

@@ -1,0 +1,496 @@
+//! Variable usage analysis for directive transformation.
+//!
+//! The paper (§III-C): the body of a `parallel`/`task` directive moves into
+//! an inner function; variables it *assigns* that are defined in the
+//! enclosing function must be declared `nonlocal` there, while variables
+//! assigned only inside the block stay thread-local. Clause-privatized
+//! variables are instead *renamed* to `__omp_`-prefixed copies.
+
+use std::collections::{HashMap, HashSet};
+
+use minipy::ast::{Expr, Stmt, StmtKind};
+
+/// Count assignment sites per name in a statement block.
+///
+/// Covers `=`/`op=` targets, `for` targets, `with … as`, `except … as`,
+/// `def` names, `import` bindings, and `del`. Does **not** descend into
+/// nested function bodies (those are separate Python scopes).
+pub fn assignment_counts(stmts: &[Stmt]) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    count_block(stmts, &mut counts);
+    counts
+}
+
+/// The set of names with at least one assignment site in the block.
+pub fn assigned_names(stmts: &[Stmt]) -> HashSet<String> {
+    assignment_counts(stmts).into_keys().collect()
+}
+
+fn bump(counts: &mut HashMap<String, usize>, name: &str) {
+    *counts.entry(name.to_owned()).or_insert(0) += 1;
+}
+
+fn count_target(e: &Expr, counts: &mut HashMap<String, usize>) {
+    match e {
+        Expr::Name(n) => bump(counts, n),
+        Expr::Tuple(items) | Expr::List(items) => {
+            for item in items {
+                count_target(item, counts);
+            }
+        }
+        // Subscript/attribute targets mutate an object, not a binding.
+        _ => {}
+    }
+}
+
+fn count_block(stmts: &[Stmt], counts: &mut HashMap<String, usize>) {
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Assign { targets, .. } => {
+                for t in targets {
+                    count_target(t, counts);
+                }
+            }
+            StmtKind::AugAssign { target, .. } => count_target(target, counts),
+            StmtKind::For { target, body, .. } => {
+                count_target(target, counts);
+                count_block(body, counts);
+            }
+            StmtKind::If { body, orelse, .. } => {
+                count_block(body, counts);
+                count_block(orelse, counts);
+            }
+            StmtKind::While { body, .. } => count_block(body, counts),
+            StmtKind::With { items, body } => {
+                for item in items {
+                    if let Some(alias) = &item.alias {
+                        bump(counts, alias);
+                    }
+                }
+                count_block(body, counts);
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                count_block(body, counts);
+                for h in handlers {
+                    if let Some(alias) = &h.alias {
+                        bump(counts, alias);
+                    }
+                    count_block(&h.body, counts);
+                }
+                count_block(orelse, counts);
+                count_block(finalbody, counts);
+            }
+            StmtKind::FuncDef(def) => bump(counts, &def.name),
+            StmtKind::Import { module, alias } => {
+                let bind = alias
+                    .as_deref()
+                    .unwrap_or_else(|| module.split('.').next().unwrap_or(module));
+                bump(counts, bind);
+            }
+            StmtKind::FromImport { names, .. } => {
+                for (name, alias) in names {
+                    bump(counts, alias.as_deref().unwrap_or(name));
+                }
+            }
+            StmtKind::Del(targets) => {
+                for t in targets {
+                    count_target(t, counts);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// All names *read* anywhere in a block (including nested expressions), used
+/// to enforce `default(none)`.
+pub fn used_names(stmts: &[Stmt]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for stmt in stmts {
+        used_in_stmt(stmt, &mut names);
+    }
+    names
+}
+
+fn used_in_stmt(stmt: &Stmt, names: &mut HashSet<String>) {
+    match &stmt.kind {
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) | StmtKind::Raise(Some(e)) => {
+            used_in_expr(e, names)
+        }
+        StmtKind::Assign { targets, value } => {
+            for t in targets {
+                used_in_expr(t, names);
+            }
+            used_in_expr(value, names);
+        }
+        StmtKind::AugAssign { target, value, .. } => {
+            used_in_expr(target, names);
+            used_in_expr(value, names);
+        }
+        StmtKind::If { test, body, orelse } => {
+            used_in_expr(test, names);
+            for s in body.iter().chain(orelse) {
+                used_in_stmt(s, names);
+            }
+        }
+        StmtKind::While { test, body } => {
+            used_in_expr(test, names);
+            for s in body {
+                used_in_stmt(s, names);
+            }
+        }
+        StmtKind::For { target, iter, body } => {
+            used_in_expr(target, names);
+            used_in_expr(iter, names);
+            for s in body {
+                used_in_stmt(s, names);
+            }
+        }
+        StmtKind::With { items, body } => {
+            for item in items {
+                used_in_expr(&item.context, names);
+            }
+            for s in body {
+                used_in_stmt(s, names);
+            }
+        }
+        StmtKind::Try { body, handlers, orelse, finalbody } => {
+            for s in body.iter().chain(orelse).chain(finalbody) {
+                used_in_stmt(s, names);
+            }
+            for h in handlers {
+                for s in &h.body {
+                    used_in_stmt(s, names);
+                }
+            }
+        }
+        StmtKind::Assert { test, msg } => {
+            used_in_expr(test, names);
+            if let Some(m) = msg {
+                used_in_expr(m, names);
+            }
+        }
+        StmtKind::Del(targets) => {
+            for t in targets {
+                used_in_expr(t, names);
+            }
+        }
+        StmtKind::FuncDef(def) => {
+            // A nested def's free variables count as uses in this scope.
+            for s in &def.body {
+                used_in_stmt(s, names);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn used_in_expr(e: &Expr, names: &mut HashSet<String>) {
+    match e {
+        Expr::Name(n) => {
+            names.insert(n.clone());
+        }
+        Expr::Binary { left, right, .. } => {
+            used_in_expr(left, names);
+            used_in_expr(right, names);
+        }
+        Expr::Unary { operand, .. } => used_in_expr(operand, names),
+        Expr::BoolOp { values, .. } => {
+            for v in values {
+                used_in_expr(v, names);
+            }
+        }
+        Expr::Compare { left, comparators, .. } => {
+            used_in_expr(left, names);
+            for c in comparators {
+                used_in_expr(c, names);
+            }
+        }
+        Expr::Call { func, args, kwargs } => {
+            used_in_expr(func, names);
+            for a in args {
+                used_in_expr(a, names);
+            }
+            for (_, v) in kwargs {
+                used_in_expr(v, names);
+            }
+        }
+        Expr::Attribute { value, .. } => used_in_expr(value, names),
+        Expr::Index { value, index } => {
+            used_in_expr(value, names);
+            used_in_expr(index, names);
+        }
+        Expr::Slice { lower, upper, step } => {
+            for part in [lower, upper, step].into_iter().flatten() {
+                used_in_expr(part, names);
+            }
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            for item in items {
+                used_in_expr(item, names);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                used_in_expr(k, names);
+                used_in_expr(v, names);
+            }
+        }
+        Expr::IfExp { test, body, orelse } => {
+            used_in_expr(test, names);
+            used_in_expr(body, names);
+            used_in_expr(orelse, names);
+        }
+        Expr::Lambda { body, .. } => used_in_expr(body, names),
+        _ => {}
+    }
+}
+
+/// Rename all occurrences of the mapped names in a block (both reads and
+/// assignment targets) — the paper's privatization-by-renaming.
+pub fn rename_names(stmts: &mut [Stmt], map: &HashMap<String, String>) {
+    for stmt in stmts {
+        rename_stmt(stmt, map);
+    }
+}
+
+fn rename_stmt(stmt: &mut Stmt, map: &HashMap<String, String>) {
+    match &mut stmt.kind {
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) | StmtKind::Raise(Some(e)) => {
+            rename_expr(e, map)
+        }
+        StmtKind::Assign { targets, value } => {
+            for t in targets {
+                rename_expr(t, map);
+            }
+            rename_expr(value, map);
+        }
+        StmtKind::AugAssign { target, value, .. } => {
+            rename_expr(target, map);
+            rename_expr(value, map);
+        }
+        StmtKind::If { test, body, orelse } => {
+            rename_expr(test, map);
+            rename_names(body, map);
+            rename_names(orelse, map);
+        }
+        StmtKind::While { test, body } => {
+            rename_expr(test, map);
+            rename_names(body, map);
+        }
+        StmtKind::For { target, iter, body } => {
+            rename_expr(target, map);
+            rename_expr(iter, map);
+            rename_names(body, map);
+        }
+        StmtKind::With { items, body } => {
+            for item in items {
+                rename_expr(&mut item.context, map);
+            }
+            rename_names(body, map);
+        }
+        StmtKind::Try { body, handlers, orelse, finalbody } => {
+            rename_names(body, map);
+            for h in handlers {
+                rename_names(&mut h.body, map);
+            }
+            rename_names(orelse, map);
+            rename_names(finalbody, map);
+        }
+        StmtKind::Assert { test, msg } => {
+            rename_expr(test, map);
+            if let Some(m) = msg {
+                rename_expr(m, map);
+            }
+        }
+        StmtKind::Del(targets) => {
+            for t in targets {
+                rename_expr(t, map);
+            }
+        }
+        StmtKind::Global(names) | StmtKind::Nonlocal(names) => {
+            for n in names {
+                if let Some(new) = map.get(n) {
+                    *n = new.clone();
+                }
+            }
+        }
+        StmtKind::FuncDef(def) => {
+            // Rename free-variable uses inside nested defs, except where the
+            // nested function rebinds the name (param or local assignment).
+            let def_mut = std::sync::Arc::make_mut(def);
+            let mut inner_map = map.clone();
+            for p in &def_mut.params {
+                inner_map.remove(&p.name);
+            }
+            for local in assigned_names(&def_mut.body) {
+                inner_map.remove(&local);
+            }
+            if !inner_map.is_empty() {
+                rename_names(&mut def_mut.body, &inner_map);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rename_expr(e: &mut Expr, map: &HashMap<String, String>) {
+    match e {
+        Expr::Name(n) => {
+            if let Some(new) = map.get(n) {
+                *n = new.clone();
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            rename_expr(left, map);
+            rename_expr(right, map);
+        }
+        Expr::Unary { operand, .. } => rename_expr(operand, map),
+        Expr::BoolOp { values, .. } => {
+            for v in values {
+                rename_expr(v, map);
+            }
+        }
+        Expr::Compare { left, comparators, .. } => {
+            rename_expr(left, map);
+            for c in comparators {
+                rename_expr(c, map);
+            }
+        }
+        Expr::Call { func, args, kwargs } => {
+            rename_expr(func, map);
+            for a in args {
+                rename_expr(a, map);
+            }
+            for (_, v) in kwargs {
+                rename_expr(v, map);
+            }
+        }
+        Expr::Attribute { value, .. } => rename_expr(value, map),
+        Expr::Index { value, index } => {
+            rename_expr(value, map);
+            rename_expr(index, map);
+        }
+        Expr::Slice { lower, upper, step } => {
+            for part in [lower, upper, step].into_iter().flatten() {
+                rename_expr(part, map);
+            }
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            for item in items {
+                rename_expr(item, map);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                rename_expr(k, map);
+                rename_expr(v, map);
+            }
+        }
+        Expr::IfExp { test, body, orelse } => {
+            rename_expr(test, map);
+            rename_expr(body, map);
+            rename_expr(orelse, map);
+        }
+        Expr::Lambda { params, body } => {
+            let mut inner = map.clone();
+            for p in params {
+                inner.remove(&p.name);
+            }
+            rename_expr(body, &inner);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minipy::parse;
+
+    fn counts_of(src: &str) -> HashMap<String, usize> {
+        assignment_counts(&parse(src).unwrap().body)
+    }
+
+    #[test]
+    fn counts_simple_assignments() {
+        let c = counts_of("x = 1\nx = 2\ny += 1\n");
+        assert_eq!(c["x"], 2);
+        assert_eq!(c["y"], 1);
+    }
+
+    #[test]
+    fn counts_for_and_with_targets() {
+        let c = counts_of("for i in r:\n    pass\nwith c as h:\n    pass\n");
+        assert_eq!(c["i"], 1);
+        assert_eq!(c["h"], 1);
+    }
+
+    #[test]
+    fn counts_tuple_targets() {
+        let c = counts_of("a, b = 1, 2\n");
+        assert_eq!(c["a"], 1);
+        assert_eq!(c["b"], 1);
+    }
+
+    #[test]
+    fn subscript_targets_not_counted() {
+        let c = counts_of("d[0] = 1\no.attr = 2\n");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn nested_defs_not_descended() {
+        let c = counts_of("def f():\n    inner_var = 1\n");
+        assert_eq!(c.get("f"), Some(&1));
+        assert!(!c.contains_key("inner_var"));
+    }
+
+    #[test]
+    fn used_names_cover_reads() {
+        let u = used_names(&parse("z = x + y[i]\nprint(w)\n").unwrap().body);
+        for name in ["x", "y", "i", "w", "print", "z"] {
+            assert!(u.contains(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn rename_changes_reads_and_writes() {
+        let mut m = parse("acc = acc + x\nfor x in r:\n    acc += x\n").unwrap();
+        let map = HashMap::from([
+            ("acc".to_owned(), "__omp_acc_1".to_owned()),
+            ("x".to_owned(), "__omp_x_2".to_owned()),
+        ]);
+        rename_names(&mut m.body, &map);
+        let printed = minipy::print_module(&m);
+        assert!(!printed.contains("acc ="), "{printed}");
+        assert!(printed.contains("__omp_acc_1"));
+        assert!(printed.contains("for __omp_x_2 in r"));
+    }
+
+    #[test]
+    fn rename_respects_nested_scope_shadowing() {
+        let mut m = parse("def g(x):\n    return x + y\n").unwrap();
+        let map = HashMap::from([
+            ("x".to_owned(), "__omp_x".to_owned()),
+            ("y".to_owned(), "__omp_y".to_owned()),
+        ]);
+        rename_names(&mut m.body, &map);
+        let printed = minipy::print_module(&m);
+        // x is a parameter of g: not renamed inside; y is free: renamed.
+        assert!(printed.contains("def g(x):"));
+        assert!(printed.contains("(x + __omp_y)"));
+    }
+
+    #[test]
+    fn rename_respects_lambda_params() {
+        let mut m = parse("f = lambda x: x + y\n").unwrap();
+        let map = HashMap::from([
+            ("x".to_owned(), "X".to_owned()),
+            ("y".to_owned(), "Y".to_owned()),
+        ]);
+        rename_names(&mut m.body, &map);
+        let printed = minipy::print_module(&m);
+        assert!(printed.contains("lambda x: (x + Y)"), "{printed}");
+    }
+}

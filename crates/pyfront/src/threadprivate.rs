@@ -1,0 +1,287 @@
+//! `threadprivate` support: a program-wide registry of thread-private names
+//! plus the AST pass that redirects their reads/writes through the runtime's
+//! per-thread storage (`__omp.tp_get` / `__omp.tp_set`).
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use minipy::ast::{Expr, Stmt, StmtKind};
+use minipy::error::{ErrKind, PyErr};
+use parking_lot::RwLock;
+
+fn registry() -> &'static RwLock<HashSet<String>> {
+    static REGISTRY: OnceLock<RwLock<HashSet<String>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// Register names declared `threadprivate`.
+pub fn register(names: &[String]) {
+    registry().write().extend(names.iter().cloned());
+}
+
+/// The currently registered thread-private names.
+pub fn registered() -> HashSet<String> {
+    registry().read().clone()
+}
+
+/// Clear the registry (tests).
+pub fn reset() {
+    registry().write().clear();
+}
+
+fn tp_get(name: &str) -> Expr {
+    Expr::call(
+        Expr::attr(Expr::name("__omp"), "tp_get"),
+        vec![Expr::Str(name.to_owned())],
+    )
+}
+
+fn tp_set_stmt(name: &str, value: Expr) -> Stmt {
+    Stmt::synth(StmtKind::Expr(Expr::call(
+        Expr::attr(Expr::name("__omp"), "tp_set"),
+        vec![Expr::Str(name.to_owned()), value],
+    )))
+}
+
+/// Rewrite a block so reads/writes of thread-private names go through the
+/// runtime.
+///
+/// # Errors
+///
+/// Returns a `SyntaxError` for unsupported shapes (deleting a thread-private
+/// name, unpacking into one).
+pub fn apply(stmts: &mut Vec<Stmt>, names: &HashSet<String>) -> Result<(), PyErr> {
+    let rewritten = std::mem::take(stmts)
+        .into_iter()
+        .map(|s| rewrite_stmt(s, names))
+        .collect::<Result<Vec<Vec<Stmt>>, PyErr>>()?;
+    *stmts = rewritten.into_iter().flatten().collect();
+    Ok(())
+}
+
+fn is_tp_target(e: &Expr, names: &HashSet<String>) -> bool {
+    matches!(e, Expr::Name(n) if names.contains(n))
+}
+
+fn rewrite_block(body: Vec<Stmt>, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr> {
+    let mut out = Vec::with_capacity(body.len());
+    for stmt in body {
+        out.extend(rewrite_stmt(stmt, names)?);
+    }
+    Ok(out)
+}
+
+fn rewrite_stmt(stmt: Stmt, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr> {
+    let line = stmt.line;
+    let kind = match stmt.kind {
+        StmtKind::Assign { targets, value } => {
+            let value = subst(value, names);
+            let any_tp = targets.iter().any(|t| is_tp_target(t, names));
+            if !any_tp {
+                let targets =
+                    targets.into_iter().map(|t| subst_target(t, names)).collect::<Vec<_>>();
+                StmtKind::Assign { targets, value }
+            } else if targets.len() == 1 {
+                let name = match &targets[0] {
+                    Expr::Name(n) => n.clone(),
+                    _ => unreachable!("checked by is_tp_target"),
+                };
+                return Ok(vec![tp_set_stmt(&name, value)]);
+            } else {
+                // a = tp = expr : evaluate once, then store to each target.
+                let tmp = "__omp_tp_tmp".to_owned();
+                let mut out = vec![Stmt::new(
+                    StmtKind::Assign { targets: vec![Expr::name(&tmp)], value },
+                    line,
+                )];
+                for t in targets {
+                    if let Expr::Name(n) = &t {
+                        if names.contains(n) {
+                            out.push(tp_set_stmt(n, Expr::name(&tmp)));
+                            continue;
+                        }
+                    }
+                    out.push(Stmt::new(
+                        StmtKind::Assign {
+                            targets: vec![subst_target(t, names)],
+                            value: Expr::name(&tmp),
+                        },
+                        line,
+                    ));
+                }
+                return Ok(out);
+            }
+        }
+        StmtKind::AugAssign { target, op, value } => {
+            let value = subst(value, names);
+            if let Expr::Name(n) = &target {
+                if names.contains(n) {
+                    let combined = Expr::Binary {
+                        op,
+                        left: Box::new(tp_get(n)),
+                        right: Box::new(value),
+                    };
+                    return Ok(vec![tp_set_stmt(n, combined)]);
+                }
+            }
+            StmtKind::AugAssign { target: subst_target(target, names), op, value }
+        }
+        StmtKind::Expr(e) => StmtKind::Expr(subst(e, names)),
+        StmtKind::Return(v) => StmtKind::Return(v.map(|e| subst(e, names))),
+        StmtKind::If { test, body, orelse } => StmtKind::If {
+            test: subst(test, names),
+            body: rewrite_block(body, names)?,
+            orelse: rewrite_block(orelse, names)?,
+        },
+        StmtKind::While { test, body } => StmtKind::While {
+            test: subst(test, names),
+            body: rewrite_block(body, names)?,
+        },
+        StmtKind::For { target, iter, body } => {
+            if is_tp_target(&target, names) {
+                return Err(PyErr::at(
+                    ErrKind::Syntax,
+                    "a threadprivate variable cannot be a loop target",
+                    line,
+                ));
+            }
+            StmtKind::For {
+                target,
+                iter: subst(iter, names),
+                body: rewrite_block(body, names)?,
+            }
+        }
+        StmtKind::With { items, body } => StmtKind::With {
+            items: items
+                .into_iter()
+                .map(|mut i| {
+                    i.context = subst(i.context, names);
+                    i
+                })
+                .collect(),
+            body: rewrite_block(body, names)?,
+        },
+        StmtKind::Try { body, handlers, orelse, finalbody } => StmtKind::Try {
+            body: rewrite_block(body, names)?,
+            handlers: handlers
+                .into_iter()
+                .map(|mut h| {
+                    h.body = rewrite_block(std::mem::take(&mut h.body), names)?;
+                    Ok(h)
+                })
+                .collect::<Result<Vec<_>, PyErr>>()?,
+            orelse: rewrite_block(orelse, names)?,
+            finalbody: rewrite_block(finalbody, names)?,
+        },
+        StmtKind::Assert { test, msg } => StmtKind::Assert {
+            test: subst(test, names),
+            msg: msg.map(|m| subst(m, names)),
+        },
+        StmtKind::Raise(v) => StmtKind::Raise(v.map(|e| subst(e, names))),
+        StmtKind::Del(targets) => {
+            if targets.iter().any(|t| is_tp_target(t, names)) {
+                return Err(PyErr::at(
+                    ErrKind::Syntax,
+                    "cannot delete a threadprivate variable",
+                    line,
+                ));
+            }
+            StmtKind::Del(targets)
+        }
+        StmtKind::FuncDef(def) => {
+            // threadprivate names are program-global (like C file-scope
+            // threadprivate variables): they are rewritten inside nested
+            // functions too, unless shadowed by a parameter.
+            let mut inner_names = names.clone();
+            for p in &def.params {
+                inner_names.remove(&p.name);
+            }
+            let mut def = (*def).clone();
+            if !inner_names.is_empty() {
+                def.body = rewrite_block(def.body, &inner_names)?;
+            }
+            StmtKind::FuncDef(std::sync::Arc::new(def))
+        }
+        other => other,
+    };
+    Ok(vec![Stmt::new(kind, line)])
+}
+
+/// Substitute reads of thread-private names with `tp_get` calls.
+fn subst(e: Expr, names: &HashSet<String>) -> Expr {
+    match e {
+        Expr::Name(n) if names.contains(&n) => tp_get(&n),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(subst(*left, names)),
+            right: Box::new(subst(*right, names)),
+        },
+        Expr::Unary { op, operand } => {
+            Expr::Unary { op, operand: Box::new(subst(*operand, names)) }
+        }
+        Expr::BoolOp { op, values } => Expr::BoolOp {
+            op,
+            values: values.into_iter().map(|v| subst(v, names)).collect(),
+        },
+        Expr::Compare { left, ops, comparators } => Expr::Compare {
+            left: Box::new(subst(*left, names)),
+            ops,
+            comparators: comparators.into_iter().map(|c| subst(c, names)).collect(),
+        },
+        Expr::Call { func, args, kwargs } => Expr::Call {
+            func: Box::new(subst(*func, names)),
+            args: args.into_iter().map(|a| subst(a, names)).collect(),
+            kwargs: kwargs.into_iter().map(|(k, v)| (k, subst(v, names))).collect(),
+        },
+        Expr::Attribute { value, attr } => {
+            Expr::Attribute { value: Box::new(subst(*value, names)), attr }
+        }
+        Expr::Index { value, index } => Expr::Index {
+            value: Box::new(subst(*value, names)),
+            index: Box::new(subst(*index, names)),
+        },
+        Expr::Slice { lower, upper, step } => Expr::Slice {
+            lower: lower.map(|e| Box::new(subst(*e, names))),
+            upper: upper.map(|e| Box::new(subst(*e, names))),
+            step: step.map(|e| Box::new(subst(*e, names))),
+        },
+        Expr::List(items) => Expr::List(items.into_iter().map(|i| subst(i, names)).collect()),
+        Expr::Tuple(items) => Expr::Tuple(items.into_iter().map(|i| subst(i, names)).collect()),
+        Expr::Dict(items) => Expr::Dict(
+            items.into_iter().map(|(k, v)| (subst(k, names), subst(v, names))).collect(),
+        ),
+        Expr::IfExp { test, body, orelse } => Expr::IfExp {
+            test: Box::new(subst(*test, names)),
+            body: Box::new(subst(*body, names)),
+            orelse: Box::new(subst(*orelse, names)),
+        },
+        Expr::Lambda { params, body } => {
+            let mut inner = names.clone();
+            for p in &params {
+                inner.remove(&p.name);
+            }
+            let body = Box::new(subst(*body, &inner));
+            Expr::Lambda { params, body }
+        }
+        other => other,
+    }
+}
+
+/// Substitute reads inside assignment targets (e.g. `d[tp_var] = x` reads
+/// `tp_var`) without rewriting the target name itself.
+fn subst_target(e: Expr, names: &HashSet<String>) -> Expr {
+    match e {
+        Expr::Name(n) => Expr::Name(n),
+        Expr::Index { value, index } => Expr::Index {
+            value: Box::new(subst(*value, names)),
+            index: Box::new(subst(*index, names)),
+        },
+        Expr::Tuple(items) => {
+            Expr::Tuple(items.into_iter().map(|i| subst_target(i, names)).collect())
+        }
+        Expr::List(items) => {
+            Expr::List(items.into_iter().map(|i| subst_target(i, names)).collect())
+        }
+        other => other,
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation primitives: virtual time, FCFS resources, the machine.
+
+/// A serializing FCFS resource (a mutex, an atomic cache line, the GIL).
+///
+/// `acquire(arrive, service)` returns the completion time of a request that
+/// arrives at `arrive` and occupies the resource for `service` virtual
+/// seconds. Requests must be issued in nondecreasing arrival order — the
+/// event loops in [`crate::workload`] guarantee this by always advancing
+/// the earliest thread first.
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    available_at: f64,
+    busy_time: f64,
+}
+
+impl Resource {
+    /// A fresh, idle resource.
+    pub fn new() -> Resource {
+        Resource::default()
+    }
+
+    /// Serve a request; returns its completion time.
+    pub fn acquire(&mut self, arrive: f64, service: f64) -> f64 {
+        let start = arrive.max(self.available_at);
+        self.available_at = start + service;
+        self.busy_time += service;
+        self.available_at
+    }
+
+    /// Time the resource has spent busy (utilization diagnostics).
+    pub fn busy_time(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Next time the resource is free.
+    pub fn available_at(&self) -> f64 {
+        self.available_at
+    }
+}
+
+/// The virtual machine: a core count and the global serializing resources.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Number of physical cores. Threads beyond this count time-share:
+    /// compute segments are stretched by `ceil(threads / cores)`.
+    pub cores: usize,
+    /// The simulated GIL (used only when a workload enables it).
+    pub gil: Resource,
+    /// Shared-object traffic (refcounts / per-object locks): the cache-line
+    /// serialization that limits free-threaded interpreter scaling.
+    pub shared_objects: Resource,
+    /// The scheduling counter / task queue head.
+    pub queue: Resource,
+    /// The runtime's reduction/critical mutex.
+    pub mutex: Resource,
+}
+
+impl Machine {
+    /// A machine with `cores` cores and idle resources.
+    pub fn new(cores: usize) -> Machine {
+        Machine {
+            cores: cores.max(1),
+            gil: Resource::new(),
+            shared_objects: Resource::new(),
+            queue: Resource::new(),
+            mutex: Resource::new(),
+        }
+    }
+
+    /// Stretch factor for compute when `threads` exceed the core count
+    /// (simple time-slicing model).
+    pub fn oversubscription(&self, threads: usize) -> f64 {
+        if threads <= self.cores {
+            1.0
+        } else {
+            threads as f64 / self.cores as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = Resource::new();
+        assert_eq!(r.acquire(5.0, 2.0), 7.0);
+        assert_eq!(r.busy_time(), 2.0);
+    }
+
+    #[test]
+    fn contended_requests_queue_fcfs() {
+        let mut r = Resource::new();
+        assert_eq!(r.acquire(0.0, 3.0), 3.0);
+        // Arrives while busy: waits.
+        assert_eq!(r.acquire(1.0, 3.0), 6.0);
+        // Arrives after idle period: no wait.
+        assert_eq!(r.acquire(10.0, 1.0), 11.0);
+        assert_eq!(r.busy_time(), 7.0);
+    }
+
+    #[test]
+    fn oversubscription_factor() {
+        let m = Machine::new(4);
+        assert_eq!(m.oversubscription(1), 1.0);
+        assert_eq!(m.oversubscription(4), 1.0);
+        assert_eq!(m.oversubscription(8), 2.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # simcore — a discrete-event multicore execution simulator
+//!
+//! The OMP4Py paper's evaluation machine is a 32-core Xeon; this
+//! reproduction may run on hosts with a single core, where wall-clock
+//! thread-scaling measurements are necessarily flat. `simcore` regenerates
+//! the paper's *scaling curves* (Figs. 5–8) by simulating the runtime's
+//! actual scheduling algorithms on a virtual multicore machine:
+//!
+//! * loop chunks are claimed in virtual time exactly as the real runtime
+//!   claims them (static round-robin / dynamic counter / guided decay),
+//!   with per-claim costs that differ between the mutex and atomic backends;
+//! * barriers release at the max of arrival times plus a measured cost;
+//! * a simulated GIL serializes interpreted compute;
+//! * free-threaded interpreter scaling is limited by charging each
+//!   iteration's shared-object operations (refcounts, cell locks — the
+//!   mechanism the paper blames for CPython 3.14b1's limited scalability)
+//!   through a serializing resource;
+//! * task phases model single-producer queues and recursive task trees.
+//!
+//! All cost parameters come from **real measurements on the host** (per-
+//! iteration times at one thread, microbenchmarked claim/barrier costs);
+//! the simulator only extrapolates them to more cores. The bench harness
+//! (`omp4rs-bench`) performs that calibration.
+
+// Public API items carry doc comments; enum struct-variant fields are
+// documented at the variant level.
+#![warn(missing_docs)]
+#![allow(missing_docs)]
+
+pub mod engine;
+pub mod workload;
+
+pub use engine::{Machine, Resource};
+pub use workload::{simulate, ClaimCost, CostModel, Phase, SimSchedule, TaskShape, Workload};

@@ -1,0 +1,767 @@
+//! Workload descriptions and the simulation loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::engine::Machine;
+
+/// Per-claim cost of the shared scheduling counter, by backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClaimCost {
+    /// Seconds per chunk claim (lock+unlock for the mutex backend, a
+    /// fetch_add cache-line transfer for the atomic backend).
+    pub seconds: f64,
+    /// Whether claims serialize through the shared queue resource (true
+    /// for dynamic/guided counters; static claims are thread-local).
+    pub serializes: bool,
+}
+
+impl ClaimCost {
+    /// A free local claim (static scheduling).
+    pub fn local() -> ClaimCost {
+        ClaimCost { seconds: 0.0, serializes: false }
+    }
+}
+
+/// Scheduling policy in the simulator (mirrors the runtime's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimSchedule {
+    /// Contiguous block per thread.
+    StaticBlock,
+    /// Chunked round-robin.
+    StaticChunk(u64),
+    /// Shared-counter claims of fixed chunks.
+    Dynamic(u64),
+    /// Shared-counter claims of decaying chunks (min chunk given).
+    Guided(u64),
+}
+
+/// Shape of a task phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskShape {
+    /// One thread produces all tasks (the paper's bfs/wordcount-style
+    /// single-producer pattern); the team consumes them.
+    SingleProducer,
+    /// Binary recursive decomposition (the paper's qsort/fibonacci): each
+    /// task spawns two children until the pool is exhausted.
+    BinaryRecursive,
+}
+
+/// One phase of a simulated program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// A work-shared loop with an implicit end barrier (unless `nowait`).
+    ParallelFor {
+        /// Total loop iterations.
+        iters: u64,
+        /// Seconds of pure compute per iteration (measured at one thread).
+        cost_per_iter: f64,
+        /// Shared-object operations per iteration (refcount/cell-lock
+        /// touches). Each costs [`CostModel::shared_op`] and serializes.
+        shared_ops_per_iter: f64,
+        /// Scheduling policy.
+        schedule: SimSchedule,
+        /// Chunk-claim cost.
+        claim: ClaimCost,
+        /// Skip the end barrier.
+        nowait: bool,
+        /// Load-imbalance intensity: each chunk's cost is scaled by
+        /// `1 + imbalance · T` where `T` is a deterministic heavy-tailed
+        /// draw keyed on the chunk's start iteration (Pareto-like,
+        /// mean ≈ 1, capped). `0.0` = uniform. Models heavy-tailed work
+        /// items — the Wikipedia-article length distribution behind the
+        /// wordcount imbalance of Fig. 7 — which fixed (static) chunk
+        /// assignments cannot balance but dynamic/guided claims can.
+        imbalance: f64,
+    },
+    /// A region executed by one thread while others wait at the next
+    /// barrier (`single` + barrier, or serial setup).
+    Serial {
+        /// Seconds of compute.
+        cost: f64,
+    },
+    /// An explicit barrier.
+    Barrier,
+    /// A task-queue phase ending in a task-draining barrier.
+    Tasks {
+        /// Total number of tasks.
+        count: u64,
+        /// Seconds of compute per task.
+        cost_per_task: f64,
+        /// Shared-object operations per task.
+        shared_ops_per_task: f64,
+        /// Seconds to enqueue one task (by the producer).
+        spawn_cost: f64,
+        /// Producer/tree shape.
+        shape: TaskShape,
+    },
+    /// Each thread performs `per_thread` critical-section updates of
+    /// `cost` seconds each (reduction merges, shared dict updates).
+    CriticalUpdates {
+        /// Updates per thread.
+        per_thread: u64,
+        /// Seconds per update (serialized through the runtime mutex).
+        cost: f64,
+    },
+}
+
+/// Calibrated cost parameters (measured on the host by the bench harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Barrier cost in seconds (per barrier, once all threads arrived).
+    pub barrier: f64,
+    /// Seconds per shared-object operation when contended (a cache-line
+    /// transfer; ~60–100 ns on commodity hardware).
+    pub shared_op: f64,
+    /// Whether a GIL serializes all compute (Pure/Hybrid on a GIL build).
+    pub gil: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel { barrier: 2e-6, shared_op: 7e-8, gil: false }
+    }
+}
+
+/// A simulated program: phases executed by every thread of the team.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    /// The phases, in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Create an empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Append a phase (builder style).
+    pub fn phase(mut self, p: Phase) -> Workload {
+        self.phases.push(p);
+        self
+    }
+}
+
+/// Min-heap entry: (next event time, thread id).
+#[derive(Debug, PartialEq)]
+struct Ev(f64, usize);
+
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties broken by thread id for determinism.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// Simulate a workload on `threads` threads and return the virtual
+/// wall-clock seconds of the parallel region.
+///
+/// The machine is mutated (resource utilization accumulates) so a fresh
+/// [`Machine`] should be used per run.
+pub fn simulate(
+    machine: &mut Machine,
+    model: &CostModel,
+    workload: &Workload,
+    threads: usize,
+) -> f64 {
+    let threads = threads.max(1);
+    let slow = machine.oversubscription(threads);
+    let mut now = vec![0.0f64; threads];
+
+    for phase in &workload.phases {
+        match phase {
+            Phase::Serial { cost } => {
+                // Thread 0 computes; everyone barriers after.
+                now[0] = charge_compute(machine, model, now[0], *cost * slow);
+                barrier(&mut now, model);
+            }
+            Phase::Barrier => barrier(&mut now, model),
+            Phase::CriticalUpdates { per_thread, cost } => {
+                // Each thread's updates serialize through the mutex; drive
+                // in global time order.
+                let mut heap: BinaryHeap<Ev> = now
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &time)| Ev(time, t))
+                    .collect();
+                let mut remaining = vec![*per_thread; threads];
+                while let Some(Ev(time, t)) = heap.pop() {
+                    if remaining[t] == 0 {
+                        now[t] = time;
+                        continue;
+                    }
+                    remaining[t] -= 1;
+                    let done = machine.mutex.acquire(time, *cost * slow);
+                    heap.push(Ev(done, t));
+                }
+            }
+            Phase::ParallelFor {
+                iters,
+                cost_per_iter,
+                shared_ops_per_iter,
+                schedule,
+                claim,
+                nowait,
+                imbalance,
+            } => {
+                sim_loop(
+                    machine,
+                    model,
+                    &mut now,
+                    *iters,
+                    *cost_per_iter * slow,
+                    *shared_ops_per_iter,
+                    *schedule,
+                    *claim,
+                    *imbalance,
+                );
+                if !nowait {
+                    barrier(&mut now, model);
+                }
+            }
+            Phase::Tasks { count, cost_per_task, shared_ops_per_task, spawn_cost, shape } => {
+                sim_tasks(
+                    machine,
+                    model,
+                    &mut now,
+                    *count,
+                    *cost_per_task * slow,
+                    *shared_ops_per_task,
+                    *spawn_cost,
+                    *shape,
+                );
+                barrier(&mut now, model);
+            }
+        }
+    }
+    now.iter().copied().fold(0.0, f64::max)
+}
+
+/// Iterations are weighted in fixed segments of this many iterations, so a
+/// chunk's cost is the integral of a chunking-independent weight field.
+const WEIGHT_SEGMENT: u64 = 256;
+
+/// Deterministic heavy-tailed weight of one segment (splitmix64 → Pareto-like
+/// draw with tail exponent 1.25, capped at 400), keyed by segment index.
+fn segment_weight(segment: u64, imbalance: f64) -> f64 {
+    if imbalance == 0.0 {
+        return 1.0;
+    }
+    // splitmix64
+    let mut z = segment.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z as f64 / u64::MAX as f64).clamp(0.0, 0.999_999);
+    // Heavy tail, like article/line length distributions (close to Zipf).
+    let tail = ((1.0 / (1.0 - u)).powf(0.8) - 1.0).min(400.0);
+    1.0 + imbalance * tail
+}
+
+/// Weighted iteration count of the chunk `[lo, lo + len)`.
+fn weighted_iterations(lo: u64, len: u64, imbalance: f64) -> f64 {
+    if imbalance == 0.0 {
+        return len as f64;
+    }
+    let hi = lo + len;
+    let mut total = 0.0;
+    let mut pos = lo;
+    while pos < hi {
+        let seg = pos / WEIGHT_SEGMENT;
+        let seg_end = ((seg + 1) * WEIGHT_SEGMENT).min(hi);
+        total += (seg_end - pos) as f64 * segment_weight(seg, imbalance);
+        pos = seg_end;
+    }
+    total
+}
+
+/// Charge compute time, serialized through the GIL when enabled.
+fn charge_compute(machine: &mut Machine, model: &CostModel, start: f64, cost: f64) -> f64 {
+    if model.gil {
+        machine.gil.acquire(start, cost)
+    } else {
+        start + cost
+    }
+}
+
+fn barrier(now: &mut [f64], model: &CostModel) {
+    let release = now.iter().copied().fold(0.0, f64::max) + model.barrier;
+    for t in now.iter_mut() {
+        *t = release;
+    }
+}
+
+/// Drive one work-shared loop, replaying the runtime's chunking logic.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn sim_loop(
+    machine: &mut Machine,
+    model: &CostModel,
+    now: &mut [f64],
+    iters: u64,
+    cost_per_iter: f64,
+    shared_ops_per_iter: f64,
+    schedule: SimSchedule,
+    claim: ClaimCost,
+    imbalance: f64,
+) {
+    let threads = now.len();
+    if iters == 0 {
+        return;
+    }
+    let phase_start = now.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut total_shared = 0.0f64;
+    // Per-thread chunk generators for static schedules.
+    let mut heap: BinaryHeap<Ev> =
+        now.iter().enumerate().map(|(t, &time)| Ev(time, t)).collect();
+    let mut static_next: Vec<u64> = (0..threads as u64).collect();
+    let mut static_block_done = vec![false; threads];
+    let mut counter: u64 = 0; // dynamic/guided shared counter
+
+    while let Some(Ev(time, t)) = heap.pop() {
+        // Determine this thread's next chunk (start, length).
+        let (chunk_lo, chunk_len): (u64, u64) = match schedule {
+            SimSchedule::StaticBlock => {
+                if static_block_done[t] {
+                    (0, 0)
+                } else {
+                    static_block_done[t] = true;
+                    let tt = t as u64;
+                    let n = threads as u64;
+                    let base = iters / n;
+                    let lo = tt * base + tt.min(iters % n);
+                    (lo, base + u64::from(tt < iters % n))
+                }
+            }
+            SimSchedule::StaticChunk(c) => {
+                let lo = static_next[t] * c;
+                if lo >= iters {
+                    (0, 0)
+                } else {
+                    static_next[t] += threads as u64;
+                    (lo, c.min(iters - lo))
+                }
+            }
+            SimSchedule::Dynamic(c) => {
+                if counter >= iters {
+                    (0, 0)
+                } else {
+                    let lo = counter;
+                    let len = c.min(iters - counter);
+                    counter += len;
+                    (lo, len)
+                }
+            }
+            SimSchedule::Guided(min_chunk) => {
+                if counter >= iters {
+                    (0, 0)
+                } else {
+                    let lo = counter;
+                    let remaining = iters - counter;
+                    let len = (remaining.div_ceil(2 * threads as u64))
+                        .max(min_chunk)
+                        .min(remaining);
+                    counter += len;
+                    (lo, len)
+                }
+            }
+        };
+        if chunk_len == 0 {
+            now[t] = time;
+            continue;
+        }
+        // Claim cost (serialized for shared counters).
+        let after_claim = if claim.seconds > 0.0 {
+            if claim.serializes {
+                machine.queue.acquire(time, claim.seconds)
+            } else {
+                time + claim.seconds
+            }
+        } else {
+            time
+        };
+        // Chunk compute: private part runs in parallel; shared-object
+        // traffic adds latency per chunk *and* accumulates into the global
+        // serialization floor applied below (a single FCFS resource would
+        // falsely serialize on out-of-order arrivals since each event spans
+        // a whole chunk). The imbalance model scales the chunk by a
+        // heavy-tailed weight.
+        // Integrate the (chunking-independent) per-segment weight field over
+        // this chunk, so total work is conserved across schedules. Heavier
+        // work items do proportionally more shared-object traffic.
+        let weighted_len = weighted_iterations(chunk_lo, chunk_len, imbalance);
+        let shared = weighted_len * shared_ops_per_iter * model.shared_op;
+        total_shared += shared;
+        let private = weighted_len * cost_per_iter;
+        let done = charge_compute(machine, model, after_claim, private + shared);
+        heap.push(Ev(done, t));
+    }
+    // Shared-object operations serialize (cache-line ownership migrates):
+    // the phase cannot complete before the serialized traffic has drained.
+    machine.shared_objects.acquire(phase_start, total_shared);
+    let floor = phase_start + total_shared;
+    if let Some(last) = now
+        .iter_mut()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        *last = last.max(floor);
+    }
+}
+
+/// Drive a task phase.
+fn sim_tasks(
+    machine: &mut Machine,
+    model: &CostModel,
+    now: &mut [f64],
+    count: u64,
+    cost_per_task: f64,
+    shared_ops_per_task: f64,
+    spawn_cost: f64,
+    shape: TaskShape,
+) {
+    if count == 0 {
+        return;
+    }
+    // Tasks become available at given times; consumers claim them through
+    // the queue resource.
+    let mut available: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut ready_times: Vec<f64> = Vec::with_capacity(count as usize);
+
+    match shape {
+        TaskShape::SingleProducer => {
+            // Thread 0 enqueues every task back-to-back.
+            let mut t0 = now[0];
+            for _ in 0..count {
+                t0 += spawn_cost;
+                ready_times.push(t0);
+            }
+            now[0] = t0;
+        }
+        TaskShape::BinaryRecursive => {
+            // Root available immediately; each completed task releases two
+            // children (handled below by re-seeding availability).
+            ready_times.push(now[0] + spawn_cost);
+        }
+    }
+    for (i, _) in ready_times.iter().enumerate() {
+        available.push(std::cmp::Reverse(i as u64));
+    }
+
+    let phase_start = now.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut task_shared_total = 0.0f64;
+    let mut spawned = ready_times.len() as u64;
+    let mut completed = 0u64;
+    let mut heap: BinaryHeap<Ev> =
+        now.iter().enumerate().map(|(t, &time)| Ev(time, t)).collect();
+    // Completion times of in-flight tasks: the wake-up horizon for idle
+    // threads (new children become ready at a parent's completion).
+    let mut inflight: Vec<f64> = Vec::new();
+
+    while completed < count {
+        let Ev(time, t) = heap.pop().expect("threads outlive tasks");
+        // Find the earliest-ready available task this thread can claim.
+        let claim = available.peek().map(|idx| ready_times[idx.0 as usize]);
+        match claim {
+            Some(ready) => {
+                available.pop();
+                let start = time.max(ready);
+                // Claim and spawn costs are additive here rather than routed
+                // through the FCFS queue resource: task events are not
+                // processed in global arrival order (a whole task is
+                // advanced per event), so a shared ratcheting resource would
+                // spuriously serialize concurrent claims.
+                let after_claim = start + spawn_cost.max(1e-9);
+                let shared = shared_ops_per_task * model.shared_op;
+                task_shared_total += shared;
+                let mut done =
+                    charge_compute(machine, model, after_claim, cost_per_task + shared);
+                completed += 1;
+                // Recursive shape: completing a task spawns up to two more.
+                if shape == TaskShape::BinaryRecursive {
+                    for _ in 0..2 {
+                        if spawned < count {
+                            let spawn_done = done + spawn_cost;
+                            ready_times.push(spawn_done);
+                            available.push(std::cmp::Reverse(ready_times.len() as u64 - 1));
+                            spawned += 1;
+                            done = spawn_done;
+                        }
+                    }
+                }
+                inflight.push(done);
+                heap.push(Ev(done, t));
+            }
+            None => {
+                // No task ready yet: park until the next readiness or the
+                // next in-flight completion (which may spawn children).
+                inflight.retain(|&c| c > time);
+                let next_ready = ready_times
+                    .iter()
+                    .chain(inflight.iter())
+                    .copied()
+                    .filter(|&r| r > time)
+                    .fold(f64::INFINITY, f64::min);
+                if next_ready.is_finite() {
+                    heap.push(Ev(next_ready, t));
+                } else {
+                    // Nothing in flight and nothing ready: this thread is
+                    // done with the phase.
+                    now[t] = time;
+                    if heap.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Flush remaining heap entries into `now`.
+    while let Some(Ev(time, t)) = heap.pop() {
+        now[t] = now[t].max(time);
+    }
+    // Serialization floor for shared task-state traffic.
+    machine.shared_objects.acquire(phase_start, task_shared_total);
+    let floor = phase_start + task_shared_total;
+    if let Some(last) = now
+        .iter_mut()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        *last = last.max(floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn for_phase(iters: u64, cost: f64, schedule: SimSchedule, claim: ClaimCost) -> Phase {
+        Phase::ParallelFor {
+            iters,
+            cost_per_iter: cost,
+            shared_ops_per_iter: 0.0,
+            schedule,
+            claim,
+            nowait: false,
+            imbalance: 0.0,
+        }
+    }
+
+    fn run(phases: Vec<Phase>, threads: usize) -> f64 {
+        let mut machine = Machine::new(32);
+        let model = CostModel { barrier: 0.0, shared_op: 7e-8, gil: false };
+        simulate(&mut machine, &model, &Workload { phases }, threads)
+    }
+
+    #[test]
+    fn embarrassingly_parallel_scales_linearly() {
+        let phases =
+            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let t1 = run(phases.clone(), 1);
+        let t4 = run(phases.clone(), 4);
+        let t16 = run(phases, 16);
+        assert!((t1 / t4 - 4.0).abs() < 0.2, "speedup {t1}/{t4} = {}", t1 / t4);
+        assert!(t1 / t16 > 12.0, "speedup at 16 = {}", t1 / t16);
+    }
+
+    #[test]
+    fn oversubscription_stops_scaling() {
+        let phases =
+            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let mut machine = Machine::new(4);
+        let model = CostModel::default();
+        let t4 = simulate(&mut machine, &model, &Workload { phases: phases.clone() }, 4);
+        let mut machine = Machine::new(4);
+        let t8 = simulate(&mut machine, &model, &Workload { phases }, 8);
+        assert!(t8 >= t4 * 0.95, "8 threads on 4 cores must not beat 4 threads");
+    }
+
+    #[test]
+    fn gil_prevents_speedup() {
+        let phases =
+            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let mut machine = Machine::new(32);
+        let model = CostModel { gil: true, ..CostModel::default() };
+        let t1 = simulate(&mut machine, &model, &Workload { phases: phases.clone() }, 1);
+        let mut machine = Machine::new(32);
+        let t8 = simulate(&mut machine, &model, &Workload { phases }, 8);
+        assert!(t8 >= t1 * 0.9, "GIL: t8={t8} must be ~>= t1={t1}");
+    }
+
+    #[test]
+    fn shared_object_traffic_caps_scaling() {
+        // 1 µs compute but 10 shared ops/iter at 70 ns: ~0.7 µs serialized
+        // per iteration → max speedup ≈ 1.7/0.7 ≈ 2.4.
+        let phases = vec![Phase::ParallelFor {
+            iters: 10_000,
+            cost_per_iter: 1e-6,
+            shared_ops_per_iter: 10.0,
+            schedule: SimSchedule::StaticBlock,
+            claim: ClaimCost::local(),
+            nowait: false,
+            imbalance: 0.0,
+        }];
+        let t1 = run(phases.clone(), 1);
+        let t16 = run(phases, 16);
+        let speedup = t1 / t16;
+        assert!(speedup < 4.0, "shared traffic must cap speedup, got {speedup}");
+        assert!(speedup > 1.2, "some speedup expected, got {speedup}");
+    }
+
+    #[test]
+    fn mutex_claims_cost_more_than_atomic() {
+        let mutex_claim = ClaimCost { seconds: 4e-7, serializes: true };
+        let atomic_claim = ClaimCost { seconds: 4e-8, serializes: true };
+        let mk = |claim| vec![for_phase(100_000, 1e-8, SimSchedule::Dynamic(1), claim)];
+        let t_mutex = run(mk(mutex_claim), 8);
+        let t_atomic = run(mk(atomic_claim), 8);
+        assert!(
+            t_mutex > t_atomic * 1.5,
+            "mutex {t_mutex} should clearly exceed atomic {t_atomic}"
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_imbalance() {
+        // Imbalance is modeled by giving iterations different costs via two
+        // loops — here we approximate: static block with a serial tail vs
+        // dynamic spreading. Use guided/dynamic claim overhead small.
+        // (Real imbalance modeling happens in the bench harness by splitting
+        // phases; this test only checks the engine's schedules both cover
+        // the space with sane times.)
+        let t_static = run(
+            vec![for_phase(10_000, 1e-7, SimSchedule::StaticBlock, ClaimCost::local())],
+            8,
+        );
+        let t_dyn = run(
+            vec![for_phase(
+                10_000,
+                1e-7,
+                SimSchedule::Dynamic(64),
+                ClaimCost { seconds: 5e-8, serializes: true },
+            )],
+            8,
+        );
+        let ratio = t_dyn / t_static;
+        assert!(ratio < 1.5 && ratio > 0.5, "balanced loops should be comparable: {ratio}");
+    }
+
+    #[test]
+    fn serial_phase_ignores_thread_count() {
+        let phases = vec![Phase::Serial { cost: 1e-3 }];
+        let t1 = run(phases.clone(), 1);
+        let t8 = run(phases, 8);
+        assert!((t1 - t8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_updates_serialize() {
+        let phases = vec![Phase::CriticalUpdates { per_thread: 100, cost: 1e-6 }];
+        let t1 = run(phases.clone(), 1);
+        let t8 = run(phases, 8);
+        // 8 threads × 100 updates all through one mutex ≈ 8× the work.
+        assert!(t8 > t1 * 6.0, "t8={t8} t1={t1}");
+    }
+
+    #[test]
+    fn single_producer_tasks_bounded_by_producer() {
+        let phases = vec![Phase::Tasks {
+            count: 1_000,
+            cost_per_task: 1e-7,
+            shared_ops_per_task: 0.0,
+            spawn_cost: 1e-6, // producer slower than consumers
+            shape: TaskShape::SingleProducer,
+        }];
+        let t8 = run(phases, 8);
+        // Lower bound: producer must enqueue 1000 tasks at 1 µs each.
+        assert!(t8 >= 1e-3 * 0.9, "t8={t8}");
+    }
+
+    #[test]
+    fn recursive_tasks_scale() {
+        let phases = vec![Phase::Tasks {
+            count: 4_000,
+            cost_per_task: 1e-6,
+            shared_ops_per_task: 0.0,
+            spawn_cost: 1e-8,
+            shape: TaskShape::BinaryRecursive,
+        }];
+        let t1 = run(phases.clone(), 1);
+        let t8 = run(phases, 8);
+        assert!(t1 / t8 > 3.0, "recursive tasks should scale: {}", t1 / t8);
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_heavy_tail_imbalance() {
+        let mk = |schedule, claim| {
+            vec![Phase::ParallelFor {
+                iters: 10_000,
+                cost_per_iter: 1e-7,
+                shared_ops_per_iter: 0.0,
+                schedule,
+                claim,
+                nowait: false,
+                imbalance: 3.0, // heavy-tailed chunk weights
+            }]
+        };
+        // Static with a fixed chunk assignment cannot adapt to the tail…
+        let t_static = run(mk(SimSchedule::StaticChunk(64), ClaimCost::local()), 8);
+        // …while dynamic claims absorb it.
+        let t_dynamic = run(
+            mk(SimSchedule::Dynamic(64), ClaimCost { seconds: 5e-8, serializes: true }),
+            8,
+        );
+        assert!(
+            t_dynamic < t_static * 0.95,
+            "dynamic {t_dynamic} should beat static {t_static} under imbalance"
+        );
+    }
+
+    #[test]
+    fn segment_weights_deterministic_and_heavy_tailed() {
+        assert_eq!(segment_weight(123, 1.0), segment_weight(123, 1.0));
+        assert_eq!(segment_weight(42, 0.0), 1.0);
+        let mean: f64 = (0..10_000).map(|i| segment_weight(i, 1.0)).sum::<f64>() / 10_000.0;
+        assert!((2.0..12.0).contains(&mean), "mean weight {mean}");
+        let max = (0..10_000).map(|i| segment_weight(i, 1.0)).fold(0.0, f64::max);
+        assert!(max > mean * 10.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn weighted_iterations_conserved_across_chunkings() {
+        // Any partition of [0, n) must integrate to the same total work.
+        let n = 100_000u64;
+        let whole = weighted_iterations(0, n, 1.5);
+        for chunk in [1u64, 7, 64, 300, 4096] {
+            let mut sum = 0.0;
+            let mut lo = 0;
+            while lo < n {
+                let len = chunk.min(n - lo);
+                sum += weighted_iterations(lo, len, 1.5);
+                lo += len;
+            }
+            assert!(
+                (sum - whole).abs() < whole * 1e-9,
+                "chunk {chunk}: {sum} vs {whole}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        assert_eq!(run(vec![], 8), 0.0);
+        assert_eq!(
+            run(vec![for_phase(0, 1.0, SimSchedule::StaticBlock, ClaimCost::local())], 4),
+            0.0
+        );
+    }
+}

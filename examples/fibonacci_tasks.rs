@@ -1,0 +1,83 @@
+//! The paper's Fig. 4: recursive Fibonacci with OpenMP tasks — run through
+//! the interpreted frontend (exactly the paper's code) and through the
+//! compiled task API.
+//!
+//! Run with: `cargo run --release --example fibonacci_tasks [n]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use minipy::Value;
+use omp4rs::exec::{parallel, TaskCtx};
+use omp4rs_pyfront::{ExecMode, Runner};
+
+/// The paper's Fig. 4 program, verbatim structure.
+const FIG4: &str = r#"
+from omp4py import *
+
+@omp
+def fibonacci(n):
+    if n <= 1:
+        return n
+    fib1 = 0
+    fib2 = 0
+    with omp("task if(n > 12)"):
+        fib1 = fibonacci(n - 1)
+    with omp("task if(n > 12)"):
+        fib2 = fibonacci(n - 2)
+    omp("taskwait")
+    return fib1 + fib2
+
+@omp
+def run(n, nthreads):
+    out = []
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            out.append(fibonacci(n))
+    return out[0]
+"#;
+
+fn fib_tasks_native(n: u64, threads: usize) -> u64 {
+    fn go(tc: &TaskCtx<'_>, n: u64, out: Arc<AtomicU64>) {
+        if n <= 1 {
+            out.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        let (o1, o2) = (Arc::clone(&out), Arc::clone(&out));
+        tc.task_if(n > 12, move |tc| go(tc, n - 1, o1));
+        tc.task_if(n > 12, move |tc| go(tc, n - 2, o2));
+        tc.taskwait();
+    }
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    parallel(&format!("num_threads({threads})"), |ctx| {
+        ctx.single(|| {
+            let out = Arc::clone(&out2);
+            ctx.task(move |tc| go(tc, n, out));
+        });
+    });
+    out.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let n: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(18);
+    let threads = 4;
+
+    println!("fibonacci({n}) with OpenMP tasks, {threads} threads\n");
+
+    let start = std::time::Instant::now();
+    let native = fib_tasks_native(n as u64, threads);
+    println!("compiled task API : {native:>10}   ({:.2?})", start.elapsed());
+
+    let runner = Runner::new(ExecMode::Hybrid);
+    runner.run(FIG4).expect("Fig. 4 program loads");
+    let start = std::time::Instant::now();
+    let interp = runner
+        .call_global("run", vec![Value::Int(n), Value::Int(threads as i64)])
+        .expect("Fig. 4 program runs")
+        .as_int()
+        .expect("fibonacci returns int");
+    println!("paper Fig. 4 code : {interp:>10}   ({:.2?})", start.elapsed());
+
+    assert_eq!(native as i64, interp, "both paths must agree");
+}

@@ -1,0 +1,30 @@
+//! Hybrid MPI/OpenMP Jacobi (paper §IV-C, Fig. 8): MPI ranks (minimpi)
+//! distribute matrix rows; OpenMP threads update each rank's block;
+//! `allgather`/`allreduce` synchronize — a feature PyOMP cannot offer
+//! because Numba cannot call into mpi4py.
+//!
+//! Run with: `cargo run --release --example hybrid_jacobi [n] [threads-per-node]`
+
+use minimpi::NetModel;
+use omp4rs_apps::{hybrid, Mode};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(192);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let p = hybrid::Params { n, ..hybrid::Params::default() };
+
+    println!("hybrid MPI/OpenMP jacobi: {n}x{n} system, {threads} threads/node");
+    println!("(interconnect model: ~2 us latency, 100 Gb/s links)\n");
+    println!("{:<8} {:>12} {:>16}", "nodes", "time", "solution checksum");
+    for nodes in [1usize, 2, 4, 8] {
+        if n % nodes != 0 {
+            continue;
+        }
+        match hybrid::run(Mode::CompiledDT, nodes, threads, &p, NetModel::cluster(1)) {
+            Ok(out) => println!("{:<8} {:>9.3} ms {:>16.6}", nodes, out.seconds * 1e3, out.check),
+            Err(e) => println!("{nodes:<8} failed: {e}"),
+        }
+    }
+    println!("\nPyOMP comparison: {}", hybrid::run(Mode::PyOmp, 2, threads, &p, NetModel::local()).unwrap_err());
+}

@@ -1,0 +1,39 @@
+//! All four OMP4Py execution modes on the paper's π benchmark, with the
+//! PyOMP baseline — a miniature of Fig. 5's mode comparison.
+//!
+//! Run with: `cargo run --release --example pi_directives [n] [threads]`
+
+use omp4rs_apps::{pi, Mode};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: i64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    // Interpreted modes get a smaller n so the demo stays snappy; the
+    // per-interval cost is what's being compared.
+    let interp_n = (n / 100).max(1_000);
+
+    println!("pi benchmark: n={n} (interpreted n={interp_n}), {threads} threads\n");
+    println!("{:<12} {:>12} {:>16} {:>14}", "mode", "intervals", "time", "ns/interval");
+    for mode in Mode::all() {
+        let params = pi::Params {
+            n: if mode.is_interpreted() { interp_n } else { n },
+        };
+        match pi::run(mode, threads, &params) {
+            Ok(out) => {
+                let per_iter = out.seconds / params.n as f64 * 1e9;
+                println!(
+                    "{:<12} {:>12} {:>13.3} ms {:>11.1} ns   (pi ~ {:.9})",
+                    mode.name(),
+                    params.n,
+                    out.seconds * 1e3,
+                    per_iter,
+                    out.check
+                );
+            }
+            Err(e) => println!("{:<12} unsupported: {e}", mode.name()),
+        }
+    }
+    println!("\nThe per-interval costs are the paper's mode ordering:");
+    println!("Pure ≈ Hybrid  ≫  Compiled  ≫  CompiledDT ≈ PyOMP");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the two faces of omp4rs.
+//!
+//! 1. The **compiled-mode API** — Rust closures with OpenMP-style clause
+//!    strings (the paper's Compiled/CompiledDT modes).
+//! 2. The **interpreted frontend** — the paper's headline usage: a Python
+//!    program with `@omp` and `with omp("…")` directives, transformed and
+//!    executed against the same runtime.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use minipy::Interp;
+use omp4rs::exec::{parallel, ForSpec};
+use omp4rs_pyfront::{install, ExecMode};
+
+fn compiled_mode() {
+    println!("== compiled mode (Rust closures) ==");
+    let n = 1_000_000i64;
+    let w = 1.0 / n as f64;
+    let result = std::sync::Mutex::new(0.0f64);
+    parallel("num_threads(4)", |ctx| {
+        let local = ctx.for_reduce(
+            ForSpec::parse("schedule(static)").expect("valid spec"),
+            0..n,
+            0.0f64,
+            |i, acc| {
+                let x = (i as f64 + 0.5) * w;
+                *acc += 4.0 / (1.0 + x * x);
+            },
+            |a, b| a + b,
+        );
+        ctx.master(|| *result.lock().unwrap() = local * w);
+    });
+    println!("pi ~ {:.12}  (4 threads, static schedule)", result.into_inner().unwrap());
+}
+
+fn interpreted_mode() -> Result<(), minipy::PyErr> {
+    println!("== interpreted mode (the paper's Fig. 1) ==");
+    let interp = Interp::new();
+    install(&interp, ExecMode::Hybrid);
+    interp.run(
+        r#"
+from omp4py import *
+
+@omp
+def pi(n):
+    w = 1.0 / n
+    pi_value = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(4)"):
+        for i in range(n):
+            local = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+
+print("pi ~", pi(100000))
+print("threads available:", omp_get_max_threads())
+"#,
+    )?;
+    Ok(())
+}
+
+fn main() {
+    compiled_mode();
+    if let Err(e) = interpreted_mode() {
+        eprintln!("interpreted example failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Wordcount — the paper's full-Python-support showcase (§IV-B): string
+//! and dict-heavy code that PyOMP's Numba cannot compile, with the
+//! scheduling-policy sweep of Fig. 7.
+//!
+//! Run with: `cargo run --release --example wordcount [lines] [threads]`
+
+use omp4rs::ScheduleKind;
+use omp4rs_apps::{wordcount, Mode};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let lines: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("wordcount: {lines} synthetic Zipf lines, {threads} threads\n");
+
+    // Mode comparison (PyOMP cannot run this benchmark).
+    println!("-- modes (dynamic schedule, chunk 300) --");
+    for mode in Mode::all() {
+        let p = wordcount::Params {
+            lines: if mode.is_interpreted() { lines / 10 } else { lines },
+            ..wordcount::Params::default()
+        };
+        match wordcount::run(mode, threads, &p) {
+            Ok(out) => println!(
+                "{:<12} {:>10.3} ms  (distinct words + total occurrences = {})",
+                mode.name(),
+                out.seconds * 1e3,
+                out.check
+            ),
+            Err(e) => println!("{:<12} unsupported: {e}", mode.name()),
+        }
+    }
+
+    // Fig. 7's schedule sweep (native mode for speed).
+    println!("\n-- schedules (CompiledDT, chunk 300: the paper's Fig. 7 axis) --");
+    for schedule in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
+        let p = wordcount::Params {
+            lines,
+            schedule,
+            chunk: Some(300),
+            ..wordcount::Params::default()
+        };
+        let out = wordcount::run(Mode::CompiledDT, threads, &p).expect("supported");
+        println!("{:<12} {:>10.3} ms", schedule.name(), out.seconds * 1e3);
+    }
+}

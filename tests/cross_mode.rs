@@ -1,0 +1,155 @@
+//! Cross-mode equivalence: every benchmark must produce the same result in
+//! every execution mode (the modes differ only in *how fast* they run).
+
+use omp4rs_apps::*;
+
+fn assert_agree(name: &str, outs: &[(Mode, f64)], tol: f64) {
+    let reference = outs[0].1;
+    for (mode, value) in outs {
+        let scale = reference.abs().max(1.0);
+        assert!(
+            (value - reference).abs() <= tol * scale,
+            "{name}: {mode} produced {value}, expected ~{reference}"
+        );
+    }
+}
+
+#[test]
+fn pi_all_modes_agree() {
+    let p = pi::Params { n: 4_000 };
+    let outs: Vec<(Mode, f64)> = Mode::all()
+        .into_iter()
+        .map(|m| (m, pi::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("pi", &outs, 1e-9);
+}
+
+#[test]
+fn fft_all_modes_agree() {
+    let p = fft::Params { log2_n: 6, seed: 1 };
+    let outs: Vec<(Mode, f64)> = Mode::all()
+        .into_iter()
+        .map(|m| (m, fft::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("fft", &outs, 1e-9);
+}
+
+#[test]
+fn jacobi_all_modes_agree() {
+    let p = jacobi::Params { n: 16, max_iters: 300, tol: 1e-8, seed: 2 };
+    let outs: Vec<(Mode, f64)> = Mode::all()
+        .into_iter()
+        .map(|m| (m, jacobi::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("jacobi", &outs, 1e-6);
+}
+
+#[test]
+fn lu_all_modes_agree() {
+    let p = lu::Params { n: 12, seed: 3 };
+    let outs: Vec<(Mode, f64)> = Mode::all()
+        .into_iter()
+        .map(|m| (m, lu::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("lu", &outs, 1e-9);
+}
+
+#[test]
+fn md_all_modes_agree() {
+    let p = md::Params { n: 12, steps: 1, seed: 4 };
+    let outs: Vec<(Mode, f64)> = Mode::all()
+        .into_iter()
+        .map(|m| (m, md::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("md", &outs, 1e-8);
+}
+
+#[test]
+fn qsort_modes_agree_and_pyomp_cannot() {
+    let p = qsort::Params { n: 400, cutoff: 64, seed: 5 };
+    let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
+        .into_iter()
+        .map(|m| (m, qsort::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("qsort", &outs, 0.0);
+    assert!(qsort::run(Mode::PyOmp, 2, &p).is_err());
+}
+
+#[test]
+fn bfs_modes_agree_and_pyomp_cannot() {
+    let p = bfs::Params { side: 13, wall_probability: 0.3, seed: 6 };
+    let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
+        .into_iter()
+        .map(|m| (m, bfs::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("bfs", &outs, 0.0);
+    assert_eq!(outs[0].1 as usize, bfs::seq(&p));
+    assert!(bfs::run(Mode::PyOmp, 2, &p).is_err());
+}
+
+#[test]
+fn clustering_modes_agree_and_pyomp_cannot() {
+    let p = clustering::Params {
+        nodes: 80,
+        edges_per_node: 6,
+        seed: 7,
+        ..clustering::Params::default()
+    };
+    let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
+        .into_iter()
+        .map(|m| (m, clustering::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("clustering", &outs, 1e-9);
+    assert!(clustering::run(Mode::PyOmp, 2, &p).is_err());
+}
+
+#[test]
+fn wordcount_modes_agree_and_pyomp_cannot() {
+    let p = wordcount::Params {
+        lines: 60,
+        words_per_line: 8,
+        vocab: 120,
+        seed: 8,
+        ..wordcount::Params::default()
+    };
+    let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
+        .into_iter()
+        .map(|m| (m, wordcount::run(m, 2, &p).unwrap().check))
+        .collect();
+    assert_agree("wordcount", &outs, 0.0);
+    assert!(wordcount::run(Mode::PyOmp, 2, &p).is_err());
+}
+
+#[test]
+fn thread_counts_do_not_change_results() {
+    // Determinism across team sizes, the most common parallelism bug.
+    let p = pi::Params { n: 3_000 };
+    let reference = pi::run(Mode::CompiledDT, 1, &p).unwrap().check;
+    for threads in [2, 3, 8] {
+        let v = pi::run(Mode::CompiledDT, threads, &p).unwrap().check;
+        assert!((v - reference).abs() < 1e-12, "threads={threads}");
+    }
+    let qp = qsort::Params { n: 2_000, cutoff: 100, seed: 9 };
+    let reference = qsort::run(Mode::CompiledDT, 1, &qp).unwrap().check;
+    for threads in [2, 4] {
+        assert_eq!(qsort::run(Mode::CompiledDT, threads, &qp).unwrap().check, reference);
+    }
+}
+
+#[test]
+fn table1_features_are_exposed() {
+    // The Table I generator relies on these constants.
+    for features in [
+        fft::FEATURES,
+        jacobi::FEATURES,
+        lu::FEATURES,
+        md::FEATURES,
+        pi::FEATURES,
+        qsort::FEATURES,
+        bfs::FEATURES,
+    ] {
+        assert!(features.contains("parallel"), "{features}");
+    }
+    assert!(jacobi::FEATURES.contains("explicit barrier"));
+    assert!(qsort::FEATURES.contains("task with if clause"));
+}

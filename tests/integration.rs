@@ -1,0 +1,143 @@
+//! Cross-crate integration: interpreter + frontend + runtime + substrates
+//! working together.
+
+use minipy::{Gil, GilMode, Interp, Value};
+use omp4rs_pyfront::{ExecMode, Runner};
+
+#[test]
+fn full_stack_pi_program() {
+    // Parse → transform → bridge → runtime → threads, end to end.
+    for mode in [ExecMode::Pure, ExecMode::Hybrid] {
+        let runner = Runner::new(mode);
+        runner
+            .run(
+                r#"
+from omp4py import *
+
+@omp
+def pi(n):
+    w = 1.0 / n
+    pi_value = 0.0
+    with omp("parallel for reduction(+:pi_value) num_threads(4)"):
+        for i in range(n):
+            local = (i + 0.5) * w
+            pi_value += 4.0 / (1.0 + local * local)
+    return pi_value * w
+"#,
+            )
+            .unwrap();
+        let v = runner.call_global("pi", vec![Value::Int(20_000)]).unwrap();
+        assert!((v.as_float().unwrap() - std::f64::consts::PI).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn gil_enabled_interpreter_still_correct_under_omp() {
+    // The motivating configuration: a GIL-ful interpreter still computes
+    // correct results through the OpenMP runtime (just without speedup).
+    let gil = Gil::with_interval(GilMode::Enabled, 64);
+    let interp = Interp::with_gil(gil);
+    let runner = Runner::with_interp(interp, ExecMode::Hybrid);
+    runner
+        .run(
+            r#"
+from omp4py import *
+
+@omp
+def total(n):
+    acc = 0
+    with omp("parallel for reduction(+:acc) num_threads(3)"):
+        for i in range(n):
+            acc += i
+    return acc
+"#,
+        )
+        .unwrap();
+    let v = runner.call_global("total", vec![Value::Int(500)]).unwrap();
+    assert_eq!(v.as_int().unwrap(), 124_750);
+    assert!(runner.interp().gil().switch_count() > 0, "the GIL must have been exercised");
+}
+
+#[test]
+fn interpreted_code_drives_graph_substrate() {
+    use omp4rs_apps::clustering::GraphValue;
+    use std::sync::Arc;
+
+    let g = Arc::new(minigraph::random_graph(80, 6, 3));
+    let reference = minigraph::average_clustering(&g);
+    let runner = Runner::new(ExecMode::Hybrid);
+    runner
+        .run(
+            r#"
+from omp4py import *
+
+@omp
+def avg(g, n):
+    total = 0.0
+    with omp("parallel for reduction(+:total) num_threads(3) schedule(dynamic, 8)"):
+        for u in range(n):
+            total += g.clustering(u)
+    return total / n
+"#,
+        )
+        .unwrap();
+    let gv = Value::Opaque(Arc::new(GraphValue(Arc::clone(&g))));
+    let v = runner.call_global("avg", vec![gv, Value::Int(80)]).unwrap();
+    assert!((v.as_float().unwrap() - reference).abs() < 1e-12);
+}
+
+#[test]
+fn mpi_plus_openmp_in_one_process() {
+    // minimpi ranks each opening omp4rs parallel regions.
+    let results = minimpi::World::run(3, |comm| {
+        // Comm is rank-local (not Sync): capture what the region needs.
+        let rank = comm.rank() as i64;
+        let local_sum = std::sync::Mutex::new(0.0f64);
+        omp4rs::parallel("num_threads(2)", |ctx| {
+            let s = ctx.for_reduce(
+                omp4rs::ForSpec::new(),
+                0..100,
+                0.0f64,
+                |i, acc| *acc += (i + rank * 100) as f64,
+                |a, b| a + b,
+            );
+            ctx.master(|| *local_sum.lock().unwrap() = s);
+        });
+        let local = *local_sum.lock().unwrap();
+        comm.allreduce_sum(local)
+    });
+    // Sum over 0..300 = 44850, identical on every rank.
+    assert!(results.iter().all(|&v| v == 44_850.0), "{results:?}");
+}
+
+#[test]
+fn simulator_reproduces_measured_single_thread_time_shape() {
+    use simcore::{simulate, ClaimCost, CostModel, Machine, Phase, SimSchedule, Workload};
+
+    // Measure a real single-thread loop, then check the simulator's
+    // 1-thread prediction from the measured per-iteration cost is close.
+    let n = 200_000u64;
+    let start = std::time::Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let x = (i as f64 + 0.5) * 1e-6;
+        acc += 4.0 / (1.0 + x * x);
+    }
+    let measured = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    let per_iter = measured / n as f64;
+    let workload = Workload::new().phase(Phase::ParallelFor {
+        iters: n,
+        cost_per_iter: per_iter,
+        shared_ops_per_iter: 0.0,
+        schedule: SimSchedule::StaticBlock,
+        claim: ClaimCost::local(),
+        nowait: false,
+        imbalance: 0.0,
+    });
+    let mut machine = Machine::new(32);
+    let predicted = simulate(&mut machine, &CostModel::default(), &workload, 1);
+    let ratio = predicted / measured;
+    assert!((0.9..1.1).contains(&ratio), "1-thread prediction off: {ratio}");
+}
