@@ -36,7 +36,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { side: 61, wall_probability: 0.35, seed: DEFAULT_SEED }
+        Params {
+            side: 61,
+            wall_probability: 0.35,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -80,7 +84,9 @@ pub fn native(p: &Params, threads: usize) -> usize {
     let n = p.side * p.side;
     let dist: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
     dist[0].store(0, Ordering::Release);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     {
         let m = &m;
         let dist = &dist[..];
@@ -130,7 +136,9 @@ pub fn dynamic(p: &Params, threads: usize) -> usize {
         }
     }
 
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         ctx.single_nowait(|| {
             let m2 = std::sync::Arc::clone(&m);
@@ -194,7 +202,12 @@ pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> usize {
     let result = runner
         .call_global(
             "bfs",
-            vec![cells, dist, Value::Int(p.side as i64), Value::Int(threads as i64)],
+            vec![
+                cells,
+                dist,
+                Value::Int(p.side as i64),
+                Value::Int(threads as i64),
+            ],
         )
         .expect("bfs benchmark failed");
     result.as_int().expect("distance") as usize
@@ -207,7 +220,9 @@ pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> usize {
 /// Returns the paper's Numba error for [`Mode::PyOmp`].
 pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
     if mode == Mode::PyOmp {
-        return Err(pyomp::unsupported_reason("bfs").expect("bfs unsupported").to_owned());
+        return Err(pyomp::unsupported_reason("bfs")
+            .expect("bfs unsupported")
+            .to_owned());
     }
     let (dist, seconds) = match mode {
         Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
@@ -215,7 +230,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => unreachable!(),
     };
-    Ok(BenchOutput { seconds, check: dist as f64 })
+    Ok(BenchOutput {
+        seconds,
+        check: dist as f64,
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +241,11 @@ mod tests {
     use super::*;
 
     fn small() -> Params {
-        Params { side: 17, wall_probability: 0.3, seed: 31 }
+        Params {
+            side: 17,
+            wall_probability: 0.3,
+            seed: 31,
+        }
     }
 
     #[test]
@@ -251,7 +273,11 @@ mod tests {
 
     #[test]
     fn interpreted_matches_seq() {
-        let p = Params { side: 9, wall_probability: 0.25, seed: 32 };
+        let p = Params {
+            side: 9,
+            wall_probability: 0.25,
+            seed: 32,
+        };
         let reference = seq(&p);
         for mode in [Mode::Pure, Mode::Hybrid] {
             assert_eq!(interpreted(mode, &p, 2), reference, "{mode}");
@@ -266,7 +292,11 @@ mod tests {
 
     #[test]
     fn open_maze_distance_is_manhattan() {
-        let p = Params { side: 12, wall_probability: 0.0, seed: 1 };
+        let p = Params {
+            side: 12,
+            wall_probability: 0.0,
+            seed: 1,
+        };
         assert_eq!(native(&p, 4), 2 * (p.side - 1));
     }
 }

@@ -73,7 +73,9 @@ fn for_spec(p: &Params) -> ForSpec {
 pub fn native(p: &Params, threads: usize, g: &Graph) -> f64 {
     let n = p.nodes as i64;
     let result = Mutex::new(0.0f64);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let total = ctx.for_reduce(
             for_spec(p),
@@ -101,12 +103,7 @@ impl Opaque for GraphValue {
     fn len(&self) -> Option<usize> {
         Some(self.0.node_count())
     }
-    fn call_method(
-        &self,
-        _interp: &Interp,
-        name: &str,
-        args: Vec<Value>,
-    ) -> Result<Value, PyErr> {
+    fn call_method(&self, _interp: &Interp, name: &str, args: Vec<Value>) -> Result<Value, PyErr> {
         match name {
             "clustering" => {
                 let u = args
@@ -190,7 +187,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::Compiled | Mode::CompiledDT => timed(|| native(p, threads, &g)),
         Mode::PyOmp => unreachable!(),
     };
-    Ok(BenchOutput { seconds, check: value })
+    Ok(BenchOutput {
+        seconds,
+        check: value,
+    })
 }
 
 #[cfg(test)]
@@ -227,19 +227,33 @@ mod tests {
     #[test]
     fn schedules_agree() {
         let g = graph(&small());
-        for schedule in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
-            let p = Params { schedule, ..small() };
+        for schedule in [
+            ScheduleKind::Static,
+            ScheduleKind::Dynamic,
+            ScheduleKind::Guided,
+        ] {
+            let p = Params {
+                schedule,
+                ..small()
+            };
             assert!(close(native(&p, 3, &g), seq(&small()), 1e-10), "{schedule}");
         }
     }
 
     #[test]
     fn interpreted_matches_seq() {
-        let p = Params { nodes: 60, edges_per_node: 6, ..small() };
+        let p = Params {
+            nodes: 60,
+            edges_per_node: 6,
+            ..small()
+        };
         let g = Arc::new(graph(&p));
         let reference = minigraph::average_clustering(&g);
         for mode in [Mode::Pure, Mode::Hybrid] {
-            assert!(close(interpreted(mode, &p, 2, &g), reference, 1e-10), "{mode}");
+            assert!(
+                close(interpreted(mode, &p, 2, &g), reference, 1e-10),
+                "{mode}"
+            );
         }
     }
 

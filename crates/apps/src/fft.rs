@@ -29,7 +29,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { log2_n: 12, seed: DEFAULT_SEED }
+        Params {
+            log2_n: 12,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -171,7 +174,9 @@ pub fn dynamic(p: &Params, threads: usize) -> (Vec<f64>, Vec<f64>) {
             }
         }
     }
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let mut len = 2usize;
         while len <= n {
@@ -278,7 +283,12 @@ pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> (Vec<f64>, Vec<f64
     runner
         .call_global(
             "fft",
-            vec![re.clone(), im.clone(), Value::Int(p.n() as i64), Value::Int(threads as i64)],
+            vec![
+                re.clone(),
+                im.clone(),
+                Value::Int(p.n() as i64),
+                Value::Int(threads as i64),
+            ],
         )
         .expect("fft benchmark failed");
     let out = |v: &Value| match v {
@@ -337,7 +347,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
     };
-    Ok(BenchOutput { seconds, check: checksum(&re, &im) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&re, &im),
+    })
 }
 
 #[cfg(test)]

@@ -31,7 +31,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { n: 96, max_iters: 400, tol: 1e-6, seed: DEFAULT_SEED }
+        Params {
+            n: 96,
+            max_iters: 400,
+            tol: 1e-6,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -49,7 +54,9 @@ fn local_update_native(
     let err_out = Mutex::new(0.0f64);
     {
         let x_new_s = crate::util::SharedSlice::new(&mut x_new);
-        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
         parallel_region(&cfg, |ctx| {
             let err = ctx.for_reduce(
                 ForSpec::new(),
@@ -103,6 +110,23 @@ def local_update(a_rows, b_local, x, row_start, rows, nthreads):
     return [err, x_new]
 "#;
 
+/// Deadline on each solution exchange when no fault is injected: generous
+/// enough that a healthy run never trips it.
+const HEALTHY_EXCHANGE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Fault injection for [`solve_with_fault`]: `rank` goes silent (drops all
+/// outgoing messages) at the start of iteration `at_iter`, and every healthy
+/// rank's exchange runs under `timeout`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankFault {
+    /// Rank that fails.
+    pub rank: usize,
+    /// Iteration at which it fails (0-based).
+    pub at_iter: usize,
+    /// Exchange deadline for the surviving ranks.
+    pub timeout: std::time::Duration,
+}
+
 /// Run the hybrid jacobi: `nodes` MPI ranks × `threads` OpenMP threads.
 /// Returns the converged solution (gathered) for verification.
 ///
@@ -117,17 +141,38 @@ pub fn solve(
     p: &Params,
     net: NetModel,
 ) -> Result<Vec<f64>, String> {
+    solve_with_fault(mode, nodes, threads, p, net, None)
+}
+
+/// [`solve`] with optional rank-failure injection. The solution-vector
+/// exchange uses minimpi's deadline collectives, so a dead rank surfaces as
+/// an error return on every surviving rank instead of a hang.
+///
+/// # Errors
+///
+/// See [`solve`]; additionally, every exchange that exceeds its deadline
+/// (because a rank died) reports the underlying [`minimpi::MpiError`].
+pub fn solve_with_fault(
+    mode: Mode,
+    nodes: usize,
+    threads: usize,
+    p: &Params,
+    net: NetModel,
+    fault: Option<RankFault>,
+) -> Result<Vec<f64>, String> {
     if mode == Mode::PyOmp {
         return Err(crate::pyomp::unsupported_reason("hybrid")
             .expect("hybrid unsupported")
             .to_owned());
     }
-    if p.n % nodes != 0 {
+    if !p.n.is_multiple_of(nodes) {
         return Err(format!("n={} must be divisible by nodes={nodes}", p.n));
     }
     let (a, b) = diag_dominant_system(p.n, p.seed);
     let rows_per_rank = p.n / nodes;
     let p = *p;
+
+    let timeout = fault.map_or(HEALTHY_EXCHANGE_TIMEOUT, |f| f.timeout);
 
     let results = World::run_with_net(nodes, net, move |comm: &Comm| {
         let rank = comm.rank();
@@ -144,9 +189,7 @@ pub fn solve(
             Value::list(
                 a_rows
                     .iter()
-                    .map(|row| {
-                        Value::list(row.iter().map(|&v| Value::Float(v)).collect())
-                    })
+                    .map(|row| Value::list(row.iter().map(|&v| Value::Float(v)).collect()))
                     .collect(),
             )
         });
@@ -154,11 +197,16 @@ pub fn solve(
             .as_ref()
             .map(|_| Value::list(b_local.iter().map(|&v| Value::Float(v)).collect()));
 
-        for _ in 0..p.max_iters {
+        for iter in 0..p.max_iters {
+            if let Some(f) = fault {
+                if f.rank == rank && f.at_iter == iter {
+                    comm.inject_failure();
+                    return Err(format!("rank {rank} failed at iteration {iter} (injected)"));
+                }
+            }
             let (x_new, local_err) = match (&runner, mode) {
                 (Some(runner), Mode::Pure | Mode::Hybrid) => {
-                    let x_boxed =
-                        Value::list(x.iter().map(|&v| Value::Float(v)).collect());
+                    let x_boxed = Value::list(x.iter().map(|&v| Value::Float(v)).collect());
                     let out = runner
                         .call_global(
                             "local_update",
@@ -177,11 +225,9 @@ pub fn solve(
                             let l = l.read();
                             let err = l[0].as_float().expect("err");
                             let x_new: Vec<f64> = match &l[1] {
-                                Value::List(xs) => xs
-                                    .read()
-                                    .iter()
-                                    .map(|v| v.as_float().expect("x"))
-                                    .collect(),
+                                Value::List(xs) => {
+                                    xs.read().iter().map(|v| v.as_float().expect("x")).collect()
+                                }
                                 _ => unreachable!(),
                             };
                             (x_new, err)
@@ -195,16 +241,24 @@ pub fn solve(
                 _ => local_update_native(&a_rows, &b_local, &x, row_start, threads),
             };
             // Exchange the solution vector (paper: MPI_Allgather)…
-            x = comm.allgather(x_new);
+            x = comm
+                .allgather_timeout(x_new, timeout)
+                .map_err(|e| format!("rank {rank}, iteration {iter}: {e}"))?;
             // …and evaluate the stopping criterion (paper: MPI_Allreduce).
-            let global_err = comm.allreduce_max(local_err);
+            let global_err = comm
+                .allreduce_max_timeout(local_err, timeout)
+                .map_err(|e| format!("rank {rank}, iteration {iter}: {e}"))?;
             if global_err < p.tol {
                 break;
             }
         }
-        x
+        Ok(x)
     });
-    Ok(results.into_iter().next().expect("rank 0 result"))
+    let mut solutions = Vec::with_capacity(results.len());
+    for r in results {
+        solutions.push(r?);
+    }
+    Ok(solutions.into_iter().next().expect("rank 0 result"))
 }
 
 /// Run + time; check is the solution checksum.
@@ -221,7 +275,10 @@ pub fn run(
 ) -> Result<BenchOutput, String> {
     let (result, seconds) = timed(|| solve(mode, nodes, threads, p, net));
     let x = result?;
-    Ok(BenchOutput { seconds, check: x.iter().sum() })
+    Ok(BenchOutput {
+        seconds,
+        check: x.iter().sum(),
+    })
 }
 
 #[cfg(test)]
@@ -231,13 +288,23 @@ mod tests {
     use crate::modes::close;
 
     fn small() -> Params {
-        Params { n: 24, max_iters: 400, tol: 1e-9, seed: 11 }
+        Params {
+            n: 24,
+            max_iters: 400,
+            tol: 1e-9,
+            seed: 11,
+        }
     }
 
     #[test]
     fn single_rank_matches_sequential_jacobi() {
         let p = small();
-        let jp = jacobi::Params { n: p.n, max_iters: p.max_iters, tol: p.tol, seed: p.seed };
+        let jp = jacobi::Params {
+            n: p.n,
+            max_iters: p.max_iters,
+            tol: p.tol,
+            seed: p.seed,
+        };
         let reference = jacobi::checksum(&jacobi::seq(&jp));
         let x = solve(Mode::CompiledDT, 1, 2, &p, NetModel::local()).unwrap();
         assert!(close(x.iter().sum(), reference, 1e-7));
@@ -258,9 +325,16 @@ mod tests {
 
     #[test]
     fn interpreted_ranks_agree() {
-        let p = Params { n: 12, max_iters: 200, tol: 1e-8, seed: 11 };
-        let reference: f64 =
-            solve(Mode::CompiledDT, 2, 1, &p, NetModel::local()).unwrap().iter().sum();
+        let p = Params {
+            n: 12,
+            max_iters: 200,
+            tol: 1e-8,
+            seed: 11,
+        };
+        let reference: f64 = solve(Mode::CompiledDT, 2, 1, &p, NetModel::local())
+            .unwrap()
+            .iter()
+            .sum();
         for mode in [Mode::Pure, Mode::Hybrid] {
             let x = solve(mode, 2, 2, &p, NetModel::local()).unwrap();
             assert!(close(x.iter().sum(), reference, 1e-6), "{mode}");
@@ -273,6 +347,25 @@ mod tests {
         let local = solve(Mode::CompiledDT, 2, 1, &p, NetModel::local()).unwrap();
         let cluster = solve(Mode::CompiledDT, 2, 1, &p, NetModel::cluster(1)).unwrap();
         assert!(close(local.iter().sum(), cluster.iter().sum(), 1e-12));
+    }
+
+    #[test]
+    fn dead_rank_yields_error_not_hang() {
+        use std::time::Duration;
+        let p = small();
+        let start = std::time::Instant::now();
+        let fault = RankFault {
+            rank: 1,
+            at_iter: 2,
+            timeout: Duration::from_millis(300),
+        };
+        let out = solve_with_fault(Mode::CompiledDT, 3, 1, &p, NetModel::local(), Some(fault));
+        let msg = out.expect_err("a dead rank must surface as an error");
+        assert!(
+            msg.contains("injected") || msg.contains("timed out") || msg.contains("exited"),
+            "unexpected error: {msg}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(30), "must not hang");
     }
 
     #[test]

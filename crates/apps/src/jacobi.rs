@@ -17,8 +17,7 @@ use crate::util::SharedSlice;
 use crate::workloads::{diag_dominant_system, DEFAULT_SEED};
 
 /// Table I row for this benchmark.
-pub const FEATURES: &str =
-    "parallel, for reduction(+), single | explicit barrier";
+pub const FEATURES: &str = "parallel, for reduction(+), single | explicit barrier";
 
 /// Problem parameters (paper: 3k×3k, ≤1000 iterations, tol 1e-6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +34,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { n: 96, max_iters: 1000, tol: 1e-6, seed: DEFAULT_SEED }
+        Params {
+            n: 96,
+            max_iters: 1000,
+            tol: 1e-6,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -146,13 +150,17 @@ pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
     let (a, b) = diag_dominant_system(p.n, p.seed);
     let n = p.n as i64;
     // Dynamic-value copies of the system.
-    let a_v: Vec<Vec<Value>> =
-        a.iter().map(|row| row.iter().map(|&v| Value::Float(v)).collect()).collect();
+    let a_v: Vec<Vec<Value>> = a
+        .iter()
+        .map(|row| row.iter().map(|&v| Value::Float(v)).collect())
+        .collect();
     let b_v: Vec<Value> = b.iter().map(|&v| Value::Float(v)).collect();
     let x = Value::list(vec![Value::Float(0.0); p.n]);
     let x_new = Value::list(vec![Value::Float(0.0); p.n]);
     let err_slot = Mutex::new(f64::INFINITY);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         for _ in 0..p.max_iters {
             let err = ctx.for_reduce(
@@ -173,8 +181,7 @@ pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
                             s += aij.as_float().expect("a") * x_list[j].as_float().expect("x");
                         }
                     }
-                    let v = (b_v[i].as_float().expect("b") - s)
-                        / row[i].as_float().expect("diag");
+                    let v = (b_v[i].as_float().expect("b") - s) / row[i].as_float().expect("diag");
                     let old = x_list[i].as_float().expect("x_i");
                     drop(x_list);
                     if let Value::List(l) = &x_new {
@@ -316,7 +323,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
     };
-    Ok(BenchOutput { seconds, check: checksum(&x) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&x),
+    })
 }
 
 #[cfg(test)]
@@ -325,7 +335,12 @@ mod tests {
     use crate::modes::close;
 
     fn small() -> Params {
-        Params { n: 24, max_iters: 500, tol: 1e-9, seed: 11 }
+        Params {
+            n: 24,
+            max_iters: 500,
+            tol: 1e-9,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -352,7 +367,12 @@ mod tests {
 
     #[test]
     fn interpreted_matches_seq() {
-        let p = Params { n: 10, max_iters: 200, tol: 1e-8, seed: 11 };
+        let p = Params {
+            n: 10,
+            max_iters: 200,
+            tol: 1e-8,
+            seed: 11,
+        };
         let reference = checksum(&seq(&p));
         for mode in [Mode::Pure, Mode::Hybrid] {
             let x = interpreted(mode, &p, 2);
@@ -363,6 +383,10 @@ mod tests {
     #[test]
     fn pyomp_matches_seq() {
         let p = small();
-        assert!(close(checksum(&pyomp_baseline(&p, 4)), checksum(&seq(&p)), 1e-8));
+        assert!(close(
+            checksum(&pyomp_baseline(&p, 4)),
+            checksum(&seq(&p)),
+            1e-8
+        ));
     }
 }

@@ -29,7 +29,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { n: 64, seed: DEFAULT_SEED }
+        Params {
+            n: 64,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -46,6 +49,8 @@ pub fn seq(p: &Params) -> Vec<Vec<f64>> {
         for i in (k + 1)..n {
             let factor = a[i][k] / a[k][k];
             a[i][k] = factor;
+            // Textbook index form; rows i and k alias under iterators.
+            #[allow(clippy::needless_range_loop)]
             for j in (k + 1)..n {
                 a[i][j] -= factor * a[k][j];
             }
@@ -92,7 +97,9 @@ pub fn native(p: &Params, threads: usize) -> Vec<Vec<f64>> {
         // One SharedSlice per row: a step's updates touch disjoint rows.
         let rows: Vec<SharedSlice<'_, f64>> =
             a.iter_mut().map(|row| SharedSlice::new(row)).collect();
-        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
         parallel_region(&cfg, |ctx| {
             for k in 0..n {
                 // SAFETY: row k is read-only during this step; rows below k
@@ -125,7 +132,9 @@ pub fn dynamic(p: &Params, threads: usize) -> Vec<Vec<f64>> {
         .iter()
         .map(|row| Value::list(row.iter().map(|&v| Value::Float(v)).collect()))
         .collect();
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         for k in 0..n {
             let pivot = match &a[k] {
@@ -135,9 +144,10 @@ pub fn dynamic(p: &Params, threads: usize) -> Vec<Vec<f64>> {
             ctx.for_each(ForSpec::new(), (k + 1) as i64..n as i64, |i| {
                 let i = i as usize;
                 let row_k: Vec<f64> = match &a[k] {
-                    Value::List(l) => {
-                        l.read()[k + 1..n].iter().map(|v| v.as_float().expect("u")).collect()
-                    }
+                    Value::List(l) => l.read()[k + 1..n]
+                        .iter()
+                        .map(|v| v.as_float().expect("u"))
+                        .collect(),
                     _ => unreachable!(),
                 };
                 if let Value::List(l) = &a[i] {
@@ -198,7 +208,11 @@ pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<Vec<f64>> {
     runner
         .call_global(
             "lu",
-            vec![a.clone(), Value::Int(p.n as i64), Value::Int(threads as i64)],
+            vec![
+                a.clone(),
+                Value::Int(p.n as i64),
+                Value::Int(threads as i64),
+            ],
         )
         .expect("lu benchmark failed");
     match &a {
@@ -253,7 +267,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
     };
-    Ok(BenchOutput { seconds, check: checksum(&a) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&a),
+    })
 }
 
 #[cfg(test)]
@@ -292,13 +309,20 @@ mod tests {
         let p = Params { n: 8, seed: 13 };
         let reference = checksum(&seq(&p));
         for mode in [Mode::Pure, Mode::Hybrid] {
-            assert!(close(checksum(&interpreted(mode, &p, 2)), reference, 1e-9), "{mode}");
+            assert!(
+                close(checksum(&interpreted(mode, &p, 2)), reference, 1e-9),
+                "{mode}"
+            );
         }
     }
 
     #[test]
     fn pyomp_matches_seq() {
         let p = small();
-        assert!(close(checksum(&pyomp_baseline(&p, 4)), checksum(&seq(&p)), 1e-10));
+        assert!(close(
+            checksum(&pyomp_baseline(&p, 4)),
+            checksum(&seq(&p)),
+            1e-10
+        ));
     }
 }

@@ -17,8 +17,7 @@ use crate::util::SharedSlice;
 use crate::workloads::{particles, DEFAULT_SEED};
 
 /// Table I row for this benchmark.
-pub const FEATURES: &str =
-    "parallel reduction(+) with inner for, parallel for | implicit barriers";
+pub const FEATURES: &str = "parallel reduction(+) with inner for, parallel for | implicit barriers";
 
 /// Softening constant of the pair potential.
 pub const EPS: f64 = 0.5;
@@ -38,7 +37,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { n: 128, steps: 3, seed: DEFAULT_SEED }
+        Params {
+            n: 128,
+            steps: 3,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -109,7 +112,9 @@ pub fn native(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
         let pos_s = SharedSlice::new(&mut pos);
         let vel_s = SharedSlice::new(&mut vel);
         let f_s = SharedSlice::new(&mut forces);
-        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
         parallel_region(&cfg, |ctx| {
             // Initial forces: parallel reduction(+:potential) with inner for.
             let compute_forces = |ctx: &omp4rs::WorkerCtx<'_>| -> f64 {
@@ -175,14 +180,15 @@ pub fn native(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
 pub fn dynamic(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
     let (pos0, vel0) = particles(p.n, 10.0, p.seed);
     let n = p.n;
-    let boxed = |src: &Vec<[f64; 3]>| {
-        Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect())
-    };
+    let boxed =
+        |src: &Vec<[f64; 3]>| Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect());
     let pos = boxed(&pos0);
     let vel = boxed(&vel0);
     let forces = Value::list(vec![Value::Float(0.0); 3 * n]);
     let potential_out = Mutex::new(0.0f64);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     let getf = |l: &Value, i: usize| -> f64 {
         match l {
             Value::List(v) => v.read()[i].as_float().expect("f"),
@@ -202,7 +208,11 @@ pub fn dynamic(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
                 0.0f64,
                 |i, acc| {
                     let i = i as usize;
-                    let pi = [getf(&pos, 3 * i), getf(&pos, 3 * i + 1), getf(&pos, 3 * i + 2)];
+                    let pi = [
+                        getf(&pos, 3 * i),
+                        getf(&pos, 3 * i + 1),
+                        getf(&pos, 3 * i + 2),
+                    ];
                     let mut f = [0.0; 3];
                     for j in 0..n {
                         if i != j {
@@ -218,8 +228,8 @@ pub fn dynamic(p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
                             *acc += 0.5 * v;
                         }
                     }
-                    for c in 0..3 {
-                        setf(&forces, 3 * i + c, f[c]);
+                    for (c, fc) in f.iter().enumerate() {
+                        setf(&forces, 3 * i + c, *fc);
                     }
                 },
                 |a, b| a + b,
@@ -323,9 +333,8 @@ def md(pos, vel, forces, n, steps, nthreads):
 pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> (Vec<[f64; 3]>, f64) {
     let (pos0, vel0) = particles(p.n, 10.0, p.seed);
     let runner = interpreted_runner(mode, SOURCE);
-    let boxed = |src: &Vec<[f64; 3]>| {
-        Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect())
-    };
+    let boxed =
+        |src: &Vec<[f64; 3]>| Value::list(src.iter().flatten().map(|&v| Value::Float(v)).collect());
     let pos = boxed(&pos0);
     let vel = boxed(&vel0);
     let forces = Value::list(vec![Value::Float(0.0); 3 * p.n]);
@@ -437,7 +446,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
     };
-    Ok(BenchOutput { seconds, check: checksum(&pos) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&pos),
+    })
 }
 
 #[cfg(test)]
@@ -446,7 +458,11 @@ mod tests {
     use crate::modes::close;
 
     fn small() -> Params {
-        Params { n: 24, steps: 2, seed: 17 }
+        Params {
+            n: 24,
+            steps: 2,
+            seed: 17,
+        }
     }
 
     #[test]
@@ -465,7 +481,10 @@ mod tests {
         let (pos_ref, e_ref) = seq(&p);
         for threads in [1, 4] {
             let (pos, e) = native(&p, threads);
-            assert!(close(checksum(&pos), checksum(&pos_ref), 1e-9), "t={threads}");
+            assert!(
+                close(checksum(&pos), checksum(&pos_ref), 1e-9),
+                "t={threads}"
+            );
             assert!(close(e, e_ref, 1e-9));
         }
     }
@@ -481,7 +500,11 @@ mod tests {
 
     #[test]
     fn interpreted_matches_seq() {
-        let p = Params { n: 10, steps: 1, seed: 17 };
+        let p = Params {
+            n: 10,
+            steps: 1,
+            seed: 17,
+        };
         let (pos_ref, e_ref) = seq(&p);
         for mode in [Mode::Pure, Mode::Hybrid] {
             let (pos, e) = interpreted(mode, &p, 2);

@@ -24,7 +24,13 @@ pub enum Mode {
 impl Mode {
     /// All five modes, in the paper's presentation order.
     pub fn all() -> [Mode; 5] {
-        [Mode::Pure, Mode::Hybrid, Mode::Compiled, Mode::CompiledDT, Mode::PyOmp]
+        [
+            Mode::Pure,
+            Mode::Hybrid,
+            Mode::Compiled,
+            Mode::CompiledDT,
+            Mode::PyOmp,
+        ]
     }
 
     /// The four OMP4Py modes (excluding the baseline).
@@ -99,7 +105,9 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// Panics if the embedded benchmark source fails to load — a bug, not a
 /// user error.
 pub fn interpreted_runner(mode: Mode, source: &str) -> Runner {
-    let exec = mode.exec_mode().expect("interpreted_runner requires Pure/Hybrid");
+    let exec = mode
+        .exec_mode()
+        .expect("interpreted_runner requires Pure/Hybrid");
     let runner = Runner::new(exec);
     runner
         .run(source)

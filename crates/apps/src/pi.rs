@@ -44,7 +44,9 @@ pub fn native(p: &Params, threads: usize) -> f64 {
     let n = p.n;
     let w = 1.0 / n as f64;
     let result = parking_lot::Mutex::new(0.0f64);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let local = ctx.for_reduce(
             ForSpec::new(),
@@ -70,7 +72,9 @@ pub fn dynamic(p: &Params, threads: usize) -> f64 {
     let four = Value::Float(4.0);
     let one = Value::Float(1.0);
     let result = parking_lot::Mutex::new(Value::Float(0.0));
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let local = ctx.for_reduce(
             ForSpec::new(),
@@ -83,9 +87,12 @@ pub fn dynamic(p: &Params, threads: usize) -> f64 {
                     &w,
                 )
                 .expect("mul");
-                let denom =
-                    binary_op(BinOp::Add, &one, &binary_op(BinOp::Mul, &x, &x).expect("sq"))
-                        .expect("denom");
+                let denom = binary_op(
+                    BinOp::Add,
+                    &one,
+                    &binary_op(BinOp::Mul, &x, &x).expect("sq"),
+                )
+                .expect("denom");
                 let term = binary_op(BinOp::Div, &four, &denom).expect("div");
                 *acc = binary_op(BinOp::Add, acc, &term).expect("acc");
             },
@@ -151,7 +158,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => timed(|| pyomp_baseline(p, threads)),
     };
-    Ok(BenchOutput { seconds, check: value })
+    Ok(BenchOutput {
+        seconds,
+        check: value,
+    })
 }
 
 #[cfg(test)]

@@ -22,9 +22,9 @@ pub fn supports(benchmark: &str) -> bool {
 /// Why a benchmark cannot run under the baseline (paper §IV-A/§IV-B).
 pub fn unsupported_reason(benchmark: &str) -> Option<&'static str> {
     match benchmark {
-        "qsort" => Some(
-            "parallel recursive tasks with the if clause are not supported by PyOMP v0.2.0",
-        ),
+        "qsort" => {
+            Some("parallel recursive tasks with the if clause are not supported by PyOMP v0.2.0")
+        }
         "bfs" | "maze" => Some("PyOMP raises a Numba compilation error on this benchmark"),
         "clustering" | "graphic" => {
             Some("Numba cannot compile NetworkX's Graph object and related functions")
@@ -40,16 +40,20 @@ pub fn unsupported_reason(benchmark: &str) -> Option<&'static str> {
 /// Static-only parallel range: applies `body` to every `i` in `0..n` with
 /// PyOMP's (only) schedule. Returns nothing; the body writes into buffers.
 pub fn prange(threads: usize, n: i64, body: impl Fn(i64) + Sync) {
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
-        ctx.for_each(ForSpec::new(), 0..n, |i| body(i));
+        ctx.for_each(ForSpec::new(), 0..n, &body);
     });
 }
 
 /// Static-only parallel sum reduction over `0..n`.
 pub fn prange_reduce_sum(threads: usize, n: i64, body: impl Fn(i64) -> f64 + Sync) -> f64 {
     let result = parking_lot::Mutex::new(0.0f64);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let local = ctx.for_reduce(
             ForSpec::new(),
@@ -66,7 +70,9 @@ pub fn prange_reduce_sum(threads: usize, n: i64, body: impl Fn(i64) -> f64 + Syn
 /// Static-only parallel max reduction over `0..n`.
 pub fn prange_reduce_max(threads: usize, n: i64, body: impl Fn(i64) -> f64 + Sync) -> f64 {
     let result = parking_lot::Mutex::new(f64::NEG_INFINITY);
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let local = ctx.for_reduce(
             ForSpec::new(),

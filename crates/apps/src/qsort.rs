@@ -33,7 +33,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { n: 200_000, cutoff: 2_000, seed: DEFAULT_SEED }
+        Params {
+            n: 200_000,
+            cutoff: 2_000,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ pub fn input(p: &Params) -> Vec<f64> {
 
 /// Checksum sensitive to element order.
 pub fn checksum(data: &[f64]) -> f64 {
-    data.iter().enumerate().map(|(i, &v)| v * ((i % 97) + 1) as f64).sum()
+    data.iter()
+        .enumerate()
+        .map(|(i, &v)| v * ((i % 97) + 1) as f64)
+        .sum()
 }
 
 /// Lomuto partition (last element as pivot after a median-of-three swap).
@@ -127,7 +134,9 @@ pub fn native(p: &Params, threads: usize) -> Vec<f64> {
     {
         let slice = &mut data[..];
         let slot = parking_lot::Mutex::new(Some(slice));
-        let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
         parallel_region(&cfg, |ctx| {
             ctx.single_nowait(|| {
                 let slice = slot.lock().take().expect("single runs once");
@@ -203,13 +212,19 @@ pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
         let p = part(&list, lo, hi);
         let l1 = list.clone();
         let l2 = list.clone();
-        tc.task_if(p - lo > cutoff, move |tc| sort_rec(tc, l1, lo, p - 1, cutoff));
-        tc.task_if(hi - p > cutoff, move |tc| sort_rec(tc, l2, p + 1, hi, cutoff));
+        tc.task_if(p - lo > cutoff, move |tc| {
+            sort_rec(tc, l1, lo, p - 1, cutoff)
+        });
+        tc.task_if(hi - p > cutoff, move |tc| {
+            sort_rec(tc, l2, p + 1, hi, cutoff)
+        });
         tc.taskwait();
     }
 
     let n = p.n as i64;
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         ctx.single_nowait(|| {
             let list = data.clone();
@@ -312,7 +327,9 @@ pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
 /// Returns the paper's incompatibility for [`Mode::PyOmp`].
 pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
     if mode == Mode::PyOmp {
-        return Err(pyomp::unsupported_reason("qsort").expect("qsort unsupported").to_owned());
+        return Err(pyomp::unsupported_reason("qsort")
+            .expect("qsort unsupported")
+            .to_owned());
     }
     let (data, seconds) = match mode {
         Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
@@ -320,7 +337,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads)),
         Mode::PyOmp => unreachable!(),
     };
-    Ok(BenchOutput { seconds, check: checksum(&data) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&data),
+    })
 }
 
 #[cfg(test)]
@@ -333,7 +353,11 @@ mod tests {
 
     #[test]
     fn seq_sorts() {
-        let p = Params { n: 5_000, cutoff: 100, seed: 21 };
+        let p = Params {
+            n: 5_000,
+            cutoff: 100,
+            seed: 21,
+        };
         let out = seq(&p);
         assert!(is_sorted(&out));
         assert_eq!(out.len(), p.n);
@@ -341,7 +365,11 @@ mod tests {
 
     #[test]
     fn native_sorts_and_matches_seq() {
-        let p = Params { n: 20_000, cutoff: 500, seed: 21 };
+        let p = Params {
+            n: 20_000,
+            cutoff: 500,
+            seed: 21,
+        };
         let reference = seq(&p);
         for threads in [1, 4] {
             let out = native(&p, threads);
@@ -352,7 +380,11 @@ mod tests {
 
     #[test]
     fn dynamic_sorts() {
-        let p = Params { n: 3_000, cutoff: 200, seed: 22 };
+        let p = Params {
+            n: 3_000,
+            cutoff: 200,
+            seed: 22,
+        };
         let out = dynamic(&p, 3);
         assert!(is_sorted(&out));
         assert_eq!(checksum(&out), checksum(&seq(&p)));
@@ -360,7 +392,11 @@ mod tests {
 
     #[test]
     fn interpreted_sorts() {
-        let p = Params { n: 300, cutoff: 50, seed: 23 };
+        let p = Params {
+            n: 300,
+            cutoff: 50,
+            seed: 23,
+        };
         let reference = seq(&p);
         for mode in [Mode::Pure, Mode::Hybrid] {
             let out = interpreted(mode, &p, 2);
@@ -371,7 +407,11 @@ mod tests {
 
     #[test]
     fn pyomp_is_unsupported() {
-        let p = Params { n: 100, cutoff: 10, seed: 1 };
+        let p = Params {
+            n: 100,
+            cutoff: 10,
+            seed: 1,
+        };
         let err = run(Mode::PyOmp, 2, &p).unwrap_err();
         assert!(err.contains("if clause"), "{err}");
     }

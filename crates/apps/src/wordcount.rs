@@ -85,7 +85,9 @@ fn for_spec(p: &Params) -> ForSpec {
 pub fn native(p: &Params, threads: usize, lines: &[String]) -> HashMap<String, u64> {
     let n = lines.len() as i64;
     let merged: Mutex<HashMap<String, u64>> = Mutex::new(HashMap::new());
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let mut local: HashMap<String, u64> = HashMap::new();
         ctx.for_each(for_spec(p), 0..n, |i| {
@@ -110,7 +112,9 @@ pub fn dynamic(p: &Params, threads: usize, lines: &[String]) -> HashMap<String, 
     let boxed_lines: Vec<Value> = lines.iter().map(|l| Value::str(l.clone())).collect();
     let n = boxed_lines.len() as i64;
     let merged = Value::dict();
-    let cfg = ParallelConfig::new().num_threads(threads).backend(Backend::Atomic);
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
     parallel_region(&cfg, |ctx| {
         let local = Value::dict();
         ctx.for_each(for_spec(p), 0..n, |i| {
@@ -196,7 +200,11 @@ pub fn interpreted(
     let result = runner
         .call_global(
             "wordcount",
-            vec![boxed, Value::Int(lines.len() as i64), Value::Int(threads as i64)],
+            vec![
+                boxed,
+                Value::Int(lines.len() as i64),
+                Value::Int(threads as i64),
+            ],
         )
         .expect("wordcount benchmark failed");
     let mut out = HashMap::new();
@@ -228,7 +236,10 @@ pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String
         Mode::CompiledDT => timed(|| native(p, threads, &lines)),
         Mode::PyOmp => unreachable!(),
     };
-    Ok(BenchOutput { seconds, check: checksum(&counts) })
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&counts),
+    })
 }
 
 #[cfg(test)]
@@ -275,7 +286,10 @@ mod tests {
 
     #[test]
     fn interpreted_matches_seq() {
-        let p = Params { lines: 40, ..small() };
+        let p = Params {
+            lines: 40,
+            ..small()
+        };
         let lines = corpus(&p);
         let reference = seq(&lines);
         for mode in [Mode::Pure, Mode::Hybrid] {
@@ -287,8 +301,15 @@ mod tests {
     fn schedules_agree() {
         let lines = corpus(&small());
         let reference = seq(&lines);
-        for schedule in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
-            let p = Params { schedule, ..small() };
+        for schedule in [
+            ScheduleKind::Static,
+            ScheduleKind::Dynamic,
+            ScheduleKind::Guided,
+        ] {
+            let p = Params {
+                schedule,
+                ..small()
+            };
             assert_eq!(native(&p, 3, &lines), reference, "{schedule}");
         }
     }

@@ -22,10 +22,10 @@ pub fn diag_dominant_system(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut b = vec![0.0; n];
     for i in 0..n {
         let mut row_sum = 0.0;
-        for j in 0..n {
+        for (j, slot) in a[i].iter_mut().enumerate() {
             if i != j {
                 let v: f64 = rng.gen_range(-1.0..1.0);
-                a[i][j] = v;
+                *slot = v;
                 row_sum += v.abs();
             }
         }
@@ -92,8 +92,8 @@ pub fn zipf_corpus(lines: usize, words_per_line: usize, vocab: usize, seed: u64)
 /// Human-ish word for a vocabulary index (deterministic).
 fn word_for_index(mut i: usize) -> String {
     const SYLLABLES: [&str; 16] = [
-        "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe", "qui", "ro",
-        "su", "ta",
+        "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu", "na", "pe", "qui", "ro", "su",
+        "ta",
     ];
     let mut s = String::new();
     loop {
@@ -155,7 +155,12 @@ mod tests {
         let (a, b) = diag_dominant_system(20, 7);
         assert_eq!(b.len(), 20);
         for (i, row) in a.iter().enumerate() {
-            let off: f64 = row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(row[i].abs() > off, "row {i} not diagonally dominant");
         }
     }
@@ -182,7 +187,10 @@ mod tests {
         }
         let mut freqs: Vec<usize> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(freqs[0] > freqs[freqs.len() / 2] * 5, "distribution should be skewed");
+        assert!(
+            freqs[0] > freqs[freqs.len() / 2] * 5,
+            "distribution should be skewed"
+        );
     }
 
     #[test]

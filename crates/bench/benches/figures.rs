@@ -18,14 +18,12 @@ fn bench_figure5_kernels(c: &mut Criterion) {
             Mode::Compiled => full / 4,
             _ => full,
         };
-        group.bench_with_input(
-            BenchmarkId::new("pi", mode.name()),
-            &mode,
-            |b, &mode| {
-                let p = pi::Params { n: scale(100_000).max(100) as i64 };
-                b.iter(|| pi::run(mode, 2, &p).expect("supported"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pi", mode.name()), &mode, |b, &mode| {
+            let p = pi::Params {
+                n: scale(100_000).max(100) as i64,
+            };
+            b.iter(|| pi::run(mode, 2, &p).expect("supported"));
+        });
         group.bench_with_input(
             BenchmarkId::new("jacobi", mode.name()),
             &mode,
@@ -39,15 +37,15 @@ fn bench_figure5_kernels(c: &mut Criterion) {
                 b.iter(|| jacobi::run(mode, 2, &p).expect("supported"));
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("qsort", mode.name()),
-            &mode,
-            |b, &mode| {
-                let n = scale(40_000).max(200);
-                let p = qsort::Params { n, cutoff: (n / 16).max(16), ..qsort::Params::default() };
-                b.iter(|| qsort::run(mode, 2, &p).expect("supported"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("qsort", mode.name()), &mode, |b, &mode| {
+            let n = scale(40_000).max(200);
+            let p = qsort::Params {
+                n,
+                cutoff: (n / 16).max(16),
+                ..qsort::Params::default()
+            };
+            b.iter(|| qsort::run(mode, 2, &p).expect("supported"));
+        });
     }
     group.finish();
 }
@@ -117,10 +115,21 @@ fn bench_figure8_hybrid(c: &mut Criterion) {
             BenchmarkId::new("hybrid_jacobi_nodes", nodes),
             &nodes,
             |b, &nodes| {
-                let p = hybrid::Params { n: 48, max_iters: 20, tol: 0.0, ..hybrid::Params::default() };
+                let p = hybrid::Params {
+                    n: 48,
+                    max_iters: 20,
+                    tol: 0.0,
+                    ..hybrid::Params::default()
+                };
                 b.iter(|| {
-                    hybrid::run(Mode::CompiledDT, nodes, 2, &p, minimpi::NetModel::cluster(1))
-                        .expect("supported")
+                    hybrid::run(
+                        Mode::CompiledDT,
+                        nodes,
+                        2,
+                        &p,
+                        minimpi::NetModel::cluster(1),
+                    )
+                    .expect("supported")
                 });
             },
         );

@@ -46,7 +46,7 @@ fn main() {
             false,
             Some((ScheduleKind::Static, None)),
         )[0]
-            .1;
+        .1;
 
         for mode in Mode::omp4py_modes() {
             let per_unit = match omp4rs_bench::figures::measure(app, mode, scale) {
@@ -59,7 +59,11 @@ fn main() {
                 print!(" {t:>9}");
             }
             println!();
-            for sched in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
+            for sched in [
+                ScheduleKind::Static,
+                ScheduleKind::Dynamic,
+                ScheduleKind::Guided,
+            ] {
                 let sweep = sim_sweep(
                     app,
                     mode,

@@ -45,7 +45,7 @@ fn main() {
         };
         print!("  {:<11}", mode.name());
         for nodes in [1usize, 2, 4] {
-            if p.n % nodes != 0 {
+            if !p.n.is_multiple_of(nodes) {
                 continue;
             }
             match hybrid::run(mode, nodes, threads, &p, NetModel::cluster(1)) {
@@ -60,7 +60,11 @@ fn main() {
         }
         println!();
     }
-    println!("  {:<11}  cannot run: {}", "PyOMP", omp4rs_apps::pyomp::unsupported_reason("hybrid").unwrap());
+    println!(
+        "  {:<11}  cannot run: {}",
+        "PyOMP",
+        omp4rs_apps::pyomp::unsupported_reason("hybrid").unwrap()
+    );
 
     // Simulated node sweep: per-iteration row cost measured per mode
     // (scaled to the paper's matrix width — a row costs O(n) multiplies),
@@ -82,16 +86,16 @@ fn main() {
     }
     println!();
     for mode in Mode::omp4py_modes() {
-        let meas = omp4rs_bench::figures::measure(
-            omp4rs_bench::AppKind::Jacobi,
-            mode,
-            0.25,
-        );
+        let meas = omp4rs_bench::figures::measure(omp4rs_bench::AppKind::Jacobi, mode, 0.25);
         let Some(meas) = meas else { continue };
         // The measured benchmark ran a (120 · 0.25 · mode_scale) wide matrix;
         // rescale the per-row cost to the paper's width.
         let meas_n = (120.0 * 0.25 * omp4rs_bench::figures::mode_scale(mode)).max(4.0);
-        let n_dim: usize = if mode == Mode::CompiledDT { 20_000 } else { 3_000 };
+        let n_dim: usize = if mode == Mode::CompiledDT {
+            20_000
+        } else {
+            3_000
+        };
         let row_cost = meas.per_unit() * n_dim as f64 / meas_n;
         print!("  {:<11}", mode.name());
         let mut t1 = 0.0;
@@ -99,10 +103,8 @@ fn main() {
             let rows = n_dim / nodes;
             // Intra-node OpenMP speedup on 16 threads, bounded by the mode's
             // serialized fraction (same model as Fig. 5).
-            let sf = omp4rs_bench::figures::serialized_fraction(
-                omp4rs_bench::AppKind::Jacobi,
-                mode,
-            );
+            let sf =
+                omp4rs_bench::figures::serialized_fraction(omp4rs_bench::AppKind::Jacobi, mode);
             let intra = (1.0 / (sf + (1.0 - sf) / 16.0)).min(16.0);
             let compute = rows as f64 * row_cost / intra;
             // Allgather + allreduce per iteration.
@@ -117,7 +119,10 @@ fn main() {
             }
             print!(" {:>9.2}x", t1 / total);
         }
-        println!("   (single-node t = {:.1} s, {}x{} matrix)", t1, n_dim, n_dim);
+        println!(
+            "   (single-node t = {:.1} s, {}x{} matrix)",
+            t1, n_dim, n_dim
+        );
     }
     println!("\n(paper: CompiledDT speedups over one node of 1.6x/3x/5.2x/8.6x at 2/4/8/16 nodes)");
 }

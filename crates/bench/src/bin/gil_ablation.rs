@@ -49,7 +49,10 @@ fn main() {
         "interpreter", "threads", "time", "GIL switches", "result"
     );
     let mut reference = None;
-    for (label, mode) in [("GIL-enabled", GilMode::Enabled), ("free-threaded", GilMode::FreeThreaded)] {
+    for (label, mode) in [
+        ("GIL-enabled", GilMode::Enabled),
+        ("free-threaded", GilMode::FreeThreaded),
+    ] {
         for threads in [1i64, 4] {
             let (secs, switches, v) = run_once(mode, threads);
             if let Some(r) = reference {
@@ -69,7 +72,10 @@ fn main() {
     let per_unit = omp4rs_bench::figures::measure(AppKind::Pi, Mode::Pure, 0.2)
         .expect("pi supports Pure")
         .per_unit();
-    println!("  {:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "config", 1, 2, 4, 8, 16, 32);
+    println!(
+        "  {:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "config", 1, 2, 4, 8, 16, 32
+    );
     for (label, gil) in [("GIL-enabled", true), ("free-threaded", false)] {
         let sweep = sim_sweep(AppKind::Pi, Mode::Pure, per_unit, &prims, gil, None);
         let t1 = sweep[0].1;

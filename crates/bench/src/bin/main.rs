@@ -26,9 +26,15 @@ fn main() {
     if args.len() < 3 {
         usage();
     }
-    let Some(mode) = Mode::parse(&args[0]) else { usage() };
-    let Some(app) = AppKind::parse(&args[1]) else { usage() };
-    let Ok(threads) = args[2].parse::<usize>() else { usage() };
+    let Some(mode) = Mode::parse(&args[0]) else {
+        usage()
+    };
+    let Some(app) = AppKind::parse(&args[1]) else {
+        usage()
+    };
+    let Ok(threads) = args[2].parse::<usize>() else {
+        usage()
+    };
     let scale: f64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(1.0);
 
     // The measurement entry point runs the benchmark at any thread count by
@@ -58,46 +64,84 @@ fn run_at(app: AppKind, mode: Mode, threads: usize, scale: f64) -> Result<(f64, 
     let s = scale * mode_scale(mode);
     let f = |v: f64| -> usize { (v * s).max(4.0) as usize };
     let out = match app {
-        AppKind::Pi => pi::run(mode, threads, &pi::Params { n: f(2_000_000.0) as i64 })?,
+        AppKind::Pi => pi::run(
+            mode,
+            threads,
+            &pi::Params {
+                n: f(2_000_000.0) as i64,
+            },
+        )?,
         AppKind::Fft => {
             let log2_n = ((12.0 + s.log2()).round().clamp(6.0, 22.0)) as u32;
-            fft::run(mode, threads, &fft::Params { log2_n, ..fft::Params::default() })?
+            fft::run(
+                mode,
+                threads,
+                &fft::Params {
+                    log2_n,
+                    ..fft::Params::default()
+                },
+            )?
         }
         AppKind::Jacobi => jacobi::run(
             mode,
             threads,
-            &jacobi::Params { n: f(120.0), ..jacobi::Params::default() },
+            &jacobi::Params {
+                n: f(120.0),
+                ..jacobi::Params::default()
+            },
         )?,
-        AppKind::Lu => {
-            lu::run(mode, threads, &lu::Params { n: f(96.0), ..lu::Params::default() })?
-        }
+        AppKind::Lu => lu::run(
+            mode,
+            threads,
+            &lu::Params {
+                n: f(96.0),
+                ..lu::Params::default()
+            },
+        )?,
         AppKind::Md => md::run(
             mode,
             threads,
-            &md::Params { n: f(160.0), steps: 2, ..md::Params::default() },
+            &md::Params {
+                n: f(160.0),
+                steps: 2,
+                ..md::Params::default()
+            },
         )?,
         AppKind::Qsort => {
             let n = f(120_000.0);
             qsort::run(
                 mode,
                 threads,
-                &qsort::Params { n, cutoff: (n / 64).max(16), ..qsort::Params::default() },
+                &qsort::Params {
+                    n,
+                    cutoff: (n / 64).max(16),
+                    ..qsort::Params::default()
+                },
             )?
         }
         AppKind::Bfs => bfs::run(
             mode,
             threads,
-            &bfs::Params { side: f(61.0) | 1, ..bfs::Params::default() },
+            &bfs::Params {
+                side: f(61.0) | 1,
+                ..bfs::Params::default()
+            },
         )?,
         AppKind::Clustering => clustering::run(
             mode,
             threads,
-            &clustering::Params { nodes: f(2_000.0), ..clustering::Params::default() },
+            &clustering::Params {
+                nodes: f(2_000.0),
+                ..clustering::Params::default()
+            },
         )?,
         AppKind::Wordcount => wordcount::run(
             mode,
             threads,
-            &wordcount::Params { lines: f(4_000.0), ..wordcount::Params::default() },
+            &wordcount::Params {
+                lines: f(4_000.0),
+                ..wordcount::Params::default()
+            },
         )?,
     };
     // Silence unused import of `measure` while keeping the module linked.

@@ -5,7 +5,10 @@ use omp4rs_apps as apps;
 fn main() {
     println!("TABLE I — STATIC CHARACTERISTICS OF EVALUATED BENCHMARKS");
     println!("{:-<78}", "");
-    println!("{:<10} | {:<45} | {}", "benchmark", "OpenMP features", "synchronization");
+    println!(
+        "{:<10} | {:<45} | synchronization",
+        "benchmark", "OpenMP features"
+    );
     println!("{:-<78}", "");
     let rows: [(&str, &str); 7] = [
         ("fft", apps::fft::FEATURES),

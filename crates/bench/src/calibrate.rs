@@ -24,8 +24,14 @@ impl PrimitiveCosts {
     /// The claim cost for a backend.
     pub fn claim(&self, backend: Backend) -> ClaimCost {
         match backend {
-            Backend::Mutex => ClaimCost { seconds: self.mutex_claim, serializes: true },
-            Backend::Atomic => ClaimCost { seconds: self.atomic_claim, serializes: true },
+            Backend::Mutex => ClaimCost {
+                seconds: self.mutex_claim,
+                serializes: true,
+            },
+            Backend::Atomic => ClaimCost {
+                seconds: self.atomic_claim,
+                serializes: true,
+            },
         }
     }
 }
@@ -63,7 +69,12 @@ pub fn measure_primitives() -> PrimitiveCosts {
         while team.run_one_task() {}
     });
 
-    PrimitiveCosts { mutex_claim, atomic_claim, barrier, task_round }
+    PrimitiveCosts {
+        mutex_claim,
+        atomic_claim,
+        barrier,
+        task_round,
+    }
 }
 
 #[cfg(test)]

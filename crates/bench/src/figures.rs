@@ -21,9 +21,7 @@
 use omp4rs::sync::Backend;
 use omp4rs::ScheduleKind;
 use omp4rs_apps::{bfs, clustering, fft, jacobi, lu, md, pi, qsort, wordcount, Mode};
-use simcore::{
-    simulate, ClaimCost, CostModel, Machine, Phase, SimSchedule, TaskShape, Workload,
-};
+use simcore::{simulate, ClaimCost, CostModel, Machine, Phase, SimSchedule, TaskShape, Workload};
 
 use crate::calibrate::PrimitiveCosts;
 
@@ -139,7 +137,11 @@ pub fn mode_scale(mode: Mode) -> f64 {
 pub fn measure(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
     let first = measure_once(app, mode, scale)?;
     let second = measure_once(app, mode, scale)?;
-    Some(if second.seconds < first.seconds { second } else { first })
+    Some(if second.seconds < first.seconds {
+        second
+    } else {
+        first
+    })
 }
 
 fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
@@ -147,22 +149,38 @@ fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
     let f = |v: f64| -> usize { (v * s).max(4.0) as usize };
     match app {
         AppKind::Pi => {
-            let p = pi::Params { n: f(2_000_000.0) as i64 };
+            let p = pi::Params {
+                n: f(2_000_000.0) as i64,
+            };
             let out = pi::run(mode, 1, &p).ok()?;
-            Some(MeasuredCost { seconds: out.seconds, units: p.n as u64 })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: p.n as u64,
+            })
         }
         AppKind::Fft => {
             // Keep power-of-two lengths; scale the exponent.
             let log2_n = ((12.0 + s.log2()).round().clamp(6.0, 20.0)) as u32;
-            let p = fft::Params { log2_n, ..fft::Params::default() };
+            let p = fft::Params {
+                log2_n,
+                ..fft::Params::default()
+            };
             let out = fft::run(mode, 1, &p).ok()?;
             let n = p.n() as u64;
             let units = (n / 2) * n.trailing_zeros() as u64; // butterflies
-            Some(MeasuredCost { seconds: out.seconds, units })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units,
+            })
         }
         AppKind::Jacobi => {
             let n = f(120.0);
-            let p = jacobi::Params { n, max_iters: 60, tol: 0.0, ..jacobi::Params::default() };
+            let p = jacobi::Params {
+                n,
+                max_iters: 60,
+                tol: 0.0,
+                ..jacobi::Params::default()
+            };
             let out = jacobi::run(mode, 1, &p).ok()?;
             Some(MeasuredCost {
                 seconds: out.seconds,
@@ -171,15 +189,25 @@ fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
         }
         AppKind::Lu => {
             let n = f(96.0);
-            let p = lu::Params { n, ..lu::Params::default() };
+            let p = lu::Params {
+                n,
+                ..lu::Params::default()
+            };
             let out = lu::run(mode, 1, &p).ok()?;
             // Row updates: sum over k of (n-k-1).
             let units: u64 = (0..n as u64).map(|k| n as u64 - k - 1).sum();
-            Some(MeasuredCost { seconds: out.seconds, units: units.max(1) })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: units.max(1),
+            })
         }
         AppKind::Md => {
             let n = f(160.0);
-            let p = md::Params { n, steps: 2, ..md::Params::default() };
+            let p = md::Params {
+                n,
+                steps: 2,
+                ..md::Params::default()
+            };
             let out = md::run(mode, 1, &p).ok()?;
             Some(MeasuredCost {
                 seconds: out.seconds,
@@ -188,15 +216,28 @@ fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
         }
         AppKind::Qsort => {
             let n = f(120_000.0);
-            let p = qsort::Params { n, cutoff: (n / 64).max(16), ..qsort::Params::default() };
+            let p = qsort::Params {
+                n,
+                cutoff: (n / 64).max(16),
+                ..qsort::Params::default()
+            };
             let out = qsort::run(mode, 1, &p).ok()?;
-            Some(MeasuredCost { seconds: out.seconds, units: n as u64 })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: n as u64,
+            })
         }
         AppKind::Bfs => {
             let side = f(61.0) | 1; // odd side keeps mazes interesting
-            let p = bfs::Params { side, ..bfs::Params::default() };
+            let p = bfs::Params {
+                side,
+                ..bfs::Params::default()
+            };
             let out = bfs::run(mode, 1, &p).ok()?;
-            Some(MeasuredCost { seconds: out.seconds, units: (side * side) as u64 })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: (side * side) as u64,
+            })
         }
         AppKind::Clustering => {
             let p = clustering::Params {
@@ -204,12 +245,21 @@ fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
                 ..clustering::Params::default()
             };
             let out = clustering::run(mode, 1, &p).ok()?;
-            Some(MeasuredCost { seconds: out.seconds, units: p.nodes as u64 })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: p.nodes as u64,
+            })
         }
         AppKind::Wordcount => {
-            let p = wordcount::Params { lines: f(4_000.0), ..wordcount::Params::default() };
+            let p = wordcount::Params {
+                lines: f(4_000.0),
+                ..wordcount::Params::default()
+            };
             let out = wordcount::run(mode, 1, &p).ok()?;
-            Some(MeasuredCost { seconds: out.seconds, units: p.lines as u64 })
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: p.lines as u64,
+            })
         }
     }
 }
@@ -256,7 +306,12 @@ fn backend(mode: Mode) -> Backend {
     }
 }
 
-fn to_sim_schedule(kind: ScheduleKind, chunk: Option<u64>, units: u64, threads: usize) -> SimSchedule {
+fn to_sim_schedule(
+    kind: ScheduleKind,
+    chunk: Option<u64>,
+    units: u64,
+    threads: usize,
+) -> SimSchedule {
     match kind {
         ScheduleKind::Static | ScheduleKind::Auto | ScheduleKind::Runtime => match chunk {
             Some(c) => SimSchedule::StaticChunk(c),
@@ -298,7 +353,10 @@ pub fn workload_for(
             // under the mutex backend): roughly twice a fetch_add.
             SimSchedule::Guided(_) => {
                 let base = prims.claim(backend(mode));
-                ClaimCost { seconds: base.seconds * 2.0, serializes: true }
+                ClaimCost {
+                    seconds: base.seconds * 2.0,
+                    serializes: true,
+                }
             }
             _ => ClaimCost::local(),
         }
@@ -324,7 +382,10 @@ pub fn workload_for(
                     nowait: false,
                     imbalance: 0.0,
                 })
-                .phase(Phase::CriticalUpdates { per_thread: 1, cost: prims.mutex_claim.max(1e-7) });
+                .phase(Phase::CriticalUpdates {
+                    per_thread: 1,
+                    cost: prims.mutex_claim.max(1e-7),
+                });
         }
         AppKind::Fft => {
             // Paper size: 16M complex elements.
@@ -365,7 +426,9 @@ pub fn workload_for(
                         imbalance: 0.0,
                     })
                     // The `single` copy-back, then the explicit barrier.
-                    .phase(Phase::Serial { cost: n as f64 * per_unit * 0.02 })
+                    .phase(Phase::Serial {
+                        cost: n as f64 * per_unit * 0.02,
+                    })
                     .phase(Phase::Barrier);
             }
         }
@@ -454,8 +517,7 @@ pub fn workload_for(
         AppKind::Clustering => {
             // Paper size: 300k nodes.
             let nodes = 300_000u64;
-            let (kind, chunk) =
-                schedule.unwrap_or((ScheduleKind::Dynamic, Some(300)));
+            let (kind, chunk) = schedule.unwrap_or((ScheduleKind::Dynamic, Some(300)));
             let sched = to_sim_schedule(kind, chunk, nodes, threads);
             w = w.phase(Phase::ParallelFor {
                 iters: nodes,
@@ -472,8 +534,7 @@ pub fn workload_for(
             // The paper's 21 GB corpus at ~2 KB/line ≈ 10M lines; 1M keeps
             // dynamic-claim event counts tractable with identical shape.
             let lines = 1_000_000u64;
-            let (kind, chunk) =
-                schedule.unwrap_or((ScheduleKind::Dynamic, Some(300)));
+            let (kind, chunk) = schedule.unwrap_or((ScheduleKind::Dynamic, Some(300)));
             let sched = to_sim_schedule(kind, chunk, lines, threads);
             w = w
                 .phase(Phase::ParallelFor {
@@ -506,7 +567,10 @@ pub fn sim_sweep(
     gil: bool,
     schedule: Option<(ScheduleKind, Option<u64>)>,
 ) -> Vec<(usize, f64)> {
-    let model = CostModel { gil, ..CostModel::default() };
+    let model = CostModel {
+        gil,
+        ..CostModel::default()
+    };
     SWEEP_THREADS
         .iter()
         .map(|&threads| {
@@ -585,11 +649,18 @@ mod tests {
         // so compare at 8 threads.
         let p = prims();
         let at_8 = |kind, chunk| -> f64 {
-            sim_sweep(AppKind::Wordcount, Mode::CompiledDT, 5e-7, &p, false, Some((kind, chunk)))
-                .iter()
-                .find(|&&(t, _)| t == 8)
-                .expect("8 is in the sweep")
-                .1
+            sim_sweep(
+                AppKind::Wordcount,
+                Mode::CompiledDT,
+                5e-7,
+                &p,
+                false,
+                Some((kind, chunk)),
+            )
+            .iter()
+            .find(|&&(t, _)| t == 8)
+            .expect("8 is in the sweep")
+            .1
         };
         let static_t = at_8(ScheduleKind::Static, None);
         let dynamic_t = at_8(ScheduleKind::Dynamic, Some(300));
@@ -604,12 +675,20 @@ mod tests {
         // The headline mode ordering, measured for real on this host:
         // interpreted ≫ boxed-compiled ≫ native.
         let pure = measure(AppKind::Pi, Mode::Pure, 0.2).unwrap().per_unit();
-        let compiled = measure(AppKind::Pi, Mode::Compiled, 0.2).unwrap().per_unit();
-        let native = measure(AppKind::Pi, Mode::CompiledDT, 0.2).unwrap().per_unit();
+        let compiled = measure(AppKind::Pi, Mode::Compiled, 0.2)
+            .unwrap()
+            .per_unit();
+        let native = measure(AppKind::Pi, Mode::CompiledDT, 0.2)
+            .unwrap()
+            .per_unit();
         assert!(
             pure > compiled && compiled > native,
             "per-unit costs must order: pure={pure:.2e} compiled={compiled:.2e} native={native:.2e}"
         );
-        assert!(pure / native > 20.0, "interpreter gap should be large: {}", pure / native);
+        assert!(
+            pure / native > 20.0,
+            "interpreter gap should be large: {}",
+            pure / native
+        );
     }
 }

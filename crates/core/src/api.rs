@@ -80,6 +80,13 @@ pub fn omp_get_thread_limit() -> usize {
     Icvs::current().thread_limit
 }
 
+/// `omp_get_cancellation` (`cancel-var`): whether `cancel` directives are
+/// honoured. Controlled by `OMP_CANCELLATION`; there is no spec setter, but
+/// tests may flip it through [`Icvs::update`].
+pub fn omp_get_cancellation() -> bool {
+    Icvs::current().cancellation
+}
+
 /// `omp_set_max_active_levels`.
 pub fn omp_set_max_active_levels(levels: usize) {
     Icvs::update(|icvs| icvs.max_active_levels = levels);

@@ -77,7 +77,9 @@ pub fn current_frame() -> Option<Rc<Frame>> {
 
 /// The position chain of the current thread (for spawning nested teams).
 pub fn current_positions() -> Vec<(usize, usize)> {
-    current_frame().map(|f| f.positions.clone()).unwrap_or_default()
+    current_frame()
+        .map(|f| f.positions.clone())
+        .unwrap_or_default()
 }
 
 impl Frame {
@@ -119,7 +121,11 @@ impl Frame {
 
     /// Snapshot of the current task's direct children (for `taskwait`).
     pub fn current_children(&self) -> Vec<Arc<TaskNode>> {
-        self.children_stack.borrow().last().cloned().unwrap_or_default()
+        self.children_stack
+            .borrow()
+            .last()
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Drop completed children (bounds `taskwait` rescans and memory).

@@ -23,18 +23,28 @@ pub struct DirectiveError {
 
 impl DirectiveError {
     fn new(msg: impl Into<String>) -> DirectiveError {
-        DirectiveError { msg: msg.into(), offset: None }
+        DirectiveError {
+            msg: msg.into(),
+            offset: None,
+        }
     }
 
     fn at(msg: impl Into<String>, offset: usize) -> DirectiveError {
-        DirectiveError { msg: msg.into(), offset: Some(offset) }
+        DirectiveError {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
     }
 }
 
 impl fmt::Display for DirectiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.offset {
-            Some(off) => write!(f, "invalid OpenMP directive: {} (at offset {off})", self.msg),
+            Some(off) => write!(
+                f,
+                "invalid OpenMP directive: {} (at offset {off})",
+                self.msg
+            ),
             None => write!(f, "invalid OpenMP directive: {}", self.msg),
         }
     }
@@ -83,6 +93,16 @@ pub enum DirectiveKind {
     Flush(Vec<String>),
     /// `threadprivate(vars)`
     Threadprivate(Vec<String>),
+    /// `cancel(construct)` — OpenMP 4.0 cancellation, included as part of
+    /// the fault-tolerance extension: requests cancellation of the named
+    /// enclosing construct (honoured when the `cancel-var` ICV /
+    /// `OMP_CANCELLATION` is enabled). An optional `if(expr)` may appear
+    /// after the construct (inside the parens, spec-style) or as a trailing
+    /// clause.
+    Cancel(CancelConstruct),
+    /// `cancellation point(construct)` — a point at which threads check for
+    /// pending cancellation of the named construct.
+    CancellationPoint(CancelConstruct),
     /// `declare reduction(name : combiner)` — OpenMP 4.0 feature the paper
     /// explicitly includes.
     DeclareReduction {
@@ -117,6 +137,8 @@ impl DirectiveKind {
             DirectiveKind::Taskyield => "taskyield",
             DirectiveKind::Flush(_) => "flush",
             DirectiveKind::Threadprivate(_) => "threadprivate",
+            DirectiveKind::Cancel(_) => "cancel",
+            DirectiveKind::CancellationPoint(_) => "cancellation point",
             DirectiveKind::DeclareReduction { .. } => "declare reduction",
         }
     }
@@ -139,6 +161,48 @@ impl DirectiveKind {
                 | DirectiveKind::Task
                 | DirectiveKind::Taskloop
         )
+    }
+}
+
+/// The construct named by a `cancel`/`cancellation point` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelConstruct {
+    /// The innermost enclosing `parallel` region.
+    Parallel,
+    /// The innermost enclosing work-shared loop.
+    For,
+    /// The innermost enclosing `sections` region.
+    Sections,
+    /// The current taskgroup (this runtime: the team's task queue).
+    Taskgroup,
+}
+
+impl CancelConstruct {
+    /// Parse a construct name.
+    pub fn parse(s: &str) -> Option<CancelConstruct> {
+        Some(match s {
+            "parallel" => CancelConstruct::Parallel,
+            "for" => CancelConstruct::For,
+            "sections" => CancelConstruct::Sections,
+            "taskgroup" => CancelConstruct::Taskgroup,
+            _ => return None,
+        })
+    }
+
+    /// Spec spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelConstruct::Parallel => "parallel",
+            CancelConstruct::For => "for",
+            CancelConstruct::Sections => "sections",
+            CancelConstruct::Taskgroup => "taskgroup",
+        }
+    }
+}
+
+impl fmt::Display for CancelConstruct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -492,7 +556,10 @@ impl Directive {
         })
     }
 
-    fn collect_vars<'a>(&'a self, f: impl Fn(&'a Clause) -> Option<&'a Vec<String>>) -> Vec<&'a str> {
+    fn collect_vars<'a>(
+        &'a self,
+        f: impl Fn(&'a Clause) -> Option<&'a Vec<String>>,
+    ) -> Vec<&'a str> {
         let mut out = Vec::new();
         for c in &self.clauses {
             if let Some(vars) = f(c) {
@@ -513,7 +580,11 @@ struct DirParser<'a> {
 
 impl<'a> DirParser<'a> {
     fn new(text: &'a str) -> DirParser<'a> {
-        DirParser { text, bytes: text.as_bytes(), pos: 0 }
+        DirParser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -596,6 +667,7 @@ impl<'a> DirParser<'a> {
         }
 
         let head = parts[0];
+        let mut clauses = Vec::new();
         let kind = match head {
             "parallel" => {
                 let second = if parts.len() > 1 {
@@ -622,7 +694,10 @@ impl<'a> DirParser<'a> {
             "single" => DirectiveKind::Single,
             "master" => DirectiveKind::Master,
             "critical" => {
-                let name = self.paren_arg()?.map(|s| s.trim().to_owned()).filter(|s| !s.is_empty());
+                let name = self
+                    .paren_arg()?
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty());
                 DirectiveKind::Critical(name)
             }
             "barrier" => DirectiveKind::Barrier,
@@ -632,6 +707,40 @@ impl<'a> DirParser<'a> {
             "taskloop" => DirectiveKind::Taskloop,
             "taskwait" => DirectiveKind::Taskwait,
             "taskyield" => DirectiveKind::Taskyield,
+            "cancel" => {
+                let arg = self.paren_arg()?.ok_or_else(|| {
+                    DirectiveError::new("cancel requires a construct argument, e.g. cancel(for)")
+                })?;
+                let (construct, if_clause) = parse_cancel_arg(arg)?;
+                if let Some(c) = if_clause {
+                    clauses.push(c);
+                }
+                DirectiveKind::Cancel(construct)
+            }
+            "cancellation" => {
+                // `cancellation point(...)` / `cancellation_point(...)`.
+                let second = if parts.len() > 1 {
+                    Some(parts[1].to_owned())
+                } else {
+                    self.word().map(str::to_owned)
+                };
+                if second.as_deref() != Some("point") {
+                    return Err(DirectiveError::new("expected 'cancellation point'"));
+                }
+                let arg = self.paren_arg()?.ok_or_else(|| {
+                    DirectiveError::new(
+                        "cancellation point requires a construct argument, \
+                         e.g. cancellation point(for)",
+                    )
+                })?;
+                let (construct, if_clause) = parse_cancel_arg(arg)?;
+                if if_clause.is_some() {
+                    return Err(DirectiveError::new(
+                        "cancellation point does not take an if clause",
+                    ));
+                }
+                DirectiveKind::CancellationPoint(construct)
+            }
             "flush" => {
                 let vars = match self.paren_arg()? {
                     Some(arg) => split_names(arg)?,
@@ -640,9 +749,9 @@ impl<'a> DirParser<'a> {
                 DirectiveKind::Flush(vars)
             }
             "threadprivate" => {
-                let arg = self.paren_arg()?.ok_or_else(|| {
-                    DirectiveError::new("threadprivate requires a variable list")
-                })?;
+                let arg = self
+                    .paren_arg()?
+                    .ok_or_else(|| DirectiveError::new("threadprivate requires a variable list"))?;
                 DirectiveKind::Threadprivate(split_names(arg)?)
             }
             "declare" => {
@@ -668,9 +777,7 @@ impl<'a> DirParser<'a> {
                 let initializer = {
                     let save = self.pos;
                     match self.word() {
-                        Some("initializer") => self
-                            .paren_arg()?
-                            .map(|s| s.trim().to_owned()),
+                        Some("initializer") => self.paren_arg()?.map(|s| s.trim().to_owned()),
                         _ => {
                             self.pos = save;
                             None
@@ -689,7 +796,6 @@ impl<'a> DirParser<'a> {
             other => return Err(DirectiveError::new(format!("unknown directive '{other}'"))),
         };
 
-        let mut clauses = Vec::new();
         while !self.at_end() {
             let offset = self.pos;
             let name = self
@@ -702,7 +808,9 @@ impl<'a> DirParser<'a> {
 
     fn parse_clause(&mut self, name: &str, offset: usize) -> Result<Clause, DirectiveError> {
         let require_arg = |arg: Option<&'a str>| {
-            arg.ok_or_else(|| DirectiveError::at(format!("clause '{name}' requires an argument"), offset))
+            arg.ok_or_else(|| {
+                DirectiveError::at(format!("clause '{name}' requires an argument"), offset)
+            })
         };
         Ok(match name {
             "private" => Clause::Private(split_names(require_arg(self.paren_arg()?)?)?),
@@ -749,7 +857,10 @@ impl<'a> DirParser<'a> {
                 let kind = ScheduleKind::parse(kind_text).ok_or_else(|| {
                     DirectiveError::at(format!("invalid schedule kind '{kind_text}'"), offset)
                 })?;
-                let chunk = pieces.next().map(|s| s.trim().to_owned()).filter(|s| !s.is_empty());
+                let chunk = pieces
+                    .next()
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty());
                 if kind == ScheduleKind::Runtime && chunk.is_some() {
                     return Err(DirectiveError::at(
                         "schedule(runtime) must not specify a chunk size",
@@ -773,15 +884,14 @@ impl<'a> DirParser<'a> {
             "if" => {
                 let arg = require_arg(self.paren_arg()?)?;
                 match arg.split_once(':') {
-                    Some((modifier, expr))
-                        if is_directive_word(modifier.trim()) =>
-                    {
-                        Clause::If {
-                            modifier: Some(modifier.trim().to_owned()),
-                            expr: expr.trim().to_owned(),
-                        }
-                    }
-                    _ => Clause::If { modifier: None, expr: arg.trim().to_owned() },
+                    Some((modifier, expr)) if is_directive_word(modifier.trim()) => Clause::If {
+                        modifier: Some(modifier.trim().to_owned()),
+                        expr: expr.trim().to_owned(),
+                    },
+                    _ => Clause::If {
+                        modifier: None,
+                        expr: arg.trim().to_owned(),
+                    },
                 }
             }
             "final" => Clause::Final(require_arg(self.paren_arg()?)?.trim().to_owned()),
@@ -791,7 +901,10 @@ impl<'a> DirParser<'a> {
             "untied" => Clause::Untied,
             "mergeable" => Clause::Mergeable,
             other => {
-                return Err(DirectiveError::at(format!("unknown clause '{other}'"), offset))
+                return Err(DirectiveError::at(
+                    format!("unknown clause '{other}'"),
+                    offset,
+                ))
             }
         })
     }
@@ -816,8 +929,47 @@ fn is_directive_word(s: &str) -> bool {
             | "taskyield"
             | "flush"
             | "threadprivate"
+            | "cancel"
+            | "cancellation"
             | "declare"
     )
+}
+
+/// Parse the inside of a `cancel(...)`/`cancellation point(...)` argument:
+/// a construct name, optionally followed by `, if(expr)` (spec-style inline
+/// `if`).
+fn parse_cancel_arg(arg: &str) -> Result<(CancelConstruct, Option<Clause>), DirectiveError> {
+    let (head, rest) = match arg.split_once(',') {
+        Some((h, r)) => (h, Some(r)),
+        None => (arg, None),
+    };
+    let head = head.trim();
+    let construct = CancelConstruct::parse(head).ok_or_else(|| {
+        DirectiveError::new(format!(
+            "invalid cancel construct '{head}' (expected parallel, for, sections, or taskgroup)"
+        ))
+    })?;
+    let if_clause = match rest {
+        Some(r) => {
+            let r = r.trim();
+            let expr = r
+                .strip_prefix("if")
+                .map(str::trim_start)
+                .and_then(|s| s.strip_prefix('('))
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| {
+                    DirectiveError::new(format!(
+                        "expected 'if(expr)' after the cancel construct, got '{r}'"
+                    ))
+                })?;
+            Some(Clause::If {
+                modifier: None,
+                expr: expr.trim().to_owned(),
+            })
+        }
+        None => None,
+    };
+    Ok((construct, if_clause))
 }
 
 fn split_names(arg: &str) -> Result<Vec<String>, DirectiveError> {
@@ -827,12 +979,12 @@ fn split_names(arg: &str) -> Result<Vec<String>, DirectiveError> {
         if name.is_empty() {
             return Err(DirectiveError::new("empty name in variable list"));
         }
-        if !name
-            .chars()
-            .all(|c| c.is_alphanumeric() || c == '_')
+        if !name.chars().all(|c| c.is_alphanumeric() || c == '_')
             || name.chars().next().is_some_and(|c| c.is_ascii_digit())
         {
-            return Err(DirectiveError::new(format!("invalid variable name '{name}'")));
+            return Err(DirectiveError::new(format!(
+                "invalid variable name '{name}'"
+            )));
         }
         out.push(name.to_owned());
     }
@@ -928,6 +1080,8 @@ fn allowed_clauses(kind: &DirectiveKind) -> &'static [&'static str] {
             "nogroup",
         ],
         DirectiveKind::Taskwait | DirectiveKind::Taskyield => &[],
+        DirectiveKind::Cancel(_) => &["if"],
+        DirectiveKind::CancellationPoint(_) => &[],
         DirectiveKind::Flush(_) | DirectiveKind::Threadprivate(_) => &[],
         DirectiveKind::DeclareReduction { .. } => &[],
     }
@@ -1058,10 +1212,8 @@ mod tests {
 
     #[test]
     fn data_sharing_clauses() {
-        let d = Directive::parse(
-            "parallel private(a, b) firstprivate(c) shared(d) default(none)",
-        )
-        .unwrap();
+        let d = Directive::parse("parallel private(a, b) firstprivate(c) shared(d) default(none)")
+            .unwrap();
         assert_eq!(d.private_vars(), vec!["a", "b"]);
         assert_eq!(d.firstprivate_vars(), vec!["c"]);
         assert_eq!(d.shared_vars(), vec!["d"]);
@@ -1180,7 +1332,11 @@ mod tests {
     fn declare_reduction() {
         let d = Directive::parse("declare reduction(sumsq : a + b * b)").unwrap();
         match d.kind {
-            DirectiveKind::DeclareReduction { name, combiner, initializer } => {
+            DirectiveKind::DeclareReduction {
+                name,
+                combiner,
+                initializer,
+            } => {
                 assert_eq!(name, "sumsq");
                 assert_eq!(combiner, "a + b * b");
                 assert!(initializer.is_none());
@@ -1197,6 +1353,60 @@ mod tests {
     }
 
     #[test]
+    fn cancel_directive_forms() {
+        for (text, construct) in [
+            ("cancel(parallel)", CancelConstruct::Parallel),
+            ("cancel(for)", CancelConstruct::For),
+            ("cancel(sections)", CancelConstruct::Sections),
+            ("cancel(taskgroup)", CancelConstruct::Taskgroup),
+        ] {
+            let d = Directive::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(d.kind, DirectiveKind::Cancel(construct), "{text}");
+            assert!(d.clauses.is_empty());
+        }
+    }
+
+    #[test]
+    fn cancel_with_if_inline_and_trailing() {
+        // Spec-style inline `if` inside the parens…
+        let d = Directive::parse("cancel(for, if(err > 0))").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Cancel(CancelConstruct::For));
+        assert_eq!(d.if_expr(), Some("err > 0"));
+        // …and as a trailing clause.
+        let d = Directive::parse("cancel(taskgroup) if(count(a, b) > 3)").unwrap();
+        assert_eq!(d.if_expr(), Some("count(a, b) > 3"));
+        // Commas inside the if expression survive the inline form.
+        let d = Directive::parse("cancel(for, if(f(a, b)))").unwrap();
+        assert_eq!(d.if_expr(), Some("f(a, b)"));
+    }
+
+    #[test]
+    fn cancellation_point_forms() {
+        let d = Directive::parse("cancellation point(for)").unwrap();
+        assert_eq!(
+            d.kind,
+            DirectiveKind::CancellationPoint(CancelConstruct::For)
+        );
+        let d = Directive::parse("cancellation_point(parallel)").unwrap();
+        assert_eq!(
+            d.kind,
+            DirectiveKind::CancellationPoint(CancelConstruct::Parallel)
+        );
+    }
+
+    #[test]
+    fn cancel_errors_are_descriptive() {
+        let err = Directive::parse("cancel").unwrap_err();
+        assert!(err.msg.contains("construct"));
+        let err = Directive::parse("cancel(loop)").unwrap_err();
+        assert!(err.msg.contains("loop"));
+        let err = Directive::parse("cancellation point(for) if(x)").unwrap_err();
+        assert!(err.msg.contains("if"));
+        assert!(Directive::parse("cancellation(for)").is_err());
+        assert!(Directive::parse("cancel(for) nowait").is_err());
+    }
+
+    #[test]
     fn flush_and_threadprivate() {
         let d = Directive::parse("flush(a, b)").unwrap();
         assert_eq!(d.kind, DirectiveKind::Flush(vec!["a".into(), "b".into()]));
@@ -1209,7 +1419,16 @@ mod tests {
 
     #[test]
     fn standalone_directives() {
-        for text in ["barrier", "taskwait", "taskyield", "master", "atomic", "ordered", "section", "single"] {
+        for text in [
+            "barrier",
+            "taskwait",
+            "taskyield",
+            "master",
+            "atomic",
+            "ordered",
+            "section",
+            "single",
+        ] {
             Directive::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
         }
     }

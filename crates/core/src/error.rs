@@ -24,6 +24,13 @@ pub enum OmpError {
     InvalidContext(String),
     /// A `reduction(op: …)` named an undeclared custom reduction.
     UnknownReduction(String),
+    /// The enclosing region was cancelled (`cancel` directive observed at a
+    /// cancellation point).
+    Cancelled(String),
+    /// A team thread panicked and the region was poisoned: every barrier,
+    /// `single`, `ordered`, and `taskwait` in the region was released so the
+    /// surviving threads could exit cleanly instead of hanging.
+    RegionPoisoned(String),
 }
 
 impl fmt::Display for OmpError {
@@ -31,12 +38,25 @@ impl fmt::Display for OmpError {
         match self {
             OmpError::Directive(e) => write!(f, "{e}"),
             OmpError::NonConstantClause { clause, expr } => {
-                write!(f, "clause '{clause}' requires a constant here, got '{expr}'")
+                write!(
+                    f,
+                    "clause '{clause}' requires a constant here, got '{expr}'"
+                )
             }
             OmpError::InvalidLoop(msg) => write!(f, "invalid parallel loop: {msg}"),
             OmpError::InvalidContext(msg) => write!(f, "invalid directive nesting: {msg}"),
             OmpError::UnknownReduction(name) => {
-                write!(f, "unknown reduction identifier '{name}' (missing declare reduction?)")
+                write!(
+                    f,
+                    "unknown reduction identifier '{name}' (missing declare reduction?)"
+                )
+            }
+            OmpError::Cancelled(what) => write!(f, "region cancelled: {what}"),
+            OmpError::RegionPoisoned(why) => {
+                write!(
+                    f,
+                    "parallel region poisoned by a panicking team thread: {why}"
+                )
             }
         }
     }
@@ -65,7 +85,10 @@ mod tests {
     fn display_is_informative() {
         let e = OmpError::from(crate::directive::Directive::parse("bogus").unwrap_err());
         assert!(e.to_string().contains("bogus"));
-        let e = OmpError::NonConstantClause { clause: "schedule", expr: "n + 1".into() };
+        let e = OmpError::NonConstantClause {
+            clause: "schedule",
+            expr: "n + 1".into(),
+        };
         assert!(e.to_string().contains("schedule"));
         assert!(e.to_string().contains("n + 1"));
     }

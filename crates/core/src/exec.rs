@@ -27,7 +27,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::context;
-use crate::directive::{Clause, Directive, ScheduleKind};
+use crate::directive::{CancelConstruct, Clause, Directive, ScheduleKind};
 use crate::error::OmpError;
 use crate::icv::Icvs;
 use crate::locks;
@@ -52,7 +52,11 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
-        ParallelConfig { num_threads: None, if_parallel: true, backend: Backend::Atomic }
+        ParallelConfig {
+            num_threads: None,
+            if_parallel: true,
+            backend: Backend::Atomic,
+        }
     }
 }
 
@@ -97,15 +101,23 @@ impl ParallelConfig {
         for clause in &d.clauses {
             match clause {
                 Clause::NumThreads(expr) => {
-                    let n: usize = expr.trim().parse().map_err(|_| {
-                        OmpError::NonConstantClause { clause: "num_threads", expr: expr.clone() }
-                    })?;
+                    let n: usize =
+                        expr.trim()
+                            .parse()
+                            .map_err(|_| OmpError::NonConstantClause {
+                                clause: "num_threads",
+                                expr: expr.clone(),
+                            })?;
                     cfg.num_threads = Some(n.max(1));
                 }
                 Clause::If { expr, .. } => {
-                    let v: i64 = expr.trim().parse().map_err(|_| {
-                        OmpError::NonConstantClause { clause: "if", expr: expr.clone() }
-                    })?;
+                    let v: i64 = expr
+                        .trim()
+                        .parse()
+                        .map_err(|_| OmpError::NonConstantClause {
+                            clause: "if",
+                            expr: expr.clone(),
+                        })?;
                     cfg.if_parallel = v != 0;
                 }
                 // Data-sharing clauses are a no-op in compiled mode: Rust's
@@ -181,7 +193,10 @@ impl ForSpec {
                 Clause::Schedule { kind, chunk } => {
                     let chunk = match chunk {
                         Some(expr) => Some(expr.trim().parse::<u64>().map_err(|_| {
-                            OmpError::NonConstantClause { clause: "schedule", expr: expr.clone() }
+                            OmpError::NonConstantClause {
+                                clause: "schedule",
+                                expr: expr.clone(),
+                            }
                         })?),
                         None => None,
                     };
@@ -231,7 +246,10 @@ where
 {
     let cfg = match ParallelConfig::parse(clauses) {
         Ok(cfg) => cfg,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!(
+            "malformed parallel clauses {clauses:?}: {e} \
+             (parallel_region(&ParallelConfig, …) is the non-panicking variant)"
+        ),
     };
     parallel_region(&cfg, body);
 }
@@ -253,14 +271,15 @@ where
     let icvs = Icvs::current();
     let level = context::level();
     let active = context::active_level();
-    let size = if !cfg.if_parallel {
-        1
-    } else if level >= 1 && !icvs.nested {
-        1
-    } else if active >= icvs.max_active_levels {
+    let serialized =
+        !cfg.if_parallel || (level >= 1 && !icvs.nested) || active >= icvs.max_active_levels;
+    let size = if serialized {
         1
     } else {
-        cfg.num_threads.unwrap_or(icvs.num_threads).min(icvs.thread_limit).max(1)
+        cfg.num_threads
+            .unwrap_or(icvs.num_threads)
+            .min(icvs.thread_limit)
+            .max(1)
     };
 
     let team = Team::new(size, cfg.backend);
@@ -283,7 +302,13 @@ where
                 })
                 .expect("failed to spawn team thread");
         }
-        run_worker(Arc::clone(&team), 0, parent_positions.clone(), &body, &panic_slot);
+        run_worker(
+            Arc::clone(&team),
+            0,
+            parent_positions.clone(),
+            &body,
+            &panic_slot,
+        );
     });
 
     let task_panic = team.tasks().take_panic();
@@ -303,17 +328,33 @@ fn run_worker<'env, F>(
     F: Fn(&WorkerCtx<'env>) + Sync,
 {
     let _guard = context::enter_team(Arc::clone(&team), thread_num, positions);
-    let ctx = WorkerCtx { team: Arc::clone(&team), _scope: PhantomData };
+    let ctx = WorkerCtx {
+        team: Arc::clone(&team),
+        _scope: PhantomData,
+    };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
     if let Err(p) = result {
+        // Poison before recording: cancels the region and wakes every
+        // waiter (barrier, copyprivate, ordered turn-taking, taskwait) so
+        // the surviving threads run to the end of the region instead of
+        // hanging on a rendezvous this thread will never reach.
+        team.poison();
         let mut slot = panic_slot.lock();
         if slot.is_none() {
             *slot = Some(p);
         }
     }
     // Implicit barrier at region end; also drains the task queue. Runs even
-    // after a panic so the rest of the team is not deadlocked.
-    team.barrier();
+    // after a panic so the rest of the team is not deadlocked. Catch panics
+    // here too (fault injection targets barrier arrivals): an unwinding
+    // final barrier would otherwise strand the teammates still parked in it.
+    if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| team.barrier())) {
+        team.poison();
+        let mut slot = panic_slot.lock();
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
 }
 
 /// Handle to the enclosing parallel region, passed to the region body.
@@ -352,6 +393,64 @@ impl<'scope> WorkerCtx<'scope> {
     /// Explicit barrier (also a task scheduling point).
     pub fn barrier(&self) {
         self.team.barrier();
+    }
+
+    /// `cancel(construct)`: request cancellation of the named enclosing
+    /// construct (`"parallel"`, `"for"`, `"sections"`, or `"taskgroup"`).
+    ///
+    /// Honoured only when the `cancel-var` ICV is enabled
+    /// (`OMP_CANCELLATION=true`); otherwise a no-op returning `false`.
+    /// Returns `true` when cancellation is active for the construct — the
+    /// calling thread should then exit the construct, like after a `true`
+    /// [`WorkerCtx::cancellation_point`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown construct name, or for `"for"`/`"sections"`
+    /// outside a work-sharing region.
+    pub fn cancel(&self, construct: &str) -> bool {
+        self.cancel_construct(parse_construct(construct))
+    }
+
+    /// Typed variant of [`WorkerCtx::cancel`].
+    pub fn cancel_construct(&self, construct: CancelConstruct) -> bool {
+        if !Icvs::current().cancellation {
+            return false;
+        }
+        match construct {
+            CancelConstruct::Parallel => self.team.cancel_region(),
+            CancelConstruct::For | CancelConstruct::Sections => {
+                current_ws_instance(construct).cancel()
+            }
+            CancelConstruct::Taskgroup => self.team.tasks().cancel(),
+        }
+        true
+    }
+
+    /// `cancellation point(construct)`: returns `true` when cancellation is
+    /// pending for the named construct — the calling thread should exit the
+    /// construct. Observes poisoning-driven cancellation regardless of the
+    /// `cancel-var` ICV (runtime integrity is not user-gated).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown construct name, or for `"for"`/`"sections"`
+    /// outside a work-sharing region.
+    pub fn cancellation_point(&self, construct: &str) -> bool {
+        self.cancellation_point_construct(parse_construct(construct))
+    }
+
+    /// Typed variant of [`WorkerCtx::cancellation_point`].
+    pub fn cancellation_point_construct(&self, construct: CancelConstruct) -> bool {
+        match construct {
+            CancelConstruct::Parallel => self.team.is_cancelled(),
+            CancelConstruct::For | CancelConstruct::Sections => {
+                current_ws_instance(construct).is_cancelled()
+            }
+            CancelConstruct::Taskgroup => {
+                self.team.tasks().is_cancelled() || self.team.is_cancelled()
+            }
+        }
     }
 
     /// Work-share a 1-D loop across the team.
@@ -437,9 +536,9 @@ impl<'scope> WorkerCtx<'scope> {
             Some(Arc::clone(&inst)),
         );
         let mut local = identity.clone();
-        if spec.ordered {
-            frame.set_current_instance(Some(Arc::clone(&inst)));
-        }
+        // Track the active instance for every loop (not just ordered ones):
+        // `cancel("for")` targets it.
+        frame.set_current_instance(Some(Arc::clone(&inst)));
         while fb.next() {
             let (mut v, end, step) = fb.dims.var_chunk(fb.lo, fb.hi);
             let mut flat = fb.lo;
@@ -454,8 +553,8 @@ impl<'scope> WorkerCtx<'scope> {
         }
         if spec.ordered {
             frame.set_current_iter(None);
-            frame.set_current_instance(None);
         }
+        frame.set_current_instance(None);
         inst.reduce_merge(local, &combine);
         self.team.worksharing().leave(seq);
         // Reduction results require the barrier (nowait is ignored here; the
@@ -469,11 +568,14 @@ impl<'scope> WorkerCtx<'scope> {
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
         let sched = ResolvedSchedule::resolve(spec.schedule);
-        let mut fb =
-            ForBounds::init(dims, sched, frame.thread_num, self.team.size(), Some(Arc::clone(&inst)));
-        if spec.ordered {
-            frame.set_current_instance(Some(Arc::clone(&inst)));
-        }
+        let mut fb = ForBounds::init(
+            dims,
+            sched,
+            frame.thread_num,
+            self.team.size(),
+            Some(Arc::clone(&inst)),
+        );
+        frame.set_current_instance(Some(Arc::clone(&inst)));
         while fb.next() {
             let (mut v, end, step) = fb.dims.var_chunk(fb.lo, fb.hi);
             let mut flat = fb.lo;
@@ -488,8 +590,8 @@ impl<'scope> WorkerCtx<'scope> {
         }
         if spec.ordered {
             frame.set_current_iter(None);
-            frame.set_current_instance(None);
         }
+        frame.set_current_instance(None);
         self.team.worksharing().leave(seq);
         if !spec.nowait {
             self.team.barrier();
@@ -501,11 +603,14 @@ impl<'scope> WorkerCtx<'scope> {
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
         let sched = ResolvedSchedule::resolve(spec.schedule);
-        let mut fb =
-            ForBounds::init(dims, sched, frame.thread_num, self.team.size(), Some(Arc::clone(&inst)));
-        if spec.ordered {
-            frame.set_current_instance(Some(Arc::clone(&inst)));
-        }
+        let mut fb = ForBounds::init(
+            dims,
+            sched,
+            frame.thread_num,
+            self.team.size(),
+            Some(Arc::clone(&inst)),
+        );
+        frame.set_current_instance(Some(Arc::clone(&inst)));
         while fb.next() {
             for flat in fb.lo..fb.hi {
                 if spec.ordered {
@@ -517,8 +622,8 @@ impl<'scope> WorkerCtx<'scope> {
         }
         if spec.ordered {
             frame.set_current_iter(None);
-            frame.set_current_instance(None);
         }
+        frame.set_current_instance(None);
         self.team.worksharing().leave(seq);
         if !spec.nowait {
             self.team.barrier();
@@ -536,7 +641,9 @@ impl<'scope> WorkerCtx<'scope> {
         let inst = frame
             .current_instance()
             .expect("ordered requires a loop with the ordered clause");
-        let flat = frame.current_iter().expect("ordered requires an active loop iteration");
+        let flat = frame
+            .current_iter()
+            .expect("ordered requires an active loop iteration");
         inst.ordered_enter(flat);
         let result = f();
         inst.ordered_exit(flat);
@@ -558,7 +665,11 @@ impl<'scope> WorkerCtx<'scope> {
         let frame = context::current_frame().expect("single outside parallel region");
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
-        let out = if inst.claim.try_claim() { Some(f()) } else { None };
+        let out = if inst.claim.try_claim() {
+            Some(f())
+        } else {
+            None
+        };
         self.team.worksharing().leave(seq);
         if !nowait {
             self.team.barrier();
@@ -597,13 +708,18 @@ impl<'scope> WorkerCtx<'scope> {
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
         let n = sections.len() as u64;
+        frame.set_current_instance(Some(Arc::clone(&inst)));
         loop {
+            if inst.is_cancelled() {
+                break;
+            }
             let i = inst.counter.fetch_add(1);
             if i >= n {
                 break;
             }
             sections[i as usize]();
         }
+        frame.set_current_instance(None);
         self.team.worksharing().leave(seq);
         if !nowait {
             self.team.barrier();
@@ -733,13 +849,31 @@ impl<'scope> TaskCtx<'scope> {
     }
 }
 
+fn parse_construct(name: &str) -> CancelConstruct {
+    CancelConstruct::parse(name.trim()).unwrap_or_else(|| {
+        panic!(
+            "invalid cancel construct {name:?} \
+             (expected parallel, for, sections, or taskgroup)"
+        )
+    })
+}
+
+fn current_ws_instance(construct: CancelConstruct) -> Arc<crate::worksharing::WsInstance> {
+    context::current_frame()
+        .and_then(|f| f.current_instance())
+        .unwrap_or_else(|| panic!("cancel({construct}) outside a work-sharing region"))
+}
+
 fn submit_scoped_task<'scope, F>(team: &Arc<Team>, deferred: bool, f: F)
 where
     F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
 {
     let team_for_body = Arc::clone(team);
     let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-        let tc = TaskCtx { team: team_for_body, _scope: PhantomData };
+        let tc = TaskCtx {
+            team: team_for_body,
+            _scope: PhantomData,
+        };
         f(&tc);
     });
     // SAFETY: the task is guaranteed to complete (and its closure to be
@@ -769,7 +903,7 @@ impl IntoForSpec for ForSpec {
 
 impl IntoForSpec for &str {
     fn into_for_spec(self) -> ForSpec {
-        ForSpec::parse(self).unwrap_or_else(|e| panic!("{e}"))
+        ForSpec::parse(self).unwrap_or_else(|e| panic!("malformed for clauses {self:?}: {e}"))
     }
 }
 

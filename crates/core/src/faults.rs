@@ -1,0 +1,282 @@
+//! Deterministic fault injection for runtime robustness tests.
+//!
+//! The runtime calls [`on_event`] at three well-defined sites: every barrier
+//! arrival, every task-body execution, and every loop-chunk claim. A test
+//! arms a seeded [`FaultPlan`] describing *which* occurrence of *which* site
+//! should panic (or stall); the hook then fires deterministically — the same
+//! plan always kills the same event, independent of thread interleaving,
+//! because occurrences are counted with a global per-site counter.
+//!
+//! The module is always compiled in but **inert unless armed**: the
+//! disarmed-path cost is a single relaxed atomic load per event. Plans are
+//! armed through [`arm`], which also serializes tests (the returned guard
+//! holds a global lock and disarms on drop, so concurrently running tests
+//! cannot see each other's faults).
+//!
+//! Injected panics carry an [`InjectedFault`] payload so tests can assert
+//! that the panic that surfaced is the one they planted.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// A runtime site where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A thread arriving at any team barrier (implicit or explicit).
+    BarrierArrival,
+    /// A task body about to execute (deferred or undeferred).
+    TaskExecute,
+    /// A thread claiming the next chunk of a work-shared loop.
+    ChunkClaim,
+}
+
+impl FaultSite {
+    const COUNT: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::BarrierArrival => 0,
+            FaultSite::TaskExecute => 1,
+            FaultSite::ChunkClaim => 2,
+        }
+    }
+
+    /// Human-readable site name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::BarrierArrival => "barrier-arrival",
+            FaultSite::TaskExecute => "task-execute",
+            FaultSite::ChunkClaim => "chunk-claim",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The panic payload of an injected fault.
+///
+/// Distinct from any user panic so tests can downcast and verify provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// Which occurrence of the site fired (1-based).
+    pub occurrence: u64,
+    /// The seed of the plan that planted it.
+    pub seed: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected fault: panic at {} occurrence #{} (plan seed {})",
+            self.site, self.occurrence, self.seed
+        )
+    }
+}
+
+/// A seeded schedule of faults to inject.
+///
+/// Occurrences are 1-based and counted globally per site (not per thread),
+/// which is what makes the injection deterministic: "the 3rd barrier
+/// arrival" is a well-defined event no matter which thread performs it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    panics: Vec<(FaultSite, u64)>,
+    delays: Vec<(FaultSite, u64, Duration)>,
+}
+
+impl FaultPlan {
+    /// Create an empty plan with a seed (recorded in injected payloads and
+    /// used to derive per-event jitter for [`FaultPlan::delay_at`]).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panics: Vec::new(),
+            delays: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Panic at the `occurrence`-th (1-based) event of `site`.
+    pub fn panic_at(mut self, site: FaultSite, occurrence: u64) -> FaultPlan {
+        self.panics.push((site, occurrence.max(1)));
+        self
+    }
+
+    /// Stall the `occurrence`-th (1-based) event of `site` for roughly
+    /// `base` (the exact duration is jittered from the seed, up to 2× base).
+    pub fn delay_at(mut self, site: FaultSite, occurrence: u64, base: Duration) -> FaultPlan {
+        self.delays.push((site, occurrence.max(1), base));
+        self
+    }
+}
+
+/// Fast inert check: a single relaxed load on the disarmed path.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Global per-site occurrence counters (reset on every arm).
+static COUNTERS: [AtomicU64; FaultSite::COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// The armed plan.
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Serializes tests that arm plans (held by [`PlanGuard`]).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Guard returned by [`arm`]: disarms the plan when dropped and holds the
+/// global test lock so fault tests never observe each other's plans.
+pub struct PlanGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *PLAN.lock() = None;
+    }
+}
+
+impl fmt::Debug for PlanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanGuard").finish()
+    }
+}
+
+/// Arm a fault plan. Resets all occurrence counters. The plan stays armed
+/// until the returned guard is dropped.
+pub fn arm(plan: FaultPlan) -> PlanGuard {
+    let lock = TEST_LOCK.lock();
+    for c in &COUNTERS {
+        c.store(0, Ordering::SeqCst);
+    }
+    *PLAN.lock() = Some(plan);
+    ARMED.store(true, Ordering::SeqCst);
+    PlanGuard { _lock: lock }
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// splitmix64, used to jitter injected delays deterministically.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runtime hook: report that an event of `site` is occurring.
+///
+/// Called by `Team::barrier`, task execution, and `ForBounds::next`. When a
+/// plan is armed and this is a scheduled occurrence, either sleeps (delay
+/// faults) or panics with an [`InjectedFault`] payload (panic faults).
+#[inline]
+pub fn on_event(site: FaultSite) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    on_event_armed(site);
+}
+
+#[cold]
+fn on_event_armed(site: FaultSite) {
+    let n = COUNTERS[site.index()].fetch_add(1, Ordering::SeqCst) + 1;
+    let (panic_hit, delay_hit, seed) = {
+        let plan = PLAN.lock();
+        match plan.as_ref() {
+            Some(p) => (
+                p.panics.iter().any(|&(s, occ)| s == site && occ == n),
+                p.delays
+                    .iter()
+                    .find(|&&(s, occ, _)| s == site && occ == n)
+                    .map(|&(_, _, d)| d),
+                p.seed,
+            ),
+            None => return,
+        }
+    };
+    if let Some(base) = delay_hit {
+        // Jitter in [1.0, 2.0)× base, derived from (seed, site, occurrence).
+        let r = splitmix64(seed ^ (site.index() as u64) << 32 ^ n);
+        let factor = 1.0 + (r >> 11) as f64 / (1u64 << 53) as f64;
+        std::thread::sleep(base.mul_f64(factor));
+    }
+    if panic_hit {
+        std::panic::panic_any(InjectedFault {
+            site,
+            occurrence: n,
+            seed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_hook_is_inert() {
+        assert!(!is_armed());
+        for _ in 0..1000 {
+            on_event(FaultSite::BarrierArrival);
+        }
+    }
+
+    #[test]
+    fn armed_plan_panics_at_exact_occurrence() {
+        let _guard = arm(FaultPlan::new(7).panic_at(FaultSite::TaskExecute, 3));
+        on_event(FaultSite::TaskExecute);
+        on_event(FaultSite::TaskExecute);
+        on_event(FaultSite::BarrierArrival); // other sites don't advance it
+        let err = std::panic::catch_unwind(|| on_event(FaultSite::TaskExecute))
+            .expect_err("third task-execute event must panic");
+        let fault = err
+            .downcast_ref::<InjectedFault>()
+            .expect("InjectedFault payload");
+        assert_eq!(fault.site, FaultSite::TaskExecute);
+        assert_eq!(fault.occurrence, 3);
+        assert_eq!(fault.seed, 7);
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _guard = arm(FaultPlan::new(1).panic_at(FaultSite::ChunkClaim, 1));
+            assert!(is_armed());
+        }
+        assert!(!is_armed());
+        on_event(FaultSite::ChunkClaim); // must not panic
+    }
+
+    #[test]
+    fn delay_fault_stalls_the_event() {
+        let _guard = arm(FaultPlan::new(42).delay_at(
+            FaultSite::BarrierArrival,
+            1,
+            Duration::from_millis(10),
+        ));
+        let start = std::time::Instant::now();
+        on_event(FaultSite::BarrierArrival);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        on_event(FaultSite::BarrierArrival); // occurrence 2: no delay
+        assert!(start.elapsed() < Duration::from_millis(10));
+    }
+}

@@ -29,6 +29,10 @@ pub struct Icvs {
     pub run_schedule: (ScheduleKind, Option<u64>),
     /// `def-sched-var`: policy when no `schedule` clause is given.
     pub def_schedule: (ScheduleKind, Option<u64>),
+    /// `cancel-var`: whether `cancel` directives are honoured
+    /// (`OMP_CANCELLATION`). Poisoning after a panic ignores this — it is a
+    /// runtime-integrity mechanism, not user-requested cancellation.
+    pub cancellation: bool,
 }
 
 impl Default for Icvs {
@@ -41,13 +45,16 @@ impl Default for Icvs {
             thread_limit: usize::MAX,
             run_schedule: (ScheduleKind::Static, None),
             def_schedule: (ScheduleKind::Static, None),
+            cancellation: false,
         }
     }
 }
 
 /// Host parallelism (used for `omp_get_num_procs` and the default team size).
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn store() -> &'static RwLock<Icvs> {
@@ -82,6 +89,9 @@ impl Icvs {
             if let Some(sched) = parse_omp_schedule(&text) {
                 icvs.run_schedule = sched;
             }
+        }
+        if let Some(b) = env_bool("OMP_CANCELLATION") {
+            icvs.cancellation = b;
         }
         icvs
     }
@@ -118,7 +128,12 @@ fn env_usize(name: &str) -> Option<usize> {
 }
 
 fn env_bool(name: &str) -> Option<bool> {
-    match std::env::var(name).ok()?.trim().to_ascii_lowercase().as_str() {
+    match std::env::var(name)
+        .ok()?
+        .trim()
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "true" | "1" | "yes" | "on" => Some(true),
         "false" | "0" | "no" | "off" => Some(false),
         _ => None,
@@ -140,9 +155,18 @@ mod tests {
 
     #[test]
     fn parse_schedule_env() {
-        assert_eq!(parse_omp_schedule("dynamic,4"), Some((ScheduleKind::Dynamic, Some(4))));
-        assert_eq!(parse_omp_schedule("guided"), Some((ScheduleKind::Guided, None)));
-        assert_eq!(parse_omp_schedule(" static , 16 "), Some((ScheduleKind::Static, Some(16))));
+        assert_eq!(
+            parse_omp_schedule("dynamic,4"),
+            Some((ScheduleKind::Dynamic, Some(4)))
+        );
+        assert_eq!(
+            parse_omp_schedule("guided"),
+            Some((ScheduleKind::Guided, None))
+        );
+        assert_eq!(
+            parse_omp_schedule(" static , 16 "),
+            Some((ScheduleKind::Static, Some(16)))
+        );
         assert_eq!(parse_omp_schedule("bogus"), None);
         assert_eq!(parse_omp_schedule("static,abc"), None);
     }

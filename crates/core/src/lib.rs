@@ -63,6 +63,7 @@ pub mod context;
 pub mod directive;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod icv;
 pub mod locks;
 pub mod reduction;
@@ -73,9 +74,10 @@ pub mod team;
 pub mod worksharing;
 
 pub use api::*;
-pub use directive::{Clause, Directive, DirectiveKind, ReductionOp, ScheduleKind};
+pub use directive::{CancelConstruct, Clause, Directive, DirectiveKind, ReductionOp, ScheduleKind};
 pub use error::OmpError;
 pub use exec::{parallel, parallel_region, ForSpec, ParallelConfig, TaskCtx, WorkerCtx};
+pub use faults::{FaultPlan, FaultSite, InjectedFault};
 pub use icv::Icvs;
 pub use sync::Backend;
 pub use team::Team;

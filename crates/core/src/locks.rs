@@ -44,7 +44,9 @@ impl std::fmt::Debug for OmpLock {
 impl OmpLock {
     /// `omp_init_lock`.
     pub fn new() -> OmpLock {
-        OmpLock { raw: RawMutex::INIT }
+        OmpLock {
+            raw: RawMutex::INIT,
+        }
     }
 
     /// `omp_set_lock`: blocks until the lock is acquired.
@@ -123,7 +125,11 @@ impl OmpNestLock {
     pub fn unset(&self) -> u64 {
         let me = std::thread::current().id();
         let mut st = self.state.lock();
-        assert_eq!(st.owner, Some(me), "omp_unset_nest_lock: caller does not own the lock");
+        assert_eq!(
+            st.owner,
+            Some(me),
+            "omp_unset_nest_lock: caller does not own the lock"
+        );
         st.count -= 1;
         if st.count == 0 {
             st.owner = None;
@@ -193,7 +199,9 @@ pub struct AtomicF64 {
 impl AtomicF64 {
     /// Create with an initial value.
     pub fn new(v: f64) -> AtomicF64 {
-        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
     }
 
     /// Read the value.
@@ -211,7 +219,10 @@ impl AtomicF64 {
         let mut cur = self.bits.load(Ordering::Acquire);
         loop {
             let new = f(f64::from_bits(cur)).to_bits();
-            match self.bits.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }
@@ -303,22 +314,19 @@ mod tests {
 
     #[test]
     fn critical_excludes_concurrent_updates() {
-        let value = Arc::new(std::cell::UnsafeCell::new(0u64));
-        struct Wrap(Arc<std::cell::UnsafeCell<u64>>);
+        struct Shared(std::cell::UnsafeCell<u64>);
         // SAFETY: all accesses go through the critical section below.
-        unsafe impl Send for Wrap {}
-        unsafe impl Sync for Wrap {}
+        unsafe impl Send for Shared {}
+        unsafe impl Sync for Shared {}
+        let value = Arc::new(Shared(std::cell::UnsafeCell::new(0u64)));
         let mut handles = Vec::new();
         for _ in 0..4 {
-            let w = Wrap(Arc::clone(&value));
+            let v = Arc::clone(&value);
             handles.push(std::thread::spawn(move || {
-                // Capture the whole wrapper (not the disjoint `w.0` path),
-                // so the `Send` impl on `Wrap` applies.
-                let w = w;
                 for _ in 0..1000 {
                     critical(Some("ctest"), || {
                         // SAFETY: serialized by the critical section.
-                        unsafe { *w.0.get() += 1 };
+                        unsafe { *v.0.get() += 1 };
                     });
                 }
             }));
@@ -326,7 +334,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(unsafe { *value.get() }, 4000);
+        assert_eq!(unsafe { *value.0.get() }, 4000);
     }
 
     #[test]

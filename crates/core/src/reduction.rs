@@ -162,7 +162,10 @@ mod tests {
     fn declare_reduction_registry() {
         declare_reduction(
             "sumsq_test",
-            DeclaredReduction { combiner: "a + b * b".into(), initializer: Some("0".into()) },
+            DeclaredReduction {
+                combiner: "a + b * b".into(),
+                initializer: Some("0".into()),
+            },
         );
         let d = declared_reduction("sumsq_test").unwrap();
         assert_eq!(d.combiner, "a + b * b");

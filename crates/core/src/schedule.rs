@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use crate::directive::ScheduleKind;
 use crate::error::OmpError;
+use crate::faults::{self, FaultSite};
 use crate::icv::Icvs;
 use crate::worksharing::WsInstance;
 
@@ -30,7 +31,9 @@ impl LoopDims {
     /// Returns [`OmpError::InvalidLoop`] if any step is zero.
     pub fn new(triplets: &[(i64, i64, i64)]) -> Result<LoopDims, OmpError> {
         if triplets.is_empty() {
-            return Err(OmpError::InvalidLoop("loop requires at least one dimension".into()));
+            return Err(OmpError::InvalidLoop(
+                "loop requires at least one dimension".into(),
+            ));
         }
         let mut sizes = Vec::with_capacity(triplets.len());
         let mut total: u64 = 1;
@@ -42,7 +45,11 @@ impl LoopDims {
             sizes.push(len);
             total = total.saturating_mul(len);
         }
-        Ok(LoopDims { dims: triplets.to_vec(), sizes, total })
+        Ok(LoopDims {
+            dims: triplets.to_vec(),
+            sizes,
+            total,
+        })
     }
 
     /// Convenience: a single `0..n` dimension.
@@ -203,11 +210,22 @@ impl ForBounds {
     }
 
     /// Claim the next chunk — the paper's `for_next`. Returns `false` when
-    /// the thread's share of the iteration space is exhausted.
+    /// the thread's share of the iteration space is exhausted, or when the
+    /// loop (or its whole region) has been cancelled — every chunk claim is
+    /// a cancellation point, so all four execution modes stop distributing
+    /// iterations as soon as `cancel for` is observed.
+    // Deliberately named after the paper's `for_next`, not an Iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> bool {
         let total = self.dims.total();
         if total == 0 {
             return false;
+        }
+        faults::on_event(FaultSite::ChunkClaim);
+        if let Some(inst) = &self.instance {
+            if inst.is_cancelled() {
+                return false;
+            }
         }
         let claimed = match self.sched.kind {
             ScheduleKind::Static if !self.sched.explicit_chunk => self.next_static_block(total),
@@ -259,7 +277,10 @@ impl ForBounds {
 
     /// Dynamic: claim `chunk` iterations from the shared counter.
     fn next_dynamic(&mut self, total: u64) -> bool {
-        let inst = self.instance.as_ref().expect("dynamic schedule requires a shared instance");
+        let inst = self
+            .instance
+            .as_ref()
+            .expect("dynamic schedule requires a shared instance");
         let c = self.sched.chunk;
         let lo = inst.counter.fetch_add(c);
         if lo >= total {
@@ -272,7 +293,10 @@ impl ForBounds {
 
     /// Guided: claim decreasing chunk sizes, never below the minimum chunk.
     fn next_guided(&mut self, total: u64) -> bool {
-        let inst = self.instance.as_ref().expect("guided schedule requires a shared instance");
+        let inst = self
+            .instance
+            .as_ref()
+            .expect("guided schedule requires a shared instance");
         let min_chunk = self.sched.chunk;
         let n = self.nthreads as u64;
         let result = inst.counter.fetch_update(|cur| {
@@ -303,7 +327,11 @@ mod tests {
     use crate::worksharing::WorkshareRegistry;
 
     fn sched(kind: ScheduleKind, chunk: Option<u64>) -> ResolvedSchedule {
-        ResolvedSchedule { kind, chunk: chunk.unwrap_or(1).max(1), explicit_chunk: chunk.is_some() }
+        ResolvedSchedule {
+            kind,
+            chunk: chunk.unwrap_or(1).max(1),
+            explicit_chunk: chunk.is_some(),
+        }
     }
 
     fn collect_iters(
@@ -391,7 +419,10 @@ mod tests {
         while fb.next() {
             sizes.push(fb.hi - fb.lo);
         }
-        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s >= 10), "sizes: {sizes:?}");
+        assert!(
+            sizes[..sizes.len() - 1].iter().all(|&s| s >= 10),
+            "sizes: {sizes:?}"
+        );
         // First chunk is the largest (guided decreases).
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes: {sizes:?}");
     }

@@ -48,7 +48,11 @@ pub struct SharedCounter {
 impl SharedCounter {
     /// Create a counter starting at `0`.
     pub fn new(backend: Backend) -> SharedCounter {
-        SharedCounter { backend, atomic: AtomicU64::new(0), mutex: Mutex::new(0) }
+        SharedCounter {
+            backend,
+            atomic: AtomicU64::new(0),
+            mutex: Mutex::new(0),
+        }
     }
 
     /// The backend this counter uses.
@@ -82,9 +86,10 @@ impl SharedCounter {
     /// on abort. Guided scheduling's decreasing-chunk claims use this.
     pub fn fetch_update(&self, mut f: impl FnMut(u64) -> Option<u64>) -> Result<u64, u64> {
         match self.backend {
-            Backend::Atomic => self
-                .atomic
-                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| f(v)),
+            Backend::Atomic => {
+                self.atomic
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, &mut f)
+            }
             Backend::Mutex => {
                 let mut guard = self.mutex.lock();
                 match f(*guard) {
@@ -113,7 +118,11 @@ pub struct ClaimFlag {
 impl ClaimFlag {
     /// Create an unclaimed flag.
     pub fn new(backend: Backend) -> ClaimFlag {
-        ClaimFlag { backend, atomic: AtomicBool::new(false), mutex: Mutex::new(false) }
+        ClaimFlag {
+            backend,
+            atomic: AtomicBool::new(false),
+            mutex: Mutex::new(false),
+        }
     }
 
     /// Attempt the claim; exactly one caller ever receives `true`.
@@ -134,6 +143,52 @@ impl ClaimFlag {
 
     /// Whether the flag has been claimed.
     pub fn is_claimed(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => self.atomic.load(Ordering::Acquire),
+            Backend::Mutex => *self.mutex.lock(),
+        }
+    }
+}
+
+/// A latching cancellation flag (`cancel` directives, team poisoning).
+///
+/// Once set it stays set: teams are created fresh per parallel region, so a
+/// cancelled team's residual barrier state never leaks into another region.
+/// Like every shared primitive here it honours both backends: the atomic
+/// backend uses a swap/load, the mutex backend takes a lock.
+#[derive(Debug)]
+pub struct CancelFlag {
+    backend: Backend,
+    atomic: AtomicBool,
+    mutex: Mutex<bool>,
+}
+
+impl CancelFlag {
+    /// Create an unset flag.
+    pub fn new(backend: Backend) -> CancelFlag {
+        CancelFlag {
+            backend,
+            atomic: AtomicBool::new(false),
+            mutex: Mutex::new(false),
+        }
+    }
+
+    /// Latch the flag. Returns `true` if this call performed the transition
+    /// (exactly one caller observes `true`).
+    pub fn set(&self) -> bool {
+        match self.backend {
+            Backend::Atomic => !self.atomic.swap(true, Ordering::AcqRel),
+            Backend::Mutex => {
+                let mut guard = self.mutex.lock();
+                let was = *guard;
+                *guard = true;
+                !was
+            }
+        }
+    }
+
+    /// Whether the flag has been latched.
+    pub fn is_set(&self) -> bool {
         match self.backend {
             Backend::Atomic => self.atomic.load(Ordering::Acquire),
             Backend::Mutex => *self.mutex.lock(),
@@ -238,17 +293,13 @@ impl OmpEvent {
                 }
                 let mut guard = self.state.lock();
                 while !self.atomic.load(Ordering::Acquire) {
-                    let _ = self
-                        .condvar
-                        .wait_for(&mut guard, Duration::from_millis(1));
+                    let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
                 }
             }
             Backend::Mutex => {
                 let mut guard = self.state.lock();
                 while !*guard {
-                    let _ = self
-                        .condvar
-                        .wait_for(&mut guard, Duration::from_millis(1));
+                    let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
                 }
             }
         }
@@ -458,6 +509,31 @@ mod tests {
                 h.join().unwrap();
             }
             assert_eq!(seen.lock().len(), total, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_flag_latches_once() {
+        for backend in both() {
+            let flag = CancelFlag::new(backend);
+            assert!(!flag.is_set());
+            assert!(flag.set(), "first set performs the transition");
+            assert!(!flag.set(), "second set observes the latch");
+            assert!(flag.is_set());
+        }
+    }
+
+    #[test]
+    fn cancel_flag_set_race_has_single_winner() {
+        for backend in both() {
+            let flag = Arc::new(CancelFlag::new(backend));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let flag = Arc::clone(&flag);
+                handles.push(std::thread::spawn(move || flag.set() as usize));
+            }
+            let wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(wins, 1, "{backend:?}");
         }
     }
 

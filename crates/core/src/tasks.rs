@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::sync::{Backend, Notifier, OmpEvent, WorkBag};
+use crate::faults::{self, FaultSite};
+use crate::sync::{Backend, CancelFlag, Notifier, OmpEvent, WorkBag};
 
 /// Lifecycle state of a task node (paper: free / in-progress / completed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +39,9 @@ pub struct TaskNode {
 
 impl std::fmt::Debug for TaskNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskNode").field("state", &self.state()).finish()
+        f.debug_struct("TaskNode")
+            .field("state", &self.state())
+            .finish()
     }
 }
 
@@ -98,9 +101,18 @@ impl TaskNode {
     /// Panics in the body are caught and returned (not propagated): per the
     /// OpenMP rule the paper cites, exceptions must not escape a task. The
     /// node is still marked completed so barriers and `taskwait` release.
-    fn finish(&self, body: Option<Box<dyn FnOnce() + Send>>) -> Option<Box<dyn std::any::Any + Send>> {
+    fn finish(
+        &self,
+        body: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
         let panic = match body {
-            Some(body) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).err(),
+            Some(body) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Inside the catch: an injected task fault is recorded like
+                // any user panic instead of unwinding the executor.
+                faults::on_event(FaultSite::TaskExecute);
+                body();
+            }))
+            .err(),
             None => None,
         };
         self.state.store(STATE_COMPLETED, Ordering::Release);
@@ -116,6 +128,10 @@ pub struct TaskQueue {
     wake: Arc<Notifier>,
     backend: Backend,
     panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Latched by `cancel taskgroup` / region cancellation: queued tasks are
+    /// discarded (marked complete without running) so barriers and
+    /// `taskwait` release.
+    cancelled: CancelFlag,
 }
 
 impl std::fmt::Debug for TaskQueue {
@@ -138,6 +154,34 @@ impl TaskQueue {
             wake,
             backend,
             panic_slot: Mutex::new(None),
+            cancelled: CancelFlag::new(backend),
+        }
+    }
+
+    /// Whether the queue has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.is_set()
+    }
+
+    /// Cancel the queue (`cancel taskgroup` semantics): tasks that have not
+    /// started are discarded — marked complete without executing, so every
+    /// waiter (barrier task-drain, `taskwait`, `wait_done`) releases.
+    /// Already-running tasks finish normally.
+    pub fn cancel(&self) {
+        self.cancelled.set();
+        while let Some(node) = self.bag.pop() {
+            self.discard(&node);
+        }
+        self.wake.notify_all();
+    }
+
+    /// Discard one queued node if it has not started (claim it, drop the
+    /// body, mark complete).
+    fn discard(&self, node: &TaskNode) {
+        if let Some(body) = node.try_claim() {
+            drop(body);
+            let _ = node.finish(None);
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -161,10 +205,25 @@ impl TaskQueue {
     }
 
     /// Enqueue a deferred task; returns its node (for child tracking).
+    ///
+    /// Submissions to a cancelled queue are discarded immediately (the node
+    /// is returned already complete, never counted as outstanding).
     pub fn submit(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
         let node = TaskNode::new(self.backend, body);
+        if self.cancelled.is_set() {
+            if let Some(body) = node.try_claim() {
+                drop(body);
+                let _ = node.finish(None);
+            }
+            return node;
+        }
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         self.bag.push(Arc::clone(&node));
+        // Submit/cancel race: the drain in `cancel` may already have run.
+        // Discard here so the node cannot linger outstanding forever.
+        if self.cancelled.is_set() {
+            self.discard(&node);
+        }
         self.wake.notify_all();
         node
     }
@@ -190,6 +249,10 @@ impl TaskQueue {
     /// was run. Nodes already claimed inline by `taskwait` are skipped.
     pub fn run_one(&self) -> bool {
         while let Some(node) = self.bag.pop() {
+            if self.cancelled.is_set() {
+                self.discard(&node);
+                continue;
+            }
             if let Some(body) = node.try_claim() {
                 self.record_panic(node.finish(Some(body)));
                 self.outstanding.fetch_sub(1, Ordering::AcqRel);

@@ -8,7 +8,8 @@ use parking_lot::Mutex;
 use std::cell::Cell;
 
 use crate::context;
-use crate::sync::{Backend, Notifier};
+use crate::faults::{self, FaultSite};
+use crate::sync::{Backend, CancelFlag, Notifier};
 use crate::tasks::{TaskNode, TaskQueue};
 use crate::worksharing::WorkshareRegistry;
 
@@ -26,6 +27,12 @@ pub struct Team {
     release: Mutex<()>,
     tasks: TaskQueue,
     ws: WorkshareRegistry,
+    /// Region-wide cancellation (set by `cancel parallel` or poisoning).
+    /// Shared with the work-sharing registry so every instance's wait loops
+    /// can observe it.
+    cancelled: Arc<CancelFlag>,
+    /// Set when a team thread panicked and the region was force-released.
+    poisoned: CancelFlag,
 }
 
 impl std::fmt::Debug for Team {
@@ -50,6 +57,7 @@ impl Team {
     /// Create a team of `size` threads using the given backend.
     pub fn new(size: usize, backend: Backend) -> Arc<Team> {
         let wake = Arc::new(Notifier::new());
+        let cancelled = Arc::new(CancelFlag::new(backend));
         Arc::new(Team {
             size: size.max(1),
             backend,
@@ -58,7 +66,9 @@ impl Team {
             generation: AtomicU64::new(0),
             release: Mutex::new(()),
             tasks: TaskQueue::new(backend, Arc::clone(&wake)),
-            ws: WorkshareRegistry::new(backend, size.max(1), wake),
+            ws: WorkshareRegistry::with_cancel(backend, size.max(1), wake, Arc::clone(&cancelled)),
+            cancelled,
+            poisoned: CancelFlag::new(backend),
         })
     }
 
@@ -87,14 +97,58 @@ impl Team {
         &self.wake
     }
 
+    /// Whether the region has been cancelled (by `cancel parallel` or by
+    /// poisoning).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.is_set()
+    }
+
+    /// Whether a team thread panicked and poisoned the region.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_set()
+    }
+
+    /// `cancel parallel`: latch region-wide cancellation.
+    ///
+    /// Every barrier in the region (current and future generations) releases
+    /// immediately, queued-but-unstarted tasks are discarded, and loop
+    /// drivers stop claiming chunks at their next cancellation point. Safe
+    /// because teams are created fresh per parallel region: the residual
+    /// `arrived` count of a cancelled barrier can never corrupt another
+    /// region.
+    pub fn cancel_region(&self) {
+        self.cancelled.set();
+        self.tasks.cancel();
+        self.wake.notify_all();
+    }
+
+    /// Poison the team after a worker panic: cancel the region *and* record
+    /// that the release was abnormal. Every waiter — barrier, `single`
+    /// copyprivate, `ordered`, `taskwait` — is woken so the surviving
+    /// threads exit the region cleanly instead of hanging; the captured
+    /// panic is re-raised once all threads have joined.
+    pub fn poison(&self) {
+        self.poisoned.set();
+        self.cancel_region();
+    }
+
     /// Task-draining barrier (§III-E): all threads must arrive *and* all
     /// outstanding tasks must complete before any thread proceeds. Threads
     /// waiting at the barrier execute queued tasks instead of idling, and
     /// are re-awakened when new tasks are submitted.
     pub fn barrier(&self) {
+        faults::on_event(FaultSite::BarrierArrival);
+        // A cancelled/poisoned region's barriers are no-ops: the region is
+        // exiting and no further cross-thread phase agreement exists.
+        if self.cancelled.is_set() {
+            return;
+        }
         if self.size == 1 {
             // Single-thread team: the barrier reduces to draining tasks.
             while self.tasks.outstanding() > 0 {
+                if self.cancelled.is_set() {
+                    return;
+                }
                 if !self.run_one_task() {
                     self.wake.wait_tick();
                 }
@@ -104,12 +158,10 @@ impl Team {
         let gen = self.generation.load(Ordering::Acquire);
         self.arrived.fetch_add(1, Ordering::AcqRel);
         loop {
-            if self.generation.load(Ordering::Acquire) != gen {
+            if self.cancelled.is_set() || self.generation.load(Ordering::Acquire) != gen {
                 return;
             }
-            if self.arrived.load(Ordering::Acquire) == self.size
-                && self.tasks.outstanding() == 0
-            {
+            if self.arrived.load(Ordering::Acquire) == self.size && self.tasks.outstanding() == 0 {
                 // Candidate releaser: commit under the release lock so a
                 // stale thread can never reset `arrived` after the flip.
                 let _g = self.release.lock();

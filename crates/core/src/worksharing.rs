@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::sync::{Backend, ClaimFlag, Notifier, OmpEvent, SharedCounter};
+use crate::sync::{Backend, CancelFlag, ClaimFlag, Notifier, OmpEvent, SharedCounter};
 
 /// Shared state for one dynamic occurrence of a work-sharing region.
 #[derive(Debug)]
@@ -35,10 +35,15 @@ pub struct WsInstance {
     ordered_next: AtomicU64,
     /// Wakeups for `ordered` turn-taking.
     wake: Arc<Notifier>,
+    /// Per-instance cancellation (`cancel for` / `cancel sections`).
+    cancelled: CancelFlag,
+    /// The owning region's cancellation flag (shared via the registry), so
+    /// every instance wait loop also observes `cancel parallel`/poisoning.
+    region_cancel: Arc<CancelFlag>,
 }
 
 impl WsInstance {
-    fn new(backend: Backend, wake: Arc<Notifier>) -> WsInstance {
+    fn new(backend: Backend, wake: Arc<Notifier>, region_cancel: Arc<CancelFlag>) -> WsInstance {
         WsInstance {
             counter: SharedCounter::new(backend),
             claim: ClaimFlag::new(backend),
@@ -47,7 +52,22 @@ impl WsInstance {
             reduce_slot: Mutex::new(None),
             ordered_next: AtomicU64::new(0),
             wake,
+            cancelled: CancelFlag::new(backend),
+            region_cancel,
         }
+    }
+
+    /// Cancel this work-sharing instance (`cancel for`/`cancel sections`):
+    /// threads stop claiming chunks/sections at their next cancellation
+    /// point. Iterations already claimed complete normally.
+    pub fn cancel(&self) {
+        self.cancelled.set();
+        self.wake.notify_all();
+    }
+
+    /// Whether the instance — or its whole region — has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.is_set() || self.region_cancel.is_set()
     }
 
     /// Publish a `copyprivate` value (called by the `single` winner).
@@ -62,11 +82,21 @@ impl WsInstance {
     ///
     /// Panics if the published value's type does not match `T` — a
     /// programming error equivalent to mismatched copyprivate types in C.
+    /// Also panics if the region is cancelled/poisoned before the value is
+    /// published (the `single` winner died): converting the would-be hang
+    /// into a panic that region teardown re-raises.
     pub fn copyprivate_read<T: Clone + 'static>(&self) -> T {
-        self.cp_event.wait();
+        while !self.cp_event.is_set() {
+            if self.is_cancelled() {
+                panic!("copyprivate value abandoned: region cancelled or poisoned before publish");
+            }
+            self.wake.wait_tick();
+        }
         let slot = self.cp_slot.lock();
         let any = slot.as_ref().expect("copyprivate slot set before event");
-        any.downcast_ref::<T>().expect("copyprivate type mismatch").clone()
+        any.downcast_ref::<T>()
+            .expect("copyprivate type mismatch")
+            .clone()
     }
 
     /// Merge a thread-local reduction value into the shared slot.
@@ -84,12 +114,22 @@ impl WsInstance {
 
     /// Read the merged reduction value (after the region barrier).
     pub fn reduce_result<T: Clone + 'static>(&self) -> Option<T> {
-        self.reduce_slot.lock().as_ref().and_then(|b| b.downcast_ref::<T>().cloned())
+        self.reduce_slot
+            .lock()
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<T>().cloned())
     }
 
     /// Block until it is `flat_iter`'s turn for the `ordered` region.
+    ///
+    /// Returns early (without its turn) when the instance or region is
+    /// cancelled: the thread whose turn it is may be gone, and a cancelled
+    /// loop no longer promises iteration ordering.
     pub fn ordered_enter(&self, flat_iter: u64) {
         while self.ordered_next.load(Ordering::Acquire) != flat_iter {
+            if self.is_cancelled() {
+                return;
+            }
             self.wake.wait_tick();
         }
     }
@@ -108,12 +148,32 @@ pub struct WorkshareRegistry {
     team_size: usize,
     wake: Arc<Notifier>,
     map: Mutex<HashMap<u64, (Arc<WsInstance>, usize)>>,
+    /// The owning region's cancellation flag, handed to every instance.
+    region_cancel: Arc<CancelFlag>,
 }
 
 impl WorkshareRegistry {
-    /// Create a registry for a team.
+    /// Create a standalone registry (never-cancelled region) — used by tests
+    /// and benchmarks that exercise work-sharing without a team.
     pub fn new(backend: Backend, team_size: usize, wake: Arc<Notifier>) -> WorkshareRegistry {
-        WorkshareRegistry { backend, team_size, wake, map: Mutex::new(HashMap::new()) }
+        WorkshareRegistry::with_cancel(backend, team_size, wake, Arc::new(CancelFlag::new(backend)))
+    }
+
+    /// Create a registry whose instances observe `region_cancel` (the team's
+    /// region-wide cancellation flag).
+    pub fn with_cancel(
+        backend: Backend,
+        team_size: usize,
+        wake: Arc<Notifier>,
+        region_cancel: Arc<CancelFlag>,
+    ) -> WorkshareRegistry {
+        WorkshareRegistry {
+            backend,
+            team_size,
+            wake,
+            map: Mutex::new(HashMap::new()),
+            region_cancel,
+        }
     }
 
     /// Enter the work-sharing region with the given per-thread sequence
@@ -121,7 +181,12 @@ impl WorkshareRegistry {
     pub fn enter(&self, seq: u64) -> Arc<WsInstance> {
         let mut map = self.map.lock();
         let entry = map.entry(seq).or_insert_with(|| {
-            (Arc::new(WsInstance::new(self.backend, Arc::clone(&self.wake))), 0)
+            let inst = WsInstance::new(
+                self.backend,
+                Arc::clone(&self.wake),
+                Arc::clone(&self.region_cancel),
+            );
+            (Arc::new(inst), 0)
         });
         Arc::clone(&entry.0)
     }

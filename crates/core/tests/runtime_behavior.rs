@@ -119,7 +119,10 @@ fn for_reduce_sums_once() {
         });
         let results = result.into_inner();
         assert_eq!(results.len(), 4);
-        assert!(results.iter().all(|&r| r == 499_500), "{backend:?}: {results:?}");
+        assert!(
+            results.iter().all(|&r| r == 499_500),
+            "{backend:?}: {results:?}"
+        );
     }
 }
 
@@ -127,8 +130,20 @@ fn for_reduce_sums_once() {
 fn consecutive_reductions_are_independent() {
     let outcome = Mutex::new((0i64, 0i64));
     parallel_region(&cfg(3, Backend::Atomic), |ctx| {
-        let a = ctx.for_reduce(ForSpec::new(), 0..10, 0i64, |i, acc| *acc += i, |x, y| x + y);
-        let b = ctx.for_reduce(ForSpec::new(), 0..10, 1i64, |i, acc| *acc *= i + 1, |x, y| x * y);
+        let a = ctx.for_reduce(
+            ForSpec::new(),
+            0..10,
+            0i64,
+            |i, acc| *acc += i,
+            |x, y| x + y,
+        );
+        let b = ctx.for_reduce(
+            ForSpec::new(),
+            0..10,
+            1i64,
+            |i, acc| *acc *= i + 1,
+            |x, y| x * y,
+        );
         ctx.master(|| *outcome.lock() = (a, b));
     });
     let (a, b) = outcome.into_inner();
@@ -198,7 +213,11 @@ fn sections_each_run_once() {
             );
         });
         assert_eq!(
-            (a.load(Ordering::SeqCst), b.load(Ordering::SeqCst), c.load(Ordering::SeqCst)),
+            (
+                a.load(Ordering::SeqCst),
+                b.load(Ordering::SeqCst),
+                c.load(Ordering::SeqCst)
+            ),
             (1, 1, 1),
             "{backend:?}"
         );
@@ -227,7 +246,9 @@ fn ordered_loop_emits_in_order() {
         let order = Mutex::new(Vec::new());
         parallel_region(&cfg(4, backend), |ctx| {
             ctx.for_each(
-                ForSpec::new().schedule(ScheduleKind::Dynamic, Some(1)).ordered(),
+                ForSpec::new()
+                    .schedule(ScheduleKind::Dynamic, Some(1))
+                    .ordered(),
                 0..30,
                 |i| {
                     // Simulate out-of-order arrival.
@@ -264,7 +285,7 @@ fn tasks_all_execute_before_region_ends() {
 #[test]
 fn tasks_borrow_region_data() {
     // Scoped tasks: borrow a slice alive outside the region.
-    let mut data = vec![0u8; 64];
+    let mut data = [0u8; 64];
     let chunks: Vec<&mut [u8]> = data.chunks_mut(16).collect();
     let chunks = Mutex::new(chunks);
     parallel_region(&cfg(2, Backend::Atomic), |ctx| {
@@ -363,7 +384,9 @@ fn nested_parallel_enabled() {
     parallel_region(&cfg(2, Backend::Atomic), |_ctx| {
         parallel_region(&cfg(3, Backend::Atomic), |inner| {
             total.fetch_add(1, Ordering::SeqCst);
-            levels.lock().push((omp4rs::omp_get_level(), inner.num_threads()));
+            levels
+                .lock()
+                .push((omp4rs::omp_get_level(), inner.num_threads()));
         });
     });
     assert_eq!(total.load(Ordering::SeqCst), 6);
@@ -379,7 +402,10 @@ fn api_functions_inside_region() {
         assert_eq!(omp4rs::omp_get_thread_num(), ctx.thread_num());
         assert_eq!(omp4rs::omp_get_level(), 1);
         assert_eq!(omp4rs::omp_get_active_level(), 1);
-        assert_eq!(omp4rs::omp_get_ancestor_thread_num(1), ctx.thread_num() as i64);
+        assert_eq!(
+            omp4rs::omp_get_ancestor_thread_num(1),
+            ctx.thread_num() as i64
+        );
         assert_eq!(omp4rs::omp_get_team_size(1), 3);
     });
     assert!(!omp4rs::omp_in_parallel());
@@ -422,7 +448,10 @@ fn taskloop_covers_iterations() {
                 assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
             });
         });
-        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1), "{backend:?}");
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::SeqCst) == 1),
+            "{backend:?}"
+        );
     }
 }
 

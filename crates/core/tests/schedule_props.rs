@@ -9,7 +9,11 @@ use omp4rs::worksharing::WorkshareRegistry;
 use proptest::prelude::*;
 
 fn resolved(kind: ScheduleKind, chunk: Option<u64>) -> ResolvedSchedule {
-    ResolvedSchedule { kind, chunk: chunk.unwrap_or(1).max(1), explicit_chunk: chunk.is_some() }
+    ResolvedSchedule {
+        kind,
+        chunk: chunk.unwrap_or(1).max(1),
+        explicit_chunk: chunk.is_some(),
+    }
 }
 
 /// Collect every flat iteration each thread would execute (single shared

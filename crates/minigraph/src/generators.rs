@@ -110,9 +110,7 @@ pub fn maze_grid(side: usize, wall_probability: f64, seed: u64) -> Maze {
     while row + 1 < side || col + 1 < side {
         if row + 1 >= side {
             col += 1;
-        } else if col + 1 >= side {
-            row += 1;
-        } else if rng.gen_bool(0.5) {
+        } else if col + 1 >= side || rng.gen_bool(0.5) {
             row += 1;
         } else {
             col += 1;
@@ -142,7 +140,10 @@ mod tests {
         let g = random_graph(n, 10, 7);
         let avg_degree = 2.0 * g.edge_count() as f64 / n as f64;
         // Each node draws 5 neighbors; collisions make it slightly < 10.
-        assert!(avg_degree > 8.0 && avg_degree <= 10.0, "avg degree {avg_degree}");
+        assert!(
+            avg_degree > 8.0 && avg_degree <= 10.0,
+            "avg degree {avg_degree}"
+        );
     }
 
     #[test]
@@ -167,7 +168,10 @@ mod tests {
 
     #[test]
     fn maze_open_neighbors_respect_walls() {
-        let m = Maze { side: 3, cells: vec![0, 1, 0, 0, 0, 0, 1, 0, 0] };
+        let m = Maze {
+            side: 3,
+            cells: vec![0, 1, 0, 0, 0, 0, 1, 0, 0],
+        };
         assert_eq!(m.open_neighbors(0, 0), vec![(1, 0)]);
         let mut center = m.open_neighbors(1, 1);
         center.sort_unstable();

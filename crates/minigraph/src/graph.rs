@@ -12,7 +12,10 @@ pub struct Graph {
 impl Graph {
     /// Create a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Graph {
-        Graph { adj: vec![Vec::new(); n], edges: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
     }
 
     /// Number of nodes.
@@ -32,7 +35,10 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         if u == v || self.has_edge(u, v) {
             return false;
         }

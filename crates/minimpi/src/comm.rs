@@ -1,10 +1,12 @@
 //! Communicators: point-to-point messaging and collectives.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
+use crate::error::MpiError;
 use crate::netmodel::NetModel;
 
 /// A message in flight: (source rank, tag, payload).
@@ -25,11 +27,17 @@ pub struct Comm {
     barrier: Arc<std::sync::Barrier>,
     net: Arc<NetModel>,
     collective_seq: RefCell<u64>,
+    /// Fault injection: a silenced rank drops every outgoing message,
+    /// emulating a crashed or partitioned process.
+    silenced: Cell<bool>,
 }
 
 impl std::fmt::Debug for Comm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Comm").field("rank", &self.rank).field("size", &self.size).finish()
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -51,6 +59,7 @@ impl Comm {
             barrier,
             net,
             collective_seq: RefCell::new(0),
+            silenced: Cell::new(false),
         }
     }
 
@@ -75,15 +84,35 @@ impl Comm {
     ///
     /// Panics if `dest` is out of range or the world has been torn down.
     pub fn send(&self, dest: usize, tag: u64, data: Vec<f64>) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag too large (reserved for collectives)");
-        self.send_raw(dest, tag, data);
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag too large (reserved for collectives)"
+        );
+        self.send_raw(dest, tag, data)
+            .expect("destination rank has exited");
     }
 
-    fn send_raw(&self, dest: usize, tag: u64, data: Vec<f64>) {
+    fn send_raw(&self, dest: usize, tag: u64, data: Vec<f64>) -> Result<(), MpiError> {
+        if self.silenced.get() {
+            return Ok(());
+        }
         self.net.charge(self.rank, dest, data.len() * 8);
         self.senders[dest]
             .send((self.rank, tag, data))
-            .expect("destination rank has exited");
+            .map_err(|_| MpiError::Disconnected { peer: dest, tag })
+    }
+
+    /// Fault injection: silence this rank. Every later outgoing message is
+    /// dropped, so peers blocked in the `_timeout` receive/collective
+    /// variants observe [`MpiError::Timeout`] instead of hanging forever
+    /// (the blocking variants would hang, exactly like real MPI).
+    pub fn inject_failure(&self) {
+        self.silenced.set(true);
+    }
+
+    /// Whether [`Comm::inject_failure`] has silenced this rank.
+    pub fn is_silenced(&self) -> bool {
+        self.silenced.get()
     }
 
     /// Blocking receive (`MPI_Recv`) matching source and tag.
@@ -92,17 +121,17 @@ impl Comm {
     ///
     /// Panics if the world has been torn down before a match arrives.
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag too large (reserved for collectives)");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag too large (reserved for collectives)"
+        );
         self.recv_raw(src, tag)
     }
 
     fn recv_raw(&self, src: usize, tag: u64) -> Vec<f64> {
         // Check messages that arrived earlier but did not match then.
-        {
-            let mut pending = self.pending.borrow_mut();
-            if let Some(pos) = pending.iter().position(|(s, t, _)| *s == src && *t == tag) {
-                return pending.remove(pos).2;
-            }
+        if let Some(data) = self.take_pending(src, tag) {
+            return data;
         }
         loop {
             let packet = self.receiver.recv().expect("world torn down during recv");
@@ -110,6 +139,70 @@ impl Comm {
                 return packet.2;
             }
             self.pending.borrow_mut().push(packet);
+        }
+    }
+
+    fn take_pending(&self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        let mut pending = self.pending.borrow_mut();
+        let pos = pending
+            .iter()
+            .position(|(s, t, _)| *s == src && *t == tag)?;
+        Some(pending.remove(pos).2)
+    }
+
+    /// Blocking receive with a deadline. Returns [`MpiError::Timeout`] if no
+    /// matching message arrives in time; non-matching messages received
+    /// while waiting are buffered as usual.
+    pub fn recv_timeout(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, MpiError> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag too large (reserved for collectives)"
+        );
+        self.recv_raw_deadline(src, tag, Instant::now() + timeout)
+    }
+
+    fn recv_raw_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Instant,
+    ) -> Result<Vec<f64>, MpiError> {
+        if let Some(data) = self.take_pending(src, tag) {
+            return Ok(data);
+        }
+        let start = Instant::now();
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(MpiError::Timeout {
+                    peer: src,
+                    tag,
+                    waited: start.elapsed(),
+                });
+            }
+            match self.receiver.recv_timeout(remaining) {
+                Ok(packet) => {
+                    if packet.0 == src && packet.1 == tag {
+                        return Ok(packet.2);
+                    }
+                    self.pending.borrow_mut().push(packet);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(MpiError::Timeout {
+                        peer: src,
+                        tag,
+                        waited: start.elapsed(),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpiError::Disconnected { peer: src, tag })
+                }
+            }
         }
     }
 
@@ -130,12 +223,47 @@ impl Comm {
         if self.rank == root {
             for dest in 0..self.size {
                 if dest != root {
-                    self.send_raw(dest, tag, data.clone());
+                    self.send_raw(dest, tag, data.clone())
+                        .expect("destination rank has exited");
                 }
             }
             data
         } else {
             self.recv_raw(root, tag)
+        }
+    }
+
+    /// [`Comm::bcast`] with a deadline applied to every internal receive.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::Timeout`]/[`MpiError::Disconnected`] when the root's
+    /// message never arrives (non-roots) or a destination endpoint is gone.
+    pub fn bcast_timeout(
+        &self,
+        root: usize,
+        data: Vec<f64>,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, MpiError> {
+        self.bcast_deadline(root, data, Instant::now() + timeout)
+    }
+
+    fn bcast_deadline(
+        &self,
+        root: usize,
+        data: Vec<f64>,
+        deadline: Instant,
+    ) -> Result<Vec<f64>, MpiError> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send_raw(dest, tag, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            self.recv_raw_deadline(root, tag, deadline)
         }
     }
 
@@ -146,15 +274,53 @@ impl Comm {
         if self.rank == root {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
             out[root] = data;
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.recv_raw(src, tag);
+                    *slot = self.recv_raw(src, tag);
                 }
             }
             Some(out)
         } else {
-            self.send_raw(root, tag, data);
+            self.send_raw(root, tag, data)
+                .expect("destination rank has exited");
             None
+        }
+    }
+
+    /// [`Comm::gather`] with a deadline applied to every internal receive.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::Timeout`]/[`MpiError::Disconnected`] when any
+    /// contribution fails to arrive at the root in time.
+    pub fn gather_timeout(
+        &self,
+        root: usize,
+        data: Vec<f64>,
+        timeout: Duration,
+    ) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
+        self.gather_deadline(root, data, Instant::now() + timeout)
+    }
+
+    fn gather_deadline(
+        &self,
+        root: usize,
+        data: Vec<f64>,
+        deadline: Instant,
+    ) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+            out[root] = data;
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = self.recv_raw_deadline(src, tag, deadline)?;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send_raw(root, tag, data)?;
+            Ok(None)
         }
     }
 
@@ -168,6 +334,52 @@ impl Comm {
             None => Vec::new(),
         };
         self.bcast(0, flat)
+    }
+
+    /// [`Comm::allgather`] with a deadline over the whole exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::Timeout`]/[`MpiError::Disconnected`] when any rank's
+    /// contribution is lost — every healthy rank returns the error within
+    /// the deadline instead of hanging.
+    pub fn allgather_timeout(
+        &self,
+        data: Vec<f64>,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, MpiError> {
+        let deadline = Instant::now() + timeout;
+        let flat = match self.gather_deadline(0, data, deadline)? {
+            Some(parts) => parts.concat(),
+            None => Vec::new(),
+        };
+        self.bcast_deadline(0, flat, deadline)
+    }
+
+    /// [`Comm::allreduce_max`] with a deadline over the whole exchange.
+    ///
+    /// # Errors
+    ///
+    /// See [`Comm::allgather_timeout`].
+    pub fn allreduce_max_timeout(&self, value: f64, timeout: Duration) -> Result<f64, MpiError> {
+        let deadline = Instant::now() + timeout;
+        let parts = self.gather_deadline(0, vec![value], deadline)?;
+        let max = parts
+            .map(|p| p.iter().map(|v| v[0]).fold(f64::NEG_INFINITY, f64::max))
+            .unwrap_or(f64::NEG_INFINITY);
+        Ok(self.bcast_deadline(0, vec![max], deadline)?[0])
+    }
+
+    /// [`Comm::allreduce_sum`] with a deadline over the whole exchange.
+    ///
+    /// # Errors
+    ///
+    /// See [`Comm::allgather_timeout`].
+    pub fn allreduce_sum_timeout(&self, value: f64, timeout: Duration) -> Result<f64, MpiError> {
+        let deadline = Instant::now() + timeout;
+        let parts = self.gather_deadline(0, vec![value], deadline)?;
+        let sum = parts.map(|p| p.iter().map(|v| v[0]).sum()).unwrap_or(0.0);
+        Ok(self.bcast_deadline(0, vec![sum], deadline)?[0])
     }
 
     /// `MPI_Scatter`: root splits `parts` (one entry per rank); each rank
@@ -186,7 +398,8 @@ impl Comm {
                 if dest == root {
                     own = part;
                 } else {
-                    self.send_raw(dest, tag, part);
+                    self.send_raw(dest, tag, part)
+                        .expect("destination rank has exited");
                 }
             }
             own
@@ -197,7 +410,8 @@ impl Comm {
 
     /// `MPI_Reduce(MPI_SUM)` on a scalar; root gets the sum.
     pub fn reduce_sum(&self, root: usize, value: f64) -> Option<f64> {
-        self.gather(root, vec![value]).map(|parts| parts.iter().map(|p| p[0]).sum())
+        self.gather(root, vec![value])
+            .map(|parts| parts.iter().map(|p| p[0]).sum())
     }
 
     /// `MPI_Allreduce(MPI_SUM)` on a scalar.

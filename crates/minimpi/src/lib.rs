@@ -25,9 +25,11 @@
 #![allow(missing_docs)]
 
 pub mod comm;
+pub mod error;
 pub mod netmodel;
 pub mod world;
 
 pub use comm::Comm;
+pub use error::MpiError;
 pub use netmodel::NetModel;
 pub use world::World;

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn node_grouping() {
-        let m = NetModel { ranks_per_node: 4, ..NetModel::cluster(4) };
+        let m = NetModel {
+            ranks_per_node: 4,
+            ..NetModel::cluster(4)
+        };
         assert_eq!(m.node_of(0), 0);
         assert_eq!(m.node_of(3), 0);
         assert_eq!(m.node_of(4), 1);

@@ -51,9 +51,7 @@ impl World {
         let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
-            for (rank, (rx, slot)) in
-                receivers.iter_mut().zip(results.iter_mut()).enumerate()
-            {
+            for (rank, (rx, slot)) in receivers.iter_mut().zip(results.iter_mut()).enumerate() {
                 let comm = Comm::new(
                     rank,
                     size,
@@ -122,7 +120,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = World::run(4, |comm| {
-            let data = if comm.rank() == 2 { vec![9.0, 8.0] } else { Vec::new() };
+            let data = if comm.rank() == 2 {
+                vec![9.0, 8.0]
+            } else {
+                Vec::new()
+            };
             comm.bcast(2, data)
         });
         assert!(out.iter().all(|v| v == &vec![9.0, 8.0]));
@@ -192,6 +194,64 @@ mod tests {
         let net = NetModel::cluster(2);
         let out = World::run_with_net(4, net, |comm| comm.allreduce_sum(1.0));
         assert!(out.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn recv_timeout_success_and_failure() {
+        use std::time::Duration;
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![42.0]);
+                // Nothing is ever sent with tag 6: rank 0 times out.
+                comm.recv_timeout(1, 6, Duration::from_millis(50))
+            } else {
+                comm.recv_timeout(0, 5, Duration::from_secs(5))
+            }
+        });
+        assert!(matches!(
+            out[0],
+            Err(crate::MpiError::Timeout {
+                peer: 1,
+                tag: 6,
+                ..
+            })
+        ));
+        assert_eq!(out[1], Ok(vec![42.0]));
+    }
+
+    #[test]
+    fn dead_rank_degrades_collectives_to_timeout() {
+        use std::time::Duration;
+        let start = std::time::Instant::now();
+        let out = World::run(3, |comm| {
+            if comm.rank() == 2 {
+                // Fault injection: this rank goes silent mid-computation.
+                comm.inject_failure();
+            }
+            comm.allgather_timeout(vec![comm.rank() as f64], Duration::from_millis(200))
+        });
+        // Healthy ranks observe a typed timeout instead of hanging.
+        assert!(matches!(
+            out[0],
+            Err(crate::MpiError::Timeout { peer: 2, .. })
+        ));
+        assert!(out[1].is_err());
+        assert!(start.elapsed() < Duration::from_secs(10), "must not hang");
+    }
+
+    #[test]
+    fn timed_allreduce_matches_blocking_when_healthy() {
+        use std::time::Duration;
+        let out = World::run(4, |comm| {
+            let sum = comm
+                .allreduce_sum_timeout(comm.rank() as f64 + 1.0, Duration::from_secs(5))
+                .unwrap();
+            let max = comm
+                .allreduce_max_timeout(comm.rank() as f64, Duration::from_secs(5))
+                .unwrap();
+            (sum, max)
+        });
+        assert!(out.iter().all(|&(s, m)| s == 10.0 && m == 3.0));
     }
 
     #[test]

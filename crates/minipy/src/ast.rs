@@ -42,13 +42,25 @@ pub enum StmtKind {
     /// `t1 = t2 = value` — one or more targets.
     Assign { targets: Vec<Expr>, value: Expr },
     /// `target op= value`.
-    AugAssign { target: Expr, op: BinOp, value: Expr },
+    AugAssign {
+        target: Expr,
+        op: BinOp,
+        value: Expr,
+    },
     /// `if`/`elif`/`else` chain (elif is nested in `orelse`).
-    If { test: Expr, body: Vec<Stmt>, orelse: Vec<Stmt> },
+    If {
+        test: Expr,
+        body: Vec<Stmt>,
+        orelse: Vec<Stmt>,
+    },
     /// `while test:`.
     While { test: Expr, body: Vec<Stmt> },
     /// `for target in iter:`.
-    For { target: Expr, iter: Expr, body: Vec<Stmt> },
+    For {
+        target: Expr,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
     /// Function definition (shared so function values can hold the tree).
     FuncDef(Arc<FuncDef>),
     /// `return [expr]`.
@@ -64,7 +76,10 @@ pub enum StmtKind {
     /// `nonlocal a, b`.
     Nonlocal(Vec<String>),
     /// `with ctx [as name], ...:`.
-    With { items: Vec<WithItem>, body: Vec<Stmt> },
+    With {
+        items: Vec<WithItem>,
+        body: Vec<Stmt>,
+    },
     /// `try:` with handlers, `else`, `finally`.
     Try {
         body: Vec<Stmt>,
@@ -79,9 +94,16 @@ pub enum StmtKind {
     /// `del target, ...`.
     Del(Vec<Expr>),
     /// `import name [as alias]` — resolved by the host's module registry.
-    Import { module: String, alias: Option<String> },
+    Import {
+        module: String,
+        alias: Option<String>,
+    },
     /// `from module import *` or `from module import a, b`.
-    FromImport { module: String, names: Vec<(String, Option<String>)>, star: bool },
+    FromImport {
+        module: String,
+        names: Vec<(String, Option<String>)>,
+        star: bool,
+    },
 }
 
 /// One `expr [as name]` item of a `with` statement.
@@ -144,15 +166,27 @@ pub enum Expr {
     /// Name reference.
     Name(String),
     /// Binary arithmetic/bit operation.
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Unary operation.
     Unary { op: UnaryOp, operand: Box<Expr> },
     /// Short-circuit `and`/`or` over two or more values.
     BoolOp { op: BoolOpKind, values: Vec<Expr> },
     /// Chained comparison `a < b <= c`.
-    Compare { left: Box<Expr>, ops: Vec<CmpOp>, comparators: Vec<Expr> },
+    Compare {
+        left: Box<Expr>,
+        ops: Vec<CmpOp>,
+        comparators: Vec<Expr>,
+    },
     /// Function or method call.
-    Call { func: Box<Expr>, args: Vec<Expr>, kwargs: Vec<(String, Expr)> },
+    Call {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+    },
     /// Attribute access `value.attr`.
     Attribute { value: Box<Expr>, attr: String },
     /// Subscript `value[index]` (index may be [`Expr::Slice`]).
@@ -170,7 +204,11 @@ pub enum Expr {
     /// Dict display `{k: v}`.
     Dict(Vec<(Expr, Expr)>),
     /// Conditional expression `a if t else b`.
-    IfExp { test: Box<Expr>, body: Box<Expr>, orelse: Box<Expr> },
+    IfExp {
+        test: Box<Expr>,
+        body: Box<Expr>,
+        orelse: Box<Expr>,
+    },
     /// `lambda params: expr`.
     Lambda { params: Vec<Param>, body: Box<Expr> },
 }
@@ -183,17 +221,27 @@ impl Expr {
 
     /// Shorthand for a call with positional args only.
     pub fn call(func: Expr, args: Vec<Expr>) -> Expr {
-        Expr::Call { func: Box::new(func), args, kwargs: Vec::new() }
+        Expr::Call {
+            func: Box::new(func),
+            args,
+            kwargs: Vec::new(),
+        }
     }
 
     /// Shorthand for attribute access.
     pub fn attr(value: Expr, attr: impl Into<String>) -> Expr {
-        Expr::Attribute { value: Box::new(value), attr: attr.into() }
+        Expr::Attribute {
+            value: Box::new(value),
+            attr: attr.into(),
+        }
     }
 
     /// Shorthand for subscripting.
     pub fn index(value: Expr, index: Expr) -> Expr {
-        Expr::Index { value: Box::new(value), index: Box::new(index) }
+        Expr::Index {
+            value: Box::new(value),
+            index: Box::new(index),
+        }
     }
 }
 

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::error::{type_err, value_err, ErrKind, PyErr};
 use crate::env::Env;
+use crate::error::{type_err, value_err, ErrKind, PyErr};
 use crate::interp::{compare, py_ordering, ExcValue, Interp, ValueIter};
 use crate::value::{Args, HKey, NativeFunc, Opaque, Value};
 
@@ -23,7 +23,10 @@ pub struct ModuleObj {
 impl ModuleObj {
     /// Create an empty module with a name.
     pub fn new(name: impl Into<String>) -> ModuleObj {
-        ModuleObj { name: name.into(), items: RwLock::new(HashMap::new()) }
+        ModuleObj {
+            name: name.into(),
+            items: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Define a module attribute.
@@ -66,7 +69,11 @@ impl Opaque for ModuleObj {
     }
 }
 
-fn native(env: &Env, name: &'static str, f: impl Fn(&Interp, Args) -> Result<Value, PyErr> + Send + Sync + 'static) {
+fn native(
+    env: &Env,
+    name: &'static str,
+    f: impl Fn(&Interp, Args) -> Result<Value, PyErr> + Send + Sync + 'static,
+) {
     env.define(name, NativeFunc::new(name, f));
 }
 
@@ -86,19 +93,27 @@ pub fn install(env: &Env) {
         Ok(Value::None)
     });
 
-    native(env, "range", |_, args| {
-        match args.pos.len() {
-            1 => Ok(Value::Range(0, args.req(0)?.as_int()?, 1)),
-            2 => Ok(Value::Range(args.req(0)?.as_int()?, args.req(1)?.as_int()?, 1)),
-            3 => {
-                let step = args.req(2)?.as_int()?;
-                if step == 0 {
-                    return Err(value_err("range() arg 3 must not be zero"));
-                }
-                Ok(Value::Range(args.req(0)?.as_int()?, args.req(1)?.as_int()?, step))
+    native(env, "range", |_, args| match args.pos.len() {
+        1 => Ok(Value::Range(0, args.req(0)?.as_int()?, 1)),
+        2 => Ok(Value::Range(
+            args.req(0)?.as_int()?,
+            args.req(1)?.as_int()?,
+            1,
+        )),
+        3 => {
+            let step = args.req(2)?.as_int()?;
+            if step == 0 {
+                return Err(value_err("range() arg 3 must not be zero"));
             }
-            n => Err(type_err(format!("range expected 1 to 3 arguments, got {n}"))),
+            Ok(Value::Range(
+                args.req(0)?.as_int()?,
+                args.req(1)?.as_int()?,
+                step,
+            ))
         }
+        n => Err(type_err(format!(
+            "range expected 1 to 3 arguments, got {n}"
+        ))),
     });
 
     native(env, "len", |_, args| {
@@ -109,11 +124,14 @@ pub fn install(env: &Env) {
             Value::Dict(d) => d.read().len(),
             Value::Tuple(t) => t.len(),
             Value::Range(a, b, c) => crate::value::range_len(*a, *b, *c) as usize,
-            Value::Opaque(o) => o
-                .len()
-                .ok_or_else(|| type_err(format!("object of type '{}' has no len()", o.type_name())))?,
+            Value::Opaque(o) => o.len().ok_or_else(|| {
+                type_err(format!("object of type '{}' has no len()", o.type_name()))
+            })?,
             other => {
-                return Err(type_err(format!("object of type '{}' has no len()", other.type_name())))
+                return Err(type_err(format!(
+                    "object of type '{}' has no len()",
+                    other.type_name()
+                )))
             }
         };
         Ok(Value::Int(n as i64))
@@ -127,7 +145,10 @@ pub fn install(env: &Env) {
             })?)),
             Value::Float(f) => Ok(Value::Float(f.abs())),
             Value::Bool(b) => Ok(Value::Int(*b as i64)),
-            other => Err(type_err(format!("bad operand type for abs(): '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "bad operand type for abs(): '{}'",
+                other.type_name()
+            ))),
         }
     });
 
@@ -163,7 +184,10 @@ pub fn install(env: &Env) {
                     .map(Value::Int)
                     .map_err(|_| value_err(format!("invalid literal for int(): {s:?}")))
             }
-            other => Err(type_err(format!("int() argument must be a number, not '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "int() argument must be a number, not '{}'",
+                other.type_name()
+            ))),
         }
     });
 
@@ -180,7 +204,10 @@ pub fn install(env: &Env) {
                 .parse::<f64>()
                 .map(Value::Float)
                 .map_err(|_| value_err(format!("could not convert string to float: {s:?}"))),
-            other => Err(type_err(format!("float() argument must be a number, not '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "float() argument must be a number, not '{}'",
+                other.type_name()
+            ))),
         }
     });
 
@@ -221,8 +248,11 @@ pub fn install(env: &Env) {
         let d = Value::dict();
         if let Some(src) = args.opt(0) {
             if let (Value::Dict(dst), Value::Dict(srcmap)) = (&d, src) {
-                let src_items: Vec<(HKey, Value)> =
-                    srcmap.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                let src_items: Vec<(HKey, Value)> = srcmap
+                    .read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
                 dst.write().extend(src_items);
             } else {
                 // dict([(k, v), ...])
@@ -236,7 +266,9 @@ pub fn install(env: &Env) {
                                 let l = l.read();
                                 dst.write().insert(HKey::from_value(&l[0])?, l[1].clone());
                             }
-                            _ => return Err(type_err("dict update sequence elements must be pairs")),
+                            _ => {
+                                return Err(type_err("dict update sequence elements must be pairs"))
+                            }
                         }
                     }
                 }
@@ -293,7 +325,11 @@ pub fn install(env: &Env) {
             None => {
                 // Python banker's rounding.
                 let r = v.round();
-                let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 { r - v.signum() } else { r };
+                let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                    r - v.signum()
+                } else {
+                    r
+                };
                 Ok(Value::Int(r as i64))
             }
             Some(nd) => {
@@ -310,7 +346,12 @@ pub fn install(env: &Env) {
         let check = |class: &Value| -> Result<bool, PyErr> {
             let cname = match class {
                 Value::Native(nf) => nf.name.clone(),
-                other => return Err(type_err(format!("isinstance() arg 2 must be a type, not {}", other.type_name()))),
+                other => {
+                    return Err(type_err(format!(
+                        "isinstance() arg 2 must be a type, not {}",
+                        other.type_name()
+                    )))
+                }
             };
             Ok(matches_type_name(obj, &cname))
         };
@@ -380,12 +421,16 @@ pub fn install(env: &Env) {
 
     native(env, "any", |_, args| {
         args.expect_len(1, "any")?;
-        Ok(Value::Bool(ValueIter::new(args.req(0)?)?.any(|v| v.truthy())))
+        Ok(Value::Bool(
+            ValueIter::new(args.req(0)?)?.any(|v| v.truthy()),
+        ))
     });
 
     native(env, "all", |_, args| {
         args.expect_len(1, "all")?;
-        Ok(Value::Bool(ValueIter::new(args.req(0)?)?.all(|v| v.truthy())))
+        Ok(Value::Bool(
+            ValueIter::new(args.req(0)?)?.all(|v| v.truthy()),
+        ))
     });
 
     native(env, "pow", |_, args| {
@@ -457,7 +502,12 @@ fn min_max(interp: &Interp, args: Args, want_min: bool) -> Result<Value, PyErr> 
     let keyed: Vec<(Value, Value)> = match &key_fn {
         Some(f) => items
             .iter()
-            .map(|v| Ok((interp.call_value(f, Args::positional(vec![v.clone()]))?, v.clone())))
+            .map(|v| {
+                Ok((
+                    interp.call_value(f, Args::positional(vec![v.clone()]))?,
+                    v.clone(),
+                ))
+            })
             .collect::<Result<_, PyErr>>()?,
         None => items.iter().map(|v| (v.clone(), v.clone())).collect(),
     };
@@ -540,40 +590,65 @@ pub fn install_default_modules(interp: &Interp) {
     math.set("log2", unary_math("log2", f64::log2));
     math.set("log10", unary_math("log10", f64::log10));
     math.set("fabs", unary_math("fabs", f64::abs));
-    math.set("floor", NativeFunc::new("floor", |_, args: Args| {
-        Ok(Value::Int(args.req(0)?.as_float()?.floor() as i64))
-    }));
-    math.set("ceil", NativeFunc::new("ceil", |_, args: Args| {
-        Ok(Value::Int(args.req(0)?.as_float()?.ceil() as i64))
-    }));
-    math.set("pow", NativeFunc::new("pow", |_, args: Args| {
-        Ok(Value::Float(args.req(0)?.as_float()?.powf(args.req(1)?.as_float()?)))
-    }));
-    math.set("atan2", NativeFunc::new("atan2", |_, args: Args| {
-        Ok(Value::Float(args.req(0)?.as_float()?.atan2(args.req(1)?.as_float()?)))
-    }));
+    math.set(
+        "floor",
+        NativeFunc::new("floor", |_, args: Args| {
+            Ok(Value::Int(args.req(0)?.as_float()?.floor() as i64))
+        }),
+    );
+    math.set(
+        "ceil",
+        NativeFunc::new("ceil", |_, args: Args| {
+            Ok(Value::Int(args.req(0)?.as_float()?.ceil() as i64))
+        }),
+    );
+    math.set(
+        "pow",
+        NativeFunc::new("pow", |_, args: Args| {
+            Ok(Value::Float(
+                args.req(0)?.as_float()?.powf(args.req(1)?.as_float()?),
+            ))
+        }),
+    );
+    math.set(
+        "atan2",
+        NativeFunc::new("atan2", |_, args: Args| {
+            Ok(Value::Float(
+                args.req(0)?.as_float()?.atan2(args.req(1)?.as_float()?),
+            ))
+        }),
+    );
     interp.register_module("math", math.into_value());
 
     let time = ModuleObj::new("time");
-    time.set("time", NativeFunc::new("time", |_, _| {
-        let now = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap_or_default();
-        Ok(Value::Float(now.as_secs_f64()))
-    }));
-    time.set("perf_counter", NativeFunc::new("perf_counter", |_, _| {
-        // Monotonic, relative to process start.
-        use std::sync::OnceLock;
-        static START: OnceLock<std::time::Instant> = OnceLock::new();
-        let start = START.get_or_init(std::time::Instant::now);
-        Ok(Value::Float(start.elapsed().as_secs_f64()))
-    }));
-    time.set("sleep", NativeFunc::new("sleep", |interp, args: Args| {
-        let secs = args.req(0)?.as_float()?;
-        interp.gil().allow_threads(|| {
-            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
-        });
-        Ok(Value::None)
-    }));
+    time.set(
+        "time",
+        NativeFunc::new("time", |_, _| {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap_or_default();
+            Ok(Value::Float(now.as_secs_f64()))
+        }),
+    );
+    time.set(
+        "perf_counter",
+        NativeFunc::new("perf_counter", |_, _| {
+            // Monotonic, relative to process start.
+            use std::sync::OnceLock;
+            static START: OnceLock<std::time::Instant> = OnceLock::new();
+            let start = START.get_or_init(std::time::Instant::now);
+            Ok(Value::Float(start.elapsed().as_secs_f64()))
+        }),
+    );
+    time.set(
+        "sleep",
+        NativeFunc::new("sleep", |interp, args: Args| {
+            let secs = args.req(0)?.as_float()?;
+            interp.gil().allow_threads(|| {
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            });
+            Ok(Value::None)
+        }),
+    );
     interp.register_module("time", time.into_value());
 }

@@ -101,12 +101,20 @@ pub struct PyErr {
 impl PyErr {
     /// Create an error with no position information.
     pub fn new(kind: ErrKind, msg: impl Into<String>) -> PyErr {
-        PyErr { kind, msg: msg.into(), line: None }
+        PyErr {
+            kind,
+            msg: msg.into(),
+            line: None,
+        }
     }
 
     /// Create an error at the given 1-based line.
     pub fn at(kind: ErrKind, msg: impl Into<String>, line: u32) -> PyErr {
-        PyErr { kind, msg: msg.into(), line: Some(line) }
+        PyErr {
+            kind,
+            msg: msg.into(),
+            line: Some(line),
+        }
     }
 
     /// Attach a line number if one is not already present.
@@ -121,7 +129,13 @@ impl PyErr {
 impl fmt::Display for PyErr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.line {
-            Some(line) => write!(f, "{}: {} (line {})", self.kind.class_name(), self.msg, line),
+            Some(line) => write!(
+                f,
+                "{}: {} (line {})",
+                self.kind.class_name(),
+                self.msg,
+                line
+            ),
             None => write!(f, "{}: {}", self.kind.class_name(), self.msg),
         }
     }
@@ -187,7 +201,10 @@ mod tests {
     #[test]
     fn display_includes_line() {
         let err = PyErr::at(ErrKind::Name, "name 'x' is not defined", 3);
-        assert_eq!(format!("{err}"), "NameError: name 'x' is not defined (line 3)");
+        assert_eq!(
+            format!("{err}"),
+            "NameError: name 'x' is not defined (line 3)"
+        );
     }
 
     #[test]

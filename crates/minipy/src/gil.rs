@@ -104,7 +104,9 @@ impl Gil {
                 self.raw.lock();
             }
         }
-        GilSession { gil: Arc::clone(self) }
+        GilSession {
+            gil: Arc::clone(self),
+        }
     }
 
     /// Account one interpreter operation; yields the GIL at the switch
@@ -237,7 +239,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(!saw_overlap.load(Ordering::SeqCst), "GIL failed to serialize");
+        assert!(
+            !saw_overlap.load(Ordering::SeqCst),
+            "GIL failed to serialize"
+        );
     }
 
     #[test]

@@ -197,10 +197,18 @@ impl Interp {
             match self.exec(stmt, &self.globals)? {
                 Flow::Normal => {}
                 Flow::Return(_) => {
-                    return Err(PyErr::at(ErrKind::Syntax, "'return' outside function", stmt.line))
+                    return Err(PyErr::at(
+                        ErrKind::Syntax,
+                        "'return' outside function",
+                        stmt.line,
+                    ))
                 }
                 Flow::Break | Flow::Continue => {
-                    return Err(PyErr::at(ErrKind::Syntax, "loop control outside loop", stmt.line))
+                    return Err(PyErr::at(
+                        ErrKind::Syntax,
+                        "loop control outside loop",
+                        stmt.line,
+                    ))
                 }
             }
         }
@@ -241,7 +249,10 @@ impl Interp {
         match func {
             Value::Func(f) => self.call_interpreted(f, args),
             Value::Native(nf) => (nf.func)(self, args),
-            other => Err(type_err(format!("'{}' object is not callable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not callable",
+                other.type_name()
+            ))),
         }
     }
 
@@ -369,9 +380,7 @@ impl Interp {
                 let rhs = self.eval(value, env)?;
                 match target {
                     Expr::Name(name) => {
-                        let cell = env
-                            .get_cell(name)
-                            .ok_or_else(|| name_err(name))?;
+                        let cell = env.get_cell(name).ok_or_else(|| name_err(name))?;
                         // Read-modify-write without holding the cell lock
                         // across user code, as Python's STORE_NAME does not
                         // make `x += 1` atomic either.
@@ -410,8 +419,8 @@ impl Interp {
             }
             StmtKind::For { target, iter, body } => {
                 let iterable = self.eval(iter, env)?;
-                let mut it = ValueIter::new(&iterable)?;
-                while let Some(item) = it.next() {
+                let it = ValueIter::new(&iterable)?;
+                for item in it {
                     self.assign(target, item, env)?;
                     match self.exec_block(body, env)? {
                         Flow::Normal | Flow::Continue => {}
@@ -460,9 +469,7 @@ impl Interp {
                         Some(cell) => cell,
                         None => {
                             self.globals.define(name, Value::None);
-                            self.globals
-                                .get_local_cell(name)
-                                .expect("just defined")
+                            self.globals.get_local_cell(name).expect("just defined")
                         }
                     };
                     if !env.same_frame(&self.globals) {
@@ -495,7 +502,12 @@ impl Interp {
                 }
                 self.exec_block(body, env)
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 let body_result = self.exec_block(body, env);
                 let mut result = match body_result {
                     Err(exc) => {
@@ -591,11 +603,17 @@ impl Interp {
                         format!("no module named '{module}'"),
                     )
                 })?;
-                let bind = alias.as_deref().unwrap_or(module.split('.').next().unwrap_or(module));
+                let bind = alias
+                    .as_deref()
+                    .unwrap_or(module.split('.').next().unwrap_or(module));
                 env.set_or_define(bind, value);
                 Ok(Flow::Normal)
             }
-            StmtKind::FromImport { module, names, star } => {
+            StmtKind::FromImport {
+                module,
+                names,
+                star,
+            } => {
                 let value = self.module(module).ok_or_else(|| {
                     PyErr::new(
                         ErrKind::Custom("ModuleNotFoundError".into()),
@@ -659,9 +677,9 @@ impl Interp {
                 Ok(())
             }
             Expr::Tuple(items) | Expr::List(items) => {
-                let mut it = ValueIter::new(&value)?;
+                let it = ValueIter::new(&value)?;
                 let mut supplied = Vec::with_capacity(items.len());
-                while let Some(v) = it.next() {
+                for v in it {
                     supplied.push(v);
                     if supplied.len() > items.len() {
                         return Err(value_err(format!(
@@ -734,7 +752,11 @@ impl Interp {
                 }
                 Ok(last)
             }
-            Expr::Compare { left, ops, comparators } => {
+            Expr::Compare {
+                left,
+                ops,
+                comparators,
+            } => {
                 let mut lhs = self.eval(left, env)?;
                 for (op, rhs_expr) in ops.iter().zip(comparators) {
                     let rhs = self.eval(rhs_expr, env)?;
@@ -747,7 +769,10 @@ impl Interp {
             }
             Expr::Call { func, args, kwargs } => {
                 let call_args = Args {
-                    pos: args.iter().map(|a| self.eval(a, env)).collect::<Result<_, _>>()?,
+                    pos: args
+                        .iter()
+                        .map(|a| self.eval(a, env))
+                        .collect::<Result<_, _>>()?,
                     kw: kwargs
                         .iter()
                         .map(|(k, v)| Ok((k.clone(), self.eval(v, env)?)))
@@ -805,16 +830,24 @@ impl Interp {
                     Some(e) => self.eval(e, env)?,
                     None => Value::None,
                 };
-                Ok(Value::Opaque(Arc::new(SliceValue { lower: l, upper: u, step: s })))
+                Ok(Value::Opaque(Arc::new(SliceValue {
+                    lower: l,
+                    upper: u,
+                    step: s,
+                })))
             }
             Expr::List(items) => {
-                let values: Vec<Value> =
-                    items.iter().map(|e| self.eval(e, env)).collect::<Result<_, _>>()?;
+                let values: Vec<Value> = items
+                    .iter()
+                    .map(|e| self.eval(e, env))
+                    .collect::<Result<_, _>>()?;
                 Ok(Value::list(values))
             }
             Expr::Tuple(items) => {
-                let values: Vec<Value> =
-                    items.iter().map(|e| self.eval(e, env)).collect::<Result<_, _>>()?;
+                let values: Vec<Value> = items
+                    .iter()
+                    .map(|e| self.eval(e, env))
+                    .collect::<Result<_, _>>()?;
                 Ok(Value::tuple(values))
             }
             Expr::Dict(items) => {
@@ -889,9 +922,10 @@ impl Interp {
             }
             Value::Dict(d) => {
                 let key = HKey::from_value(index)?;
-                d.read().get(&key).cloned().ok_or_else(|| {
-                    PyErr::new(ErrKind::Key, index.repr())
-                })
+                d.read()
+                    .get(&key)
+                    .cloned()
+                    .ok_or_else(|| PyErr::new(ErrKind::Key, index.repr()))
             }
             Value::Range(start, stop, step) => {
                 let len = range_len(*start, *stop, *step);
@@ -1013,14 +1047,21 @@ fn slice_get(container: &Value, s: &SliceValue) -> Result<Value, PyErr> {
     match container {
         Value::List(l) => {
             let items = l.read();
-            Ok(Value::list(indices.iter().map(|&i| items[i as usize].clone()).collect()))
+            Ok(Value::list(
+                indices.iter().map(|&i| items[i as usize].clone()).collect(),
+            ))
         }
-        Value::Tuple(t) => {
-            Ok(Value::tuple(indices.iter().map(|&i| t[i as usize].clone()).collect()))
-        }
+        Value::Tuple(t) => Ok(Value::tuple(
+            indices.iter().map(|&i| t[i as usize].clone()).collect(),
+        )),
         Value::Str(st) => {
             let chars: Vec<char> = st.chars().collect();
-            Ok(Value::str(indices.iter().map(|&i| chars[i as usize]).collect::<String>()))
+            Ok(Value::str(
+                indices
+                    .iter()
+                    .map(|&i| chars[i as usize])
+                    .collect::<String>(),
+            ))
         }
         _ => unreachable!("checked above"),
     }
@@ -1114,55 +1155,58 @@ fn module_export_names(o: &dyn Opaque) -> Vec<String> {
 pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, PyErr> {
     use BinOp::*;
     // Fast numeric paths.
-    match (l, r) {
-        (Value::Int(a), Value::Int(b)) => {
-            let (a, b) = (*a, *b);
-            return match op {
-                Add => checked_int(a.checked_add(b)),
-                Sub => checked_int(a.checked_sub(b)),
-                Mul => checked_int(a.checked_mul(b)),
-                Div => {
-                    if b == 0 {
-                        Err(PyErr::new(ErrKind::ZeroDivision, "division by zero"))
-                    } else {
-                        Ok(Value::Float(a as f64 / b as f64))
-                    }
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        let (a, b) = (*a, *b);
+        return match op {
+            Add => checked_int(a.checked_add(b)),
+            Sub => checked_int(a.checked_sub(b)),
+            Mul => checked_int(a.checked_mul(b)),
+            Div => {
+                if b == 0 {
+                    Err(PyErr::new(ErrKind::ZeroDivision, "division by zero"))
+                } else {
+                    Ok(Value::Float(a as f64 / b as f64))
                 }
-                FloorDiv => {
-                    if b == 0 {
-                        Err(PyErr::new(ErrKind::ZeroDivision, "integer division or modulo by zero"))
-                    } else {
-                        Ok(Value::Int(python_floordiv(a, b)))
-                    }
+            }
+            FloorDiv => {
+                if b == 0 {
+                    Err(PyErr::new(
+                        ErrKind::ZeroDivision,
+                        "integer division or modulo by zero",
+                    ))
+                } else {
+                    Ok(Value::Int(python_floordiv(a, b)))
                 }
-                Mod => {
-                    if b == 0 {
-                        Err(PyErr::new(ErrKind::ZeroDivision, "integer division or modulo by zero"))
-                    } else {
-                        Ok(Value::Int(python_mod(a, b)))
-                    }
+            }
+            Mod => {
+                if b == 0 {
+                    Err(PyErr::new(
+                        ErrKind::ZeroDivision,
+                        "integer division or modulo by zero",
+                    ))
+                } else {
+                    Ok(Value::Int(python_mod(a, b)))
                 }
-                Pow => int_pow(a, b),
-                BitAnd => Ok(Value::Int(a & b)),
-                BitOr => Ok(Value::Int(a | b)),
-                BitXor => Ok(Value::Int(a ^ b)),
-                Shl => {
-                    if !(0..64).contains(&b) {
-                        Err(value_err("shift count out of range"))
-                    } else {
-                        checked_int(a.checked_shl(b as u32))
-                    }
+            }
+            Pow => int_pow(a, b),
+            BitAnd => Ok(Value::Int(a & b)),
+            BitOr => Ok(Value::Int(a | b)),
+            BitXor => Ok(Value::Int(a ^ b)),
+            Shl => {
+                if !(0..64).contains(&b) {
+                    Err(value_err("shift count out of range"))
+                } else {
+                    checked_int(a.checked_shl(b as u32))
                 }
-                Shr => {
-                    if !(0..64).contains(&b) {
-                        Err(value_err("shift count out of range"))
-                    } else {
-                        Ok(Value::Int(a >> b))
-                    }
+            }
+            Shr => {
+                if !(0..64).contains(&b) {
+                    Err(value_err("shift count out of range"))
+                } else {
+                    Ok(Value::Int(a >> b))
                 }
-            };
-        }
-        _ => {}
+            }
+        };
     }
     // Mixed numeric paths.
     if l.is_number() && r.is_number() {
@@ -1181,7 +1225,10 @@ pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, PyErr> {
             }
             FloorDiv => {
                 if b == 0.0 {
-                    Err(PyErr::new(ErrKind::ZeroDivision, "float floor division by zero"))
+                    Err(PyErr::new(
+                        ErrKind::ZeroDivision,
+                        "float floor division by zero",
+                    ))
                 } else {
                     Ok(Value::Float((a / b).floor()))
                 }
@@ -1191,7 +1238,11 @@ pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, PyErr> {
                     Err(PyErr::new(ErrKind::ZeroDivision, "float modulo"))
                 } else {
                     let r = a % b;
-                    Ok(Value::Float(if r != 0.0 && (r < 0.0) != (b < 0.0) { r + b } else { r }))
+                    Ok(Value::Float(if r != 0.0 && (r < 0.0) != (b < 0.0) {
+                        r + b
+                    } else {
+                        r
+                    }))
                 }
             }
             Pow => Ok(Value::Float(a.powf(b))),
@@ -1281,7 +1332,10 @@ pub fn python_mod(a: i64, b: i64) -> i64 {
 fn int_pow(a: i64, b: i64) -> Result<Value, PyErr> {
     if b < 0 {
         if a == 0 {
-            return Err(PyErr::new(ErrKind::ZeroDivision, "0 cannot be raised to a negative power"));
+            return Err(PyErr::new(
+                ErrKind::ZeroDivision,
+                "0 cannot be raised to a negative power",
+            ));
         }
         return Ok(Value::Float((a as f64).powi(b as i32)));
     }
@@ -1303,17 +1357,26 @@ pub fn unary_op(op: UnaryOp, v: &Value) -> Result<Value, PyErr> {
             Value::Int(i) => checked_int(i.checked_neg()),
             Value::Float(f) => Ok(Value::Float(-f)),
             Value::Bool(b) => Ok(Value::Int(-(*b as i64))),
-            other => Err(type_err(format!("bad operand type for unary -: '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "bad operand type for unary -: '{}'",
+                other.type_name()
+            ))),
         },
         UnaryOp::Pos => match v {
             Value::Int(_) | Value::Float(_) => Ok(v.clone()),
             Value::Bool(b) => Ok(Value::Int(*b as i64)),
-            other => Err(type_err(format!("bad operand type for unary +: '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "bad operand type for unary +: '{}'",
+                other.type_name()
+            ))),
         },
         UnaryOp::Invert => match v {
             Value::Int(i) => Ok(Value::Int(!i)),
             Value::Bool(b) => Ok(Value::Int(!(*b as i64))),
-            other => Err(type_err(format!("bad operand type for unary ~: '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "bad operand type for unary ~: '{}'",
+                other.type_name()
+            ))),
         },
     }
 }
@@ -1353,7 +1416,9 @@ pub fn py_ordering(l: &Value, r: &Value) -> Result<std::cmp::Ordering, PyErr> {
     if l.is_number() && r.is_number() {
         let a = l.as_float()?;
         let b = r.as_float()?;
-        return a.partial_cmp(&b).ok_or_else(|| value_err("cannot order NaN"));
+        return a
+            .partial_cmp(&b)
+            .ok_or_else(|| value_err("cannot order NaN"));
     }
     match (l, r) {
         (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
@@ -1402,7 +1467,10 @@ fn contains(container: &Value, item: &Value) -> Result<bool, PyErr> {
                 Ok(false)
             }
         }
-        other => Err(type_err(format!("argument of type '{}' is not iterable", other.type_name()))),
+        other => Err(type_err(format!(
+            "argument of type '{}' is not iterable",
+            other.type_name()
+        ))),
     }
 }
 
@@ -1457,15 +1525,27 @@ impl ValueIter {
     /// `TypeError` if the value is not iterable.
     pub fn new(v: &Value) -> Result<ValueIter, PyErr> {
         Ok(match v {
-            Value::Range(start, stop, step) => {
-                ValueIter::Range { cur: *start, stop: *stop, step: *step }
-            }
-            Value::List(l) => ValueIter::List { list: Arc::clone(l), idx: 0 },
-            Value::Tuple(t) => ValueIter::Tuple { items: Arc::clone(t), idx: 0 },
-            Value::Str(s) => ValueIter::Chars { chars: s.chars().collect(), idx: 0 },
-            Value::Dict(d) => {
-                ValueIter::Keys { keys: d.read().keys().cloned().collect(), idx: 0 }
-            }
+            Value::Range(start, stop, step) => ValueIter::Range {
+                cur: *start,
+                stop: *stop,
+                step: *step,
+            },
+            Value::List(l) => ValueIter::List {
+                list: Arc::clone(l),
+                idx: 0,
+            },
+            Value::Tuple(t) => ValueIter::Tuple {
+                items: Arc::clone(t),
+                idx: 0,
+            },
+            Value::Str(s) => ValueIter::Chars {
+                chars: s.chars().collect(),
+                idx: 0,
+            },
+            Value::Dict(d) => ValueIter::Keys {
+                keys: d.read().keys().cloned().collect(),
+                idx: 0,
+            },
             other => {
                 return Err(type_err(format!(
                     "'{}' object is not iterable",
@@ -1476,12 +1556,8 @@ impl ValueIter {
     }
 
     /// Materialize the remaining items into a vector.
-    pub fn collect_vec(mut self) -> Vec<Value> {
-        let mut out = Vec::new();
-        while let Some(v) = self.next() {
-            out.push(v);
-        }
-        out
+    pub fn collect_vec(self) -> Vec<Value> {
+        self.collect()
     }
 }
 

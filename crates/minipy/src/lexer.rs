@@ -64,7 +64,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: Tok) {
-        self.tokens.push(Token { kind, line: self.line });
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
     }
 
     fn err(&self, msg: impl Into<String>) -> PyErr {
@@ -200,7 +203,9 @@ impl<'a> Lexer<'a> {
                             self.push(Tok::Dedent);
                         }
                         if *self.indents.last().expect("indent stack never empty") != width {
-                            return Err(self.err("unindent does not match any outer indentation level"));
+                            return Err(
+                                self.err("unindent does not match any outer indentation level")
+                            );
                         }
                     }
                     self.at_line_start = false;
@@ -278,7 +283,10 @@ impl<'a> Lexer<'a> {
         if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
             self.pos += 2;
             let hex_start = self.pos;
-            while self.peek().is_some_and(|c| c.is_ascii_hexdigit() || c == '_') {
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
                 self.pos += 1;
             }
             let text: String = self.chars[hex_start..self.pos]
@@ -298,9 +306,7 @@ impl<'a> Lexer<'a> {
             // digit or end-of-number follows.
             let after = self.peek2();
             if after.is_none()
-                || after.is_some_and(|c| {
-                    c.is_ascii_digit() || !(c.is_alphabetic() || c == '_')
-                })
+                || after.is_some_and(|c| c.is_ascii_digit() || !(c.is_alphabetic() || c == '_'))
                 || matches!((after, self.peek3()), (Some('e') | Some('E'), Some(c)) if c.is_ascii_digit())
             {
                 is_float = true;
@@ -330,10 +336,14 @@ impl<'a> Lexer<'a> {
             .filter(|&&c| c != '_')
             .collect();
         if is_float {
-            let v: f64 = text.parse().map_err(|_| self.err("invalid float literal"))?;
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err("invalid float literal"))?;
             self.push(Tok::Float(v));
         } else {
-            let v: i64 = text.parse().map_err(|_| self.err("invalid integer literal"))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err("invalid integer literal"))?;
             self.push(Tok::Int(v));
         }
         Ok(())
@@ -341,10 +351,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_ident(&mut self) {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
@@ -591,7 +598,10 @@ mod tests {
     #[test]
     fn line_numbers_tracked() {
         let toks = tokenize("x = 1\ny = 2\n").unwrap();
-        let y_tok = toks.iter().find(|t| t.kind == Tok::Ident("y".into())).unwrap();
+        let y_tok = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("y".into()))
+            .unwrap();
         assert_eq!(y_tok.line, 2);
     }
 

@@ -12,12 +12,7 @@ use crate::value::{Args, HKey, Value};
 /// # Errors
 ///
 /// `AttributeError` for unknown methods and `TypeError` for bad arguments.
-pub fn call_method(
-    interp: &Interp,
-    obj: &Value,
-    method: &str,
-    args: Args,
-) -> Result<Value, PyErr> {
+pub fn call_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
     match obj {
         Value::List(_) => list_method(interp, obj, method, args),
         Value::Str(s) => str_method(s, method, args),
@@ -27,7 +22,11 @@ pub fn call_method(
         Value::Opaque(o) => o.call_method(interp, method, args.pos),
         other => Err(PyErr::new(
             ErrKind::Attribute,
-            format!("'{}' object has no attribute '{}'", other.type_name(), method),
+            format!(
+                "'{}' object has no attribute '{}'",
+                other.type_name(),
+                method
+            ),
         )),
     }
 }
@@ -47,7 +46,8 @@ fn list_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Result
     match method {
         "append" => {
             args.expect_len(1, "append")?;
-            list.write().push(args.pos.into_iter().next().expect("len checked"));
+            list.write()
+                .push(args.pos.into_iter().next().expect("len checked"));
             Ok(Value::None)
         }
         "extend" => {
@@ -80,7 +80,11 @@ fn list_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Result
             let mut items = list.write();
             let len = items.len() as i64;
             let i = args.req(0)?.as_int()?.clamp(-len, len);
-            let i = if i < 0 { (i + len) as usize } else { i as usize };
+            let i = if i < 0 {
+                (i + len) as usize
+            } else {
+                i as usize
+            };
             items.insert(i, args.req(1)?.clone());
             Ok(Value::None)
         }
@@ -114,7 +118,9 @@ fn list_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Result
         "count" => {
             args.expect_len(1, "count")?;
             let needle = args.req(0)?;
-            Ok(Value::Int(list.read().iter().filter(|v| v.py_eq(needle)).count() as i64))
+            Ok(Value::Int(
+                list.read().iter().filter(|v| v.py_eq(needle)).count() as i64,
+            ))
         }
         "copy" => Ok(Value::list(list.read().clone())),
         "remove" => {
@@ -185,8 +191,11 @@ fn dict_method(obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
                     if Arc::ptr_eq(src, dict) {
                         return Ok(Value::None);
                     }
-                    let src_items: Vec<(HKey, Value)> =
-                        src.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    let src_items: Vec<(HKey, Value)> = src
+                        .read()
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
                     dict.write().extend(src_items);
                     Ok(Value::None)
                 }
@@ -221,7 +230,9 @@ fn tuple_method(t: &Arc<Vec<Value>>, method: &str, args: Args) -> Result<Value, 
         "count" => {
             args.expect_len(1, "count")?;
             let needle = args.req(0)?;
-            Ok(Value::Int(t.iter().filter(|v| v.py_eq(needle)).count() as i64))
+            Ok(Value::Int(
+                t.iter().filter(|v| v.py_eq(needle)).count() as i64
+            ))
         }
         _ => Err(attr_err("tuple", method)),
     }
@@ -240,9 +251,9 @@ fn float_method(f: f64, method: &str, args: Args) -> Result<Value, PyErr> {
 fn str_method(s: &Arc<String>, method: &str, args: Args) -> Result<Value, PyErr> {
     match method {
         "split" => match args.opt(0) {
-            None | Some(Value::None) => Ok(Value::list(
-                s.split_whitespace().map(Value::str).collect(),
-            )),
+            None | Some(Value::None) => {
+                Ok(Value::list(s.split_whitespace().map(Value::str).collect()))
+            }
             Some(sep) => {
                 let sep = sep.as_str()?;
                 if sep.is_empty() {
@@ -273,7 +284,9 @@ fn str_method(s: &Arc<String>, method: &str, args: Args) -> Result<Value, PyErr>
         }
         "replace" => {
             args.expect_len(2, "replace")?;
-            Ok(Value::str(s.replace(args.req(0)?.as_str()?, args.req(1)?.as_str()?)))
+            Ok(Value::str(
+                s.replace(args.req(0)?.as_str()?, args.req(1)?.as_str()?),
+            ))
         }
         "find" => {
             args.expect_len(1, "find")?;
@@ -294,10 +307,18 @@ fn str_method(s: &Arc<String>, method: &str, args: Args) -> Result<Value, PyErr>
             }
             Ok(Value::Int(s.matches(needle).count() as i64))
         }
-        "isdigit" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))),
-        "isalpha" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphabetic))),
-        "isalnum" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_alphanumeric))),
-        "isspace" => Ok(Value::Bool(!s.is_empty() && s.chars().all(char::is_whitespace))),
+        "isdigit" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+        )),
+        "isalpha" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(char::is_alphabetic),
+        )),
+        "isalnum" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(char::is_alphanumeric),
+        )),
+        "isspace" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(char::is_whitespace),
+        )),
         "title" => {
             let mut out = String::with_capacity(s.len());
             let mut word_start = true;

@@ -54,7 +54,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -148,7 +150,11 @@ impl Parser {
                     // Wrap multiple simple statements in an if-True block to
                     // keep `Stmt` a single node.
                     return Ok(Stmt::new(
-                        StmtKind::If { test: Expr::Bool(true), body: stmts, orelse: Vec::new() },
+                        StmtKind::If {
+                            test: Expr::Bool(true),
+                            body: stmts,
+                            orelse: Vec::new(),
+                        },
                         line,
                     ));
                 }
@@ -206,7 +212,11 @@ impl Parser {
             Tok::Keyword(Kw::Assert) => {
                 self.bump();
                 let test = self.expr()?;
-                let msg = if self.eat_op(Op::Comma) { Some(self.expr()?) } else { None };
+                let msg = if self.eat_op(Op::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 Ok(Stmt::new(StmtKind::Assert { test, msg }, line))
             }
             Tok::Keyword(Kw::Del) => {
@@ -220,7 +230,11 @@ impl Parser {
             Tok::Keyword(Kw::Import) => {
                 self.bump();
                 let module = self.dotted_name()?;
-                let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                let alias = if self.eat_kw(Kw::As) {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
                 Ok(Stmt::new(StmtKind::Import { module, alias }, line))
             }
             Tok::Keyword(Kw::From) => {
@@ -229,20 +243,35 @@ impl Parser {
                 self.expect_kw(Kw::Import)?;
                 if self.eat_op(Op::Star) {
                     return Ok(Stmt::new(
-                        StmtKind::FromImport { module, names: Vec::new(), star: true },
+                        StmtKind::FromImport {
+                            module,
+                            names: Vec::new(),
+                            star: true,
+                        },
                         line,
                     ));
                 }
                 let mut names = Vec::new();
                 loop {
                     let name = self.expect_ident()?;
-                    let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                    let alias = if self.eat_kw(Kw::As) {
+                        Some(self.expect_ident()?)
+                    } else {
+                        None
+                    };
                     names.push((name, alias));
                     if !self.eat_op(Op::Comma) {
                         break;
                     }
                 }
-                Ok(Stmt::new(StmtKind::FromImport { module, names, star: false }, line))
+                Ok(Stmt::new(
+                    StmtKind::FromImport {
+                        module,
+                        names,
+                        star: false,
+                    },
+                    line,
+                ))
             }
             _ => self.expr_statement(line),
         }
@@ -287,7 +316,14 @@ impl Parser {
             self.bump();
             let value = self.expr_or_tuple()?;
             check_target(&first, self.line())?;
-            return Ok(Stmt::new(StmtKind::AugAssign { target: first, op, value }, line));
+            return Ok(Stmt::new(
+                StmtKind::AugAssign {
+                    target: first,
+                    op,
+                    value,
+                },
+                line,
+            ));
         }
         if self.check(&Tok::Op(Op::Eq)) {
             let mut targets = vec![first];
@@ -364,7 +400,13 @@ impl Parser {
         }
         let body = self.block()?;
         Ok(Stmt::new(
-            StmtKind::FuncDef(Arc::new(FuncDef { name, params, body, decorators, line })),
+            StmtKind::FuncDef(Arc::new(FuncDef {
+                name,
+                params,
+                body,
+                decorators,
+                line,
+            })),
             line,
         ))
     }
@@ -379,7 +421,11 @@ impl Parser {
             if allow_annotations && self.eat_op(Op::Colon) {
                 let _ = self.expr()?;
             }
-            let default = if self.eat_op(Op::Eq) { Some(self.expr()?) } else { None };
+            let default = if self.eat_op(Op::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             params.push(Param { name, default });
             if !self.eat_op(Op::Comma) {
                 break;
@@ -482,7 +528,11 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let context = self.expr()?;
-            let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+            let alias = if self.eat_kw(Kw::As) {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
             items.push(WithItem { context, alias });
             if !self.eat_op(Op::Comma) {
                 break;
@@ -503,18 +553,42 @@ impl Parser {
                 (None, None)
             } else {
                 let name = self.expect_ident()?;
-                let alias = if self.eat_kw(Kw::As) { Some(self.expect_ident()?) } else { None };
+                let alias = if self.eat_kw(Kw::As) {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
                 (Some(name), alias)
             };
             let hbody = self.block()?;
-            handlers.push(ExceptHandler { class_name, alias, body: hbody });
+            handlers.push(ExceptHandler {
+                class_name,
+                alias,
+                body: hbody,
+            });
         }
-        let orelse = if self.eat_kw(Kw::Else) { self.block()? } else { Vec::new() };
-        let finalbody = if self.eat_kw(Kw::Finally) { self.block()? } else { Vec::new() };
+        let orelse = if self.eat_kw(Kw::Else) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        let finalbody = if self.eat_kw(Kw::Finally) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
         if handlers.is_empty() && finalbody.is_empty() {
             return Err(self.err("try statement must have except or finally"));
         }
-        Ok(Stmt::new(StmtKind::Try { body, handlers, orelse, finalbody }, line))
+        Ok(Stmt::new(
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            },
+            line,
+        ))
     }
 
     // ---- expressions --------------------------------------------------
@@ -577,7 +651,10 @@ impl Parser {
         while self.eat_kw(Kw::Or) {
             values.push(self.and_expr()?);
         }
-        Ok(Expr::BoolOp { op: BoolOpKind::Or, values })
+        Ok(Expr::BoolOp {
+            op: BoolOpKind::Or,
+            values,
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr, PyErr> {
@@ -589,13 +666,19 @@ impl Parser {
         while self.eat_kw(Kw::And) {
             values.push(self.not_expr()?);
         }
-        Ok(Expr::BoolOp { op: BoolOpKind::And, values })
+        Ok(Expr::BoolOp {
+            op: BoolOpKind::And,
+            values,
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr, PyErr> {
         if self.eat_kw(Kw::Not) {
             let operand = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -615,7 +698,11 @@ impl Parser {
                 Tok::Keyword(Kw::In) => CmpOp::In,
                 Tok::Keyword(Kw::Is) => {
                     self.bump();
-                    let op = if self.eat_kw(Kw::Not) { CmpOp::IsNot } else { CmpOp::Is };
+                    let op = if self.eat_kw(Kw::Not) {
+                        CmpOp::IsNot
+                    } else {
+                        CmpOp::Is
+                    };
                     ops.push(op);
                     comparators.push(self.bit_or()?);
                     continue;
@@ -641,7 +728,11 @@ impl Parser {
         if ops.is_empty() {
             Ok(left)
         } else {
-            Ok(Expr::Compare { left: Box::new(left), ops, comparators })
+            Ok(Expr::Compare {
+                left: Box::new(left),
+                ops,
+                comparators,
+            })
         }
     }
 
@@ -650,7 +741,11 @@ impl Parser {
         while self.check(&Tok::Op(Op::Pipe)) {
             self.bump();
             let right = self.bit_xor()?;
-            left = Expr::Binary { op: BinOp::BitOr, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::BitOr,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -660,7 +755,11 @@ impl Parser {
         while self.check(&Tok::Op(Op::Caret)) {
             self.bump();
             let right = self.bit_and()?;
-            left = Expr::Binary { op: BinOp::BitXor, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::BitXor,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -670,7 +769,11 @@ impl Parser {
         while self.check(&Tok::Op(Op::Amp)) {
             self.bump();
             let right = self.shift()?;
-            left = Expr::Binary { op: BinOp::BitAnd, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::BitAnd,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -685,7 +788,11 @@ impl Parser {
             };
             self.bump();
             let right = self.arith()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -700,7 +807,11 @@ impl Parser {
             };
             self.bump();
             let right = self.term()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -717,7 +828,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -732,7 +847,10 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
         }
         self.power()
     }
@@ -757,7 +875,11 @@ impl Parser {
             if self.eat_op(Op::LParen) {
                 let (args, kwargs) = self.call_args()?;
                 self.expect_op(Op::RParen)?;
-                e = Expr::Call { func: Box::new(e), args, kwargs };
+                e = Expr::Call {
+                    func: Box::new(e),
+                    args,
+                    kwargs,
+                };
             } else if self.eat_op(Op::Dot) {
                 let attr = self.expect_ident()?;
                 e = Expr::attr(e, attr);
@@ -772,6 +894,7 @@ impl Parser {
         Ok(e)
     }
 
+    #[allow(clippy::type_complexity)]
     fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), PyErr> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
@@ -802,7 +925,11 @@ impl Parser {
 
     fn subscript(&mut self) -> Result<Expr, PyErr> {
         // slice forms: [a], [a:b], [:b], [a:], [a:b:c], [:]
-        let lower = if self.check(&Tok::Op(Op::Colon)) { None } else { Some(self.expr()?) };
+        let lower = if self.check(&Tok::Op(Op::Colon)) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         if !self.eat_op(Op::Colon) {
             let idx = lower.ok_or_else(|| self.err("empty subscript"))?;
             // tuple index `d[a, b]`
@@ -832,7 +959,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Expr::Slice { lower: lower.map(Box::new), upper: upper.map(Box::new), step })
+        Ok(Expr::Slice {
+            lower: lower.map(Box::new),
+            upper: upper.map(Box::new),
+            step,
+        })
     }
 
     fn atom(&mut self) -> Result<Expr, PyErr> {
@@ -856,7 +987,10 @@ impl Parser {
                 let params = self.param_list(false)?;
                 self.expect_op(Op::Colon)?;
                 let body = self.expr()?;
-                Ok(Expr::Lambda { params, body: Box::new(body) })
+                Ok(Expr::Lambda {
+                    params,
+                    body: Box::new(body),
+                })
             }
             Tok::Op(Op::LParen) => {
                 if self.eat_op(Op::RParen) {
@@ -906,7 +1040,11 @@ fn check_target(e: &Expr, line: u32) -> Result<(), PyErr> {
             }
             Ok(())
         }
-        _ => Err(PyErr::at(ErrKind::Syntax, "cannot assign to expression", line)),
+        _ => Err(PyErr::at(
+            ErrKind::Syntax,
+            "cannot assign to expression",
+            line,
+        )),
     }
 }
 
@@ -936,7 +1074,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -947,7 +1089,11 @@ mod tests {
     fn power_right_assoc() {
         let e = parse_expr("2 ** 3 ** 2").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Pow, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Pow,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Pow, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -958,14 +1104,22 @@ mod tests {
     fn unary_power_binding() {
         // -2 ** 2 parses as -(2 ** 2)
         let e = parse_expr("-2 ** 2").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn chained_comparison() {
         let e = parse_expr("0 <= i < n").unwrap();
         match e {
-            Expr::Compare { ops, comparators, .. } => {
+            Expr::Compare {
+                ops, comparators, ..
+            } => {
                 assert_eq!(ops, vec![CmpOp::Le, CmpOp::Lt]);
                 assert_eq!(comparators.len(), 2);
             }
@@ -1057,7 +1211,11 @@ mod tests {
     fn try_except_finally() {
         let s = one("try:\n    x = 1\nexcept ValueError as e:\n    y = 2\nfinally:\n    z = 3\n");
         match s.kind {
-            StmtKind::Try { handlers, finalbody, .. } => {
+            StmtKind::Try {
+                handlers,
+                finalbody,
+                ..
+            } => {
                 assert_eq!(handlers.len(), 1);
                 assert_eq!(handlers[0].class_name.as_deref(), Some("ValueError"));
                 assert_eq!(handlers[0].alias.as_deref(), Some("e"));

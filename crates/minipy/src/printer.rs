@@ -52,7 +52,8 @@ pub fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                     if let StmtKind::If { .. } = &orelse[0].kind {
                         let mut tmp = String::new();
                         print_stmt(&orelse[0], indent, &mut tmp);
-                        let replaced = tmp.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
+                        let replaced =
+                            tmp.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
                         out.push_str(&replaced);
                         return;
                     }
@@ -69,7 +70,11 @@ pub fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
         }
         StmtKind::For { target, iter, body } => {
             out.push_str(&pad);
-            out.push_str(&format!("for {} in {}:\n", print_expr(target), print_expr(iter)));
+            out.push_str(&format!(
+                "for {} in {}:\n",
+                print_expr(target),
+                print_expr(iter)
+            ));
             print_block(body, indent + 1, out);
         }
         StmtKind::FuncDef(def) => {
@@ -128,7 +133,12 @@ pub fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
             out.push_str(&format!("with {}:\n", parts.join(", ")));
             print_block(body, indent + 1, out);
         }
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             out.push_str(&pad);
             out.push_str("try:\n");
             print_block(body, indent + 1, out);
@@ -162,7 +172,9 @@ pub fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
         StmtKind::Assert { test, msg } => {
             out.push_str(&pad);
             match msg {
-                Some(m) => out.push_str(&format!("assert {}, {}\n", print_expr(test), print_expr(m))),
+                Some(m) => {
+                    out.push_str(&format!("assert {}, {}\n", print_expr(test), print_expr(m)))
+                }
                 None => out.push_str(&format!("assert {}\n", print_expr(test))),
             }
         }
@@ -178,7 +190,11 @@ pub fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                 None => out.push_str(&format!("import {module}\n")),
             }
         }
-        StmtKind::FromImport { module, names, star } => {
+        StmtKind::FromImport {
+            module,
+            names,
+            star,
+        } => {
             out.push_str(&pad);
             if *star {
                 out.push_str(&format!("from {module} import *\n"));
@@ -218,7 +234,12 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::None => "None".into(),
         Expr::Name(n) => n.clone(),
         Expr::Binary { op, left, right } => {
-            format!("({} {} {})", print_expr(left), op.symbol(), print_expr(right))
+            format!(
+                "({} {} {})",
+                print_expr(left),
+                op.symbol(),
+                print_expr(right)
+            )
         }
         Expr::Unary { op, operand } => {
             let sym = match op {
@@ -237,7 +258,11 @@ pub fn print_expr(e: &Expr) -> String {
             let parts: Vec<String> = values.iter().map(print_expr).collect();
             format!("({})", parts.join(sym))
         }
-        Expr::Compare { left, ops, comparators } => {
+        Expr::Compare {
+            left,
+            ops,
+            comparators,
+        } => {
             let mut s = format!("({}", print_expr(left));
             for (op, c) in ops.iter().zip(comparators) {
                 s.push_str(&format!(" {} {}", op.symbol(), print_expr(c)));
@@ -280,7 +305,12 @@ pub fn print_expr(e: &Expr) -> String {
             format!("{{{}}}", parts.join(", "))
         }
         Expr::IfExp { test, body, orelse } => {
-            format!("({} if {} else {})", print_expr(body), print_expr(test), print_expr(orelse))
+            format!(
+                "({} if {} else {})",
+                print_expr(body),
+                print_expr(test),
+                print_expr(orelse)
+            )
         }
         Expr::Lambda { params, body } => {
             let parts: Vec<String> = params

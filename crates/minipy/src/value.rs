@@ -79,7 +79,10 @@ pub struct Args {
 impl Args {
     /// Positional-only arguments.
     pub fn positional(pos: Vec<Value>) -> Args {
-        Args { pos, kw: Vec::new() }
+        Args {
+            pos,
+            kw: Vec::new(),
+        }
     }
 
     /// Number of positional arguments.
@@ -145,12 +148,17 @@ pub struct NativeFunc {
 }
 
 impl NativeFunc {
-    /// Wrap a Rust closure as a native function value.
+    /// Wrap a Rust closure as a native function value (not `Self`: the
+    /// useful unit is the ready-to-store [`Value`]).
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(
         name: impl Into<String>,
         f: impl Fn(&Interp, Args) -> Result<Value, PyErr> + Send + Sync + 'static,
     ) -> Value {
-        Value::Native(Arc::new(NativeFunc { name: name.into(), func: Box::new(f) }))
+        Value::Native(Arc::new(NativeFunc {
+            name: name.into(),
+            func: Box::new(f),
+        }))
     }
 }
 
@@ -181,6 +189,10 @@ pub trait Opaque: Send + Sync {
     /// Optional length support (`len(obj)`).
     fn len(&self) -> Option<usize> {
         None
+    }
+    /// `len() == 0`, when length is supported at all.
+    fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
     }
     /// Optional attribute lookup (`obj.attr` without a call). Used by
     /// module objects (`math.pi`).
@@ -232,10 +244,18 @@ impl HKey {
                 }
             }
             Value::Str(s) => HKey::Str(Arc::clone(s)),
-            Value::Tuple(items) => {
-                HKey::Tuple(items.iter().map(HKey::from_value).collect::<Result<_, _>>()?)
+            Value::Tuple(items) => HKey::Tuple(
+                items
+                    .iter()
+                    .map(HKey::from_value)
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => {
+                return Err(type_err(format!(
+                    "unhashable type: '{}'",
+                    other.type_name()
+                )))
             }
-            other => return Err(type_err(format!("unhashable type: '{}'", other.type_name()))),
         })
     }
 
@@ -247,7 +267,9 @@ impl HKey {
             HKey::Int(i) => Value::Int(*i),
             HKey::FloatBits(bits) => Value::Float(f64::from_bits(*bits)),
             HKey::Str(s) => Value::Str(Arc::clone(s)),
-            HKey::Tuple(items) => Value::Tuple(Arc::new(items.iter().map(HKey::to_value).collect())),
+            HKey::Tuple(items) => {
+                Value::Tuple(Arc::new(items.iter().map(HKey::to_value).collect()))
+            }
         }
     }
 }
@@ -330,7 +352,10 @@ impl Value {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
             Value::Bool(b) => Ok(*b as i64 as f64),
-            other => Err(type_err(format!("expected float, got {}", other.type_name()))),
+            other => Err(type_err(format!(
+                "expected float, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -370,12 +395,8 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
-            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => {
-                (*a as i64) == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Bool(a), Value::Int(b)) | (Value::Int(b), Value::Bool(a)) => (*a as i64) == *b,
             (Value::Bool(a), Value::Float(b)) | (Value::Float(b), Value::Bool(a)) => {
                 (*a as i64 as f64) == *b
             }
@@ -397,12 +418,9 @@ impl Value {
                 }
                 let a = a.read();
                 let b = b.read();
-                a.len() == b.len()
-                    && a.iter().all(|(k, v)| b.get(k).is_some_and(|w| v.py_eq(w)))
+                a.len() == b.len() && a.iter().all(|(k, v)| b.get(k).is_some_and(|w| v.py_eq(w)))
             }
-            (Value::Range(a1, a2, a3), Value::Range(b1, b2, b3)) => {
-                (a1, a2, a3) == (b1, b2, b3)
-            }
+            (Value::Range(a1, a2, a3), Value::Range(b1, b2, b3)) => (a1, a2, a3) == (b1, b2, b3),
             _ => self.is_identical(other),
         }
     }

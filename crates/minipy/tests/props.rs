@@ -5,7 +5,11 @@ use minipy::{Interp, Value};
 use proptest::prelude::*;
 
 fn eval_int(src: &str) -> i64 {
-    Interp::new().eval_str(src).unwrap_or_else(|e| panic!("{src}: {e}")).as_int().unwrap()
+    Interp::new()
+        .eval_str(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .as_int()
+        .unwrap()
 }
 
 fn python_floordiv(a: i64, b: i64) -> i64 {

@@ -4,12 +4,18 @@ use minipy::{ErrKind, Gil, GilMode, Interp, Value};
 
 fn run(src: &str) -> Interp {
     let interp = Interp::new().capture_output();
-    interp.run(src).unwrap_or_else(|e| panic!("error running {src:?}: {e}"));
+    interp
+        .run(src)
+        .unwrap_or_else(|e| panic!("error running {src:?}: {e}"));
     interp
 }
 
 fn global_int(interp: &Interp, name: &str) -> i64 {
-    interp.get_global(name).unwrap_or_else(|| panic!("no global {name}")).as_int().unwrap()
+    interp
+        .get_global(name)
+        .unwrap_or_else(|| panic!("no global {name}"))
+        .as_int()
+        .unwrap()
 }
 
 fn global_float(interp: &Interp, name: &str) -> f64 {
@@ -17,7 +23,9 @@ fn global_float(interp: &Interp, name: &str) -> f64 {
 }
 
 fn eval(src: &str) -> Value {
-    Interp::new().eval_str(src).unwrap_or_else(|e| panic!("error evaluating {src:?}: {e}"))
+    Interp::new()
+        .eval_str(src)
+        .unwrap_or_else(|e| panic!("error evaluating {src:?}: {e}"))
 }
 
 #[test]
@@ -63,7 +71,10 @@ fn string_operations() {
     assert_eq!(eval("len('héllo')").as_int().unwrap(), 5);
     assert_eq!(eval("'banana'.count('an')").as_int().unwrap(), 2);
     assert_eq!(eval("'banana'.find('na')").as_int().unwrap(), 2);
-    assert_eq!(eval("'banana'.replace('a', 'o')").as_str().unwrap(), "bonono");
+    assert_eq!(
+        eval("'banana'.replace('a', 'o')").as_str().unwrap(),
+        "bonono"
+    );
 }
 
 #[test]
@@ -122,7 +133,9 @@ fn functions_closures_recursion() {
 
 #[test]
 fn default_and_keyword_arguments() {
-    let interp = run("def f(a, b=10, c=20):\n    return a + b + c\nr1 = f(1)\nr2 = f(1, c=2)\nr3 = f(1, 2, 3)\n");
+    let interp = run(
+        "def f(a, b=10, c=20):\n    return a + b + c\nr1 = f(1)\nr2 = f(1, c=2)\nr3 = f(1, 2, 3)\n",
+    );
     assert_eq!(global_int(&interp, "r1"), 31);
     assert_eq!(global_int(&interp, "r2"), 13);
     assert_eq!(global_int(&interp, "r3"), 6);
@@ -152,10 +165,7 @@ fn lists_and_dicts() {
     assert_eq!(global_int(&interp, "first"), 0);
     assert_eq!(interp.get_global("l2").unwrap().repr(), "[3, 2, 1, 0]");
     assert_eq!(global_int(&interp, "n"), 2);
-    assert_eq!(
-        eval("sorted([3, 1, 2], reverse=True)").repr(),
-        "[3, 2, 1]"
-    );
+    assert_eq!(eval("sorted([3, 1, 2], reverse=True)").repr(), "[3, 2, 1]");
 }
 
 #[test]
@@ -181,8 +191,14 @@ fn tuple_unpacking() {
 #[test]
 fn unpacking_errors() {
     let interp = Interp::new();
-    assert_eq!(interp.run("a, b = [1, 2, 3]\n").unwrap_err().kind, ErrKind::Value);
-    assert_eq!(interp.run("a, b, c = [1, 2]\n").unwrap_err().kind, ErrKind::Value);
+    assert_eq!(
+        interp.run("a, b = [1, 2, 3]\n").unwrap_err().kind,
+        ErrKind::Value
+    );
+    assert_eq!(
+        interp.run("a, b, c = [1, 2]\n").unwrap_err().kind,
+        ErrKind::Value
+    );
 }
 
 #[test]
@@ -190,7 +206,10 @@ fn exceptions_and_finally() {
     let interp = run(
         "log = []\ntry:\n    log.append('try')\n    raise ValueError('boom')\n    log.append('unreached')\nexcept ValueError as e:\n    log.append(str(e))\nfinally:\n    log.append('finally')\n",
     );
-    assert_eq!(interp.get_global("log").unwrap().repr(), "['try', 'boom', 'finally']");
+    assert_eq!(
+        interp.get_global("log").unwrap().repr(),
+        "['try', 'boom', 'finally']"
+    );
 }
 
 #[test]
@@ -209,9 +228,8 @@ fn except_matching_order_and_reraise() {
 
 #[test]
 fn finally_overrides_return() {
-    let interp = run(
-        "def f():\n    try:\n        return 1\n    finally:\n        return 2\nr = f()\n",
-    );
+    let interp =
+        run("def f():\n    try:\n        return 1\n    finally:\n        return 2\nr = f()\n");
     assert_eq!(global_int(&interp, "r"), 2);
 }
 
@@ -220,7 +238,10 @@ fn else_clause_on_try() {
     let interp = run(
         "path = []\ntry:\n    path.append('body')\nexcept:\n    path.append('handler')\nelse:\n    path.append('else')\n",
     );
-    assert_eq!(interp.get_global("path").unwrap().repr(), "['body', 'else']");
+    assert_eq!(
+        interp.get_global("path").unwrap().repr(),
+        "['body', 'else']"
+    );
 }
 
 #[test]
@@ -236,7 +257,10 @@ fn builtin_coverage() {
     assert_eq!(eval("str(123)").as_str().unwrap(), "123");
     assert_eq!(eval("len(range(0, 10, 3))").as_int().unwrap(), 4);
     assert_eq!(eval("list(range(3))").repr(), "[0, 1, 2]");
-    assert_eq!(eval("list(zip([1, 2], 'ab'))").repr(), "[(1, 'a'), (2, 'b')]");
+    assert_eq!(
+        eval("list(zip([1, 2], 'ab'))").repr(),
+        "[(1, 'a'), (2, 'b')]"
+    );
     assert!(eval("any([0, 0, 1])").truthy());
     assert!(!eval("all([1, 0])").truthy());
     assert_eq!(eval("divmod(7, 2)").repr(), "(3, 1)");
@@ -258,7 +282,8 @@ fn math_and_time_modules() {
     let interp = run("from math import sqrt\nr = sqrt(9.0)\n");
     assert_eq!(global_float(&interp, "r"), 3.0);
 
-    let interp = run("import time\nt0 = time.perf_counter()\nt1 = time.perf_counter()\nok = t1 >= t0\n");
+    let interp =
+        run("import time\nt0 = time.perf_counter()\nt1 = time.perf_counter()\nok = t1 >= t0\n");
     assert!(interp.get_global("ok").unwrap().truthy());
 }
 
@@ -333,9 +358,15 @@ fn recursion_limit() {
 #[test]
 fn list_index_errors() {
     let interp = Interp::new();
-    assert_eq!(interp.eval_str("[1, 2][5]").unwrap_err().kind, ErrKind::Index);
+    assert_eq!(
+        interp.eval_str("[1, 2][5]").unwrap_err().kind,
+        ErrKind::Index
+    );
     assert_eq!(interp.eval_str("{}['k']").unwrap_err().kind, ErrKind::Key);
-    assert_eq!(interp.eval_str("[].pop()").unwrap_err().kind, ErrKind::Index);
+    assert_eq!(
+        interp.eval_str("[].pop()").unwrap_err().kind,
+        ErrKind::Index
+    );
 }
 
 #[test]

@@ -20,18 +20,18 @@ use minipy::builtins::ModuleObj;
 use minipy::error::{ErrKind, PyErr};
 use minipy::value::FuncValue;
 use minipy::{Args, Interp, NativeFunc, Opaque, Value};
-use omp4rs::directive::{Directive, DirectiveKind, ScheduleKind};
+use omp4rs::context;
+use omp4rs::directive::{CancelConstruct, Directive, DirectiveKind, ScheduleKind};
 use omp4rs::exec::ParallelConfig;
 use omp4rs::locks::OmpLock;
 use omp4rs::reduction::{declare_reduction, declared_reduction, DeclaredReduction};
 use omp4rs::schedule::{ForBounds, LoopDims, ResolvedSchedule};
 use omp4rs::sync::Backend;
 use omp4rs::worksharing::WsInstance;
-use omp4rs::context;
 use parking_lot::Mutex;
 
-use crate::transform::transform_function;
 use crate::threadprivate;
+use crate::transform::transform_function;
 
 /// Execution mode of interpreted code (paper §III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -248,8 +248,18 @@ fn make_omp_callable(options: OmpOptions) -> Value {
                 let d = Directive::parse(text)
                     .map_err(|e| PyErr::new(ErrKind::Syntax, e.to_string()))?;
                 match d.kind {
-                    DirectiveKind::DeclareReduction { name, combiner, initializer } => {
-                        declare_reduction(&name, DeclaredReduction { combiner, initializer });
+                    DirectiveKind::DeclareReduction {
+                        name,
+                        combiner,
+                        initializer,
+                    } => {
+                        declare_reduction(
+                            &name,
+                            DeclaredReduction {
+                                combiner,
+                                initializer,
+                            },
+                        );
                     }
                     DirectiveKind::Threadprivate(vars) => {
                         threadprivate::register(&vars);
@@ -263,9 +273,9 @@ fn make_omp_callable(options: OmpOptions) -> Value {
                 let new_def = transform_function(&fv.def)?;
                 if options.dump || options.debug {
                     let module = minipy::Module {
-                        body: vec![minipy::ast::Stmt::synth(
-                            minipy::ast::StmtKind::FuncDef(Arc::new(new_def.clone())),
-                        )],
+                        body: vec![minipy::ast::Stmt::synth(minipy::ast::StmtKind::FuncDef(
+                            Arc::new(new_def.clone()),
+                        ))],
                     };
                     interp.write_stdout(&minipy::print_module(&module));
                 }
@@ -278,7 +288,10 @@ fn make_omp_callable(options: OmpOptions) -> Value {
             }
             other => Err(err(
                 ErrKind::Type,
-                format!("omp() expects a directive string or a function, got {}", other.type_name()),
+                format!(
+                    "omp() expects a directive string or a function, got {}",
+                    other.type_name()
+                ),
             )),
         }
     })
@@ -286,81 +299,143 @@ fn make_omp_callable(options: OmpOptions) -> Value {
 
 /// Expose the OpenMP 3.0 runtime API to interpreted code.
 fn install_api(module: &ModuleObj) {
-    module.set("omp_get_num_threads", NativeFunc::new("omp_get_num_threads", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_num_threads() as i64))
-    }));
-    module.set("omp_get_thread_num", NativeFunc::new("omp_get_thread_num", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_thread_num() as i64))
-    }));
-    module.set("omp_get_max_threads", NativeFunc::new("omp_get_max_threads", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_max_threads() as i64))
-    }));
-    module.set("omp_set_num_threads", NativeFunc::new("omp_set_num_threads", |_, args: Args| {
-        omp4rs::omp_set_num_threads(args.req(0)?.as_int()?.max(0) as usize);
-        Ok(Value::None)
-    }));
-    module.set("omp_get_num_procs", NativeFunc::new("omp_get_num_procs", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_num_procs() as i64))
-    }));
-    module.set("omp_in_parallel", NativeFunc::new("omp_in_parallel", |_, _| {
-        Ok(Value::Bool(omp4rs::omp_in_parallel()))
-    }));
-    module.set("omp_set_nested", NativeFunc::new("omp_set_nested", |_, args: Args| {
-        omp4rs::omp_set_nested(args.req(0)?.truthy());
-        Ok(Value::None)
-    }));
-    module.set("omp_get_nested", NativeFunc::new("omp_get_nested", |_, _| {
-        Ok(Value::Bool(omp4rs::omp_get_nested()))
-    }));
-    module.set("omp_set_dynamic", NativeFunc::new("omp_set_dynamic", |_, args: Args| {
-        omp4rs::omp_set_dynamic(args.req(0)?.truthy());
-        Ok(Value::None)
-    }));
-    module.set("omp_get_dynamic", NativeFunc::new("omp_get_dynamic", |_, _| {
-        Ok(Value::Bool(omp4rs::omp_get_dynamic()))
-    }));
-    module.set("omp_get_level", NativeFunc::new("omp_get_level", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_level() as i64))
-    }));
-    module.set("omp_get_active_level", NativeFunc::new("omp_get_active_level", |_, _| {
-        Ok(Value::Int(omp4rs::omp_get_active_level() as i64))
-    }));
+    module.set(
+        "omp_get_num_threads",
+        NativeFunc::new("omp_get_num_threads", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_num_threads() as i64))
+        }),
+    );
+    module.set(
+        "omp_get_thread_num",
+        NativeFunc::new("omp_get_thread_num", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_thread_num() as i64))
+        }),
+    );
+    module.set(
+        "omp_get_max_threads",
+        NativeFunc::new("omp_get_max_threads", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_max_threads() as i64))
+        }),
+    );
+    module.set(
+        "omp_set_num_threads",
+        NativeFunc::new("omp_set_num_threads", |_, args: Args| {
+            omp4rs::omp_set_num_threads(args.req(0)?.as_int()?.max(0) as usize);
+            Ok(Value::None)
+        }),
+    );
+    module.set(
+        "omp_get_num_procs",
+        NativeFunc::new("omp_get_num_procs", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_num_procs() as i64))
+        }),
+    );
+    module.set(
+        "omp_in_parallel",
+        NativeFunc::new("omp_in_parallel", |_, _| {
+            Ok(Value::Bool(omp4rs::omp_in_parallel()))
+        }),
+    );
+    module.set(
+        "omp_set_nested",
+        NativeFunc::new("omp_set_nested", |_, args: Args| {
+            omp4rs::omp_set_nested(args.req(0)?.truthy());
+            Ok(Value::None)
+        }),
+    );
+    module.set(
+        "omp_get_nested",
+        NativeFunc::new("omp_get_nested", |_, _| {
+            Ok(Value::Bool(omp4rs::omp_get_nested()))
+        }),
+    );
+    module.set(
+        "omp_set_dynamic",
+        NativeFunc::new("omp_set_dynamic", |_, args: Args| {
+            omp4rs::omp_set_dynamic(args.req(0)?.truthy());
+            Ok(Value::None)
+        }),
+    );
+    module.set(
+        "omp_get_dynamic",
+        NativeFunc::new("omp_get_dynamic", |_, _| {
+            Ok(Value::Bool(omp4rs::omp_get_dynamic()))
+        }),
+    );
+    module.set(
+        "omp_get_level",
+        NativeFunc::new("omp_get_level", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_level() as i64))
+        }),
+    );
+    module.set(
+        "omp_get_active_level",
+        NativeFunc::new("omp_get_active_level", |_, _| {
+            Ok(Value::Int(omp4rs::omp_get_active_level() as i64))
+        }),
+    );
     module.set(
         "omp_get_ancestor_thread_num",
         NativeFunc::new("omp_get_ancestor_thread_num", |_, args: Args| {
-            Ok(Value::Int(omp4rs::omp_get_ancestor_thread_num(args.req(0)?.as_int()?)))
+            Ok(Value::Int(omp4rs::omp_get_ancestor_thread_num(
+                args.req(0)?.as_int()?,
+            )))
         }),
     );
-    module.set("omp_get_team_size", NativeFunc::new("omp_get_team_size", |_, args: Args| {
-        Ok(Value::Int(omp4rs::omp_get_team_size(args.req(0)?.as_int()?)))
-    }));
-    module.set("omp_get_wtime", NativeFunc::new("omp_get_wtime", |_, _| {
-        Ok(Value::Float(omp4rs::omp_get_wtime()))
-    }));
-    module.set("omp_get_wtick", NativeFunc::new("omp_get_wtick", |_, _| {
-        Ok(Value::Float(omp4rs::omp_get_wtick()))
-    }));
-    module.set("omp_set_schedule", NativeFunc::new("omp_set_schedule", |_, args: Args| {
-        let kind = ScheduleKind::parse(args.req(0)?.as_str()?)
-            .ok_or_else(|| err(ErrKind::Value, "invalid schedule kind"))?;
-        let chunk = match args.opt(1) {
-            Some(Value::None) | None => None,
-            Some(v) => Some(v.as_int()?.max(1) as u64),
-        };
-        omp4rs::omp_set_schedule(kind, chunk);
-        Ok(Value::None)
-    }));
-    module.set("omp_get_schedule", NativeFunc::new("omp_get_schedule", |_, _| {
-        let (kind, chunk) = omp4rs::omp_get_schedule();
-        Ok(Value::tuple(vec![
-            Value::str(kind.name()),
-            chunk.map(|c| Value::Int(c as i64)).unwrap_or(Value::None),
-        ]))
-    }));
-    module.set("omp_get_thread_limit", NativeFunc::new("omp_get_thread_limit", |_, _| {
-        let limit = omp4rs::omp_get_thread_limit();
-        Ok(Value::Int(if limit == usize::MAX { i64::MAX } else { limit as i64 }))
-    }));
+    module.set(
+        "omp_get_team_size",
+        NativeFunc::new("omp_get_team_size", |_, args: Args| {
+            Ok(Value::Int(omp4rs::omp_get_team_size(
+                args.req(0)?.as_int()?,
+            )))
+        }),
+    );
+    module.set(
+        "omp_get_wtime",
+        NativeFunc::new("omp_get_wtime", |_, _| {
+            Ok(Value::Float(omp4rs::omp_get_wtime()))
+        }),
+    );
+    module.set(
+        "omp_get_wtick",
+        NativeFunc::new("omp_get_wtick", |_, _| {
+            Ok(Value::Float(omp4rs::omp_get_wtick()))
+        }),
+    );
+    module.set(
+        "omp_set_schedule",
+        NativeFunc::new("omp_set_schedule", |_, args: Args| {
+            let kind = ScheduleKind::parse(args.req(0)?.as_str()?)
+                .ok_or_else(|| err(ErrKind::Value, "invalid schedule kind"))?;
+            let chunk = match args.opt(1) {
+                Some(Value::None) | None => None,
+                Some(v) => Some(v.as_int()?.max(1) as u64),
+            };
+            omp4rs::omp_set_schedule(kind, chunk);
+            Ok(Value::None)
+        }),
+    );
+    module.set(
+        "omp_get_schedule",
+        NativeFunc::new("omp_get_schedule", |_, _| {
+            let (kind, chunk) = omp4rs::omp_get_schedule();
+            Ok(Value::tuple(vec![
+                Value::str(kind.name()),
+                chunk.map(|c| Value::Int(c as i64)).unwrap_or(Value::None),
+            ]))
+        }),
+    );
+    module.set(
+        "omp_get_thread_limit",
+        NativeFunc::new("omp_get_thread_limit", |_, _| {
+            let limit = omp4rs::omp_get_thread_limit();
+            Ok(Value::Int(if limit == usize::MAX {
+                i64::MAX
+            } else {
+                limit as i64
+            }))
+        }),
+    );
     module.set(
         "omp_set_max_active_levels",
         NativeFunc::new("omp_set_max_active_levels", |_, args: Args| {
@@ -372,12 +447,20 @@ fn install_api(module: &ModuleObj) {
         "omp_get_max_active_levels",
         NativeFunc::new("omp_get_max_active_levels", |_, _| {
             let levels = omp4rs::omp_get_max_active_levels();
-            Ok(Value::Int(if levels == usize::MAX { i64::MAX } else { levels as i64 }))
+            Ok(Value::Int(if levels == usize::MAX {
+                i64::MAX
+            } else {
+                levels as i64
+            }))
         }),
     );
 }
 
-fn native(module: &ModuleObj, name: &'static str, f: impl Fn(&Interp, Args) -> Result<Value, PyErr> + Send + Sync + 'static) {
+fn native(
+    module: &ModuleObj,
+    name: &'static str,
+    f: impl Fn(&Interp, Args) -> Result<Value, PyErr> + Send + Sync + 'static,
+) {
     module.set(name, NativeFunc::new(name, f));
 }
 
@@ -436,14 +519,17 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         let triplet_list = match args.req(0)? {
             Value::List(l) => l.read().clone(),
             other => {
-                return Err(err(ErrKind::Type, format!(
-                    "for_bounds expects a list, got {}",
-                    other.type_name()
-                )))
+                return Err(err(
+                    ErrKind::Type,
+                    format!("for_bounds expects a list, got {}", other.type_name()),
+                ))
             }
         };
         if triplet_list.is_empty() || triplet_list.len() % 3 != 0 {
-            return Err(err(ErrKind::Value, "for_bounds expects start/end/step triplets"));
+            return Err(err(
+                ErrKind::Value,
+                "for_bounds expects start/end/step triplets",
+            ));
         }
         let mut triplets = Vec::with_capacity(triplet_list.len());
         for v in &triplet_list {
@@ -482,38 +568,32 @@ fn build_runtime_module(mode: ExecMode) -> Value {
 
         with_bounds(bounds, |state| {
             let triplets = state.triplets.lock().clone();
-            let dims_vec: Vec<(i64, i64, i64)> = triplets
-                .chunks(3)
-                .map(|c| (c[0], c[1], c[2]))
-                .collect();
-            let dims = LoopDims::new(&dims_vec)
-                .map_err(|e| err(ErrKind::Value, e.to_string()))?;
+            let dims_vec: Vec<(i64, i64, i64)> =
+                triplets.chunks(3).map(|c| (c[0], c[1], c[2])).collect();
+            let dims = LoopDims::new(&dims_vec).map_err(|e| err(ErrKind::Value, e.to_string()))?;
             let sched = ResolvedSchedule::resolve(sched_clause.map(|k| (k, chunk)));
             let frame = context::current_frame();
             let (thread_num, nthreads) = match &frame {
                 Some(f) => (f.thread_num, f.team.size()),
                 None => (0, 1),
             };
-            let needs_instance = ordered
-                || matches!(sched.kind, ScheduleKind::Dynamic | ScheduleKind::Guided);
+            // Every in-team loop gets a work-share instance: dynamic/guided
+            // schedules need its chunk counter, ordered needs its turnstile,
+            // and cancellation (`cancel("for")`, region poisoning) is
+            // observed through it at each `for_next` chunk claim.
             let mut instance = None;
             if let Some(f) = &frame {
-                if needs_instance {
-                    let seq = f.next_ws_seq();
-                    let inst = f.team.worksharing().enter(seq);
-                    *state.seq.lock() = Some(seq);
-                    instance = Some(inst);
-                }
+                let seq = f.next_ws_seq();
+                let inst = f.team.worksharing().enter(seq);
+                *state.seq.lock() = Some(seq);
+                instance = Some(inst);
             }
-            if ordered {
-                if let (Some(f), Some(inst)) = (&frame, &instance) {
-                    f.set_current_instance(Some(Arc::clone(inst)));
-                }
+            if let (Some(f), Some(inst)) = (&frame, &instance) {
+                f.set_current_instance(Some(Arc::clone(inst)));
             }
             *state.instance.lock() = instance.clone();
             *state.ordered.lock() = ordered;
-            *state.fb.lock() =
-                Some(ForBounds::init(dims, sched, thread_num, nthreads, instance));
+            *state.fb.lock() = Some(ForBounds::init(dims, sched, thread_num, nthreads, instance));
             Ok(())
         })?;
         Ok(Value::None)
@@ -551,7 +631,12 @@ fn build_runtime_module(mode: ExecMode) -> Value {
 
     native(&module, "for_is_last", |_, args: Args| {
         let last = with_bounds(args.req(0)?, |state| {
-            Ok(state.fb.lock().as_ref().map(|fb| fb.is_last).unwrap_or(false))
+            Ok(state
+                .fb
+                .lock()
+                .as_ref()
+                .map(|fb| fb.is_last)
+                .unwrap_or(false))
         })?;
         Ok(Value::Bool(last))
     });
@@ -563,11 +648,11 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             if let (Some(f), Some(seq)) = (&frame, *state.seq.lock()) {
                 f.team.worksharing().leave(seq);
             }
-            if *state.ordered.lock() {
-                if let Some(f) = &frame {
+            if let Some(f) = &frame {
+                if *state.ordered.lock() {
                     f.set_current_iter(None);
-                    f.set_current_instance(None);
                 }
+                f.set_current_instance(None);
             }
             Ok(())
         })?;
@@ -596,7 +681,9 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         let var = args.req(1)?.as_int()?;
         with_bounds(args.req(0)?, |state| {
             let guard = state.fb.lock();
-            let fb = guard.as_ref().ok_or_else(|| runtime_err("set_iter before for_init"))?;
+            let fb = guard
+                .as_ref()
+                .ok_or_else(|| runtime_err("set_iter before for_init"))?;
             let flat = fb.dims.flat_of_var(var);
             if let Some(f) = context::current_frame() {
                 f.set_current_iter(Some(flat));
@@ -664,7 +751,9 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             Some(inst) => inst.copyprivate_publish(Box::new(value)),
             None => {
                 // Serial execution: stash directly.
-                state.ran_last.store(true, std::sync::atomic::Ordering::SeqCst);
+                state
+                    .ran_last
+                    .store(true, std::sync::atomic::Ordering::SeqCst);
             }
         }
         Ok(Value::None)
@@ -691,6 +780,10 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             }
             None => (None, None),
         };
+        // Track the active instance so `cancel("sections")` can target it.
+        if let (Some(f), Some(inst)) = (&frame, &inst) {
+            f.set_current_instance(Some(Arc::clone(inst)));
+        }
         Ok(Value::Opaque(Arc::new(RegionState {
             inst,
             seq,
@@ -706,10 +799,15 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             // Outside a parallel region: one thread runs all sections.
             None => return serial_sections_next(state),
         };
+        if inst.is_cancelled() {
+            return Ok(Value::Int(-1));
+        }
         let i = inst.counter.fetch_add(1);
         if i < state.n_sections {
             if i == state.n_sections - 1 {
-                state.ran_last.store(true, std::sync::atomic::Ordering::SeqCst);
+                state
+                    .ran_last
+                    .store(true, std::sync::atomic::Ordering::SeqCst);
             }
             Ok(Value::Int(i as i64))
         } else {
@@ -721,8 +819,11 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         let nowait = args.opt(1).map(Value::truthy).unwrap_or(false);
         {
             let state = downcast::<RegionState>(args.req(0)?, "sections handle")?;
-            if let (Some(f), Some(seq)) = (context::current_frame(), state.seq) {
-                f.team.worksharing().leave(seq);
+            if let Some(f) = context::current_frame() {
+                if let Some(seq) = state.seq {
+                    f.team.worksharing().leave(seq);
+                }
+                f.set_current_instance(None);
             }
         }
         if !nowait {
@@ -741,7 +842,59 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         Ok(Value::None)
     });
 
-    native(&module, "is_master", |_, _| Ok(Value::Bool(context::thread_num() == 0)));
+    native(&module, "is_master", |_, _| {
+        Ok(Value::Bool(context::thread_num() == 0))
+    });
+
+    // ---- cancellation -----------------------------------------------------
+    native(&module, "cancel", |_, args: Args| {
+        let name = args.req(0)?.as_str()?.to_owned();
+        let construct = CancelConstruct::parse(&name)
+            .ok_or_else(|| err(ErrKind::Value, format!("invalid cancel construct '{name}'")))?;
+        // User-requested cancellation is gated by the cancel-var ICV
+        // (OMP_CANCELLATION); outside a team there is nothing to cancel.
+        if !omp4rs::Icvs::current().cancellation {
+            return Ok(Value::Bool(false));
+        }
+        let frame = match context::current_frame() {
+            Some(f) => f,
+            None => return Ok(Value::Bool(false)),
+        };
+        match construct {
+            CancelConstruct::Parallel => frame.team.cancel_region(),
+            CancelConstruct::For | CancelConstruct::Sections => {
+                let inst = frame.current_instance().ok_or_else(|| {
+                    runtime_err(format!("cancel({name}) outside a work-sharing region"))
+                })?;
+                inst.cancel();
+            }
+            CancelConstruct::Taskgroup => frame.team.tasks().cancel(),
+        }
+        Ok(Value::Bool(true))
+    });
+
+    native(&module, "cancellation_point", |_, args: Args| {
+        let name = args.req(0)?.as_str()?.to_owned();
+        let construct = CancelConstruct::parse(&name)
+            .ok_or_else(|| err(ErrKind::Value, format!("invalid cancel construct '{name}'")))?;
+        let frame = match context::current_frame() {
+            Some(f) => f,
+            None => return Ok(Value::Bool(false)),
+        };
+        // Observation is not ICV-gated: poisoning must be visible even when
+        // user cancellation is disabled.
+        let cancelled = match construct {
+            CancelConstruct::Parallel => frame.team.is_cancelled(),
+            CancelConstruct::For | CancelConstruct::Sections => frame
+                .current_instance()
+                .map(|inst| inst.is_cancelled())
+                .unwrap_or_else(|| frame.team.is_cancelled()),
+            CancelConstruct::Taskgroup => {
+                frame.team.tasks().is_cancelled() || frame.team.is_cancelled()
+            }
+        };
+        Ok(Value::Bool(cancelled))
+    });
 
     native(&module, "critical_enter", |interp, args: Args| {
         let name = match args.opt(0) {
@@ -926,7 +1079,10 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         let a = args.req(1)?.clone();
         let b = args.req(2)?.clone();
         let decl = declared_reduction(&name).ok_or_else(|| {
-            err(ErrKind::Name, format!("reduction '{name}' has not been declared"))
+            err(
+                ErrKind::Name,
+                format!("reduction '{name}' has not been declared"),
+            )
         })?;
         eval_reduction_expr(interp, &decl.combiner, Some((&a, &b)))
     });
@@ -1003,16 +1159,17 @@ fn reduce_identity_value(interp: &Interp, op: &str, current: &Value) -> Result<V
         "|" | "^" => Value::Int(0),
         custom => {
             let decl = declared_reduction(custom).ok_or_else(|| {
-                err(ErrKind::Name, format!("reduction '{custom}' has not been declared"))
+                err(
+                    ErrKind::Name,
+                    format!("reduction '{custom}' has not been declared"),
+                )
             })?;
             match &decl.initializer {
                 Some(init) => eval_reduction_expr(interp, init, None)?,
                 None => {
                     return Err(err(
                         ErrKind::Value,
-                        format!(
-                            "custom reduction '{custom}' requires an initializer(...) clause"
-                        ),
+                        format!("custom reduction '{custom}' requires an initializer(...) clause"),
                     ))
                 }
             }
@@ -1028,8 +1185,12 @@ fn eval_reduction_expr(
     text: &str,
     operands: Option<(&Value, &Value)>,
 ) -> Result<Value, PyErr> {
-    let expr = minipy::parse_expr(text)
-        .map_err(|e| err(ErrKind::Syntax, format!("invalid reduction expression '{text}': {}", e.msg)))?;
+    let expr = minipy::parse_expr(text).map_err(|e| {
+        err(
+            ErrKind::Syntax,
+            format!("invalid reduction expression '{text}': {}", e.msg),
+        )
+    })?;
     let env = interp.globals().child();
     if let Some((a, b)) = operands {
         env.define("a", a.clone());

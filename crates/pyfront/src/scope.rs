@@ -69,7 +69,12 @@ fn count_block(stmts: &[Stmt], counts: &mut HashMap<String, usize>) {
                 }
                 count_block(body, counts);
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 count_block(body, counts);
                 for h in handlers {
                     if let Some(alias) = &h.alias {
@@ -154,7 +159,12 @@ fn used_in_stmt(stmt: &Stmt, names: &mut HashSet<String>) {
                 used_in_stmt(s, names);
             }
         }
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             for s in body.iter().chain(orelse).chain(finalbody) {
                 used_in_stmt(s, names);
             }
@@ -200,7 +210,9 @@ fn used_in_expr(e: &Expr, names: &mut HashSet<String>) {
                 used_in_expr(v, names);
             }
         }
-        Expr::Compare { left, comparators, .. } => {
+        Expr::Compare {
+            left, comparators, ..
+        } => {
             used_in_expr(left, names);
             for c in comparators {
                 used_in_expr(c, names);
@@ -289,7 +301,12 @@ fn rename_stmt(stmt: &mut Stmt, map: &HashMap<String, String>) {
             }
             rename_names(body, map);
         }
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             rename_names(body, map);
             for h in handlers {
                 rename_names(&mut h.body, map);
@@ -351,7 +368,9 @@ fn rename_expr(e: &mut Expr, map: &HashMap<String, String>) {
                 rename_expr(v, map);
             }
         }
-        Expr::Compare { left, comparators, .. } => {
+        Expr::Compare {
+            left, comparators, ..
+        } => {
             rename_expr(left, map);
             for c in comparators {
                 rename_expr(c, map);

@@ -78,8 +78,10 @@ fn rewrite_stmt(stmt: Stmt, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr>
             let value = subst(value, names);
             let any_tp = targets.iter().any(|t| is_tp_target(t, names));
             if !any_tp {
-                let targets =
-                    targets.into_iter().map(|t| subst_target(t, names)).collect::<Vec<_>>();
+                let targets = targets
+                    .into_iter()
+                    .map(|t| subst_target(t, names))
+                    .collect::<Vec<_>>();
                 StmtKind::Assign { targets, value }
             } else if targets.len() == 1 {
                 let name = match &targets[0] {
@@ -91,7 +93,10 @@ fn rewrite_stmt(stmt: Stmt, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr>
                 // a = tp = expr : evaluate once, then store to each target.
                 let tmp = "__omp_tp_tmp".to_owned();
                 let mut out = vec![Stmt::new(
-                    StmtKind::Assign { targets: vec![Expr::name(&tmp)], value },
+                    StmtKind::Assign {
+                        targets: vec![Expr::name(&tmp)],
+                        value,
+                    },
                     line,
                 )];
                 for t in targets {
@@ -124,7 +129,11 @@ fn rewrite_stmt(stmt: Stmt, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr>
                     return Ok(vec![tp_set_stmt(n, combined)]);
                 }
             }
-            StmtKind::AugAssign { target: subst_target(target, names), op, value }
+            StmtKind::AugAssign {
+                target: subst_target(target, names),
+                op,
+                value,
+            }
         }
         StmtKind::Expr(e) => StmtKind::Expr(subst(e, names)),
         StmtKind::Return(v) => StmtKind::Return(v.map(|e| subst(e, names))),
@@ -161,7 +170,12 @@ fn rewrite_stmt(stmt: Stmt, names: &HashSet<String>) -> Result<Vec<Stmt>, PyErr>
                 .collect(),
             body: rewrite_block(body, names)?,
         },
-        StmtKind::Try { body, handlers, orelse, finalbody } => StmtKind::Try {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => StmtKind::Try {
             body: rewrite_block(body, names)?,
             handlers: handlers
                 .into_iter()
@@ -216,14 +230,19 @@ fn subst(e: Expr, names: &HashSet<String>) -> Expr {
             left: Box::new(subst(*left, names)),
             right: Box::new(subst(*right, names)),
         },
-        Expr::Unary { op, operand } => {
-            Expr::Unary { op, operand: Box::new(subst(*operand, names)) }
-        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op,
+            operand: Box::new(subst(*operand, names)),
+        },
         Expr::BoolOp { op, values } => Expr::BoolOp {
             op,
             values: values.into_iter().map(|v| subst(v, names)).collect(),
         },
-        Expr::Compare { left, ops, comparators } => Expr::Compare {
+        Expr::Compare {
+            left,
+            ops,
+            comparators,
+        } => Expr::Compare {
             left: Box::new(subst(*left, names)),
             ops,
             comparators: comparators.into_iter().map(|c| subst(c, names)).collect(),
@@ -231,11 +250,15 @@ fn subst(e: Expr, names: &HashSet<String>) -> Expr {
         Expr::Call { func, args, kwargs } => Expr::Call {
             func: Box::new(subst(*func, names)),
             args: args.into_iter().map(|a| subst(a, names)).collect(),
-            kwargs: kwargs.into_iter().map(|(k, v)| (k, subst(v, names))).collect(),
+            kwargs: kwargs
+                .into_iter()
+                .map(|(k, v)| (k, subst(v, names)))
+                .collect(),
         },
-        Expr::Attribute { value, attr } => {
-            Expr::Attribute { value: Box::new(subst(*value, names)), attr }
-        }
+        Expr::Attribute { value, attr } => Expr::Attribute {
+            value: Box::new(subst(*value, names)),
+            attr,
+        },
         Expr::Index { value, index } => Expr::Index {
             value: Box::new(subst(*value, names)),
             index: Box::new(subst(*index, names)),
@@ -248,7 +271,10 @@ fn subst(e: Expr, names: &HashSet<String>) -> Expr {
         Expr::List(items) => Expr::List(items.into_iter().map(|i| subst(i, names)).collect()),
         Expr::Tuple(items) => Expr::Tuple(items.into_iter().map(|i| subst(i, names)).collect()),
         Expr::Dict(items) => Expr::Dict(
-            items.into_iter().map(|(k, v)| (subst(k, names), subst(v, names))).collect(),
+            items
+                .into_iter()
+                .map(|(k, v)| (subst(k, names), subst(v, names)))
+                .collect(),
         ),
         Expr::IfExp { test, body, orelse } => Expr::IfExp {
             test: Box::new(subst(*test, names)),

@@ -14,9 +14,7 @@ use std::sync::Arc;
 
 use minipy::ast::*;
 use minipy::error::{ErrKind, PyErr};
-use omp4rs::directive::{
-    Clause, DefaultKind, Directive, DirectiveKind, ReductionOp, ScheduleKind,
-};
+use omp4rs::directive::{Clause, DefaultKind, Directive, DirectiveKind, ReductionOp, ScheduleKind};
 use omp4rs::reduction::{declare_reduction, DeclaredReduction};
 
 use crate::scope::{assignment_counts, rename_names, used_names};
@@ -69,6 +67,9 @@ fn syntax_err(msg: impl Into<String>, line: u32) -> PyErr {
     PyErr::at(ErrKind::Syntax, msg, line)
 }
 
+/// `privatize` result: (prologue, epilogue, nonlocal names).
+type PrivatizeParts = (Vec<Stmt>, Vec<Stmt>, Vec<String>);
+
 struct Transformer {
     counter: u32,
     /// Assignment-site counts over the whole enclosing function.
@@ -100,7 +101,8 @@ impl DataSharing {
                 Clause::Shared(v) => ds.shared.extend(v.iter().cloned()),
                 Clause::Copyin(v) => ds.copyin.extend(v.iter().cloned()),
                 Clause::Reduction { op, vars } => {
-                    ds.reductions.extend(vars.iter().map(|v| (op.clone(), v.clone())));
+                    ds.reductions
+                        .extend(vars.iter().map(|v| (op.clone(), v.clone())));
                 }
                 Clause::Default(k) => ds.default = Some(*k),
                 _ => {}
@@ -136,7 +138,10 @@ fn omp_call_stmt(name: &str, args: Vec<Expr>) -> Stmt {
 }
 
 fn assign(target: &str, value: Expr) -> Stmt {
-    Stmt::synth(StmtKind::Assign { targets: vec![Expr::name(target)], value })
+    Stmt::synth(StmtKind::Assign {
+        targets: vec![Expr::name(target)],
+        value,
+    })
 }
 
 fn str_lit(s: &str) -> Expr {
@@ -145,8 +150,12 @@ fn str_lit(s: &str) -> Expr {
 
 /// Parse clause expression text (e.g. a `num_threads` argument) as minipy.
 fn parse_clause_expr(text: &str, line: u32) -> Result<Expr, PyErr> {
-    minipy::parse_expr(text)
-        .map_err(|e| syntax_err(format!("invalid clause expression '{text}': {}", e.msg), line))
+    minipy::parse_expr(text).map_err(|e| {
+        syntax_err(
+            format!("invalid clause expression '{text}': {}", e.msg),
+            line,
+        )
+    })
 }
 
 impl Transformer {
@@ -175,21 +184,24 @@ impl Transformer {
                             line,
                         ));
                     }
-                    let directive = Directive::parse(text)
-                        .map_err(|e| syntax_err(e.to_string(), line))?;
+                    let directive =
+                        Directive::parse(text).map_err(|e| syntax_err(e.to_string(), line))?;
                     return self.handle_block_directive(directive, body, line);
                 }
                 // Ordinary with: recurse.
                 let body = self.transform_block(body)?;
                 Ok(vec![Stmt::new(
-                    StmtKind::With { items: items.clone(), body },
+                    StmtKind::With {
+                        items: items.clone(),
+                        body,
+                    },
                     line,
                 )])
             }
             StmtKind::Expr(e) => {
                 if let Some(text) = omp_directive_text(e) {
-                    let directive = Directive::parse(text)
-                        .map_err(|err| syntax_err(err.to_string(), line))?;
+                    let directive =
+                        Directive::parse(text).map_err(|err| syntax_err(err.to_string(), line))?;
                     return self.handle_standalone_directive(directive, line);
                 }
                 Ok(vec![stmt.clone()])
@@ -198,22 +210,41 @@ impl Transformer {
                 let body = self.transform_block(body)?;
                 let orelse = self.transform_block(orelse)?;
                 Ok(vec![Stmt::new(
-                    StmtKind::If { test: test.clone(), body, orelse },
+                    StmtKind::If {
+                        test: test.clone(),
+                        body,
+                        orelse,
+                    },
                     line,
                 )])
             }
             StmtKind::While { test, body } => {
                 let body = self.transform_block(body)?;
-                Ok(vec![Stmt::new(StmtKind::While { test: test.clone(), body }, line)])
+                Ok(vec![Stmt::new(
+                    StmtKind::While {
+                        test: test.clone(),
+                        body,
+                    },
+                    line,
+                )])
             }
             StmtKind::For { target, iter, body } => {
                 let body = self.transform_block(body)?;
                 Ok(vec![Stmt::new(
-                    StmtKind::For { target: target.clone(), iter: iter.clone(), body },
+                    StmtKind::For {
+                        target: target.clone(),
+                        iter: iter.clone(),
+                        body,
+                    },
                     line,
                 )])
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 let body = self.transform_block(body)?;
                 let mut new_handlers = Vec::with_capacity(handlers.len());
                 for h in handlers {
@@ -226,7 +257,12 @@ impl Transformer {
                 let orelse = self.transform_block(orelse)?;
                 let finalbody = self.transform_block(finalbody)?;
                 Ok(vec![Stmt::new(
-                    StmtKind::Try { body, handlers: new_handlers, orelse, finalbody },
+                    StmtKind::Try {
+                        body,
+                        handlers: new_handlers,
+                        orelse,
+                        finalbody,
+                    },
                     line,
                 )])
             }
@@ -241,8 +277,35 @@ impl Transformer {
         directive: Directive,
         line: u32,
     ) -> Result<Vec<Stmt>, PyErr> {
+        let if_text = directive.if_expr().map(str::to_owned);
         Ok(match directive.kind {
             DirectiveKind::Barrier => vec![omp_call_stmt("barrier", vec![])],
+            DirectiveKind::Cancel(construct) => {
+                // __omp.cancel("for"), guarded by the if clause when present
+                // (the spec's cancel-if: the directive is ignored when false).
+                let call = omp_call_stmt("cancel", vec![str_lit(construct.name())]);
+                match if_text {
+                    Some(text) => {
+                        let test =
+                            Expr::call(Expr::name("bool"), vec![parse_clause_expr(&text, line)?]);
+                        vec![Stmt::new(
+                            StmtKind::If {
+                                test,
+                                body: vec![call],
+                                orelse: Vec::new(),
+                            },
+                            line,
+                        )]
+                    }
+                    None => vec![call],
+                }
+            }
+            DirectiveKind::CancellationPoint(construct) => {
+                vec![omp_call_stmt(
+                    "cancellation_point",
+                    vec![str_lit(construct.name())],
+                )]
+            }
             DirectiveKind::Taskwait => vec![omp_call_stmt("task_wait", vec![])],
             DirectiveKind::Taskyield => vec![omp_call_stmt("task_yield", vec![])],
             DirectiveKind::Flush(_) => vec![omp_call_stmt("flush", vec![])],
@@ -250,10 +313,17 @@ impl Transformer {
                 threadprivate::register(&vars);
                 vec![Stmt::synth(StmtKind::Pass)]
             }
-            DirectiveKind::DeclareReduction { name, combiner, initializer } => {
+            DirectiveKind::DeclareReduction {
+                name,
+                combiner,
+                initializer,
+            } => {
                 declare_reduction(
                     &name,
-                    DeclaredReduction { combiner: combiner.clone(), initializer: initializer.clone() },
+                    DeclaredReduction {
+                        combiner: combiner.clone(),
+                        initializer: initializer.clone(),
+                    },
                 );
                 vec![Stmt::synth(StmtKind::Pass)]
             }
@@ -281,21 +351,30 @@ impl Transformer {
                 // Split into parallel{ for{...} } as the specification
                 // defines for combined constructs.
                 let (for_clauses, par_clauses) = split_combined_clauses(&directive);
-                let for_directive = Directive { kind: DirectiveKind::For, clauses: for_clauses };
+                let for_directive = Directive {
+                    kind: DirectiveKind::For,
+                    clauses: for_clauses,
+                };
                 let loop_stmts = self.handle_for(&for_directive, body, line)?;
-                let par_directive =
-                    Directive { kind: DirectiveKind::Parallel, clauses: par_clauses };
+                let par_directive = Directive {
+                    kind: DirectiveKind::Parallel,
+                    clauses: par_clauses,
+                };
                 self.emit_parallel(&par_directive, loop_stmts, body, line)
             }
             DirectiveKind::For => self.handle_for(&directive, body, line),
             DirectiveKind::Sections => self.handle_sections(&directive, body, line),
             DirectiveKind::ParallelSections => {
                 let (sec_clauses, par_clauses) = split_combined_clauses(&directive);
-                let sec_directive =
-                    Directive { kind: DirectiveKind::Sections, clauses: sec_clauses };
+                let sec_directive = Directive {
+                    kind: DirectiveKind::Sections,
+                    clauses: sec_clauses,
+                };
                 let sec_stmts = self.handle_sections(&sec_directive, body, line)?;
-                let par_directive =
-                    Directive { kind: DirectiveKind::Parallel, clauses: par_clauses };
+                let par_directive = Directive {
+                    kind: DirectiveKind::Parallel,
+                    clauses: par_clauses,
+                };
                 self.emit_parallel(&par_directive, sec_stmts, body, line)
             }
             DirectiveKind::Section => Err(syntax_err(
@@ -333,7 +412,10 @@ impl Transformer {
             DirectiveKind::Atomic => {
                 let inner = self.transform_block(body)?;
                 if inner.len() != 1
-                    || !matches!(inner[0].kind, StmtKind::Assign { .. } | StmtKind::AugAssign { .. })
+                    || !matches!(
+                        inner[0].kind,
+                        StmtKind::Assign { .. } | StmtKind::AugAssign { .. }
+                    )
                 {
                     return Err(syntax_err(
                         "'atomic' requires a single assignment statement",
@@ -378,6 +460,8 @@ impl Transformer {
             | DirectiveKind::Taskyield
             | DirectiveKind::Flush(_)
             | DirectiveKind::Threadprivate(_)
+            | DirectiveKind::Cancel(_)
+            | DirectiveKind::CancellationPoint(_)
             | DirectiveKind::DeclareReduction { .. } => Err(syntax_err(
                 format!(
                     "directive '{}' does not take a structured block",
@@ -395,12 +479,12 @@ impl Transformer {
     fn privatize(
         &mut self,
         ds: &DataSharing,
-        body: &mut Vec<Stmt>,
+        body: &mut [Stmt],
         original_body: &[Stmt],
         _is_loop: bool,
         bounds_name: Option<&str>,
         line: u32,
-    ) -> Result<(Vec<Stmt>, Vec<Stmt>, Vec<String>), PyErr> {
+    ) -> Result<PrivatizeParts, PyErr> {
         let block_counts = assignment_counts(original_body);
         let globals_declared = declared_globals(original_body);
 
@@ -504,8 +588,7 @@ impl Transformer {
         // Reduction and lastprivate variables stay in the set even though
         // their body occurrences were renamed: the generated merge epilogue
         // assigns the *original* name.
-        let pure_private: HashSet<&String> =
-            privates.iter().chain(firstprivates.iter()).collect();
+        let pure_private: HashSet<&String> = privates.iter().chain(firstprivates.iter()).collect();
         // threadprivate names are rewritten to tp_get/tp_set later; they
         // must not appear in nonlocal declarations.
         let tp_names = threadprivate::registered();
@@ -553,7 +636,10 @@ impl Transformer {
         for var in &ds.copyin {
             let cap = format!("__omp_copyin_{var}_{}", self.next_id());
             before.push(assign(&cap, omp_call("tp_get", vec![str_lit(var)])));
-            func_body.push(omp_call_stmt("tp_set", vec![str_lit(var), Expr::name(&cap)]));
+            func_body.push(omp_call_stmt(
+                "tp_set",
+                vec![str_lit(var), Expr::name(&cap)],
+            ));
         }
         func_body.extend(prologue);
         func_body.extend(inner_body);
@@ -602,9 +688,15 @@ impl Transformer {
         let fp_params: Vec<Param> = ds
             .firstprivates
             .iter()
-            .map(|var| Param { name: var.clone(), default: Some(Expr::name(var)) })
+            .map(|var| Param {
+                name: var.clone(),
+                default: Some(Expr::name(var)),
+            })
             .collect();
-        let ds_no_fp = DataSharing { firstprivates: Vec::new(), ..clone_ds(&ds) };
+        let ds_no_fp = DataSharing {
+            firstprivates: Vec::new(),
+            ..clone_ds(&ds)
+        };
         let (prologue, epilogue, mut nonlocals) =
             self.privatize(&ds_no_fp, &mut inner_body, original_body, false, None, line)?;
         // A firstprivate name is a parameter of the task function: it must
@@ -644,7 +736,10 @@ impl Transformer {
                     vec![parse_clause_expr(&final_text, line)?],
                 )),
             };
-            deferred = Expr::BoolOp { op: BoolOpKind::And, values: vec![deferred, not_final] };
+            deferred = Expr::BoolOp {
+                op: BoolOpKind::And,
+                values: vec![deferred, not_final],
+            };
         }
 
         Ok(vec![
@@ -676,12 +771,7 @@ impl Transformer {
             }
             let (target, iter, loop_body) = match &cursor[0].kind {
                 StmtKind::For { target, iter, body } => (target, iter, body),
-                _ => {
-                    return Err(syntax_err(
-                        "the 'for' directive must wrap a for loop",
-                        line,
-                    ))
-                }
+                _ => return Err(syntax_err("the 'for' directive must wrap a for loop", line)),
             };
             let var = match target {
                 Expr::Name(n) => n.clone(),
@@ -720,8 +810,8 @@ impl Transformer {
         // bound elsewhere in the enclosing function.
         let mut var_rename = HashMap::new();
         for var in &mut loop_vars {
-            let block_only = self.fn_counts.get(var).copied().unwrap_or(0) <= 1
-                && !self.fn_params.contains(var);
+            let block_only =
+                self.fn_counts.get(var).copied().unwrap_or(0) <= 1 && !self.fn_params.contains(var);
             if !block_only && !ds.lastprivates.contains(var) {
                 let new = format!("__omp_{var}_{}", self.next_id());
                 var_rename.insert(var.clone(), new.clone());
@@ -856,7 +946,10 @@ impl Transformer {
         line: u32,
     ) -> Result<Vec<Stmt>, PyErr> {
         if body.len() != 1 {
-            return Err(syntax_err("'taskloop' must wrap exactly one for loop", line));
+            return Err(syntax_err(
+                "'taskloop' must wrap exactly one for loop",
+                line,
+            ));
         }
         let (target, iter, loop_body) = match &body[0].kind {
             StmtKind::For { target, iter, body } => (target, iter, body),
@@ -866,18 +959,23 @@ impl Transformer {
             Expr::Name(n) => n.clone(),
             _ => return Err(syntax_err("taskloop variables must be simple names", line)),
         };
-        let (start, stop, step) = range_triplet(iter).ok_or_else(|| {
-            syntax_err("'taskloop' requires a range(...)-based loop", line)
-        })?;
+        let (start, stop, step) = range_triplet(iter)
+            .ok_or_else(|| syntax_err("'taskloop' requires a range(...)-based loop", line))?;
 
         let mut inner = self.transform_block(loop_body)?;
         let ds = DataSharing::from_clauses(&directive.clauses);
         let fp_params: Vec<Param> = ds
             .firstprivates
             .iter()
-            .map(|v| Param { name: v.clone(), default: Some(Expr::name(v)) })
+            .map(|v| Param {
+                name: v.clone(),
+                default: Some(Expr::name(v)),
+            })
             .collect();
-        let ds_no_fp = DataSharing { firstprivates: Vec::new(), ..clone_ds(&ds) };
+        let ds_no_fp = DataSharing {
+            firstprivates: Vec::new(),
+            ..clone_ds(&ds)
+        };
         let (prologue, epilogue, mut nonlocals) =
             self.privatize(&ds_no_fp, &mut inner, loop_body, false, None, line)?;
         nonlocals.retain(|n| !ds.firstprivates.contains(n) && n != &var);
@@ -906,9 +1004,18 @@ impl Transformer {
         func_body.extend(epilogue);
 
         let mut params = vec![
-            Param { name: lo_p, default: None },
-            Param { name: hi_p, default: None },
-            Param { name: st_p, default: None },
+            Param {
+                name: lo_p,
+                default: None,
+            },
+            Param {
+                name: hi_p,
+                default: None,
+            },
+            Param {
+                name: st_p,
+                default: None,
+            },
         ];
         params.extend(fp_params);
 
@@ -921,7 +1028,7 @@ impl Transformer {
         });
 
         let clause_expr = |pick: &dyn Fn(&Clause) -> Option<String>| -> Result<Expr, PyErr> {
-            match directive.find_clause(|c| pick(c)) {
+            match directive.find_clause(pick) {
                 Some(text) => parse_clause_expr(&text, line),
                 None => Ok(Expr::None),
             }
@@ -934,7 +1041,10 @@ impl Transformer {
             Clause::NumTasks(e) => Some(e.clone()),
             _ => None,
         })?;
-        let nogroup = directive.clauses.iter().any(|c| matches!(c, Clause::Nogroup));
+        let nogroup = directive
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Nogroup));
 
         Ok(vec![
             Stmt::new(StmtKind::FuncDef(func_def), line),
@@ -965,12 +1075,15 @@ impl Transformer {
         let mut section_bodies: Vec<Vec<Stmt>> = Vec::new();
         for stmt in body {
             match &stmt.kind {
-                StmtKind::With { items, body: section_body } if items.len() == 1 => {
+                StmtKind::With {
+                    items,
+                    body: section_body,
+                } if items.len() == 1 => {
                     let text = omp_directive_text(&items[0].context).ok_or_else(|| {
                         syntax_err("'sections' may only contain 'section' blocks", stmt.line)
                     })?;
-                    let d = Directive::parse(text)
-                        .map_err(|e| syntax_err(e.to_string(), stmt.line))?;
+                    let d =
+                        Directive::parse(text).map_err(|e| syntax_err(e.to_string(), stmt.line))?;
                     if d.kind != DirectiveKind::Section {
                         return Err(syntax_err(
                             "'sections' may only contain 'section' blocks",
@@ -989,7 +1102,10 @@ impl Transformer {
             }
         }
         if section_bodies.is_empty() {
-            return Err(syntax_err("'sections' requires at least one 'section'", line));
+            return Err(syntax_err(
+                "'sections' requires at least one 'section'",
+                line,
+            ));
         }
 
         let nowait = directive.has_nowait();
@@ -1005,7 +1121,11 @@ impl Transformer {
                 ops: vec![CmpOp::Eq],
                 comparators: vec![Expr::Int(i as i64)],
             };
-            dispatch = vec![Stmt::synth(StmtKind::If { test, body: sbody, orelse: dispatch })];
+            dispatch = vec![Stmt::synth(StmtKind::If {
+                test,
+                body: sbody,
+                orelse: dispatch,
+            })];
         }
 
         let mut while_body = vec![
@@ -1023,9 +1143,21 @@ impl Transformer {
         while_body.extend(dispatch);
 
         Ok(vec![
-            assign(&handle, omp_call("sections_begin", vec![Expr::Int(n as i64)])),
-            Stmt::new(StmtKind::While { test: Expr::Bool(true), body: while_body }, line),
-            omp_call_stmt("sections_end", vec![Expr::name(&handle), Expr::Bool(nowait)]),
+            assign(
+                &handle,
+                omp_call("sections_begin", vec![Expr::Int(n as i64)]),
+            ),
+            Stmt::new(
+                StmtKind::While {
+                    test: Expr::Bool(true),
+                    body: while_body,
+                },
+                line,
+            ),
+            omp_call_stmt(
+                "sections_end",
+                vec![Expr::name(&handle), Expr::Bool(nowait)],
+            ),
         ])
     }
 
@@ -1064,7 +1196,7 @@ impl Transformer {
                 "copyprivate_set",
                 vec![
                     Expr::name(&handle),
-                    Expr::List(copyprivate.iter().map(|v| Expr::name(v)).collect()),
+                    Expr::List(copyprivate.iter().map(Expr::name).collect()),
                 ],
             ));
         }
@@ -1078,14 +1210,23 @@ impl Transformer {
         ));
         if !copyprivate.is_empty() {
             let cp = format!("__omp_cp_{}", self.next_id());
-            out.push(assign(&cp, omp_call("copyprivate_get", vec![Expr::name(&handle)])));
+            out.push(assign(
+                &cp,
+                omp_call("copyprivate_get", vec![Expr::name(&handle)]),
+            ));
             for (i, var) in copyprivate.iter().enumerate() {
-                out.push(assign(var, Expr::index(Expr::name(&cp), Expr::Int(i as i64))));
+                out.push(assign(
+                    var,
+                    Expr::index(Expr::name(&cp), Expr::Int(i as i64)),
+                ));
             }
         }
         out.push(omp_call_stmt(
             "single_end",
-            vec![Expr::name(&handle), Expr::Bool(nowait && copyprivate.is_empty())],
+            vec![
+                Expr::name(&handle),
+                Expr::Bool(nowait && copyprivate.is_empty()),
+            ],
         ));
         Ok(out)
     }
@@ -1116,7 +1257,12 @@ fn declared_globals(stmts: &[Stmt]) -> HashSet<String> {
                 }
                 StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk(body, out),
                 StmtKind::With { body, .. } => walk(body, out),
-                StmtKind::Try { body, handlers, orelse, finalbody } => {
+                StmtKind::Try {
+                    body,
+                    handlers,
+                    orelse,
+                    finalbody,
+                } => {
                     walk(body, out);
                     for h in handlers {
                         walk(&h.body, out);

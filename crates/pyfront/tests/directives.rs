@@ -10,7 +10,9 @@ fn both_modes() -> [ExecMode; 2] {
 
 fn run_and_call(mode: ExecMode, src: &str, func: &str, args: Vec<Value>) -> Value {
     let runner = Runner::new(mode);
-    runner.run(src).unwrap_or_else(|e| panic!("{mode:?}: error running program: {e}"));
+    runner
+        .run(src)
+        .unwrap_or_else(|e| panic!("{mode:?}: error running program: {e}"));
     runner
         .call_global(func, args)
         .unwrap_or_else(|e| panic!("{mode:?}: error calling {func}: {e}"))
@@ -71,14 +73,31 @@ def count(cond):
     return n
 "#;
     for mode in both_modes() {
-        assert_eq!(run_and_call(mode, src, "count", vec![Value::Bool(false)]).as_int().unwrap(), 1);
-        assert_eq!(run_and_call(mode, src, "count", vec![Value::Bool(true)]).as_int().unwrap(), 4);
+        assert_eq!(
+            run_and_call(mode, src, "count", vec![Value::Bool(false)])
+                .as_int()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            run_and_call(mode, src, "count", vec![Value::Bool(true)])
+                .as_int()
+                .unwrap(),
+            4
+        );
     }
 }
 
 #[test]
 fn worksharing_for_all_schedules() {
-    for sched in ["", "schedule(static)", "schedule(static, 3)", "schedule(dynamic, 2)", "schedule(guided)", "schedule(auto)"] {
+    for sched in [
+        "",
+        "schedule(static)",
+        "schedule(static, 3)",
+        "schedule(dynamic, 2)",
+        "schedule(guided)",
+        "schedule(auto)",
+    ] {
         let src = format!(
             r#"
 from omp4py import *
@@ -118,7 +137,10 @@ def stepped():
 "#;
     // 1+4+7+10+13+16+19 = 70
     for mode in both_modes() {
-        assert_eq!(run_and_call(mode, src, "stepped", vec![]).as_int().unwrap(), 70);
+        assert_eq!(
+            run_and_call(mode, src, "stepped", vec![]).as_int().unwrap(),
+            70
+        );
     }
 }
 
@@ -238,7 +260,10 @@ def priv2():
 "#;
     for mode in both_modes() {
         // The private copies are discarded; outer y unchanged.
-        assert_eq!(run_and_call(mode, src, "priv2", vec![]).as_int().unwrap(), 5);
+        assert_eq!(
+            run_and_call(mode, src, "priv2", vec![]).as_int().unwrap(),
+            5
+        );
     }
 }
 
@@ -373,7 +398,11 @@ def ordered_out(n):
 "#;
     for mode in both_modes() {
         let v = run_and_call(mode, src, "ordered_out", vec![Value::Int(12)]);
-        assert_eq!(v.repr(), "[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]", "{mode:?}");
+        assert_eq!(
+            v.repr(),
+            "[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]",
+            "{mode:?}"
+        );
     }
 }
 
@@ -634,7 +663,9 @@ def ok():
     return len(total)
 "#;
     assert_eq!(
-        run_and_call(ExecMode::Hybrid, src, "ok", vec![]).as_int().unwrap(),
+        run_and_call(ExecMode::Hybrid, src, "ok", vec![])
+            .as_int()
+            .unwrap(),
         2
     );
 }
@@ -712,7 +743,14 @@ def f(n):
     assert!(out.contains("nonlocal total"), "dump output: {out}");
     // And the function still works.
     let f = interp.get_global("f").unwrap();
-    assert_eq!(interp.call(&f, vec![Value::Int(10)]).unwrap().as_int().unwrap(), 45);
+    assert_eq!(
+        interp
+            .call(&f, vec![Value::Int(10)])
+            .unwrap()
+            .as_int()
+            .unwrap(),
+        45
+    );
 }
 
 #[test]
@@ -788,6 +826,9 @@ fn mode_visible_to_interpreted_code() {
     for (mode, expect) in [(ExecMode::Pure, "Pure"), (ExecMode::Hybrid, "Hybrid")] {
         let runner = Runner::new(mode);
         runner.run("m = __omp.mode()\n").unwrap();
-        assert_eq!(runner.interp().get_global("m").unwrap().as_str().unwrap(), expect);
+        assert_eq!(
+            runner.interp().get_global("m").unwrap().as_str().unwrap(),
+            expect
+        );
     }
 }

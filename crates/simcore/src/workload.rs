@@ -19,7 +19,10 @@ pub struct ClaimCost {
 impl ClaimCost {
     /// A free local claim (static scheduling).
     pub fn local() -> ClaimCost {
-        ClaimCost { seconds: 0.0, serializes: false }
+        ClaimCost {
+            seconds: 0.0,
+            serializes: false,
+        }
     }
 }
 
@@ -119,7 +122,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> CostModel {
-        CostModel { barrier: 2e-6, shared_op: 7e-8, gil: false }
+        CostModel {
+            barrier: 2e-6,
+            shared_op: 7e-8,
+            gil: false,
+        }
     }
 }
 
@@ -230,7 +237,13 @@ pub fn simulate(
                     barrier(&mut now, model);
                 }
             }
-            Phase::Tasks { count, cost_per_task, shared_ops_per_task, spawn_cost, shape } => {
+            Phase::Tasks {
+                count,
+                cost_per_task,
+                shared_ops_per_task,
+                spawn_cost,
+                shape,
+            } => {
                 sim_tasks(
                     machine,
                     model,
@@ -304,7 +317,6 @@ fn barrier(now: &mut [f64], model: &CostModel) {
 
 /// Drive one work-shared loop, replaying the runtime's chunking logic.
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::too_many_arguments)]
 fn sim_loop(
     machine: &mut Machine,
     model: &CostModel,
@@ -323,8 +335,11 @@ fn sim_loop(
     let phase_start = now.iter().copied().fold(f64::INFINITY, f64::min);
     let mut total_shared = 0.0f64;
     // Per-thread chunk generators for static schedules.
-    let mut heap: BinaryHeap<Ev> =
-        now.iter().enumerate().map(|(t, &time)| Ev(time, t)).collect();
+    let mut heap: BinaryHeap<Ev> = now
+        .iter()
+        .enumerate()
+        .map(|(t, &time)| Ev(time, t))
+        .collect();
     let mut static_next: Vec<u64> = (0..threads as u64).collect();
     let mut static_block_done = vec![false; threads];
     let mut counter: u64 = 0; // dynamic/guided shared counter
@@ -420,6 +435,7 @@ fn sim_loop(
 }
 
 /// Drive a task phase.
+#[allow(clippy::too_many_arguments)]
 fn sim_tasks(
     machine: &mut Machine,
     model: &CostModel,
@@ -462,8 +478,11 @@ fn sim_tasks(
     let mut task_shared_total = 0.0f64;
     let mut spawned = ready_times.len() as u64;
     let mut completed = 0u64;
-    let mut heap: BinaryHeap<Ev> =
-        now.iter().enumerate().map(|(t, &time)| Ev(time, t)).collect();
+    let mut heap: BinaryHeap<Ev> = now
+        .iter()
+        .enumerate()
+        .map(|(t, &time)| Ev(time, t))
+        .collect();
     // Completion times of in-flight tasks: the wake-up horizon for idle
     // threads (new children become ready at a parent's completion).
     let mut inflight: Vec<f64> = Vec::new();
@@ -484,8 +503,7 @@ fn sim_tasks(
                 let after_claim = start + spawn_cost.max(1e-9);
                 let shared = shared_ops_per_task * model.shared_op;
                 task_shared_total += shared;
-                let mut done =
-                    charge_compute(machine, model, after_claim, cost_per_task + shared);
+                let mut done = charge_compute(machine, model, after_claim, cost_per_task + shared);
                 completed += 1;
                 // Recursive shape: completing a task spawns up to two more.
                 if shape == TaskShape::BinaryRecursive {
@@ -530,7 +548,9 @@ fn sim_tasks(
         now[t] = now[t].max(time);
     }
     // Serialization floor for shared task-state traffic.
-    machine.shared_objects.acquire(phase_start, task_shared_total);
+    machine
+        .shared_objects
+        .acquire(phase_start, task_shared_total);
     let floor = phase_start + task_shared_total;
     if let Some(last) = now
         .iter_mut()
@@ -558,40 +578,80 @@ mod tests {
 
     fn run(phases: Vec<Phase>, threads: usize) -> f64 {
         let mut machine = Machine::new(32);
-        let model = CostModel { barrier: 0.0, shared_op: 7e-8, gil: false };
+        let model = CostModel {
+            barrier: 0.0,
+            shared_op: 7e-8,
+            gil: false,
+        };
         simulate(&mut machine, &model, &Workload { phases }, threads)
     }
 
     #[test]
     fn embarrassingly_parallel_scales_linearly() {
-        let phases =
-            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let phases = vec![for_phase(
+            1_000,
+            1e-5,
+            SimSchedule::StaticBlock,
+            ClaimCost::local(),
+        )];
         let t1 = run(phases.clone(), 1);
         let t4 = run(phases.clone(), 4);
         let t16 = run(phases, 16);
-        assert!((t1 / t4 - 4.0).abs() < 0.2, "speedup {t1}/{t4} = {}", t1 / t4);
+        assert!(
+            (t1 / t4 - 4.0).abs() < 0.2,
+            "speedup {t1}/{t4} = {}",
+            t1 / t4
+        );
         assert!(t1 / t16 > 12.0, "speedup at 16 = {}", t1 / t16);
     }
 
     #[test]
     fn oversubscription_stops_scaling() {
-        let phases =
-            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let phases = vec![for_phase(
+            1_000,
+            1e-5,
+            SimSchedule::StaticBlock,
+            ClaimCost::local(),
+        )];
         let mut machine = Machine::new(4);
         let model = CostModel::default();
-        let t4 = simulate(&mut machine, &model, &Workload { phases: phases.clone() }, 4);
+        let t4 = simulate(
+            &mut machine,
+            &model,
+            &Workload {
+                phases: phases.clone(),
+            },
+            4,
+        );
         let mut machine = Machine::new(4);
         let t8 = simulate(&mut machine, &model, &Workload { phases }, 8);
-        assert!(t8 >= t4 * 0.95, "8 threads on 4 cores must not beat 4 threads");
+        assert!(
+            t8 >= t4 * 0.95,
+            "8 threads on 4 cores must not beat 4 threads"
+        );
     }
 
     #[test]
     fn gil_prevents_speedup() {
-        let phases =
-            vec![for_phase(1_000, 1e-5, SimSchedule::StaticBlock, ClaimCost::local())];
+        let phases = vec![for_phase(
+            1_000,
+            1e-5,
+            SimSchedule::StaticBlock,
+            ClaimCost::local(),
+        )];
         let mut machine = Machine::new(32);
-        let model = CostModel { gil: true, ..CostModel::default() };
-        let t1 = simulate(&mut machine, &model, &Workload { phases: phases.clone() }, 1);
+        let model = CostModel {
+            gil: true,
+            ..CostModel::default()
+        };
+        let t1 = simulate(
+            &mut machine,
+            &model,
+            &Workload {
+                phases: phases.clone(),
+            },
+            1,
+        );
         let mut machine = Machine::new(32);
         let t8 = simulate(&mut machine, &model, &Workload { phases }, 8);
         assert!(t8 >= t1 * 0.9, "GIL: t8={t8} must be ~>= t1={t1}");
@@ -613,14 +673,23 @@ mod tests {
         let t1 = run(phases.clone(), 1);
         let t16 = run(phases, 16);
         let speedup = t1 / t16;
-        assert!(speedup < 4.0, "shared traffic must cap speedup, got {speedup}");
+        assert!(
+            speedup < 4.0,
+            "shared traffic must cap speedup, got {speedup}"
+        );
         assert!(speedup > 1.2, "some speedup expected, got {speedup}");
     }
 
     #[test]
     fn mutex_claims_cost_more_than_atomic() {
-        let mutex_claim = ClaimCost { seconds: 4e-7, serializes: true };
-        let atomic_claim = ClaimCost { seconds: 4e-8, serializes: true };
+        let mutex_claim = ClaimCost {
+            seconds: 4e-7,
+            serializes: true,
+        };
+        let atomic_claim = ClaimCost {
+            seconds: 4e-8,
+            serializes: true,
+        };
         let mk = |claim| vec![for_phase(100_000, 1e-8, SimSchedule::Dynamic(1), claim)];
         let t_mutex = run(mk(mutex_claim), 8);
         let t_atomic = run(mk(atomic_claim), 8);
@@ -639,7 +708,12 @@ mod tests {
         // phases; this test only checks the engine's schedules both cover
         // the space with sane times.)
         let t_static = run(
-            vec![for_phase(10_000, 1e-7, SimSchedule::StaticBlock, ClaimCost::local())],
+            vec![for_phase(
+                10_000,
+                1e-7,
+                SimSchedule::StaticBlock,
+                ClaimCost::local(),
+            )],
             8,
         );
         let t_dyn = run(
@@ -647,12 +721,18 @@ mod tests {
                 10_000,
                 1e-7,
                 SimSchedule::Dynamic(64),
-                ClaimCost { seconds: 5e-8, serializes: true },
+                ClaimCost {
+                    seconds: 5e-8,
+                    serializes: true,
+                },
             )],
             8,
         );
         let ratio = t_dyn / t_static;
-        assert!(ratio < 1.5 && ratio > 0.5, "balanced loops should be comparable: {ratio}");
+        assert!(
+            ratio < 1.5 && ratio > 0.5,
+            "balanced loops should be comparable: {ratio}"
+        );
     }
 
     #[test]
@@ -665,7 +745,10 @@ mod tests {
 
     #[test]
     fn critical_updates_serialize() {
-        let phases = vec![Phase::CriticalUpdates { per_thread: 100, cost: 1e-6 }];
+        let phases = vec![Phase::CriticalUpdates {
+            per_thread: 100,
+            cost: 1e-6,
+        }];
         let t1 = run(phases.clone(), 1);
         let t8 = run(phases, 8);
         // 8 threads × 100 updates all through one mutex ≈ 8× the work.
@@ -717,7 +800,13 @@ mod tests {
         let t_static = run(mk(SimSchedule::StaticChunk(64), ClaimCost::local()), 8);
         // …while dynamic claims absorb it.
         let t_dynamic = run(
-            mk(SimSchedule::Dynamic(64), ClaimCost { seconds: 5e-8, serializes: true }),
+            mk(
+                SimSchedule::Dynamic(64),
+                ClaimCost {
+                    seconds: 5e-8,
+                    serializes: true,
+                },
+            ),
             8,
         );
         assert!(
@@ -732,7 +821,9 @@ mod tests {
         assert_eq!(segment_weight(42, 0.0), 1.0);
         let mean: f64 = (0..10_000).map(|i| segment_weight(i, 1.0)).sum::<f64>() / 10_000.0;
         assert!((2.0..12.0).contains(&mean), "mean weight {mean}");
-        let max = (0..10_000).map(|i| segment_weight(i, 1.0)).fold(0.0, f64::max);
+        let max = (0..10_000)
+            .map(|i| segment_weight(i, 1.0))
+            .fold(0.0, f64::max);
         assert!(max > mean * 10.0, "max {max} vs mean {mean}");
     }
 
@@ -760,7 +851,15 @@ mod tests {
     fn empty_workload_is_zero() {
         assert_eq!(run(vec![], 8), 0.0);
         assert_eq!(
-            run(vec![for_phase(0, 1.0, SimSchedule::StaticBlock, ClaimCost::local())], 4),
+            run(
+                vec![for_phase(
+                    0,
+                    1.0,
+                    SimSchedule::StaticBlock,
+                    ClaimCost::local()
+                )],
+                4
+            ),
             0.0
         );
     }

@@ -60,14 +60,20 @@ fn fib_tasks_native(n: u64, threads: usize) -> u64 {
 }
 
 fn main() {
-    let n: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(18);
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(18);
     let threads = 4;
 
     println!("fibonacci({n}) with OpenMP tasks, {threads} threads\n");
 
     let start = std::time::Instant::now();
     let native = fib_tasks_native(n as u64, threads);
-    println!("compiled task API : {native:>10}   ({:.2?})", start.elapsed());
+    println!(
+        "compiled task API : {native:>10}   ({:.2?})",
+        start.elapsed()
+    );
 
     let runner = Runner::new(ExecMode::Hybrid);
     runner.run(FIG4).expect("Fig. 4 program loads");
@@ -77,7 +83,10 @@ fn main() {
         .expect("Fig. 4 program runs")
         .as_int()
         .expect("fibonacci returns int");
-    println!("paper Fig. 4 code : {interp:>10}   ({:.2?})", start.elapsed());
+    println!(
+        "paper Fig. 4 code : {interp:>10}   ({:.2?})",
+        start.elapsed()
+    );
 
     assert_eq!(native as i64, interp, "both paths must agree");
 }

@@ -12,19 +12,30 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(192);
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
-    let p = hybrid::Params { n, ..hybrid::Params::default() };
+    let p = hybrid::Params {
+        n,
+        ..hybrid::Params::default()
+    };
 
     println!("hybrid MPI/OpenMP jacobi: {n}x{n} system, {threads} threads/node");
     println!("(interconnect model: ~2 us latency, 100 Gb/s links)\n");
     println!("{:<8} {:>12} {:>16}", "nodes", "time", "solution checksum");
     for nodes in [1usize, 2, 4, 8] {
-        if n % nodes != 0 {
+        if !n.is_multiple_of(nodes) {
             continue;
         }
         match hybrid::run(Mode::CompiledDT, nodes, threads, &p, NetModel::cluster(1)) {
-            Ok(out) => println!("{:<8} {:>9.3} ms {:>16.6}", nodes, out.seconds * 1e3, out.check),
+            Ok(out) => println!(
+                "{:<8} {:>9.3} ms {:>16.6}",
+                nodes,
+                out.seconds * 1e3,
+                out.check
+            ),
             Err(e) => println!("{nodes:<8} failed: {e}"),
         }
     }
-    println!("\nPyOMP comparison: {}", hybrid::run(Mode::PyOmp, 2, threads, &p, NetModel::local()).unwrap_err());
+    println!(
+        "\nPyOMP comparison: {}",
+        hybrid::run(Mode::PyOmp, 2, threads, &p, NetModel::local()).unwrap_err()
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
     let interp_n = (n / 100).max(1_000);
 
     println!("pi benchmark: n={n} (interpreted n={interp_n}), {threads} threads\n");
-    println!("{:<12} {:>12} {:>16} {:>14}", "mode", "intervals", "time", "ns/interval");
+    println!(
+        "{:<12} {:>12} {:>16} {:>14}",
+        "mode", "intervals", "time", "ns/interval"
+    );
     for mode in Mode::all() {
         let params = pi::Params {
             n: if mode.is_interpreted() { interp_n } else { n },

@@ -30,7 +30,10 @@ fn compiled_mode() {
         );
         ctx.master(|| *result.lock().unwrap() = local * w);
     });
-    println!("pi ~ {:.12}  (4 threads, static schedule)", result.into_inner().unwrap());
+    println!(
+        "pi ~ {:.12}  (4 threads, static schedule)",
+        result.into_inner().unwrap()
+    );
 }
 
 fn interpreted_mode() -> Result<(), minipy::PyErr> {

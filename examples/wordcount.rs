@@ -18,7 +18,11 @@ fn main() {
     println!("-- modes (dynamic schedule, chunk 300) --");
     for mode in Mode::all() {
         let p = wordcount::Params {
-            lines: if mode.is_interpreted() { lines / 10 } else { lines },
+            lines: if mode.is_interpreted() {
+                lines / 10
+            } else {
+                lines
+            },
             ..wordcount::Params::default()
         };
         match wordcount::run(mode, threads, &p) {
@@ -34,7 +38,11 @@ fn main() {
 
     // Fig. 7's schedule sweep (native mode for speed).
     println!("\n-- schedules (CompiledDT, chunk 300: the paper's Fig. 7 axis) --");
-    for schedule in [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided] {
+    for schedule in [
+        ScheduleKind::Static,
+        ScheduleKind::Dynamic,
+        ScheduleKind::Guided,
+    ] {
         let p = wordcount::Params {
             lines,
             schedule,

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must pass, in the order it usually fails.
+#
+#   ./scripts/ci.sh            # full gate
+#   SKIP_SLOW=1 ./scripts/ci.sh  # skip the release build (debug test run only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+if [[ -z "${SKIP_SLOW:-}" ]]; then
+    run cargo build --release
+fi
+run cargo test -q
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "CI green."

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io mirror, so the workspace vendors the
+//! API subset its benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a plain wall-clock mean over a fixed duration —
+//! no statistics, HTML reports, or outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `b.iter(|| black_box(...))` patterns keep working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group against an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let c = &*self.criterion;
+        let mut bencher = Bencher::new(c.sample_size, c.warm_up_time, c.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let c = &*self.criterion;
+        let mut bencher = Bencher::new(c.sample_size, c.warm_up_time, c.measurement_time);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finish the group (reporting already happened per-bench).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measures closures; handed to each benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Bencher {
+        Bencher {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            result: None,
+        }
+    }
+
+    /// Measure a closure's mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Size each sample so all samples fit the measurement budget.
+        let budget_per_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += iters_per_sample;
+        }
+        self.result = Some((total_iters, total_time));
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup` (setup time
+    /// excluded).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let samples = (self.sample_size as u64 * 100).max(1);
+        let mut total_time = Duration::ZERO;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_time += start.elapsed();
+        }
+        self.result = Some((samples, total_time));
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((iters, time)) if iters > 0 => {
+                let ns = time.as_nanos() as f64 / iters as f64;
+                println!("{name:<60} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("{name:<60} (no measurement)"),
+        }
+    }
+}
+
+/// Define a benchmark group: both the `name =/config =/targets =` form and
+/// the positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group (ignores criterion CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for the `parking_lot` crate, implemented over `std::sync`.
+//!
+//! The build container has no access to a crates.io mirror, so the workspace
+//! vendors the small API subset it actually uses: [`Mutex`], [`RwLock`],
+//! [`Condvar`], and the const-initializable [`RawMutex`]. Semantics follow
+//! parking_lot, not std: **no poisoning** — a panic while holding a lock
+//! leaves the data accessible to other threads.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, PoisonError, RwLock as StdRwLock};
+use std::time::{Duration, Instant};
+
+pub mod lock_api {
+    /// The subset of `lock_api::RawMutex` the workspace relies on: a
+    /// const-initializable mutex with free `lock`/`unlock` (no guard).
+    pub trait RawMutex {
+        /// A fresh, unlocked mutex.
+        const INIT: Self;
+        /// Block until the lock is acquired.
+        fn lock(&self);
+        /// Acquire the lock if it is free; never blocks.
+        fn try_lock(&self) -> bool;
+        /// Release the lock.
+        ///
+        /// # Safety
+        ///
+        /// Must only be called by the context that holds the lock.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// Const-initializable blocking mutex without a guard (parking_lot's
+/// `RawMutex`). Built on a `std` mutex + condvar so waiters sleep.
+pub struct RawMutex {
+    locked: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        locked: StdMutex::new(false),
+        cv: StdCondvar::new(),
+    };
+
+    fn lock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(PoisonError::into_inner);
+        while *locked {
+            locked = self.cv.wait(locked).unwrap_or_else(PoisonError::into_inner);
+        }
+        *locked = true;
+    }
+
+    fn try_lock(&self) -> bool {
+        let mut locked = self.locked.lock().unwrap_or_else(PoisonError::into_inner);
+        if *locked {
+            false
+        } else {
+            *locked = true;
+            true
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(PoisonError::into_inner);
+        *locked = false;
+        drop(locked);
+        self.cv.notify_one();
+    }
+}
+
+/// A mutual-exclusion lock with parking_lot's panic-transparent semantics.
+pub struct Mutex<T: ?Sized> {
+    raw: RawMutex,
+    data: UnsafeCell<T>,
+}
+
+// Safety: standard mutex reasoning — exclusive access is enforced by `raw`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            raw: <RawMutex as lock_api::RawMutex>::INIT,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is held, returning a RAII guard.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        lock_api::RawMutex::lock(&self.raw);
+        MutexGuard { mutex: self }
+    }
+
+    /// Acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if lock_api::RawMutex::try_lock(&self.raw) {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Access the data through an exclusive reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the raw lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the raw lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Safety: this guard acquired the lock and is releasing it exactly once.
+        unsafe { lock_api::RawMutex::unlock(&self.mutex.raw) };
+    }
+}
+
+/// Result of a timed condvar wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with this crate's [`Mutex`].
+///
+/// Wakeup tracking is epoch-based: `notify_all` bumps an epoch under an
+/// internal lock, and waiters record the epoch *before* releasing the user
+/// mutex, so a notify performed while holding the user mutex can never be
+/// missed.
+pub struct Condvar {
+    epoch: StdMutex<u64>,
+    cv: StdCondvar,
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            epoch: StdMutex::new(0),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Wake all current waiters.
+    pub fn notify_all(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        *epoch += 1;
+        drop(epoch);
+        self.cv.notify_all();
+    }
+
+    /// Wake one waiter. Conservatively wakes all: epoch-based tracking
+    /// cannot target a single waiter, and callers only rely on "at least
+    /// one wakes".
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+
+    /// Block until notified.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_until(guard, None);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.wait_until(guard, Some(Instant::now() + timeout))
+    }
+
+    fn wait_until<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Option<Instant>,
+    ) -> WaitTimeoutResult {
+        // Record the epoch before releasing the user mutex: any notify that
+        // happens afterwards is observed by the `*epoch == target` check.
+        let target = *self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        // Safety: `guard` proves this context holds the lock; it is
+        // re-acquired below before the guard is used again.
+        unsafe { lock_api::RawMutex::unlock(&guard.mutex.raw) };
+        let mut timed_out = false;
+        let mut epoch = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        while *epoch == target {
+            match deadline {
+                None => {
+                    epoch = self.cv.wait(epoch).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        timed_out = true;
+                        break;
+                    }
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(epoch, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    epoch = g;
+                }
+            }
+        }
+        drop(epoch);
+        lock_api::RawMutex::lock(&guard.mutex.raw);
+        WaitTimeoutResult(timed_out)
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-transparent semantics.
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new unlocked rwlock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Access the data through an exclusive reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("data", &&*self.read())
+            .finish()
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let raw = RawMutex::INIT;
+        raw.lock();
+        assert!(!raw.try_lock());
+        unsafe { raw.unlock() };
+        assert!(raw.try_lock());
+        unsafe { raw.unlock() };
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut guard = m.lock();
+            while !*guard {
+                cv.wait_for(&mut guard, Duration::from_millis(50));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

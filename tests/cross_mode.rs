@@ -36,7 +36,12 @@ fn fft_all_modes_agree() {
 
 #[test]
 fn jacobi_all_modes_agree() {
-    let p = jacobi::Params { n: 16, max_iters: 300, tol: 1e-8, seed: 2 };
+    let p = jacobi::Params {
+        n: 16,
+        max_iters: 300,
+        tol: 1e-8,
+        seed: 2,
+    };
     let outs: Vec<(Mode, f64)> = Mode::all()
         .into_iter()
         .map(|m| (m, jacobi::run(m, 2, &p).unwrap().check))
@@ -56,7 +61,11 @@ fn lu_all_modes_agree() {
 
 #[test]
 fn md_all_modes_agree() {
-    let p = md::Params { n: 12, steps: 1, seed: 4 };
+    let p = md::Params {
+        n: 12,
+        steps: 1,
+        seed: 4,
+    };
     let outs: Vec<(Mode, f64)> = Mode::all()
         .into_iter()
         .map(|m| (m, md::run(m, 2, &p).unwrap().check))
@@ -66,7 +75,11 @@ fn md_all_modes_agree() {
 
 #[test]
 fn qsort_modes_agree_and_pyomp_cannot() {
-    let p = qsort::Params { n: 400, cutoff: 64, seed: 5 };
+    let p = qsort::Params {
+        n: 400,
+        cutoff: 64,
+        seed: 5,
+    };
     let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
         .into_iter()
         .map(|m| (m, qsort::run(m, 2, &p).unwrap().check))
@@ -77,7 +90,11 @@ fn qsort_modes_agree_and_pyomp_cannot() {
 
 #[test]
 fn bfs_modes_agree_and_pyomp_cannot() {
-    let p = bfs::Params { side: 13, wall_probability: 0.3, seed: 6 };
+    let p = bfs::Params {
+        side: 13,
+        wall_probability: 0.3,
+        seed: 6,
+    };
     let outs: Vec<(Mode, f64)> = Mode::omp4py_modes()
         .into_iter()
         .map(|m| (m, bfs::run(m, 2, &p).unwrap().check))
@@ -129,10 +146,17 @@ fn thread_counts_do_not_change_results() {
         let v = pi::run(Mode::CompiledDT, threads, &p).unwrap().check;
         assert!((v - reference).abs() < 1e-12, "threads={threads}");
     }
-    let qp = qsort::Params { n: 2_000, cutoff: 100, seed: 9 };
+    let qp = qsort::Params {
+        n: 2_000,
+        cutoff: 100,
+        seed: 9,
+    };
     let reference = qsort::run(Mode::CompiledDT, 1, &qp).unwrap().check;
     for threads in [2, 4] {
-        assert_eq!(qsort::run(Mode::CompiledDT, threads, &qp).unwrap().check, reference);
+        assert_eq!(
+            qsort::run(Mode::CompiledDT, threads, &qp).unwrap().check,
+            reference
+        );
     }
 }
 
@@ -152,4 +176,145 @@ fn table1_features_are_exposed() {
     }
     assert!(jacobi::FEATURES.contains("explicit barrier"));
     assert!(qsort::FEATURES.contains("task with if clause"));
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance across modes: a panicking teammate or a cancelled loop
+// must leave the region promptly in every execution mode and both backends.
+// ---------------------------------------------------------------------------
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::{Backend, Icvs, ScheduleKind};
+
+const BACKENDS: [Backend; 2] = [Backend::Mutex, Backend::Atomic];
+
+/// Generous bound: only a real deadlock would reach this.
+const HANG_LIMIT: Duration = Duration::from_secs(30);
+
+/// Run `f` with the cancel-var ICV enabled, serialized against the other
+/// ICV-flipping tests in this binary.
+fn with_cancellation(f: impl FnOnce()) {
+    static ICV_LOCK: Mutex<()> = Mutex::new(());
+    let _lock = ICV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let before = Icvs::current();
+    Icvs::update(|icvs| icvs.cancellation = true);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    Icvs::reset(before);
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
+
+#[test]
+fn panic_in_one_team_thread_reraises_after_join() {
+    for backend in BACKENDS {
+        let cfg = ParallelConfig::new().num_threads(4).backend(backend);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_region(&cfg, |ctx| {
+                if ctx.thread_num() == 2 {
+                    panic!("thread 2 exploded");
+                }
+                // The teammates run straight to the implicit end barrier;
+                // the poisoned team must wake them rather than strand them.
+            });
+        }));
+        let payload = result.expect_err("the panic must re-raise after the join");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "thread 2 exploded", "{backend:?}");
+        assert!(
+            start.elapsed() < HANG_LIMIT,
+            "{backend:?}: teammates deadlocked"
+        );
+    }
+}
+
+#[test]
+fn panic_in_a_task_reraises_after_join() {
+    for backend in BACKENDS {
+        let cfg = ParallelConfig::new().num_threads(2).backend(backend);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_region(&cfg, |ctx| {
+                ctx.single(|| {
+                    ctx.task(|_| panic!("task exploded"));
+                });
+            });
+        }));
+        let payload = result.expect_err("the task panic must re-raise after the join");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task exploded", "{backend:?}");
+        assert!(start.elapsed() < HANG_LIMIT, "{backend:?}: region hung");
+    }
+}
+
+/// The interpreted half of the four-mode cancellation check: the same
+/// `cancel(for)` semantics through the omp() directive strings.
+const CANCEL_SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def count_until_cancel(n):
+    executed = 0
+    with omp("parallel num_threads(2)"):
+        with omp("for schedule(dynamic, 1) reduction(+:executed)"):
+            for i in range(n):
+                executed += 1
+                if executed >= 10:
+                    omp("cancel(for)")
+                omp("cancellation point(for)")
+    return executed
+"#;
+
+#[test]
+fn cancel_for_stops_chunk_claims_in_all_four_modes() {
+    with_cancellation(|| {
+        // Compiled / CompiledDT: native closures, one per backend.
+        for backend in BACKENDS {
+            let executed = AtomicUsize::new(0);
+            let cfg = ParallelConfig::new().num_threads(2).backend(backend);
+            parallel_region(&cfg, |ctx| {
+                ctx.for_each(
+                    ForSpec::new().schedule(ScheduleKind::Dynamic, Some(1)),
+                    0..100_000,
+                    |_| {
+                        if executed.fetch_add(1, Ordering::SeqCst) + 1 >= 10 {
+                            assert!(ctx.cancel("for"));
+                        }
+                    },
+                );
+            });
+            let n = executed.load(Ordering::SeqCst);
+            assert!(
+                n >= 10,
+                "{backend:?}: cancel fired before 10 iterations ({n})"
+            );
+            assert!(
+                n < 1_000,
+                "{backend:?}: cancel did not stop the claims ({n})"
+            );
+        }
+        // Pure / Hybrid: each thread stops claiming chunks once one of them
+        // has counted 10 iterations into its private reduction copy.
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            let total = 10_000i64;
+            let runner = modes::interpreted_runner(mode, CANCEL_SOURCE);
+            let executed = runner
+                .call_global("count_until_cancel", vec![Value::Int(total)])
+                .expect("cancel source runs")
+                .as_int()
+                .expect("count_until_cancel returns int");
+            assert!(executed >= 10, "{mode}: cancel fired early ({executed})");
+            assert!(
+                executed < total,
+                "{mode}: cancel(for) did not stop the loop ({executed})"
+            );
+        }
+    });
 }

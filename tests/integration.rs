@@ -55,7 +55,10 @@ def total(n):
         .unwrap();
     let v = runner.call_global("total", vec![Value::Int(500)]).unwrap();
     assert_eq!(v.as_int().unwrap(), 124_750);
-    assert!(runner.interp().gil().switch_count() > 0, "the GIL must have been exercised");
+    assert!(
+        runner.interp().gil().switch_count() > 0,
+        "the GIL must have been exercised"
+    );
 }
 
 #[test]
@@ -139,5 +142,8 @@ fn simulator_reproduces_measured_single_thread_time_shape() {
     let mut machine = Machine::new(32);
     let predicted = simulate(&mut machine, &CostModel::default(), &workload, 1);
     let ratio = predicted / measured;
-    assert!((0.9..1.1).contains(&ratio), "1-thread prediction off: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "1-thread prediction off: {ratio}"
+    );
 }

@@ -67,7 +67,10 @@ fn bfs_source_spawns_task_per_move() {
     assert!(dumped.contains("task_submit"), "{dumped}");
     assert!(dumped.contains("critical_enter"), "{dumped}");
     // firstprivate(nr, nc) becomes default parameters (creation-time capture).
-    assert!(dumped.contains("nr=nr") || dumped.contains("nc=nc"), "{dumped}");
+    assert!(
+        dumped.contains("nr=nr") || dumped.contains("nc=nc"),
+        "{dumped}"
+    );
 }
 
 #[test]
@@ -82,8 +85,14 @@ fn transformed_functions_have_no_remaining_directives() {
         omp4rs_apps::fft::SOURCE,
     ] {
         let dumped = dump_transformed(src);
-        assert!(!dumped.contains("with omp("), "directive survived transform:\n{dumped}");
-        assert!(!dumped.contains("@omp"), "decorator survived transform:\n{dumped}");
+        assert!(
+            !dumped.contains("with omp("),
+            "directive survived transform:\n{dumped}"
+        );
+        assert!(
+            !dumped.contains("@omp"),
+            "decorator survived transform:\n{dumped}"
+        );
     }
 }
 
