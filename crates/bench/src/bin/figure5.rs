@@ -1,7 +1,7 @@
 //! Regenerate Fig. 5: scalability of the seven numerical applications under
 //! Pure / Hybrid / Compiled / CompiledDT / PyOMP.
 //!
-//! Usage: `figure5 [--summary] [--scale <f64>]`
+//! Usage: `figure5 [--summary] [--scale <f64>] [--profile]`
 //!
 //! Methodology (see EXPERIMENTS.md): per-mode single-thread costs are
 //! MEASURED on this host; the 1–32-thread curves are SIMULATED by replaying
@@ -12,7 +12,8 @@ use omp4rs_apps::Mode;
 use omp4rs_bench::{measure_primitives, sim_sweep, AppKind, SWEEP_THREADS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = omp4rs_bench::profile::begin(&mut args, "figure5");
     let summary = args.iter().any(|a| a == "--summary");
     let scale = args
         .iter()
@@ -150,4 +151,5 @@ fn main() {
         );
         println!("  (paper reference: Pure max 3.6x; Compiled up to 10.6x; CompiledDT avg 10.1x, max 16.2x; PyOMP avg 9.9x)");
     }
+    profile.finish();
 }

@@ -1,13 +1,14 @@
 //! Regenerate Fig. 6: scalability of *clustering coefficient* and
 //! *wordcount* under the four OMP4Py modes (PyOMP cannot run either).
 //!
-//! Usage: `figure6 [--scale <f64>]`
+//! Usage: `figure6 [--scale <f64>] [--profile]`
 
 use omp4rs_apps::Mode;
 use omp4rs_bench::{measure_primitives, sim_sweep, AppKind, SWEEP_THREADS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = omp4rs_bench::profile::begin(&mut args, "figure6");
     let scale = args
         .iter()
         .position(|a| a == "--scale")
@@ -60,4 +61,5 @@ fn main() {
     }
     println!("(paper: both applications scale in all modes — clustering ~5x, wordcount ~10x at 32 threads —");
     println!(" with compiled modes only slightly ahead, since the work is library/str/dict-bound)");
+    profile.finish();
 }

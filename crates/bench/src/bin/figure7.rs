@@ -3,14 +3,15 @@
 //! Pure 1-thread static baseline — plus the chunk-size variations (150,
 //! 600) the paper discusses in the text.
 //!
-//! Usage: `figure7 [--scale <f64>] [--chunk <u64>]`
+//! Usage: `figure7 [--scale <f64>] [--chunk <u64>] [--profile]`
 
 use omp4rs::ScheduleKind;
 use omp4rs_apps::Mode;
 use omp4rs_bench::{measure_primitives, sim_sweep, AppKind, SWEEP_THREADS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = omp4rs_bench::profile::begin(&mut args, "figure7");
     let scale = args
         .iter()
         .position(|a| a == "--scale")
@@ -83,4 +84,5 @@ fn main() {
     }
     println!("(paper: dynamic performs best — especially for wordcount's imbalance —");
     println!(" and guided lags, most visibly in Pure mode; rerun with --chunk 150/600 for the text's variations)");
+    profile.finish();
 }

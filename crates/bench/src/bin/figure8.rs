@@ -6,7 +6,7 @@
 //! per-row cost with the communication model, since one host cannot supply
 //! 16 physical nodes.
 //!
-//! Usage: `figure8 [--n <dim>] [--threads <t>]`
+//! Usage: `figure8 [--n <dim>] [--threads <t>] [--profile]`
 
 use minimpi::NetModel;
 use omp4rs_apps::{hybrid, Mode};
@@ -15,7 +15,8 @@ use omp4rs_bench::measure_primitives;
 const NODES: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = omp4rs_bench::profile::begin(&mut args, "figure8");
     let n = args
         .iter()
         .position(|a| a == "--n")
@@ -125,4 +126,5 @@ fn main() {
         );
     }
     println!("\n(paper: CompiledDT speedups over one node of 1.6x/3x/5.2x/8.6x at 2/4/8/16 nodes)");
+    profile.finish();
 }

@@ -42,6 +42,9 @@ fn run_once(gil_mode: GilMode, threads: i64) -> (f64, u64, i64) {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = omp4rs_bench::profile::begin(&mut args, "gil_ablation");
+    let _ = args;
     println!("GIL ABLATION — why the paper needs free-threaded Python\n");
     println!("-- measured (interpreted sum of squares, n = 40000) --");
     println!(
@@ -87,4 +90,5 @@ fn main() {
     }
     println!("\n(the GIL-enabled sweep is flat — the paper's motivation for building on");
     println!(" Python 3.13+ free-threading; the free-threaded curve is Fig. 5's Pure curve)");
+    profile.finish();
 }

@@ -10,19 +10,25 @@
 //! * `threads` — team size
 //! * `scale` — optional problem-size multiplier (default 1.0; the artifact's
 //!   "additional arguments to modify the problem size")
+//! * `--profile` — emit `trace_main.json` plus a per-region profiler summary
+//!   (see [`omp4rs_bench::profile`])
 
 use omp4rs_apps::Mode;
 use omp4rs_bench::figures::{measure, mode_scale, AppKind};
 
 fn usage() -> ! {
-    eprintln!("usage: main <mode> <test> <threads> [scale]");
+    eprintln!("usage: main <mode> <test> <threads> [scale] [--profile]");
     eprintln!("  mode: 0=Pure 1=Hybrid 2=Compiled 3=CompiledDT -1=PyOMP");
     eprintln!("  test: fft jacobi lud maze md pi qsort wordcount graphic");
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // OMP4RS_FAULTS arms deterministic fault injection for the whole run
+    // (the guard must stay alive); see docs/ENVIRONMENT.md.
+    let _faults = omp4rs::faults::arm_from_env();
+    let profile = omp4rs_bench::profile::begin(&mut args, "main");
     if args.len() < 3 {
         usage();
     }
@@ -57,6 +63,7 @@ fn main() {
             std::process::exit(1);
         }
     }
+    profile.finish();
 }
 
 fn run_at(app: AppKind, mode: Mode, threads: usize, scale: f64) -> Result<(f64, f64), String> {

@@ -28,6 +28,7 @@
 
 pub mod calibrate;
 pub mod figures;
+pub mod profile;
 
 pub use calibrate::{measure_primitives, PrimitiveCosts};
 pub use figures::{sim_sweep, workload_for, AppKind, MeasuredCost, SWEEP_THREADS};

@@ -1,0 +1,94 @@
+//! `--profile` support for the figure binaries.
+//!
+//! Every binary in this crate accepts a `--profile` flag (equivalent to
+//! setting `OMP_TOOL=summary,trace:trace_<label>.json`): the run executes
+//! with the [`omp4rs::ompt`] profiler armed, and on exit writes a
+//! Chrome-trace JSON file next to the figure output plus a per-region
+//! summary on stderr. Load the trace in `chrome://tracing` / Perfetto to see
+//! barriers, chunks, and tasks per team thread.
+//!
+//! ```text
+//! figure5 --profile            # emits trace_figure5.json + summary
+//! OMP_TOOL=trace:my.json main 0 pi 4   # same, via the environment
+//! ```
+//!
+//! Usage from a binary's `main`:
+//!
+//! ```no_run
+//! let mut args: Vec<String> = std::env::args().skip(1).collect();
+//! let profile = omp4rs_bench::profile::begin(&mut args, "figure5");
+//! // ... run the figure ...
+//! profile.finish();
+//! ```
+
+/// Handle returned by [`begin`]; call [`Profile::finish`] after the run.
+#[must_use = "call finish() after the run to emit the trace and summary"]
+pub struct Profile {
+    label: &'static str,
+    /// Whether `begin` armed (or found armed) the profiler.
+    active: bool,
+}
+
+/// Strip `--profile` from `args` and arm the profiler if it was present (or
+/// if `OMP_TOOL` already enabled it). Also arms the interpreter-side GIL and
+/// object-lock counters so Pure-mode runs show their contention.
+pub fn begin(args: &mut Vec<String>, label: &'static str) -> Profile {
+    let flagged = {
+        let before = args.len();
+        args.retain(|a| a != "--profile");
+        args.len() != before
+    };
+    omp4rs::ompt::ensure_env_init();
+    if flagged && !omp4rs::ompt::enabled() {
+        omp4rs::ompt::enable(omp4rs::ompt::ToolConfig {
+            trace_path: Some(format!("trace_{label}.json")),
+            summary: true,
+        });
+    }
+    let active = omp4rs::ompt::enabled();
+    if active {
+        minipy::stats::set_enabled(true);
+        minipy::stats::reset();
+        omp4rs::ompt::reset();
+    }
+    Profile { label, active }
+}
+
+impl Profile {
+    /// Whether this run is being profiled.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Publish interpreter counters, emit the configured outputs, and
+    /// self-check the written trace. Does nothing on unprofiled runs.
+    pub fn finish(self) {
+        if !self.active {
+            return;
+        }
+        let stats = minipy::stats::snapshot();
+        omp4rs::ompt::set_counter("minipy.gil.acquisitions", stats.gil_acquisitions);
+        omp4rs::ompt::set_counter("minipy.gil.hold_ns", stats.gil_hold_ns);
+        omp4rs::ompt::set_counter("minipy.obj_lock.acquisitions", stats.obj_lock_acquisitions);
+        omp4rs::ompt::set_counter("minipy.obj_lock.contended", stats.obj_lock_contended);
+        match omp4rs::ompt::finalize() {
+            Ok(Some(path)) => {
+                match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| omp4rs::ompt::validate_chrome_trace(&text))
+                {
+                    Ok(ts) => eprintln!(
+                        "[{}] wrote {path}: {} trace events, {} counters",
+                        self.label, ts.events, ts.counters
+                    ),
+                    Err(e) => eprintln!(
+                        "[{}] wrote {path}, but it failed validation: {e}",
+                        self.label
+                    ),
+                }
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("[{}] could not write trace: {e}", self.label),
+        }
+    }
+}

@@ -268,6 +268,7 @@ pub fn parallel_region<'env, F>(cfg: &ParallelConfig, body: F)
 where
     F: Fn(&WorkerCtx<'env>) + Sync,
 {
+    crate::ompt::ensure_env_init();
     let icvs = Icvs::current();
     let level = context::level();
     let active = context::active_level();
@@ -328,6 +329,12 @@ fn run_worker<'env, F>(
     F: Fn(&WorkerCtx<'env>) + Sync,
 {
     let _guard = context::enter_team(Arc::clone(&team), thread_num, positions);
+    crate::ompt::record(
+        team.region(),
+        crate::ompt::EventKind::ParallelBegin {
+            team_size: team.size() as u32,
+        },
+    );
     let ctx = WorkerCtx {
         team: Arc::clone(&team),
         _scope: PhantomData,
@@ -355,6 +362,10 @@ fn run_worker<'env, F>(
             *slot = Some(p);
         }
     }
+    crate::ompt::record(team.region(), crate::ompt::EventKind::ParallelEnd);
+    // Deterministic flush: scoped threads signal the scope before their TLS
+    // destructors run, so the drop-flush alone races with `ompt::events()`.
+    crate::ompt::flush_thread();
 }
 
 /// Handle to the enclosing parallel region, passed to the region body.
@@ -392,7 +403,7 @@ impl<'scope> WorkerCtx<'scope> {
 
     /// Explicit barrier (also a task scheduling point).
     pub fn barrier(&self) {
-        self.team.barrier();
+        self.team.barrier_explicit();
     }
 
     /// `cancel(construct)`: request cancellation of the named enclosing

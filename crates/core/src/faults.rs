@@ -123,6 +123,67 @@ impl FaultPlan {
         self.delays.push((site, occurrence.max(1), base));
         self
     }
+
+    /// Parse the `OMP4RS_FAULTS` grammar: a comma-separated list of
+    /// `seed:<n>`, `panic:<site>@<occurrence>`, and
+    /// `delay:<site>@<occurrence>:<millis>` items, where `<site>` is
+    /// `barrier-arrival`, `task-execute`, or `chunk-claim` (short forms
+    /// `barrier`, `task`, `chunk` also accepted).
+    ///
+    /// Returns `None` for malformed text or a plan that injects nothing —
+    /// matching the env-var convention of [`crate::ompt::ToolConfig::parse`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omp4rs::faults::FaultPlan;
+    /// let plan = FaultPlan::parse("seed:7,panic:barrier@3,delay:chunk@2:50").unwrap();
+    /// assert_eq!(plan.seed(), 7);
+    /// assert!(FaultPlan::parse("panic:bogus@1").is_none());
+    /// ```
+    pub fn parse(text: &str) -> Option<FaultPlan> {
+        fn site(name: &str) -> Option<FaultSite> {
+            match name {
+                "barrier-arrival" | "barrier" => Some(FaultSite::BarrierArrival),
+                "task-execute" | "task" => Some(FaultSite::TaskExecute),
+                "chunk-claim" | "chunk" => Some(FaultSite::ChunkClaim),
+                _ => None,
+            }
+        }
+        fn site_at(spec: &str) -> Option<(FaultSite, u64)> {
+            let (name, occ) = spec.split_once('@')?;
+            Some((site(name.trim())?, occ.trim().parse().ok()?))
+        }
+        let mut plan = FaultPlan::new(0);
+        for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(rest) = item.strip_prefix("seed:") {
+                plan.seed = rest.trim().parse().ok()?;
+            } else if let Some(rest) = item.strip_prefix("panic:") {
+                let (s, occ) = site_at(rest)?;
+                plan = plan.panic_at(s, occ);
+            } else if let Some(rest) = item.strip_prefix("delay:") {
+                let (spec, ms) = rest.rsplit_once(':')?;
+                let (s, occ) = site_at(spec)?;
+                plan = plan.delay_at(s, occ, Duration::from_millis(ms.trim().parse().ok()?));
+            } else {
+                return None;
+            }
+        }
+        if plan.panics.is_empty() && plan.delays.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
+    }
+}
+
+/// Arm the plan described by the `OMP4RS_FAULTS` environment variable, if
+/// set and well-formed. The caller must hold the returned guard for the
+/// faults to stay armed (binaries keep it alive in `main`); see
+/// docs/ENVIRONMENT.md for the grammar.
+pub fn arm_from_env() -> Option<PlanGuard> {
+    let text = std::env::var("OMP4RS_FAULTS").ok()?;
+    FaultPlan::parse(&text).map(arm)
 }
 
 /// Fast inert check: a single relaxed load on the disarmed path.
@@ -263,6 +324,22 @@ mod tests {
         }
         assert!(!is_armed());
         on_event(FaultSite::ChunkClaim); // must not panic
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse("seed:42, panic:task-execute@2, delay:barrier@1:10").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.panics, vec![(FaultSite::TaskExecute, 2)]);
+        assert_eq!(
+            plan.delays,
+            vec![(FaultSite::BarrierArrival, 1, Duration::from_millis(10))]
+        );
+        // Malformed or inert specs are rejected.
+        assert!(FaultPlan::parse("").is_none());
+        assert!(FaultPlan::parse("seed:42").is_none());
+        assert!(FaultPlan::parse("panic:nope@1").is_none());
+        assert!(FaultPlan::parse("delay:barrier@1").is_none());
     }
 
     #[test]

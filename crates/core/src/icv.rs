@@ -33,6 +33,10 @@ pub struct Icvs {
     /// (`OMP_CANCELLATION`). Poisoning after a panic ignores this — it is a
     /// runtime-integrity mechanism, not user-requested cancellation.
     pub cancellation: bool,
+    /// `tool-var`: the [`crate::ompt`] observability configuration
+    /// (`OMP_TOOL`). `None` — the default — means the profiler stays a
+    /// no-op; see [`crate::ompt::ToolConfig::parse`] for the syntax.
+    pub tool: Option<crate::ompt::ToolConfig>,
 }
 
 impl Default for Icvs {
@@ -46,6 +50,7 @@ impl Default for Icvs {
             run_schedule: (ScheduleKind::Static, None),
             def_schedule: (ScheduleKind::Static, None),
             cancellation: false,
+            tool: None,
         }
     }
 }
@@ -92,6 +97,9 @@ impl Icvs {
         }
         if let Some(b) = env_bool("OMP_CANCELLATION") {
             icvs.cancellation = b;
+        }
+        if let Ok(text) = std::env::var("OMP_TOOL") {
+            icvs.tool = crate::ompt::ToolConfig::parse(&text);
         }
         icvs
     }

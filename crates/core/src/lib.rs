@@ -53,10 +53,7 @@
 //! assert!((pi - std::f64::consts::PI).abs() < 1e-6);
 //! ```
 
-// Public API items carry doc comments; enum struct-variant fields are
-// documented at the variant level.
 #![warn(missing_docs)]
-#![allow(missing_docs)]
 
 pub mod api;
 pub mod context;
@@ -66,6 +63,7 @@ pub mod exec;
 pub mod faults;
 pub mod icv;
 pub mod locks;
+pub mod ompt;
 pub mod reduction;
 pub mod schedule;
 pub mod sync;

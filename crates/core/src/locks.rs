@@ -50,8 +50,20 @@ impl OmpLock {
     }
 
     /// `omp_set_lock`: blocks until the lock is acquired.
+    ///
+    /// When the [`crate::ompt`] profiler is enabled, records a
+    /// [`crate::ompt::EventKind::LockAcquire`] flagging whether the
+    /// acquisition had to wait for another holder.
     pub fn set(&self) {
-        self.raw.lock();
+        if !crate::ompt::enabled() {
+            self.raw.lock();
+            return;
+        }
+        let contended = !self.raw.try_lock();
+        if contended {
+            self.raw.lock();
+        }
+        crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended });
     }
 
     /// `omp_unset_lock`.
@@ -185,7 +197,21 @@ pub fn critical_mutex(name: Option<&str>) -> Arc<Mutex<()>> {
 /// ```
 pub fn critical<R>(name: Option<&str>, f: impl FnOnce() -> R) -> R {
     let mutex = critical_mutex(name);
-    let _guard = mutex.lock();
+    let _guard = if crate::ompt::enabled() {
+        match mutex.try_lock() {
+            Some(guard) => {
+                crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended: false });
+                guard
+            }
+            None => {
+                let guard = mutex.lock();
+                crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended: true });
+                guard
+            }
+        }
+    } else {
+        mutex.lock()
+    };
     f()
 }
 

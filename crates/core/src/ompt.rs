@@ -1,0 +1,1332 @@
+//! OMPT-inspired observability: event tracing, per-region metrics, and
+//! Chrome-trace export.
+//!
+//! Real OpenMP runtimes expose their internals to performance tools through
+//! the OMPT interface (OpenMP 5.x, tools chapter). This module reproduces the
+//! part of that design the paper's evaluation needs: *where do threads spend
+//! their time inside the runtime?* The paper attributes Pure/Hybrid-mode
+//! scaling losses to synchronization and shared-object contention inside the
+//! free-threaded interpreter; with this layer those claims become measurable
+//! instead of inferred from end-to-end figure numbers.
+//!
+//! # Design
+//!
+//! * **Inert unless enabled.** Every hook first performs a single relaxed
+//!   atomic load ([`enabled`]) — the same pattern as [`crate::faults`] — so
+//!   figure benchmarks are unperturbed when `OMP_TOOL` is unset.
+//! * **Lock-free recording.** Enabled hooks append to a *per-thread* event
+//!   buffer (a plain thread-local `Vec`); no shared state is touched on the
+//!   hot path, so the profiler itself cannot introduce the contention it is
+//!   trying to measure. Buffers drain into a global collector at the end of
+//!   each team thread's region body ([`flush_thread`]), when [`events`]
+//!   flushes the calling thread, or — as a safety net for threads outside
+//!   any team — when the thread exits.
+//! * **Region-scoped aggregation.** Every [`crate::team::Team`] draws a
+//!   unique region id ([`new_region_id`]); [`aggregate`] folds the event
+//!   stream into per-region [`RegionMetrics`] (barrier wait time, chunk-time
+//!   load imbalance, task-queue depth high-water marks, lock contention).
+//! * **External counters.** Layers the core cannot see into (the minipy
+//!   interpreter's GIL and per-object locks) publish scalar counters through
+//!   [`set_counter`]; the summary and trace exporters include them, which is
+//!   what makes the Pure-vs-Compiled contrast directly visible.
+//!
+//! # Activation
+//!
+//! Set the `OMP_TOOL` environment variable (parsed into the ICVs by
+//! [`crate::icv::Icvs::from_env`], see [`ToolConfig::parse`]):
+//!
+//! ```text
+//! OMP_TOOL=enabled              # collect events, no automatic output
+//! OMP_TOOL=summary              # + print a per-region summary on finalize
+//! OMP_TOOL=trace:/tmp/out.json  # + write a chrome://tracing dump on finalize
+//! OMP_TOOL=trace:out.json,summary
+//! OMP_TOOL=disabled             # explicit off (the default)
+//! ```
+//!
+//! Programs call [`finalize`] (the `omp4rs-bench` binaries do under
+//! `--profile`) to emit the configured outputs. Programmatic use — tests,
+//! examples, benchmarks — goes through [`session`], which serializes on a
+//! global lock and disables collection again on drop.
+//!
+//! # Examples
+//!
+//! ```
+//! use omp4rs::ompt;
+//!
+//! let session = ompt::session(ompt::ToolConfig::default());
+//! omp4rs::parallel("num_threads(2)", |ctx| {
+//!     ctx.for_each(omp4rs::ForSpec::new(), 0..64, |_i| {});
+//! });
+//! let metrics = ompt::aggregate(&ompt::events());
+//! assert_eq!(metrics.len(), 1);
+//! assert!(metrics[0].chunks >= 1);
+//! println!("{}", session.summary());
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::context;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// What happened at an instrumentation site.
+///
+/// The set mirrors the OMPT callbacks relevant to this runtime: parallel
+/// begin/end, barrier enter/exit (with measured wait time), the task
+/// lifecycle, loop-chunk claims (with per-chunk execution time), lock
+/// acquisition (flagging contention), generic synchronization waits, and
+/// cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A thread entered a parallel region (one event per team thread).
+    ParallelBegin {
+        /// Size of the team being entered.
+        team_size: u32,
+    },
+    /// A thread left a parallel region (after the final implicit barrier).
+    ParallelEnd,
+    /// A thread arrived at a team barrier.
+    BarrierEnter {
+        /// `true` for an explicit `barrier` directive, `false` for the
+        /// implicit barriers ending worksharing constructs and regions.
+        explicit: bool,
+    },
+    /// A thread was released from a team barrier.
+    BarrierExit {
+        /// Nanoseconds between arrival and release (wait + task-drain time).
+        wait_ns: u64,
+    },
+    /// A task was created (`task` directive or `taskloop` expansion).
+    TaskCreate {
+        /// `false` for undeferred (`if(false)`) tasks that ran inline.
+        deferred: bool,
+    },
+    /// A task body started executing on this thread.
+    TaskSchedule,
+    /// A task reached the completed state (including discarded tasks of a
+    /// cancelled queue, which complete without a [`EventKind::TaskSchedule`]).
+    TaskComplete,
+    /// A loop chunk was claimed from the iteration space.
+    ChunkClaim {
+        /// First flattened iteration of the chunk.
+        lo: u64,
+        /// Past-the-end flattened iteration of the chunk.
+        hi: u64,
+    },
+    /// A claimed chunk finished executing.
+    ChunkDone {
+        /// Number of iterations the chunk contained.
+        iters: u64,
+        /// Nanoseconds the chunk body took.
+        ns: u64,
+    },
+    /// An OpenMP lock or `critical` section was acquired.
+    LockAcquire {
+        /// Whether the acquisition had to wait for another holder.
+        contended: bool,
+    },
+    /// A thread blocked on a runtime event (`taskwait` completion,
+    /// `copyprivate` publication, `ordered` turn-taking).
+    SyncWait {
+        /// Nanoseconds spent blocked.
+        ns: u64,
+    },
+    /// Cancellation was requested or first observed for a construct.
+    CancelObserved,
+}
+
+impl EventKind {
+    /// Short stable name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ParallelBegin { .. } => "parallel-begin",
+            EventKind::ParallelEnd => "parallel-end",
+            EventKind::BarrierEnter { .. } => "barrier-enter",
+            EventKind::BarrierExit { .. } => "barrier-exit",
+            EventKind::TaskCreate { .. } => "task-create",
+            EventKind::TaskSchedule => "task-schedule",
+            EventKind::TaskComplete => "task-complete",
+            EventKind::ChunkClaim { .. } => "chunk-claim",
+            EventKind::ChunkDone { .. } => "chunk-done",
+            EventKind::LockAcquire { .. } => "lock-acquire",
+            EventKind::SyncWait { .. } => "sync-wait",
+            EventKind::CancelObserved => "cancel-observed",
+        }
+    }
+}
+
+/// One recorded runtime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The parallel region this event belongs to (0 when recorded outside
+    /// any team, e.g. by unit tests driving primitives directly).
+    pub region: u64,
+    /// Profiler-assigned sequential id of the recording OS thread.
+    pub thread: u32,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+// ---------------------------------------------------------------------------
+// Enable gating and configuration
+// ---------------------------------------------------------------------------
+
+/// Output configuration parsed from `OMP_TOOL` (or built programmatically).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ToolConfig {
+    /// Write a Chrome-trace JSON dump to this path on [`finalize`].
+    pub trace_path: Option<String>,
+    /// Print the per-region summary to stderr on [`finalize`].
+    pub summary: bool,
+}
+
+impl ToolConfig {
+    /// Parse `OMP_TOOL` syntax: a comma-separated list of `enabled`,
+    /// `summary`, and `trace:<path>` items. Returns `None` for `disabled`
+    /// (or any of the usual false spellings), which is also the default when
+    /// the variable is unset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omp4rs::ompt::ToolConfig;
+    ///
+    /// assert_eq!(ToolConfig::parse("disabled"), None);
+    /// let cfg = ToolConfig::parse("trace:/tmp/t.json,summary").unwrap();
+    /// assert_eq!(cfg.trace_path.as_deref(), Some("/tmp/t.json"));
+    /// assert!(cfg.summary);
+    /// assert_eq!(ToolConfig::parse("enabled"), Some(ToolConfig::default()));
+    /// ```
+    pub fn parse(text: &str) -> Option<ToolConfig> {
+        let mut cfg = ToolConfig::default();
+        let mut any = false;
+        for part in text.split(',') {
+            let part = part.trim();
+            match part.to_ascii_lowercase().as_str() {
+                "" => continue,
+                "disabled" | "off" | "false" | "0" | "no" => return None,
+                "enabled" | "on" | "true" | "1" | "yes" => any = true,
+                "summary" => {
+                    cfg.summary = true;
+                    any = true;
+                }
+                _ => {
+                    if let Some(path) = part.strip_prefix("trace:") {
+                        let path = path.trim();
+                        if !path.is_empty() {
+                            cfg.trace_path = Some(path.to_owned());
+                            any = true;
+                        }
+                    }
+                    // Unknown items are ignored (forward compatibility),
+                    // matching how unknown OMP_* values are treated.
+                }
+            }
+        }
+        any.then_some(cfg)
+    }
+}
+
+/// Fast inert check: a single relaxed load on the disabled path (the same
+/// idiom as [`crate::faults::is_armed`]).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether event collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The active output configuration ([`finalize`] reads it).
+static ACTIVE: Mutex<Option<ToolConfig>> = Mutex::new(None);
+
+/// One-time `OMP_TOOL` activation, consulted on every parallel-region entry.
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+/// Enable collection from the `tool` ICV (`OMP_TOOL`) if it is configured.
+/// Idempotent and cheap after the first call; [`crate::exec::parallel_region`]
+/// invokes it so env-var activation needs no code changes in user programs.
+pub fn ensure_env_init() {
+    ENV_INIT.get_or_init(|| {
+        if let Some(cfg) = crate::icv::Icvs::current().tool {
+            enable(cfg);
+        }
+    });
+}
+
+/// Enable collection with the given output configuration.
+///
+/// Prefer [`session`] in tests and benchmarks: it additionally serializes on
+/// a global lock and disables collection on drop.
+pub fn enable(config: ToolConfig) {
+    *ACTIVE.lock() = Some(config);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disable collection (recorded events are retained until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *ACTIVE.lock() = None;
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Monotone source of team region ids (0 is reserved for "no region").
+static NEXT_REGION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh region id (called by [`crate::team::Team::new`]).
+pub fn new_region_id() -> u64 {
+    NEXT_REGION.fetch_add(1, Ordering::Relaxed)
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// Events recorded by threads that have exited (and explicit flushes).
+static COLLECTED: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+struct LocalBuf {
+    tid: u32,
+    events: Vec<Event>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            COLLECTED.lock().append(&mut self.events);
+        }
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+}
+
+fn with_buf(f: impl FnOnce(&mut LocalBuf)) {
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let buf = b.get_or_insert_with(|| LocalBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+        });
+        f(buf);
+    });
+}
+
+/// Record an event for an explicit region id. No-op (one relaxed load) when
+/// collection is disabled.
+#[inline]
+pub fn record(region: u64, kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    record_enabled(region, kind);
+}
+
+/// Record an event for the current thread's innermost team region (0 when
+/// outside any team). No-op (one relaxed load) when collection is disabled.
+#[inline]
+pub fn record_here(kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    let region = context::current_frame().map_or(0, |f| f.team.region());
+    record_enabled(region, kind);
+}
+
+#[inline(never)]
+fn record_enabled(region: u64, kind: EventKind) {
+    let ts_ns = now_ns();
+    with_buf(|buf| {
+        buf.events.push(Event {
+            region,
+            thread: buf.tid,
+            ts_ns,
+            kind,
+        });
+    });
+}
+
+/// Flush the calling thread's local buffer into the global collection.
+///
+/// The runtime calls this at the end of every team thread's region body:
+/// scoped threads signal completion *before* their TLS destructors run, so
+/// relying on the thread-local buffer's drop-flush alone would let [`events`] race
+/// with a just-joined worker whose destructor is still pending. The drop
+/// remains as a safety net for threads outside any team.
+pub fn flush_thread() {
+    BUF.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            if !buf.events.is_empty() {
+                COLLECTED.lock().append(&mut buf.events);
+            }
+        }
+    });
+}
+
+/// Snapshot every event recorded so far (flushes the calling thread's local
+/// buffer first; team workers flushed at the end of their region body).
+///
+/// Call from the thread that ran the parallel regions *after* they complete.
+pub fn events() -> Vec<Event> {
+    flush_thread();
+    let mut all = COLLECTED.lock().clone();
+    all.sort_by_key(|e| e.ts_ns);
+    all
+}
+
+/// Discard all recorded events and external counters.
+pub fn reset() {
+    BUF.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.events.clear();
+        }
+    });
+    COLLECTED.lock().clear();
+    COUNTERS.lock().clear();
+}
+
+// ---------------------------------------------------------------------------
+// External counters
+// ---------------------------------------------------------------------------
+
+static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+
+/// Publish (or overwrite) a named scalar counter.
+///
+/// Used by layers outside this crate — the minipy interpreter publishes its
+/// GIL hold time and per-object lock contention here via the pyfront bridge —
+/// so the per-region summary can show the Pure-vs-Compiled contrast.
+pub fn set_counter(name: &'static str, value: u64) {
+    COUNTERS.lock().insert(name, value);
+}
+
+/// Snapshot all published counters.
+pub fn counters() -> BTreeMap<&'static str, u64> {
+    COUNTERS.lock().clone()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Metrics folded from one region's events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionMetrics {
+    /// The region id ([`crate::team::Team::region`]).
+    pub region: u64,
+    /// Number of distinct threads that recorded events in the region.
+    pub threads: usize,
+    /// Wall-clock span (first `parallel-begin` to last `parallel-end`), ns.
+    pub span_ns: u64,
+    /// Barrier arrivals.
+    pub barriers: u64,
+    /// Total nanoseconds threads spent inside barriers.
+    pub barrier_wait_ns: u64,
+    /// Longest single barrier wait, ns.
+    pub barrier_wait_max_ns: u64,
+    /// Loop chunks claimed.
+    pub chunks: u64,
+    /// Total chunk execution time, ns.
+    pub chunk_ns_total: u64,
+    /// Longest single chunk, ns.
+    pub chunk_ns_max: u64,
+    /// Load imbalance: max per-thread chunk time over mean per-thread chunk
+    /// time (1.0 = perfectly balanced; 0.0 when the region ran no chunks).
+    pub imbalance: f64,
+    /// Tasks created.
+    pub tasks_created: u64,
+    /// Tasks completed (including discarded tasks of cancelled queues).
+    pub tasks_completed: u64,
+    /// High-water mark of simultaneously outstanding tasks.
+    pub task_depth_hwm: u64,
+    /// Lock / `critical` acquisitions.
+    pub lock_acquires: u64,
+    /// How many of those had to wait for another holder.
+    pub lock_contended: u64,
+    /// Time spent blocked on runtime events (`taskwait`, `copyprivate`,
+    /// `ordered`), ns.
+    pub sync_wait_ns: u64,
+    /// Cancellation requests/observations.
+    pub cancellations: u64,
+}
+
+impl RegionMetrics {
+    /// Mean chunk execution time, ns (0 when no chunks ran).
+    pub fn chunk_ns_mean(&self) -> u64 {
+        self.chunk_ns_total.checked_div(self.chunks).unwrap_or(0)
+    }
+}
+
+/// Fold an event stream into per-region metrics, sorted by region id.
+///
+/// Events must carry consistent timestamps (as produced by this module);
+/// the fold is pure, so synthetic event streams work too (the unit tests
+/// build some).
+pub fn aggregate(events: &[Event]) -> Vec<RegionMetrics> {
+    let mut regions: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for e in events {
+        regions.entry(e.region).or_default().push(e);
+    }
+    let mut out = Vec::with_capacity(regions.len());
+    for (region, mut evs) in regions {
+        evs.sort_by_key(|e| e.ts_ns);
+        let mut m = RegionMetrics {
+            region,
+            ..RegionMetrics::default()
+        };
+        let mut threads: Vec<u32> = Vec::new();
+        let mut begin_ts: Option<u64> = None;
+        let mut end_ts: Option<u64> = None;
+        let mut depth: u64 = 0;
+        let mut per_thread_chunk_ns: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in &evs {
+            if !threads.contains(&e.thread) {
+                threads.push(e.thread);
+            }
+            match e.kind {
+                EventKind::ParallelBegin { .. } => {
+                    begin_ts = Some(begin_ts.map_or(e.ts_ns, |t| t.min(e.ts_ns)));
+                }
+                EventKind::ParallelEnd => {
+                    end_ts = Some(end_ts.map_or(e.ts_ns, |t| t.max(e.ts_ns)));
+                }
+                EventKind::BarrierEnter { .. } => m.barriers += 1,
+                EventKind::BarrierExit { wait_ns } => {
+                    m.barrier_wait_ns += wait_ns;
+                    m.barrier_wait_max_ns = m.barrier_wait_max_ns.max(wait_ns);
+                }
+                EventKind::TaskCreate { .. } => {
+                    m.tasks_created += 1;
+                    depth += 1;
+                    m.task_depth_hwm = m.task_depth_hwm.max(depth);
+                }
+                EventKind::TaskSchedule => {}
+                EventKind::TaskComplete => {
+                    m.tasks_completed += 1;
+                    depth = depth.saturating_sub(1);
+                }
+                EventKind::ChunkClaim { .. } => m.chunks += 1,
+                EventKind::ChunkDone { ns, .. } => {
+                    m.chunk_ns_total += ns;
+                    m.chunk_ns_max = m.chunk_ns_max.max(ns);
+                    *per_thread_chunk_ns.entry(e.thread).or_default() += ns;
+                }
+                EventKind::LockAcquire { contended } => {
+                    m.lock_acquires += 1;
+                    m.lock_contended += u64::from(contended);
+                }
+                EventKind::SyncWait { ns } => m.sync_wait_ns += ns,
+                EventKind::CancelObserved => m.cancellations += 1,
+            }
+        }
+        m.threads = threads.len();
+        m.span_ns = match (begin_ts, end_ts) {
+            (Some(b), Some(e)) => e.saturating_sub(b),
+            _ => 0,
+        };
+        if !per_thread_chunk_ns.is_empty() {
+            let max = *per_thread_chunk_ns.values().max().unwrap_or(&0);
+            let sum: u64 = per_thread_chunk_ns.values().sum();
+            let mean = sum as f64 / per_thread_chunk_ns.len() as f64;
+            m.imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        }
+        out.push(m);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Summary exporter
+// ---------------------------------------------------------------------------
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Render the human-readable per-region summary for an event stream and a
+/// counter snapshot.
+pub fn render_summary(events: &[Event], counters: &BTreeMap<&'static str, u64>) -> String {
+    let mut out = String::from("== omp4rs profile summary ==\n");
+    let metrics = aggregate(events);
+    if metrics.is_empty() {
+        out.push_str("(no events recorded)\n");
+    }
+    for m in &metrics {
+        out.push_str(&format!(
+            "region {}: threads={} span={}\n",
+            m.region,
+            m.threads,
+            fmt_ms(m.span_ns)
+        ));
+        out.push_str(&format!(
+            "  barriers: {} arrivals, total wait {}, max {}\n",
+            m.barriers,
+            fmt_ms(m.barrier_wait_ns),
+            fmt_ms(m.barrier_wait_max_ns)
+        ));
+        out.push_str(&format!(
+            "  chunks: {} claimed, mean {}, max {}, imbalance {:.2}\n",
+            m.chunks,
+            fmt_ms(m.chunk_ns_mean()),
+            fmt_ms(m.chunk_ns_max),
+            m.imbalance
+        ));
+        out.push_str(&format!(
+            "  tasks: {} created, {} completed, queue high-water {}\n",
+            m.tasks_created, m.tasks_completed, m.task_depth_hwm
+        ));
+        out.push_str(&format!(
+            "  locks: {} acquisitions, {} contended; sync wait {}\n",
+            m.lock_acquires,
+            m.lock_contended,
+            fmt_ms(m.sync_wait_ns)
+        ));
+        if m.cancellations > 0 {
+            out.push_str(&format!("  cancellations: {}\n", m.cancellations));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name} = {value}\n"));
+        }
+    }
+    out
+}
+
+/// Render the summary for everything recorded so far.
+pub fn summary() -> String {
+    render_summary(&events(), &counters())
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace exporter
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e3)
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl TraceWriter {
+    fn new() -> TraceWriter {
+        TraceWriter {
+            out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    /// Emit a complete ("X") duration event.
+    fn complete(
+        &mut self,
+        name: &str,
+        region: u64,
+        tid: u32,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &str,
+    ) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"omp4rs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}{}}}",
+            json_escape(name),
+            ts_us(start_ns),
+            ts_us(dur_ns),
+            region,
+            tid,
+            args
+        ));
+    }
+
+    /// Emit an instant ("i") event.
+    fn instant(&mut self, name: &str, region: u64, tid: u32, ts_ns: u64, args: &str) {
+        self.sep();
+        self.out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"omp4rs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{}{}}}",
+            json_escape(name),
+            ts_us(ts_ns),
+            region,
+            tid,
+            args
+        ));
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    fn finish(mut self, counters: &BTreeMap<&'static str, u64>) -> String {
+        self.out.push_str("],\"otherData\":{");
+        let mut first = true;
+        for (name, value) in counters {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out
+                .push_str(&format!("\"{}\":{}", json_escape(name), value));
+        }
+        self.out.push_str("}}");
+        self.out
+    }
+}
+
+/// Render a Chrome-trace (`chrome://tracing` / Perfetto JSON) dump for an
+/// event stream. Paired events (barrier enter/exit, task schedule/complete,
+/// parallel begin/end) become duration slices; chunk executions become
+/// slices reconstructed from their recorded durations; everything else
+/// becomes instant markers. `pid` encodes the region id, `tid` the
+/// profiler-assigned thread id.
+pub fn render_chrome_trace(events: &[Event], counters: &BTreeMap<&'static str, u64>) -> String {
+    let mut w = TraceWriter::new();
+    // Pairing state per (region, thread).
+    let mut barrier_open: BTreeMap<(u64, u32), (u64, bool)> = BTreeMap::new();
+    let mut task_open: BTreeMap<(u64, u32), Vec<u64>> = BTreeMap::new();
+    let mut parallel_open: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_ns);
+    for e in &sorted {
+        let key = (e.region, e.thread);
+        match e.kind {
+            EventKind::ParallelBegin { team_size } => {
+                let _ = team_size;
+                parallel_open.insert(key, e.ts_ns);
+            }
+            EventKind::ParallelEnd => {
+                if let Some(start) = parallel_open.remove(&key) {
+                    w.complete(
+                        &format!("parallel (region {})", e.region),
+                        e.region,
+                        e.thread,
+                        start,
+                        e.ts_ns.saturating_sub(start),
+                        "",
+                    );
+                }
+            }
+            EventKind::BarrierEnter { explicit } => {
+                barrier_open.insert(key, (e.ts_ns, explicit));
+            }
+            EventKind::BarrierExit { wait_ns } => {
+                if let Some((start, explicit)) = barrier_open.remove(&key) {
+                    let name = if explicit {
+                        "barrier"
+                    } else {
+                        "barrier (implicit)"
+                    };
+                    let args = format!(",\"args\":{{\"wait_ns\":{wait_ns}}}");
+                    w.complete(
+                        name,
+                        e.region,
+                        e.thread,
+                        start,
+                        e.ts_ns.saturating_sub(start),
+                        &args,
+                    );
+                }
+            }
+            EventKind::TaskCreate { deferred } => {
+                let args = format!(",\"args\":{{\"deferred\":{deferred}}}");
+                w.instant("task-create", e.region, e.thread, e.ts_ns, &args);
+            }
+            EventKind::TaskSchedule => {
+                task_open.entry(key).or_default().push(e.ts_ns);
+            }
+            EventKind::TaskComplete => {
+                if let Some(start) = task_open.get_mut(&key).and_then(Vec::pop) {
+                    w.complete(
+                        "task",
+                        e.region,
+                        e.thread,
+                        start,
+                        e.ts_ns.saturating_sub(start),
+                        "",
+                    );
+                }
+            }
+            EventKind::ChunkClaim { lo, hi } => {
+                let args = format!(",\"args\":{{\"lo\":{lo},\"hi\":{hi}}}");
+                w.instant("chunk-claim", e.region, e.thread, e.ts_ns, &args);
+            }
+            EventKind::ChunkDone { iters, ns } => {
+                let args = format!(",\"args\":{{\"iters\":{iters}}}");
+                w.complete(
+                    "chunk",
+                    e.region,
+                    e.thread,
+                    e.ts_ns.saturating_sub(ns),
+                    ns,
+                    &args,
+                );
+            }
+            EventKind::LockAcquire { contended } => {
+                if contended {
+                    w.instant("lock-contended", e.region, e.thread, e.ts_ns, "");
+                }
+            }
+            EventKind::SyncWait { ns } => {
+                w.complete(
+                    "sync-wait",
+                    e.region,
+                    e.thread,
+                    e.ts_ns.saturating_sub(ns),
+                    ns,
+                    "",
+                );
+            }
+            EventKind::CancelObserved => {
+                w.instant("cancel", e.region, e.thread, e.ts_ns, "");
+            }
+        }
+    }
+    w.finish(counters)
+}
+
+/// Render the Chrome trace for everything recorded so far.
+pub fn chrome_trace() -> String {
+    render_chrome_trace(&events(), &counters())
+}
+
+/// Emit the outputs configured by the active [`ToolConfig`] (write the trace
+/// file, print the summary to stderr). Returns the trace path written, if
+/// any. A no-op returning `Ok(None)` when no configuration is active.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the trace file cannot be written.
+pub fn finalize() -> std::io::Result<Option<String>> {
+    let config = ACTIVE.lock().clone();
+    let Some(config) = config else {
+        return Ok(None);
+    };
+    if config.summary {
+        eprintln!("{}", summary());
+    }
+    if let Some(path) = &config.trace_path {
+        std::fs::write(path, chrome_trace())?;
+        return Ok(Some(path.clone()));
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------------
+// Sessions (programmatic / test use)
+// ---------------------------------------------------------------------------
+
+/// Serializes sessions the way [`crate::faults`] serializes fault plans:
+/// concurrently running tests never observe each other's events.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// An active profiling session. Collection is enabled while it lives;
+/// dropping it disables collection (recorded events are retained until the
+/// next [`session`] or [`reset`]).
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish()
+    }
+}
+
+impl Session {
+    /// The per-region summary of events recorded so far in this session.
+    pub fn summary(&self) -> String {
+        summary()
+    }
+
+    /// The Chrome trace of events recorded so far in this session.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+/// Start a profiling session: take the global session lock, clear previously
+/// recorded events and counters, and enable collection until the returned
+/// [`Session`] drops.
+pub fn session(config: ToolConfig) -> Session {
+    let lock = SESSION_LOCK.lock();
+    reset();
+    enable(config);
+    Session { _lock: lock }
+}
+
+/// Take the session lock *without* enabling collection — used by tests that
+/// must assert the disabled profiler records nothing, without racing against
+/// enabled sessions in sibling tests.
+pub fn disabled_session() -> Session {
+    let lock = SESSION_LOCK.lock();
+    reset();
+    disable();
+    Session { _lock: lock }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace validation (a deliberately small JSON parser)
+// ---------------------------------------------------------------------------
+
+/// Shape facts extracted by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of entries in `traceEvents`.
+    pub events: usize,
+    /// Number of entries in `otherData` (the exported counters).
+    pub counters: usize,
+}
+
+/// Parse a Chrome-trace dump with a minimal JSON parser and check its shape:
+/// a top-level object with a `traceEvents` array whose entries each carry
+/// `name` (string), `ph` (string), `ts` (number), `pid`/`tid` (numbers), and
+/// `dur` (number) for `"X"` events.
+///
+/// # Errors
+///
+/// A description of the first malformed construct found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let fields = ev
+            .as_object()
+            .ok_or_else(|| format!("traceEvents[{i}] is not an object"))?;
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let name = get("name").ok_or_else(|| format!("traceEvents[{i}] missing name"))?;
+        if name.as_str().is_none() {
+            return Err(format!("traceEvents[{i}].name is not a string"));
+        }
+        let ph = get("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] missing ph"))?;
+        for key in ["ts", "pid", "tid"] {
+            if get(key).and_then(json::Value::as_number).is_none() {
+                return Err(format!("traceEvents[{i}] missing numeric {key}"));
+            }
+        }
+        if ph == "X" && get("dur").and_then(json::Value::as_number).is_none() {
+            return Err(format!("traceEvents[{i}] is ph=X without numeric dur"));
+        }
+    }
+    let counters = obj
+        .iter()
+        .find(|(k, _)| k == "otherData")
+        .and_then(|(_, v)| v.as_object())
+        .map_or(0, Vec::len);
+    Ok(TraceStats {
+        events: events.len(),
+        counters,
+    })
+}
+
+/// The minimal JSON parser backing [`validate_chrome_trace`]. Supports the
+/// full JSON grammar minus `\u` surrogate pairs, which the exporter never
+/// emits.
+mod json {
+    pub(super) enum Value {
+        Null,
+        // The validator never inspects booleans, but a JSON parser that
+        // dropped them would be a trap for the next caller.
+        Bool(#[allow(dead_code)] bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub(super) fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub(super) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub(super) fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        debug_assert_eq!(b[*pos], b'"');
+        *pos += 1;
+        let mut out = Vec::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8".into());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            let c = char::from_u32(code).ok_or("surrogate \\u escape")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '{'
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}"));
+            }
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}"));
+            }
+            *pos += 1;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_omp_tool_forms() {
+        assert_eq!(ToolConfig::parse(""), None);
+        assert_eq!(ToolConfig::parse("disabled"), None);
+        assert_eq!(ToolConfig::parse("off"), None);
+        assert_eq!(ToolConfig::parse("enabled"), Some(ToolConfig::default()));
+        assert_eq!(
+            ToolConfig::parse("summary"),
+            Some(ToolConfig {
+                trace_path: None,
+                summary: true
+            })
+        );
+        assert_eq!(
+            ToolConfig::parse("trace:/tmp/a.json , summary"),
+            Some(ToolConfig {
+                trace_path: Some("/tmp/a.json".into()),
+                summary: true
+            })
+        );
+        assert_eq!(ToolConfig::parse("trace:"), None);
+        assert_eq!(ToolConfig::parse("bogus"), None);
+    }
+
+    #[test]
+    fn region_ids_are_unique() {
+        let a = new_region_id();
+        let b = new_region_id();
+        assert!(b > a);
+    }
+
+    fn ev(region: u64, thread: u32, ts_ns: u64, kind: EventKind) -> Event {
+        Event {
+            region,
+            thread,
+            ts_ns,
+            kind,
+        }
+    }
+
+    #[test]
+    fn aggregate_synthetic_stream() {
+        let events = vec![
+            ev(1, 0, 0, EventKind::ParallelBegin { team_size: 2 }),
+            ev(1, 1, 5, EventKind::ParallelBegin { team_size: 2 }),
+            ev(1, 0, 10, EventKind::ChunkClaim { lo: 0, hi: 8 }),
+            ev(1, 0, 110, EventKind::ChunkDone { iters: 8, ns: 100 }),
+            ev(1, 1, 10, EventKind::ChunkClaim { lo: 8, hi: 16 }),
+            ev(1, 1, 310, EventKind::ChunkDone { iters: 8, ns: 300 }),
+            ev(1, 0, 320, EventKind::BarrierEnter { explicit: false }),
+            ev(1, 0, 400, EventKind::BarrierExit { wait_ns: 80 }),
+            ev(1, 1, 330, EventKind::BarrierEnter { explicit: false }),
+            ev(1, 1, 400, EventKind::BarrierExit { wait_ns: 70 }),
+            ev(1, 0, 410, EventKind::TaskCreate { deferred: true }),
+            ev(1, 0, 415, EventKind::TaskCreate { deferred: true }),
+            ev(1, 1, 420, EventKind::TaskSchedule),
+            ev(1, 1, 430, EventKind::TaskComplete),
+            ev(1, 1, 431, EventKind::TaskSchedule),
+            ev(1, 1, 440, EventKind::TaskComplete),
+            ev(1, 0, 450, EventKind::LockAcquire { contended: true }),
+            ev(1, 0, 460, EventKind::ParallelEnd),
+            ev(1, 1, 470, EventKind::ParallelEnd),
+        ];
+        let metrics = aggregate(&events);
+        assert_eq!(metrics.len(), 1);
+        let m = &metrics[0];
+        assert_eq!(m.region, 1);
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.span_ns, 470);
+        assert_eq!(m.barriers, 2);
+        assert_eq!(m.barrier_wait_ns, 150);
+        assert_eq!(m.barrier_wait_max_ns, 80);
+        assert_eq!(m.chunks, 2);
+        assert_eq!(m.chunk_ns_total, 400);
+        assert_eq!(m.chunk_ns_max, 300);
+        assert_eq!(m.chunk_ns_mean(), 200);
+        // thread 0 spent 100ns, thread 1 spent 300ns: max/mean = 300/200.
+        assert!((m.imbalance - 1.5).abs() < 1e-9);
+        assert_eq!(m.tasks_created, 2);
+        assert_eq!(m.tasks_completed, 2);
+        assert_eq!(m.task_depth_hwm, 2);
+        assert_eq!(m.lock_acquires, 1);
+        assert_eq!(m.lock_contended, 1);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let events = vec![
+            ev(3, 0, 100, EventKind::ParallelBegin { team_size: 1 }),
+            ev(3, 0, 150, EventKind::ChunkClaim { lo: 0, hi: 4 }),
+            ev(3, 0, 250, EventKind::ChunkDone { iters: 4, ns: 100 }),
+            ev(3, 0, 260, EventKind::BarrierEnter { explicit: true }),
+            ev(3, 0, 300, EventKind::BarrierExit { wait_ns: 40 }),
+            ev(3, 0, 310, EventKind::TaskCreate { deferred: false }),
+            ev(3, 0, 311, EventKind::TaskSchedule),
+            ev(3, 0, 330, EventKind::TaskComplete),
+            ev(3, 0, 340, EventKind::LockAcquire { contended: true }),
+            ev(3, 0, 350, EventKind::SyncWait { ns: 5 }),
+            ev(3, 0, 360, EventKind::CancelObserved),
+            ev(3, 0, 400, EventKind::ParallelEnd),
+        ];
+        let mut counters = BTreeMap::new();
+        counters.insert("minipy.obj_lock.acquisitions", 42u64);
+        let trace = render_chrome_trace(&events, &counters);
+        let stats = validate_chrome_trace(&trace).expect("trace must be valid JSON");
+        // parallel, chunk, barrier, task-create, task, lock-contended,
+        // chunk-claim instant, sync-wait, cancel = 9 entries.
+        assert_eq!(stats.events, 9);
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_ok());
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _session = disabled_session();
+        record(1, EventKind::ParallelEnd);
+        record_here(EventKind::TaskSchedule);
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    fn session_records_and_disables_on_drop() {
+        {
+            let session = session(ToolConfig::default());
+            assert!(enabled());
+            record(7, EventKind::TaskCreate { deferred: true });
+            record(7, EventKind::TaskComplete);
+            let evs = events();
+            assert_eq!(evs.len(), 2);
+            assert!(evs.iter().all(|e| e.region == 7));
+            // Events appear in per-thread program order.
+            assert!(matches!(evs[0].kind, EventKind::TaskCreate { .. }));
+            let text = session.summary();
+            assert!(text.contains("region 7"), "{text}");
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn counters_appear_in_summary_and_trace() {
+        let _session = session(ToolConfig::default());
+        set_counter("test.counter", 9);
+        let text = summary();
+        assert!(text.contains("test.counter = 9"), "{text}");
+        let stats = validate_chrome_trace(&chrome_trace()).unwrap();
+        assert_eq!(stats.counters, 1);
+    }
+}

@@ -12,6 +12,7 @@ use crate::directive::ScheduleKind;
 use crate::error::OmpError;
 use crate::faults::{self, FaultSite};
 use crate::icv::Icvs;
+use crate::ompt;
 use crate::worksharing::WsInstance;
 
 /// A (possibly collapsed) loop iteration space.
@@ -175,6 +176,11 @@ pub struct ForBounds {
     block_done: bool,
     /// Shared instance for dynamic/guided/ordered coordination.
     instance: Option<Arc<WsInstance>>,
+    /// Profiler: when the [`crate::ompt`] layer is enabled, the wall-clock
+    /// start of the chunk currently being executed by the caller.
+    prof_chunk_start: Option<std::time::Instant>,
+    /// Profiler: iteration count of the chunk being timed.
+    prof_chunk_iters: u64,
 }
 
 impl ForBounds {
@@ -201,6 +207,8 @@ impl ForBounds {
             next_chunk: thread_num as u64,
             block_done: false,
             instance,
+            prof_chunk_start: None,
+            prof_chunk_iters: 0,
         }
     }
 
@@ -217,6 +225,10 @@ impl ForBounds {
     // Deliberately named after the paper's `for_next`, not an Iterator.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> bool {
+        // The previous chunk (if the profiler timed one) ends at the next
+        // claim — or at the terminal call that returns `false`, which every
+        // loop driver makes.
+        self.finish_profiled_chunk();
         let total = self.dims.total();
         if total == 0 {
             return false;
@@ -237,8 +249,25 @@ impl ForBounds {
         };
         if claimed {
             self.is_last = self.hi == total;
+            if ompt::enabled() {
+                ompt::record_here(ompt::EventKind::ChunkClaim {
+                    lo: self.lo,
+                    hi: self.hi,
+                });
+                self.prof_chunk_start = Some(std::time::Instant::now());
+                self.prof_chunk_iters = self.hi - self.lo;
+            }
         }
         claimed
+    }
+
+    fn finish_profiled_chunk(&mut self) {
+        if let Some(start) = self.prof_chunk_start.take() {
+            ompt::record_here(ompt::EventKind::ChunkDone {
+                iters: self.prof_chunk_iters,
+                ns: start.elapsed().as_nanos() as u64,
+            });
+        }
     }
 
     /// Static without a chunk: one contiguous block per thread, sizes

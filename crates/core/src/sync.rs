@@ -284,6 +284,10 @@ impl OmpEvent {
     }
 
     /// Block until the event is set.
+    ///
+    /// When the [`crate::ompt`] profiler is enabled, a blocking wait records
+    /// a [`crate::ompt::EventKind::SyncWait`] with the measured duration
+    /// (already-set events return without recording anything).
     pub fn wait(&self) {
         match self.backend {
             Backend::Atomic => {
@@ -291,17 +295,34 @@ impl OmpEvent {
                 if self.atomic.load(Ordering::Acquire) {
                     return;
                 }
+                let probe = crate::ompt::enabled().then(std::time::Instant::now);
                 let mut guard = self.state.lock();
                 while !self.atomic.load(Ordering::Acquire) {
                     let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
                 }
+                drop(guard);
+                Self::record_wait(probe);
             }
             Backend::Mutex => {
                 let mut guard = self.state.lock();
+                if *guard {
+                    return;
+                }
+                let probe = crate::ompt::enabled().then(std::time::Instant::now);
                 while !*guard {
                     let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
                 }
+                drop(guard);
+                Self::record_wait(probe);
             }
+        }
+    }
+
+    fn record_wait(probe: Option<std::time::Instant>) {
+        if let Some(start) = probe {
+            crate::ompt::record_here(crate::ompt::EventKind::SyncWait {
+                ns: start.elapsed().as_nanos() as u64,
+            });
         }
     }
 }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::faults::{self, FaultSite};
+use crate::ompt;
 use crate::sync::{Backend, CancelFlag, Notifier, OmpEvent, WorkBag};
 
 /// Lifecycle state of a task node (paper: free / in-progress / completed).
@@ -106,17 +107,21 @@ impl TaskNode {
         body: Option<Box<dyn FnOnce() + Send>>,
     ) -> Option<Box<dyn std::any::Any + Send>> {
         let panic = match body {
-            Some(body) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // Inside the catch: an injected task fault is recorded like
-                // any user panic instead of unwinding the executor.
-                faults::on_event(FaultSite::TaskExecute);
-                body();
-            }))
-            .err(),
+            Some(body) => {
+                ompt::record_here(ompt::EventKind::TaskSchedule);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Inside the catch: an injected task fault is recorded
+                    // like any user panic instead of unwinding the executor.
+                    faults::on_event(FaultSite::TaskExecute);
+                    body();
+                }))
+                .err()
+            }
             None => None,
         };
         self.state.store(STATE_COMPLETED, Ordering::Release);
         self.done.set();
+        ompt::record_here(ompt::EventKind::TaskComplete);
         panic
     }
 }
@@ -209,6 +214,7 @@ impl TaskQueue {
     /// Submissions to a cancelled queue are discarded immediately (the node
     /// is returned already complete, never counted as outstanding).
     pub fn submit(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        ompt::record_here(ompt::EventKind::TaskCreate { deferred: true });
         let node = TaskNode::new(self.backend, body);
         if self.cancelled.is_set() {
             if let Some(body) = node.try_claim() {
@@ -231,6 +237,7 @@ impl TaskQueue {
     /// Execute an *undeferred* task (an `if(false)` task) immediately on the
     /// calling thread, off the queue, as required by the spec.
     pub fn run_undeferred(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        ompt::record_here(ompt::EventKind::TaskCreate { deferred: false });
         let node = TaskNode::new(self.backend, body);
         let body = node.try_claim();
         self.record_panic(node.finish(body));

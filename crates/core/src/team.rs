@@ -9,6 +9,7 @@ use std::cell::Cell;
 
 use crate::context;
 use crate::faults::{self, FaultSite};
+use crate::ompt;
 use crate::sync::{Backend, CancelFlag, Notifier};
 use crate::tasks::{TaskNode, TaskQueue};
 use crate::worksharing::WorkshareRegistry;
@@ -21,6 +22,8 @@ use crate::worksharing::WorkshareRegistry;
 pub struct Team {
     size: usize,
     backend: Backend,
+    /// Unique id tagging this region's profiler events ([`crate::ompt`]).
+    region: u64,
     wake: Arc<Notifier>,
     arrived: AtomicUsize,
     generation: AtomicU64,
@@ -61,6 +64,7 @@ impl Team {
         Arc::new(Team {
             size: size.max(1),
             backend,
+            region: ompt::new_region_id(),
             wake: Arc::clone(&wake),
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
@@ -80,6 +84,11 @@ impl Team {
     /// The team's synchronization backend.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The unique region id tagging this team's profiler events.
+    pub fn region(&self) -> u64 {
+        self.region
     }
 
     /// The team's work-sharing registry.
@@ -117,7 +126,9 @@ impl Team {
     /// `arrived` count of a cancelled barrier can never corrupt another
     /// region.
     pub fn cancel_region(&self) {
-        self.cancelled.set();
+        if self.cancelled.set() {
+            ompt::record(self.region, ompt::EventKind::CancelObserved);
+        }
         self.tasks.cancel();
         self.wake.notify_all();
     }
@@ -136,7 +147,36 @@ impl Team {
     /// outstanding tasks must complete before any thread proceeds. Threads
     /// waiting at the barrier execute queued tasks instead of idling, and
     /// are re-awakened when new tasks are submitted.
+    ///
+    /// This entry point is used for the *implicit* barriers ending
+    /// worksharing constructs and regions; a `barrier` directive goes
+    /// through [`Team::barrier_explicit`] (identical semantics, different
+    /// profiler tag).
     pub fn barrier(&self) {
+        self.barrier_impl(false);
+    }
+
+    /// An explicit `barrier` directive (see [`Team::barrier`]).
+    pub fn barrier_explicit(&self) {
+        self.barrier_impl(true);
+    }
+
+    fn barrier_impl(&self, explicit: bool) {
+        if !ompt::enabled() {
+            return self.barrier_body();
+        }
+        ompt::record(self.region, ompt::EventKind::BarrierEnter { explicit });
+        let start = std::time::Instant::now();
+        self.barrier_body();
+        ompt::record(
+            self.region,
+            ompt::EventKind::BarrierExit {
+                wait_ns: start.elapsed().as_nanos() as u64,
+            },
+        );
+    }
+
+    fn barrier_body(&self) {
         faults::on_event(FaultSite::BarrierArrival);
         // A cancelled/poisoned region's barriers are no-ops: the region is
         // exiting and no further cross-thread phase agreement exists.

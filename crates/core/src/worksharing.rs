@@ -61,7 +61,9 @@ impl WsInstance {
     /// threads stop claiming chunks/sections at their next cancellation
     /// point. Iterations already claimed complete normally.
     pub fn cancel(&self) {
-        self.cancelled.set();
+        if self.cancelled.set() {
+            crate::ompt::record_here(crate::ompt::EventKind::CancelObserved);
+        }
         self.wake.notify_all();
     }
 

@@ -56,6 +56,26 @@ impl std::fmt::Debug for Gil {
 thread_local! {
     static HOLD_DEPTH: Cell<u32> = const { Cell::new(0) };
     static TICKS: Cell<u32> = const { Cell::new(0) };
+    /// When [`crate::stats`] collection is on: the instant this thread last
+    /// acquired the raw GIL lock (for hold-time accounting).
+    static HOLD_START: Cell<Option<std::time::Instant>> = const { Cell::new(None) };
+}
+
+/// Start a hold-time measurement if counters are armed (called right after
+/// the raw lock is taken).
+fn stats_hold_begin() {
+    if crate::stats::enabled() {
+        crate::stats::count_gil_acquisition();
+        HOLD_START.with(|h| h.set(Some(std::time::Instant::now())));
+    }
+}
+
+/// Accumulate the hold time measured since the matching `stats_hold_begin`,
+/// tolerating counters being armed mid-hold (the start is simply absent).
+fn stats_hold_end() {
+    if let Some(start) = HOLD_START.with(Cell::take) {
+        crate::stats::add_gil_hold_ns(start.elapsed().as_nanos() as u64);
+    }
 }
 
 impl Gil {
@@ -102,6 +122,7 @@ impl Gil {
             });
             if depth == 0 {
                 self.raw.lock();
+                stats_hold_begin();
             }
         }
         GilSession {
@@ -127,11 +148,15 @@ impl Gil {
         });
         if should_switch && HOLD_DEPTH.with(|d| d.get()) > 0 {
             self.switches.fetch_add(1, Ordering::Relaxed);
+            stats_hold_end();
             // SAFETY: this thread holds the raw lock (HOLD_DEPTH > 0 and the
             // outermost `enter` locked it).
             unsafe { self.raw.unlock() };
             std::thread::yield_now();
             self.raw.lock();
+            if crate::stats::enabled() {
+                HOLD_START.with(|h| h.set(Some(std::time::Instant::now())));
+            }
         }
     }
 
@@ -156,6 +181,7 @@ impl Gil {
             0
         };
         if saved_depth > 0 {
+            stats_hold_end();
             // SAFETY: as in `tick`, the lock is held by this thread.
             unsafe { self.raw.unlock() };
         }
@@ -163,6 +189,9 @@ impl Gil {
         if saved_depth > 0 {
             self.raw.lock();
             HOLD_DEPTH.with(|d| d.set(saved_depth));
+            if crate::stats::enabled() {
+                HOLD_START.with(|h| h.set(Some(std::time::Instant::now())));
+            }
         }
         result
     }
@@ -182,6 +211,7 @@ impl Drop for GilSession {
                 v
             });
             if depth == 0 {
+                stats_hold_end();
                 // SAFETY: matching unlock for the `enter` that locked.
                 unsafe { self.gil.raw.unlock() };
             }

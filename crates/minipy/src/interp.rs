@@ -1490,7 +1490,7 @@ pub enum ValueIter {
     /// Live list iteration by index (reads under the lock each step).
     List {
         /// The shared list.
-        list: Arc<RwLock<Vec<Value>>>,
+        list: Arc<crate::value::ObjLock<Vec<Value>>>,
         /// Next index.
         idx: usize,
     },

@@ -44,6 +44,7 @@ pub mod lexer;
 pub mod methods;
 pub mod parser;
 pub mod printer;
+pub mod stats;
 pub mod token;
 pub mod value;
 

@@ -211,7 +211,7 @@ fn dict_method(obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
         }
         "copy" => {
             let snapshot = dict.read().clone();
-            Ok(Value::Dict(Arc::new(parking_lot::RwLock::new(snapshot))))
+            Ok(Value::Dict(Arc::new(crate::value::ObjLock::new(snapshot))))
         }
         _ => Err(attr_err("dict", method)),
     }

@@ -19,6 +19,70 @@ use crate::env::Env;
 use crate::error::{type_err, PyErr};
 use crate::interp::Interp;
 
+/// The per-object lock guarding a shared mutable container — free-threaded
+/// CPython's per-object locking, reduced to its essentials.
+///
+/// A thin wrapper over `RwLock` whose only addition is observability: when
+/// [`crate::stats`] collection is armed, every acquisition is counted and
+/// flagged as contended if the lock was already held (probed with a
+/// non-blocking attempt before falling back to the blocking path). Disarmed —
+/// the default — both methods are a single relaxed load away from the plain
+/// `RwLock` fast path, so benchmark figures are unperturbed.
+pub struct ObjLock<T> {
+    inner: RwLock<T>,
+}
+
+impl<T> ObjLock<T> {
+    /// Wrap a value in a fresh, unlocked per-object lock.
+    pub fn new(value: T) -> ObjLock<T> {
+        ObjLock {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Acquire shared read access (counted when stats are armed).
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        if !crate::stats::enabled() {
+            return self.inner.read();
+        }
+        match self.inner.try_read() {
+            Some(guard) => {
+                crate::stats::count_obj_lock(false);
+                guard
+            }
+            None => {
+                let guard = self.inner.read();
+                crate::stats::count_obj_lock(true);
+                guard
+            }
+        }
+    }
+
+    /// Acquire exclusive write access (counted when stats are armed).
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, T> {
+        if !crate::stats::enabled() {
+            return self.inner.write();
+        }
+        match self.inner.try_write() {
+            Some(guard) => {
+                crate::stats::count_obj_lock(false);
+                guard
+            }
+            None => {
+                let guard = self.inner.write();
+                crate::stats::count_obj_lock(true);
+                guard
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ObjLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 /// A Python-like dynamic value.
 #[derive(Clone)]
 pub enum Value {
@@ -33,9 +97,9 @@ pub enum Value {
     /// `str` (immutable, shared)
     Str(Arc<String>),
     /// `list` (mutable, shared, per-object lock)
-    List(Arc<RwLock<Vec<Value>>>),
+    List(Arc<ObjLock<Vec<Value>>>),
     /// `dict` (mutable, shared, per-object lock)
-    Dict(Arc<RwLock<HashMap<HKey, Value>>>),
+    Dict(Arc<ObjLock<HashMap<HKey, Value>>>),
     /// `tuple` (immutable, shared)
     Tuple(Arc<Vec<Value>>),
     /// `range(start, stop, step)` — materialized lazily
@@ -282,12 +346,12 @@ impl Value {
 
     /// Build a list value from items.
     pub fn list(items: Vec<Value>) -> Value {
-        Value::List(Arc::new(RwLock::new(items)))
+        Value::List(Arc::new(ObjLock::new(items)))
     }
 
     /// Build an empty dict value.
     pub fn dict() -> Value {
-        Value::Dict(Arc::new(RwLock::new(HashMap::new())))
+        Value::Dict(Arc::new(ObjLock::new(HashMap::new())))
     }
 
     /// Build a tuple value from items.

@@ -454,6 +454,62 @@ fn install_api(module: &ModuleObj) {
             }))
         }),
     );
+
+    // ---- profiling (OMPT-inspired, beyond the OpenMP 3.0 API) -------------
+    module.set(
+        "ompt_enabled",
+        NativeFunc::new("ompt_enabled", |_, _| {
+            Ok(Value::Bool(omp4rs::ompt::enabled()))
+        }),
+    );
+    module.set(
+        "ompt_counters",
+        NativeFunc::new("ompt_counters", |interp, _| {
+            sync_interp_counters(interp);
+            let out = Value::dict();
+            if let Value::Dict(map) = &out {
+                let mut entries = map.write();
+                for (name, value) in omp4rs::ompt::counters() {
+                    entries.insert(
+                        minipy::HKey::Str(Arc::new(name.to_string())),
+                        Value::Int(value as i64),
+                    );
+                }
+            }
+            Ok(out)
+        }),
+    );
+    module.set(
+        "ompt_summary",
+        NativeFunc::new("ompt_summary", |interp, _| {
+            sync_interp_counters(interp);
+            Ok(Value::str(omp4rs::ompt::summary()))
+        }),
+    );
+    module.set(
+        "ompt_reset",
+        NativeFunc::new("ompt_reset", |_, _| {
+            minipy::stats::reset();
+            omp4rs::ompt::reset();
+            Ok(Value::None)
+        }),
+    );
+}
+
+/// Publish the interpreter-side profiling counters into the
+/// [`omp4rs::ompt`] counter registry, so GIL hold time and per-object lock
+/// contention appear next to runtime metrics in summaries and Chrome traces.
+///
+/// Counter names: `minipy.gil.acquisitions`, `minipy.gil.hold_ns`,
+/// `minipy.gil.switches`, `minipy.obj_lock.acquisitions`,
+/// `minipy.obj_lock.contended`. See [`minipy::stats`] for what each counts.
+pub fn sync_interp_counters(interp: &Interp) {
+    let stats = minipy::stats::snapshot();
+    omp4rs::ompt::set_counter("minipy.gil.acquisitions", stats.gil_acquisitions);
+    omp4rs::ompt::set_counter("minipy.gil.hold_ns", stats.gil_hold_ns);
+    omp4rs::ompt::set_counter("minipy.gil.switches", interp.gil().switch_count());
+    omp4rs::ompt::set_counter("minipy.obj_lock.acquisitions", stats.obj_lock_acquisitions);
+    omp4rs::ompt::set_counter("minipy.obj_lock.contended", stats.obj_lock_contended);
 }
 
 fn native(
@@ -471,6 +527,14 @@ fn build_runtime_module(mode: ExecMode) -> Value {
 
     // ---- parallel --------------------------------------------------------
     native(&module, "parallel_run", move |interp, args: Args| {
+        // Arm interpreter-side counters (GIL hold time, per-object lock
+        // contention) whenever the profiler is on, so the Pure-vs-Compiled
+        // contrast shows up in `ompt` counters. Never disarms: tests may have
+        // enabled stats programmatically without an OMP_TOOL session.
+        omp4rs::ompt::ensure_env_init();
+        if omp4rs::ompt::enabled() {
+            minipy::stats::set_enabled(true);
+        }
         let func = args.req(0)?.clone();
         let num_threads = match args.opt(1) {
             Some(Value::None) | None => None,
@@ -837,7 +901,9 @@ fn build_runtime_module(mode: ExecMode) -> Value {
     // ---- synchronization ------------------------------------------------------
     native(&module, "barrier", |interp, _| {
         if let Some(team) = current_team() {
-            blocking(interp, || team.barrier());
+            // A user-written `barrier` directive is an *explicit* barrier in
+            // profiler events, unlike the implicit end-of-worksharing ones.
+            blocking(interp, || team.barrier_explicit());
         }
         Ok(Value::None)
     });

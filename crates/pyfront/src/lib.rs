@@ -54,7 +54,7 @@ pub mod scope;
 pub mod threadprivate;
 pub mod transform;
 
-pub use bridge::{install, ExecMode};
+pub use bridge::{install, sync_interp_counters, ExecMode};
 pub use transform::transform_function;
 
 use minipy::error::PyErr;

@@ -19,6 +19,7 @@ fi
 run cargo test -q
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo
 echo "CI green."

@@ -1,0 +1,193 @@
+//! Integration tests for the OMPT-inspired profiler (`omp4rs::ompt`):
+//! event-stream well-formedness, metric consistency, Chrome-trace round
+//! trips, the disabled-profiler guarantee across execution modes, and the
+//! Pure-vs-Compiled interpreter-counter contrast.
+//!
+//! Every test takes an `ompt::session` (or `disabled_session`), which
+//! serializes profiler use across concurrently running tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use omp4rs::ompt::{self, Event, EventKind};
+use omp4rs_apps::{pi, Mode};
+
+/// Run a small instrumented region and return (its region id, all events).
+fn traced_region() -> (u64, Vec<Event>) {
+    let region_id = AtomicU64::new(0);
+    omp4rs::parallel("num_threads(3)", |ctx| {
+        let frame = omp4rs::context::current_frame().expect("inside a region");
+        region_id.store(frame.team.region(), Ordering::Relaxed);
+        ctx.for_each(omp4rs::ForSpec::new(), 0..96, |_i| {});
+        ctx.barrier();
+        if ctx.thread_num() == 0 {
+            ctx.task(|_t| {});
+            ctx.task(|_t| {});
+        }
+        ctx.taskwait();
+    });
+    let region = region_id.load(Ordering::Relaxed);
+    assert_ne!(region, 0, "teams draw nonzero region ids");
+    let events: Vec<Event> = ompt::events()
+        .into_iter()
+        .filter(|e| e.region == region)
+        .collect();
+    (region, events)
+}
+
+#[test]
+fn event_stream_is_well_formed_per_thread() {
+    let _s = ompt::session(ompt::ToolConfig::default());
+    let (_, events) = traced_region();
+
+    let threads: std::collections::BTreeSet<u32> = events.iter().map(|e| e.thread).collect();
+    assert_eq!(threads.len(), 3, "one event stream per team thread");
+
+    for &t in &threads {
+        let stream: Vec<&Event> = events.iter().filter(|e| e.thread == t).collect();
+        // The region brackets the stream: ParallelBegin first, ParallelEnd
+        // last, exactly once each.
+        assert!(matches!(
+            stream.first().unwrap().kind,
+            EventKind::ParallelBegin { team_size: 3 }
+        ));
+        assert!(matches!(
+            stream.last().unwrap().kind,
+            EventKind::ParallelEnd
+        ));
+        let begins = stream
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ParallelBegin { .. }))
+            .count();
+        let ends = stream
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ParallelEnd))
+            .count();
+        assert_eq!((begins, ends), (1, 1));
+
+        // Barriers nest properly: enter/exit strictly alternate.
+        let mut in_barrier = false;
+        for e in &stream {
+            match e.kind {
+                EventKind::BarrierEnter { .. } => {
+                    assert!(!in_barrier, "barrier enter while already in a barrier");
+                    in_barrier = true;
+                }
+                EventKind::BarrierExit { .. } => {
+                    assert!(in_barrier, "barrier exit without a matching enter");
+                    in_barrier = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_barrier, "unclosed barrier at region end");
+
+        // Timestamps are non-decreasing within a thread's stream.
+        assert!(stream.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+
+        // Every claimed chunk completes.
+        let claims = stream
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ChunkClaim { .. }))
+            .count();
+        let dones = stream
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ChunkDone { .. }))
+            .count();
+        assert_eq!(claims, dones);
+    }
+
+    // Task lifecycle balances region-wide (tasks may migrate threads).
+    let created = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskCreate { .. }))
+        .count();
+    let completed = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskComplete))
+        .count();
+    assert!(created >= 2, "both explicit tasks were created");
+    assert_eq!(created, completed);
+}
+
+#[test]
+fn barrier_wait_metrics_are_consistent() {
+    let _s = ompt::session(ompt::ToolConfig::default());
+    let (region, events) = traced_region();
+
+    let metrics = ompt::aggregate(&events);
+    assert_eq!(metrics.len(), 1);
+    let m = &metrics[0];
+    assert_eq!(m.region, region);
+    assert_eq!(m.threads, 3);
+    assert!(m.span_ns > 0);
+
+    // The aggregate equals the sum over the raw exit events, and the
+    // recorded maximum is one of the addends.
+    let exits: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::BarrierExit { wait_ns } => Some(wait_ns),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(m.barriers, exits.len() as u64);
+    assert_eq!(m.barrier_wait_ns, exits.iter().sum::<u64>());
+    assert_eq!(
+        m.barrier_wait_max_ns,
+        exits.iter().copied().max().unwrap_or(0)
+    );
+    assert!(m.barrier_wait_max_ns <= m.barrier_wait_ns);
+    // Explicit barrier + implicit loop/region barriers, on every thread.
+    assert!(m.barriers >= 3 * 3);
+}
+
+#[test]
+fn chrome_trace_round_trips_with_live_events() {
+    let session = ompt::session(ompt::ToolConfig::default());
+    let (_, events) = traced_region();
+    assert!(!events.is_empty());
+
+    ompt::set_counter("test.marker", 7);
+    let trace = session.chrome_trace();
+    let stats = ompt::validate_chrome_trace(&trace).expect("emitted trace is valid");
+    assert!(stats.events > 0);
+    assert!(stats.counters >= 1);
+}
+
+#[test]
+fn disabled_profiler_records_nothing_in_any_mode() {
+    let _s = ompt::disabled_session();
+    for mode in Mode::all() {
+        // Every supported mode runs a real parallel π; unsupported mode
+        // combinations just return Err and prove nothing either way.
+        let _ = pi::run(mode, 2, &pi::Params { n: 2_000 });
+    }
+    assert!(
+        ompt::events().is_empty(),
+        "disabled profiler must record zero events"
+    );
+}
+
+#[test]
+fn interpreter_counters_contrast_pure_vs_compiled() {
+    let _s = ompt::session(ompt::ToolConfig::default());
+
+    // Pure mode: interpreted user code touches shared minipy containers, so
+    // the per-object lock counters must light up.
+    minipy::stats::reset();
+    minipy::stats::set_enabled(true);
+    pi::run(Mode::Pure, 2, &pi::Params { n: 2_000 }).expect("pure pi runs");
+    let pure = minipy::stats::snapshot();
+    assert!(
+        pure.obj_lock_acquisitions > 0,
+        "interpreted mode must take per-object locks"
+    );
+
+    // Compiled mode: native closures never enter the interpreter.
+    minipy::stats::reset();
+    pi::run(Mode::Compiled, 2, &pi::Params { n: 2_000 }).expect("compiled pi runs");
+    let compiled = minipy::stats::snapshot();
+    minipy::stats::set_enabled(false);
+    assert_eq!(compiled.obj_lock_acquisitions, 0);
+    assert_eq!(compiled.gil_hold_ns, 0);
+}
