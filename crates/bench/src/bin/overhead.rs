@@ -1,0 +1,171 @@
+//! Trace-overhead microbenchmark: what does the OMPT-style profiler cost?
+//!
+//! Runs an event-dense workload — a `schedule(dynamic, 1)` parallel loop
+//! whose every chunk claim and completion is an event, plus the region's
+//! barriers — once with the profiler enabled and once disabled, several
+//! trials each, and reports:
+//!
+//! * events recorded per second of wall-clock while enabled (mean ± σ),
+//! * per-event overhead: the enabled-vs-disabled time delta divided by the
+//!   number of events recorded,
+//! * the disabled-run invariant: **zero** events recorded.
+//!
+//! ```text
+//! overhead [--trials N] [--iters N] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless (a) disabled runs record no events and
+//! (b) an enabled run's Chrome-trace dump passes the shape validator —
+//! the CI hook for the profiler's "inert unless armed" contract.
+
+use omp4rs::exec::{parallel, ForSpec};
+use omp4rs::ompt;
+
+/// One timed run of the event-dense loop; returns (seconds, events recorded).
+fn run_once(iters: i64, threads: usize) -> (f64, usize) {
+    let before = ompt::events().len();
+    let start = std::time::Instant::now();
+    let sink = std::sync::atomic::AtomicU64::new(0);
+    parallel(&format!("num_threads({threads})"), |ctx| {
+        let mut local = 0u64;
+        ctx.for_range(
+            ForSpec::parse("schedule(dynamic, 1)").expect("valid spec"),
+            (0, iters, 1),
+            |i| {
+                local = local.wrapping_add(i as u64);
+            },
+        );
+        sink.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink.into_inner());
+    (seconds, ompt::events().len() - before)
+}
+
+fn mean_sigma(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let trials = get("--trials", 7).max(2);
+    let iters = get("--iters", 20_000) as i64;
+    let check = args.iter().any(|a| a == "--check");
+    let threads = 4;
+
+    println!(
+        "profiler overhead: {trials} trials, dynamic,1 loop of {iters} iters, {threads} threads"
+    );
+
+    // Warm up thread pools and code paths outside any session.
+    {
+        let _s = ompt::disabled_session();
+        run_once(iters, threads);
+    }
+
+    // Disabled runs: must record nothing; establishes the baseline time.
+    let mut disabled_secs = Vec::with_capacity(trials);
+    let mut disabled_events = 0usize;
+    {
+        let _s = ompt::disabled_session();
+        for _ in 0..trials {
+            let (secs, events) = run_once(iters, threads);
+            disabled_secs.push(secs);
+            disabled_events += events;
+        }
+    }
+
+    // Enabled runs: count events and wall-clock.
+    let trace_path = std::env::temp_dir().join("overhead_trace.json");
+    let mut enabled_secs = Vec::with_capacity(trials);
+    let mut enabled_events = Vec::with_capacity(trials);
+    let trace_result;
+    {
+        let session = ompt::session(ompt::ToolConfig {
+            trace_path: Some(trace_path.display().to_string()),
+            summary: false,
+        });
+        for _ in 0..trials {
+            let (secs, events) = run_once(iters, threads);
+            enabled_secs.push(secs);
+            enabled_events.push(events as f64);
+        }
+        trace_result = ompt::validate_chrome_trace(&session.chrome_trace());
+    }
+
+    let (dis_mean, dis_sigma) = mean_sigma(&disabled_secs);
+    let (en_mean, en_sigma) = mean_sigma(&enabled_secs);
+    let (ev_mean, ev_sigma) = mean_sigma(&enabled_events);
+    let rate: Vec<f64> = enabled_secs
+        .iter()
+        .zip(&enabled_events)
+        .map(|(s, e)| e / s.max(1e-12))
+        .collect();
+    let (rate_mean, rate_sigma) = mean_sigma(&rate);
+    let delta = (en_mean - dis_mean).max(0.0);
+    let per_event_ns = if ev_mean > 0.0 {
+        delta / ev_mean * 1e9
+    } else {
+        0.0
+    };
+
+    println!(
+        "  disabled: {:.3} ± {:.3} ms/run, {} events recorded",
+        dis_mean * 1e3,
+        dis_sigma * 1e3,
+        disabled_events
+    );
+    println!(
+        "  enabled:  {:.3} ± {:.3} ms/run, {:.0} ± {:.0} events/run",
+        en_mean * 1e3,
+        en_sigma * 1e3,
+        ev_mean,
+        ev_sigma
+    );
+    println!(
+        "  rate:     {:.0} ± {:.0} events/sec while enabled",
+        rate_mean, rate_sigma
+    );
+    println!(
+        "  overhead: {:+.1}% wall-clock ({:.0} ns per recorded event)",
+        100.0 * delta / dis_mean.max(1e-12),
+        per_event_ns
+    );
+    match &trace_result {
+        Ok(stats) => println!(
+            "  trace:    {} events, {} counters — valid Chrome trace",
+            stats.events, stats.counters
+        ),
+        Err(e) => println!("  trace:    INVALID: {e}"),
+    }
+
+    if check {
+        let mut failed = false;
+        if disabled_events != 0 {
+            eprintln!("CHECK FAILED: disabled profiler recorded {disabled_events} events");
+            failed = true;
+        }
+        if ev_mean <= 0.0 {
+            eprintln!("CHECK FAILED: enabled profiler recorded no events");
+            failed = true;
+        }
+        if let Err(e) = &trace_result {
+            eprintln!("CHECK FAILED: Chrome trace did not validate: {e}");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("  check:    OK (disabled records nothing; enabled trace validates)");
+    }
+}

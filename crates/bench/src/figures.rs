@@ -21,7 +21,10 @@
 use omp4rs::sync::Backend;
 use omp4rs::ScheduleKind;
 use omp4rs_apps::{bfs, clustering, fft, jacobi, lu, md, pi, qsort, wordcount, Mode};
-use simcore::{simulate, ClaimCost, CostModel, Machine, Phase, SimSchedule, TaskShape, Workload};
+use simcore::{
+    simulate_report, ClaimCost, CostModel, Machine, Phase, SimReport, SimSchedule, TaskShape,
+    Workload,
+};
 
 use crate::calibrate::PrimitiveCosts;
 
@@ -567,6 +570,24 @@ pub fn sim_sweep(
     gil: bool,
     schedule: Option<(ScheduleKind, Option<u64>)>,
 ) -> Vec<(usize, f64)> {
+    sim_sweep_report(app, mode, per_unit, prims, gil, schedule)
+        .into_iter()
+        .map(|(threads, report)| (threads, report.seconds))
+        .collect()
+}
+
+/// Like [`sim_sweep`], but returns the simulator's full [`SimReport`] per
+/// thread count, including the barrier-wait accounting that mirrors the
+/// runtime profiler's `BarrierWait` aggregation. Used by `figure5 --profile`
+/// to compare measured barrier behaviour against the model.
+pub fn sim_sweep_report(
+    app: AppKind,
+    mode: Mode,
+    per_unit: f64,
+    prims: &PrimitiveCosts,
+    gil: bool,
+    schedule: Option<(ScheduleKind, Option<u64>)>,
+) -> Vec<(usize, SimReport)> {
     let model = CostModel {
         gil,
         ..CostModel::default()
@@ -576,7 +597,7 @@ pub fn sim_sweep(
         .map(|&threads| {
             let w = workload_for(app, mode, per_unit, prims, &model, threads, schedule);
             let mut machine = Machine::new(32);
-            (threads, simulate(&mut machine, &model, &w, threads))
+            (threads, simulate_report(&mut machine, &model, &w, threads))
         })
         .collect()
 }

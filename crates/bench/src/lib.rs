@@ -31,4 +31,6 @@ pub mod figures;
 pub mod profile;
 
 pub use calibrate::{measure_primitives, PrimitiveCosts};
-pub use figures::{sim_sweep, workload_for, AppKind, MeasuredCost, SWEEP_THREADS};
+pub use figures::{
+    sim_sweep, sim_sweep_report, workload_for, AppKind, MeasuredCost, SWEEP_THREADS,
+};

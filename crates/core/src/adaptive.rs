@@ -1,0 +1,439 @@
+//! Feedback-driven resolution of `schedule(auto)`.
+//!
+//! The paper attributes most of the Python-side scaling loss to per-chunk
+//! runtime overhead and end-of-loop imbalance — both functions of *chunk
+//! sizing*, which OpenMP leaves to the implementation for `schedule(auto)`.
+//! This module stops aliasing `auto` to `static` and instead picks a policy
+//! from measured history:
+//!
+//! * Every adaptive loop is keyed by a stable **loop identity** (a call-site
+//!   hash in compiled mode, a transform-assigned site id in interpreted
+//!   mode). A global registry keeps one history record per key.
+//! * The first instance of a loop gets a cheap default: `static` blocks in
+//!   compiled mode, `guided` with an overhead-derived minimum chunk in
+//!   interpreted (Pure/Hybrid) mode — where per-chunk claims cross the
+//!   interpreter boundary and a static tail of tiny chunks dominates.
+//! * While an adaptive loop runs, its [`crate::schedule::ForBounds`] driver
+//!   times every chunk (independently of the profiler) and reports a
+//!   per-thread `(time, chunks, iterations)` triple when the thread's share
+//!   is exhausted. Once every team thread has reported, the window is folded
+//!   into the history.
+//! * On later instances the policy **re-chunks**: measured imbalance above
+//!   [`IMBALANCE_THRESHOLD`] escalates `static → guided → dynamic`, and a
+//!   mean chunk duration below [`CHUNK_OVERHEAD_FLOOR_NS`] doubles the chunk
+//!   so claim overhead amortizes.
+//!
+//! The whole mechanism is gated on the `OMP4RS_ADAPTIVE` environment
+//! variable (default on; see `docs/ENVIRONMENT.md`) and never touches loops
+//! with an explicit non-`auto` schedule clause.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::directive::ScheduleKind;
+use crate::icv::Icvs;
+use crate::ompt;
+use crate::schedule::ResolvedSchedule;
+
+/// Per-thread measurements of one adaptive loop instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadReport {
+    /// Total nanoseconds this thread spent executing chunk bodies.
+    pub ns: u64,
+    /// Number of chunks the thread claimed.
+    pub chunks: u64,
+    /// Number of iterations the thread executed.
+    pub iters: u64,
+}
+
+/// Escalate the schedule when measured imbalance (max over mean per-thread
+/// chunk time) exceeds this.
+pub const IMBALANCE_THRESHOLD: f64 = 1.5;
+
+/// Grow the chunk when the mean chunk duration is below this (claim overhead
+/// is no longer amortized).
+pub const CHUNK_OVERHEAD_FLOOR_NS: u64 = 50_000;
+
+/// What one loop learned so far.
+#[derive(Debug, Clone, Default)]
+struct LoopHistory {
+    /// Completed `decide` rounds (loop instances seen).
+    instances: u64,
+    /// Policy the next instance will use.
+    kind: ScheduleKind,
+    /// Chunk parameter for the next instance (minimum chunk for guided).
+    chunk: u64,
+    /// Decision handed to the threads of the current instance.
+    decision: Option<ResolvedSchedule>,
+    /// How many more team threads will ask for the current decision.
+    decide_remaining: usize,
+    /// Reports expected before the open window folds.
+    window_expected: usize,
+    /// Per-thread reports of the current window.
+    window: Vec<ThreadReport>,
+    /// Imbalance of the last folded window.
+    last_imbalance: f64,
+    /// Mean chunk duration of the last folded window, ns.
+    last_mean_chunk_ns: u64,
+    /// Times the policy was changed by feedback.
+    rechunks: u64,
+}
+
+impl LoopHistory {
+    fn fold_window(&mut self) {
+        let active: Vec<ThreadReport> = self
+            .window
+            .iter()
+            .filter(|r| r.chunks > 0)
+            .copied()
+            .collect();
+        if active.is_empty() {
+            self.window.clear();
+            return;
+        }
+        let max_ns = active.iter().map(|r| r.ns).max().unwrap_or(0);
+        let sum_ns: u64 = active.iter().map(|r| r.ns).sum();
+        let mean_ns = sum_ns as f64 / active.len() as f64;
+        self.last_imbalance = if mean_ns > 0.0 {
+            max_ns as f64 / mean_ns
+        } else {
+            0.0
+        };
+        let chunks: u64 = active.iter().map(|r| r.chunks).sum();
+        let iters: u64 = active.iter().map(|r| r.iters).sum();
+        self.last_mean_chunk_ns = sum_ns.checked_div(chunks).unwrap_or(0);
+        let mean_iters_per_chunk = iters.checked_div(chunks).unwrap_or(1).max(1);
+        self.window.clear();
+
+        // Re-chunk: imbalance first (policy escalation), then per-chunk
+        // overhead (chunk growth).
+        if self.last_imbalance > IMBALANCE_THRESHOLD {
+            let escalated = match self.kind {
+                ScheduleKind::Static => Some(ScheduleKind::Guided),
+                ScheduleKind::Guided => Some(ScheduleKind::Dynamic),
+                _ => None,
+            };
+            if let Some(kind) = escalated {
+                self.kind = kind;
+                if kind == ScheduleKind::Dynamic {
+                    // Dynamic claims every chunk from the shared counter:
+                    // start from the measured mean chunk so claim traffic
+                    // does not explode.
+                    self.chunk = self.chunk.max(mean_iters_per_chunk / 2).max(1);
+                }
+                self.rechunks += 1;
+                return;
+            }
+        }
+        if self.last_mean_chunk_ns < CHUNK_OVERHEAD_FLOOR_NS && chunks > active.len() as u64 {
+            // Chunks finish faster than the claim overhead amortizes: double
+            // the (minimum) chunk.
+            self.chunk = (self.chunk.max(1)).saturating_mul(2);
+            self.rechunks += 1;
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<u64, LoopHistory>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, LoopHistory>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Whether adaptive resolution is enabled (the `OMP4RS_ADAPTIVE` knob).
+pub fn enabled() -> bool {
+    Icvs::current().adaptive
+}
+
+/// Default minimum chunk for an interpreted loop: large enough that the
+/// per-chunk interpreter round-trip amortizes, small enough that the team
+/// still load-balances (about `8 × nthreads` chunks over the whole space).
+pub fn interpreted_min_chunk(total: u64, nthreads: usize) -> u64 {
+    (total / (8 * nthreads.max(1) as u64)).max(1)
+}
+
+/// Resolve a schedule adaptively for one loop instance.
+///
+/// `clause` follows [`ResolvedSchedule::resolve`]; `key` is the stable loop
+/// identity; `total`/`nthreads` describe this instance; `interpreted` marks
+/// Pure/Hybrid loops (whose chunk claims cross the interpreter boundary).
+///
+/// Returns the schedule plus `Some(key)` when the instance should be
+/// *tracked* (its driver must call [`report`] once per thread). Loops with
+/// an explicit non-`auto` schedule — and everything when the `OMP4RS_ADAPTIVE`
+/// knob is off — fall through to the spec resolution untracked.
+pub fn resolve(
+    clause: Option<(ScheduleKind, Option<u64>)>,
+    key: u64,
+    total: u64,
+    nthreads: usize,
+    interpreted: bool,
+) -> (ResolvedSchedule, Option<u64>) {
+    let icvs = Icvs::current();
+    if !icvs.adaptive {
+        return (ResolvedSchedule::resolve(clause), None);
+    }
+    // Resolve `runtime` indirection first so `OMP_SCHEDULE=auto` is adaptive.
+    let effective = match clause {
+        Some((ScheduleKind::Runtime, _)) => Some(icvs.run_schedule),
+        other => other,
+    };
+    let adaptive = match effective {
+        Some((ScheduleKind::Auto, _)) => true,
+        // No clause: `def-sched-var`. Interpreted loops treat the default
+        // static-no-chunk as `auto` — the static tail of tiny interpreted
+        // chunks is exactly what this module exists to remove.
+        None => interpreted && icvs.def_schedule == (ScheduleKind::Static, None),
+        _ => false,
+    };
+    if !adaptive {
+        return (ResolvedSchedule::resolve(clause), None);
+    }
+
+    let mut reg = registry().lock();
+    let hist = reg.entry(key).or_insert_with(|| {
+        let (kind, chunk) = if interpreted {
+            (ScheduleKind::Guided, interpreted_min_chunk(total, nthreads))
+        } else {
+            (ScheduleKind::Static, 1)
+        };
+        LoopHistory {
+            kind,
+            chunk,
+            ..LoopHistory::default()
+        }
+    });
+    if hist.decide_remaining > 0 {
+        // Another thread of the same instance: reuse its decision.
+        hist.decide_remaining -= 1;
+        let decision = hist.decision.unwrap_or_else(|| ResolvedSchedule {
+            kind: hist.kind,
+            chunk: hist.chunk.max(1),
+            explicit_chunk: hist.kind != ScheduleKind::Static,
+        });
+        return (decision, Some(key));
+    }
+    // First thread of a new instance: drop any stale partial window (a
+    // cancelled or panicked instance may never complete its reports).
+    if !hist.window.is_empty() && hist.window.len() < hist.window_expected {
+        hist.window.clear();
+    }
+    let decision = ResolvedSchedule {
+        kind: hist.kind,
+        chunk: hist.chunk.max(1),
+        // Static stays block-scheduled (one contiguous chunk per thread)
+        // until feedback escalates it; guided/dynamic use `chunk` as their
+        // (minimum) chunk parameter.
+        explicit_chunk: hist.kind != ScheduleKind::Static,
+    };
+    hist.decision = Some(decision);
+    hist.decide_remaining = nthreads.max(1) - 1;
+    hist.window_expected = nthreads.max(1);
+    hist.instances += 1;
+    (decision, Some(key))
+}
+
+/// Report one thread's measurements for a tracked loop instance. Folds the
+/// window (and possibly re-chunks the policy) once every team thread of the
+/// instance has reported.
+pub fn report(key: u64, report: ThreadReport) {
+    let mut reg = registry().lock();
+    let Some(hist) = reg.get_mut(&key) else {
+        return;
+    };
+    hist.window.push(report);
+    if hist.window.len() >= hist.window_expected.max(1) {
+        hist.fold_window();
+        if ompt::enabled() {
+            publish_counters(&reg);
+        }
+    }
+}
+
+/// Feedback snapshot for one adaptive loop (introspection and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopSnapshot {
+    /// Instances resolved so far.
+    pub instances: u64,
+    /// Schedule kind the next instance will use.
+    pub kind: ScheduleKind,
+    /// Chunk parameter the next instance will use.
+    pub chunk: u64,
+    /// Imbalance of the last folded measurement window.
+    pub last_imbalance: f64,
+    /// Mean chunk duration of the last folded window, ns.
+    pub last_mean_chunk_ns: u64,
+    /// Times feedback changed the policy.
+    pub rechunks: u64,
+}
+
+/// Introspect one loop's history, if it exists.
+pub fn snapshot(key: u64) -> Option<LoopSnapshot> {
+    registry().lock().get(&key).map(|h| LoopSnapshot {
+        instances: h.instances,
+        kind: h.kind,
+        chunk: h.chunk,
+        last_imbalance: h.last_imbalance,
+        last_mean_chunk_ns: h.last_mean_chunk_ns,
+        rechunks: h.rechunks,
+    })
+}
+
+/// Drop one loop's history (tests; a fresh key is usually simpler).
+pub fn forget(key: u64) {
+    registry().lock().remove(&key);
+}
+
+/// Publish aggregate adaptive counters to the profiler's counter registry
+/// (`omp4rs.adaptive.loops` / `.rechunks`), so `--profile` output shows the
+/// feedback loop working.
+fn publish_counters(reg: &HashMap<u64, LoopHistory>) {
+    let loops = reg.len() as u64;
+    let rechunks: u64 = reg.values().map(|h| h.rechunks).sum();
+    ompt::set_counter("omp4rs.adaptive.loops", loops);
+    ompt::set_counter("omp4rs.adaptive.rechunks", rechunks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unique keys per test so histories never collide across tests.
+    fn key() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0xada0_0001);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[test]
+    fn first_instance_defaults_by_mode() {
+        // Interpreted: guided with an overhead-derived minimum chunk.
+        let k = key();
+        let (sched, tracked) = resolve(Some((ScheduleKind::Auto, None)), k, 8_000, 4, true);
+        assert_eq!(sched.kind, ScheduleKind::Guided);
+        assert_eq!(sched.chunk, interpreted_min_chunk(8_000, 4));
+        assert_eq!(tracked, Some(k));
+        // Compiled: static blocks.
+        let k2 = key();
+        let (sched, tracked) = resolve(Some((ScheduleKind::Auto, None)), k2, 8_000, 4, false);
+        assert_eq!(sched.kind, ScheduleKind::Static);
+        assert!(!sched.explicit_chunk);
+        assert_eq!(tracked, Some(k2));
+    }
+
+    #[test]
+    fn explicit_schedules_bypass_adaptation() {
+        let k = key();
+        let (sched, tracked) = resolve(Some((ScheduleKind::Dynamic, Some(8))), k, 1_000, 4, true);
+        assert_eq!(sched.kind, ScheduleKind::Dynamic);
+        assert_eq!(sched.chunk, 8);
+        assert_eq!(tracked, None);
+        assert!(snapshot(k).is_none(), "no history for explicit schedules");
+    }
+
+    #[test]
+    fn imbalance_escalates_static_to_guided_to_dynamic() {
+        let k = key();
+        let nthreads = 4;
+        let (s0, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        assert_eq!(s0.kind, ScheduleKind::Static);
+        // One thread took 4x the mean: imbalance ~2.3 > threshold.
+        let lopsided = |k: u64| {
+            report(
+                k,
+                ThreadReport {
+                    ns: 40_000_000,
+                    chunks: 1,
+                    iters: 250,
+                },
+            );
+            for _ in 0..3 {
+                report(
+                    k,
+                    ThreadReport {
+                        ns: 10_000_000,
+                        chunks: 1,
+                        iters: 250,
+                    },
+                );
+            }
+        };
+        // Consume the remaining deciders of instance 1, then report.
+        for _ in 0..nthreads - 1 {
+            let _ = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        }
+        lopsided(k);
+        let (s1, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        assert_eq!(s1.kind, ScheduleKind::Guided, "static escalates to guided");
+        for _ in 0..nthreads - 1 {
+            let _ = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        }
+        lopsided(k);
+        let (s2, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        assert_eq!(
+            s2.kind,
+            ScheduleKind::Dynamic,
+            "guided escalates to dynamic"
+        );
+        assert!(s2.chunk >= 1);
+        let snap = snapshot(k).unwrap();
+        assert_eq!(snap.rechunks, 2);
+        assert!(snap.last_imbalance > IMBALANCE_THRESHOLD);
+        forget(k);
+    }
+
+    #[test]
+    fn tiny_chunks_grow_the_chunk_parameter() {
+        let k = key();
+        let (s0, _) = resolve(Some((ScheduleKind::Auto, None)), k, 100_000, 1, true);
+        let initial_chunk = s0.chunk;
+        // One thread, many sub-overhead chunks.
+        report(
+            k,
+            ThreadReport {
+                ns: 80_000,
+                chunks: 40,
+                iters: 100_000,
+            },
+        );
+        let (s1, _) = resolve(Some((ScheduleKind::Auto, None)), k, 100_000, 1, true);
+        assert_eq!(s1.chunk, initial_chunk * 2, "chunk doubles under overhead");
+        assert_eq!(s1.kind, ScheduleKind::Guided);
+        forget(k);
+    }
+
+    #[test]
+    fn histories_are_keyed_per_loop() {
+        let ka = key();
+        let kb = key();
+        let _ = resolve(Some((ScheduleKind::Auto, None)), ka, 1_000, 1, false);
+        report(
+            ka,
+            ThreadReport {
+                ns: 1_000,
+                chunks: 10,
+                iters: 1_000,
+            },
+        );
+        let _ = resolve(Some((ScheduleKind::Auto, None)), kb, 1_000, 1, false);
+        let a = snapshot(ka).unwrap();
+        let b = snapshot(kb).unwrap();
+        assert_eq!(a.rechunks, 1, "loop A re-chunked from its own history");
+        assert_eq!(b.rechunks, 0, "loop B's history is untouched by loop A");
+        forget(ka);
+        forget(kb);
+    }
+
+    #[test]
+    fn same_instance_threads_share_one_decision() {
+        let k = key();
+        let (first, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
+        let (second, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
+        let (third, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
+        assert_eq!(first, second);
+        assert_eq!(second, third);
+        assert_eq!(snapshot(k).unwrap().instances, 1, "one instance, not three");
+        forget(k);
+    }
+}

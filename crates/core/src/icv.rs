@@ -37,6 +37,14 @@ pub struct Icvs {
     /// (`OMP_TOOL`). `None` — the default — means the profiler stays a
     /// no-op; see [`crate::ompt::ToolConfig::parse`] for the syntax.
     pub tool: Option<crate::ompt::ToolConfig>,
+    /// Whether `schedule(auto)` resolves through the feedback-driven
+    /// [`crate::adaptive`] layer (`OMP4RS_ADAPTIVE`, default on). Off, `auto`
+    /// falls back to its pre-adaptive alias: `static`.
+    pub adaptive: bool,
+    /// Override for the per-thread task steal-deque capacity
+    /// (`OMP4RS_STEAL_CAP`). `None` sizes deques from recorded queue
+    /// high-water marks; see [`crate::tasks`].
+    pub steal_cap: Option<usize>,
 }
 
 impl Default for Icvs {
@@ -51,6 +59,8 @@ impl Default for Icvs {
             def_schedule: (ScheduleKind::Static, None),
             cancellation: false,
             tool: None,
+            adaptive: true,
+            steal_cap: None,
         }
     }
 }
@@ -100,6 +110,14 @@ impl Icvs {
         }
         if let Ok(text) = std::env::var("OMP_TOOL") {
             icvs.tool = crate::ompt::ToolConfig::parse(&text);
+        }
+        if let Some(b) = env_bool("OMP4RS_ADAPTIVE") {
+            icvs.adaptive = b;
+        }
+        if let Some(n) = env_usize("OMP4RS_STEAL_CAP") {
+            if n > 0 {
+                icvs.steal_cap = Some(n);
+            }
         }
         icvs
     }

@@ -55,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod api;
 pub mod context;
 pub mod directive;

@@ -111,6 +111,9 @@ pub enum EventKind {
     },
     /// A task body started executing on this thread.
     TaskSchedule,
+    /// A task was stolen: this thread claimed it from another thread's
+    /// work-stealing deque (see [`crate::tasks`]).
+    TaskSteal,
     /// A task reached the completed state (including discarded tasks of a
     /// cancelled queue, which complete without a [`EventKind::TaskSchedule`]).
     TaskComplete,
@@ -153,6 +156,7 @@ impl EventKind {
             EventKind::BarrierExit { .. } => "barrier-exit",
             EventKind::TaskCreate { .. } => "task-create",
             EventKind::TaskSchedule => "task-schedule",
+            EventKind::TaskSteal => "task-steal",
             EventKind::TaskComplete => "task-complete",
             EventKind::ChunkClaim { .. } => "chunk-claim",
             EventKind::ChunkDone { .. } => "chunk-done",
@@ -458,6 +462,8 @@ pub struct RegionMetrics {
     pub tasks_created: u64,
     /// Tasks completed (including discarded tasks of cancelled queues).
     pub tasks_completed: u64,
+    /// Tasks claimed from another thread's work-stealing deque.
+    pub task_steals: u64,
     /// High-water mark of simultaneously outstanding tasks.
     pub task_depth_hwm: u64,
     /// Lock / `critical` acquisitions.
@@ -522,6 +528,7 @@ pub fn aggregate(events: &[Event]) -> Vec<RegionMetrics> {
                     m.task_depth_hwm = m.task_depth_hwm.max(depth);
                 }
                 EventKind::TaskSchedule => {}
+                EventKind::TaskSteal => m.task_steals += 1,
                 EventKind::TaskComplete => {
                     m.tasks_completed += 1;
                     depth = depth.saturating_sub(1);
@@ -593,8 +600,8 @@ pub fn render_summary(events: &[Event], counters: &BTreeMap<&'static str, u64>) 
             m.imbalance
         ));
         out.push_str(&format!(
-            "  tasks: {} created, {} completed, queue high-water {}\n",
-            m.tasks_created, m.tasks_completed, m.task_depth_hwm
+            "  tasks: {} created, {} completed, {} stolen, queue high-water {}\n",
+            m.tasks_created, m.tasks_completed, m.task_steals, m.task_depth_hwm
         ));
         out.push_str(&format!(
             "  locks: {} acquisitions, {} contended; sync wait {}\n",
@@ -776,6 +783,9 @@ pub fn render_chrome_trace(events: &[Event], counters: &BTreeMap<&'static str, u
             }
             EventKind::TaskSchedule => {
                 task_open.entry(key).or_default().push(e.ts_ns);
+            }
+            EventKind::TaskSteal => {
+                w.instant("task-steal", e.region, e.thread, e.ts_ns, "");
             }
             EventKind::TaskComplete => {
                 if let Some(start) = task_open.get_mut(&key).and_then(Vec::pop) {

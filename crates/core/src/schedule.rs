@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use crate::adaptive;
 use crate::directive::ScheduleKind;
 use crate::error::OmpError;
 use crate::faults::{self, FaultSite};
@@ -129,7 +130,14 @@ pub struct ResolvedSchedule {
 impl ResolvedSchedule {
     /// Resolve a `schedule(...)` clause (or its absence) per the spec:
     /// no clause → `def-sched-var`; `runtime` → `run-sched-var`; `auto` →
-    /// implementation choice (static).
+    /// implementation choice.
+    ///
+    /// This is the *non-adaptive* resolution, where the implementation choice
+    /// for `auto` is its historical alias: `static`. Loop drivers that know
+    /// their loop identity resolve through [`crate::adaptive::resolve`]
+    /// instead, which picks (and re-picks) a policy from measured feedback;
+    /// it falls back to this function when adaptation is disabled or does not
+    /// apply.
     pub fn resolve(clause: Option<(ScheduleKind, Option<u64>)>) -> ResolvedSchedule {
         let icvs = Icvs::current();
         let (mut kind, mut chunk) = match clause {
@@ -176,11 +184,25 @@ pub struct ForBounds {
     block_done: bool,
     /// Shared instance for dynamic/guided/ordered coordination.
     instance: Option<Arc<WsInstance>>,
-    /// Profiler: when the [`crate::ompt`] layer is enabled, the wall-clock
-    /// start of the chunk currently being executed by the caller.
+    /// Wall-clock start of the chunk currently being executed by the caller
+    /// (set when the [`crate::ompt`] layer is enabled or the loop is
+    /// adaptively tracked).
     prof_chunk_start: Option<std::time::Instant>,
-    /// Profiler: iteration count of the chunk being timed.
+    /// Iteration count of the chunk being timed.
     prof_chunk_iters: u64,
+    /// Whether the current chunk's `ChunkClaim` event was recorded (so its
+    /// `ChunkDone` keeps the stream balanced even if the profiler toggles).
+    prof_chunk_recorded: bool,
+    /// Adaptive feedback: the loop-identity key this instance reports to.
+    adapt_key: Option<u64>,
+    /// Adaptive: nanoseconds this thread spent executing chunk bodies.
+    adapt_ns: u64,
+    /// Adaptive: chunks claimed by this thread.
+    adapt_chunks: u64,
+    /// Adaptive: iterations executed by this thread.
+    adapt_iters: u64,
+    /// Whether this thread's report was already filed.
+    adapt_reported: bool,
 }
 
 impl ForBounds {
@@ -209,12 +231,26 @@ impl ForBounds {
             instance,
             prof_chunk_start: None,
             prof_chunk_iters: 0,
+            prof_chunk_recorded: false,
+            adapt_key: None,
+            adapt_ns: 0,
+            adapt_chunks: 0,
+            adapt_iters: 0,
+            adapt_reported: false,
         }
     }
 
     /// The shared instance, when one is attached.
     pub fn instance(&self) -> Option<&Arc<WsInstance>> {
         self.instance.as_ref()
+    }
+
+    /// Attach adaptive-feedback tracking (see [`crate::adaptive`]): every
+    /// chunk is timed and a per-thread [`adaptive::ThreadReport`] is filed
+    /// when this thread's share is exhausted (or the driver is dropped —
+    /// cancellation and panics still complete the measurement window).
+    pub fn track_adaptive(&mut self, key: u64) {
+        self.adapt_key = Some(key);
     }
 
     /// Claim the next chunk — the paper's `for_next`. Returns `false` when
@@ -231,11 +267,13 @@ impl ForBounds {
         self.finish_profiled_chunk();
         let total = self.dims.total();
         if total == 0 {
+            self.file_adaptive_report();
             return false;
         }
         faults::on_event(FaultSite::ChunkClaim);
         if let Some(inst) = &self.instance {
             if inst.is_cancelled() {
+                self.file_adaptive_report();
                 return false;
             }
         }
@@ -249,24 +287,56 @@ impl ForBounds {
         };
         if claimed {
             self.is_last = self.hi == total;
-            if ompt::enabled() {
+            self.prof_chunk_recorded = ompt::enabled();
+            if self.prof_chunk_recorded {
                 ompt::record_here(ompt::EventKind::ChunkClaim {
                     lo: self.lo,
                     hi: self.hi,
                 });
+            }
+            if self.prof_chunk_recorded || self.adapt_key.is_some() {
                 self.prof_chunk_start = Some(std::time::Instant::now());
                 self.prof_chunk_iters = self.hi - self.lo;
             }
+        } else {
+            self.file_adaptive_report();
         }
         claimed
     }
 
     fn finish_profiled_chunk(&mut self) {
         if let Some(start) = self.prof_chunk_start.take() {
-            ompt::record_here(ompt::EventKind::ChunkDone {
-                iters: self.prof_chunk_iters,
-                ns: start.elapsed().as_nanos() as u64,
-            });
+            let ns = start.elapsed().as_nanos() as u64;
+            if self.prof_chunk_recorded {
+                ompt::record_here(ompt::EventKind::ChunkDone {
+                    iters: self.prof_chunk_iters,
+                    ns,
+                });
+                self.prof_chunk_recorded = false;
+            }
+            if self.adapt_key.is_some() {
+                self.adapt_ns += ns;
+                self.adapt_chunks += 1;
+                self.adapt_iters += self.prof_chunk_iters;
+            }
+        }
+    }
+
+    /// File this thread's measurements with the adaptive registry, once.
+    fn file_adaptive_report(&mut self) {
+        if self.adapt_reported {
+            return;
+        }
+        if let Some(key) = self.adapt_key {
+            self.adapt_reported = true;
+            adaptive::report(
+                key,
+                adaptive::ThreadReport {
+                    ns: self.adapt_ns,
+                    chunks: self.adapt_chunks,
+                    iters: self.adapt_iters,
+                },
+            );
         }
     }
 
@@ -346,6 +416,16 @@ impl ForBounds {
             }
             Err(_) => false,
         }
+    }
+}
+
+impl Drop for ForBounds {
+    /// A driver abandoned mid-loop (cancellation observed by the caller, or
+    /// a panicking chunk body) still closes its timed chunk and files its
+    /// adaptive report, so measurement windows always complete.
+    fn drop(&mut self) {
+        self.finish_profiled_chunk();
+        self.file_adaptive_report();
     }
 }
 
@@ -535,9 +615,43 @@ mod tests {
     }
 
     #[test]
-    fn resolve_auto_becomes_static() {
+    fn resolve_auto_aliases_static_on_the_non_adaptive_path() {
+        // `ResolvedSchedule::resolve` is the fallback used when the adaptive
+        // layer is off or no loop identity is available; there `auto` keeps
+        // its historical alias. The feedback-driven resolution of `auto`
+        // lives in (and is tested by) `crate::adaptive`.
         let r = ResolvedSchedule::resolve(Some((ScheduleKind::Auto, None)));
         assert_eq!(r.kind, ScheduleKind::Static);
         assert!(!r.explicit_chunk);
+    }
+
+    #[test]
+    fn tracked_driver_files_one_report_per_thread() {
+        let key = 0x5ced_0001u64;
+        adaptive::forget(key);
+        let nthreads = 2usize;
+        let (resolved, tracked) =
+            adaptive::resolve(Some((ScheduleKind::Auto, None)), key, 40, nthreads, false);
+        let _ = adaptive::resolve(Some((ScheduleKind::Auto, None)), key, 40, nthreads, false);
+        assert_eq!(tracked, Some(key));
+        let reg = WorkshareRegistry::new(Backend::Atomic, nthreads, Arc::new(Notifier::new()));
+        let inst = reg.enter(0);
+        for t in 0..nthreads {
+            let mut fb = ForBounds::init(
+                LoopDims::simple(40),
+                resolved,
+                t,
+                nthreads,
+                Some(Arc::clone(&inst)),
+            );
+            fb.track_adaptive(key);
+            while fb.next() {}
+        }
+        // Both threads reported, so the measurement window folded: the next
+        // instance draws on a completed history.
+        let snap = adaptive::snapshot(key).expect("history exists");
+        assert_eq!(snap.instances, 1);
+        assert!(snap.last_mean_chunk_ns > 0 || snap.rechunks <= 1);
+        adaptive::forget(key);
     }
 }

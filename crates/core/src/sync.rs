@@ -374,6 +374,73 @@ impl<T> WorkBag<T> {
     }
 }
 
+/// A bounded per-thread deque for work-stealing task execution.
+///
+/// The owner pushes and pops at the **back** (LIFO: the freshest task stays
+/// cache-warm and task trees unwind depth-first); thieves steal from the
+/// **front** (FIFO: the oldest — typically largest — unit of work migrates,
+/// amortizing the steal). Capacity is fixed at construction and [`push`]
+/// reports overflow instead of growing, so callers spill excess work to a
+/// shared overflow queue rather than hoarding it on one thread.
+///
+/// [`push`]: WorkDeque::push
+#[derive(Debug)]
+pub struct WorkDeque<T> {
+    cap: usize,
+    items: Mutex<std::collections::VecDeque<T>>,
+}
+
+impl<T> WorkDeque<T> {
+    /// Create an empty deque holding at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> WorkDeque<T> {
+        let cap = cap.max(1);
+        WorkDeque {
+            cap,
+            items: Mutex::new(std::collections::VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Owner push (back). Returns the item back on overflow.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the deque is full — the caller owns the item again
+    /// and should spill it to the overflow queue.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut q = self.items.lock();
+        if q.len() >= self.cap {
+            return Err(item);
+        }
+        q.push_back(item);
+        Ok(())
+    }
+
+    /// Owner pop (back, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().pop_back()
+    }
+
+    /// Thief steal (front, FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Number of queued items (racy, advisory).
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the deque is currently empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,6 +598,31 @@ mod tests {
             }
             assert_eq!(seen.lock().len(), total, "{backend:?}");
         }
+    }
+
+    #[test]
+    fn work_deque_owner_lifo_thief_fifo() {
+        let d = WorkDeque::new(8);
+        assert!(d.push(1).is_ok());
+        assert!(d.push(2).is_ok());
+        assert!(d.push(3).is_ok());
+        assert_eq!(d.pop(), Some(3), "owner pops the freshest item");
+        assert_eq!(d.steal(), Some(1), "thieves steal the oldest item");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn work_deque_overflows_at_capacity() {
+        let d = WorkDeque::new(2);
+        assert_eq!(d.capacity(), 2);
+        assert!(d.push(10).is_ok());
+        assert!(d.push(11).is_ok());
+        assert_eq!(d.push(12), Err(12), "overflow hands the item back");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.steal(), Some(10));
+        assert!(d.push(12).is_ok(), "space reopens after a steal");
     }
 
     #[test]

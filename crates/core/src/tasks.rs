@@ -2,19 +2,44 @@
 //!
 //! Follows §III-E of the paper: tasks are packaged into nodes carrying an
 //! execution state (*free* → *in-progress* → *completed*) and a completion
-//! event, and are placed in a team-wide shared queue. Idle threads — and
-//! threads waiting at implicit barriers — pull tasks from this queue.
-//! Enqueueing uses a mutex in the [`Backend::Mutex`] runtime and lock-free
-//! operations in the [`Backend::Atomic`] runtime.
+//! event. Placement is **work-stealing**: each team thread owns a bounded
+//! [`WorkDeque`] it pushes to and pops from LIFO, while idle threads — and
+//! threads waiting at implicit barriers — first drain their own deque, then
+//! the shared overflow queue, then steal FIFO from the other threads'
+//! deques. The shared queue (a mutex-guarded list in the [`Backend::Mutex`]
+//! runtime, lock-free in [`Backend::Atomic`]) doubles as the overflow
+//! target when a deque fills and as the home for submissions made without a
+//! thread affinity. Deques are sized from the recorded high-water mark of
+//! outstanding tasks (override: `OMP4RS_STEAL_CAP`).
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::faults::{self, FaultSite};
+use crate::icv::Icvs;
 use crate::ompt;
-use crate::sync::{Backend, CancelFlag, Notifier, OmpEvent, WorkBag};
+use crate::sync::{Backend, CancelFlag, Notifier, OmpEvent, WorkBag, WorkDeque};
+
+/// Process-wide high-water mark of simultaneously outstanding tasks,
+/// updated on every submission. New queues size their per-thread steal
+/// deques from it, so capacity tracks how task-heavy the program actually
+/// is instead of guessing.
+static QUEUE_HWM: AtomicUsize = AtomicUsize::new(0);
+
+/// Steal-deque capacity for a team of `nthreads`: the `OMP4RS_STEAL_CAP`
+/// ICV when set, otherwise the recorded high-water mark split across the
+/// team, clamped to `[8, 256]`.
+fn deque_capacity(nthreads: usize) -> usize {
+    if let Some(cap) = Icvs::current().steal_cap {
+        return cap;
+    }
+    QUEUE_HWM
+        .load(Ordering::Relaxed)
+        .div_ceil(nthreads.max(1))
+        .clamp(8, 256)
+}
 
 /// Lifecycle state of a task node (paper: free / in-progress / completed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,9 +151,16 @@ impl TaskNode {
     }
 }
 
-/// The team-shared task queue.
+/// The team-shared task queue: per-thread steal deques over a shared
+/// overflow bag.
 pub struct TaskQueue {
+    /// Shared overflow/fallback queue (submissions without a thread
+    /// affinity, and spill from full deques).
     bag: WorkBag<Arc<TaskNode>>,
+    /// One bounded deque per team thread (empty for affinity-less queues).
+    deques: Vec<WorkDeque<Arc<TaskNode>>>,
+    /// Tasks claimed out of another thread's deque.
+    steals: AtomicU64,
     outstanding: AtomicUsize,
     wake: Arc<Notifier>,
     backend: Backend,
@@ -151,16 +183,37 @@ impl TaskQueue {
     /// Create a queue whose submissions/completions signal `wake` (shared
     /// with the team barrier, so barrier waiters learn about new tasks —
     /// the paper's "threads waiting at the barrier are reawakened to execute
-    /// the work").
+    /// the work"). No per-thread deques: every task goes through the shared
+    /// queue. Teams use [`TaskQueue::with_threads`] instead.
     pub fn new(backend: Backend, wake: Arc<Notifier>) -> TaskQueue {
+        TaskQueue::with_threads(backend, wake, 0)
+    }
+
+    /// Create a queue with one steal deque per team thread, sized from the
+    /// recorded task high-water mark (see `deque_capacity`).
+    pub fn with_threads(backend: Backend, wake: Arc<Notifier>, nthreads: usize) -> TaskQueue {
+        let cap = deque_capacity(nthreads);
         TaskQueue {
             bag: WorkBag::new(backend),
+            deques: (0..nthreads).map(|_| WorkDeque::new(cap)).collect(),
+            steals: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
             wake,
             backend,
             panic_slot: Mutex::new(None),
             cancelled: CancelFlag::new(backend),
         }
+    }
+
+    /// Number of tasks this queue's threads claimed from another thread's
+    /// deque.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Capacity of each per-thread steal deque (0 when the queue has none).
+    pub fn steal_deque_capacity(&self) -> usize {
+        self.deques.first().map_or(0, WorkDeque::capacity)
     }
 
     /// Whether the queue has been cancelled.
@@ -176,6 +229,11 @@ impl TaskQueue {
         self.cancelled.set();
         while let Some(node) = self.bag.pop() {
             self.discard(&node);
+        }
+        for deque in &self.deques {
+            while let Some(node) = deque.steal() {
+                self.discard(&node);
+            }
         }
         self.wake.notify_all();
     }
@@ -210,10 +268,24 @@ impl TaskQueue {
     }
 
     /// Enqueue a deferred task; returns its node (for child tracking).
+    /// Equivalent to [`TaskQueue::submit_from`] with no thread affinity.
     ///
     /// Submissions to a cancelled queue are discarded immediately (the node
     /// is returned already complete, never counted as outstanding).
     pub fn submit(&self, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+        self.submit_from(body, None)
+    }
+
+    /// Enqueue a deferred task, preferring the submitting thread's own
+    /// deque: `owner` is the submitter's team-thread number, so the task
+    /// runs LIFO on the thread that created it unless someone steals it.
+    /// Tasks overflow to the shared queue when the deque is full (or when
+    /// `owner` is `None` / out of range).
+    pub fn submit_from(
+        &self,
+        body: Box<dyn FnOnce() + Send>,
+        owner: Option<usize>,
+    ) -> Arc<TaskNode> {
         ompt::record_here(ompt::EventKind::TaskCreate { deferred: true });
         let node = TaskNode::new(self.backend, body);
         if self.cancelled.is_set() {
@@ -223,8 +295,16 @@ impl TaskQueue {
             }
             return node;
         }
-        self.outstanding.fetch_add(1, Ordering::AcqRel);
-        self.bag.push(Arc::clone(&node));
+        let outstanding = self.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        QUEUE_HWM.fetch_max(outstanding, Ordering::Relaxed);
+        match owner.and_then(|t| self.deques.get(t)) {
+            Some(deque) => {
+                if let Err(node) = deque.push(Arc::clone(&node)) {
+                    self.bag.push(node);
+                }
+            }
+            None => self.bag.push(Arc::clone(&node)),
+        }
         // Submit/cancel race: the drain in `cancel` may already have run.
         // Discard here so the node cannot linger outstanding forever.
         if self.cancelled.is_set() {
@@ -252,28 +332,74 @@ impl TaskQueue {
         self.wake.notify_all();
     }
 
+    /// Pop and execute one task, if any is available, with no thread
+    /// affinity. Equivalent to [`TaskQueue::run_one_from`] with `None`.
+    pub fn run_one(&self) -> bool {
+        self.run_one_from(None)
+    }
+
     /// Pop and execute one task, if any is available. Returns whether a task
     /// was run. Nodes already claimed inline by `taskwait` are skipped.
-    pub fn run_one(&self) -> bool {
-        while let Some(node) = self.bag.pop() {
-            if self.cancelled.is_set() {
-                self.discard(&node);
-                continue;
+    ///
+    /// Search order for team thread `me`: own deque (LIFO, cache-warm),
+    /// then the shared overflow queue (FIFO), then the other threads'
+    /// deques (FIFO steals, rotating victim order so thieves spread out).
+    pub fn run_one_from(&self, me: Option<usize>) -> bool {
+        if let Some(deque) = me.and_then(|t| self.deques.get(t)) {
+            while let Some(node) = deque.pop() {
+                if self.try_execute(&node, false) {
+                    return true;
+                }
             }
-            if let Some(body) = node.try_claim() {
-                self.record_panic(node.finish(Some(body)));
-                self.outstanding.fetch_sub(1, Ordering::AcqRel);
-                self.wake.notify_all();
+        }
+        while let Some(node) = self.bag.pop() {
+            if self.try_execute(&node, false) {
                 return true;
             }
-            // Claimed elsewhere: its executor handles the bookkeeping.
+        }
+        let n = self.deques.len();
+        if n > 0 {
+            let start = me.map_or(0, |t| t + 1);
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if Some(victim) == me {
+                    continue;
+                }
+                while let Some(node) = self.deques[victim].steal() {
+                    if self.try_execute(&node, true) {
+                        return true;
+                    }
+                }
+            }
         }
         false
     }
 
+    /// Claim and run one dequeued node; `stolen` marks a cross-thread deque
+    /// claim. Returns `false` when the node was discarded (cancellation) or
+    /// already claimed elsewhere (its executor handles the bookkeeping).
+    fn try_execute(&self, node: &Arc<TaskNode>, stolen: bool) -> bool {
+        if self.cancelled.is_set() {
+            self.discard(node);
+            return false;
+        }
+        if let Some(body) = node.try_claim() {
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                ompt::record_here(ompt::EventKind::TaskSteal);
+            }
+            self.record_panic(node.finish(Some(body)));
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.wake.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether the queue currently holds no runnable tasks (advisory).
     pub fn is_empty(&self) -> bool {
-        self.bag.is_empty()
+        self.bag.is_empty() && self.deques.iter().all(WorkDeque::is_empty)
     }
 }
 
@@ -344,6 +470,114 @@ mod tests {
             }
             assert_eq!(hits.load(Ordering::SeqCst), 100);
             assert!(nodes.iter().all(|n| n.is_done()));
+        }
+    }
+
+    #[test]
+    fn own_deque_runs_lifo_before_overflow() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 2);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..3 {
+                let order = Arc::clone(&order);
+                q.submit_from(Box::new(move || order.lock().push(i)), Some(0));
+            }
+            while q.run_one_from(Some(0)) {}
+            assert_eq!(
+                *order.lock(),
+                vec![2, 1, 0],
+                "owner pops its own deque LIFO"
+            );
+            assert_eq!(q.steals(), 0, "running own work is not a steal");
+        }
+    }
+
+    #[test]
+    fn idle_thread_steals_from_loaded_deque() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 2);
+            // Stay within deque capacity so nothing spills to the overflow
+            // queue (spilled tasks would not count as steals).
+            let n = q.steal_deque_capacity().min(5);
+            let hits = Arc::new(AtomicUsize::new(0));
+            for _ in 0..n {
+                let h = Arc::clone(&hits);
+                q.submit_from(
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Some(0),
+                );
+            }
+            // Thread 1 has nothing of its own and the overflow queue is
+            // empty: all its work comes from stealing thread 0's deque.
+            while q.run_one_from(Some(1)) {}
+            assert_eq!(hits.load(Ordering::SeqCst), n);
+            assert_eq!(q.steals(), n as u64, "every execution was a steal");
+            assert_eq!(q.outstanding(), 0);
+        }
+    }
+
+    #[test]
+    fn full_deque_spills_to_shared_overflow() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 1);
+            let cap = q.steal_deque_capacity();
+            assert!(cap >= 1);
+            let hits = Arc::new(AtomicUsize::new(0));
+            for _ in 0..cap + 3 {
+                let h = Arc::clone(&hits);
+                q.submit_from(
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Some(0),
+                );
+            }
+            assert!(
+                !q.bag.is_empty(),
+                "submissions beyond deque capacity spill to the shared queue"
+            );
+            while q.run_one_from(Some(0)) {}
+            assert_eq!(hits.load(Ordering::SeqCst), cap + 3, "no task lost");
+            assert_eq!(q.outstanding(), 0);
+        }
+    }
+
+    #[test]
+    fn steal_cap_icv_overrides_deque_sizing() {
+        let before = Icvs::current();
+        Icvs::update(|i| i.steal_cap = Some(3));
+        let q = TaskQueue::with_threads(Backend::Atomic, Arc::new(Notifier::new()), 4);
+        assert_eq!(q.steal_deque_capacity(), 3);
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn cancel_drains_deques_and_overflow() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 2);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let mut nodes = Vec::new();
+            for t in [Some(0), Some(1), None] {
+                let h = Arc::clone(&hits);
+                nodes.push(q.submit_from(
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    t,
+                ));
+            }
+            q.cancel();
+            assert!(q.is_cancelled());
+            assert_eq!(hits.load(Ordering::SeqCst), 0, "no cancelled task ran");
+            assert!(
+                nodes.iter().all(|n| n.is_done()),
+                "discarded tasks still complete so waiters release"
+            );
+            assert_eq!(q.outstanding(), 0);
+            assert!(q.is_empty());
+            assert!(!q.run_one_from(Some(0)));
         }
     }
 

@@ -69,7 +69,7 @@ impl Team {
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             release: Mutex::new(()),
-            tasks: TaskQueue::new(backend, Arc::clone(&wake)),
+            tasks: TaskQueue::with_threads(backend, Arc::clone(&wake), size.max(1)),
             ws: WorkshareRegistry::with_cancel(backend, size.max(1), wake, Arc::clone(&cancelled)),
             cancelled,
             poisoned: CancelFlag::new(backend),
@@ -240,9 +240,18 @@ impl Team {
             return false;
         }
         EXEC_DEPTH.with(|d| d.set(d.get() + 1));
-        let ran = self.tasks.run_one();
+        let ran = self.tasks.run_one_from(self.my_thread_num());
         EXEC_DEPTH.with(|d| d.set(d.get() - 1));
         ran
+    }
+
+    /// The calling thread's number within *this* team, when it is a member
+    /// (drives deque affinity for submissions and the own-deque-first /
+    /// steal-last search order). `None` for outsiders — e.g. a thread of a
+    /// different nesting level touching this team's queue.
+    fn my_thread_num(&self) -> Option<usize> {
+        let frame = context::current_frame()?;
+        std::ptr::eq(Arc::as_ptr(&frame.team), self as *const Team).then_some(frame.thread_num)
     }
 
     /// Submit a task (§III-E). `deferred == false` corresponds to an
@@ -270,7 +279,7 @@ impl Team {
             body();
         });
         let node = if deferred {
-            self.tasks.submit(wrapped)
+            self.tasks.submit_from(wrapped, self.my_thread_num())
         } else {
             self.tasks.run_undeferred(wrapped)
         };

@@ -254,6 +254,103 @@ fn sections_observe_cancellation() {
 }
 
 #[test]
+fn tasks_submitted_by_one_thread_are_stolen_by_teammates() {
+    // One producer loads its own deque; teammates waiting at the region-end
+    // barrier must pull work from it. The profiler's task-steal counter is
+    // the witness that cross-thread stealing actually happened. The task
+    // count stays at the deque-capacity floor (8) so nothing spills into the
+    // shared overflow bag — the only way a teammate gets work is stealing.
+    for backend in BACKENDS {
+        let session = omp4rs::ompt::session(omp4rs::ompt::ToolConfig::default());
+        let executed = AtomicUsize::new(0);
+        parallel_region(&cfg(backend, 4), |ctx| {
+            ctx.single(|| {
+                for _ in 0..8 {
+                    ctx.task(|_| {
+                        // Slow enough that the producer cannot drain its own
+                        // deque before the thieves arrive.
+                        std::thread::sleep(Duration::from_micros(500));
+                        executed.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(executed.load(Ordering::SeqCst), 8, "{backend:?}");
+        let events = omp4rs::ompt::events();
+        let steals: u64 = omp4rs::ompt::aggregate(&events)
+            .iter()
+            .map(|m| m.task_steals)
+            .sum();
+        drop(session);
+        assert!(steals > 0, "{backend:?}: no task was stolen (steals = 0)");
+    }
+}
+
+#[test]
+fn injected_panic_in_a_stolen_task_poisons_without_hanging() {
+    // Panics must stay first-wins and bounded even when the failing task may
+    // be executing on a thief's stack rather than its submitter's.
+    for backend in BACKENDS {
+        let guard = faults::arm(FaultPlan::new(0xF006).panic_at(FaultSite::TaskExecute, 10));
+        let executed = AtomicUsize::new(0);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_region(&cfg(backend, 4), |ctx| {
+                ctx.single(|| {
+                    for _ in 0..64 {
+                        ctx.task(|_| {
+                            std::thread::sleep(Duration::from_micros(100));
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        }));
+        let payload = result.expect_err("the injected task fault must re-raise");
+        let fault = payload
+            .downcast_ref::<InjectedFault>()
+            .expect("payload must be the InjectedFault");
+        assert_eq!(fault.site, FaultSite::TaskExecute);
+        assert!(
+            executed.load(Ordering::SeqCst) < 64,
+            "{backend:?}: poisoning must discard queued tasks"
+        );
+        assert!(start.elapsed() < HANG_LIMIT, "{backend:?}: region hung");
+        drop(guard);
+    }
+}
+
+#[test]
+fn cancel_taskgroup_drains_loaded_deques_across_threads() {
+    // Multi-thread version of the discard rule: cancellation must empty the
+    // per-thread deques as well as the shared overflow bag.
+    with_cancellation(|| {
+        for backend in BACKENDS {
+            let executed = AtomicUsize::new(0);
+            let start = Instant::now();
+            parallel_region(&cfg(backend, 4), |ctx| {
+                ctx.single(|| {
+                    for _ in 0..64 {
+                        ctx.task(|_| {
+                            std::thread::sleep(Duration::from_micros(100));
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    assert!(ctx.cancel("taskgroup"));
+                });
+            });
+            // A few tasks may start before the cancel lands; the rest must
+            // be discarded, not executed.
+            assert!(
+                executed.load(Ordering::SeqCst) < 64,
+                "{backend:?}: cancel did not discard queued tasks"
+            );
+            assert!(start.elapsed() < HANG_LIMIT, "{backend:?}: region hung");
+        }
+    });
+}
+
+#[test]
 fn delay_injection_slows_but_does_not_break() {
     let guard = faults::arm(FaultPlan::new(0xF005).delay_at(
         FaultSite::BarrierArrival,

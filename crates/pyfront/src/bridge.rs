@@ -64,6 +64,11 @@ impl ExecMode {
 /// Panic payload used to carry interpreter errors out of task bodies.
 struct TaskPyErr(PyErr);
 
+/// High-bit tag mixed into transform-assigned loop-site ids so interpreted
+/// loops can never collide with compiled-mode call-site hashes in the
+/// adaptive schedule registry.
+const INTERP_SITE_TAG: u64 = 1 << 62;
+
 fn err(kind: ErrKind, msg: impl Into<String>) -> PyErr {
     PyErr::new(kind, msg)
 }
@@ -134,8 +139,13 @@ fn downcast<'a, T: 'static>(v: &'a Value, what: &str) -> Result<&'a T, PyErr> {
     }
 }
 
-fn bounds_state(list: &Value) -> Result<Arc<dyn Opaque>, PyErr> {
-    match list {
+fn bounds_state(bounds: &Value) -> Result<Arc<dyn Opaque>, PyErr> {
+    match bounds {
+        // The modern shape: `for_bounds` hands back the state directly, so
+        // intrinsics on the hot loop path take no per-object lock here.
+        Value::Opaque(o) => Ok(Arc::clone(o)),
+        // Legacy shape (pre-hoisting callers and hand-written code): a list
+        // whose element 3 carries the state.
         Value::List(items) => {
             let items = items.read();
             match items.get(3) {
@@ -607,12 +617,10 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             rank: Mutex::new(triplet_list.len() / 3),
             ordered: Mutex::new(false),
         };
-        Ok(Value::list(vec![
-            Value::Int(0),
-            Value::Int(0),
-            Value::Int(1),
-            Value::Opaque(Arc::new(state)),
-        ]))
+        // Returned as a bare opaque handle: the generated code reads chunk
+        // bounds through `for_chunk` (an immutable tuple), so the loop path
+        // never round-trips through a lock-counted shared list.
+        Ok(Value::Opaque(Arc::new(state)))
     });
 
     native(&module, "for_init", move |_, args: Args| {
@@ -629,17 +637,39 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         };
         let _nowait = args.opt(3).map(Value::truthy).unwrap_or(false);
         let ordered = args.opt(4).map(Value::truthy).unwrap_or(false);
+        // Loop-site id baked in by the transform; keys the adaptive
+        // schedule history. Absent for legacy/hand-written callers.
+        let site = match args.opt(5) {
+            Some(Value::None) | None => None,
+            Some(v) => Some(v.as_int()? as u64),
+        };
 
         with_bounds(bounds, |state| {
             let triplets = state.triplets.lock().clone();
             let dims_vec: Vec<(i64, i64, i64)> =
                 triplets.chunks(3).map(|c| (c[0], c[1], c[2])).collect();
             let dims = LoopDims::new(&dims_vec).map_err(|e| err(ErrKind::Value, e.to_string()))?;
-            let sched = ResolvedSchedule::resolve(sched_clause.map(|k| (k, chunk)));
             let frame = context::current_frame();
             let (thread_num, nthreads) = match &frame {
                 Some(f) => (f.thread_num, f.team.size()),
                 None => (0, 1),
+            };
+            // Interpreted loops resolve adaptively when the transform gave
+            // them a site id and a team instance exists (dynamic/guided need
+            // its chunk counter); `interpreted = true` biases the first
+            // instance toward guided with an overhead-derived minimum chunk.
+            let (sched, adapt) = match site {
+                Some(site_id) if frame.is_some() => omp4rs::adaptive::resolve(
+                    sched_clause.map(|k| (k, chunk)),
+                    INTERP_SITE_TAG | site_id,
+                    dims.total(),
+                    nthreads,
+                    true,
+                ),
+                _ => (
+                    ResolvedSchedule::resolve(sched_clause.map(|k| (k, chunk))),
+                    None,
+                ),
             };
             // Every in-team loop gets a work-share instance: dynamic/guided
             // schedules need its chunk counter, ordered needs its turnstile,
@@ -657,7 +687,11 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             }
             *state.instance.lock() = instance.clone();
             *state.ordered.lock() = ordered;
-            *state.fb.lock() = Some(ForBounds::init(dims, sched, thread_num, nthreads, instance));
+            let mut fb = ForBounds::init(dims, sched, thread_num, nthreads, instance);
+            if let Some(key) = adapt {
+                fb.track_adaptive(key);
+            }
+            *state.fb.lock() = Some(fb);
             Ok(())
         })?;
         Ok(Value::None)
@@ -691,6 +725,28 @@ fn build_runtime_module(mode: ExecMode) -> Value {
             }
         }
         Ok(Value::Bool(more))
+    });
+
+    native(&module, "for_chunk", |_, args: Args| {
+        let (lo, hi, step) = with_bounds(args.req(0)?, |state| {
+            let guard = state.fb.lock();
+            let fb = guard
+                .as_ref()
+                .ok_or_else(|| runtime_err("for_chunk before for_init"))?;
+            let rank = *state.rank.lock();
+            if rank == 1 {
+                Ok(fb.dims.var_chunk(fb.lo, fb.hi))
+            } else {
+                Ok((fb.lo as i64, fb.hi as i64, 1))
+            }
+        })?;
+        // An immutable tuple: unpacking it into frame locals takes no
+        // per-object lock, unlike the legacy writeback into the bounds list.
+        Ok(Value::tuple(vec![
+            Value::Int(lo),
+            Value::Int(hi),
+            Value::Int(step),
+        ]))
     });
 
     native(&module, "for_is_last", |_, args: Args| {

@@ -67,6 +67,16 @@ fn syntax_err(msg: impl Into<String>, line: u32) -> PyErr {
     PyErr::at(ErrKind::Syntax, msg, line)
 }
 
+/// Process-wide loop-site ids. Every transformed `for` directive bakes a
+/// unique id into its generated `for_init` call; the runtime keys its
+/// adaptive `schedule(auto)` history on it (`omp4rs::adaptive`), so repeated
+/// executions of the same source loop share one feedback history.
+fn next_site_id() -> i64 {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    static NEXT: AtomicI64 = AtomicI64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// `privatize` result: (prologue, epilogue, nonlocal names).
 type PrivatizeParts = (Vec<Stmt>, Vec<Stmt>, Vec<String>);
 
@@ -850,7 +860,7 @@ impl Transformer {
             },
             line,
         ));
-        // __omp.for_init(bounds, sched, chunk, nowait, ordered)
+        // __omp.for_init(bounds, sched, chunk, nowait, ordered, site)
         out.push(omp_call_stmt(
             "for_init",
             vec![
@@ -859,11 +869,27 @@ impl Transformer {
                 chunk_expr,
                 Expr::Bool(nowait),
                 Expr::Bool(ordered),
+                Expr::Int(next_site_id()),
             ],
         ));
         out.extend(prologue);
 
-        // Loop driving (paper Fig. 3).
+        // Loop driving (paper Fig. 3), with the claimed chunk hoisted into
+        // frame locals: `for_chunk` returns an immutable (lo, hi, step)
+        // tuple unpacked once per chunk, so iterating the chunk touches no
+        // shared (per-object-locked) container on the hot path.
+        let chunk_id = self.next_id();
+        let lo_name = format!("__omp_lo_{chunk_id}");
+        let hi_name = format!("__omp_hi_{chunk_id}");
+        let st_name = format!("__omp_st_{chunk_id}");
+        let unpack_chunk = Stmt::synth(StmtKind::Assign {
+            targets: vec![Expr::Tuple(vec![
+                Expr::name(&lo_name),
+                Expr::name(&hi_name),
+                Expr::name(&st_name),
+            ])],
+            value: omp_call("for_chunk", vec![Expr::name(&bounds)]),
+        });
         let loop_body = if collapse == 1 {
             let var = &loop_vars[0];
             let mut for_body = Vec::new();
@@ -874,18 +900,21 @@ impl Transformer {
                 ));
             }
             for_body.extend(inner);
-            vec![Stmt::synth(StmtKind::For {
-                target: Expr::name(var),
-                iter: Expr::call(
-                    Expr::name("range"),
-                    vec![
-                        Expr::index(Expr::name(&bounds), Expr::Int(0)),
-                        Expr::index(Expr::name(&bounds), Expr::Int(1)),
-                        Expr::index(Expr::name(&bounds), Expr::Int(2)),
-                    ],
-                ),
-                body: for_body,
-            })]
+            vec![
+                unpack_chunk,
+                Stmt::synth(StmtKind::For {
+                    target: Expr::name(var),
+                    iter: Expr::call(
+                        Expr::name("range"),
+                        vec![
+                            Expr::name(&lo_name),
+                            Expr::name(&hi_name),
+                            Expr::name(&st_name),
+                        ],
+                    ),
+                    body: for_body,
+                }),
+            ]
         } else {
             // Collapsed: iterate the flattened space, reconstruct variables.
             let flat = format!("__omp_flat_{}", self.next_id());
@@ -906,17 +935,17 @@ impl Transformer {
                 ));
             }
             for_body.extend(inner);
-            vec![Stmt::synth(StmtKind::For {
-                target: Expr::name(&flat),
-                iter: Expr::call(
-                    Expr::name("range"),
-                    vec![
-                        Expr::index(Expr::name(&bounds), Expr::Int(0)),
-                        Expr::index(Expr::name(&bounds), Expr::Int(1)),
-                    ],
-                ),
-                body: for_body,
-            })]
+            vec![
+                unpack_chunk,
+                Stmt::synth(StmtKind::For {
+                    target: Expr::name(&flat),
+                    iter: Expr::call(
+                        Expr::name("range"),
+                        vec![Expr::name(&lo_name), Expr::name(&hi_name)],
+                    ),
+                    body: for_body,
+                }),
+            ]
         };
 
         out.push(Stmt::new(

@@ -31,4 +31,7 @@ pub mod engine;
 pub mod workload;
 
 pub use engine::{Machine, Resource};
-pub use workload::{simulate, ClaimCost, CostModel, Phase, SimSchedule, TaskShape, Workload};
+pub use workload::{
+    simulate, simulate_report, ClaimCost, CostModel, Phase, SimReport, SimSchedule, TaskShape,
+    Workload,
+};

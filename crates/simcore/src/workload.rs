@@ -150,6 +150,21 @@ impl Workload {
     }
 }
 
+/// Accounting collected by [`simulate_report`]: the virtual wall-clock of
+/// the run plus the simulator's analog of the profiler's barrier metrics,
+/// so measured `--profile` runs can be compared against the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimReport {
+    /// Virtual wall-clock seconds of the parallel region.
+    pub seconds: f64,
+    /// Summed barrier wait across all threads and barriers: for each
+    /// barrier, each thread contributes `release - arrival`.
+    pub barrier_wait: f64,
+    /// Total barrier arrivals (threads × barriers), matching the
+    /// profiler's `barrier_arrivals` aggregate.
+    pub barrier_arrivals: u64,
+}
+
 /// Min-heap entry: (next event time, thread id).
 #[derive(Debug, PartialEq)]
 struct Ev(f64, usize);
@@ -182,18 +197,31 @@ pub fn simulate(
     workload: &Workload,
     threads: usize,
 ) -> f64 {
+    simulate_report(machine, model, workload, threads).seconds
+}
+
+/// Like [`simulate`], but also returns the simulator's barrier-wait
+/// accounting (the analog of the runtime profiler's `BarrierWait` events)
+/// so measured and simulated barrier behaviour can be compared directly.
+pub fn simulate_report(
+    machine: &mut Machine,
+    model: &CostModel,
+    workload: &Workload,
+    threads: usize,
+) -> SimReport {
     let threads = threads.max(1);
     let slow = machine.oversubscription(threads);
     let mut now = vec![0.0f64; threads];
+    let mut report = SimReport::default();
 
     for phase in &workload.phases {
         match phase {
             Phase::Serial { cost } => {
                 // Thread 0 computes; everyone barriers after.
                 now[0] = charge_compute(machine, model, now[0], *cost * slow);
-                barrier(&mut now, model);
+                barrier(&mut now, model, &mut report);
             }
-            Phase::Barrier => barrier(&mut now, model),
+            Phase::Barrier => barrier(&mut now, model, &mut report),
             Phase::CriticalUpdates { per_thread, cost } => {
                 // Each thread's updates serialize through the mutex; drive
                 // in global time order.
@@ -234,7 +262,7 @@ pub fn simulate(
                     *imbalance,
                 );
                 if !nowait {
-                    barrier(&mut now, model);
+                    barrier(&mut now, model, &mut report);
                 }
             }
             Phase::Tasks {
@@ -254,11 +282,12 @@ pub fn simulate(
                     *spawn_cost,
                     *shape,
                 );
-                barrier(&mut now, model);
+                barrier(&mut now, model, &mut report);
             }
         }
     }
-    now.iter().copied().fold(0.0, f64::max)
+    report.seconds = now.iter().copied().fold(0.0, f64::max);
+    report
 }
 
 /// Iterations are weighted in fixed segments of this many iterations, so a
@@ -308,9 +337,11 @@ fn charge_compute(machine: &mut Machine, model: &CostModel, start: f64, cost: f6
     }
 }
 
-fn barrier(now: &mut [f64], model: &CostModel) {
+fn barrier(now: &mut [f64], model: &CostModel, report: &mut SimReport) {
     let release = now.iter().copied().fold(0.0, f64::max) + model.barrier;
     for t in now.iter_mut() {
+        report.barrier_wait += release - *t;
+        report.barrier_arrivals += 1;
         *t = release;
     }
 }
@@ -845,6 +876,48 @@ mod tests {
                 "chunk {chunk}: {sum} vs {whole}"
             );
         }
+    }
+
+    #[test]
+    fn report_accounts_barrier_wait() {
+        // A serial phase makes threads 1..N wait for thread 0: the summed
+        // barrier wait must be ≈ (N-1) × cost (plus the barrier itself).
+        let mut machine = Machine::new(32);
+        let model = CostModel {
+            barrier: 0.0,
+            shared_op: 7e-8,
+            gil: false,
+        };
+        let workload = Workload {
+            phases: vec![Phase::Serial { cost: 1e-3 }],
+        };
+        let report = simulate_report(&mut machine, &model, &workload, 4);
+        assert_eq!(report.barrier_arrivals, 4);
+        assert!(
+            (report.barrier_wait - 3e-3).abs() < 1e-9,
+            "wait {}",
+            report.barrier_wait
+        );
+        // A perfectly balanced loop barely waits.
+        let mut machine = Machine::new(32);
+        let balanced = Workload {
+            phases: vec![Phase::ParallelFor {
+                iters: 4_000,
+                cost_per_iter: 1e-6,
+                shared_ops_per_iter: 0.0,
+                schedule: SimSchedule::StaticBlock,
+                claim: ClaimCost::local(),
+                nowait: false,
+                imbalance: 0.0,
+            }],
+        };
+        let balanced_report = simulate_report(&mut machine, &model, &balanced, 4);
+        assert!(
+            balanced_report.barrier_wait < report.barrier_wait * 0.01,
+            "balanced wait {} vs serial wait {}",
+            balanced_report.barrier_wait,
+            report.barrier_wait
+        );
     }
 
     #[test]

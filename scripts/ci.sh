@@ -21,5 +21,14 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+if [[ -z "${SKIP_SLOW:-}" ]]; then
+    # Profiled smoke run: the walkthrough example must produce valid traces
+    # (it validates them itself and panics otherwise).
+    run cargo run --release --example profiling
+    # Profiler overhead contract: a disabled profiler records zero events,
+    # an enabled one produces a Chrome trace that passes the validator.
+    run cargo run --release -p omp4rs-bench --bin overhead -- --check
+fi
+
 echo
 echo "CI green."

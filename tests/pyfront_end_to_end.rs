@@ -37,7 +37,10 @@ fn pi_source_generates_fig2_fig3_shapes() {
     assert!(dumped.contains("__omp.for_bounds"), "{dumped}");
     assert!(dumped.contains("__omp.for_init"), "{dumped}");
     assert!(dumped.contains("while __omp.for_next"), "{dumped}");
-    assert!(dumped.contains("for i in range(__omp_bounds_"), "{dumped}");
+    // Chunk bounds are unpacked once into frame locals (no per-iteration
+    // lock traffic on the shared bounds object).
+    assert!(dumped.contains("__omp.for_chunk"), "{dumped}");
+    assert!(dumped.contains("for i in range(__omp_lo_"), "{dumped}");
     // The private reduction copy is renamed with the __omp_ prefix.
     assert!(dumped.contains("__omp_pi_value_"), "{dumped}");
     assert!(dumped.contains("parallel_run"), "{dumped}");
