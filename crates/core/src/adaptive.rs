@@ -8,27 +8,36 @@
 //!
 //! * Every adaptive loop is keyed by a stable **loop identity** (a call-site
 //!   hash in compiled mode, a transform-assigned site id in interpreted
-//!   mode). A global registry keeps one history record per key.
-//! * The first instance of a loop gets a cheap default: `static` blocks in
-//!   compiled mode, `guided` with an overhead-derived minimum chunk in
-//!   interpreted (Pure/Hybrid) mode — where per-chunk claims cross the
-//!   interpreter boundary and a static tail of tiny chunks dominates.
+//!   mode). A global registry keeps one `LoopHistory` record per key —
+//!   nothing else: all per-instance state lives on the instance itself.
+//! * Each dynamic occurrence of a loop carries an [`AdaptiveSlot`] on its
+//!   work-share instance ([`crate::worksharing::WsInstance`]), which exactly
+//!   the threads of one team share. The first thread to resolve installs an
+//!   [`InstanceTracker`] holding the decision; every teammate reads the same
+//!   immutable answer. Concurrent teams at the same loop key — nested
+//!   parallelism, parallel regions launched from different host threads —
+//!   each get their own tracker, so they can never consume each other's
+//!   decisions or see a mid-instance policy change.
 //! * While an adaptive loop runs, its [`crate::schedule::ForBounds`] driver
 //!   times every chunk (independently of the profiler) and reports a
 //!   per-thread `(time, chunks, iterations)` triple when the thread's share
-//!   is exhausted. Once every team thread has reported, the window is folded
-//!   into the history.
+//!   is exhausted. The reports collect on the tracker; once every team
+//!   thread has reported, the window is folded into the global history. A
+//!   team that dies mid-instance (cancellation, panic) simply drops its
+//!   tracker — a partial window can never leak into another team's fold.
 //! * On later instances the policy **re-chunks**: measured imbalance above
 //!   [`IMBALANCE_THRESHOLD`] escalates `static → guided → dynamic`, and a
 //!   mean chunk duration below [`CHUNK_OVERHEAD_FLOOR_NS`] doubles the chunk
 //!   so claim overhead amortizes.
 //!
-//! The whole mechanism is gated on the `OMP4RS_ADAPTIVE` environment
-//! variable (default on; see `docs/ENVIRONMENT.md`) and never touches loops
-//! with an explicit non-`auto` schedule clause.
+//! How much of the schedule space adaptation may take over is the
+//! [`AdaptiveMode`] ICV (`OMP4RS_ADAPTIVE`; see `docs/ENVIRONMENT.md`):
+//! explicit non-`auto` schedule clauses are *never* touched, and clause-less
+//! loops keep the spec's deterministic static default except for interpreted
+//! loops under the (default) [`AdaptiveMode::Full`].
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -36,6 +45,39 @@ use crate::directive::ScheduleKind;
 use crate::icv::Icvs;
 use crate::ompt;
 use crate::schedule::ResolvedSchedule;
+
+/// How much scheduling the adaptive resolver may take over
+/// (the `OMP4RS_ADAPTIVE` ICV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdaptiveMode {
+    /// No adaptation: `auto` keeps its legacy alias, `static`.
+    Off,
+    /// Only loops that explicitly ask for `auto` — a `schedule(auto)` clause
+    /// or `OMP_SCHEDULE=auto` through a `runtime` clause — adapt. Loops with
+    /// no schedule clause keep the spec's deterministic `def-sched-var`
+    /// default (static blocks), including in interpreted mode.
+    AutoOnly,
+    /// Explicit `auto` adapts, and clause-less **interpreted** (Pure/Hybrid)
+    /// loops are additionally treated as `auto`. This is the default; it
+    /// trades the deterministic static iteration→thread mapping of the
+    /// spec default for throughput. See `docs/ENVIRONMENT.md`.
+    #[default]
+    Full,
+}
+
+impl AdaptiveMode {
+    /// Parse the `OMP4RS_ADAPTIVE` spellings: the usual booleans plus
+    /// `auto` / `auto-only` for [`AdaptiveMode::AutoOnly`]. `None` for
+    /// unrecognized text (the caller keeps the default).
+    pub fn parse(text: &str) -> Option<AdaptiveMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" | "on" | "full" => Some(AdaptiveMode::Full),
+            "false" | "0" | "no" | "off" => Some(AdaptiveMode::Off),
+            "auto" | "auto-only" | "explicit" => Some(AdaptiveMode::AutoOnly),
+            _ => None,
+        }
+    }
+}
 
 /// Per-thread measurements of one adaptive loop instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,23 +98,17 @@ pub const IMBALANCE_THRESHOLD: f64 = 1.5;
 /// is no longer amortized).
 pub const CHUNK_OVERHEAD_FLOOR_NS: u64 = 50_000;
 
-/// What one loop learned so far.
+/// What one loop learned so far (cross-instance state only; the in-flight
+/// decision and measurement window of each team live on its
+/// [`InstanceTracker`]).
 #[derive(Debug, Clone, Default)]
 struct LoopHistory {
-    /// Completed `decide` rounds (loop instances seen).
+    /// Instances decided so far (across all teams).
     instances: u64,
     /// Policy the next instance will use.
     kind: ScheduleKind,
     /// Chunk parameter for the next instance (minimum chunk for guided).
     chunk: u64,
-    /// Decision handed to the threads of the current instance.
-    decision: Option<ResolvedSchedule>,
-    /// How many more team threads will ask for the current decision.
-    decide_remaining: usize,
-    /// Reports expected before the open window folds.
-    window_expected: usize,
-    /// Per-thread reports of the current window.
-    window: Vec<ThreadReport>,
     /// Imbalance of the last folded window.
     last_imbalance: f64,
     /// Mean chunk duration of the last folded window, ns.
@@ -82,15 +118,9 @@ struct LoopHistory {
 }
 
 impl LoopHistory {
-    fn fold_window(&mut self) {
-        let active: Vec<ThreadReport> = self
-            .window
-            .iter()
-            .filter(|r| r.chunks > 0)
-            .copied()
-            .collect();
+    fn fold_window(&mut self, reports: &[ThreadReport]) {
+        let active: Vec<ThreadReport> = reports.iter().filter(|r| r.chunks > 0).copied().collect();
         if active.is_empty() {
-            self.window.clear();
             return;
         }
         let max_ns = active.iter().map(|r| r.ns).max().unwrap_or(0);
@@ -105,7 +135,6 @@ impl LoopHistory {
         let iters: u64 = active.iter().map(|r| r.iters).sum();
         self.last_mean_chunk_ns = sum_ns.checked_div(chunks).unwrap_or(0);
         let mean_iters_per_chunk = iters.checked_div(chunks).unwrap_or(1).max(1);
-        self.window.clear();
 
         // Re-chunk: imbalance first (policy escalation), then per-chunk
         // overhead (chunk growth).
@@ -136,14 +165,87 @@ impl LoopHistory {
     }
 }
 
+/// One team's tracker for one adaptive loop instance.
+///
+/// Installed on the instance's [`AdaptiveSlot`] by the first team thread to
+/// resolve; the decision is immutable for the instance's whole lifetime,
+/// and the measurement window collects here — never in the global registry —
+/// so concurrent teams at the same loop key cannot mix windows or observe
+/// each other's mid-instance re-chunks.
+#[derive(Debug)]
+pub struct InstanceTracker {
+    key: u64,
+    decision: ResolvedSchedule,
+    /// Reports expected before the window folds (the team size at decision
+    /// time; every thread of the instance shares it by construction).
+    expected: usize,
+    window: Mutex<Vec<ThreadReport>>,
+}
+
+impl InstanceTracker {
+    /// The schedule every thread of this instance drives.
+    pub fn decision(&self) -> ResolvedSchedule {
+        self.decision
+    }
+
+    /// File one thread's measurements. Folds the window into the loop's
+    /// global history — possibly re-chunking the policy for *future*
+    /// instances — once every team thread has reported.
+    pub fn report(&self, report: ThreadReport) {
+        let reports = {
+            let mut window = self.window.lock();
+            window.push(report);
+            if window.len() < self.expected.max(1) {
+                return;
+            }
+            std::mem::take(&mut *window)
+        };
+        let mut reg = registry().lock();
+        if let Some(hist) = reg.get_mut(&self.key) {
+            hist.fold_window(&reports);
+            if ompt::enabled() {
+                publish_counters(&reg);
+            }
+        }
+    }
+}
+
+/// What the first-arriving thread of an instance decided.
+#[derive(Debug)]
+enum SlotState {
+    /// Adaptive: schedule from history, measurements tracked.
+    Tracked(Arc<InstanceTracker>),
+    /// Non-adaptive spec resolution (explicit schedule, adaptation off, or
+    /// a clause shape the mode does not cover).
+    Fixed(ResolvedSchedule),
+}
+
+/// Per-instance schedule-decision slot.
+///
+/// Lives on [`crate::worksharing::WsInstance`] — created fresh for each
+/// dynamic occurrence of a work-sharing region and shared by exactly the
+/// threads of one team. Whatever the first thread resolves is what every
+/// teammate gets, so one instance can never mix schedules (e.g. some
+/// threads static-block while others claim from the dynamic counter), no
+/// matter what other teams fold into the same loop's history meanwhile.
+#[derive(Debug, Default)]
+pub struct AdaptiveSlot(OnceLock<SlotState>);
+
+impl AdaptiveSlot {
+    /// An empty slot (decision not yet made).
+    pub fn new() -> AdaptiveSlot {
+        AdaptiveSlot(OnceLock::new())
+    }
+}
+
 fn registry() -> &'static Mutex<HashMap<u64, LoopHistory>> {
     static REGISTRY: OnceLock<Mutex<HashMap<u64, LoopHistory>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Whether adaptive resolution is enabled (the `OMP4RS_ADAPTIVE` knob).
+/// Whether adaptive resolution is enabled at all (`OMP4RS_ADAPTIVE` not off).
 pub fn enabled() -> bool {
-    Icvs::current().adaptive
+    Icvs::current().adaptive != AdaptiveMode::Off
 }
 
 /// Default minimum chunk for an interpreted loop: large enough that the
@@ -153,26 +255,50 @@ pub fn interpreted_min_chunk(total: u64, nthreads: usize) -> u64 {
     (total / (8 * nthreads.max(1) as u64)).max(1)
 }
 
-/// Resolve a schedule adaptively for one loop instance.
+/// Resolve a schedule for one loop instance, adaptively when the mode and
+/// clause allow it.
 ///
 /// `clause` follows [`ResolvedSchedule::resolve`]; `key` is the stable loop
 /// identity; `total`/`nthreads` describe this instance; `interpreted` marks
-/// Pure/Hybrid loops (whose chunk claims cross the interpreter boundary).
+/// Pure/Hybrid loops (whose chunk claims cross the interpreter boundary);
+/// `slot` is the instance's decision slot — all threads of one team instance
+/// must pass the same slot (its work-share instance provides one).
 ///
-/// Returns the schedule plus `Some(key)` when the instance should be
-/// *tracked* (its driver must call [`report`] once per thread). Loops with
-/// an explicit non-`auto` schedule — and everything when the `OMP4RS_ADAPTIVE`
-/// knob is off — fall through to the spec resolution untracked.
+/// The first thread through the slot decides; everyone else — including
+/// threads arriving after another team folded new feedback into the same
+/// loop's history — reads the identical cached answer. Returns the schedule
+/// plus `Some(tracker)` when the instance is adaptively *tracked* (its
+/// driver must file one [`InstanceTracker::report`] per thread). Loops with
+/// an explicit non-`auto` schedule — and everything when `OMP4RS_ADAPTIVE`
+/// is off — resolve per the spec, untracked.
 pub fn resolve(
     clause: Option<(ScheduleKind, Option<u64>)>,
     key: u64,
     total: u64,
     nthreads: usize,
     interpreted: bool,
-) -> (ResolvedSchedule, Option<u64>) {
+    slot: &AdaptiveSlot,
+) -> (ResolvedSchedule, Option<Arc<InstanceTracker>>) {
+    let state = slot
+        .0
+        .get_or_init(|| decide(clause, key, total, nthreads, interpreted));
+    match state {
+        SlotState::Tracked(tracker) => (tracker.decision, Some(Arc::clone(tracker))),
+        SlotState::Fixed(sched) => (*sched, None),
+    }
+}
+
+/// The first-arriving thread's decision for one instance.
+fn decide(
+    clause: Option<(ScheduleKind, Option<u64>)>,
+    key: u64,
+    total: u64,
+    nthreads: usize,
+    interpreted: bool,
+) -> SlotState {
     let icvs = Icvs::current();
-    if !icvs.adaptive {
-        return (ResolvedSchedule::resolve(clause), None);
+    if icvs.adaptive == AdaptiveMode::Off {
+        return SlotState::Fixed(ResolvedSchedule::resolve(clause));
     }
     // Resolve `runtime` indirection first so `OMP_SCHEDULE=auto` is adaptive.
     let effective = match clause {
@@ -181,14 +307,21 @@ pub fn resolve(
     };
     let adaptive = match effective {
         Some((ScheduleKind::Auto, _)) => true,
-        // No clause: `def-sched-var`. Interpreted loops treat the default
-        // static-no-chunk as `auto` — the static tail of tiny interpreted
-        // chunks is exactly what this module exists to remove.
-        None => interpreted && icvs.def_schedule == (ScheduleKind::Static, None),
+        // No clause: `def-sched-var`. Under `Full`, interpreted loops treat
+        // the default static-no-chunk as `auto` — the static tail of tiny
+        // interpreted chunks is exactly what this module exists to remove.
+        // This deliberately gives up the spec's deterministic static
+        // iteration→thread mapping for clause-less interpreted loops;
+        // `OMP4RS_ADAPTIVE=auto` restores it (see docs/ENVIRONMENT.md).
+        None => {
+            icvs.adaptive == AdaptiveMode::Full
+                && interpreted
+                && icvs.def_schedule == (ScheduleKind::Static, None)
+        }
         _ => false,
     };
     if !adaptive {
-        return (ResolvedSchedule::resolve(clause), None);
+        return SlotState::Fixed(ResolvedSchedule::resolve(clause));
     }
 
     let mut reg = registry().lock();
@@ -204,21 +337,7 @@ pub fn resolve(
             ..LoopHistory::default()
         }
     });
-    if hist.decide_remaining > 0 {
-        // Another thread of the same instance: reuse its decision.
-        hist.decide_remaining -= 1;
-        let decision = hist.decision.unwrap_or_else(|| ResolvedSchedule {
-            kind: hist.kind,
-            chunk: hist.chunk.max(1),
-            explicit_chunk: hist.kind != ScheduleKind::Static,
-        });
-        return (decision, Some(key));
-    }
-    // First thread of a new instance: drop any stale partial window (a
-    // cancelled or panicked instance may never complete its reports).
-    if !hist.window.is_empty() && hist.window.len() < hist.window_expected {
-        hist.window.clear();
-    }
+    hist.instances += 1;
     let decision = ResolvedSchedule {
         kind: hist.kind,
         chunk: hist.chunk.max(1),
@@ -227,28 +346,12 @@ pub fn resolve(
         // (minimum) chunk parameter.
         explicit_chunk: hist.kind != ScheduleKind::Static,
     };
-    hist.decision = Some(decision);
-    hist.decide_remaining = nthreads.max(1) - 1;
-    hist.window_expected = nthreads.max(1);
-    hist.instances += 1;
-    (decision, Some(key))
-}
-
-/// Report one thread's measurements for a tracked loop instance. Folds the
-/// window (and possibly re-chunks the policy) once every team thread of the
-/// instance has reported.
-pub fn report(key: u64, report: ThreadReport) {
-    let mut reg = registry().lock();
-    let Some(hist) = reg.get_mut(&key) else {
-        return;
-    };
-    hist.window.push(report);
-    if hist.window.len() >= hist.window_expected.max(1) {
-        hist.fold_window();
-        if ompt::enabled() {
-            publish_counters(&reg);
-        }
-    }
+    SlotState::Tracked(Arc::new(InstanceTracker {
+        key,
+        decision,
+        expected: nthreads.max(1),
+        window: Mutex::new(Vec::with_capacity(nthreads.max(1))),
+    }))
 }
 
 /// Feedback snapshot for one adaptive loop (introspection and tests).
@@ -306,71 +409,128 @@ mod tests {
         NEXT.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// One fresh instance (its own slot): the schedule plus its tracker.
+    fn instance(
+        clause: Option<(ScheduleKind, Option<u64>)>,
+        k: u64,
+        total: u64,
+        nthreads: usize,
+        interpreted: bool,
+    ) -> (ResolvedSchedule, Option<Arc<InstanceTracker>>) {
+        resolve(
+            clause,
+            k,
+            total,
+            nthreads,
+            interpreted,
+            &AdaptiveSlot::new(),
+        )
+    }
+
+    const AUTO: Option<(ScheduleKind, Option<u64>)> = Some((ScheduleKind::Auto, None));
+
+    #[test]
+    fn adaptive_mode_spellings() {
+        assert_eq!(AdaptiveMode::parse("on"), Some(AdaptiveMode::Full));
+        assert_eq!(AdaptiveMode::parse(" FULL "), Some(AdaptiveMode::Full));
+        assert_eq!(AdaptiveMode::parse("0"), Some(AdaptiveMode::Off));
+        assert_eq!(AdaptiveMode::parse("auto"), Some(AdaptiveMode::AutoOnly));
+        assert_eq!(
+            AdaptiveMode::parse("auto-only"),
+            Some(AdaptiveMode::AutoOnly)
+        );
+        assert_eq!(AdaptiveMode::parse("whatever"), None);
+        assert_eq!(AdaptiveMode::default(), AdaptiveMode::Full);
+    }
+
     #[test]
     fn first_instance_defaults_by_mode() {
         // Interpreted: guided with an overhead-derived minimum chunk.
         let k = key();
-        let (sched, tracked) = resolve(Some((ScheduleKind::Auto, None)), k, 8_000, 4, true);
+        let (sched, tracked) = instance(AUTO, k, 8_000, 4, true);
         assert_eq!(sched.kind, ScheduleKind::Guided);
         assert_eq!(sched.chunk, interpreted_min_chunk(8_000, 4));
-        assert_eq!(tracked, Some(k));
+        assert!(tracked.is_some());
         // Compiled: static blocks.
         let k2 = key();
-        let (sched, tracked) = resolve(Some((ScheduleKind::Auto, None)), k2, 8_000, 4, false);
+        let (sched, tracked) = instance(AUTO, k2, 8_000, 4, false);
         assert_eq!(sched.kind, ScheduleKind::Static);
         assert!(!sched.explicit_chunk);
-        assert_eq!(tracked, Some(k2));
+        assert_eq!(tracked.unwrap().decision(), sched);
     }
 
     #[test]
     fn explicit_schedules_bypass_adaptation() {
         let k = key();
-        let (sched, tracked) = resolve(Some((ScheduleKind::Dynamic, Some(8))), k, 1_000, 4, true);
+        let (sched, tracked) = instance(Some((ScheduleKind::Dynamic, Some(8))), k, 1_000, 4, true);
         assert_eq!(sched.kind, ScheduleKind::Dynamic);
         assert_eq!(sched.chunk, 8);
-        assert_eq!(tracked, None);
+        assert!(tracked.is_none());
         assert!(snapshot(k).is_none(), "no history for explicit schedules");
+    }
+
+    #[test]
+    fn no_clause_adapts_only_in_full_mode() {
+        let _guard = crate::icv::test_guard();
+        let before = Icvs::current();
+        Icvs::update(|i| i.adaptive = AdaptiveMode::AutoOnly);
+        // Clause-less interpreted loop: keeps the deterministic spec default.
+        let k = key();
+        let (sched, tracked) = instance(None, k, 1_000, 4, true);
+        assert_eq!(sched.kind, ScheduleKind::Static);
+        assert!(tracked.is_none());
+        assert!(snapshot(k).is_none(), "no history without explicit auto");
+        // Explicit auto still adapts in auto-only mode.
+        let k2 = key();
+        let (sched, tracked) = instance(AUTO, k2, 1_000, 4, true);
+        assert_eq!(sched.kind, ScheduleKind::Guided);
+        assert!(tracked.is_some());
+        Icvs::reset(before);
+        forget(k2);
+    }
+
+    /// Drive one full instance of `nthreads`, all filing the given report.
+    fn run_instance(k: u64, nthreads: usize, reports: &[ThreadReport]) -> ResolvedSchedule {
+        let slot = AdaptiveSlot::new();
+        let (sched, tracker) = resolve(AUTO, k, 1_000, nthreads, false, &slot);
+        let tracker = tracker.expect("auto is tracked");
+        for r in reports {
+            tracker.report(*r);
+        }
+        sched
     }
 
     #[test]
     fn imbalance_escalates_static_to_guided_to_dynamic() {
         let k = key();
-        let nthreads = 4;
-        let (s0, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
-        assert_eq!(s0.kind, ScheduleKind::Static);
         // One thread took 4x the mean: imbalance ~2.3 > threshold.
-        let lopsided = |k: u64| {
-            report(
-                k,
-                ThreadReport {
-                    ns: 40_000_000,
-                    chunks: 1,
-                    iters: 250,
-                },
-            );
-            for _ in 0..3 {
-                report(
-                    k,
-                    ThreadReport {
-                        ns: 10_000_000,
-                        chunks: 1,
-                        iters: 250,
-                    },
-                );
-            }
-        };
-        // Consume the remaining deciders of instance 1, then report.
-        for _ in 0..nthreads - 1 {
-            let _ = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
-        }
-        lopsided(k);
-        let (s1, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        let lopsided = [
+            ThreadReport {
+                ns: 40_000_000,
+                chunks: 1,
+                iters: 250,
+            },
+            ThreadReport {
+                ns: 10_000_000,
+                chunks: 1,
+                iters: 250,
+            },
+            ThreadReport {
+                ns: 10_000_000,
+                chunks: 1,
+                iters: 250,
+            },
+            ThreadReport {
+                ns: 10_000_000,
+                chunks: 1,
+                iters: 250,
+            },
+        ];
+        let s0 = run_instance(k, 4, &lopsided);
+        assert_eq!(s0.kind, ScheduleKind::Static);
+        let s1 = run_instance(k, 4, &lopsided);
         assert_eq!(s1.kind, ScheduleKind::Guided, "static escalates to guided");
-        for _ in 0..nthreads - 1 {
-            let _ = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
-        }
-        lopsided(k);
-        let (s2, _) = resolve(Some((ScheduleKind::Auto, None)), k, 1_000, nthreads, false);
+        let s2 = run_instance(k, 4, &lopsided);
         assert_eq!(
             s2.kind,
             ScheduleKind::Dynamic,
@@ -386,18 +546,16 @@ mod tests {
     #[test]
     fn tiny_chunks_grow_the_chunk_parameter() {
         let k = key();
-        let (s0, _) = resolve(Some((ScheduleKind::Auto, None)), k, 100_000, 1, true);
+        let slot = AdaptiveSlot::new();
+        let (s0, tracker) = resolve(AUTO, k, 100_000, 1, true, &slot);
         let initial_chunk = s0.chunk;
         // One thread, many sub-overhead chunks.
-        report(
-            k,
-            ThreadReport {
-                ns: 80_000,
-                chunks: 40,
-                iters: 100_000,
-            },
-        );
-        let (s1, _) = resolve(Some((ScheduleKind::Auto, None)), k, 100_000, 1, true);
+        tracker.unwrap().report(ThreadReport {
+            ns: 80_000,
+            chunks: 40,
+            iters: 100_000,
+        });
+        let (s1, _) = instance(AUTO, k, 100_000, 1, true);
         assert_eq!(s1.chunk, initial_chunk * 2, "chunk doubles under overhead");
         assert_eq!(s1.kind, ScheduleKind::Guided);
         forget(k);
@@ -407,16 +565,16 @@ mod tests {
     fn histories_are_keyed_per_loop() {
         let ka = key();
         let kb = key();
-        let _ = resolve(Some((ScheduleKind::Auto, None)), ka, 1_000, 1, false);
-        report(
+        run_instance(
             ka,
-            ThreadReport {
+            1,
+            &[ThreadReport {
                 ns: 1_000,
                 chunks: 10,
                 iters: 1_000,
-            },
+            }],
         );
-        let _ = resolve(Some((ScheduleKind::Auto, None)), kb, 1_000, 1, false);
+        let _ = instance(AUTO, kb, 1_000, 1, false);
         let a = snapshot(ka).unwrap();
         let b = snapshot(kb).unwrap();
         assert_eq!(a.rechunks, 1, "loop A re-chunked from its own history");
@@ -428,12 +586,97 @@ mod tests {
     #[test]
     fn same_instance_threads_share_one_decision() {
         let k = key();
-        let (first, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
-        let (second, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
-        let (third, _) = resolve(Some((ScheduleKind::Auto, None)), k, 500, 3, true);
+        let slot = AdaptiveSlot::new();
+        let (first, _) = resolve(AUTO, k, 500, 3, true, &slot);
+        let (second, _) = resolve(AUTO, k, 500, 3, true, &slot);
+        let (third, t3) = resolve(AUTO, k, 500, 3, true, &slot);
         assert_eq!(first, second);
         assert_eq!(second, third);
         assert_eq!(snapshot(k).unwrap().instances, 1, "one instance, not three");
+        // Every thread reads the same tracker, not a fresh one.
+        assert_eq!(t3.unwrap().decision(), first);
+        forget(k);
+    }
+
+    #[test]
+    fn concurrent_teams_never_mix_decisions_or_windows() {
+        // The reviewed failure mode: teams A and B (nested parallelism, or
+        // parallel regions on different host threads) hit the same loop key
+        // concurrently. Each team's instance must keep one immutable
+        // schedule even when the other team folds feedback mid-flight.
+        let k = key();
+        let slot_a = AdaptiveSlot::new();
+        let slot_b = AdaptiveSlot::new();
+        let (a0, tracker_a) = resolve(AUTO, k, 1_000, 2, false, &slot_a);
+        let (b0, tracker_b) = resolve(AUTO, k, 1_000, 2, false, &slot_b);
+        assert_eq!(a0.kind, ScheduleKind::Static);
+        assert_eq!(b0.kind, ScheduleKind::Static);
+        // Team A completes with heavy imbalance: history escalates to guided.
+        let tracker_a = tracker_a.unwrap();
+        tracker_a.report(ThreadReport {
+            ns: 40_000_000,
+            chunks: 1,
+            iters: 500,
+        });
+        tracker_a.report(ThreadReport {
+            ns: 1_000_000,
+            chunks: 1,
+            iters: 500,
+        });
+        assert_eq!(snapshot(k).unwrap().kind, ScheduleKind::Guided);
+        // Team B's second thread resolves *after* the fold: it must still
+        // get team B's original static decision, not the new policy.
+        let (b1, _) = resolve(AUTO, k, 1_000, 2, false, &slot_b);
+        assert_eq!(b1, b0, "mid-instance fold must not change B's schedule");
+        // Team B's window folds independently of A's (its two reports).
+        let tracker_b = tracker_b.unwrap();
+        tracker_b.report(ThreadReport {
+            ns: 1_000,
+            chunks: 1,
+            iters: 500,
+        });
+        tracker_b.report(ThreadReport {
+            ns: 1_000,
+            chunks: 1,
+            iters: 500,
+        });
+        // A fresh instance sees history advanced by both teams' folds.
+        let snap = snapshot(k).unwrap();
+        assert_eq!(snap.instances, 2);
+        forget(k);
+    }
+
+    #[test]
+    fn abandoned_instance_cannot_poison_other_teams() {
+        // A team that dies mid-instance (cancellation/panic) drops its
+        // tracker with a partial window; the history and later instances
+        // are unaffected.
+        let k = key();
+        {
+            let slot = AdaptiveSlot::new();
+            let (_, tracker) = resolve(AUTO, k, 1_000, 4, false, &slot);
+            // Only one of four threads ever reports.
+            tracker.unwrap().report(ThreadReport {
+                ns: 99,
+                chunks: 1,
+                iters: 1,
+            });
+        }
+        let (sched, tracker) = instance(AUTO, k, 1_000, 4, false);
+        assert_eq!(sched.kind, ScheduleKind::Static, "no premature fold");
+        let snap = snapshot(k).unwrap();
+        assert_eq!(snap.instances, 2);
+        assert_eq!(snap.rechunks, 0);
+        // The fresh instance's window needs exactly its own team's reports.
+        let tracker = tracker.unwrap();
+        for _ in 0..4 {
+            tracker.report(ThreadReport {
+                ns: 1_000,
+                chunks: 2,
+                iters: 250,
+            });
+        }
+        assert!(snapshot(k).unwrap().last_mean_chunk_ns > 0, "window folded");
         forget(k);
     }
 }

@@ -153,6 +153,7 @@ mod tests {
 
     #[test]
     fn num_threads_round_trip() {
+        let _guard = crate::icv::test_guard();
         let before = Icvs::current();
         omp_set_num_threads(6);
         assert_eq!(omp_get_max_threads(), 6);
@@ -163,6 +164,7 @@ mod tests {
 
     #[test]
     fn schedule_round_trip() {
+        let _guard = crate::icv::test_guard();
         let before = Icvs::current();
         omp_set_schedule(ScheduleKind::Guided, Some(8));
         assert_eq!(omp_get_schedule(), (ScheduleKind::Guided, Some(8)));
@@ -171,6 +173,7 @@ mod tests {
 
     #[test]
     fn nested_and_dynamic_flags() {
+        let _guard = crate::icv::test_guard();
         let before = Icvs::current();
         omp_set_nested(true);
         assert!(omp_get_nested());

@@ -560,8 +560,14 @@ impl<'scope> WorkerCtx<'scope> {
         let frame = context::current_frame().expect("for_reduce outside parallel region");
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
-        let (sched, adapt) =
-            adaptive::resolve(spec.schedule, site, dims.total(), self.team.size(), false);
+        let (sched, adapt) = adaptive::resolve(
+            spec.schedule,
+            site,
+            dims.total(),
+            self.team.size(),
+            false,
+            inst.adaptive_slot(),
+        );
         let mut fb = ForBounds::init(
             dims,
             sched,
@@ -569,8 +575,8 @@ impl<'scope> WorkerCtx<'scope> {
             self.team.size(),
             Some(Arc::clone(&inst)),
         );
-        if let Some(key) = adapt {
-            fb.track_adaptive(key);
+        if let Some(tracker) = adapt {
+            fb.track_adaptive(tracker);
         }
         let mut local = identity.clone();
         // Track the active instance for every loop (not just ordered ones):
@@ -610,8 +616,14 @@ impl<'scope> WorkerCtx<'scope> {
         let frame = context::current_frame().expect("worksharing loop outside parallel region");
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
-        let (sched, adapt) =
-            adaptive::resolve(spec.schedule, site, dims.total(), self.team.size(), false);
+        let (sched, adapt) = adaptive::resolve(
+            spec.schedule,
+            site,
+            dims.total(),
+            self.team.size(),
+            false,
+            inst.adaptive_slot(),
+        );
         let mut fb = ForBounds::init(
             dims,
             sched,
@@ -619,8 +631,8 @@ impl<'scope> WorkerCtx<'scope> {
             self.team.size(),
             Some(Arc::clone(&inst)),
         );
-        if let Some(key) = adapt {
-            fb.track_adaptive(key);
+        if let Some(tracker) = adapt {
+            fb.track_adaptive(tracker);
         }
         frame.set_current_instance(Some(Arc::clone(&inst)));
         while fb.next() {
@@ -655,8 +667,14 @@ impl<'scope> WorkerCtx<'scope> {
         let frame = context::current_frame().expect("worksharing loop outside parallel region");
         let seq = frame.next_ws_seq();
         let inst = self.team.worksharing().enter(seq);
-        let (sched, adapt) =
-            adaptive::resolve(spec.schedule, site, dims.total(), self.team.size(), false);
+        let (sched, adapt) = adaptive::resolve(
+            spec.schedule,
+            site,
+            dims.total(),
+            self.team.size(),
+            false,
+            inst.adaptive_slot(),
+        );
         let mut fb = ForBounds::init(
             dims,
             sched,
@@ -664,8 +682,8 @@ impl<'scope> WorkerCtx<'scope> {
             self.team.size(),
             Some(Arc::clone(&inst)),
         );
-        if let Some(key) = adapt {
-            fb.track_adaptive(key);
+        if let Some(tracker) = adapt {
+            fb.track_adaptive(tracker);
         }
         frame.set_current_instance(Some(Arc::clone(&inst)));
         while fb.next() {

@@ -10,6 +10,7 @@ use std::sync::OnceLock;
 
 use parking_lot::RwLock;
 
+use crate::adaptive::AdaptiveMode;
 use crate::directive::ScheduleKind;
 
 /// The mutable ICV set.
@@ -37,10 +38,13 @@ pub struct Icvs {
     /// (`OMP_TOOL`). `None` — the default — means the profiler stays a
     /// no-op; see [`crate::ompt::ToolConfig::parse`] for the syntax.
     pub tool: Option<crate::ompt::ToolConfig>,
-    /// Whether `schedule(auto)` resolves through the feedback-driven
-    /// [`crate::adaptive`] layer (`OMP4RS_ADAPTIVE`, default on). Off, `auto`
-    /// falls back to its pre-adaptive alias: `static`.
-    pub adaptive: bool,
+    /// How much scheduling the feedback-driven [`crate::adaptive`] layer may
+    /// take over (`OMP4RS_ADAPTIVE`). `Off`: `auto` falls back to its
+    /// pre-adaptive alias, `static`. `AutoOnly`: only explicit
+    /// `schedule(auto)` adapts. `Full` (default): clause-less interpreted
+    /// loops are also treated as `auto` — see `docs/ENVIRONMENT.md` for the
+    /// determinism trade-off this implies.
+    pub adaptive: AdaptiveMode,
     /// Override for the per-thread task steal-deque capacity
     /// (`OMP4RS_STEAL_CAP`). `None` sizes deques from recorded queue
     /// high-water marks; see [`crate::tasks`].
@@ -59,7 +63,7 @@ impl Default for Icvs {
             def_schedule: (ScheduleKind::Static, None),
             cancellation: false,
             tool: None,
-            adaptive: true,
+            adaptive: AdaptiveMode::Full,
             steal_cap: None,
         }
     }
@@ -111,8 +115,10 @@ impl Icvs {
         if let Ok(text) = std::env::var("OMP_TOOL") {
             icvs.tool = crate::ompt::ToolConfig::parse(&text);
         }
-        if let Some(b) = env_bool("OMP4RS_ADAPTIVE") {
-            icvs.adaptive = b;
+        if let Ok(text) = std::env::var("OMP4RS_ADAPTIVE") {
+            if let Some(mode) = AdaptiveMode::parse(&text) {
+                icvs.adaptive = mode;
+            }
         }
         if let Some(n) = env_usize("OMP4RS_STEAL_CAP") {
             if n > 0 {
@@ -136,6 +142,17 @@ impl Icvs {
     pub fn reset(icvs: Icvs) {
         *store().write() = icvs;
     }
+}
+
+/// Serialize unit tests that mutate the process-global ICVs: `cargo test`
+/// runs this binary's tests concurrently, so every test doing a
+/// mutate → observe → [`Icvs::reset`] dance must hold this guard across the
+/// whole span, or a concurrently constructed object (task queue, resolved
+/// schedule, …) silently picks up its override.
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static GUARD: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    GUARD.lock()
 }
 
 /// Parse `OMP_SCHEDULE` syntax: `kind[,chunk]`.
@@ -199,6 +216,7 @@ mod tests {
 
     #[test]
     fn update_round_trips() {
+        let _guard = test_guard();
         let before = Icvs::current();
         Icvs::update(|icvs| icvs.num_threads = 7);
         assert_eq!(Icvs::current().num_threads, 7);

@@ -193,8 +193,9 @@ pub struct ForBounds {
     /// Whether the current chunk's `ChunkClaim` event was recorded (so its
     /// `ChunkDone` keeps the stream balanced even if the profiler toggles).
     prof_chunk_recorded: bool,
-    /// Adaptive feedback: the loop-identity key this instance reports to.
-    adapt_key: Option<u64>,
+    /// Adaptive feedback: the per-team-instance tracker this thread reports
+    /// to (see [`crate::adaptive::InstanceTracker`]).
+    adapt: Option<Arc<adaptive::InstanceTracker>>,
     /// Adaptive: nanoseconds this thread spent executing chunk bodies.
     adapt_ns: u64,
     /// Adaptive: chunks claimed by this thread.
@@ -232,7 +233,7 @@ impl ForBounds {
             prof_chunk_start: None,
             prof_chunk_iters: 0,
             prof_chunk_recorded: false,
-            adapt_key: None,
+            adapt: None,
             adapt_ns: 0,
             adapt_chunks: 0,
             adapt_iters: 0,
@@ -247,10 +248,11 @@ impl ForBounds {
 
     /// Attach adaptive-feedback tracking (see [`crate::adaptive`]): every
     /// chunk is timed and a per-thread [`adaptive::ThreadReport`] is filed
-    /// when this thread's share is exhausted (or the driver is dropped —
-    /// cancellation and panics still complete the measurement window).
-    pub fn track_adaptive(&mut self, key: u64) {
-        self.adapt_key = Some(key);
+    /// with the instance's tracker when this thread's share is exhausted (or
+    /// the driver is dropped — cancellation and panics still complete the
+    /// measurement window).
+    pub fn track_adaptive(&mut self, tracker: Arc<adaptive::InstanceTracker>) {
+        self.adapt = Some(tracker);
     }
 
     /// Claim the next chunk — the paper's `for_next`. Returns `false` when
@@ -294,7 +296,7 @@ impl ForBounds {
                     hi: self.hi,
                 });
             }
-            if self.prof_chunk_recorded || self.adapt_key.is_some() {
+            if self.prof_chunk_recorded || self.adapt.is_some() {
                 self.prof_chunk_start = Some(std::time::Instant::now());
                 self.prof_chunk_iters = self.hi - self.lo;
             }
@@ -314,7 +316,7 @@ impl ForBounds {
                 });
                 self.prof_chunk_recorded = false;
             }
-            if self.adapt_key.is_some() {
+            if self.adapt.is_some() {
                 self.adapt_ns += ns;
                 self.adapt_chunks += 1;
                 self.adapt_iters += self.prof_chunk_iters;
@@ -322,21 +324,18 @@ impl ForBounds {
         }
     }
 
-    /// File this thread's measurements with the adaptive registry, once.
+    /// File this thread's measurements with the instance tracker, once.
     fn file_adaptive_report(&mut self) {
         if self.adapt_reported {
             return;
         }
-        if let Some(key) = self.adapt_key {
+        if let Some(tracker) = &self.adapt {
             self.adapt_reported = true;
-            adaptive::report(
-                key,
-                adaptive::ThreadReport {
-                    ns: self.adapt_ns,
-                    chunks: self.adapt_chunks,
-                    iters: self.adapt_iters,
-                },
-            );
+            tracker.report(adaptive::ThreadReport {
+                ns: self.adapt_ns,
+                chunks: self.adapt_chunks,
+                iters: self.adapt_iters,
+            });
         }
     }
 
@@ -606,6 +605,7 @@ mod tests {
 
     #[test]
     fn resolve_uses_icvs_for_runtime() {
+        let _guard = crate::icv::test_guard();
         let before = Icvs::current();
         Icvs::update(|i| i.run_schedule = (ScheduleKind::Dynamic, Some(7)));
         let r = ResolvedSchedule::resolve(Some((ScheduleKind::Runtime, None)));
@@ -630,12 +630,19 @@ mod tests {
         let key = 0x5ced_0001u64;
         adaptive::forget(key);
         let nthreads = 2usize;
-        let (resolved, tracked) =
-            adaptive::resolve(Some((ScheduleKind::Auto, None)), key, 40, nthreads, false);
-        let _ = adaptive::resolve(Some((ScheduleKind::Auto, None)), key, 40, nthreads, false);
-        assert_eq!(tracked, Some(key));
         let reg = WorkshareRegistry::new(Backend::Atomic, nthreads, Arc::new(Notifier::new()));
         let inst = reg.enter(0);
+        // Both threads resolve through the instance's decision slot — the
+        // same call shape the loop drivers use.
+        let (resolved, tracker) = adaptive::resolve(
+            Some((ScheduleKind::Auto, None)),
+            key,
+            40,
+            nthreads,
+            false,
+            inst.adaptive_slot(),
+        );
+        let tracker = tracker.expect("auto is tracked");
         for t in 0..nthreads {
             let mut fb = ForBounds::init(
                 LoopDims::simple(40),
@@ -644,7 +651,7 @@ mod tests {
                 nthreads,
                 Some(Arc::clone(&inst)),
             );
-            fb.track_adaptive(key);
+            fb.track_adaptive(Arc::clone(&tracker));
             while fb.next() {}
         }
         // Both threads reported, so the measurement window folded: the next

@@ -25,20 +25,37 @@ use crate::sync::{Backend, CancelFlag, Notifier, OmpEvent, WorkBag, WorkDeque};
 /// Process-wide high-water mark of simultaneously outstanding tasks,
 /// updated on every submission. New queues size their per-thread steal
 /// deques from it, so capacity tracks how task-heavy the program actually
-/// is instead of guessing.
+/// is instead of guessing. Each sizing read *decays* the mark (see
+/// `deque_capacity`), so one task-heavy region raises capacity for the
+/// teams that follow it without inflating every later, unrelated team
+/// forever.
 static QUEUE_HWM: AtomicUsize = AtomicUsize::new(0);
 
+/// Hard ceiling on any steal-deque capacity, including the
+/// `OMP4RS_STEAL_CAP` override: deques are preallocated per thread on every
+/// team creation, so an absurd environment value must not translate into
+/// large buffers on every team.
+const DEQUE_CAP_CEILING: usize = 1024;
+
 /// Steal-deque capacity for a team of `nthreads`: the `OMP4RS_STEAL_CAP`
-/// ICV when set, otherwise the recorded high-water mark split across the
-/// team, clamped to `[8, 256]`.
+/// ICV when set (clamped to `[1, DEQUE_CAP_CEILING]`), otherwise the
+/// recorded high-water mark split across the team, clamped to `[8, 256]`.
 fn deque_capacity(nthreads: usize) -> usize {
     if let Some(cap) = Icvs::current().steal_cap {
-        return cap;
+        return cap.clamp(1, DEQUE_CAP_CEILING);
     }
-    QUEUE_HWM
-        .load(Ordering::Relaxed)
-        .div_ceil(nthreads.max(1))
-        .clamp(8, 256)
+    // Consume-with-decay: each read shrinks the recorded mark by a quarter.
+    // A sustained task-heavy phase keeps re-raising it on submission; a
+    // one-off spike fades over the next few team creations.
+    let hwm = QUEUE_HWM
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| Some(h - h / 4))
+        .unwrap_or(0);
+    hwm_capacity(hwm, nthreads)
+}
+
+/// Pure sizing rule: a recorded high-water mark split across the team.
+fn hwm_capacity(hwm: usize, nthreads: usize) -> usize {
+    hwm.div_ceil(nthreads.max(1)).clamp(8, 256)
 }
 
 /// Lifecycle state of a task node (paper: free / in-progress / completed).
@@ -546,11 +563,46 @@ mod tests {
 
     #[test]
     fn steal_cap_icv_overrides_deque_sizing() {
+        // Mutates the process-global ICVs: hold the shared test guard so a
+        // concurrently constructed TaskQueue in another test cannot pick up
+        // the override.
+        let _guard = crate::icv::test_guard();
         let before = Icvs::current();
         Icvs::update(|i| i.steal_cap = Some(3));
         let q = TaskQueue::with_threads(Backend::Atomic, Arc::new(Notifier::new()), 4);
         assert_eq!(q.steal_deque_capacity(), 3);
+        // Absurd overrides are clamped instead of preallocated verbatim.
+        Icvs::update(|i| i.steal_cap = Some(1 << 30));
+        let q = TaskQueue::with_threads(Backend::Atomic, Arc::new(Notifier::new()), 4);
+        assert_eq!(q.steal_deque_capacity(), DEQUE_CAP_CEILING);
         Icvs::reset(before);
+    }
+
+    #[test]
+    fn hwm_sizing_is_clamped() {
+        assert_eq!(hwm_capacity(0, 4), 8, "floor");
+        assert_eq!(hwm_capacity(64, 4), 16, "split across the team");
+        assert_eq!(hwm_capacity(1_000_000, 4), 256, "ceiling");
+        assert_eq!(hwm_capacity(10, 0), 10, "teamless sizing still works");
+    }
+
+    #[test]
+    fn queue_hwm_decays_across_sizings() {
+        // A one-off spike must not pin capacity at the clamp forever: each
+        // sizing read decays the mark by a quarter. Other tests submit at
+        // most ~100 concurrent tasks, so after enough reads the capacity is
+        // well under the 256 ceiling even with concurrent re-raising. Holds
+        // the ICV guard so no concurrent steal-cap override hides the
+        // HWM-derived sizing.
+        let _guard = crate::icv::test_guard();
+        QUEUE_HWM.fetch_max(100_000, Ordering::Relaxed);
+        let wake = Arc::new(Notifier::new());
+        let mut cap = usize::MAX;
+        for _ in 0..200 {
+            cap = TaskQueue::with_threads(Backend::Atomic, Arc::clone(&wake), 4)
+                .steal_deque_capacity();
+        }
+        assert!(cap < 256, "spike did not decay (capacity {cap})");
     }
 
     #[test]

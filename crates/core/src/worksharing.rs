@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::adaptive::AdaptiveSlot;
 use crate::sync::{Backend, CancelFlag, ClaimFlag, Notifier, OmpEvent, SharedCounter};
 
 /// Shared state for one dynamic occurrence of a work-sharing region.
@@ -40,6 +41,11 @@ pub struct WsInstance {
     /// The owning region's cancellation flag (shared via the registry), so
     /// every instance wait loop also observes `cancel parallel`/poisoning.
     region_cancel: Arc<CancelFlag>,
+    /// Adaptive-schedule decision slot: the first team thread to resolve a
+    /// loop through [`crate::adaptive::resolve`] installs the decision here,
+    /// making it immutable for this instance (and invisible to concurrent
+    /// teams at the same loop site, which have their own instances).
+    adaptive: AdaptiveSlot,
 }
 
 impl WsInstance {
@@ -54,7 +60,14 @@ impl WsInstance {
             wake,
             cancelled: CancelFlag::new(backend),
             region_cancel,
+            adaptive: AdaptiveSlot::new(),
         }
+    }
+
+    /// This instance's adaptive-schedule decision slot (see
+    /// [`crate::adaptive::resolve`]).
+    pub fn adaptive_slot(&self) -> &AdaptiveSlot {
+        &self.adaptive
     }
 
     /// Cancel this work-sharing instance (`cancel for`/`cancel sections`):

@@ -654,27 +654,12 @@ fn build_runtime_module(mode: ExecMode) -> Value {
                 Some(f) => (f.thread_num, f.team.size()),
                 None => (0, 1),
             };
-            // Interpreted loops resolve adaptively when the transform gave
-            // them a site id and a team instance exists (dynamic/guided need
-            // its chunk counter); `interpreted = true` biases the first
-            // instance toward guided with an overhead-derived minimum chunk.
-            let (sched, adapt) = match site {
-                Some(site_id) if frame.is_some() => omp4rs::adaptive::resolve(
-                    sched_clause.map(|k| (k, chunk)),
-                    INTERP_SITE_TAG | site_id,
-                    dims.total(),
-                    nthreads,
-                    true,
-                ),
-                _ => (
-                    ResolvedSchedule::resolve(sched_clause.map(|k| (k, chunk))),
-                    None,
-                ),
-            };
             // Every in-team loop gets a work-share instance: dynamic/guided
             // schedules need its chunk counter, ordered needs its turnstile,
-            // and cancellation (`cancel("for")`, region poisoning) is
-            // observed through it at each `for_next` chunk claim.
+            // cancellation (`cancel("for")`, region poisoning) is observed
+            // through it at each `for_next` chunk claim — and its adaptive
+            // slot pins this team's schedule decision, so the instance must
+            // exist before the schedule is resolved.
             let mut instance = None;
             if let Some(f) = &frame {
                 let seq = f.next_ws_seq();
@@ -682,14 +667,33 @@ fn build_runtime_module(mode: ExecMode) -> Value {
                 *state.seq.lock() = Some(seq);
                 instance = Some(inst);
             }
+            // Interpreted loops resolve adaptively when the transform gave
+            // them a site id and a team instance exists (its slot shares the
+            // decision across the team); `interpreted = true` biases the
+            // first instance toward guided with an overhead-derived minimum
+            // chunk.
+            let (sched, adapt) = match (site, &instance) {
+                (Some(site_id), Some(inst)) => omp4rs::adaptive::resolve(
+                    sched_clause.map(|k| (k, chunk)),
+                    INTERP_SITE_TAG | site_id,
+                    dims.total(),
+                    nthreads,
+                    true,
+                    inst.adaptive_slot(),
+                ),
+                _ => (
+                    ResolvedSchedule::resolve(sched_clause.map(|k| (k, chunk))),
+                    None,
+                ),
+            };
             if let (Some(f), Some(inst)) = (&frame, &instance) {
                 f.set_current_instance(Some(Arc::clone(inst)));
             }
             *state.instance.lock() = instance.clone();
             *state.ordered.lock() = ordered;
             let mut fb = ForBounds::init(dims, sched, thread_num, nthreads, instance);
-            if let Some(key) = adapt {
-                fb.track_adaptive(key);
+            if let Some(tracker) = adapt {
+                fb.track_adaptive(tracker);
             }
             *state.fb.lock() = Some(fb);
             Ok(())
