@@ -1,0 +1,28 @@
+//! Diagnostic probe: confirm the bytecode tier actually executes the
+//! pyfront-transformed π body (frames > 0) and surface fallback reasons.
+
+use omp4rs::{Icvs, MinipyVm};
+use omp4rs_apps::{pi, Mode};
+
+#[test]
+fn pure_pi_runs_on_the_vm() {
+    // `install` mirrors the ICV into `minipy::bytecode`, so the mode must be
+    // set where the bridge reads it, not directly on the interpreter crate.
+    let before = Icvs::current();
+    Icvs::update(|i| i.minipy_vm = MinipyVm::On);
+    minipy::stats::reset();
+    minipy::stats::set_enabled(true);
+    let out = pi::run(Mode::Pure, 2, &pi::Params { n: 20_000 }).expect("pi runs");
+    let stats = minipy::stats::snapshot();
+    minipy::stats::set_enabled(false);
+    Icvs::reset(before);
+    println!(
+        "check={:.9} compiles={} fallbacks={} frames={} ops={}",
+        out.check, stats.vm_compiles, stats.vm_fallbacks, stats.vm_frames, stats.vm_ops
+    );
+    println!(
+        "fallback reasons: {:?}",
+        minipy::bytecode::fallback_reasons()
+    );
+    assert!(stats.vm_frames > 0, "VM executed no frames");
+}

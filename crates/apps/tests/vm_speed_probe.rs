@@ -1,0 +1,43 @@
+//! Diagnostic: raw single-thread interpreter vs VM throughput on the π body.
+
+use minipy::bytecode::{self, VmMode};
+use minipy::{Interp, Value};
+
+const SRC: &str = "def f(n):\n    w = 1.0 / n\n    acc = 0.0\n    for i in range(n):\n        local = (i + 0.5) * w\n        acc += 4.0 / (1.0 + local * local)\n    return acc * w\n";
+
+#[test]
+fn sequential_body_throughput() {
+    // Debug builds interpret ~20x slower; keep tier-1 `cargo test` fast.
+    let n = if cfg!(debug_assertions) {
+        20_000i64
+    } else {
+        500_000i64
+    };
+    let mut results = Vec::new();
+    for (label, mode) in [("tree", VmMode::Off), ("vm", VmMode::On)] {
+        let prev = bytecode::set_mode(mode);
+        let interp = Interp::new();
+        interp.run(SRC).unwrap();
+        let f = interp.get_global("f").unwrap();
+        let start = std::time::Instant::now();
+        let v = interp.call(&f, vec![Value::Int(n)]).unwrap();
+        let elapsed = start.elapsed();
+        bytecode::set_mode(prev);
+        println!(
+            "{label}: {:.1} ms ({:.0} ns/iter) result={:.9}",
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e9 / n as f64,
+            v.as_float().unwrap()
+        );
+        results.push(elapsed);
+    }
+    let speedup = results[0].as_secs_f64() / results[1].as_secs_f64();
+    println!("speedup: {speedup:.2}x");
+    // Only release builds make a meaningful throughput claim.
+    if !cfg!(debug_assertions) {
+        assert!(
+            speedup > 2.0,
+            "VM should clearly outrun the tree-walker (got {speedup:.2}x)"
+        );
+    }
+}

@@ -12,15 +12,36 @@
 //!   "additional arguments to modify the problem size")
 //! * `--profile` — emit `trace_main.json` plus a per-region profiler summary
 //!   (see [`omp4rs_bench::profile`])
+//! * `--json` — emit one machine-readable JSON object instead of prose
+//!   (consumed by `scripts/bench.sh` to build `BENCH_<test>.json` baselines)
+//! * `--repeat N` — run the benchmark N times (default 1) and report the
+//!   median and standard deviation over the samples
 
 use omp4rs_apps::Mode;
 use omp4rs_bench::figures::{measure, mode_scale, AppKind};
 
 fn usage() -> ! {
-    eprintln!("usage: main <mode> <test> <threads> [scale] [--profile]");
+    eprintln!("usage: main <mode> <test> <threads> [scale] [--profile] [--json] [--repeat N]");
     eprintln!("  mode: 0=Pure 1=Hybrid 2=Compiled 3=CompiledDT -1=PyOMP");
     eprintln!("  test: fft jacobi lud maze md pi qsort wordcount graphic");
     std::process::exit(2);
+}
+
+/// Pull `--json` / `--repeat N` out of the argument list.
+fn parse_flags(args: &mut Vec<String>) -> (bool, usize) {
+    let json = args.iter().position(|a| a == "--json").map(|i| {
+        args.remove(i);
+    });
+    let repeat = match args.iter().position(|a| a == "--repeat") {
+        Some(i) if i + 1 < args.len() => {
+            let n = args[i + 1].parse::<usize>().unwrap_or_else(|_| usage());
+            args.drain(i..=i + 1);
+            n.max(1)
+        }
+        Some(_) => usage(),
+        None => 1,
+    };
+    (json.is_some(), repeat)
 }
 
 fn main() {
@@ -28,6 +49,7 @@ fn main() {
     // OMP4RS_FAULTS arms deterministic fault injection for the whole run
     // (the guard must stay alive); see docs/ENVIRONMENT.md.
     let _faults = omp4rs::faults::arm_from_env();
+    let (json, repeat) = parse_flags(&mut args);
     let profile = omp4rs_bench::profile::begin(&mut args, "main");
     if args.len() < 3 {
         usage();
@@ -45,25 +67,77 @@ fn main() {
 
     // The measurement entry point runs the benchmark at any thread count by
     // re-dispatching; reuse it at the requested team size via the apps API.
-    let out = run_at(app, mode, threads, scale);
-    match out {
-        Ok((seconds, check)) => {
-            println!(
-                "{} {} threads={} scale={}: {:.6} s (result checksum {:.6})",
-                app.name(),
-                mode.name(),
-                threads,
-                scale,
-                seconds,
-                check
-            );
-        }
-        Err(e) => {
-            eprintln!("{} cannot run under {}: {e}", app.name(), mode.name());
-            std::process::exit(1);
+    let mut samples = Vec::with_capacity(repeat);
+    let mut check = 0.0;
+    for _ in 0..repeat {
+        match run_at(app, mode, threads, scale) {
+            Ok((seconds, c)) => {
+                samples.push(seconds);
+                check = c;
+            }
+            Err(e) => {
+                eprintln!("{} cannot run under {}: {e}", app.name(), mode.name());
+                std::process::exit(1);
+            }
         }
     }
+    let (median, sigma) = median_sigma(&mut samples);
+    if json {
+        // The VM tri-state matters for interpreted modes: record what this
+        // process resolved so baselines are self-describing.
+        let vm = match omp4rs::Icvs::current().minipy_vm {
+            omp4rs::MinipyVm::Off => "off",
+            omp4rs::MinipyVm::Auto => "auto",
+            omp4rs::MinipyVm::On => "on",
+        };
+        let list = samples
+            .iter()
+            .map(|s| format!("{s:.6}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"app\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"scale\":{},\"minipy_vm\":\"{}\",\
+             \"repeats\":{},\"median_s\":{:.6},\"sigma_s\":{:.6},\"samples_s\":[{}],\"check\":{:.9}}}",
+            app.name(),
+            mode.name(),
+            threads,
+            scale,
+            vm,
+            repeat,
+            median,
+            sigma,
+            list,
+            check
+        );
+    } else {
+        println!(
+            "{} {} threads={} scale={}: median {:.6} s +- {:.6} over {} run(s) \
+             (result checksum {:.6})",
+            app.name(),
+            mode.name(),
+            threads,
+            scale,
+            median,
+            sigma,
+            repeat,
+            check
+        );
+    }
     profile.finish();
+}
+
+/// Median and population standard deviation of the samples (sorts in place).
+fn median_sigma(samples: &mut [f64]) -> (f64, f64) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let median = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    };
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    (median, var.sqrt())
 }
 
 fn run_at(app: AppKind, mode: Mode, threads: usize, scale: f64) -> Result<(f64, f64), String> {

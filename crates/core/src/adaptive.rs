@@ -105,6 +105,10 @@ pub const CHUNK_OVERHEAD_FLOOR_NS: u64 = 50_000;
 struct LoopHistory {
     /// Instances decided so far (across all teams).
     instances: u64,
+    /// Whether this loop crosses the interpreter boundary per chunk claim
+    /// (Pure/Hybrid). Interpreted loops re-chunk by measured per-iteration
+    /// duration instead of blind doubling.
+    interpreted: bool,
     /// Policy the next instance will use.
     kind: ScheduleKind,
     /// Chunk parameter for the next instance (minimum chunk for guided).
@@ -113,9 +117,16 @@ struct LoopHistory {
     last_imbalance: f64,
     /// Mean chunk duration of the last folded window, ns.
     last_mean_chunk_ns: u64,
+    /// Mean per-iteration duration of the last folded window, ns.
+    last_per_iter_ns: u64,
     /// Times the policy was changed by feedback.
     rechunks: u64,
 }
+
+/// Cap on how much one fold may grow the chunk when duration feedback asks
+/// for a jump (a single noisy window must not overshoot to a near-serial
+/// chunk that the next window cannot correct quickly).
+const MAX_CHUNK_GROWTH_PER_FOLD: u64 = 8;
 
 impl LoopHistory {
     fn fold_window(&mut self, reports: &[ThreadReport]) {
@@ -134,6 +145,7 @@ impl LoopHistory {
         let chunks: u64 = active.iter().map(|r| r.chunks).sum();
         let iters: u64 = active.iter().map(|r| r.iters).sum();
         self.last_mean_chunk_ns = sum_ns.checked_div(chunks).unwrap_or(0);
+        self.last_per_iter_ns = sum_ns.checked_div(iters).unwrap_or(0);
         let mean_iters_per_chunk = iters.checked_div(chunks).unwrap_or(1).max(1);
 
         // Re-chunk: imbalance first (policy escalation), then per-chunk
@@ -157,9 +169,26 @@ impl LoopHistory {
             }
         }
         if self.last_mean_chunk_ns < CHUNK_OVERHEAD_FLOOR_NS && chunks > active.len() as u64 {
-            // Chunks finish faster than the claim overhead amortizes: double
-            // the (minimum) chunk.
-            self.chunk = (self.chunk.max(1)).saturating_mul(2);
+            // Chunks finish faster than the claim overhead amortizes.
+            let cur = self.chunk.max(1);
+            let grown = if self.interpreted && self.last_per_iter_ns > 0 {
+                // Interpreted claims are the expensive ones (a runtime
+                // round-trip through the interpreter per chunk): jump
+                // straight to the chunk the measured per-iteration duration
+                // says amortizes the floor, instead of doubling toward it
+                // over several windows. One fold may overshoot on a noisy
+                // window, so growth is capped per fold.
+                let target = (CHUNK_OVERHEAD_FLOOR_NS / self.last_per_iter_ns).max(1);
+                // At least double (monotone escape from sub-floor chunks
+                // even when the target estimate is off), at most 8x.
+                target.clamp(
+                    cur.saturating_mul(2),
+                    cur.saturating_mul(MAX_CHUNK_GROWTH_PER_FOLD),
+                )
+            } else {
+                cur.saturating_mul(2)
+            };
+            self.chunk = grown;
             self.rechunks += 1;
         }
     }
@@ -332,6 +361,7 @@ fn decide(
             (ScheduleKind::Static, 1)
         };
         LoopHistory {
+            interpreted,
             kind,
             chunk,
             ..LoopHistory::default()
@@ -367,6 +397,9 @@ pub struct LoopSnapshot {
     pub last_imbalance: f64,
     /// Mean chunk duration of the last folded window, ns.
     pub last_mean_chunk_ns: u64,
+    /// Mean per-iteration duration of the last folded window, ns (0 until a
+    /// window folds). Drives interpreted min-chunk targeting.
+    pub last_per_iter_ns: u64,
     /// Times feedback changed the policy.
     pub rechunks: u64,
 }
@@ -379,6 +412,7 @@ pub fn snapshot(key: u64) -> Option<LoopSnapshot> {
         chunk: h.chunk,
         last_imbalance: h.last_imbalance,
         last_mean_chunk_ns: h.last_mean_chunk_ns,
+        last_per_iter_ns: h.last_per_iter_ns,
         rechunks: h.rechunks,
     })
 }
@@ -558,6 +592,47 @@ mod tests {
         let (s1, _) = instance(AUTO, k, 100_000, 1, true);
         assert_eq!(s1.chunk, initial_chunk * 2, "chunk doubles under overhead");
         assert_eq!(s1.kind, ScheduleKind::Guided);
+        forget(k);
+    }
+
+    #[test]
+    fn interpreted_chunks_jump_to_the_duration_derived_target() {
+        // Initial chunk 20 (160 iterations / (8 * 1 thread)); measured
+        // 500 ns/iter says 100 iterations amortize the 50 us floor — one
+        // fold lands exactly there instead of doubling toward it.
+        let k = key();
+        let slot = AdaptiveSlot::new();
+        let (s0, tracker) = resolve(AUTO, k, 160, 1, true, &slot);
+        assert_eq!(s0.chunk, 20);
+        tracker.unwrap().report(ThreadReport {
+            ns: 80_000,
+            chunks: 8,
+            iters: 160,
+        });
+        let snap = snapshot(k).unwrap();
+        assert_eq!(snap.last_per_iter_ns, 500);
+        assert_eq!(
+            snap.chunk,
+            CHUNK_OVERHEAD_FLOOR_NS / 500,
+            "chunk targets the measured per-iteration duration"
+        );
+        forget(k);
+    }
+
+    #[test]
+    fn duration_jump_is_capped_per_fold() {
+        // Chunk 1, 500 ns/iter: the duration target (100) exceeds the 8x
+        // per-fold cap, so one noisy window cannot overshoot past 8.
+        let k = key();
+        let slot = AdaptiveSlot::new();
+        let (s0, tracker) = resolve(AUTO, k, 8, 1, true, &slot);
+        assert_eq!(s0.chunk, 1);
+        tracker.unwrap().report(ThreadReport {
+            ns: 4_000,
+            chunks: 8,
+            iters: 8,
+        });
+        assert_eq!(snapshot(k).unwrap().chunk, MAX_CHUNK_GROWTH_PER_FOLD);
         forget(k);
     }
 

@@ -49,6 +49,38 @@ pub struct Icvs {
     /// (`OMP4RS_STEAL_CAP`). `None` sizes deques from recorded queue
     /// high-water marks; see [`crate::tasks`].
     pub steal_cap: Option<usize>,
+    /// The minipy bytecode-tier setting (`OMP4RS_MINIPY_VM`). The core
+    /// runtime has no interpreter dependency, so this is configuration only;
+    /// the pyfront bridge mirrors it into `minipy::bytecode::set_mode` when
+    /// an interpreter is installed. See `docs/ENVIRONMENT.md`.
+    pub minipy_vm: MinipyVm,
+}
+
+/// Tri-state for the minipy bytecode VM (`OMP4RS_MINIPY_VM`); mirrors
+/// `minipy::bytecode::VmMode` without pulling the interpreter into the core
+/// runtime's dependency graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MinipyVm {
+    /// Tree-walk everything (the pre-VM interpreter).
+    Off,
+    /// Compile VM-supported functions lazily on first call. The default.
+    #[default]
+    Auto,
+    /// Like `Auto`, plus eager compilation at `@omp` decoration time.
+    On,
+}
+
+impl MinipyVm {
+    /// Parse the `OMP4RS_MINIPY_VM` spellings (same table as
+    /// `minipy::bytecode::VmMode::parse`). `None` keeps the default.
+    pub fn parse(text: &str) -> Option<MinipyVm> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "false" | "0" | "no" => Some(MinipyVm::Off),
+            "auto" => Some(MinipyVm::Auto),
+            "on" | "true" | "1" | "yes" => Some(MinipyVm::On),
+            _ => None,
+        }
+    }
 }
 
 impl Default for Icvs {
@@ -65,6 +97,7 @@ impl Default for Icvs {
             tool: None,
             adaptive: AdaptiveMode::Full,
             steal_cap: None,
+            minipy_vm: MinipyVm::Auto,
         }
     }
 }
@@ -123,6 +156,11 @@ impl Icvs {
         if let Some(n) = env_usize("OMP4RS_STEAL_CAP") {
             if n > 0 {
                 icvs.steal_cap = Some(n);
+            }
+        }
+        if let Ok(text) = std::env::var("OMP4RS_MINIPY_VM") {
+            if let Some(vm) = MinipyVm::parse(&text) {
+                icvs.minipy_vm = vm;
             }
         }
         icvs
@@ -212,6 +250,15 @@ mod tests {
         );
         assert_eq!(parse_omp_schedule("bogus"), None);
         assert_eq!(parse_omp_schedule("static,abc"), None);
+    }
+
+    #[test]
+    fn parse_minipy_vm() {
+        assert_eq!(MinipyVm::parse("off"), Some(MinipyVm::Off));
+        assert_eq!(MinipyVm::parse(" Auto "), Some(MinipyVm::Auto));
+        assert_eq!(MinipyVm::parse("ON"), Some(MinipyVm::On));
+        assert_eq!(MinipyVm::parse("maybe"), None);
+        assert_eq!(Icvs::default().minipy_vm, MinipyVm::Auto);
     }
 
     #[test]

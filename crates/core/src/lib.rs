@@ -77,6 +77,6 @@ pub use directive::{CancelConstruct, Clause, Directive, DirectiveKind, Reduction
 pub use error::OmpError;
 pub use exec::{parallel, parallel_region, ForSpec, ParallelConfig, TaskCtx, WorkerCtx};
 pub use faults::{FaultPlan, FaultSite, InjectedFault};
-pub use icv::Icvs;
+pub use icv::{Icvs, MinipyVm};
 pub use sync::Backend;
 pub use team::Team;

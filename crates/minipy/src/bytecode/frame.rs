@@ -1,0 +1,109 @@
+//! Per-call VM state: the register file and its side tables.
+
+use crate::env::{Cell, Env};
+use crate::error::{name_err, PyErr};
+use crate::interp::ValueIter;
+use crate::value::Value;
+
+use super::opcode::{CompiledCode, Reg};
+
+/// The mutable state of one bytecode-function invocation.
+///
+/// Everything a call touches lives here; the [`CompiledCode`] itself is
+/// immutable and shared across threads. Locals occupy the low registers and
+/// carry a definedness bitmask: reading an *unset* local falls back to the
+/// closure chain, exactly like the tree-walker's dynamic name lookup for a
+/// local that has not been assigned yet on this path.
+pub struct Frame {
+    /// The register file: `[locals][temporaries][constants]`.
+    pub regs: Vec<Value>,
+    /// Definedness bits for the local registers.
+    set: Vec<u64>,
+    /// Bound cells (`global`/`nonlocal` declarations) and cached
+    /// free-variable cells, indexed by cell slot.
+    pub cells: Vec<Option<Cell>>,
+    /// Live iterator state, indexed by loop-nesting depth.
+    pub iters: Vec<Option<ValueIter>>,
+    /// Cached intrinsic callables, indexed by call site.
+    pub sites: Vec<Option<Value>>,
+    /// Active `finally` unwind targets (innermost last).
+    pub blocks: Vec<u32>,
+    /// The exception being unwound through a `finally` block.
+    pub pending: Option<PyErr>,
+    n_locals: u16,
+}
+
+impl Frame {
+    /// Allocate the register file for `code`, preloading its constants.
+    pub fn new(code: &CompiledCode) -> Frame {
+        let mut regs = vec![Value::None; code.n_regs as usize];
+        for (i, c) in code.consts.iter().enumerate() {
+            regs[code.const_base as usize + i] = c.clone();
+        }
+        Frame {
+            regs,
+            set: vec![0; (code.n_locals as usize).div_ceil(64)],
+            cells: vec![None; code.n_cells as usize],
+            iters: (0..code.n_iters).map(|_| None).collect(),
+            sites: vec![None; code.n_sites as usize],
+            blocks: Vec::new(),
+            pending: None,
+            n_locals: code.n_locals,
+        }
+    }
+
+    /// Whether local slot `slot` has been assigned in this call.
+    #[inline]
+    pub fn is_set(&self, slot: Reg) -> bool {
+        self.set[slot as usize / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    /// Un-assign a local slot (`del x`): later reads fall back to the chain.
+    #[inline]
+    pub fn clear_local(&mut self, slot: Reg) {
+        self.set[slot as usize / 64] &= !(1u64 << (slot % 64));
+        self.regs[slot as usize] = Value::None;
+    }
+
+    /// Write a register, marking locals as assigned.
+    #[inline]
+    pub fn write(&mut self, reg: Reg, v: Value) {
+        if reg < self.n_locals {
+            self.set[reg as usize / 64] |= 1u64 << (reg % 64);
+        }
+        self.regs[reg as usize] = v;
+    }
+
+    /// Borrow an operand register, or `None` when the register is an unset
+    /// local (the caller must take the owned [`Frame::read`] fallback path).
+    ///
+    /// This is the dispatch loop's hot path: constants, temporaries, and
+    /// assigned locals — everything straight-line numeric code touches —
+    /// borrow without cloning.
+    #[inline]
+    pub fn read_ref(&self, reg: Reg) -> Option<&Value> {
+        if reg < self.n_locals && !self.is_set(reg) {
+            return None;
+        }
+        Some(&self.regs[reg as usize])
+    }
+
+    /// Read an operand register.
+    ///
+    /// Unset locals fall back to a dynamic lookup through the function's
+    /// closure chain (the tree-walker reads any name it cannot find in the
+    /// call frame from enclosing scopes), raising `NameError` if the name is
+    /// bound nowhere.
+    ///
+    /// # Errors
+    ///
+    /// `NameError` for an unset local bound nowhere on the chain.
+    #[inline]
+    pub fn read(&self, reg: Reg, code: &CompiledCode, closure: &Env) -> Result<Value, PyErr> {
+        if reg < self.n_locals && !self.is_set(reg) {
+            let name = &code.local_names[reg as usize];
+            return closure.get(name).ok_or_else(|| name_err(name));
+        }
+        Ok(self.regs[reg as usize].clone())
+    }
+}

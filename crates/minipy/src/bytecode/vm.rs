@@ -1,0 +1,702 @@
+//! The dispatch-loop virtual machine.
+//!
+//! [`call_compiled`] is the compiled-tier twin of the tree-walker's
+//! interpreted call path: it binds arguments into register slots (with the
+//! tree-walker's exact arity/keyword error messages), then dispatches the
+//! instruction stream over a flat [`Frame`]. Semantics — including error
+//! lines, `finally` unwinding, unset-local name resolution, and GIL
+//! scheduling points — match the tree-walker; the differential suite in
+//! `tests/vm_differential.rs` holds the two executions to identical output.
+//!
+//! GIL scheduling: the tree-walker calls `gil.tick()` before every
+//! statement; compiled code ticks on loop back-edges and calls instead. Each
+//! loop iteration and each call boundary therefore remains a potential
+//! switch point (what CPython's eval loop guarantees), while straight-line
+//! arithmetic runs untouched — that is the point of the tier.
+
+use crate::env::Env;
+use crate::error::{name_err, type_err, value_err, ErrKind, PyErr};
+use crate::interp::{
+    binary_op, compare, current_exception, exception_from_value, unary_op, Interp, SliceValue,
+    ValueIter,
+};
+use crate::methods;
+use crate::stats;
+use crate::value::{Args, FuncValue, HKey, Value};
+use std::sync::Arc;
+
+use super::frame::Frame;
+use super::opcode::{CompiledCode, Op, Reg, NO_KW};
+
+/// What one dispatched instruction asks the loop to do next.
+enum Ctl {
+    /// Fall through to the next instruction.
+    Next,
+    /// Transfer to an absolute pc.
+    Jump(usize),
+    /// Leave the frame with a value.
+    Ret(Value),
+}
+
+/// Execute a compiled function.
+///
+/// The caller (the interpreted call path) has already applied the recursion
+/// guard and holds a GIL session; this replaces environment-frame creation
+/// and tree-walking for the whole call.
+///
+/// # Errors
+///
+/// Exactly the errors the tree-walker would raise for the same call: arity
+/// and keyword `TypeError`s, then whatever the body raises (annotated with
+/// the innermost statement line).
+pub fn call_compiled(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &Arc<CompiledCode>,
+    args: Args,
+) -> Result<Value, PyErr> {
+    let mut frame = Frame::new(code);
+    bind_args(f, code, &mut frame, args)?;
+    let mut pc = 0usize;
+    let mut ops = 0u64;
+    let result = loop {
+        ops += 1;
+        match step(interp, f, code, &mut frame, pc) {
+            Ok(Ctl::Next) => pc += 1,
+            Ok(Ctl::Jump(target)) => pc = target,
+            Ok(Ctl::Ret(v)) => break Ok(v),
+            Err(mut e) => {
+                // The tree-walker annotates errors with the innermost
+                // enclosing statement's line (`with_line` keeps the first
+                // annotation); `lines[pc]` is exactly that statement.
+                let line = code.lines[pc];
+                if line > 0 {
+                    e = e.with_line(line);
+                }
+                match frame.blocks.pop() {
+                    // Unwind into the nearest `finally` error copy. A new
+                    // error raised there replaces the pending one, as the
+                    // tree-walker's `finally` result replacement does.
+                    Some(target) => {
+                        frame.pending = Some(e);
+                        pc = target as usize;
+                    }
+                    None => break Err(e),
+                }
+            }
+        }
+    };
+    if stats::enabled() {
+        stats::add_vm_frame(ops);
+    }
+    result
+}
+
+/// Bind call arguments into parameter slots, replicating the tree-walker's
+/// arity and keyword errors verbatim.
+fn bind_args(
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    mut args: Args,
+) -> Result<(), PyErr> {
+    let params = &f.def.params;
+    if args.pos.len() > params.len() {
+        return Err(type_err(format!(
+            "{}() takes {} positional arguments but {} were given",
+            f.name,
+            params.len(),
+            args.pos.len()
+        )));
+    }
+    let npos = args.pos.len();
+    for (i, value) in args.pos.drain(..).enumerate() {
+        frame.write(code.param_slots[i], value);
+    }
+    for (name, value) in args.kw.drain(..) {
+        match params.iter().position(|p| p.name == name) {
+            Some(i) if i < npos => {
+                return Err(type_err(format!(
+                    "{}() got multiple values for argument '{name}'",
+                    f.name
+                )))
+            }
+            Some(i) => {
+                let slot = code.param_slots[i];
+                if frame.is_set(slot) {
+                    return Err(type_err(format!(
+                        "{}() got multiple values for argument '{name}'",
+                        f.name
+                    )));
+                }
+                frame.write(slot, value);
+            }
+            None => {
+                return Err(type_err(format!(
+                    "{}() got an unexpected keyword argument '{name}'",
+                    f.name
+                )))
+            }
+        }
+    }
+    for (i, param) in params.iter().enumerate() {
+        let slot = code.param_slots[i];
+        if !frame.is_set(slot) {
+            match f.defaults.get(i).and_then(Option::as_ref) {
+                Some(default) => frame.write(slot, default.clone()),
+                None => {
+                    return Err(type_err(format!(
+                        "{}() missing required argument: '{}'",
+                        f.name, param.name
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collect `argc` positional registers starting at `argbase`.
+fn read_args(
+    frame: &Frame,
+    code: &CompiledCode,
+    closure: &Env,
+    argbase: Reg,
+    argc: u16,
+) -> Result<Vec<Value>, PyErr> {
+    let mut pos = Vec::with_capacity(argc as usize);
+    for i in 0..argc {
+        pos.push(frame.read(argbase + i, code, closure)?);
+    }
+    Ok(pos)
+}
+
+/// Dispatch one instruction.
+#[inline(always)]
+fn step(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+) -> Result<Ctl, PyErr> {
+    let closure = &f.closure;
+    match &code.ops[pc] {
+        Op::Copy { dst, src } => {
+            let v = frame.read(*src, code, closure)?;
+            frame.write(*dst, v);
+        }
+        Op::BindNonlocal { cell, name } => {
+            let nm = &code.names[*name as usize];
+            // The VM call has no `Env` frame, so "strict ancestors of the
+            // frame" is the closure chain itself.
+            let resolved = closure.get_cell_below_root(nm).ok_or_else(|| {
+                PyErr::new(
+                    ErrKind::Syntax,
+                    format!("no binding for nonlocal '{nm}' found"),
+                )
+            })?;
+            frame.cells[*cell as usize] = Some(resolved);
+        }
+        Op::BindGlobal { cell, name } => {
+            let nm = &code.names[*name as usize];
+            let globals = interp.globals();
+            let resolved = match globals.get_local_cell(nm) {
+                Some(c) => c,
+                None => {
+                    globals.define(nm, Value::None);
+                    globals.get_local_cell(nm).expect("just defined")
+                }
+            };
+            frame.cells[*cell as usize] = Some(resolved);
+        }
+        Op::LoadCell { dst, cell } => {
+            let v = frame.cells[*cell as usize]
+                .as_ref()
+                .expect("cell bound by prologue")
+                .read()
+                .clone();
+            frame.write(*dst, v);
+        }
+        Op::StoreCell { cell, src } => {
+            let v = frame.read(*src, code, closure)?;
+            *frame.cells[*cell as usize]
+                .as_ref()
+                .expect("cell bound by prologue")
+                .write() = v;
+        }
+        Op::LoadFree { dst, cell, name } => {
+            let v = match &frame.cells[*cell as usize] {
+                Some(c) => c.read().clone(),
+                None => {
+                    let nm = &code.names[*name as usize];
+                    let c = closure.get_cell(nm).ok_or_else(|| name_err(nm))?;
+                    let v = c.read().clone();
+                    frame.cells[*cell as usize] = Some(c);
+                    v
+                }
+            };
+            frame.write(*dst, v);
+        }
+        Op::Binary { op, dst, l, r } => {
+            // Borrow both operands when possible (the common case: consts,
+            // temps, assigned locals) — cloning `Value`s here dominates the
+            // dispatch cost of numeric loops otherwise.
+            let v = match (frame.read_ref(*l), frame.read_ref(*r)) {
+                (Some(a), Some(b)) => binary_op(*op, a, b)?,
+                _ => {
+                    let a = frame.read(*l, code, closure)?;
+                    let b = frame.read(*r, code, closure)?;
+                    binary_op(*op, &a, &b)?
+                }
+            };
+            frame.write(*dst, v);
+        }
+        Op::AugLocal { op, slot, src } => {
+            if frame.is_set(*slot) {
+                let new = match frame.read_ref(*src) {
+                    Some(r) => binary_op(*op, &frame.regs[*slot as usize], r)?,
+                    None => {
+                        let r = frame.read(*src, code, closure)?;
+                        binary_op(*op, &frame.regs[*slot as usize], &r)?
+                    }
+                };
+                frame.write(*slot, new);
+            } else {
+                let rhs = frame.read(*src, code, closure)?;
+                // The tree-walker's `x += v` mutates the nearest existing
+                // binding through its cell and never creates a local.
+                let nm = &code.local_names[*slot as usize];
+                let cell = closure.get_cell(nm).ok_or_else(|| name_err(nm))?;
+                let old = cell.read().clone();
+                let new = binary_op(*op, &old, &rhs)?;
+                *cell.write() = new;
+            }
+        }
+        Op::AugCell { op, cell, src } => {
+            let rhs = frame.read(*src, code, closure)?;
+            let c = frame.cells[*cell as usize]
+                .as_ref()
+                .expect("cell bound by prologue");
+            // Read-modify-write without holding the lock across the
+            // operator, matching the tree-walker (and CPython: `x += 1` is
+            // not atomic).
+            let old = c.read().clone();
+            let new = binary_op(*op, &old, &rhs)?;
+            *c.write() = new;
+        }
+        Op::Unary { op, dst, s } => {
+            let v = match frame.read_ref(*s) {
+                Some(x) => unary_op(*op, x)?,
+                None => {
+                    let x = frame.read(*s, code, closure)?;
+                    unary_op(*op, &x)?
+                }
+            };
+            frame.write(*dst, v);
+        }
+        Op::Compare { op, dst, l, r } => {
+            let v = match (frame.read_ref(*l), frame.read_ref(*r)) {
+                (Some(a), Some(b)) => compare(*op, a, b)?,
+                _ => {
+                    let a = frame.read(*l, code, closure)?;
+                    let b = frame.read(*r, code, closure)?;
+                    compare(*op, &a, &b)?
+                }
+            };
+            frame.write(*dst, Value::Bool(v));
+        }
+        Op::Jump { target } => {
+            let t = *target as usize;
+            if t <= pc {
+                // Loop back-edge: a GIL switch point per iteration.
+                interp.gil().tick();
+            }
+            return Ok(Ctl::Jump(t));
+        }
+        Op::JumpIfFalse { cond, target } => {
+            let t = match frame.read_ref(*cond) {
+                Some(v) => v.truthy(),
+                None => frame.read(*cond, code, closure)?.truthy(),
+            };
+            if !t {
+                return Ok(Ctl::Jump(*target as usize));
+            }
+        }
+        Op::JumpIfTrue { cond, target } => {
+            let t = match frame.read_ref(*cond) {
+                Some(v) => v.truthy(),
+                None => frame.read(*cond, code, closure)?.truthy(),
+            };
+            if t {
+                return Ok(Ctl::Jump(*target as usize));
+            }
+        }
+        Op::Call {
+            dst,
+            func,
+            argbase,
+            argc,
+            kw,
+        } => {
+            let pos = read_args(frame, code, closure, *argbase, *argc)?;
+            let kwargs = read_kwargs(frame, code, closure, *argbase + *argc, *kw)?;
+            // Argument registers were populated before the callee register,
+            // preserving the tree-walker's argument-then-callee order.
+            let callee = frame.read(*func, code, closure)?;
+            interp.gil().tick();
+            let v = interp.call_value(&callee, Args { pos, kw: kwargs })?;
+            frame.write(*dst, v);
+        }
+        Op::CallMethod {
+            dst,
+            obj,
+            attr,
+            argbase,
+            argc,
+            kw,
+        } => {
+            let pos = read_args(frame, code, closure, *argbase, *argc)?;
+            let kwargs = read_kwargs(frame, code, closure, *argbase + *argc, *kw)?;
+            let call_args = Args { pos, kw: kwargs };
+            let receiver = frame.read(*obj, code, closure)?;
+            let nm = &code.names[*attr as usize];
+            interp.gil().tick();
+            let v = if let Value::Opaque(o) = &receiver {
+                match o.get_attr(nm) {
+                    Some(callable) => interp.call_value(&callable, call_args)?,
+                    None => methods::call_method(interp, &receiver, nm, call_args)?,
+                }
+            } else {
+                methods::call_method(interp, &receiver, nm, call_args)?
+            };
+            frame.write(*dst, v);
+        }
+        Op::CallIntrinsic {
+            dst,
+            site,
+            base,
+            attr,
+            argbase,
+            argc,
+        } => {
+            let pos = read_args(frame, code, closure, *argbase, *argc)?;
+            let call_args = Args::positional(pos);
+            interp.gil().tick();
+            let cached = frame.sites[*site as usize].clone();
+            let v = match cached {
+                Some(callable) => interp.call_value(&callable, call_args)?,
+                None => {
+                    let base_nm = &code.names[*base as usize];
+                    let attr_nm = &code.names[*attr as usize];
+                    let receiver = closure.get(base_nm).ok_or_else(|| name_err(base_nm))?;
+                    if let Value::Opaque(o) = &receiver {
+                        match o.get_attr(attr_nm) {
+                            Some(callable) => {
+                                // Cache the resolved runtime intrinsic: the
+                                // base is a free name this function never
+                                // rebinds, so the callable is call-invariant.
+                                frame.sites[*site as usize] = Some(callable.clone());
+                                interp.call_value(&callable, call_args)?
+                            }
+                            None => methods::call_method(interp, &receiver, attr_nm, call_args)?,
+                        }
+                    } else {
+                        methods::call_method(interp, &receiver, attr_nm, call_args)?
+                    }
+                }
+            };
+            frame.write(*dst, v);
+        }
+        Op::GetItem { dst, obj, idx } => {
+            let container = frame.read(*obj, code, closure)?;
+            let index = frame.read(*idx, code, closure)?;
+            frame.write(*dst, interp.get_item(&container, &index)?);
+        }
+        Op::SetItem { obj, idx, src } => {
+            let container = frame.read(*obj, code, closure)?;
+            let index = frame.read(*idx, code, closure)?;
+            let v = frame.read(*src, code, closure)?;
+            interp.set_item(&container, &index, v)?;
+        }
+        Op::DelItem { obj, idx } => {
+            let container = frame.read(*obj, code, closure)?;
+            let index = frame.read(*idx, code, closure)?;
+            interp.del_item(&container, &index)?;
+        }
+        Op::GetAttr { dst, obj, attr } => {
+            let receiver = frame.read(*obj, code, closure)?;
+            let nm = &code.names[*attr as usize];
+            let v = match &receiver {
+                Value::Opaque(o) => o.get_attr(nm).ok_or_else(|| {
+                    PyErr::new(
+                        ErrKind::Attribute,
+                        format!("'{}' object has no attribute '{}'", o.type_name(), nm),
+                    )
+                })?,
+                other => {
+                    return Err(PyErr::new(
+                        ErrKind::Attribute,
+                        format!(
+                            "attribute '{}' of '{}' is only supported in call position",
+                            nm,
+                            other.type_name()
+                        ),
+                    ))
+                }
+            };
+            frame.write(*dst, v);
+        }
+        Op::BuildList { dst, base, n } => {
+            let items = read_args(frame, code, closure, *base, *n)?;
+            frame.write(*dst, Value::list(items));
+        }
+        Op::BuildTuple { dst, base, n } => {
+            let items = read_args(frame, code, closure, *base, *n)?;
+            frame.write(*dst, Value::tuple(items));
+        }
+        Op::BuildDict { dst, base, n } => {
+            let dict = Value::dict();
+            if let Value::Dict(map) = &dict {
+                let mut map = map.write();
+                for j in 0..*n {
+                    let k = frame.read(*base + 2 * j, code, closure)?;
+                    let v = frame.read(*base + 2 * j + 1, code, closure)?;
+                    map.insert(HKey::from_value(&k)?, v);
+                }
+            }
+            frame.write(*dst, dict);
+        }
+        Op::BuildSlice { dst, l, u, s } => {
+            let slice = SliceValue {
+                lower: frame.read(*l, code, closure)?,
+                upper: frame.read(*u, code, closure)?,
+                step: frame.read(*s, code, closure)?,
+            };
+            frame.write(*dst, Value::Opaque(Arc::new(slice)));
+        }
+        Op::UnpackSeq { base, n, src } => {
+            let v = frame.read(*src, code, closure)?;
+            let it = ValueIter::new(&v)?;
+            let want = *n as usize;
+            let mut supplied = Vec::with_capacity(want);
+            for item in it {
+                supplied.push(item);
+                if supplied.len() > want {
+                    return Err(value_err(format!(
+                        "too many values to unpack (expected {want})"
+                    )));
+                }
+            }
+            if supplied.len() < want {
+                return Err(value_err(format!(
+                    "not enough values to unpack (expected {}, got {})",
+                    want,
+                    supplied.len()
+                )));
+            }
+            for (j, item) in supplied.into_iter().enumerate() {
+                frame.write(*base + j as u16, item);
+            }
+        }
+        Op::IterNew { iter, src } => {
+            let v = frame.read(*src, code, closure)?;
+            frame.iters[*iter as usize] = Some(ValueIter::new(&v)?);
+        }
+        Op::IterNext { iter, dst, exit } => {
+            let slot = *iter as usize;
+            match frame.iters[slot].as_mut().expect("IterNew precedes").next() {
+                Some(item) => frame.write(*dst, item),
+                None => {
+                    frame.iters[slot] = None;
+                    return Ok(Ctl::Jump(*exit as usize));
+                }
+            }
+        }
+        Op::IterClear { iter } => frame.iters[*iter as usize] = None,
+        Op::SetupFinally { target } => frame.blocks.push(*target),
+        Op::PopBlock => {
+            frame.blocks.pop();
+        }
+        Op::Reraise => {
+            return Err(frame
+                .pending
+                .take()
+                .expect("unwind path stashed the pending exception"));
+        }
+        Op::Raise { src } => {
+            let v = frame.read(*src, code, closure)?;
+            return Err(exception_from_value(&v)?);
+        }
+        Op::RaiseBare => {
+            return Err(current_exception()
+                .ok_or_else(|| PyErr::new(ErrKind::Runtime, "no active exception to re-raise"))?);
+        }
+        Op::AssertFail { msg } => {
+            let message = if *msg == NO_KW {
+                String::new()
+            } else {
+                frame.read(*msg, code, closure)?.py_str()
+            };
+            return Err(PyErr::new(ErrKind::Assertion, message));
+        }
+        Op::DelLocal { slot } => {
+            if frame.is_set(*slot) {
+                frame.clear_local(*slot);
+            } else {
+                // Unset local: the tree-walker's `del` removes the nearest
+                // enclosing binding instead.
+                let nm = &code.local_names[*slot as usize];
+                let mut cur = Some(closure.clone());
+                let mut removed = false;
+                while let Some(env) = cur {
+                    if env.remove(nm) {
+                        removed = true;
+                        break;
+                    }
+                    cur = env.parent().cloned();
+                }
+                if !removed {
+                    return Err(name_err(nm));
+                }
+            }
+        }
+        Op::Return { src } => return Ok(Ctl::Ret(frame.read(*src, code, closure)?)),
+        Op::ReturnNone => return Ok(Ctl::Ret(Value::None)),
+    }
+    Ok(Ctl::Next)
+}
+
+/// Read a call's keyword arguments (values follow the positionals).
+fn read_kwargs(
+    frame: &Frame,
+    code: &CompiledCode,
+    closure: &Env,
+    kwbase: Reg,
+    kw: u16,
+) -> Result<Vec<(String, Value)>, PyErr> {
+    if kw == NO_KW {
+        return Ok(Vec::new());
+    }
+    let names = &code.kw_tables[kw as usize];
+    let mut out = Vec::with_capacity(names.len());
+    for (j, name) in names.iter().enumerate() {
+        out.push((name.clone(), frame.read(kwbase + j as u16, code, closure)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile::compile_function;
+    use crate::value::Value;
+
+    /// Compile `src` (which must define `f`), then call `f` with `args`
+    /// through the VM directly (no global-mode flip, so tests stay
+    /// parallel-safe) and through the tree-walker via a fresh interpreter,
+    /// asserting identical results.
+    fn vm_vs_tree(src: &str, args: Vec<Value>) -> (Result<Value, PyErr>, Option<String>) {
+        let interp = Interp::new().capture_output();
+        interp.run(src).expect("test source runs");
+        let func = match interp.get_global("f").expect("f defined") {
+            Value::Func(fv) => fv,
+            other => panic!("f is {other:?}"),
+        };
+        let code = compile_function(&func.def).expect("test function compiles");
+        let vm = call_compiled(&interp, &func, &code, Args::positional(args.clone()));
+        let vm_out = interp.output();
+
+        let tree = Interp::new().capture_output();
+        tree.run(src).expect("test source runs");
+        let tfunc = tree.get_global("f").expect("f defined");
+        let expected = tree.call(&tfunc, args);
+        let tree_out = tree.output();
+        match (&vm, &expected) {
+            (Ok(a), Ok(b)) => assert!(a.py_eq(b), "vm {a:?} != tree {b:?}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            other => panic!("vm/tree diverge: {other:?}"),
+        }
+        assert_eq!(vm_out, tree_out, "stdout diverges");
+        (vm, vm_out)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (r, _) = vm_vs_tree(
+            "def f(a, b):\n    c = a * b + 2\n    c = c - a\n    return c\n",
+            vec![Value::Int(6), Value::Int(7)],
+        );
+        assert_eq!(r.unwrap().as_int().unwrap(), 38);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let (r, _) = vm_vs_tree(
+            "def f(n):\n    total = 0\n    i = 0\n    while i < n:\n        total += i\n        i += 1\n    return total\n",
+            vec![Value::Int(100)],
+        );
+        assert_eq!(r.unwrap().as_int().unwrap(), 4950);
+    }
+
+    #[test]
+    fn for_loop_over_range_and_list() {
+        let _ = vm_vs_tree(
+            "def f(n):\n    out = []\n    for i in range(n):\n        out.append(i * i)\n    s = 0\n    for v in out:\n        s += v\n    return s\n",
+            vec![Value::Int(10)],
+        );
+    }
+
+    #[test]
+    fn try_finally_runs_on_error_and_success() {
+        let _ = vm_vs_tree(
+            "def f(x):\n    log = []\n    try:\n        log.append(1)\n        y = 1 // x\n    finally:\n        log.append(2)\n    return log\n",
+            vec![Value::Int(2)],
+        );
+        let (r, _) = vm_vs_tree(
+            "def f(x):\n    print('enter')\n    try:\n        y = 1 // x\n    finally:\n        print('cleanup')\n    return y\n",
+            vec![Value::Int(0)],
+        );
+        assert!(r.unwrap_err().to_string().contains("ZeroDivisionError"));
+    }
+
+    #[test]
+    fn unset_local_falls_back_to_enclosing_scope() {
+        let (r, _) = vm_vs_tree(
+            "g = 41\ndef f(flag):\n    if flag:\n        g = 1\n    return g + 1\n",
+            vec![Value::Bool(false)],
+        );
+        assert_eq!(r.unwrap().as_int().unwrap(), 42);
+    }
+
+    #[test]
+    fn arity_errors_match_the_tree_walker() {
+        let (r, _) = vm_vs_tree(
+            "def f(a, b):\n    return a\n",
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
+        assert_eq!(
+            r.unwrap_err().to_string(),
+            "TypeError: f() takes 2 positional arguments but 3 were given"
+        );
+        let (r, _) = vm_vs_tree("def f(a, b):\n    return a\n", vec![Value::Int(1)]);
+        assert_eq!(
+            r.unwrap_err().to_string(),
+            "TypeError: f() missing required argument: 'b'"
+        );
+    }
+
+    #[test]
+    fn unpack_and_bool_ops() {
+        let _ = vm_vs_tree(
+            "def f(p):\n    a, b = p\n    c = a or b\n    d = a and b\n    return [a, b, c, d, a < b < 10]\n",
+            vec![Value::tuple(vec![Value::Int(0), Value::Int(5)])],
+        );
+    }
+
+    #[test]
+    fn errors_carry_statement_lines() {
+        let (r, _) = vm_vs_tree("def f():\n    x = 1\n    return x + ''\n", vec![]);
+        assert_eq!(r.unwrap_err().line, Some(3));
+    }
+}

@@ -275,6 +275,14 @@ impl Interp {
     }
 
     fn call_interpreted_inner(&self, f: &Arc<FuncValue>, mut args: Args) -> Result<Value, PyErr> {
+        // Compiled tier: when the VM is enabled and this definition is
+        // VM-eligible, execute bytecode instead of tree-walking. Fallback is
+        // per-function and the compile decision is cached per definition.
+        if crate::bytecode::enabled() {
+            if let Some(code) = crate::bytecode::lookup_or_compile(&f.def) {
+                return crate::bytecode::vm::call_compiled(self, f, &code, args);
+            }
+        }
         let frame = f.closure.child();
         let def = &f.def;
         if args.pos.len() > def.params.len() {
@@ -964,7 +972,7 @@ impl Interp {
         }
     }
 
-    fn del_item(&self, container: &Value, index: &Value) -> Result<(), PyErr> {
+    pub(crate) fn del_item(&self, container: &Value, index: &Value) -> Result<(), PyErr> {
         match container {
             Value::List(l) => {
                 let mut items = l.write();
@@ -1112,12 +1120,12 @@ fn pop_exception() {
     });
 }
 
-fn current_exception() -> Option<PyErr> {
+pub(crate) fn current_exception() -> Option<PyErr> {
     EXC_STACK.with(|s| s.borrow().last().cloned())
 }
 
 /// Convert a raised value into a [`PyErr`].
-fn exception_from_value(v: &Value) -> Result<PyErr, PyErr> {
+pub(crate) fn exception_from_value(v: &Value) -> Result<PyErr, PyErr> {
     match v {
         Value::Opaque(o) => {
             if let Some(exc) = o.as_any().downcast_ref::<ExcValue>() {

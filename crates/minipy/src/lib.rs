@@ -36,6 +36,8 @@
 
 pub mod ast;
 pub mod builtins;
+#[deny(missing_docs)]
+pub mod bytecode;
 pub mod env;
 pub mod error;
 pub mod gil;

@@ -20,6 +20,11 @@ static GIL_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
 static GIL_HOLD_NS: AtomicU64 = AtomicU64::new(0);
 static OBJ_LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
 static OBJ_LOCK_CONTENDED: AtomicU64 = AtomicU64::new(0);
+static VM_COMPILES: AtomicU64 = AtomicU64::new(0);
+static VM_COMPILE_NS: AtomicU64 = AtomicU64::new(0);
+static VM_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static VM_FRAMES: AtomicU64 = AtomicU64::new(0);
+static VM_OPS: AtomicU64 = AtomicU64::new(0);
 
 /// Whether interpreter counters are being collected.
 #[inline]
@@ -39,6 +44,11 @@ pub fn reset() {
     GIL_HOLD_NS.store(0, Ordering::Relaxed);
     OBJ_LOCK_ACQUISITIONS.store(0, Ordering::Relaxed);
     OBJ_LOCK_CONTENDED.store(0, Ordering::Relaxed);
+    VM_COMPILES.store(0, Ordering::Relaxed);
+    VM_COMPILE_NS.store(0, Ordering::Relaxed);
+    VM_FALLBACKS.store(0, Ordering::Relaxed);
+    VM_FRAMES.store(0, Ordering::Relaxed);
+    VM_OPS.store(0, Ordering::Relaxed);
 }
 
 /// A snapshot of the interpreter contention counters.
@@ -53,6 +63,17 @@ pub struct InterpStats {
     pub obj_lock_acquisitions: u64,
     /// How many of those found the lock already held by another thread.
     pub obj_lock_contended: u64,
+    /// Function definitions compiled by the bytecode tier.
+    pub vm_compiles: u64,
+    /// Cumulative bytecode-compilation nanoseconds.
+    pub vm_compile_ns: u64,
+    /// Definitions the bytecode compiler declined (per-reason breakdown in
+    /// [`crate::bytecode::fallback_reasons`]).
+    pub vm_fallbacks: u64,
+    /// Bytecode frames entered (VM calls).
+    pub vm_frames: u64,
+    /// Bytecode instructions dispatched.
+    pub vm_ops: u64,
 }
 
 /// Read the current counter values.
@@ -62,6 +83,11 @@ pub fn snapshot() -> InterpStats {
         gil_hold_ns: GIL_HOLD_NS.load(Ordering::Relaxed),
         obj_lock_acquisitions: OBJ_LOCK_ACQUISITIONS.load(Ordering::Relaxed),
         obj_lock_contended: OBJ_LOCK_CONTENDED.load(Ordering::Relaxed),
+        vm_compiles: VM_COMPILES.load(Ordering::Relaxed),
+        vm_compile_ns: VM_COMPILE_NS.load(Ordering::Relaxed),
+        vm_fallbacks: VM_FALLBACKS.load(Ordering::Relaxed),
+        vm_frames: VM_FRAMES.load(Ordering::Relaxed),
+        vm_ops: VM_OPS.load(Ordering::Relaxed),
     }
 }
 
@@ -78,6 +104,26 @@ pub(crate) fn count_obj_lock(contended: bool) {
     if contended {
         OBJ_LOCK_CONTENDED.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+// Compile-time events are one-shot per definition (not per-iteration probes),
+// so they are counted unconditionally — the armed/unarmed gate exists to keep
+// hot-path probes cheap, which these are not.
+
+pub(crate) fn count_vm_compile(ns: u64) {
+    VM_COMPILES.fetch_add(1, Ordering::Relaxed);
+    VM_COMPILE_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+pub(crate) fn count_vm_fallback() {
+    VM_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One VM frame finished after dispatching `ops` instructions (gated on
+/// [`enabled`] by the caller: this is a per-call hot-path probe).
+pub(crate) fn add_vm_frame(ops: u64) {
+    VM_FRAMES.fetch_add(1, Ordering::Relaxed);
+    VM_OPS.fetch_add(ops, Ordering::Relaxed);
 }
 
 #[cfg(test)]

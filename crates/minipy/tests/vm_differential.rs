@@ -1,0 +1,163 @@
+//! Differential harness: every corpus program runs under all three
+//! `OMP4RS_MINIPY_VM` settings and must produce identical stdout, results,
+//! and errors (message *and* line). `off` is the reference tree-walker;
+//! `auto`/`on` route VM-eligible functions through the bytecode tier and
+//! must be observationally indistinguishable — including for programs the
+//! compiler rejects (nested `def`, `try`/`except`, …), where the per-function
+//! fallback has to preserve semantics exactly.
+
+use minipy::bytecode::{self, VmMode};
+use minipy::Interp;
+use proptest::prelude::*;
+
+/// `set_mode` is process-global; serialize every differential comparison so
+/// concurrently running tests in this binary cannot observe each other's
+/// mode flips.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one program under one mode: (outcome, stdout). Errors are collapsed
+/// to `Display@line` so the comparison covers message and attribution.
+fn run_with(src: &str, mode: VmMode) -> (Result<(), String>, String) {
+    let prev = bytecode::set_mode(mode);
+    let interp = Interp::new().capture_output();
+    let result = interp
+        .run(src)
+        .map(|_| ())
+        .map_err(|e| format!("{e}@{:?}", e.line));
+    let out = interp.output().unwrap_or_default();
+    bytecode::set_mode(prev);
+    (result, out)
+}
+
+/// Assert `auto` and `on` match the tree-walker (`off`) exactly.
+fn differential(src: &str) {
+    let _guard = lock();
+    let reference = run_with(src, VmMode::Off);
+    for mode in [VmMode::Auto, VmMode::On] {
+        let got = run_with(src, mode);
+        assert_eq!(
+            got, reference,
+            "{mode:?} diverges from tree-walker on:\n{src}"
+        );
+    }
+}
+
+/// The hand-written corpus: one program per construct family the VM lowers,
+/// plus the fallback families it must leave semantically untouched.
+const CORPUS: &[&str] = &[
+    // -- straight-line arithmetic and calls --------------------------------
+    "def f(a, b):\n    return (a + b) * (a - b) // 3 % 7\nprint(f(17, 4))\nprint(f(-17, 4))\n",
+    "def f(x):\n    return 4.0 / (1.0 + x * x)\nprint(f(0.5))\nprint(f(-2.0))\n",
+    "def f(a):\n    return -a, +a, not a\nprint(f(3))\nprint(f(0))\n",
+    "def f(a, b, c):\n    return a < b < c, a == b or b != c, a and b and c\nprint(f(1, 2, 3))\nprint(f(2, 2, 1))\n",
+    "def f(s):\n    return s + 'y', s * 3, len(s)\nprint(f('x'))\n",
+    // -- loops --------------------------------------------------------------
+    "def f(n):\n    total = 0\n    for i in range(n):\n        if i % 3 == 0:\n            continue\n        if i > 17:\n            break\n        total += i\n    return total\nprint(f(40))\n",
+    "def f(n):\n    i = 0\n    out = []\n    while i < n:\n        out.append(i * i)\n        i += 1\n    return out\nprint(f(6))\n",
+    "def f(items):\n    s = 0\n    for k in items:\n        s += k\n    return s\nprint(f([5, 7, 11]))\nprint(f(()))\n",
+    "def f(n):\n    acc = []\n    for i in range(n):\n        for j in range(i):\n            acc.append(i * 10 + j)\n    return acc\nprint(f(5))\n",
+    // -- assignment shapes ---------------------------------------------------
+    "def f(p):\n    a, b = p\n    a, b = b, a\n    (c, d), e = (a, b), 9\n    return [a, b, c, d, e]\nprint(f((1, 2)))\n",
+    "def f():\n    x = y = [0]\n    x.append(1)\n    return y\nprint(f())\n",
+    "def f(d):\n    d['k'] = 1\n    d['k'] += 41\n    del d['gone']\n    return d\nprint(f({'gone': 0}))\n",
+    "def f(xs):\n    xs[0] += 10\n    xs[-1] = 99\n    return xs[1:3]\nprint(f([1, 2, 3, 4]))\n",
+    "def f():\n    x = 5\n    del x\n    return 'ok'\nprint(f())\n",
+    // -- containers ----------------------------------------------------------
+    "def f():\n    d = {'a': 1, 'b': 2}\n    t = (1, 2, 3)\n    l = [t[0], d['b']]\n    return l, t[1:], sorted(d)\nprint(f())\n",
+    "def f(n):\n    return [i for i in range(1)] if False else list(range(n))\nprint(f(4))\n",
+    // -- global / closure reads ---------------------------------------------
+    "g = 10\ndef f(x):\n    global g\n    g = g + x\n    return g\nprint(f(5))\nprint(f(5))\nprint(g)\n",
+    "base = 100\ndef f(x):\n    return base + x\nprint(f(1))\n",
+    "def f(flag):\n    if flag:\n        v = 1\n    return v\nv = 7\nprint(f(False))\nprint(f(True))\n",
+    // -- try/finally, raise, assert -----------------------------------------
+    "def f(x):\n    log = []\n    try:\n        log.append('in')\n        y = 10 // x\n        log.append(y)\n    finally:\n        log.append('fin')\n    return log\nprint(f(2))\n",
+    "def f(x):\n    try:\n        return 10 // x\n    finally:\n        print('cleanup')\nprint(f(0))\n",
+    "def f(x):\n    assert x > 0, 'must be positive'\n    return x\nprint(f(3))\nprint(f(-1))\n",
+    "def f():\n    raise ValueError('boom')\nf()\n",
+    // -- errors the VM must attribute identically ---------------------------
+    "def f(a):\n    b = a + 1\n    return b + ''\nf(1)\n",
+    "def f():\n    return undefined_name\nf()\n",
+    "def f(p):\n    a, b, c = p\n    return a\nf((1, 2))\n",
+    "def f(p):\n    a, b = p\n    return a\nf((1, 2, 3))\n",
+    "def f(xs):\n    return xs[10]\nf([1])\n",
+    "def f(a, b):\n    return a\nf(1)\n",
+    "def f(a):\n    return a\nf(1, 2)\n",
+    "def f(a):\n    return a\nf(b=1)\n",
+    "def f(a):\n    return a\nf(1, a=2)\n",
+    // -- keyword calls and defaults -----------------------------------------
+    "def f(a, b=10, c=20):\n    return a + b * c\nprint(f(1))\nprint(f(1, c=2))\nprint(f(1, 2, 3))\n",
+    // -- fallback families: must behave identically via the tree-walker -----
+    "def outer(n):\n    def inner(x):\n        return x * 2\n    return inner(n) + 1\nprint(outer(5))\n",
+    "def f(xs):\n    return list(map(lambda v: v + 1, xs)) if False else [v + 1 for v in xs]\nprint(f([1, 2]))\n",
+    "def f(x):\n    try:\n        return 10 // x\n    except ZeroDivisionError:\n        return -1\nprint(f(0))\nprint(f(5))\n",
+    "def f():\n    import math\n    return math.floor(2.5)\nprint(f())\n",
+    // -- recursion (every level re-enters the VM) ---------------------------
+    "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nprint(fib(12))\n",
+];
+
+#[test]
+fn corpus_is_mode_invariant() {
+    for src in CORPUS {
+        differential(src);
+    }
+}
+
+#[test]
+fn vm_actually_executes_the_eligible_corpus() {
+    // Guard against the suite passing vacuously (e.g. every program falling
+    // back): under `on`, the corpus must push frames through the VM.
+    let _guard = lock();
+    let prev = bytecode::set_mode(VmMode::On);
+    minipy::stats::reset();
+    minipy::stats::set_enabled(true);
+    for src in CORPUS {
+        let interp = Interp::new().capture_output();
+        let _ = interp.run(src);
+    }
+    let stats = minipy::stats::snapshot();
+    minipy::stats::set_enabled(false);
+    bytecode::set_mode(prev);
+    assert!(
+        stats.vm_frames > CORPUS.len() as u64,
+        "expected most corpus programs on the VM, got {} frames",
+        stats.vm_frames
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random arithmetic expressions evaluate identically on both tiers
+    /// (division and modulo run against 0 too — the error path must match).
+    #[test]
+    fn random_expressions_are_mode_invariant(
+        a in -100i64..100,
+        b in -8i64..8,
+        c in -100i64..100,
+        op in prop_oneof![
+            Just("+"), Just("-"), Just("*"), Just("//"), Just("%"),
+        ],
+    ) {
+        let src = format!(
+            "def f(a, b, c):\n    x = a {op} b\n    y = x * c - a\n    return x, y, x < y\nprint(f({a}, {b}, {c}))\n"
+        );
+        differential(&src);
+    }
+
+    /// Random loop shapes (bounds, strides, accumulators) agree across modes.
+    #[test]
+    fn random_loops_are_mode_invariant(
+        start in -20i64..20,
+        stop in -20i64..20,
+        step in prop_oneof![1i64..4, -4i64..-1],
+        cut in 0i64..30,
+    ) {
+        let src = format!(
+            "def f():\n    total = 0\n    for i in range({start}, {stop}, {step}):\n        if i == {cut}:\n            break\n        total += i\n    return total\nprint(f())\n"
+        );
+        differential(&src);
+    }
+}

@@ -201,6 +201,14 @@ fn blocking<R>(interp: &Interp, f: impl FnOnce() -> R) -> R {
 /// Binds the `__omp` global and registers the `omp4py` module. Idempotent
 /// per interpreter (later calls replace the mode).
 pub fn install(interp: &Interp, mode: ExecMode) {
+    // Mirror the `OMP4RS_MINIPY_VM` ICV into the interpreter's bytecode
+    // tier. `Icvs` owns the env parse (and test overrides via
+    // `Icvs::update`); the interpreter only sees the resolved mode.
+    minipy::bytecode::set_mode(match omp4rs::Icvs::current().minipy_vm {
+        omp4rs::MinipyVm::Off => minipy::bytecode::VmMode::Off,
+        omp4rs::MinipyVm::Auto => minipy::bytecode::VmMode::Auto,
+        omp4rs::MinipyVm::On => minipy::bytecode::VmMode::On,
+    });
     let runtime = build_runtime_module(mode);
     interp.set_global("__omp", runtime.clone());
 
@@ -289,8 +297,16 @@ fn make_omp_callable(options: OmpOptions) -> Value {
                     };
                     interp.write_stdout(&minipy::print_module(&module));
                 }
+                let def = Arc::new(new_def);
+                // `OMP4RS_MINIPY_VM=on`: compile the transformed function
+                // and its generated parallel bodies at decoration time, so
+                // no compile latency lands on the first parallel region and
+                // fallback reasons surface immediately.
+                if minipy::bytecode::mode() == minipy::bytecode::VmMode::On {
+                    minipy::bytecode::precompile_def(&def);
+                }
                 Ok(Value::Func(Arc::new(FuncValue {
-                    def: Arc::new(new_def),
+                    def,
                     closure: fv.closure.clone(),
                     name: fv.name.clone(),
                     defaults: fv.defaults.clone(),
@@ -512,7 +528,10 @@ fn install_api(module: &ModuleObj) {
 ///
 /// Counter names: `minipy.gil.acquisitions`, `minipy.gil.hold_ns`,
 /// `minipy.gil.switches`, `minipy.obj_lock.acquisitions`,
-/// `minipy.obj_lock.contended`. See [`minipy::stats`] for what each counts.
+/// `minipy.obj_lock.contended`, `minipy.vm.compiles`,
+/// `minipy.vm.compile_ns`, `minipy.vm.fallbacks`, `minipy.vm.frames`,
+/// `minipy.vm.ops`, and one `minipy.vm.fallback.<reason>` per observed
+/// fallback reason. See [`minipy::stats`] for what each counts.
 pub fn sync_interp_counters(interp: &Interp) {
     let stats = minipy::stats::snapshot();
     omp4rs::ompt::set_counter("minipy.gil.acquisitions", stats.gil_acquisitions);
@@ -520,6 +539,24 @@ pub fn sync_interp_counters(interp: &Interp) {
     omp4rs::ompt::set_counter("minipy.gil.switches", interp.gil().switch_count());
     omp4rs::ompt::set_counter("minipy.obj_lock.acquisitions", stats.obj_lock_acquisitions);
     omp4rs::ompt::set_counter("minipy.obj_lock.contended", stats.obj_lock_contended);
+    omp4rs::ompt::set_counter("minipy.vm.compiles", stats.vm_compiles);
+    omp4rs::ompt::set_counter("minipy.vm.compile_ns", stats.vm_compile_ns);
+    omp4rs::ompt::set_counter("minipy.vm.fallbacks", stats.vm_fallbacks);
+    omp4rs::ompt::set_counter("minipy.vm.frames", stats.vm_frames);
+    omp4rs::ompt::set_counter("minipy.vm.ops", stats.vm_ops);
+    for (reason, count) in minipy::bytecode::fallback_reasons() {
+        omp4rs::ompt::set_counter(vm_fallback_counter(reason), count);
+    }
+}
+
+/// Intern `minipy.vm.fallback.<reason>` counter names: the `ompt` counter
+/// registry wants `&'static str` keys, and the reason set is closed (one
+/// leaked string per [`minipy::bytecode::FallbackReason`] spelling, ever).
+fn vm_fallback_counter(reason: &'static str) -> &'static str {
+    static NAMES: OnceLock<Mutex<HashMap<&'static str, &'static str>>> = OnceLock::new();
+    let mut map = NAMES.get_or_init(|| Mutex::new(HashMap::new())).lock();
+    map.entry(reason)
+        .or_insert_with(|| Box::leak(format!("minipy.vm.fallback.{reason}").into_boxed_str()))
 }
 
 fn native(

@@ -1448,4 +1448,81 @@ def work(n):
         // site id into `for_init`, not a fresh one per transform.
         assert_eq!(dump(), dump());
     }
+
+    /// The bytecode VM caches the callable each `__omp.<intrinsic>()` call
+    /// site resolves to for the duration of a frame; that is sound only
+    /// because generated code never rebinds `__omp`. Hold the transform to
+    /// that invariant: no assignment-like construct in any generated
+    /// function (or its nested bodies) may target the `__omp` name.
+    #[test]
+    fn generated_code_never_rebinds_the_runtime_binding() {
+        fn check_target(e: &Expr) {
+            if let Expr::Name(n) = e {
+                assert_ne!(n, "__omp", "generated code rebinds __omp");
+            }
+            if let Expr::Tuple(items) | Expr::List(items) = e {
+                items.iter().for_each(check_target);
+            }
+        }
+        fn check_body(body: &[Stmt]) {
+            for stmt in body {
+                match &stmt.kind {
+                    StmtKind::Assign { targets, .. } => targets.iter().for_each(check_target),
+                    StmtKind::AugAssign { target, .. } => check_target(target),
+                    StmtKind::For { target, body, .. } => {
+                        check_target(target);
+                        check_body(body);
+                    }
+                    StmtKind::Del(targets) => targets.iter().for_each(check_target),
+                    StmtKind::FuncDef(def) => {
+                        assert!(
+                            def.params.iter().all(|p| p.name != "__omp"),
+                            "generated function shadows __omp via a parameter"
+                        );
+                        check_body(&def.body);
+                    }
+                    StmtKind::If { body, orelse, .. } => {
+                        check_body(body);
+                        check_body(orelse);
+                    }
+                    StmtKind::While { body, .. } => check_body(body),
+                    StmtKind::With { items, body } => {
+                        for item in items {
+                            assert!(
+                                item.alias.as_deref() != Some("__omp"),
+                                "generated code rebinds __omp via `with … as`"
+                            );
+                        }
+                        check_body(body);
+                    }
+                    StmtKind::Try {
+                        body,
+                        handlers,
+                        orelse,
+                        finalbody,
+                    } => {
+                        check_body(body);
+                        for h in handlers {
+                            check_body(&h.body);
+                        }
+                        check_body(orelse);
+                        check_body(finalbody);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for src in [
+            "def pi(n):\n    pi_value = 0.0\n    w = 1.0 / n\n    with omp(\"parallel for reduction(+:pi_value)\"):\n        for i in range(n):\n            local = (i + 0.5) * w\n            pi_value += 4.0 / (1.0 + local * local)\n    return pi_value * w\n",
+            "def count(n):\n    total = 0\n    with omp(\"parallel\"):\n        with omp(\"critical\"):\n            total += 1\n        omp(\"barrier\")\n    return total\n",
+            "def tasks(n):\n    acc = []\n    with omp(\"parallel\"):\n        with omp(\"single\"):\n            for i in range(n):\n                with omp(\"task\"):\n                    acc.append(i)\n    return acc\n",
+        ] {
+            let module = minipy::parse(src).expect("parse");
+            let def = match &module.body[0].kind {
+                StmtKind::FuncDef(def) => transform_function(def).expect("transform"),
+                other => panic!("expected FuncDef, got {other:?}"),
+            };
+            check_body(&def.body);
+        }
+    }
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark baseline: run the paper's pi benchmark across
+# execution modes (and the minipy bytecode-VM tri-state for interpreted
+# modes) and write per-mode medians +- sigma to BENCH_pi.json.
+#
+#   ./scripts/bench.sh                 # defaults: 4 threads, 5 repeats
+#   THREADS=8 REPEAT=9 ./scripts/bench.sh
+#
+# BENCH_pi.json is tracked (see .gitignore): committing it alongside a perf
+# PR records the before/after baseline the numbers in EXPERIMENTS.md quote.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS=${THREADS:-4}
+REPEAT=${REPEAT:-5}
+SCALE=${SCALE:-1.0}
+OUT=${OUT:-BENCH_pi.json}
+
+cargo build --release -p omp4rs-bench --bin main
+BIN=target/release/main
+
+# mode-id:minipy-vm rows. Compiled never enters the interpreter, so the VM
+# setting is irrelevant there; one row records it as "auto" for reference.
+ROWS=(
+    "0:off" "0:auto" "0:on"   # Pure: tree-walker vs bytecode VM
+    "1:off" "1:auto" "1:on"   # Hybrid: same contrast, atomic runtime
+    "2:auto"                  # Compiled: native closures (VM-independent)
+)
+
+runs=""
+for row in "${ROWS[@]}"; do
+    mode="${row%%:*}"
+    vm="${row##*:}"
+    echo "==> mode=$mode OMP4RS_MINIPY_VM=$vm threads=$THREADS repeat=$REPEAT" >&2
+    line=$(OMP4RS_MINIPY_VM="$vm" "$BIN" "$mode" pi "$THREADS" "$SCALE" --json --repeat "$REPEAT")
+    echo "    $line" >&2
+    runs+="${runs:+,
+  }$line"
+done
+
+cat > "$OUT" <<EOF
+{
+ "benchmark": "pi",
+ "threads": $THREADS,
+ "repeat": $REPEAT,
+ "scale": $SCALE,
+ "runs": [
+  $runs
+ ]
+}
+EOF
+python3 -c "import json,sys; json.load(open('$OUT'))" 2>/dev/null \
+    || { echo "$OUT is not valid JSON" >&2; exit 1; }
+echo "wrote $OUT"

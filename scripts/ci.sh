@@ -17,6 +17,10 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
     run cargo build --release
 fi
 run cargo test -q
+# Bytecode-VM equivalence: both differential suites named explicitly so a
+# test-filter or package-list change can never silently drop them.
+run cargo test -q -p minipy --test vm_differential
+run cargo test -q -p omp4rs-apps --test vm_differential
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
