@@ -95,13 +95,20 @@ fn main() {
             .map(|s| format!("{s:.6}"))
             .collect::<Vec<_>>()
             .join(",");
+        // `effective_scale` = scale * mode_scale(mode): the problem size the
+        // run *actually* used. Without it, rows with different per-mode
+        // multipliers (Pure 0.02 vs Compiled 0.3) look comparable when they
+        // ran 15x different work — the trap behind the old "Compiled slower
+        // than Hybrid" reading of BENCH_pi.json.
         println!(
-            "{{\"app\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"scale\":{},\"minipy_vm\":\"{}\",\
+            "{{\"app\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"scale\":{},\
+             \"effective_scale\":{:.6},\"minipy_vm\":\"{}\",\
              \"repeats\":{},\"median_s\":{:.6},\"sigma_s\":{:.6},\"samples_s\":[{}],\"check\":{:.9}}}",
             app.name(),
             mode.name(),
             threads,
             scale,
+            scale * mode_scale(mode),
             vm,
             repeat,
             median,

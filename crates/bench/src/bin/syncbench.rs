@@ -1,0 +1,429 @@
+//! EPCC-syncbench-style construct-overhead microbenchmark.
+//!
+//! Measures the per-construct overhead of the runtime's synchronization
+//! primitives — the numbers that bound fine-grained scaling (paper §IV; the
+//! EPCC schedule/sync benchmarks the OpenMP community uses for this):
+//!
+//! * `parallel` — entry + exit of an empty parallel region (fork/join cost:
+//!   team construction, worker mobilization, final task-draining barrier),
+//! * `parallel-spawn` — the same measurement with the persistent worker
+//!   pool disabled (`OMP4RS_POOL=off`): the per-region thread-spawn
+//!   baseline, taken in the same process so the hot-team speedup is an A/B
+//!   under identical host load,
+//! * `barrier` — an explicit barrier inside a live region,
+//! * `reduction` — a work-shared loop with a `reduction(+)` and its
+//!   mandatory end-of-loop barrier,
+//! * `single` — a `single` construct with its implicit barrier,
+//! * `task` — spawn of a deferred empty task plus its share of the final
+//!   `taskwait`.
+//!
+//! Each construct is measured across a thread-count sweep × both
+//! synchronization backends ([`Backend::Mutex`] / [`Backend::Atomic`]) ×
+//! both wait policies (`OMP_WAIT_POLICY=passive|active`), because the whole
+//! point of hot teams + signaled waiting is that these costs stop being
+//! quantized by thread-spawn and condvar-tick latencies.
+//!
+//! ```text
+//! syncbench [--threads 1,2,4] [--trials N] [--inner N] [--outer N]
+//!           [--json] [--check]
+//! ```
+//!
+//! `--json` emits one row per (construct, backend, policy, threads) for
+//! `scripts/bench.sh` to assemble into `BENCH_sync.json`. `--check` runs a
+//! small sweep and exits nonzero unless every construct completed and every
+//! overhead number is finite and positive (the CI hook).
+
+use std::time::Instant;
+
+use omp4rs::exec::{parallel_region, ForSpec, ParallelConfig};
+use omp4rs::{Backend, Icvs};
+
+/// One measured construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Construct {
+    Parallel,
+    /// `parallel` with the worker pool disabled (`OMP4RS_POOL=off`): the
+    /// pre-hot-team per-region-spawn path, measured in the same process so
+    /// the pool's benefit is an A/B under identical host conditions rather
+    /// than a comparison against a baseline recorded under different load.
+    ParallelSpawn,
+    Barrier,
+    Reduction,
+    Single,
+    Task,
+}
+
+impl Construct {
+    const ALL: [Construct; 5] = [
+        Construct::Parallel,
+        Construct::Barrier,
+        Construct::Reduction,
+        Construct::Single,
+        Construct::Task,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Construct::Parallel => "parallel",
+            Construct::ParallelSpawn => "parallel-spawn",
+            Construct::Barrier => "barrier",
+            Construct::Reduction => "reduction",
+            Construct::Single => "single",
+            Construct::Task => "task",
+        }
+    }
+}
+
+/// Benchmark knobs (trial counts scale down as team size grows so the sweep
+/// stays wall-clock bounded on small hosts).
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    trials: usize,
+    outer: usize,
+    inner: usize,
+}
+
+/// Median of a sample vector (sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Wait for the worker pool to go quiet before timing a cell.
+///
+/// Workers from the previous cell's (possibly much larger) team each burn
+/// their dock spin budget before parking; under `OMP_WAIT_POLICY=active`
+/// that is 10k yield-laced iterations per worker, and a 32-worker drain on
+/// a small host takes longer than an entire 4-thread timed loop — measured
+/// as a 4x inflation of the 4-thread `parallel` cell when it follows a
+/// 32-thread one. The flat sleep (during which this thread is off-CPU and
+/// stragglers spin out their budgets) covers that worst case; the
+/// park-count stability loop then confirms nobody is still transitioning.
+/// Parks are monotonic runtime-wide, so a stable count means every
+/// straggler has parked — but stability alone is not sufficient (a
+/// mid-spin worker parks nothing for tens of milliseconds), hence the
+/// unconditional sleep first.
+fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let deadline = Instant::now() + std::time::Duration::from_millis(400);
+    let mut last = omp4rs::pool::stats().park;
+    let mut stable = 0;
+    while stable < 3 && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let now = omp4rs::pool::stats().park;
+        if now == last {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+}
+
+/// Time `outer` empty parallel regions; returns seconds per region.
+fn time_parallel(cfg: &ParallelConfig, outer: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..outer {
+        parallel_region(cfg, |_ctx| {});
+    }
+    start.elapsed().as_secs_f64() / outer.max(1) as f64
+}
+
+/// Time one region running `inner` repetitions of a construct on every
+/// thread; returns total region seconds.
+fn time_region(cfg: &ParallelConfig, body: impl Fn(&omp4rs::WorkerCtx<'_>) + Sync) -> f64 {
+    let start = Instant::now();
+    parallel_region(cfg, body);
+    start.elapsed().as_secs_f64()
+}
+
+/// Per-operation seconds for a construct at the given team size: the
+/// `(median, min)` across trials.
+///
+/// The median is robust against one outlier trial; the min is the better
+/// estimator of the cost *floor* on a shared host, where scheduler noise is
+/// strictly additive (nothing can make a region entry cheaper than its true
+/// cost, so the fastest trial is the one with the least interference).
+///
+/// `parallel` is the region entry/exit cost itself; every other construct is
+/// measured inside a live region and reported net of one region's cost.
+fn measure(
+    construct: Construct,
+    cfg: &ParallelConfig,
+    knobs: Knobs,
+    region_cost: f64,
+) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(knobs.trials);
+    for _ in 0..knobs.trials {
+        let secs = match construct {
+            // The caller flips the pool ICV for the spawn-baseline variant;
+            // the timed loop is identical.
+            Construct::Parallel | Construct::ParallelSpawn => time_parallel(cfg, knobs.outer),
+            Construct::Barrier => {
+                let inner = knobs.inner;
+                let t = time_region(cfg, |ctx| {
+                    for _ in 0..inner {
+                        ctx.barrier();
+                    }
+                });
+                (t - region_cost).max(0.0) / inner as f64
+            }
+            Construct::Reduction => {
+                let inner = knobs.inner;
+                let t = time_region(cfg, |ctx| {
+                    let n = ctx.num_threads() as i64;
+                    let mut sink = 0u64;
+                    for _ in 0..inner {
+                        sink = sink.wrapping_add(ctx.for_reduce(
+                            ForSpec::new(),
+                            0..n,
+                            0u64,
+                            |i, acc| *acc += i as u64,
+                            |a, b| a + b,
+                        ));
+                    }
+                    std::hint::black_box(sink);
+                });
+                (t - region_cost).max(0.0) / inner as f64
+            }
+            Construct::Single => {
+                let inner = knobs.inner;
+                let t = time_region(cfg, |ctx| {
+                    let mut sink = 0u64;
+                    for _ in 0..inner {
+                        if ctx.single(|| ()).is_some() {
+                            sink += 1;
+                        }
+                    }
+                    std::hint::black_box(sink);
+                });
+                (t - region_cost).max(0.0) / inner as f64
+            }
+            Construct::Task => {
+                let inner = knobs.inner;
+                let t = time_region(cfg, |ctx| {
+                    for _ in 0..inner {
+                        ctx.task(|_| {});
+                    }
+                    ctx.taskwait();
+                });
+                let ops = (inner * cfg.num_threads.unwrap_or(1)) as f64;
+                (t - region_cost).max(0.0) / ops
+            }
+        };
+        samples.push(secs);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    (median(&mut samples), min)
+}
+
+/// One result row.
+#[derive(Debug)]
+struct Row {
+    construct: Construct,
+    backend: Backend,
+    policy: &'static str,
+    threads: usize,
+    /// Median across trials.
+    ns_per_op: f64,
+    /// Fastest trial — the interference-free cost floor.
+    ns_per_op_min: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"construct\":\"{}\",\"backend\":\"{}\",\"policy\":\"{}\",\
+             \"threads\":{},\"ns_per_op\":{:.1},\"ns_per_op_min\":{:.1}}}",
+            self.construct.name(),
+            backend_name(self.backend),
+            self.policy,
+            self.threads,
+            self.ns_per_op,
+            self.ns_per_op_min
+        )
+    }
+}
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Mutex => "mutex",
+        Backend::Atomic => "atomic",
+    }
+}
+
+/// Select the wait policy for subsequent regions: set `OMP_WAIT_POLICY` and
+/// re-derive the ICVs from the environment, exactly as a fresh process would.
+fn apply_policy(policy: &str) {
+    std::env::set_var("OMP_WAIT_POLICY", policy);
+    Icvs::reset(Icvs::from_env());
+}
+
+fn knobs_for(threads: usize, trials: usize, outer: usize, inner: usize) -> Knobs {
+    // Scale repetition counts to team size. Down for larger teams so the
+    // full sweep stays bounded on a small host (costs scale roughly with
+    // team size) — and *up* for small teams, where per-op costs in the
+    // tens of microseconds would otherwise make a trial only a few
+    // milliseconds of timed work, small enough for one scheduler hiccup to
+    // move the whole sample.
+    let scale = |n: usize| match threads {
+        0..=4 => n * 5,
+        5..=16 => (n / 2).max(8),
+        _ => (n / 4).max(4),
+    };
+    Knobs {
+        trials,
+        outer: scale(outer),
+        inner: scale(inner),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+    let trials = get("--trials", 5).max(1);
+    let outer = get("--outer", 200).max(1);
+    let inner = get("--inner", 200).max(1);
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if check {
+                vec![1, 2, 4]
+            } else {
+                vec![1, 2, 4, 8]
+            }
+        });
+
+    let policies: &[&'static str] = &["passive", "active"];
+    let backends = [Backend::Atomic, Backend::Mutex];
+
+    let mut rows = Vec::new();
+    for &policy in policies {
+        apply_policy(policy);
+        for backend in backends {
+            for &t in &threads {
+                let knobs = knobs_for(t, trials, outer, inner);
+                let cfg = ParallelConfig::new().num_threads(t).backend(backend);
+                // Warm the worker pool / code paths outside the timing,
+                // then let the previous cell's stragglers park.
+                parallel_region(&cfg, |_ctx| {});
+                settle();
+                let region_cost = measure(Construct::Parallel, &cfg, knobs, 0.0);
+                for construct in Construct::ALL {
+                    let (med, min) = if construct == Construct::Parallel {
+                        region_cost
+                    } else {
+                        // Subtract the *median* region cost from every
+                        // trial: a stable baseline keeps the min field
+                        // meaning "quietest trial of this construct".
+                        measure(construct, &cfg, knobs, region_cost.0)
+                    };
+                    rows.push(Row {
+                        construct,
+                        backend,
+                        policy,
+                        threads: t,
+                        ns_per_op: med * 1e9,
+                        ns_per_op_min: min * 1e9,
+                    });
+                }
+                // Same cell, pool off: the per-region-spawn baseline the
+                // hot-team speedup in EXPERIMENTS.md is quoted against.
+                // Spawn cost dwarfs the timed loop, so a fraction of the
+                // pooled repetition count keeps the sweep bounded.
+                Icvs::update(|icvs| icvs.pool = false);
+                let spawn_knobs = Knobs {
+                    outer: (knobs.outer / 10).max(4),
+                    ..knobs
+                };
+                let spawn_cost = measure(Construct::ParallelSpawn, &cfg, spawn_knobs, 0.0);
+                Icvs::update(|icvs| icvs.pool = true);
+                rows.push(Row {
+                    construct: Construct::ParallelSpawn,
+                    backend,
+                    policy,
+                    threads: t,
+                    ns_per_op: spawn_cost.0 * 1e9,
+                    ns_per_op_min: spawn_cost.1 * 1e9,
+                });
+            }
+        }
+    }
+    // Leave the ICVs as a fresh process would see them.
+    std::env::remove_var("OMP_WAIT_POLICY");
+    Icvs::reset(Icvs::from_env());
+
+    if json {
+        let body = rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n  ");
+        println!("{{\n \"benchmark\": \"syncbench\",\n \"rows\": [\n  {body}\n ]\n}}");
+    } else {
+        println!("construct overhead (ns/op):");
+        println!(
+            "{:<10} {:>7} {:>8} {:>8} {:>12} {:>12}",
+            "construct", "backend", "policy", "threads", "median", "min"
+        );
+        for row in &rows {
+            println!(
+                "{:<10} {:>7} {:>8} {:>8} {:>12.1} {:>12.1}",
+                row.construct.name(),
+                backend_name(row.backend),
+                row.policy,
+                row.threads,
+                row.ns_per_op,
+                row.ns_per_op_min
+            );
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for row in &rows {
+            if !row.ns_per_op.is_finite() || !row.ns_per_op_min.is_finite() {
+                eprintln!(
+                    "CHECK FAILED: {} ({}/{} @{}) overhead is not finite",
+                    row.construct.name(),
+                    backend_name(row.backend),
+                    row.policy,
+                    row.threads
+                );
+                failed = true;
+            }
+        }
+        // Region entry can never be free: a zero reading means the clock or
+        // the construct loop is broken.
+        if !rows
+            .iter()
+            .any(|r| r.construct == Construct::Parallel && r.ns_per_op > 0.0)
+        {
+            eprintln!("CHECK FAILED: no positive parallel-region overhead measured");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check: OK ({} rows, all finite)", rows.len());
+    }
+}

@@ -268,6 +268,53 @@ where
     parallel_region(&cfg, body);
 }
 
+/// A `*const T` that may cross to pool threads. Safety is argued at each
+/// dereference site (the pooled-region latch protocol), not here: a raw
+/// pointer, unlike a reference, is allowed to dangle as long as it is not
+/// dereferenced, which is exactly the guarantee the post-barrier epilogue
+/// needs.
+struct SendConstPtr<T: ?Sized>(*const T);
+
+impl<T: ?Sized> Clone for SendConstPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SendConstPtr<T> {}
+
+// SAFETY: the pointee types used with this (the region body `F: Sync` and
+// the panic slot `Mutex<..>: Sync`) are all sharable across threads; the
+// wrapper only restores the `Send`-ability that `&T where T: Sync` would
+// have had.
+unsafe impl<T: ?Sized> Send for SendConstPtr<T> {}
+
+/// The pooled job's entry into [`run_worker`], as a plain fn pointer so the
+/// boxed `'static` job closure never mentions the region body's
+/// non-`'static` type `F`.
+type PooledShim = fn(
+    Arc<Team>,
+    usize,
+    Vec<(usize, usize)>,
+    SendConstPtr<()>,
+    &Mutex<Option<Box<dyn Any + Send>>>,
+);
+
+/// Restore the erased body pointer to `&F` and run the worker. SAFETY: see
+/// the latch protocol argument at the pooled dispatch site in
+/// [`parallel_region`]; the erased pointer was created from `&F` there.
+fn pooled_worker_shim<'env, F>(
+    team: Arc<Team>,
+    thread_num: usize,
+    positions: Vec<(usize, usize)>,
+    body: SendConstPtr<()>,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+) where
+    F: Fn(&WorkerCtx<'env>) + Sync,
+{
+    let body = unsafe { &*(body.0 as *const F) };
+    run_worker(team, thread_num, positions, body, panic_slot);
+}
+
 /// Open a parallel region: fork a team, run `body` on every thread, join at
 /// the implicit end barrier (which also drains the task queue).
 ///
@@ -301,22 +348,78 @@ where
     let parent_positions = context::current_positions();
     let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
-    std::thread::scope(|scope| {
+    // Hot teams: top-level multi-thread regions are dispatched to the
+    // persistent worker pool (re-binding parked threads to this region's
+    // fresh team) instead of spawning OS threads per region. Nested regions
+    // bypass the pool and spawn scoped threads, keeping the pool's size
+    // bounded by top-level team sizes. `OMP4RS_POOL=off` forces the
+    // scoped-spawn path for A/B measurement of the pool's benefit.
+    if size > 1 && level == 0 && icvs.pool {
+        let latch = crate::pool::RegionLatch::new(size - 1);
+        // Arm the team: the final barrier's releaser zeroes the latch for
+        // the whole gang, so the master proceeds the moment the region's
+        // last rendezvous completes instead of waiting for each worker's
+        // post-barrier bookkeeping to be scheduled.
+        team.set_final_latch(Arc::clone(&latch));
+        // SAFETY (for the dereferences in `pooled_worker_shim` and the
+        // panic capture below): `body` and `panic_slot` live on the
+        // master's stack, which stays alive until the latch reaches zero
+        // (`latch.wait()` below). The latch reaches zero either (a) at the
+        // final barrier's release — which happens after every body has
+        // returned, every panic is recorded, and every region task has
+        // drained, i.e. after the last dereference of these pointers on
+        // any thread — or (b) after each job has returned (cancel/poison
+        // paths, where no release ever fires). Raw pointers rather than
+        // references so that no reference outlives the referent on path
+        // (a): the worker's post-barrier epilogue holds only pointers it
+        // no longer dereferences. The body pointer is type-erased and
+        // restored by a monomorphized shim because the boxed `'static` job
+        // closure must not mention the non-`'static` type `F`.
+        let body_ptr = SendConstPtr(&body as *const F as *const ());
+        let panic_ptr = SendConstPtr(&panic_slot as *const Mutex<Option<Box<dyn Any + Send>>>);
+        let shim: PooledShim = pooled_worker_shim::<F>;
+        let mut jobs: Vec<crate::pool::Job> = Vec::with_capacity(size - 1);
         for t in 1..size {
-            let team = Arc::clone(&team);
+            let team_job = Arc::clone(&team);
             let positions = parent_positions.clone();
-            let body = &body;
-            let panic_slot = &panic_slot;
-            std::thread::Builder::new()
-                .name(format!("omp4rs-worker-{t}"))
-                // Generous stacks: Pure/Hybrid-mode workers run a tree-walking
-                // interpreter with deep recursion.
-                .stack_size(16 * 1024 * 1024)
-                .spawn_scoped(scope, move || {
-                    run_worker(team, t, positions, body, panic_slot);
-                })
-                .expect("failed to spawn team thread");
+            let job_latch = Arc::clone(&latch);
+            let job: crate::pool::Job = Box::new(move || {
+                // Whole-struct bindings: edition-2021 closures would
+                // otherwise capture the raw-pointer *fields*, which are not
+                // `Send` — the wrappers are.
+                let (body_ptr, panic_ptr) = (body_ptr, panic_ptr);
+                let panic_slot = unsafe { &*panic_ptr.0 };
+                // Defense in depth: `run_worker` already catches body and
+                // final-barrier panics, but anything escaping it (e.g. an
+                // injected worker-dispatch fault) must still poison the
+                // region and be captured — the job must never unwind into
+                // the pool with the team left un-poisoned, or its barrier
+                // would strand the rest of the team.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::faults::on_event(crate::faults::FaultSite::WorkerDispatch);
+                    shim(Arc::clone(&team_job), t, positions, body_ptr, panic_slot);
+                }));
+                if let Err(p) = result {
+                    // The unwind escaped before this thread's barrier
+                    // arrival was counted (everything from arrival to the
+                    // epilogue is no-unwind, and the epilogue's own panics
+                    // are swallowed in `run_worker`), so the region can
+                    // never release and the master is pinned in
+                    // `latch.wait()` by this job's outstanding count: the
+                    // write cannot race the master's exit. The armed check
+                    // is belt-and-braces against that invariant eroding.
+                    team_job.poison();
+                    if job_latch.armed() {
+                        let mut slot = panic_slot.lock();
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                    }
+                }
+            });
+            jobs.push(job);
         }
+        crate::pool::dispatch(jobs, &latch);
         run_worker(
             Arc::clone(&team),
             0,
@@ -324,7 +427,34 @@ where
             &body,
             &panic_slot,
         );
-    });
+        latch.wait();
+        crate::pool::publish_counters();
+    } else {
+        std::thread::scope(|scope| {
+            for t in 1..size {
+                let team = Arc::clone(&team);
+                let positions = parent_positions.clone();
+                let body = &body;
+                let panic_slot = &panic_slot;
+                std::thread::Builder::new()
+                    .name(format!("omp4rs-worker-{t}"))
+                    // Generous stacks: Pure/Hybrid-mode workers run a
+                    // tree-walking interpreter with deep recursion.
+                    .stack_size(16 * 1024 * 1024)
+                    .spawn_scoped(scope, move || {
+                        run_worker(team, t, positions, body, panic_slot);
+                    })
+                    .expect("failed to spawn team thread");
+            }
+            run_worker(
+                Arc::clone(&team),
+                0,
+                parent_positions.clone(),
+                &body,
+                &panic_slot,
+            );
+        });
+    }
 
     let task_panic = team.tasks().take_panic();
     let thread_panic = panic_slot.into_inner();
@@ -369,6 +499,11 @@ fn run_worker<'env, F>(
     // after a panic so the rest of the team is not deadlocked. Catch panics
     // here too (fault injection targets barrier arrivals): an unwinding
     // final barrier would otherwise strand the teammates still parked in it.
+    // (Injected barrier faults fire *before* this thread's arrival is
+    // counted, so an unwinding barrier implies the region can never release
+    // — the pooled latch then drains via per-job completions and the
+    // `panic_slot` write below stays race-free against the master's exit.)
+    team.note_final_arrival();
     if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| team.barrier())) {
         team.poison();
         let mut slot = panic_slot.lock();
@@ -376,10 +511,18 @@ fn run_worker<'env, F>(
             *slot = Some(p);
         }
     }
-    crate::ompt::record(team.region(), crate::ompt::EventKind::ParallelEnd);
-    // Deterministic flush: scoped threads signal the scope before their TLS
-    // destructors run, so the drop-flush alone races with `ompt::events()`.
-    crate::ompt::flush_thread();
+    // Post-barrier epilogue. On the pooled path the final barrier's release
+    // may already have zeroed the region latch and released the master, so
+    // nothing here may touch the master's stack — and nothing here may
+    // unwind (an unwind would reach the dispatch wrapper's panic capture,
+    // which does): swallow the impossible.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::ompt::record(team.region(), crate::ompt::EventKind::ParallelEnd);
+        // Deterministic flush: scoped threads signal the scope before their
+        // TLS destructors run, so the drop-flush alone races with
+        // `ompt::events()`.
+        crate::ompt::flush_thread();
+    }));
 }
 
 /// Handle to the enclosing parallel region, passed to the region body.

@@ -1,7 +1,8 @@
 //! Deterministic fault injection for runtime robustness tests.
 //!
-//! The runtime calls [`on_event`] at three well-defined sites: every barrier
-//! arrival, every task-body execution, and every loop-chunk claim. A test
+//! The runtime calls [`on_event`] at four well-defined sites: every barrier
+//! arrival, every task-body execution, every loop-chunk claim, and every
+//! pooled-worker region dispatch. A test
 //! arms a seeded [`FaultPlan`] describing *which* occurrence of *which* site
 //! should panic (or stall); the hook then fires deterministically — the same
 //! plan always kills the same event, independent of thread interleaving,
@@ -31,16 +32,21 @@ pub enum FaultSite {
     TaskExecute,
     /// A thread claiming the next chunk of a work-shared loop.
     ChunkClaim,
+    /// A pooled worker beginning a dispatched region job (fires on the
+    /// worker thread, before it binds to the region's team — exercising the
+    /// pool's recycle-after-panic path).
+    WorkerDispatch,
 }
 
 impl FaultSite {
-    const COUNT: usize = 3;
+    const COUNT: usize = 4;
 
     fn index(self) -> usize {
         match self {
             FaultSite::BarrierArrival => 0,
             FaultSite::TaskExecute => 1,
             FaultSite::ChunkClaim => 2,
+            FaultSite::WorkerDispatch => 3,
         }
     }
 
@@ -50,6 +56,7 @@ impl FaultSite {
             FaultSite::BarrierArrival => "barrier-arrival",
             FaultSite::TaskExecute => "task-execute",
             FaultSite::ChunkClaim => "chunk-claim",
+            FaultSite::WorkerDispatch => "worker-dispatch",
         }
     }
 }
@@ -127,8 +134,8 @@ impl FaultPlan {
     /// Parse the `OMP4RS_FAULTS` grammar: a comma-separated list of
     /// `seed:<n>`, `panic:<site>@<occurrence>`, and
     /// `delay:<site>@<occurrence>:<millis>` items, where `<site>` is
-    /// `barrier-arrival`, `task-execute`, or `chunk-claim` (short forms
-    /// `barrier`, `task`, `chunk` also accepted).
+    /// `barrier-arrival`, `task-execute`, `chunk-claim`, or `worker-dispatch`
+    /// (short forms `barrier`, `task`, `chunk`, `dispatch` also accepted).
     ///
     /// Returns `None` for malformed text or a plan that injects nothing —
     /// matching the env-var convention of [`crate::ompt::ToolConfig::parse`].
@@ -147,6 +154,7 @@ impl FaultPlan {
                 "barrier-arrival" | "barrier" => Some(FaultSite::BarrierArrival),
                 "task-execute" | "task" => Some(FaultSite::TaskExecute),
                 "chunk-claim" | "chunk" => Some(FaultSite::ChunkClaim),
+                "worker-dispatch" | "dispatch" => Some(FaultSite::WorkerDispatch),
                 _ => None,
             }
         }
@@ -190,8 +198,12 @@ pub fn arm_from_env() -> Option<PlanGuard> {
 static ARMED: AtomicBool = AtomicBool::new(false);
 
 /// Global per-site occurrence counters (reset on every arm).
-static COUNTERS: [AtomicU64; FaultSite::COUNT] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+static COUNTERS: [AtomicU64; FaultSite::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// The armed plan.
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);

@@ -54,6 +54,21 @@ pub struct Icvs {
     /// the pyfront bridge mirrors it into `minipy::bytecode::set_mode` when
     /// an interpreter is installed. See `docs/ENVIRONMENT.md`.
     pub minipy_vm: MinipyVm,
+    /// `wait-policy-var`: what waiting threads do (`OMP_WAIT_POLICY`).
+    /// `Active` spins a large bounded budget before parking; `Passive` (the
+    /// default) parks almost immediately. Resolved to a spin-iteration
+    /// budget cached in [`crate::sync`] on every store mutation.
+    pub wait_policy: crate::sync::WaitPolicy,
+    /// Spin-iteration override (`OMP4RS_SPIN`): exact iterations every wait
+    /// burns before parking, trumping the policy's default budget. `0`
+    /// means park immediately even under `Active`.
+    pub spin: Option<u32>,
+    /// Whether top-level regions use the persistent worker pool
+    /// (`OMP4RS_POOL`, default `true`). `false` forces the per-region
+    /// scoped-spawn path everywhere — the pre-hot-team behaviour — so the
+    /// pool's benefit can be measured as an A/B under identical host
+    /// conditions (see `syncbench`'s spawn-baseline rows).
+    pub pool: bool,
 }
 
 /// Tri-state for the minipy bytecode VM (`OMP4RS_MINIPY_VM`); mirrors
@@ -98,6 +113,9 @@ impl Default for Icvs {
             adaptive: AdaptiveMode::Full,
             steal_cap: None,
             minipy_vm: MinipyVm::Auto,
+            wait_policy: crate::sync::WaitPolicy::Passive,
+            spin: None,
+            pool: true,
         }
     }
 }
@@ -111,7 +129,11 @@ pub fn available_parallelism() -> usize {
 
 fn store() -> &'static RwLock<Icvs> {
     static STORE: OnceLock<RwLock<Icvs>> = OnceLock::new();
-    STORE.get_or_init(|| RwLock::new(Icvs::from_env()))
+    STORE.get_or_init(|| {
+        let icvs = Icvs::from_env();
+        crate::sync::refresh_wait_config(icvs.wait_policy, icvs.spin);
+        RwLock::new(icvs)
+    })
 }
 
 impl Icvs {
@@ -163,6 +185,19 @@ impl Icvs {
                 icvs.minipy_vm = vm;
             }
         }
+        if let Ok(text) = std::env::var("OMP_WAIT_POLICY") {
+            if let Some(policy) = crate::sync::WaitPolicy::parse(&text) {
+                icvs.wait_policy = policy;
+            }
+        }
+        if let Ok(text) = std::env::var("OMP4RS_SPIN") {
+            if let Ok(n) = text.trim().parse::<u32>() {
+                icvs.spin = Some(n);
+            }
+        }
+        if let Some(b) = env_bool("OMP4RS_POOL") {
+            icvs.pool = b;
+        }
         icvs
     }
 
@@ -173,11 +208,14 @@ impl Icvs {
 
     /// Mutate the global ICVs.
     pub fn update(f: impl FnOnce(&mut Icvs)) {
-        f(&mut store().write());
+        let mut guard = store().write();
+        f(&mut guard);
+        crate::sync::refresh_wait_config(guard.wait_policy, guard.spin);
     }
 
     /// Reset the global ICVs (primarily for tests/benchmarks).
     pub fn reset(icvs: Icvs) {
+        crate::sync::refresh_wait_config(icvs.wait_policy, icvs.spin);
         *store().write() = icvs;
     }
 }
@@ -267,6 +305,72 @@ mod tests {
         let before = Icvs::current();
         Icvs::update(|icvs| icvs.num_threads = 7);
         assert_eq!(Icvs::current().num_threads, 7);
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn wait_policy_env_parsing_and_precedence() {
+        use crate::sync::{spin_iters, WaitPolicy};
+        let _guard = test_guard();
+        let before = Icvs::current();
+
+        // Policy alone: budget comes from the policy default.
+        std::env::set_var("OMP_WAIT_POLICY", "active");
+        std::env::remove_var("OMP4RS_SPIN");
+        let icvs = Icvs::from_env();
+        assert_eq!(icvs.wait_policy, WaitPolicy::Active);
+        assert_eq!(icvs.spin, None);
+        Icvs::reset(icvs);
+        assert_eq!(spin_iters(), WaitPolicy::Active.default_spin());
+
+        // OMP4RS_SPIN takes precedence over the policy's default budget.
+        std::env::set_var("OMP4RS_SPIN", "7");
+        let icvs = Icvs::from_env();
+        assert_eq!(icvs.wait_policy, WaitPolicy::Active);
+        assert_eq!(icvs.spin, Some(7));
+        Icvs::reset(icvs);
+        assert_eq!(spin_iters(), 7);
+
+        // Zero is a valid override: park immediately even under Active.
+        std::env::set_var("OMP4RS_SPIN", "0");
+        let icvs = Icvs::from_env();
+        assert_eq!(icvs.spin, Some(0));
+        Icvs::reset(icvs);
+        assert_eq!(spin_iters(), 0);
+
+        // Unparseable values are ignored, keeping the defaults.
+        std::env::set_var("OMP_WAIT_POLICY", "frantic");
+        std::env::set_var("OMP4RS_SPIN", "-3");
+        let icvs = Icvs::from_env();
+        assert_eq!(icvs.wait_policy, WaitPolicy::Passive);
+        assert_eq!(icvs.spin, None);
+
+        // Icvs::update republishes the cached budget too.
+        std::env::remove_var("OMP_WAIT_POLICY");
+        std::env::remove_var("OMP4RS_SPIN");
+        Icvs::update(|icvs| icvs.spin = Some(3));
+        assert_eq!(spin_iters(), 3);
+
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn pool_env_parsing() {
+        let _guard = test_guard();
+        let before = Icvs::current();
+
+        assert!(Icvs::default().pool, "the pool must be on by default");
+
+        std::env::set_var("OMP4RS_POOL", "off");
+        assert!(!Icvs::from_env().pool);
+        std::env::set_var("OMP4RS_POOL", "1");
+        assert!(Icvs::from_env().pool);
+        // The usual rule: unparseable values keep the default.
+        std::env::set_var("OMP4RS_POOL", "sometimes");
+        assert!(Icvs::from_env().pool);
+        std::env::remove_var("OMP4RS_POOL");
+        assert!(Icvs::from_env().pool);
+
         Icvs::reset(before);
     }
 }

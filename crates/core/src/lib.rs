@@ -65,6 +65,7 @@ pub mod faults;
 pub mod icv;
 pub mod locks;
 pub mod ompt;
+pub mod pool;
 pub mod reduction;
 pub mod schedule;
 pub mod sync;
@@ -78,5 +79,5 @@ pub use error::OmpError;
 pub use exec::{parallel, parallel_region, ForSpec, ParallelConfig, TaskCtx, WorkerCtx};
 pub use faults::{FaultPlan, FaultSite, InjectedFault};
 pub use icv::{Icvs, MinipyVm};
-pub use sync::Backend;
+pub use sync::{Backend, WaitPolicy};
 pub use team::Team;

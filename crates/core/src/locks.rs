@@ -110,6 +110,9 @@ impl OmpNestLock {
     pub fn set(&self) -> u64 {
         let me = std::thread::current().id();
         loop {
+            // Epoch before the ownership check: a release racing with the
+            // check bumps the epoch and the park falls through.
+            let epoch = self.wake.epoch();
             {
                 let mut st = self.state.lock();
                 match st.owner {
@@ -125,7 +128,7 @@ impl OmpNestLock {
                     Some(_) => {}
                 }
             }
-            self.wake.wait_tick();
+            self.wake.park(epoch);
         }
     }
 

@@ -1,0 +1,487 @@
+//! Persistent worker pool with hot-team reuse ("hot teams").
+//!
+//! Under per-region spawning, every `parallel` directive pays OS thread
+//! creation and teardown — hundreds of microseconds that put a hard floor
+//! under region entry and cap fine-grained scaling (the paper's §IV overhead
+//! story). libgomp and LLVM's OpenMP runtime instead keep the previous
+//! region's workers parked between regions and re-bind them to the next
+//! region's fresh team state ("hot teams"). This module is that pool:
+//!
+//! * `dispatch` hands one job per worker to idle pooled threads, spawning
+//!   new ones only when the idle list runs dry — the `omp4rs.pool.reuse` /
+//!   `omp4rs.pool.spawn` counters tell the two apart;
+//! * between regions each worker waits at its own *dock* eventcount (no
+//!   tick-polling). Dispatch fills a worker's mailbox and then wakes that
+//!   worker alone — never the pool. The docks are deliberately *not*
+//!   shared: with one pool-wide eventcount, a 4-thread region dispatched
+//!   while 31 workers from an earlier 32-thread region sit docked would
+//!   wake all 31, and under an active wait policy each un-chosen worker
+//!   burns its full spin budget before re-parking — measured at ~8x the
+//!   region-entry cost on this host. Per-worker docks make dispatch wake
+//!   exactly the gang. While the dock spin budget
+//!   (`OMP_WAIT_POLICY`/`OMP4RS_SPIN`) lasts, a worker catches the next
+//!   region's mail during its spin phase and the wake hits the notifier's
+//!   zero-waiters fast path — no futex traffic at all;
+//! * each dispatching (master) thread keeps *gang affinity*: it remembers
+//!   the workers that served its previous region and may post their next
+//!   job before they have even finished unwinding out of that region's
+//!   final barrier — a worker's region-exit scheduling slot then flows
+//!   straight into the next region's work. Posting to a busy worker is only
+//!   allowed when that worker is finishing *this master's* previous region
+//!   (`Mailbox::owner`); posting to a worker busy with a different
+//!   master would chain two independent regions' completions together and
+//!   can deadlock (A's barrier waits on a worker held by B whose barrier
+//!   waits on a worker held by A);
+//! * a panicking job cannot take the pool down: the worker loop catches the
+//!   unwind and recycles the thread into the idle list regardless. Region
+//!   poisoning — cancelling the team, waking its waiters, capturing the
+//!   panic for re-raise — is the job's own responsibility (see
+//!   `exec::run_worker`), so a poisoned *region* never implies a poisoned
+//!   *pool*.
+//!
+//! Only top-level, multi-thread, non-serialized regions are dispatched here
+//! (`exec::parallel_region` gates on nesting level): nested regions spawn
+//! scoped threads as before, which keeps the pool's thread count bounded by
+//! the sum of concurrent top-level team sizes rather than growing with
+//! nesting depth.
+//!
+//! Team identity stays per-region: the pool reuses *threads*, never `Team`
+//! state. Every region still gets a fresh [`crate::team::Team`] — fresh
+//! barrier generations, task queue, cancellation flags — so the established
+//! "teams are created fresh per parallel region" invariants (cancellation
+//! latching, residual barrier counts) are untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::sync::{self, Notifier};
+
+/// A region job handed to a pooled worker.
+///
+/// `'static` by the time it reaches the pool: `exec::parallel_region`
+/// transmutes its scoped closure after arranging the [`RegionLatch`] wait
+/// that keeps every borrow alive until the job has completed.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Worker stacks match the scoped-spawn path: Pure/Hybrid-mode workers run a
+/// tree-walking interpreter with deep recursion.
+const WORKER_STACK: usize = 16 * 1024 * 1024;
+
+/// Completion latch for one region dispatch: the master parks on it until
+/// every pooled worker has finished (and dropped) its job.
+///
+/// Reference-counted so a worker's final `complete` may touch the latch
+/// after the master has already been released — the master's stack frame is
+/// not the latch's home.
+#[derive(Debug)]
+pub(crate) struct RegionLatch {
+    remaining: AtomicU64,
+    wake: Notifier,
+}
+
+impl RegionLatch {
+    pub(crate) fn new(count: usize) -> Arc<RegionLatch> {
+        Arc::new(RegionLatch {
+            remaining: AtomicU64::new(count as u64),
+            wake: Notifier::new(),
+        })
+    }
+
+    /// Worker-side: the final decrement releases the master.
+    ///
+    /// Saturating: on the normal path the final barrier's releaser has
+    /// already zeroed the latch for the whole gang ([`complete_all`]) and
+    /// the per-worker decrements that follow must be no-ops. On abnormal
+    /// paths (cancellation, poisoning — no barrier release ever happens)
+    /// these decrements are what release the master.
+    ///
+    /// [`complete_all`]: RegionLatch::complete_all
+    fn complete(&self) {
+        let prior = self
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+        if prior == Ok(1) {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Whether the master is still (or will still be) waiting on this
+    /// latch. While any job has neither returned nor been covered by
+    /// [`complete_all`], the count is positive and the master's stack is
+    /// guaranteed alive; `0` means the final barrier released and the
+    /// master may already be gone.
+    ///
+    /// [`complete_all`]: RegionLatch::complete_all
+    pub(crate) fn armed(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) > 0
+    }
+
+    /// Releaser-side: zero the latch on behalf of the whole gang.
+    ///
+    /// Called by whichever thread releases the region's *final* barrier
+    /// (see `Team::barrier` and the `finalists` count). At that instant
+    /// every team thread has arrived — its body has returned, its panic (if
+    /// any) is recorded, and all region tasks have drained — so no worker
+    /// will touch the master's stack again and the master may proceed
+    /// without waiting for the workers' post-barrier bookkeeping to be
+    /// scheduled.
+    pub(crate) fn complete_all(&self) {
+        if self.remaining.swap(0, Ordering::AcqRel) != 0 {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Master-side wait: a short yield-only grace period, then the policy's
+    /// spin-then-park.
+    ///
+    /// The yield budget is unconditional (even under a parks-immediately
+    /// passive policy) because of *when* this runs: the master has just left
+    /// the region's final barrier, so every worker is already runnable and
+    /// within a few instructions of completing. Donating one or two quanta
+    /// usually lets them finish, and the last completion then hits the
+    /// notifier's zero-waiters fast path — the whole join costs no futex
+    /// traffic at all.
+    pub(crate) fn wait(&self) {
+        for _ in 0..8 {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        sync::wait_until(&self.wake, || self.remaining.load(Ordering::Acquire) == 0);
+    }
+}
+
+/// One pooled worker's delivery state, all under one lock so a post and the
+/// worker's take/dock transitions can never interleave inconsistently.
+#[derive(Default)]
+struct Mailbox {
+    /// The pending job, if any. Only the owning worker ever takes it.
+    work: Option<(Job, Arc<RegionLatch>)>,
+    /// True only while the worker is actually waiting at the dock (between
+    /// finishing one job and taking the next). A docked worker accepts mail
+    /// from anyone.
+    docked: bool,
+    /// Id of the master whose job this worker last accepted. A *busy*
+    /// worker accepts mail only from this master — it is guaranteed to dock
+    /// as soon as that master's previous region finishes, whereas a worker
+    /// busy with a different master's region could hold the post for an
+    /// unbounded time (and posting across masters can deadlock their
+    /// barriers against each other).
+    owner: u64,
+}
+
+/// One pooled worker: its mailbox, its private dock eventcount, and its
+/// membership bit for the idle list (guarded by the idle-list lock; prevents
+/// duplicate idle entries when a gang-affinity post bypasses the list).
+#[derive(Default)]
+struct WorkerSlot {
+    mailbox: Mutex<Mailbox>,
+    /// Where this worker (and only this worker) parks between jobs; the
+    /// dispatcher bumps it after filling the mailbox.
+    dock: Notifier,
+    listed: std::sync::atomic::AtomicBool,
+}
+
+struct Pool {
+    /// Docked workers, LIFO: the most recently docked worker has the
+    /// warmest cache and is handed out first. Entries may be stale (the
+    /// worker took a gang-affinity post without being popped); `try_post`'s
+    /// preconditions make stale entries harmless.
+    idle: Mutex<Vec<Arc<WorkerSlot>>>,
+    reuse: AtomicU64,
+    spawn: AtomicU64,
+    next_id: AtomicU64,
+    next_master: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        idle: Mutex::new(Vec::new()),
+        reuse: AtomicU64::new(0),
+        spawn: AtomicU64::new(0),
+        next_id: AtomicU64::new(0),
+        next_master: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    /// This (master) thread's dispatch identity and remembered gang: the
+    /// workers that served its previous top-level region, in arrival order.
+    static GANG: (u64, std::cell::RefCell<Vec<Arc<WorkerSlot>>>) = (
+        pool().next_master.fetch_add(1, Ordering::Relaxed) + 1,
+        std::cell::RefCell::new(Vec::new()),
+    );
+}
+
+/// Post a job to `slot` if the worker can be relied on to take it promptly:
+/// it is docked, or it is busy finishing `master`'s own previous region.
+/// Returns the job on refusal (mail already pending, or busy with a
+/// different master). On success the worker's private dock is bumped — a
+/// parked worker wakes, a spinning or still-busy one catches the mail
+/// through the notifier's zero-waiters fast path at no futex cost.
+fn try_post(slot: &WorkerSlot, job: Job, latch: &Arc<RegionLatch>, master: u64) -> Result<(), Job> {
+    {
+        let mut mb = slot.mailbox.lock();
+        if mb.work.is_some() || !(mb.docked || mb.owner == master) {
+            return Err(job);
+        }
+        mb.work = Some((job, Arc::clone(latch)));
+        mb.owner = master;
+    }
+    slot.dock.notify_all();
+    Ok(())
+}
+
+/// Dispatch one job per worker and return the latch that releases when all
+/// of them have completed.
+///
+/// # Aborts
+///
+/// Aborts the process if the OS refuses to create a needed worker thread:
+/// at that point some jobs are already running against borrows the caller
+/// must outlive, so unwinding out of a half-dispatched region would be
+/// unsound. (The scoped-spawn path historically treated spawn failure as
+/// fatal too, via its `expect`.)
+pub(crate) fn dispatch(jobs: Vec<Job>, latch: &Arc<RegionLatch>) {
+    let p = pool();
+    let mut pending = jobs;
+    pending.reverse();
+    let mut assigned: Vec<Arc<WorkerSlot>> = Vec::with_capacity(pending.len());
+    let (master, gang) = GANG.with(|(id, g)| (*id, g.borrow().clone()));
+    // 1. Gang affinity: post to this master's previous workers first — they
+    //    are either docked already or a few instructions from docking, and
+    //    their caches are warm with this master's data.
+    for slot in gang {
+        let Some(job) = pending.pop() else { break };
+        match try_post(&slot, job, latch, master) {
+            Ok(()) => assigned.push(slot),
+            Err(job) => pending.push(job),
+        }
+    }
+    // 2. The idle list. Popped entries can be stale (busy workers with a
+    //    live gang-affinity post); `try_post` refuses those and they are
+    //    simply dropped — a busy worker re-lists itself when it next docks.
+    while !pending.is_empty() {
+        let slot = {
+            let mut idle = p.idle.lock();
+            match idle.pop() {
+                Some(s) => {
+                    s.listed.store(false, Ordering::Relaxed);
+                    s
+                }
+                None => break,
+            }
+        };
+        if assigned.iter().any(|s| Arc::ptr_eq(s, &slot)) {
+            continue;
+        }
+        let job = pending.pop().expect("loop guard: pending non-empty");
+        match try_post(&slot, job, latch, master) {
+            Ok(()) => assigned.push(slot),
+            Err(job) => pending.push(job),
+        }
+    }
+    p.reuse.fetch_add(assigned.len() as u64, Ordering::Relaxed);
+    // 3. Spawn fresh workers for whatever is left.
+    while let Some(job) = pending.pop() {
+        p.spawn.fetch_add(1, Ordering::Relaxed);
+        assigned.push(spawn_worker(job, latch, master));
+    }
+    GANG.with(|(_, g)| *g.borrow_mut() = assigned);
+}
+
+fn spawn_worker(job: Job, latch: &Arc<RegionLatch>, master: u64) -> Arc<WorkerSlot> {
+    let p = pool();
+    let id = p.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let slot = Arc::new(WorkerSlot::default());
+    {
+        let mut mb = slot.mailbox.lock();
+        mb.work = Some((job, Arc::clone(latch)));
+        mb.owner = master;
+    }
+    let worker_slot = Arc::clone(&slot);
+    let spawned = std::thread::Builder::new()
+        .name(format!("omp4rs-pool-{id}"))
+        .stack_size(WORKER_STACK)
+        .spawn(move || worker_loop(worker_slot));
+    if let Err(e) = spawned {
+        eprintln!("omp4rs: failed to spawn pool worker: {e}");
+        std::process::abort();
+    }
+    slot
+}
+
+fn worker_loop(slot: Arc<WorkerSlot>) {
+    let p = pool();
+    loop {
+        let (job, latch) = wait_for_mail(p, &slot);
+        // A panicking job must not take the worker down: region poisoning
+        // and panic capture happen inside the job (exec::run_worker and its
+        // dispatch wrapper); the pool recycles the thread no matter what.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        // On the normal path the region's final-barrier releaser has
+        // already zeroed this latch (`complete_all`); this decrement is the
+        // release only on cancelled/poisoned paths.
+        latch.complete();
+    }
+}
+
+/// The dock: take pending mail immediately (gang-affinity fast path — the
+/// post may have arrived while this worker was still finishing the previous
+/// region), otherwise mark the slot docked, list it idle, and spin-then-park
+/// on this worker's private dock eventcount.
+fn wait_for_mail(p: &'static Pool, slot: &Arc<WorkerSlot>) -> (Job, Arc<RegionLatch>) {
+    {
+        let mut mb = slot.mailbox.lock();
+        if let Some(work) = mb.work.take() {
+            return work;
+        }
+        mb.docked = true;
+    }
+    {
+        let mut idle = p.idle.lock();
+        if !slot.listed.swap(true, Ordering::Relaxed) {
+            idle.push(Arc::clone(slot));
+        }
+    }
+    // Epoch before the mailbox check, so a post racing with the check falls
+    // through the park. The spin budget lets a worker catch an immediately
+    // following region with no futex traffic; only this worker's own posts
+    // bump this dock, so a wake always means mail (no herd re-parks).
+    let mut spins = sync::spin_iters();
+    loop {
+        let epoch = slot.dock.epoch();
+        {
+            let mut mb = slot.mailbox.lock();
+            if let Some(work) = mb.work.take() {
+                mb.docked = false;
+                return work;
+            }
+        }
+        if spins > 0 {
+            spins -= 1;
+            sync::spin_hint(spins);
+            continue;
+        }
+        slot.dock.park(epoch);
+    }
+}
+
+/// A snapshot of the pool's counters, as published to the profiler under
+/// `omp4rs.pool.*`.
+///
+/// `park`/`spin_exit` are runtime-wide wait statistics (every eventcount
+/// park and every wait satisfied within its spin budget — barriers, events,
+/// task waits, and the pool's own mailbox parks), reported here because the
+/// pool is where the wait policy's effect concentrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Dispatches served by re-binding an already-parked worker.
+    pub reuse: u64,
+    /// Dispatches that had to create a new OS thread.
+    pub spawn: u64,
+    /// Untimed parks performed by runtime waits.
+    pub park: u64,
+    /// Waits satisfied during their bounded spin phase.
+    pub spin_exit: u64,
+}
+
+/// Read the current [`PoolStats`].
+pub fn stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        reuse: p.reuse.load(Ordering::Relaxed),
+        spawn: p.spawn.load(Ordering::Relaxed),
+        park: sync::park_count(),
+        spin_exit: sync::spin_exit_count(),
+    }
+}
+
+/// Number of currently parked (idle) workers. Racy, advisory — for tests
+/// and diagnostics.
+pub fn idle_workers() -> usize {
+    pool().idle.lock().len()
+}
+
+/// Publish the pool counters to the [`crate::ompt`] profiler (no-op when it
+/// is disabled). `exec` calls this at region exit on the pooled path.
+pub(crate) fn publish_counters() {
+    if !crate::ompt::enabled() {
+        return;
+    }
+    let s = stats();
+    crate::ompt::set_counter("omp4rs.pool.reuse", s.reuse);
+    crate::ompt::set_counter("omp4rs.pool.spawn", s.spawn);
+    crate::ompt::set_counter("omp4rs.pool.park", s.park);
+    crate::ompt::set_counter("omp4rs.pool.spin_exit", s.spin_exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Dispatch and wait, as `exec::parallel_region` does.
+    fn run(jobs: Vec<Job>) {
+        let latch = RegionLatch::new(jobs.len());
+        dispatch(jobs, &latch);
+        latch.wait();
+    }
+
+    #[test]
+    fn dispatch_runs_jobs_and_latch_releases() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        run(jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let before = stats();
+        run(vec![Box::new(|| panic!("boom")) as Job]);
+        // The same (or another pooled) worker must happily run the next job.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        run(vec![Box::new(move || {
+            ok2.fetch_add(1, Ordering::SeqCst);
+        }) as Job]);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+        let after = stats();
+        assert!(
+            after.reuse + after.spawn >= before.reuse + before.spawn + 2,
+            "both dispatches must be accounted"
+        );
+    }
+
+    #[test]
+    fn back_to_back_dispatches_reuse_workers() {
+        // Gang affinity plus the idle list must make a hot re-dispatch find
+        // the previous round's workers. Other tests share the global pool
+        // and may race workers away between rounds, so allow retries — but
+        // systematic failure to ever reuse means the hot path is broken.
+        for round in 0.. {
+            let warm: Vec<Job> = (0..2).map(|_| Box::new(|| {}) as Job).collect();
+            run(warm);
+            let before = stats();
+            let again: Vec<Job> = (0..2).map(|_| Box::new(|| {}) as Job).collect();
+            run(again);
+            let after = stats();
+            if after.reuse > before.reuse {
+                return;
+            }
+            assert!(round < 20, "no dispatch ever reused a parked worker");
+        }
+    }
+}

@@ -13,10 +13,140 @@
 //! * [`Backend::Atomic`] — lock-free `fetch_add`/CAS paths (the paper's
 //!   `cruntime`, i.e. **Hybrid**/**Compiled** modes).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+
+/// What a thread does while it waits (the `OMP_WAIT_POLICY` ICV).
+///
+/// OpenMP 4.0 §4.8: *active* threads should consume processor cycles while
+/// waiting (spin), *passive* threads should not (sleep). Here the policy
+/// resolves to a bounded spin-iteration budget ([`WaitPolicy::default_spin`],
+/// overridable via `OMP4RS_SPIN`) that every runtime wait burns before
+/// parking on a signaled [`Notifier`]/[`OmpEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitPolicy {
+    /// Spin a large bounded budget before parking — lowest wakeup latency,
+    /// burns CPU; right when threads ≤ cores.
+    Active,
+    /// Park after a token spin — frees the core for whoever must produce
+    /// the awaited state change; right when oversubscribed (the default:
+    /// this runtime targets small hosts where regions oversubscribe cores).
+    #[default]
+    Passive,
+}
+
+impl WaitPolicy {
+    /// Parse an `OMP_WAIT_POLICY` value (case-insensitive `active`/`passive`).
+    pub fn parse(s: &str) -> Option<WaitPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "active" => Some(WaitPolicy::Active),
+            "passive" => Some(WaitPolicy::Passive),
+            _ => None,
+        }
+    }
+
+    /// The spin budget this policy implies when `OMP4RS_SPIN` is unset.
+    ///
+    /// Passive parks immediately: on the oversubscribed hosts this runtime
+    /// targets, measured region-entry and barrier latency are *lowest* with
+    /// no speculative spinning at all (every spin iteration delays the
+    /// thread that must produce the awaited state change).
+    pub fn default_spin(self) -> u32 {
+        match self {
+            WaitPolicy::Active => 10_000,
+            WaitPolicy::Passive => 0,
+        }
+    }
+}
+
+/// Cached spin budget derived from the current ICVs; read on every wait, so
+/// it lives outside the ICV lock. Defaults to the passive budget until the
+/// ICV store first publishes.
+static SPIN_LIMIT: AtomicU32 = AtomicU32::new(0);
+
+/// Runtime-wide count of untimed parks (exported as `omp4rs.pool.park`).
+static PARKS: AtomicU64 = AtomicU64::new(0);
+/// Runtime-wide count of waits satisfied within their spin budget, without
+/// parking (exported as `omp4rs.pool.spin_exit`).
+static SPIN_EXITS: AtomicU64 = AtomicU64::new(0);
+
+/// Install the effective spin budget for the current ICVs. Called by the
+/// `icv` module whenever the store is initialized, updated, or reset.
+pub(crate) fn refresh_wait_config(policy: WaitPolicy, spin: Option<u32>) {
+    let limit = spin.unwrap_or_else(|| policy.default_spin());
+    SPIN_LIMIT.store(limit, Ordering::Relaxed);
+}
+
+/// The spin budget a wait burns before parking (ICV-derived, cached).
+pub fn spin_iters() -> u32 {
+    SPIN_LIMIT.load(Ordering::Relaxed)
+}
+
+/// Total untimed parks performed by runtime waits since process start.
+pub fn park_count() -> u64 {
+    PARKS.load(Ordering::Relaxed)
+}
+
+/// Total waits satisfied during their bounded spin phase (no park needed).
+pub fn spin_exit_count() -> u64 {
+    SPIN_EXITS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_park() {
+    PARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_spin_exit() {
+    SPIN_EXITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One bounded-spin iteration: mostly scheduler yields with CPU relax hints
+/// between them. Yield-dominated spinning is deliberate: on oversubscribed
+/// (or single-core) hosts a yield donates the rest of the quantum to the
+/// thread that must produce the awaited state change, so a team can
+/// round-robin through a barrier with no futex traffic at all, while pure
+/// `spin_loop` burning would stall exactly that thread.
+pub fn spin_hint(remaining: u32) {
+    if remaining.is_multiple_of(4) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// Spin-then-park until `pred()` returns `true`.
+///
+/// The spin budget comes from the cached `OMP_WAIT_POLICY`/`OMP4RS_SPIN`
+/// configuration ([`spin_iters`]); once exhausted the thread parks on
+/// `notifier` and wakes on the next [`Notifier::notify_all`]. Correctness
+/// contract: every state transition that can flip `pred` must be followed
+/// by a `notify_all` on the same notifier.
+pub fn wait_until(notifier: &Notifier, mut pred: impl FnMut() -> bool) {
+    let mut spins = spin_iters();
+    let mut spun = false;
+    let mut parked = false;
+    loop {
+        // Epoch first, predicate second: a notification that lands between
+        // the two invalidates the snapshot and the park falls through.
+        let epoch = notifier.epoch();
+        if pred() {
+            if spun && !parked {
+                note_spin_exit();
+            }
+            return;
+        }
+        if spins > 0 {
+            spins -= 1;
+            spun = true;
+            spin_hint(spins);
+            continue;
+        }
+        notifier.park(epoch);
+        parked = true;
+    }
+}
 
 /// Which synchronization implementation a team uses.
 ///
@@ -196,12 +326,28 @@ impl CancelFlag {
     }
 }
 
-/// A wait/notify hub pairing a `Condvar` with a dummy mutex.
+/// An epoch-based eventcount: the wait/notify hub for barriers, task
+/// queues, worksharing hand-offs, and locks.
 ///
-/// Waits are always timed (default granularity [`Notifier::DEFAULT_TICK`]) so
-/// state checked outside the lock can never produce a lost-wakeup hang.
+/// The protocol is the classic eventcount three-step that makes **untimed**
+/// parking race-free:
+///
+/// 1. the waiter snapshots [`epoch`](Notifier::epoch),
+/// 2. re-checks its wait predicate,
+/// 3. calls [`park`](Notifier::park) with the snapshot — which returns
+///    immediately if any notification arrived after step 1.
+///
+/// [`notify_all`](Notifier::notify_all) bumps the epoch *before* waking, so
+/// a notification racing with steps 1–3 is never lost. Waiters therefore
+/// sleep indefinitely instead of tick-polling and wake the instant they are
+/// signaled — this is what un-quantizes barrier release latency from the
+/// historical 500µs tick. Timed waits ([`wait_tick`](Notifier::wait_tick) /
+/// [`wait_timeout`](Notifier::wait_timeout)) remain for callers polling
+/// external state with no notification edge.
 #[derive(Debug, Default)]
 pub struct Notifier {
+    epoch: AtomicU64,
+    waiters: AtomicU64,
     mutex: Mutex<()>,
     condvar: Condvar,
 }
@@ -215,10 +361,42 @@ impl Notifier {
         Notifier::default()
     }
 
-    /// Wake all current waiters.
+    /// Current notification epoch. Snapshot this *before* checking the wait
+    /// predicate, then hand the snapshot to [`park`](Notifier::park).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Wake all current waiters and invalidate in-flight epoch snapshots.
     pub fn notify_all(&self) {
-        let _guard = self.mutex.lock();
-        self.condvar.notify_all();
+        // SeqCst on both the epoch bump and the waiter-count read pairs with
+        // the reverse-order SeqCst accesses in `park` (Dekker pattern): at
+        // least one side always observes the other, so the waiter-count==0
+        // fast path can never skip a waiter that would then sleep forever.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Park until the epoch advances past `observed` (returns immediately if
+    /// it already has). Any notification between the [`epoch`](Notifier::epoch)
+    /// snapshot and this call bumps the epoch, so the park falls through
+    /// rather than missing the wakeup.
+    pub fn park(&self, observed: u64) {
+        let mut guard = self.mutex.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut slept = false;
+        while self.epoch.load(Ordering::SeqCst) == observed {
+            slept = true;
+            self.condvar.wait(&mut guard);
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        if slept {
+            note_park();
+        }
     }
 
     /// Block until notified or the default tick elapses.
@@ -228,8 +406,13 @@ impl Notifier {
 
     /// Block until notified or `timeout` elapses.
     pub fn wait_timeout(&self, timeout: Duration) {
+        let observed = self.epoch();
         let mut guard = self.mutex.lock();
-        let _ = self.condvar.wait_for(&mut guard, timeout);
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) == observed {
+            let _ = self.condvar.wait_for(&mut guard, timeout);
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -285,10 +468,30 @@ impl OmpEvent {
 
     /// Block until the event is set.
     ///
+    /// Honors the wait policy: a bounded spin first ([`spin_iters`]), then an
+    /// **untimed** park. Untimed is safe because [`set`](OmpEvent::set)
+    /// notifies while holding the state lock, so a waiter that observed the
+    /// flag unset under that lock is guaranteed to receive the notification.
+    ///
     /// When the [`crate::ompt`] profiler is enabled, a blocking wait records
     /// a [`crate::ompt::EventKind::SyncWait`] with the measured duration
     /// (already-set events return without recording anything).
     pub fn wait(&self) {
+        // Lock-free spin phase, identical for both backends (`is_set` does
+        // the backend-appropriate read).
+        let mut spins = spin_iters();
+        let mut spun = false;
+        while spins > 0 {
+            if self.is_set() {
+                if spun {
+                    note_spin_exit();
+                }
+                return;
+            }
+            spins -= 1;
+            spun = true;
+            spin_hint(spins);
+        }
         match self.backend {
             Backend::Atomic => {
                 // Fast path without the lock.
@@ -298,7 +501,8 @@ impl OmpEvent {
                 let probe = crate::ompt::enabled().then(std::time::Instant::now);
                 let mut guard = self.state.lock();
                 while !self.atomic.load(Ordering::Acquire) {
-                    let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
+                    note_park();
+                    self.condvar.wait(&mut guard);
                 }
                 drop(guard);
                 Self::record_wait(probe);
@@ -310,7 +514,8 @@ impl OmpEvent {
                 }
                 let probe = crate::ompt::enabled().then(std::time::Instant::now);
                 while !*guard {
-                    let _ = self.condvar.wait_for(&mut guard, Duration::from_millis(1));
+                    note_park();
+                    self.condvar.wait(&mut guard);
                 }
                 drop(guard);
                 Self::record_wait(probe);
@@ -656,5 +861,62 @@ mod tests {
         let start = std::time::Instant::now();
         n.wait_timeout(Duration::from_millis(2));
         assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn notifier_park_falls_through_after_prior_notify() {
+        let n = Notifier::new();
+        let epoch = n.epoch();
+        n.notify_all();
+        // The snapshot is stale, so this must return immediately rather
+        // than sleeping — the core lost-wakeup defense.
+        n.park(epoch);
+    }
+
+    #[test]
+    fn notifier_notify_wakes_parked_thread() {
+        let n = Arc::new(Notifier::new());
+        let waiter = {
+            let n = Arc::clone(&n);
+            std::thread::spawn(move || {
+                let epoch = n.epoch();
+                n.park(epoch);
+            })
+        };
+        // Keep notifying until the waiter exits: each notify bumps the
+        // epoch, so whichever side wins the race the park terminates.
+        while !waiter.is_finished() {
+            n.notify_all();
+            std::thread::yield_now();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_observes_flag_from_other_thread() {
+        let n = Arc::new(Notifier::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let setter = {
+            let n = Arc::clone(&n);
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                flag.store(true, Ordering::Release);
+                n.notify_all();
+            })
+        };
+        wait_until(&n, || flag.load(Ordering::Acquire));
+        assert!(flag.load(Ordering::Acquire));
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn wait_policy_parse_accepts_openmp_spellings() {
+        assert_eq!(WaitPolicy::parse("active"), Some(WaitPolicy::Active));
+        assert_eq!(WaitPolicy::parse("PASSIVE"), Some(WaitPolicy::Passive));
+        assert_eq!(WaitPolicy::parse("  Active "), Some(WaitPolicy::Active));
+        assert_eq!(WaitPolicy::parse("aggressive"), None);
+        assert_eq!(WaitPolicy::parse(""), None);
+        assert!(WaitPolicy::Active.default_spin() > WaitPolicy::Passive.default_spin());
     }
 }

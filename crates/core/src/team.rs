@@ -10,7 +10,7 @@ use std::cell::Cell;
 use crate::context;
 use crate::faults::{self, FaultSite};
 use crate::ompt;
-use crate::sync::{Backend, CancelFlag, Notifier};
+use crate::sync::{self, Backend, CancelFlag, Notifier};
 use crate::tasks::{TaskNode, TaskQueue};
 use crate::worksharing::WorkshareRegistry;
 
@@ -36,6 +36,14 @@ pub struct Team {
     cancelled: Arc<CancelFlag>,
     /// Set when a team thread panicked and the region was force-released.
     poisoned: CancelFlag,
+    /// Threads that have reached the region's *final* (implicit region-end)
+    /// barrier. When the releaser of a barrier generation sees this equal
+    /// to the team size, that barrier is the region's last rendezvous and
+    /// it may complete [`Team::final_latch`] on behalf of the whole gang.
+    finalists: AtomicUsize,
+    /// The pooled region's completion latch (`None` for scoped/serialized
+    /// teams). Taken exactly once, by the final barrier's releaser.
+    final_latch: Mutex<Option<Arc<crate::pool::RegionLatch>>>,
 }
 
 impl std::fmt::Debug for Team {
@@ -73,7 +81,28 @@ impl Team {
             ws: WorkshareRegistry::with_cancel(backend, size.max(1), wake, Arc::clone(&cancelled)),
             cancelled,
             poisoned: CancelFlag::new(backend),
+            finalists: AtomicUsize::new(0),
+            final_latch: Mutex::new(None),
         })
+    }
+
+    /// Attach the pooled region's completion latch (set by the master
+    /// before any worker is dispatched). The final barrier's releaser
+    /// zeroes it for the whole gang — see [`Team::note_final_arrival`].
+    pub(crate) fn set_final_latch(&self, latch: Arc<crate::pool::RegionLatch>) {
+        *self.final_latch.lock() = Some(latch);
+    }
+
+    /// Mark the calling thread as having reached the region's final
+    /// barrier. Every team thread calls this immediately before its
+    /// region-end `barrier()`; once all have, the next barrier release is
+    /// the region's last and completes the pooled latch early.
+    ///
+    /// (A non-conforming program whose threads execute *different* numbers
+    /// of explicit barriers could fire this at a mismatched rendezvous —
+    /// such programs already have no defined behavior under OpenMP.)
+    pub(crate) fn note_final_arrival(&self) {
+        self.finalists.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Number of threads in the team.
@@ -185,19 +214,36 @@ impl Team {
         }
         if self.size == 1 {
             // Single-thread team: the barrier reduces to draining tasks.
-            while self.tasks.outstanding() > 0 {
-                if self.cancelled.is_set() {
+            loop {
+                if self.cancelled.is_set() || self.tasks.outstanding() == 0 {
                     return;
                 }
-                if !self.run_one_task() {
-                    self.wake.wait_tick();
+                if self.run_one_task() {
+                    continue;
                 }
+                // A task is in flight elsewhere (or this thread hit the
+                // steal-depth limit): eventcount-park until its completion
+                // signals. Epoch first, then re-check, then park — any
+                // completion in between falls through.
+                let epoch = self.wake.epoch();
+                if self.cancelled.is_set() || self.tasks.outstanding() == 0 {
+                    return;
+                }
+                self.wake.park(epoch);
             }
-            return;
         }
+        // Sense-reversing wait: `generation` is the sense — a thread is
+        // released the moment the generation it arrived under flips, and the
+        // residual `arrived` count of the old generation can never confuse
+        // it. The wait burns the ICV-derived spin budget first, then parks
+        // on the team eventcount; every transition that can release it
+        // (last arrival, task completion, new task submission, cancellation)
+        // bumps `wake`'s epoch.
         let gen = self.generation.load(Ordering::Acquire);
         self.arrived.fetch_add(1, Ordering::AcqRel);
+        let mut spins = sync::spin_iters();
         loop {
+            let epoch = self.wake.epoch();
             if self.cancelled.is_set() || self.generation.load(Ordering::Acquire) != gen {
                 return;
             }
@@ -212,6 +258,19 @@ impl Team {
                         self.arrived.store(0, Ordering::Release);
                         self.generation.store(gen + 1, Ordering::Release);
                         self.wake.notify_all();
+                        // If every thread had reached the region's final
+                        // barrier, this release ends the region: complete
+                        // the pooled latch for the whole gang so the master
+                        // needn't wait for the workers' post-barrier
+                        // bookkeeping to be scheduled. (All bodies have
+                        // returned, panics are recorded, and tasks have
+                        // drained — nothing after this touches the
+                        // master's stack.)
+                        if self.finalists.load(Ordering::Acquire) == self.size {
+                            if let Some(latch) = self.final_latch.lock().take() {
+                                latch.complete_all();
+                            }
+                        }
                         return;
                     }
                 } else {
@@ -219,10 +278,18 @@ impl Team {
                 }
                 continue;
             }
-            // Not releasable yet: make progress on tasks, else park briefly.
-            if !self.run_one_task() {
-                self.wake.wait_tick();
+            // Not releasable yet: make progress on tasks; with none to run,
+            // spin down the budget, then park until the next signal.
+            if self.run_one_task() {
+                spins = sync::spin_iters();
+                continue;
             }
+            if spins > 0 {
+                spins -= 1;
+                sync::spin_hint(spins);
+                continue;
+            }
+            self.wake.park(epoch);
         }
     }
 
@@ -300,7 +367,9 @@ impl Team {
             Some(f) => f,
             None => return,
         };
+        let mut spins = sync::spin_iters();
         loop {
+            let epoch = self.wake.epoch();
             frame.prune_done_children();
             let children = frame.current_children();
             if children.iter().all(|c| c.is_done()) {
@@ -317,14 +386,20 @@ impl Team {
                     break;
                 }
             }
-            if ran_child {
+            if ran_child || self.run_one_task() {
+                spins = sync::spin_iters();
                 continue;
             }
-            if !self.run_one_task() {
-                // Nothing runnable: a child is in progress on another
-                // thread. Park until it signals.
-                self.wake.wait_tick();
+            // Nothing runnable: a child is in progress on another thread.
+            // Spin out the budget, then park until its completion signals
+            // (the epoch snapshot above predates the `is_done` checks, so a
+            // completion racing with them falls through the park).
+            if spins > 0 {
+                spins -= 1;
+                sync::spin_hint(spins);
+                continue;
             }
+            self.wake.park(epoch);
         }
     }
 

@@ -89,6 +89,9 @@ impl WsInstance {
     pub fn copyprivate_publish(&self, value: Box<dyn Any + Send>) {
         *self.cp_slot.lock() = Some(value);
         self.cp_event.set();
+        // Readers wait on the team eventcount (so one wait observes both
+        // publication and cancellation); signal it as well.
+        self.wake.notify_all();
     }
 
     /// Wait for and read the `copyprivate` value.
@@ -101,11 +104,9 @@ impl WsInstance {
     /// published (the `single` winner died): converting the would-be hang
     /// into a panic that region teardown re-raises.
     pub fn copyprivate_read<T: Clone + 'static>(&self) -> T {
-        while !self.cp_event.is_set() {
-            if self.is_cancelled() {
-                panic!("copyprivate value abandoned: region cancelled or poisoned before publish");
-            }
-            self.wake.wait_tick();
+        crate::sync::wait_until(&self.wake, || self.cp_event.is_set() || self.is_cancelled());
+        if !self.cp_event.is_set() {
+            panic!("copyprivate value abandoned: region cancelled or poisoned before publish");
         }
         let slot = self.cp_slot.lock();
         let any = slot.as_ref().expect("copyprivate slot set before event");
@@ -141,12 +142,9 @@ impl WsInstance {
     /// cancelled: the thread whose turn it is may be gone, and a cancelled
     /// loop no longer promises iteration ordering.
     pub fn ordered_enter(&self, flat_iter: u64) {
-        while self.ordered_next.load(Ordering::Acquire) != flat_iter {
-            if self.is_cancelled() {
-                return;
-            }
-            self.wake.wait_tick();
-        }
+        crate::sync::wait_until(&self.wake, || {
+            self.ordered_next.load(Ordering::Acquire) == flat_iter || self.is_cancelled()
+        });
     }
 
     /// Finish the `ordered` region for `flat_iter`, releasing the next one.

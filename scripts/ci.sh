@@ -32,6 +32,10 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
     # Profiler overhead contract: a disabled profiler records zero events,
     # an enabled one produces a Chrome trace that passes the validator.
     run cargo run --release -p omp4rs-bench --bin overhead -- --check
+    # Construct-overhead contract: every syncbench cell (parallel, barrier,
+    # reduction, single, task x backends x wait policies) completes and
+    # reports a finite overhead — the pool/waiting machinery stays sound.
+    run cargo run --release -p omp4rs-bench --bin syncbench -- --check --trials 2
 fi
 
 echo
