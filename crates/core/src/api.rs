@@ -44,8 +44,18 @@ pub fn omp_in_parallel() -> bool {
     context::in_parallel()
 }
 
-/// `omp_set_dynamic` (`dyn-var`). Dynamic adjustment is accepted but this
-/// implementation never shrinks teams below the requested size.
+/// `omp_set_dynamic` (`dyn-var`): allow the runtime to grant fewer threads
+/// than requested when the worker pool is under pressure.
+///
+/// With `dyn-var` true, every top-level pooled region passes admission
+/// control: the runtime compares the requested team size against the
+/// process-wide concurrency budget (`thread-limit-var` when set, otherwise a
+/// multiple of the host parallelism) minus the threads already in flight.
+/// Oversubscribed requests are **shrunk** to the remaining budget, and when
+/// no budget remains at all the region is **shed** to caller-runs-serial
+/// (team size 1). The decisions are observable as the
+/// `omp4rs.admission.{granted,shrunk,shed}` counters. With `dyn-var` false
+/// (the default) the requested size is always granted, exactly as before.
 pub fn omp_set_dynamic(dynamic: bool) {
     Icvs::update(|icvs| icvs.dynamic = dynamic);
 }
@@ -78,6 +88,25 @@ pub fn omp_get_schedule() -> (ScheduleKind, Option<u64>) {
 /// `omp_get_thread_limit`.
 pub fn omp_get_thread_limit() -> usize {
     Icvs::current().thread_limit
+}
+
+/// Set the per-region deadline (omp4rs extension, mirrors
+/// `OMP4RS_REGION_DEADLINE`).
+///
+/// When set, every blocking wait inside a parallel region — barriers,
+/// `single`/`critical` acquisition, `taskwait`, lock acquisition — is bounded
+/// by the deadline measured from region entry. A wait that exceeds it poisons
+/// the region exactly like a panicking team thread and surfaces
+/// [`crate::error::OmpError::RegionTimeout`] on the joining thread. `None`
+/// (the default) restores unbounded waits.
+pub fn omp_set_region_deadline(deadline: Option<std::time::Duration>) {
+    Icvs::update(|icvs| icvs.region_deadline = deadline);
+}
+
+/// Read back the per-region deadline set by [`omp_set_region_deadline`] or
+/// `OMP4RS_REGION_DEADLINE`.
+pub fn omp_get_region_deadline() -> Option<std::time::Duration> {
+    Icvs::current().region_deadline
 }
 
 /// `omp_get_cancellation` (`cancel-var`): whether `cancel` directives are
@@ -179,6 +208,21 @@ mod tests {
         assert!(omp_get_nested());
         omp_set_dynamic(true);
         assert!(omp_get_dynamic());
+        Icvs::reset(before);
+    }
+
+    #[test]
+    fn region_deadline_round_trip() {
+        let _guard = crate::icv::test_guard();
+        let before = Icvs::current();
+        assert_eq!(omp_get_region_deadline(), None);
+        omp_set_region_deadline(Some(std::time::Duration::from_millis(250)));
+        assert_eq!(
+            omp_get_region_deadline(),
+            Some(std::time::Duration::from_millis(250))
+        );
+        omp_set_region_deadline(None);
+        assert_eq!(omp_get_region_deadline(), None);
         Icvs::reset(before);
     }
 

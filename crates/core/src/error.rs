@@ -31,6 +31,18 @@ pub enum OmpError {
     /// `single`, `ordered`, and `taskwait` in the region was released so the
     /// surviving threads could exit cleanly instead of hanging.
     RegionPoisoned(String),
+    /// A region deadline (`OMP4RS_REGION_DEADLINE` /
+    /// `omp_set_region_deadline`) or the stall watchdog tripped: a blocking
+    /// wait in the region exceeded its budget, the region was poisoned
+    /// exactly like a panic (all waiters released, queued tasks discarded),
+    /// and this error surfaces on the joining thread.
+    RegionTimeout {
+        /// The construct whose wait expired (`barrier`, `taskwait`,
+        /// `critical`, `lock`, `watchdog`, …).
+        construct: &'static str,
+        /// How long the region had been running when the deadline tripped.
+        waited: std::time::Duration,
+    },
 }
 
 impl fmt::Display for OmpError {
@@ -56,6 +68,13 @@ impl fmt::Display for OmpError {
                 write!(
                     f,
                     "parallel region poisoned by a panicking team thread: {why}"
+                )
+            }
+            OmpError::RegionTimeout { construct, waited } => {
+                write!(
+                    f,
+                    "region deadline exceeded after {waited:?} (blocked in {construct}); \
+                     region poisoned"
                 )
             }
         }

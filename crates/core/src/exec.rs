@@ -335,7 +335,7 @@ where
     let active = context::active_level();
     let serialized =
         !cfg.if_parallel || (level >= 1 && !icvs.nested) || active >= icvs.max_active_levels;
-    let size = if serialized {
+    let mut size = if serialized {
         1
     } else {
         cfg.num_threads
@@ -343,6 +343,17 @@ where
             .min(icvs.thread_limit)
             .max(1)
     };
+    // Admission control (`dyn-var`): under pool pressure, grant fewer
+    // threads than requested — shrink toward the remaining concurrency
+    // budget, shedding to caller-runs-serial as the last resort — instead of
+    // oversubscribing. Only top-level pooled regions are admitted this way;
+    // nested regions already serialize by default.
+    if icvs.dynamic && !serialized && size > 1 && level == 0 && icvs.pool {
+        size = crate::pool::admit(size, icvs.thread_limit);
+    }
+    // Threads-in-flight accounting feeding future admission decisions; the
+    // guard spans the whole region including the join below.
+    let _inflight = (level == 0 && icvs.pool).then(|| crate::pool::InflightGuard::new(size));
 
     let team = Team::new(size, cfg.backend);
     let parent_positions = context::current_positions();
@@ -431,28 +442,44 @@ where
         crate::pool::publish_counters();
     } else {
         std::thread::scope(|scope| {
+            let mut spawn_failed = false;
             for t in 1..size {
-                let team = Arc::clone(&team);
+                let worker_team = Arc::clone(&team);
                 let positions = parent_positions.clone();
                 let body = &body;
                 let panic_slot = &panic_slot;
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("omp4rs-worker-{t}"))
                     // Generous stacks: Pure/Hybrid-mode workers run a
                     // tree-walking interpreter with deep recursion.
                     .stack_size(16 * 1024 * 1024)
                     .spawn_scoped(scope, move || {
-                        run_worker(team, t, positions, body, panic_slot);
-                    })
-                    .expect("failed to spawn team thread");
+                        run_worker(worker_team, t, positions, body, panic_slot);
+                    });
+                if let Err(e) = spawned {
+                    // Degrade instead of deadlocking: poison the team so
+                    // the members already spawned exit through the
+                    // cancellation path rather than waiting at a barrier
+                    // for arrivals that will never come, and surface the
+                    // OS failure as this region's panic after the join.
+                    team.poison();
+                    let mut slot = panic_slot.lock();
+                    if slot.is_none() {
+                        *slot = Some(Box::new(format!("failed to spawn team thread: {e}")));
+                    }
+                    spawn_failed = true;
+                    break;
+                }
             }
-            run_worker(
-                Arc::clone(&team),
-                0,
-                parent_positions.clone(),
-                &body,
-                &panic_slot,
-            );
+            if !spawn_failed {
+                run_worker(
+                    Arc::clone(&team),
+                    0,
+                    parent_positions.clone(),
+                    &body,
+                    &panic_slot,
+                );
+            }
         });
     }
 
@@ -460,6 +487,36 @@ where
     let thread_panic = panic_slot.into_inner();
     if let Some(p) = thread_panic.or(task_panic) {
         std::panic::resume_unwind(p);
+    }
+    // No thread or task panic, but the region was failed asynchronously — a
+    // deadline trip whose tripping thread exited via the cancellation path,
+    // or a watchdog cancellation. Raise the stored typed error so callers
+    // ([`parallel_region_result`]) can observe it.
+    if let Some(err) = team.take_failure() {
+        std::panic::panic_any(err);
+    }
+}
+
+/// [`parallel_region`] with typed runtime failures as a `Result`.
+///
+/// Catches the region's re-raised unwind and converts an [`OmpError`]
+/// payload — e.g. [`OmpError::RegionTimeout`] from a deadline trip or
+/// watchdog cancellation — into `Err`. Any other panic (user panics,
+/// injected faults) is resumed unchanged.
+///
+/// # Errors
+///
+/// The typed runtime failure that poisoned the region, if any.
+pub fn parallel_region_result<'env, F>(cfg: &ParallelConfig, body: F) -> Result<(), OmpError>
+where
+    F: Fn(&WorkerCtx<'env>) + Sync,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parallel_region(cfg, body))) {
+        Ok(()) => Ok(()),
+        Err(p) => match p.downcast::<OmpError>() {
+            Ok(err) => Err(*err),
+            Err(p) => std::panic::resume_unwind(p),
+        },
     }
 }
 
@@ -473,6 +530,21 @@ fn run_worker<'env, F>(
     F: Fn(&WorkerCtx<'env>) + Sync,
 {
     let _guard = context::enter_team(Arc::clone(&team), thread_num, positions);
+    // Tell the pool's watchdog which region this worker is serving, so a
+    // stall flagged on the heartbeat can be traced back to (and poison) the
+    // right team. No-op on non-pooled threads.
+    crate::pool::note_region(team.region());
+    // Injected delays on this thread yield once the region is cancelled or
+    // poisoned: a simulated stall must not pin the region open past a
+    // deadline trip (the guard restores the enclosing hook on exit). The
+    // deadline probe also lets a *serial* team (admission shed) rescue
+    // itself — there is no sibling waiter to trip the deadline for it.
+    let _interrupt = {
+        let team = Arc::clone(&team);
+        crate::faults::set_delay_interrupt(Box::new(move || {
+            team.is_cancelled() || team.deadline_probe()
+        }))
+    };
     crate::ompt::record(
         team.region(),
         crate::ompt::EventKind::ParallelBegin {

@@ -17,6 +17,7 @@
 //! Injected panics carry an [`InjectedFault`] payload so tests can assert
 //! that the panic that surfaced is the one they planted.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
@@ -211,6 +212,49 @@ static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 /// Serializes tests that arm plans (held by [`PlanGuard`]).
 static TEST_LOCK: Mutex<()> = Mutex::new(());
 
+thread_local! {
+    /// Whether the calling thread already holds a [`PlanGuard`]. A second
+    /// same-thread `arm` would self-deadlock on the (non-reentrant)
+    /// `TEST_LOCK`; this flag converts that silent hang into a clear panic.
+    static ARMED_HERE: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-thread interrupt predicate polled by injected delays: when it
+    /// returns `true` (e.g. the worker's region was cancelled or poisoned),
+    /// the remainder of the delay is abandoned so a "stalled" worker can
+    /// observe a deadline trip and exit instead of pinning the region open.
+    static DELAY_INTERRUPT: RefCell<Option<Box<dyn Fn() -> bool>>> = const { RefCell::new(None) };
+}
+
+/// Injected delays sleep in slices of at most this, polling the interrupt
+/// predicate between slices.
+const DELAY_SLICE: Duration = Duration::from_millis(5);
+
+/// RAII installer for the per-thread delay interrupt; restores the previous
+/// predicate (usually `None`) on drop.
+pub(crate) struct InterruptGuard {
+    prev: Option<Box<dyn Fn() -> bool>>,
+}
+
+impl Drop for InterruptGuard {
+    fn drop(&mut self) {
+        DELAY_INTERRUPT.with(|cell| *cell.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Install a delay-interrupt predicate for the calling thread (see
+/// [`DELAY_INTERRUPT`]). Used by the pooled-region worker loop so injected
+/// stalls become recoverable once the region is poisoned.
+pub(crate) fn set_delay_interrupt(pred: Box<dyn Fn() -> bool>) -> InterruptGuard {
+    let prev = DELAY_INTERRUPT.with(|cell| cell.borrow_mut().replace(pred));
+    InterruptGuard { prev }
+}
+
+/// Whether the calling thread's installed interrupt predicate (if any) says
+/// to abandon an in-progress injected delay.
+fn delay_interrupted() -> bool {
+    DELAY_INTERRUPT.with(|cell| cell.borrow().as_ref().is_some_and(|pred| pred()))
+}
+
 /// Guard returned by [`arm`]: disarms the plan when dropped and holds the
 /// global test lock so fault tests never observe each other's plans.
 pub struct PlanGuard {
@@ -221,6 +265,7 @@ impl Drop for PlanGuard {
     fn drop(&mut self) {
         ARMED.store(false, Ordering::SeqCst);
         *PLAN.lock() = None;
+        ARMED_HERE.with(|here| here.set(false));
     }
 }
 
@@ -232,7 +277,22 @@ impl fmt::Debug for PlanGuard {
 
 /// Arm a fault plan. Resets all occurrence counters. The plan stays armed
 /// until the returned guard is dropped.
+///
+/// # Panics
+///
+/// Panics if the calling thread already holds a live [`PlanGuard`]: the
+/// guard's global lock is not reentrant, so a second same-thread `arm` would
+/// otherwise deadlock silently. Arms from *different* threads serialize on
+/// the lock as before.
 pub fn arm(plan: FaultPlan) -> PlanGuard {
+    ARMED_HERE.with(|here| {
+        assert!(
+            !here.get(),
+            "faults::arm: this thread already holds a PlanGuard — drop it before \
+             arming another plan (a second arm would deadlock on the test lock)"
+        );
+        here.set(true);
+    });
     let lock = TEST_LOCK.lock();
     for c in &COUNTERS {
         c.store(0, Ordering::SeqCst);
@@ -289,7 +349,18 @@ fn on_event_armed(site: FaultSite) {
         // Jitter in [1.0, 2.0)× base, derived from (seed, site, occurrence).
         let r = splitmix64(seed ^ (site.index() as u64) << 32 ^ n);
         let factor = 1.0 + (r >> 11) as f64 / (1u64 << 53) as f64;
-        std::thread::sleep(base.mul_f64(factor));
+        // Sleep in short slices, polling the thread's interrupt predicate:
+        // a delay meant to simulate a stall must still yield once the
+        // region it is stalling has been poisoned/cancelled, or the stall
+        // would pin the region open past every deadline.
+        let until = std::time::Instant::now() + base.mul_f64(factor);
+        loop {
+            let now = std::time::Instant::now();
+            if now >= until || delay_interrupted() {
+                break;
+            }
+            std::thread::sleep(DELAY_SLICE.min(until - now));
+        }
     }
     if panic_hit {
         std::panic::panic_any(InjectedFault {
@@ -352,6 +423,48 @@ mod tests {
         assert!(FaultPlan::parse("seed:42").is_none());
         assert!(FaultPlan::parse("panic:nope@1").is_none());
         assert!(FaultPlan::parse("delay:barrier@1").is_none());
+    }
+
+    #[test]
+    fn same_thread_double_arm_panics_clearly() {
+        let _guard = arm(FaultPlan::new(1).panic_at(FaultSite::ChunkClaim, 99));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _second = arm(FaultPlan::new(2).panic_at(FaultSite::ChunkClaim, 99));
+        }))
+        .expect_err("second same-thread arm must panic, not deadlock");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("PlanGuard"), "unhelpful message: {msg}");
+        // The failed arm must not have disturbed the live plan.
+        assert!(is_armed());
+    }
+
+    #[test]
+    fn rearm_after_drop_is_fine() {
+        {
+            let _guard = arm(FaultPlan::new(1).panic_at(FaultSite::ChunkClaim, 99));
+        }
+        let _guard = arm(FaultPlan::new(2).panic_at(FaultSite::ChunkClaim, 99));
+        assert!(is_armed());
+    }
+
+    #[test]
+    fn delay_abandons_when_interrupted() {
+        let _guard =
+            arm(FaultPlan::new(9).delay_at(FaultSite::BarrierArrival, 1, Duration::from_secs(120)));
+        // Predicate fires immediately: the two-minute stall collapses to at
+        // most a couple of slices.
+        let _interrupt = set_delay_interrupt(Box::new(|| true));
+        let start = std::time::Instant::now();
+        on_event(FaultSite::BarrierArrival);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "interrupted delay still slept {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -69,6 +69,23 @@ pub struct Icvs {
     /// pool's benefit can be measured as an A/B under identical host
     /// conditions (see `syncbench`'s spawn-baseline rows).
     pub pool: bool,
+    /// Optional per-region deadline (`OMP4RS_REGION_DEADLINE`, milliseconds;
+    /// `omp_set_region_deadline`). When set, every blocking runtime wait
+    /// inside a parallel region — barriers, `taskwait`, task-group joins,
+    /// `critical`, nest-lock acquisition — is bounded: a wait still pending
+    /// when the region has run past the deadline poisons the region and
+    /// surfaces [`crate::OmpError::RegionTimeout`] on the joining thread.
+    /// `None` (the default) keeps every wait untimed and zero-overhead.
+    pub region_deadline: Option<std::time::Duration>,
+    /// Optional stall-watchdog threshold (`OMP4RS_WATCHDOG`, milliseconds).
+    /// When set, the worker pool runs a monitor thread that flags any pooled
+    /// worker busy inside a single region job for longer than this
+    /// threshold: it records a diagnostic snapshot through [`crate::ompt`]
+    /// (`watchdog-stall` events, `omp4rs.watchdog.*` counters) and poisons
+    /// the afflicted team so its region fails with
+    /// [`crate::OmpError::RegionTimeout`] instead of hanging. `None` (the
+    /// default) never starts the monitor thread.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 /// Tri-state for the minipy bytecode VM (`OMP4RS_MINIPY_VM`); mirrors
@@ -116,6 +133,8 @@ impl Default for Icvs {
             wait_policy: crate::sync::WaitPolicy::Passive,
             spin: None,
             pool: true,
+            region_deadline: None,
+            watchdog: None,
         }
     }
 }
@@ -197,6 +216,16 @@ impl Icvs {
         }
         if let Some(b) = env_bool("OMP4RS_POOL") {
             icvs.pool = b;
+        }
+        if let Some(ms) = env_usize("OMP4RS_REGION_DEADLINE") {
+            if ms > 0 {
+                icvs.region_deadline = Some(std::time::Duration::from_millis(ms as u64));
+            }
+        }
+        if let Some(ms) = env_usize("OMP4RS_WATCHDOG") {
+            if ms > 0 {
+                icvs.watchdog = Some(std::time::Duration::from_millis(ms as u64));
+            }
         }
         icvs
     }
@@ -352,6 +381,33 @@ mod tests {
         assert_eq!(spin_iters(), 3);
 
         Icvs::reset(before);
+    }
+
+    #[test]
+    fn resilience_env_parsing() {
+        let _guard = test_guard();
+
+        assert_eq!(Icvs::default().region_deadline, None);
+        assert_eq!(Icvs::default().watchdog, None);
+
+        std::env::set_var("OMP4RS_REGION_DEADLINE", "250");
+        std::env::set_var("OMP4RS_WATCHDOG", "100");
+        let icvs = Icvs::from_env();
+        assert_eq!(
+            icvs.region_deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(icvs.watchdog, Some(std::time::Duration::from_millis(100)));
+
+        // Zero and garbage both keep the (disabled) default.
+        std::env::set_var("OMP4RS_REGION_DEADLINE", "0");
+        std::env::set_var("OMP4RS_WATCHDOG", "soon");
+        let icvs = Icvs::from_env();
+        assert_eq!(icvs.region_deadline, None);
+        assert_eq!(icvs.watchdog, None);
+
+        std::env::remove_var("OMP4RS_REGION_DEADLINE");
+        std::env::remove_var("OMP4RS_WATCHDOG");
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod worksharing;
 pub use api::*;
 pub use directive::{CancelConstruct, Clause, Directive, DirectiveKind, ReductionOp, ScheduleKind};
 pub use error::OmpError;
-pub use exec::{parallel, parallel_region, ForSpec, ParallelConfig, TaskCtx, WorkerCtx};
+pub use exec::{
+    parallel, parallel_region, parallel_region_result, ForSpec, ParallelConfig, TaskCtx, WorkerCtx,
+};
 pub use faults::{FaultPlan, FaultSite, InjectedFault};
 pub use icv::{Icvs, MinipyVm};
 pub use sync::{Backend, WaitPolicy};

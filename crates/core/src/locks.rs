@@ -3,9 +3,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::{Mutex, RawMutex};
+
+/// Retry pitch for deadline-bounded lock acquisition: the raw mutexes have
+/// no timed acquire, so the deadline path polls `try_lock` at this pitch.
+/// Only threads inside a region with a deadline ICV pay for it.
+const DEADLINE_TICK: Duration = Duration::from_micros(200);
 
 /// An OpenMP simple lock (`omp_init_lock` family).
 ///
@@ -54,7 +60,32 @@ impl OmpLock {
     /// When the [`crate::ompt`] profiler is enabled, records a
     /// [`crate::ompt::EventKind::LockAcquire`] flagging whether the
     /// acquisition had to wait for another holder.
+    ///
+    /// # Panics
+    ///
+    /// Inside a region with a deadline ICV, an acquisition still blocked at
+    /// the deadline poisons the region and unwinds with
+    /// [`crate::error::OmpError::RegionTimeout`] — the team join catches it
+    /// exactly like a worker panic (locks have no cancellation return path).
     pub fn set(&self) {
+        if let Some((team, deadline)) = crate::team::current_deadline() {
+            let mut contended = false;
+            loop {
+                if self.raw.try_lock() {
+                    break;
+                }
+                contended = true;
+                let now = Instant::now();
+                if now >= deadline {
+                    std::panic::panic_any(team.trip_deadline("lock"));
+                }
+                std::thread::sleep(DEADLINE_TICK.min(deadline - now));
+            }
+            if crate::ompt::enabled() {
+                crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended });
+            }
+            return;
+        }
         if !crate::ompt::enabled() {
             self.raw.lock();
             return;
@@ -107,8 +138,15 @@ impl OmpNestLock {
 
     /// `omp_set_nest_lock`: blocks unless free or already owned by the
     /// calling thread. Returns the new nesting count.
+    ///
+    /// # Panics
+    ///
+    /// Inside a region with a deadline ICV, an acquisition still blocked at
+    /// the deadline poisons the region and unwinds with
+    /// [`crate::error::OmpError::RegionTimeout`] (see [`OmpLock::set`]).
     pub fn set(&self) -> u64 {
         let me = std::thread::current().id();
+        let bound = crate::team::current_deadline();
         loop {
             // Epoch before the ownership check: a release racing with the
             // check bumps the epoch and the park falls through.
@@ -128,7 +166,14 @@ impl OmpNestLock {
                     Some(_) => {}
                 }
             }
-            self.wake.park(epoch);
+            match &bound {
+                Some((team, deadline)) => {
+                    if self.wake.park_until(epoch, *deadline) {
+                        std::panic::panic_any(team.trip_deadline("lock"));
+                    }
+                }
+                None => self.wake.park(epoch),
+            }
         }
     }
 
@@ -198,9 +243,31 @@ pub fn critical_mutex(name: Option<&str>) -> Arc<Mutex<()>> {
 /// let result = omp4rs::locks::critical(Some("update"), || 40 + 2);
 /// assert_eq!(result, 42);
 /// ```
+/// # Panics
+///
+/// Inside a region with a deadline ICV, an acquisition still blocked at the
+/// deadline poisons the region and unwinds with
+/// [`crate::error::OmpError::RegionTimeout`] (see [`OmpLock::set`]).
 pub fn critical<R>(name: Option<&str>, f: impl FnOnce() -> R) -> R {
     let mutex = critical_mutex(name);
-    let _guard = if crate::ompt::enabled() {
+    let _guard = if let Some((team, deadline)) = crate::team::current_deadline() {
+        let mut contended = false;
+        let guard = loop {
+            if let Some(guard) = mutex.try_lock() {
+                break guard;
+            }
+            contended = true;
+            let now = Instant::now();
+            if now >= deadline {
+                std::panic::panic_any(team.trip_deadline("critical"));
+            }
+            std::thread::sleep(DEADLINE_TICK.min(deadline - now));
+        };
+        if crate::ompt::enabled() {
+            crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended });
+        }
+        guard
+    } else if crate::ompt::enabled() {
         match mutex.try_lock() {
             Some(guard) => {
                 crate::ompt::record_here(crate::ompt::EventKind::LockAcquire { contended: false });

@@ -176,6 +176,10 @@ struct Mailbox {
 /// One pooled worker: its mailbox, its private dock eventcount, and its
 /// membership bit for the idle list (guarded by the idle-list lock; prevents
 /// duplicate idle entries when a gang-affinity post bypasses the list).
+///
+/// The atomic heartbeat fields (`busy_since`, `region`, `flagged`) are the
+/// watchdog's view of this worker: written by the worker itself on job
+/// take/finish and on barrier arrivals, read by the watchdog thread.
 #[derive(Default)]
 struct WorkerSlot {
     mailbox: Mutex<Mailbox>,
@@ -183,6 +187,21 @@ struct WorkerSlot {
     /// dispatcher bumps it after filling the mailbox.
     dock: Notifier,
     listed: std::sync::atomic::AtomicBool,
+    /// Stable worker number (matches the `omp4rs-pool-N` thread name).
+    id: AtomicU64,
+    /// Heartbeat: nanoseconds since process start at the last observed
+    /// progress point (job take or barrier arrival); `0` while idle. The
+    /// watchdog flags the worker once `now - busy_since` exceeds the
+    /// threshold.
+    busy_since: AtomicU64,
+    /// Region id of the team the current job serves (`0` between jobs), so
+    /// a flagged stall can be traced back to — and poison — the right team.
+    region: AtomicU64,
+    /// Latched by the watchdog on the first stall observation for the
+    /// current job, so one stall yields one snapshot/cancel rather than one
+    /// per tick. Cleared when the worker takes its next job or makes
+    /// barrier progress.
+    flagged: std::sync::atomic::AtomicBool,
 }
 
 struct Pool {
@@ -191,21 +210,81 @@ struct Pool {
     /// worker took a gang-affinity post without being popped); `try_post`'s
     /// preconditions make stale entries harmless.
     idle: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Every worker ever spawned, for the watchdog's sweep. Pool workers
+    /// are never torn down, so this only grows (bounded by peak concurrent
+    /// demand).
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
     reuse: AtomicU64,
     spawn: AtomicU64,
     next_id: AtomicU64,
     next_master: AtomicU64,
+    /// Admission control: threads granted to in-flight top-level regions.
+    inflight: AtomicU64,
+    /// Admission outcomes (see [`admit`]).
+    granted: AtomicU64,
+    shrunk: AtomicU64,
+    shed: AtomicU64,
+    /// Watchdog outcomes: stalls flagged, teams cancelled in response.
+    wd_stalls: AtomicU64,
+    wd_cancels: AtomicU64,
 }
 
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
         idle: Mutex::new(Vec::new()),
+        slots: Mutex::new(Vec::new()),
         reuse: AtomicU64::new(0),
         spawn: AtomicU64::new(0),
         next_id: AtomicU64::new(0),
         next_master: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
+        granted: AtomicU64::new(0),
+        shrunk: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        wd_stalls: AtomicU64::new(0),
+        wd_cancels: AtomicU64::new(0),
     })
+}
+
+/// Monotonic nanoseconds since the first call (process-lifetime clock for
+/// the heartbeat fields; offset by 1 so a live heartbeat is never `0`).
+fn now_ns() -> u64 {
+    static START: OnceLock<std::time::Instant> = OnceLock::new();
+    let start = START.get_or_init(std::time::Instant::now);
+    start.elapsed().as_nanos() as u64 + 1
+}
+
+thread_local! {
+    /// The pool slot owned by this thread, when it is a pooled worker;
+    /// lets the worker (and code running inside its jobs, via
+    /// [`note_region`] / [`heartbeat`]) update its own heartbeat without
+    /// threading the slot through every call.
+    static CURRENT_SLOT: std::cell::RefCell<Option<Arc<WorkerSlot>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Record which region this pooled worker is currently serving (no-op on
+/// threads that are not pool workers). Called by `exec::run_worker` on
+/// region entry.
+pub(crate) fn note_region(region: u64) {
+    CURRENT_SLOT.with(|slot| {
+        if let Some(slot) = slot.borrow().as_ref() {
+            slot.region.store(region, Ordering::Release);
+        }
+    });
+}
+
+/// Refresh this worker's heartbeat (no-op off the pool): called at barrier
+/// arrivals so "stalled" means *no synchronization progress* for the
+/// watchdog threshold, not merely "inside a long region".
+pub(crate) fn heartbeat() {
+    CURRENT_SLOT.with(|slot| {
+        if let Some(slot) = slot.borrow().as_ref() {
+            slot.busy_since.store(now_ns(), Ordering::Release);
+            slot.flagged.store(false, Ordering::Relaxed);
+        }
+    });
 }
 
 thread_local! {
@@ -241,13 +320,17 @@ fn try_post(slot: &WorkerSlot, job: Job, latch: &Arc<RegionLatch>, master: u64) 
 ///
 /// # Aborts
 ///
-/// Aborts the process if the OS refuses to create a needed worker thread:
-/// at that point some jobs are already running against borrows the caller
-/// must outlive, so unwinding out of a half-dispatched region would be
-/// unsound. (The scoped-spawn path historically treated spawn failure as
-/// fatal too, via its `expect`.)
+/// Aborts the process if the OS still refuses to create a needed worker
+/// thread after [`spawn_worker`]'s retries: at that point some jobs are
+/// already running against borrows the caller must outlive, so unwinding
+/// out of a half-dispatched region would be unsound. (The scoped-spawn
+/// path can instead poison the team and unwind, because scoped join
+/// guarantees the spawned members exit first.)
 pub(crate) fn dispatch(jobs: Vec<Job>, latch: &Arc<RegionLatch>) {
     let p = pool();
+    if crate::icv::Icvs::current().watchdog.is_some() {
+        ensure_watchdog();
+    }
     let mut pending = jobs;
     pending.reverse();
     let mut assigned: Vec<Arc<WorkerSlot>> = Vec::with_capacity(pending.len());
@@ -298,31 +381,54 @@ fn spawn_worker(job: Job, latch: &Arc<RegionLatch>, master: u64) -> Arc<WorkerSl
     let p = pool();
     let id = p.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let slot = Arc::new(WorkerSlot::default());
+    slot.id.store(id, Ordering::Relaxed);
+    p.slots.lock().push(Arc::clone(&slot));
     {
         let mut mb = slot.mailbox.lock();
         mb.work = Some((job, Arc::clone(latch)));
         mb.owner = master;
     }
-    let worker_slot = Arc::clone(&slot);
-    let spawned = std::thread::Builder::new()
-        .name(format!("omp4rs-pool-{id}"))
-        .stack_size(WORKER_STACK)
-        .spawn(move || worker_loop(worker_slot));
-    if let Err(e) = spawned {
-        eprintln!("omp4rs: failed to spawn pool worker: {e}");
-        std::process::abort();
+    // Thread creation can fail transiently under load (EAGAIN while another
+    // process's threads wind down) — the exact situation a saturated server
+    // is in. Retry briefly before treating it as fatal; at that point jobs
+    // already posted to other workers run against borrows the caller must
+    // outlive, so unwinding would be unsound and abort is the only sound
+    // exit.
+    let mut last_err = None;
+    for attempt in 0..4u32 {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(10 << attempt));
+        }
+        let worker_slot = Arc::clone(&slot);
+        match std::thread::Builder::new()
+            .name(format!("omp4rs-pool-{id}"))
+            .stack_size(WORKER_STACK)
+            .spawn(move || worker_loop(worker_slot))
+        {
+            Ok(_) => return slot,
+            Err(e) => last_err = Some(e),
+        }
     }
-    slot
+    eprintln!(
+        "omp4rs: failed to spawn pool worker after retries: {}",
+        last_err.expect("at least one attempt ran")
+    );
+    std::process::abort();
 }
 
 fn worker_loop(slot: Arc<WorkerSlot>) {
     let p = pool();
+    CURRENT_SLOT.with(|s| *s.borrow_mut() = Some(Arc::clone(&slot)));
     loop {
         let (job, latch) = wait_for_mail(p, &slot);
+        slot.flagged.store(false, Ordering::Relaxed);
+        slot.busy_since.store(now_ns(), Ordering::Release);
         // A panicking job must not take the worker down: region poisoning
         // and panic capture happen inside the job (exec::run_worker and its
         // dispatch wrapper); the pool recycles the thread no matter what.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        slot.busy_since.store(0, Ordering::Release);
+        slot.region.store(0, Ordering::Release);
         // On the normal path the region's final-barrier releaser has
         // already zeroed this latch (`complete_all`); this decrement is the
         // release only on cancelled/poisoned paths.
@@ -368,6 +474,200 @@ fn wait_for_mail(p: &'static Pool, slot: &Arc<WorkerSlot>) -> (Job, Arc<RegionLa
             continue;
         }
         slot.dock.park(epoch);
+    }
+}
+
+/// Decide how many threads a top-level region may actually get when
+/// `omp_set_dynamic(true)` (admission control) is on.
+///
+/// The capacity cap is the `thread_limit` ICV when set, otherwise twice the
+/// host's available parallelism (floor 4) — generous enough that ordinary
+/// nesting-free workloads always fit, tight enough that a flood of
+/// concurrent top-level regions cannot pile up unbounded oversubscription.
+/// Against the cap we charge the threads already granted to in-flight
+/// regions ([`InflightGuard`]) and grant from the remaining budget:
+///
+/// * budget covers the request → **granted** as asked;
+/// * budget is at least 2 → team **shrunk** to the budget;
+/// * otherwise → **shed**: the caller runs the region serially (size 1).
+///
+/// Each outcome bumps its `omp4rs.admission.*` counter. Deliberately racy
+/// (load, not CAS-reserve): two regions admitted concurrently may both see
+/// the same budget. That errs toward briefly overshooting the soft cap
+/// rather than serializing every region entry through one atomic RMW —
+/// admission is a degradation valve, not a hard ceiling.
+pub(crate) fn admit(requested: usize, thread_limit: usize) -> usize {
+    let p = pool();
+    let cap = if thread_limit != usize::MAX && thread_limit > 0 {
+        thread_limit
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get() * 2)
+            .unwrap_or(8)
+            .max(4)
+    };
+    let inflight = p.inflight.load(Ordering::Acquire) as usize;
+    let budget = cap.saturating_sub(inflight);
+    if budget >= requested {
+        p.granted.fetch_add(1, Ordering::Relaxed);
+        requested
+    } else if budget > 1 {
+        p.shrunk.fetch_add(1, Ordering::Relaxed);
+        budget
+    } else {
+        p.shed.fetch_add(1, Ordering::Relaxed);
+        1
+    }
+}
+
+/// RAII charge against the admission budget: created by
+/// `exec::parallel_region` for every pooled top-level region (whether or
+/// not dynamic adjustment is on, so [`admit`] sees the true load), released
+/// when the region completes — including by unwind.
+pub(crate) struct InflightGuard {
+    size: u64,
+}
+
+impl InflightGuard {
+    pub(crate) fn new(size: usize) -> InflightGuard {
+        pool().inflight.fetch_add(size as u64, Ordering::AcqRel);
+        InflightGuard { size: size as u64 }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        pool().inflight.fetch_sub(self.size, Ordering::AcqRel);
+    }
+}
+
+/// Admission-control outcomes since process start (see the module notes on
+/// `admit`); also published to the profiler as `omp4rs.admission.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Regions granted their full requested team size.
+    pub granted: u64,
+    /// Regions granted a smaller-than-requested (but > 1) team.
+    pub shrunk: u64,
+    /// Regions shed to serial execution (team size 1).
+    pub shed: u64,
+    /// Threads currently charged to in-flight top-level regions.
+    pub inflight: u64,
+}
+
+/// Read the current [`AdmissionStats`].
+pub fn admission_stats() -> AdmissionStats {
+    let p = pool();
+    AdmissionStats {
+        granted: p.granted.load(Ordering::Relaxed),
+        shrunk: p.shrunk.load(Ordering::Relaxed),
+        shed: p.shed.load(Ordering::Relaxed),
+        inflight: p.inflight.load(Ordering::Acquire),
+    }
+}
+
+/// Stall-watchdog outcomes since process start; also published to the
+/// profiler as `omp4rs.watchdog.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Workers flagged as stalled (heartbeat older than the threshold).
+    pub stalls: u64,
+    /// Teams cancelled (poisoned) in response to a flagged stall.
+    pub cancels: u64,
+}
+
+/// Read the current [`WatchdogStats`].
+pub fn watchdog_stats() -> WatchdogStats {
+    let p = pool();
+    WatchdogStats {
+        stalls: p.wd_stalls.load(Ordering::Relaxed),
+        cancels: p.wd_cancels.load(Ordering::Relaxed),
+    }
+}
+
+/// Spawn the stall-watchdog monitor thread, once per process. Called from
+/// [`dispatch`] whenever the watchdog ICV (`OMP4RS_WATCHDOG`) is set, so
+/// processes that never opt in never pay for the thread.
+fn ensure_watchdog() {
+    static WATCHDOG: OnceLock<()> = OnceLock::new();
+    WATCHDOG.get_or_init(|| {
+        let spawned = std::thread::Builder::new()
+            .name("omp4rs-watchdog".into())
+            .spawn(watchdog_loop);
+        if let Err(e) = spawned {
+            // Diagnostics-only thread: losing it degrades observability,
+            // not correctness.
+            eprintln!("omp4rs: failed to spawn watchdog thread: {e}");
+        }
+    });
+}
+
+/// The monitor: sample every worker's heartbeat at roughly half the stall
+/// threshold. A worker whose heartbeat is older than the threshold is
+/// flagged once per job: the watchdog records a `watchdog-stall` profiler
+/// event and counter snapshot (per-worker state, pool queue depth), then
+/// poisons the afflicted team through the deadline machinery so its master
+/// observes a `RegionTimeout` instead of hanging.
+fn watchdog_loop() {
+    let p = pool();
+    loop {
+        let threshold = match crate::icv::Icvs::current().watchdog {
+            Some(t) => t,
+            // ICV cleared after startup: keep the thread parked cheaply.
+            None => {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                continue;
+            }
+        };
+        let thr_ns = threshold.as_nanos() as u64;
+        let now = now_ns();
+        let slots: Vec<Arc<WorkerSlot>> = p.slots.lock().clone();
+        let mut busy = 0u64;
+        for slot in &slots {
+            let since = slot.busy_since.load(Ordering::Acquire);
+            if since == 0 || since > now {
+                continue;
+            }
+            busy += 1;
+            let busy_ns = now - since;
+            if busy_ns < thr_ns || slot.flagged.swap(true, Ordering::Relaxed) {
+                continue;
+            }
+            p.wd_stalls.fetch_add(1, Ordering::Relaxed);
+            let region = slot.region.load(Ordering::Acquire);
+            let worker = slot.id.load(Ordering::Relaxed);
+            crate::ompt::record(
+                region,
+                crate::ompt::EventKind::WatchdogStall { worker, busy_ns },
+            );
+            if let Some(team) = crate::team::find_by_region(region) {
+                // Count before tripping: the trip wakes the region's master,
+                // which may read `watchdog_stats` immediately — the cancel
+                // must already be visible by then.
+                p.wd_cancels.fetch_add(1, Ordering::Relaxed);
+                team.trip_deadline("watchdog");
+            }
+        }
+        if crate::ompt::enabled() {
+            crate::ompt::set_counter(
+                "omp4rs.watchdog.stalls",
+                p.wd_stalls.load(Ordering::Relaxed),
+            );
+            crate::ompt::set_counter(
+                "omp4rs.watchdog.cancels",
+                p.wd_cancels.load(Ordering::Relaxed),
+            );
+            crate::ompt::set_counter("omp4rs.watchdog.busy_workers", busy);
+            crate::ompt::set_counter("omp4rs.watchdog.idle_workers", idle_workers() as u64);
+            crate::ompt::flush_thread();
+        }
+        // Half the threshold bounds detection latency at 1.5x the
+        // threshold; clamped so a tiny threshold cannot busy-spin the
+        // monitor and a huge one still notices ICV changes promptly.
+        let tick = (threshold / 2)
+            .max(std::time::Duration::from_millis(1))
+            .min(std::time::Duration::from_millis(500));
+        std::thread::sleep(tick);
     }
 }
 
@@ -418,6 +718,10 @@ pub(crate) fn publish_counters() {
     crate::ompt::set_counter("omp4rs.pool.spawn", s.spawn);
     crate::ompt::set_counter("omp4rs.pool.park", s.park);
     crate::ompt::set_counter("omp4rs.pool.spin_exit", s.spin_exit);
+    let a = admission_stats();
+    crate::ompt::set_counter("omp4rs.admission.granted", a.granted);
+    crate::ompt::set_counter("omp4rs.admission.shrunk", a.shrunk);
+    crate::ompt::set_counter("omp4rs.admission.shed", a.shed);
 }
 
 #[cfg(test)]
@@ -463,6 +767,40 @@ mod tests {
             after.reuse + after.spawn >= before.reuse + before.spawn + 2,
             "both dispatches must be accounted"
         );
+    }
+
+    #[test]
+    fn admit_grants_when_budget_covers_the_request() {
+        // A practically unbounded cap always covers the request, no matter
+        // what other tests have in flight.
+        let before = admission_stats();
+        assert_eq!(admit(4, 1 << 40), 4);
+        let after = admission_stats();
+        assert!(after.granted > before.granted);
+    }
+
+    #[test]
+    fn admit_sheds_to_serial_when_budget_is_exhausted() {
+        // Charge more than the cap ourselves: budget is zero regardless of
+        // concurrent tests, so the region must run serially.
+        let guard = InflightGuard::new(64);
+        let before = admission_stats();
+        assert!(before.inflight >= 64);
+        assert_eq!(admit(8, 32), 1);
+        let after = admission_stats();
+        assert!(after.shed > before.shed);
+        drop(guard);
+    }
+
+    #[test]
+    fn admit_shrinks_an_oversized_request_to_the_budget() {
+        // Leave a budget of (at most) 2 under our own load; concurrent
+        // tests can only shrink it further, never extend it past 2.
+        let guard = InflightGuard::new(64);
+        let granted = admit(8, 66);
+        assert!(granted < 8, "request must not be fully granted");
+        assert!((1..=2).contains(&granted));
+        drop(guard);
     }
 
     #[test]

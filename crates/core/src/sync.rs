@@ -14,7 +14,7 @@
 //!   `cruntime`, i.e. **Hybrid**/**Compiled** modes).
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -144,6 +144,43 @@ pub fn wait_until(notifier: &Notifier, mut pred: impl FnMut() -> bool) {
             continue;
         }
         notifier.park(epoch);
+        parked = true;
+    }
+}
+
+/// [`wait_until`] with a deadline: spin-then-park until `pred()` returns
+/// `true` or `deadline` passes.
+///
+/// Returns `true` when the predicate was satisfied, `false` on deadline
+/// expiry (the predicate may of course become true immediately after — the
+/// caller decides what a timeout means). The untimed [`wait_until`] remains
+/// the zero-overhead path when no region deadline is armed.
+pub fn wait_until_deadline(
+    notifier: &Notifier,
+    deadline: Instant,
+    mut pred: impl FnMut() -> bool,
+) -> bool {
+    let mut spins = spin_iters();
+    let mut spun = false;
+    let mut parked = false;
+    loop {
+        let epoch = notifier.epoch();
+        if pred() {
+            if spun && !parked {
+                note_spin_exit();
+            }
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        if spins > 0 {
+            spins -= 1;
+            spun = true;
+            spin_hint(spins);
+            continue;
+        }
+        notifier.park_until(epoch, deadline);
         parked = true;
     }
 }
@@ -399,6 +436,37 @@ impl Notifier {
         }
     }
 
+    /// [`park`](Notifier::park) bounded by a deadline: sleep until the epoch
+    /// advances past `observed` **or** `deadline` passes, whichever is
+    /// first. Returns `true` if the deadline had passed when the call
+    /// returned (the epoch may have advanced too — callers re-check their
+    /// predicate first, exactly as with the untimed park).
+    pub fn park_until(&self, observed: u64, deadline: Instant) -> bool {
+        let mut guard = self.mutex.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut slept = false;
+        while self.epoch.load(Ordering::SeqCst) == observed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            slept = true;
+            let timed_out = self
+                .condvar
+                .wait_for(&mut guard, deadline - now)
+                .timed_out();
+            if timed_out {
+                break;
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        if slept {
+            note_park();
+        }
+        Instant::now() >= deadline
+    }
+
     /// Block until notified or the default tick elapses.
     pub fn wait_tick(&self) {
         self.wait_timeout(Notifier::DEFAULT_TICK);
@@ -520,6 +588,50 @@ impl OmpEvent {
                 drop(guard);
                 Self::record_wait(probe);
             }
+        }
+    }
+
+    /// [`wait`](OmpEvent::wait) bounded by a deadline.
+    ///
+    /// Returns `true` if the event was observed set, `false` on deadline
+    /// expiry. Taskwait and task-group joins use this when a region
+    /// deadline is armed, so a task that never completes cannot strand its
+    /// joiner forever.
+    pub fn wait_deadline(&self, deadline: Instant) -> bool {
+        let mut spins = spin_iters();
+        let mut spun = false;
+        while spins > 0 {
+            if self.is_set() {
+                if spun {
+                    note_spin_exit();
+                }
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            spins -= 1;
+            spun = true;
+            spin_hint(spins);
+        }
+        let probe = crate::ompt::enabled().then(Instant::now);
+        let mut guard = self.state.lock();
+        loop {
+            let set = match self.backend {
+                Backend::Atomic => self.atomic.load(Ordering::Acquire),
+                Backend::Mutex => *guard,
+            };
+            if set {
+                drop(guard);
+                Self::record_wait(probe);
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            note_park();
+            let _ = self.condvar.wait_for(&mut guard, deadline - now);
         }
     }
 
@@ -908,6 +1020,55 @@ mod tests {
         wait_until(&n, || flag.load(Ordering::Acquire));
         assert!(flag.load(Ordering::Acquire));
         setter.join().unwrap();
+    }
+
+    #[test]
+    fn park_until_times_out_without_notification() {
+        let n = Notifier::new();
+        let epoch = n.epoch();
+        let start = std::time::Instant::now();
+        let expired = n.park_until(epoch, start + Duration::from_millis(5));
+        assert!(expired, "no notification arrived: the deadline must trip");
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn wait_until_deadline_reports_timeout_and_success() {
+        let n = Notifier::new();
+        let start = std::time::Instant::now();
+        assert!(
+            !wait_until_deadline(&n, start + Duration::from_millis(5), || false),
+            "a never-true predicate must time out"
+        );
+        assert!(wait_until_deadline(
+            &n,
+            std::time::Instant::now() + Duration::from_secs(5),
+            || true
+        ));
+    }
+
+    #[test]
+    fn event_wait_deadline_both_outcomes() {
+        for backend in both() {
+            let event = Arc::new(OmpEvent::new(backend));
+            let start = std::time::Instant::now();
+            assert!(
+                !event.wait_deadline(start + Duration::from_millis(5)),
+                "{backend:?}: unset event must time out"
+            );
+            let setter = {
+                let event = Arc::clone(&event);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    event.set();
+                })
+            };
+            assert!(
+                event.wait_deadline(std::time::Instant::now() + Duration::from_secs(5)),
+                "{backend:?}: a set event must satisfy the deadline wait"
+            );
+            setter.join().unwrap();
+        }
     }
 
     #[test]

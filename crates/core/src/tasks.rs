@@ -116,6 +116,14 @@ impl TaskNode {
         self.done.wait();
     }
 
+    /// Block until the task completes or `deadline` passes; returns whether
+    /// the task completed. Callers pair a `false` return with
+    /// `Team::trip_deadline`-style region poisoning — this method itself
+    /// only bounds the wait.
+    pub fn wait_done_deadline(&self, deadline: std::time::Instant) -> bool {
+        self.done.wait_deadline(deadline)
+    }
+
     /// Atomically claim the task for execution on the calling thread.
     ///
     /// Returns the body if this caller won the claim (Free → InProgress).

@@ -1,13 +1,16 @@
 //! Thread teams and the task-draining implicit barrier.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use std::cell::Cell;
 
 use crate::context;
+use crate::error::OmpError;
 use crate::faults::{self, FaultSite};
 use crate::ompt;
 use crate::sync::{self, Backend, CancelFlag, Notifier};
@@ -44,6 +47,48 @@ pub struct Team {
     /// The pooled region's completion latch (`None` for scoped/serialized
     /// teams). Taken exactly once, by the final barrier's releaser.
     final_latch: Mutex<Option<Arc<crate::pool::RegionLatch>>>,
+    /// When the region started, for [`OmpError::RegionTimeout::waited`].
+    started: Instant,
+    /// Absolute deadline bounding every blocking wait in the region
+    /// (barriers, `taskwait`, `critical`, locks), from the
+    /// `region_deadline` ICV at team creation. `None` = unbounded.
+    deadline: Option<Instant>,
+    /// First-wins typed failure (deadline trip or watchdog cancellation)
+    /// re-raised by the joining thread after all team threads exit.
+    failure: Mutex<Option<OmpError>>,
+    /// Whether this team was entered into the watchdog's region registry.
+    registered: bool,
+}
+
+/// Region-id → team map so the stall watchdog ([`crate::pool`]) can reach a
+/// team from a worker-slot heartbeat and cancel it. Teams register only when
+/// the watchdog ICV is enabled at creation time, and deregister on drop.
+fn registry() -> &'static Mutex<HashMap<u64, Weak<Team>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, Weak<Team>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up a live team by its region id (watchdog use).
+pub(crate) fn find_by_region(region: u64) -> Option<Arc<Team>> {
+    registry().lock().get(&region).and_then(Weak::upgrade)
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        if self.registered {
+            registry().lock().remove(&self.region);
+        }
+    }
+}
+
+/// The calling thread's enclosing team and its region deadline, when both
+/// exist. Used by deadline-aware primitives that live outside the team —
+/// [`crate::locks::OmpLock`], [`crate::locks::critical`] — to bound their
+/// blocking acquisitions.
+pub(crate) fn current_deadline() -> Option<(Arc<Team>, Instant)> {
+    let frame = context::current_frame()?;
+    let deadline = frame.team.deadline()?;
+    Some((Arc::clone(&frame.team), deadline))
 }
 
 impl std::fmt::Debug for Team {
@@ -66,10 +111,16 @@ const STEAL_DEPTH_LIMIT: usize = 24;
 
 impl Team {
     /// Create a team of `size` threads using the given backend.
+    ///
+    /// The region deadline and watchdog ICVs are sampled here, so a deadline
+    /// covers the whole region lifetime starting from team creation.
     pub fn new(size: usize, backend: Backend) -> Arc<Team> {
         let wake = Arc::new(Notifier::new());
         let cancelled = Arc::new(CancelFlag::new(backend));
-        Arc::new(Team {
+        let icvs = crate::icv::Icvs::current();
+        let started = Instant::now();
+        let registered = icvs.watchdog.is_some();
+        let team = Arc::new(Team {
             size: size.max(1),
             backend,
             region: ompt::new_region_id(),
@@ -83,7 +134,15 @@ impl Team {
             poisoned: CancelFlag::new(backend),
             finalists: AtomicUsize::new(0),
             final_latch: Mutex::new(None),
-        })
+            started,
+            deadline: icvs.region_deadline.map(|d| started + d),
+            failure: Mutex::new(None),
+            registered,
+        });
+        if registered {
+            registry().lock().insert(team.region, Arc::downgrade(&team));
+        }
+        team
     }
 
     /// Attach the pooled region's completion latch (set by the master
@@ -172,6 +231,72 @@ impl Team {
         self.cancel_region();
     }
 
+    /// The absolute deadline bounding blocking waits in this region, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trip the region deadline from a wait in `construct`: store a typed
+    /// [`OmpError::RegionTimeout`] (first trip wins) and poison the region so
+    /// every waiter — this thread included — exits through the cancellation
+    /// path. The joining thread re-raises the stored failure after all team
+    /// threads have left the region. Returns the error for callers with no
+    /// cancellation return path (locks, `critical`) to unwind with.
+    pub(crate) fn trip_deadline(&self, construct: &'static str) -> OmpError {
+        let waited = self.started.elapsed();
+        let err = OmpError::RegionTimeout { construct, waited };
+        {
+            let mut slot = self.failure.lock();
+            if slot.is_none() {
+                *slot = Some(err.clone());
+                ompt::record(
+                    self.region,
+                    ompt::EventKind::DeadlineTrip {
+                        wait_ns: waited.as_nanos() as u64,
+                    },
+                );
+            }
+        }
+        self.poison();
+        err
+    }
+
+    /// Probe the region deadline from a non-parked stall point (the injected
+    /// delay interrupt hook): if the deadline has passed, trip it and return
+    /// `true`. This is the only rescue path for a *serial* region (admission
+    /// shed, team of one) — there are no sibling waiters parked with the
+    /// deadline and no pool slot for the watchdog to monitor.
+    pub(crate) fn deadline_probe(&self) -> bool {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.trip_deadline("region");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Take the stored typed failure (deadline trip or watchdog), if any.
+    /// Called once by the joining thread after the region completes.
+    pub(crate) fn take_failure(&self) -> Option<OmpError> {
+        self.failure.lock().take()
+    }
+
+    /// Park on the team eventcount, bounded by the region deadline. On
+    /// expiry the deadline is tripped (poisoning the region), so the
+    /// caller's cancellation check releases it — and every other waiter —
+    /// on the next loop iteration.
+    fn park_region(&self, epoch: u64, construct: &'static str) {
+        match self.deadline {
+            Some(deadline) => {
+                if self.wake.park_until(epoch, deadline) {
+                    self.trip_deadline(construct);
+                }
+            }
+            None => self.wake.park(epoch),
+        }
+    }
+
     /// Task-draining barrier (§III-E): all threads must arrive *and* all
     /// outstanding tasks must complete before any thread proceeds. Threads
     /// waiting at the barrier execute queued tasks instead of idling, and
@@ -206,6 +331,10 @@ impl Team {
     }
 
     fn barrier_body(&self) {
+        // A barrier arrival is synchronization progress: refresh this
+        // worker's watchdog heartbeat so only threads that stop *arriving*
+        // (not merely long regions) count as stalled.
+        crate::pool::heartbeat();
         faults::on_event(FaultSite::BarrierArrival);
         // A cancelled/poisoned region's barriers are no-ops: the region is
         // exiting and no further cross-thread phase agreement exists.
@@ -229,7 +358,7 @@ impl Team {
                 if self.cancelled.is_set() || self.tasks.outstanding() == 0 {
                     return;
                 }
-                self.wake.park(epoch);
+                self.park_region(epoch, "barrier");
             }
         }
         // Sense-reversing wait: `generation` is the sense — a thread is
@@ -289,7 +418,7 @@ impl Team {
                 sync::spin_hint(spins);
                 continue;
             }
-            self.wake.park(epoch);
+            self.park_region(epoch, "barrier");
         }
     }
 
@@ -370,6 +499,13 @@ impl Team {
         let mut spins = sync::spin_iters();
         loop {
             let epoch = self.wake.epoch();
+            // Cancellation point: a cancelled/poisoned region's `taskwait`
+            // releases immediately (queued children were discarded by the
+            // cancel; an in-progress child may still be finishing on another
+            // thread, which never touches this thread's stack).
+            if self.cancelled.is_set() {
+                return;
+            }
             frame.prune_done_children();
             let children = frame.current_children();
             if children.iter().all(|c| c.is_done()) {
@@ -399,7 +535,7 @@ impl Team {
                 sync::spin_hint(spins);
                 continue;
             }
-            self.wake.park(epoch);
+            self.park_region(epoch, "taskwait");
         }
     }
 

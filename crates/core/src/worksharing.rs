@@ -102,9 +102,19 @@ impl WsInstance {
     /// programming error equivalent to mismatched copyprivate types in C.
     /// Also panics if the region is cancelled/poisoned before the value is
     /// published (the `single` winner died): converting the would-be hang
-    /// into a panic that region teardown re-raises.
+    /// into a panic that region teardown re-raises. Inside a region with a
+    /// deadline ICV the wait is bounded: on expiry the region is poisoned
+    /// and the thread unwinds with [`crate::error::OmpError::RegionTimeout`].
     pub fn copyprivate_read<T: Clone + 'static>(&self) -> T {
-        crate::sync::wait_until(&self.wake, || self.cp_event.is_set() || self.is_cancelled());
+        let pred = || self.cp_event.is_set() || self.is_cancelled();
+        match crate::team::current_deadline() {
+            Some((team, deadline)) => {
+                if !crate::sync::wait_until_deadline(&self.wake, deadline, pred) {
+                    std::panic::panic_any(team.trip_deadline("single"));
+                }
+            }
+            None => crate::sync::wait_until(&self.wake, pred),
+        }
         if !self.cp_event.is_set() {
             panic!("copyprivate value abandoned: region cancelled or poisoned before publish");
         }
@@ -140,11 +150,19 @@ impl WsInstance {
     ///
     /// Returns early (without its turn) when the instance or region is
     /// cancelled: the thread whose turn it is may be gone, and a cancelled
-    /// loop no longer promises iteration ordering.
+    /// loop no longer promises iteration ordering. Inside a region with a
+    /// deadline ICV the wait is bounded: on expiry the region is poisoned
+    /// and the thread unwinds with [`crate::error::OmpError::RegionTimeout`].
     pub fn ordered_enter(&self, flat_iter: u64) {
-        crate::sync::wait_until(&self.wake, || {
-            self.ordered_next.load(Ordering::Acquire) == flat_iter || self.is_cancelled()
-        });
+        let pred = || self.ordered_next.load(Ordering::Acquire) == flat_iter || self.is_cancelled();
+        match crate::team::current_deadline() {
+            Some((team, deadline)) => {
+                if !crate::sync::wait_until_deadline(&self.wake, deadline, pred) {
+                    std::panic::panic_any(team.trip_deadline("ordered"));
+                }
+            }
+            None => crate::sync::wait_until(&self.wake, pred),
+        }
     }
 
     /// Finish the `ordered` region for `flat_iter`, releasing the next one.

@@ -1,0 +1,148 @@
+//! Retry policy for transient-failure recovery.
+//!
+//! A lossy interconnect ([`crate::NetModel`] with a nonzero drop
+//! probability) turns sends into best-effort deliveries. [`RetryPolicy`]
+//! bundles the knobs a reliable layer needs — attempt cap, per-attempt
+//! receive deadline, and exponential backoff with deterministic jitter — so
+//! `Comm::send_reliable` / the `_resilient` collectives can recover from
+//! transient loss while still converting a permanently dead peer into a
+//! typed [`crate::MpiError::RetriesExhausted`] within bounded time.
+
+use std::time::Duration;
+
+/// SplitMix64: tiny, seedable, statistically fine for jitter and loss
+/// decisions. Deterministic — the same seed replays the same schedule,
+/// which the chaos-soak harness relies on for exact counter assertions.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform float in `[0, 1)`.
+pub(crate) fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Knobs for the reliable point-to-point and collective operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts before giving up (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt `k` (1-based retries) is
+    /// `base_backoff * 2^(k-1)`, scaled by a jitter factor in `[0.5, 1.5)`.
+    pub base_backoff: Duration,
+    /// Deadline applied to each attempt's acknowledgement / receive wait.
+    pub per_attempt_timeout: Duration,
+    /// Jitter seed; the same seed yields the same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            per_attempt_timeout: Duration::from_millis(200),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Build a policy from the `MINIMPI_RETRY` environment variable.
+    ///
+    /// Grammar: comma-separated `key:value` pairs, e.g.
+    /// `attempts:4,backoff_ms:5,timeout_ms:200,seed:1`. Unknown keys and
+    /// malformed pairs are ignored; absent keys keep their defaults, and an
+    /// unset variable yields `RetryPolicy::default()`.
+    pub fn from_env() -> RetryPolicy {
+        match std::env::var("MINIMPI_RETRY") {
+            Ok(spec) => RetryPolicy::parse(&spec),
+            Err(_) => RetryPolicy::default(),
+        }
+    }
+
+    /// Parse a `MINIMPI_RETRY`-style spec (see [`RetryPolicy::from_env`]).
+    pub fn parse(spec: &str) -> RetryPolicy {
+        let mut policy = RetryPolicy::default();
+        for pair in spec.split(',') {
+            let Some((key, value)) = pair.split_once(':') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (key, value.parse::<u64>()) {
+                ("attempts", Ok(n)) if n >= 1 => policy.max_attempts = n as u32,
+                ("backoff_ms", Ok(ms)) => policy.base_backoff = Duration::from_millis(ms),
+                ("timeout_ms", Ok(ms)) if ms >= 1 => {
+                    policy.per_attempt_timeout = Duration::from_millis(ms);
+                }
+                ("seed", Ok(s)) => policy.seed = s,
+                _ => {}
+            }
+        }
+        policy
+    }
+
+    /// Backoff to sleep before retry number `attempt` (1-based; attempt 0
+    /// is the initial try and never sleeps): exponential in the attempt
+    /// number with a deterministic jitter factor in `[0.5, 1.5)` so
+    /// simultaneous retriers decorrelate.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let jitter = 0.5 + unit(splitmix64(self.seed ^ u64::from(attempt)));
+        exp.mul_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::ZERO);
+        let b1 = p.backoff(1);
+        let b3 = p.backoff(3);
+        // Jitter is bounded to [0.5, 1.5): growth dominates it by attempt 3.
+        assert!(b3 > b1, "{b3:?} vs {b1:?}");
+        assert_eq!(p.backoff(2), p.backoff(2), "same seed, same schedule");
+        assert!(b1 >= Duration::from_millis(1) && b1 < Duration::from_millis(3));
+    }
+
+    #[test]
+    fn env_grammar_overrides_defaults() {
+        // Parse directly (no process-global env mutation in tests): this is
+        // the same function from_env feeds.
+        let p = RetryPolicy::parse("attempts:7, backoff_ms:9, timeout_ms:50, seed:3, junk, bad:x");
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.base_backoff, Duration::from_millis(9));
+        assert_eq!(p.per_attempt_timeout, Duration::from_millis(50));
+        assert_eq!(p.seed, 3);
+    }
+
+    #[test]
+    fn malformed_specs_fall_back_to_defaults() {
+        assert_eq!(RetryPolicy::parse(""), RetryPolicy::default());
+        assert_eq!(RetryPolicy::parse("attempts:0"), RetryPolicy::default());
+        assert_eq!(RetryPolicy::parse(":::,,,"), RetryPolicy::default());
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

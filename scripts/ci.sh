@@ -36,6 +36,10 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
     # reduction, single, task x backends x wait policies) completes and
     # reports a finite overhead — the pool/waiting machinery stays sound.
     run cargo run --release -p omp4rs-bench --bin syncbench -- --check --trials 2
+    # Resilience contract: a short seeded chaos soak (injected worker panic
+    # + injected stall + minimpi rank failures, simultaneously) must finish
+    # with zero hangs, zero cascading panics, and exact degradation counts.
+    run cargo run --release -p omp4rs-bench --bin soak -- --check
 fi
 
 echo
