@@ -1,30 +1,56 @@
-//! Trace-overhead microbenchmark: what does the OMPT-style profiler cost?
+//! Trace-overhead microbenchmark: what does the OMPT-style profiler cost,
+//! and how much event traffic can the trace pipeline sustain?
 //!
-//! Runs an event-dense workload — a `schedule(dynamic, 1)` parallel loop
-//! whose every chunk claim and completion is an event, plus the region's
-//! barriers — once with the profiler enabled and once disabled, several
-//! trials each, and reports:
+//! Two sections:
 //!
-//! * events recorded per second of wall-clock while enabled (mean ± σ),
-//! * per-event overhead: the enabled-vs-disabled time delta divided by the
-//!   number of events recorded,
-//! * the disabled-run invariant: **zero** events recorded.
+//! 1. **A/B overhead.** Runs an event-dense workload — a
+//!    `schedule(dynamic, 1)` parallel loop whose every chunk claim and
+//!    completion is an event, plus the region's barriers — once with the
+//!    profiler enabled and once disabled, several trials each, and reports
+//!    events/sec, per-event overhead, and the disabled-run invariant
+//!    (**zero** events recorded).
+//! 2. **Sustained throughput per overflow policy.** For each of
+//!    `drop-oldest`, `drop-newest`, and `block`, runs the same event-dense
+//!    regions for a fixed wall-clock window through the full production
+//!    pipeline — bounded per-thread rings, the dedicated flusher, and a
+//!    rotating streaming sink — and reports events/sec drained, events
+//!    dropped, the bounded-memory guarantee (`rings × capacity ×
+//!    sizeof(Event)`), and whether a lossy run's `omp4rs.trace.dropped`
+//!    counter landed in the trace footer.
 //!
 //! ```text
-//! overhead [--trials N] [--iters N] [--check]
+//! overhead [--trials N] [--iters N] [--ring N] [--sustained-ms N] [--json] [--check]
 //! ```
 //!
-//! `--check` exits nonzero unless (a) disabled runs record no events and
-//! (b) an enabled run's Chrome-trace dump passes the shape validator —
-//! the CI hook for the profiler's "inert unless armed" contract.
+//! `--check` exits nonzero unless (a) disabled runs record no events,
+//! (b) an enabled run's Chrome-trace dump passes the shape validator,
+//! (c) lossy policies on a tiny ring report drops in both the stats and the
+//! trace footer, and (d) the `block` policy loses nothing. For (c) the
+//! flusher is paused during lossy runs ([`ompt::set_flusher_paused`]) so the
+//! tiny ring deterministically overflows. `--json` writes the machine-
+//! readable document (`scripts/bench.sh` captures it as BENCH_trace.json)
+//! to stdout and moves the human-readable report to stderr.
 
 use omp4rs::exec::{parallel, ForSpec};
-use omp4rs::ompt;
+use omp4rs::ompt::{self, TracePolicy};
 
-/// One timed run of the event-dense loop; returns (seconds, events recorded).
-fn run_once(iters: i64, threads: usize) -> (f64, usize) {
-    let before = ompt::events().len();
-    let start = std::time::Instant::now();
+static JSON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Human-readable output: stdout normally, stderr under `--json` (stdout is
+/// then reserved for the JSON document).
+macro_rules! say {
+    ($($t:tt)*) => {
+        if JSON.load(std::sync::atomic::Ordering::Relaxed) {
+            eprintln!($($t)*);
+        } else {
+            println!($($t)*);
+        }
+    };
+}
+
+/// The event-dense region: a `dynamic,1` loop recording two events per
+/// iteration plus the region's begin/end/barrier events.
+fn run_region(iters: i64, threads: usize) {
     let sink = std::sync::atomic::AtomicU64::new(0);
     parallel(&format!("num_threads({threads})"), |ctx| {
         let mut local = 0u64;
@@ -37,8 +63,15 @@ fn run_once(iters: i64, threads: usize) -> (f64, usize) {
         );
         sink.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
     });
-    let seconds = start.elapsed().as_secs_f64();
     std::hint::black_box(sink.into_inner());
+}
+
+/// One timed run of the event-dense loop; returns (seconds, events recorded).
+fn run_once(iters: i64, threads: usize) -> (f64, usize) {
+    let before = ompt::events().len();
+    let start = std::time::Instant::now();
+    run_region(iters, threads);
+    let seconds = start.elapsed().as_secs_f64();
     (seconds, ompt::events().len() - before)
 }
 
@@ -47,6 +80,124 @@ fn mean_sigma(xs: &[f64]) -> (f64, f64) {
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
     (mean, var.sqrt())
+}
+
+/// One sustained-throughput measurement through the full pipeline.
+struct Sustained {
+    policy: TracePolicy,
+    ring: usize,
+    threads: usize,
+    seconds: f64,
+    flushed: u64,
+    dropped: u64,
+    rings: usize,
+    bounded_bytes: usize,
+    parts: usize,
+    parts_valid: bool,
+    footer_drops: bool,
+}
+
+impl Sustained {
+    fn events_per_sec(&self) -> f64 {
+        self.flushed as f64 / self.seconds.max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"policy\":\"{}\",\"ring\":{},\"threads\":{},\"seconds\":{:.3},\
+             \"flushed\":{},\"dropped\":{},\"events_per_sec\":{:.0},\
+             \"rings\":{},\"bounded_bytes\":{},\"parts\":{},\
+             \"parts_valid\":{},\"footer_drops\":{}}}",
+            self.policy.name(),
+            self.ring,
+            self.threads,
+            self.seconds,
+            self.flushed,
+            self.dropped,
+            self.events_per_sec(),
+            self.rings,
+            self.bounded_bytes,
+            self.parts,
+            self.parts_valid,
+            self.footer_drops
+        )
+    }
+}
+
+/// Run event-dense regions through a streaming (rotating) session under the
+/// given policy for `ms` of wall-clock, then finalize and inspect the parts.
+///
+/// `pause_flusher` holds the dedicated flusher off during the measurement so
+/// a tiny ring deterministically overflows (`--check` uses it for the lossy
+/// policies); inline region-end drains still feed the sink, and shutdown
+/// drains everything that remains.
+fn sustained_run(
+    policy: TracePolicy,
+    ring: usize,
+    threads: usize,
+    ms: u64,
+    iters: i64,
+    pause_flusher: bool,
+) -> Sustained {
+    let base = std::env::temp_dir().join(format!(
+        "overhead_sustained_{}_{}.json",
+        policy.name(),
+        std::process::id()
+    ));
+    let base = base.display().to_string();
+    let session = ompt::session(ompt::ToolConfig {
+        trace_path: Some(base.clone()),
+        summary: false,
+        ring_capacity: ring,
+        policy,
+        rotate_kib: Some(128),
+        rotate_keep: 3,
+    });
+    ompt::set_flusher_paused(pause_flusher);
+    let start = std::time::Instant::now();
+    let deadline = start + std::time::Duration::from_millis(ms);
+    while std::time::Instant::now() < deadline {
+        run_region(iters, threads);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    ompt::set_flusher_paused(false);
+    let stats = ompt::ring_stats();
+    let final_part = ompt::finalize().expect("trace parts writable");
+    drop(session);
+
+    // Look for the drop counter in the *final* part's footer (rotation
+    // stamps the running total into every part it closes), then probe the
+    // rotation output: count surviving parts, validate, and clean up.
+    let footer_drops = final_part
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .is_some_and(|text| text.contains("\"omp4rs.trace.dropped\""));
+    let mut parts = 0usize;
+    let mut parts_valid = true;
+    // Pruning means surviving part indices need not start at 0 (a long run
+    // rotates far past the keep window); scan a wide index range.
+    let stem = base.strip_suffix(".json").unwrap_or(&base);
+    for idx in 0..4096 {
+        let path = format!("{stem}.{idx}.json");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            parts += 1;
+            parts_valid &= ompt::validate_chrome_trace(&text).is_ok();
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    Sustained {
+        policy,
+        ring,
+        threads,
+        seconds,
+        flushed: stats.flushed,
+        dropped: stats.dropped,
+        rings: stats.rings,
+        bounded_bytes: stats.bounded_bytes(),
+        parts,
+        parts_valid,
+        footer_drops,
+    }
 }
 
 fn main() {
@@ -58,14 +209,16 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
+    let check = args.iter().any(|a| a == "--check");
+    let json = args.iter().any(|a| a == "--json");
+    JSON.store(json, std::sync::atomic::Ordering::Relaxed);
     let trials = get("--trials", 7).max(2);
     let iters = get("--iters", 20_000) as i64;
-    let check = args.iter().any(|a| a == "--check");
+    let ring = get("--ring", if check { 256 } else { 2048 }).max(1);
+    let sustained_ms = get("--sustained-ms", if check { 300 } else { 1000 }) as u64;
     let threads = 4;
 
-    println!(
-        "profiler overhead: {trials} trials, dynamic,1 loop of {iters} iters, {threads} threads"
-    );
+    say!("profiler overhead: {trials} trials, dynamic,1 loop of {iters} iters, {threads} threads");
 
     // Warm up thread pools and code paths outside any session.
     {
@@ -94,6 +247,7 @@ fn main() {
         let session = ompt::session(ompt::ToolConfig {
             trace_path: Some(trace_path.display().to_string()),
             summary: false,
+            ..Default::default()
         });
         for _ in 0..trials {
             let (secs, events) = run_once(iters, threads);
@@ -119,34 +273,83 @@ fn main() {
         0.0
     };
 
-    println!(
+    say!(
         "  disabled: {:.3} ± {:.3} ms/run, {} events recorded",
         dis_mean * 1e3,
         dis_sigma * 1e3,
         disabled_events
     );
-    println!(
+    say!(
         "  enabled:  {:.3} ± {:.3} ms/run, {:.0} ± {:.0} events/run",
         en_mean * 1e3,
         en_sigma * 1e3,
         ev_mean,
         ev_sigma
     );
-    println!(
+    say!(
         "  rate:     {:.0} ± {:.0} events/sec while enabled",
-        rate_mean, rate_sigma
+        rate_mean,
+        rate_sigma
     );
-    println!(
+    say!(
         "  overhead: {:+.1}% wall-clock ({:.0} ns per recorded event)",
         100.0 * delta / dis_mean.max(1e-12),
         per_event_ns
     );
     match &trace_result {
-        Ok(stats) => println!(
+        Ok(stats) => say!(
             "  trace:    {} events, {} counters — valid Chrome trace",
-            stats.events, stats.counters
+            stats.events,
+            stats.counters
         ),
-        Err(e) => println!("  trace:    INVALID: {e}"),
+        Err(e) => say!("  trace:    INVALID: {e}"),
+    }
+
+    // Sustained throughput per overflow policy, through the full pipeline
+    // (ring buffers -> flusher -> rotating stream sink). Lossy policies run
+    // with the flusher paused under --check so the tiny ring must overflow;
+    // `block` always keeps the flusher live (it is what makes block make
+    // progress without self-draining every slice).
+    say!("sustained pipeline throughput: ring={ring} events/thread, {sustained_ms} ms per policy");
+    let mut sustained = Vec::new();
+    for policy in [
+        TracePolicy::DropOldest,
+        TracePolicy::DropNewest,
+        TracePolicy::Block,
+    ] {
+        let pause = check && policy != TracePolicy::Block;
+        let row = sustained_run(policy, ring, threads, sustained_ms, iters, pause);
+        say!(
+            "  {:<12} {:>9.0} events/sec drained, {:>7} dropped, {} rings x {} cap = {:.0} KiB bound, {} part(s){}{}",
+            row.policy.name(),
+            row.events_per_sec(),
+            row.dropped,
+            row.rings,
+            row.ring,
+            row.bounded_bytes as f64 / 1024.0,
+            row.parts,
+            if row.parts_valid { "" } else { " [INVALID PART]" },
+            if row.footer_drops { " [drops in footer]" } else { "" }
+        );
+        sustained.push(row);
+    }
+
+    if json {
+        let rows: Vec<String> = sustained.iter().map(Sustained::json).collect();
+        println!(
+            "{{\n \"benchmark\": \"trace-pipeline\",\n \"threads\": {},\n \"iters\": {},\n \
+             \"overhead\": {{\"disabled_ms\": {:.4}, \"enabled_ms\": {:.4}, \
+             \"events_per_run\": {:.0}, \"events_per_sec\": {:.0}, \"per_event_ns\": {:.1}}},\n \
+             \"sustained\": [\n  {}\n ]\n}}",
+            threads,
+            iters,
+            dis_mean * 1e3,
+            en_mean * 1e3,
+            ev_mean,
+            rate_mean,
+            per_event_ns,
+            rows.join(",\n  ")
+        );
     }
 
     if check {
@@ -163,9 +366,48 @@ fn main() {
             eprintln!("CHECK FAILED: Chrome trace did not validate: {e}");
             failed = true;
         }
+        for row in &sustained {
+            let name = row.policy.name();
+            if row.flushed == 0 {
+                eprintln!("CHECK FAILED: {name} drained no events through the pipeline");
+                failed = true;
+            }
+            if !row.parts_valid || row.parts == 0 {
+                eprintln!("CHECK FAILED: {name} produced missing/invalid trace parts");
+                failed = true;
+            }
+            match row.policy {
+                TracePolicy::Block => {
+                    if row.dropped != 0 {
+                        eprintln!("CHECK FAILED: block policy dropped {} events", row.dropped);
+                        failed = true;
+                    }
+                }
+                TracePolicy::DropOldest | TracePolicy::DropNewest => {
+                    if row.dropped == 0 {
+                        eprintln!(
+                            "CHECK FAILED: {name} on a {ring}-slot ring dropped nothing \
+                             (overflow never engaged?)"
+                        );
+                        failed = true;
+                    }
+                    if !row.footer_drops {
+                        eprintln!(
+                            "CHECK FAILED: {name} dropped {} events but the trace footer \
+                             has no omp4rs.trace.dropped entry",
+                            row.dropped
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
         if failed {
             std::process::exit(1);
         }
-        println!("  check:    OK (disabled records nothing; enabled trace validates)");
+        say!(
+            "  check:    OK (disabled records nothing; enabled trace validates; \
+             lossy drops surface in stats + footer; block is lossless)"
+        );
     }
 }

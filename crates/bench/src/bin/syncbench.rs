@@ -25,13 +25,17 @@
 //!
 //! ```text
 //! syncbench [--threads 1,2,4] [--trials N] [--inner N] [--outer N]
-//!           [--json] [--check]
+//!           [--json] [--check] [--trace]
 //! ```
 //!
 //! `--json` emits one row per (construct, backend, policy, threads) for
 //! `scripts/bench.sh` to assemble into `BENCH_sync.json`. `--check` runs a
 //! small sweep and exits nonzero unless every construct completed and every
-//! overhead number is finite and positive (the CI hook).
+//! overhead number is finite and positive (the CI hook). `--trace` arms the
+//! streaming trace pipeline for the whole sweep and reports what it
+//! sustained ([`omp4rs_bench::traceprobe`]) — every overhead number is then
+//! measured *with* event recording on, so diffing against an untraced run
+//! prices tracing per construct.
 
 use std::time::Instant;
 
@@ -287,7 +291,8 @@ fn knobs_for(threads: usize, trials: usize, outer: usize, inner: usize) -> Knobs
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let probe = omp4rs_bench::traceprobe::begin(&mut args, "syncbench");
     let get = |flag: &str, default: usize| -> usize {
         args.iter()
             .position(|a| a == flag)
@@ -375,10 +380,17 @@ fn main() {
     // Leave the ICVs as a fresh process would see them.
     std::env::remove_var("OMP_WAIT_POLICY");
     Icvs::reset(Icvs::from_env());
+    let trace = probe.finish();
 
     if json {
         let body = rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n  ");
-        println!("{{\n \"benchmark\": \"syncbench\",\n \"rows\": [\n  {body}\n ]\n}}");
+        let trace_member = trace
+            .as_ref()
+            .map(|t| format!(",\n \"trace\": {}", t.json()))
+            .unwrap_or_default();
+        println!(
+            "{{\n \"benchmark\": \"syncbench\",\n \"rows\": [\n  {body}\n ]{trace_member}\n}}"
+        );
     } else {
         println!("construct overhead (ns/op):");
         println!(
@@ -395,6 +407,9 @@ fn main() {
                 row.ns_per_op,
                 row.ns_per_op_min
             );
+        }
+        if let Some(report) = &trace {
+            println!("{}", report.line());
         }
     }
 

@@ -29,6 +29,7 @@
 pub mod calibrate;
 pub mod figures;
 pub mod profile;
+pub mod traceprobe;
 
 pub use calibrate::{measure_primitives, PrimitiveCosts};
 pub use figures::{

@@ -43,6 +43,7 @@ pub fn begin(args: &mut Vec<String>, label: &'static str) -> Profile {
         omp4rs::ompt::enable(omp4rs::ompt::ToolConfig {
             trace_path: Some(format!("trace_{label}.json")),
             summary: true,
+            ..Default::default()
         });
     }
     let active = omp4rs::ompt::enabled();

@@ -1,0 +1,150 @@
+//! `--trace` support for the load-generating binaries (`soak`, `syncbench`).
+//!
+//! Where `--profile` ([`crate::profile`]) is about *reading* a run's trace,
+//! `--trace` is about *stressing the trace pipeline itself*: it arms a
+//! streaming session — bounded per-thread rings, the dedicated flusher, a
+//! rotating part-file sink — underneath whatever load the binary generates,
+//! and reports what the pipeline sustained: events drained per second,
+//! events dropped by the overflow policy, and whether every rotated part was
+//! a valid Chrome trace. Part files land in the temp directory and are
+//! removed after inspection; the point is the throughput numbers, not the
+//! trace contents.
+//!
+//! Note that the numbers the binary itself reports are then measured *with
+//! tracing armed* — compare against an untraced run to see what event
+//! recording costs that workload. Ring capacity and overflow policy follow
+//! the environment (`OMP4RS_TRACE_RING`, `OMP4RS_TRACE_POLICY`).
+//!
+//! ```no_run
+//! let mut args: Vec<String> = std::env::args().skip(1).collect();
+//! let probe = omp4rs_bench::traceprobe::begin(&mut args, "soak");
+//! // ... generate load ...
+//! if let Some(report) = probe.finish() {
+//!     eprintln!("{}", report.line());
+//! }
+//! ```
+
+use omp4rs::ompt;
+
+/// Handle returned by [`begin`]; call [`TraceProbe::finish`] after the run.
+#[must_use = "call finish() after the run to report pipeline throughput"]
+pub struct TraceProbe {
+    /// `Some` while a probe session is live: the session guard, the
+    /// wall-clock start, and the base trace path the parts rotate under.
+    armed: Option<(ompt::Session, std::time::Instant, String)>,
+}
+
+/// What the pipeline sustained during the probed run.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Wall-clock seconds the probe was armed.
+    pub seconds: f64,
+    /// Events drained out of the rings into the rotating sink.
+    pub flushed: u64,
+    /// Events dropped by the overflow policy (0 under `block`).
+    pub dropped: u64,
+    /// Rotated part files the run produced.
+    pub parts: usize,
+    /// Whether every part passed the Chrome-trace shape validator.
+    pub parts_valid: bool,
+}
+
+impl TraceReport {
+    /// Events per second drained through the pipeline.
+    pub fn events_per_sec(&self) -> f64 {
+        self.flushed as f64 / self.seconds.max(1e-12)
+    }
+
+    /// One human-readable summary line.
+    pub fn line(&self) -> String {
+        format!(
+            "trace pipeline: {} events drained ({:.0}/s), {} dropped, {} part(s){}",
+            self.flushed,
+            self.events_per_sec(),
+            self.dropped,
+            self.parts,
+            if self.parts_valid {
+                ""
+            } else {
+                " [INVALID PART]"
+            }
+        )
+    }
+
+    /// The `"trace"` member for a binary's `--json` document.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"seconds\":{:.3},\"flushed\":{},\"dropped\":{},\
+             \"events_per_sec\":{:.0},\"parts\":{},\"parts_valid\":{}}}",
+            self.seconds,
+            self.flushed,
+            self.dropped,
+            self.events_per_sec(),
+            self.parts,
+            self.parts_valid
+        )
+    }
+}
+
+/// Strip `--trace` from `args`; if it was present, arm a streaming session
+/// (rotating part files under the temp directory) for the rest of the run.
+pub fn begin(args: &mut Vec<String>, label: &str) -> TraceProbe {
+    let flagged = {
+        let before = args.len();
+        args.retain(|a| a != "--trace");
+        args.len() != before
+    };
+    if !flagged {
+        return TraceProbe { armed: None };
+    }
+    let base = std::env::temp_dir()
+        .join(format!("trace_{label}_{}.json", std::process::id()))
+        .display()
+        .to_string();
+    let session = ompt::session(ompt::ToolConfig {
+        trace_path: Some(base.clone()),
+        summary: false,
+        rotate_kib: Some(256),
+        ..Default::default()
+    });
+    TraceProbe {
+        armed: Some((session, std::time::Instant::now(), base)),
+    }
+}
+
+impl TraceProbe {
+    /// Whether this run is being traced.
+    pub fn active(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// Drain and close the session, inspect + delete the rotated parts, and
+    /// return the throughput report. `None` when `--trace` was not given.
+    pub fn finish(self) -> Option<TraceReport> {
+        let (session, start, base) = self.armed?;
+        let seconds = start.elapsed().as_secs_f64();
+        let stats = ompt::ring_stats();
+        let _ = ompt::finalize();
+        drop(session);
+        let mut parts = 0usize;
+        let mut parts_valid = true;
+        // Pruning means surviving part indices need not start at 0; scan the
+        // whole index range rather than stopping at the first gap.
+        let stem = base.strip_suffix(".json").unwrap_or(&base);
+        for idx in 0..4096 {
+            let path = format!("{stem}.{idx}.json");
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                parts += 1;
+                parts_valid &= ompt::validate_chrome_trace(&text).is_ok();
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Some(TraceReport {
+            seconds,
+            flushed: stats.flushed,
+            dropped: stats.dropped,
+            parts,
+            parts_valid,
+        })
+    }
+}

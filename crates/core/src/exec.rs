@@ -575,6 +575,11 @@ fn run_worker<'env, F>(
     // counted, so an unwinding barrier implies the region can never release
     // — the pooled latch then drains via per-job completions and the
     // `panic_slot` write below stays race-free against the master's exit.)
+    // Epilogue marker, taken before the final-barrier arrival: the pooled
+    // latch can release the master the instant the barrier flips, so this is
+    // what lets `ompt::events()` wait out the BarrierExit/ParallelEnd records
+    // still in flight on worker threads.
+    let _epilogue = crate::ompt::epilogue_begin();
     team.note_final_arrival();
     if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| team.barrier())) {
         team.poison();

@@ -20,7 +20,11 @@
 //!   ([`reduction`]);
 //! * a **compiled-mode execution API** ([`exec`]) used by the paper's
 //!   Compiled/CompiledDT analogues (native closures driven by directive
-//!   clause strings).
+//!   clause strings);
+//! * an **OMPT-inspired trace pipeline** ([`ompt`]): bounded per-thread
+//!   event rings drained by a dedicated flusher into per-region summaries
+//!   and (rotating) Chrome-trace files, with explicit overflow policies —
+//!   see `docs/OBSERVABILITY.md` for the full event/counter model.
 //!
 //! The interpreted **Pure**/**Hybrid** modes live in the companion
 //! `omp4rs-pyfront` crate, which rewrites `@omp`-decorated minipy functions

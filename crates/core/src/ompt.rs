@@ -14,13 +14,28 @@
 //! * **Inert unless enabled.** Every hook first performs a single relaxed
 //!   atomic load ([`enabled`]) — the same pattern as [`crate::faults`] — so
 //!   figure benchmarks are unperturbed when `OMP_TOOL` is unset.
-//! * **Lock-free recording.** Enabled hooks append to a *per-thread* event
-//!   buffer (a plain thread-local `Vec`); no shared state is touched on the
-//!   hot path, so the profiler itself cannot introduce the contention it is
-//!   trying to measure. Buffers drain into a global collector at the end of
-//!   each team thread's region body ([`flush_thread`]), when [`events`]
-//!   flushes the calling thread, or — as a safety net for threads outside
-//!   any team — when the thread exits.
+//! * **Bounded per-thread rings.** Enabled hooks append to a *per-thread*
+//!   fixed-capacity ring buffer (capacity from [`ToolConfig::ring_capacity`] /
+//!   `OMP4RS_TRACE_RING`), so memory under sustained load is bounded by
+//!   `ring capacity × recording threads × sizeof(Event)` ([`ring_stats`]
+//!   reports the exact figure). No *global* state is touched on the hot
+//!   path — only the thread's own uncontended ring lock — so the profiler
+//!   cannot introduce the cross-thread contention it is trying to measure.
+//! * **A dedicated flusher.** Enabling collection lazily spawns one
+//!   `omp4rs-trace-flusher` thread that periodically (and on half-full
+//!   wakeups) drains every ring into the collector — or, in rotation mode
+//!   ([`ToolConfig::rotate_kib`]), streams them straight into rotating
+//!   Chrome-trace part files so even the collected output is bounded.
+//!   Shutdown ordering is strict: [`finalize`] and [`disable`] stop and join
+//!   the flusher, then drain every ring, *then* render — no events are lost
+//!   on a normal exit and the summary never races a live drain.
+//! * **Explicit overflow policies.** A full ring applies
+//!   [`ToolConfig::policy`] (`OMP4RS_TRACE_POLICY`): `drop-oldest` (default),
+//!   `drop-newest`, or `block`. Drops are counted per ring and surface as the
+//!   `omp4rs.trace.dropped` counter in [`counters`], the summary, and the
+//!   trace footer — truncation is never silent. `block` waits are bounded by
+//!   the region deadline ICV (`OMP4RS_REGION_DEADLINE`) and fall back to
+//!   self-draining, so tracing can never deadlock a serving process.
 //! * **Region-scoped aggregation.** Every [`crate::team::Team`] draws a
 //!   unique region id ([`new_region_id`]); [`aggregate`] folds the event
 //!   stream into per-region [`RegionMetrics`] (barrier wait time, chunk-time
@@ -43,6 +58,12 @@
 //! OMP_TOOL=disabled             # explicit off (the default)
 //! ```
 //!
+//! The pipeline knobs layer on top (see `docs/ENVIRONMENT.md`):
+//! `OMP4RS_TRACE_RING` (per-thread ring capacity in events),
+//! `OMP4RS_TRACE_POLICY` (`drop-oldest` | `drop-newest` | `block`),
+//! `OMP4RS_TRACE_ROTATE` (rotate the trace file every N KiB), and
+//! `OMP4RS_TRACE_ROTATE_KEEP` (how many part files to retain).
+//!
 //! Programs call [`finalize`] (the `omp4rs-bench` binaries do under
 //! `--profile`) to emit the configured outputs. Programmatic use — tests,
 //! examples, benchmarks — goes through [`session`], which serializes on a
@@ -63,15 +84,16 @@
 //! println!("{}", session.summary());
 //! ```
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::context;
+use crate::sync::Notifier;
 
 // ---------------------------------------------------------------------------
 // Events
@@ -101,7 +123,11 @@ pub enum EventKind {
     },
     /// A thread was released from a team barrier.
     BarrierExit {
-        /// Nanoseconds between arrival and release (wait + task-drain time).
+        /// Nanoseconds between arrival and release. This window covers both
+        /// idle waiting *and* any tasks the thread drained while parked at
+        /// the barrier; [`aggregate`] separates the two (see
+        /// [`RegionMetrics::barrier_drain_ns`]) so the summary can report
+        /// wait and drain as distinct shares.
         wait_ns: u64,
     },
     /// A task was created (`task` directive or `taskloop` expansion).
@@ -204,13 +230,112 @@ pub struct Event {
 // Enable gating and configuration
 // ---------------------------------------------------------------------------
 
+/// What a recording thread does when its ring buffer is full.
+///
+/// Selected by `OMP4RS_TRACE_POLICY`. The trade-off mirrors femtologging-style
+/// bounded handlers: `drop-oldest` keeps the most recent window (best for
+/// post-mortem "what just happened" traces), `drop-newest` preserves the
+/// prefix cheaply, and `block` is lossless but applies backpressure to the
+/// recording thread — bounded by the region deadline and a self-drain
+/// fallback so it can never deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Overwrite the oldest buffered event with the new one (the default).
+    #[default]
+    DropOldest,
+    /// Discard the new event, keeping the buffered prefix.
+    DropNewest,
+    /// Wait for the flusher to make space; self-drain after a bounded slice
+    /// and trip the region deadline (if armed) rather than hang.
+    Block,
+}
+
+impl TracePolicy {
+    /// Parse an `OMP4RS_TRACE_POLICY` value. Accepts `drop-oldest`/`oldest`,
+    /// `drop-newest`/`newest`, and `block`; anything else is `None`.
+    pub fn parse(text: &str) -> Option<TracePolicy> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "drop-oldest" | "oldest" => Some(TracePolicy::DropOldest),
+            "drop-newest" | "newest" => Some(TracePolicy::DropNewest),
+            "block" => Some(TracePolicy::Block),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (what [`TracePolicy::parse`] accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TracePolicy::DropOldest => "drop-oldest",
+            TracePolicy::DropNewest => "drop-newest",
+            TracePolicy::Block => "block",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            TracePolicy::DropOldest => 0,
+            TracePolicy::DropNewest => 1,
+            TracePolicy::Block => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> TracePolicy {
+        match code {
+            1 => TracePolicy::DropNewest,
+            2 => TracePolicy::Block,
+            _ => TracePolicy::DropOldest,
+        }
+    }
+}
+
+/// Default per-thread ring capacity, in events.
+///
+/// An [`Event`] is ~48 bytes, so 8192 events ≈ 384 KiB per recording thread —
+/// small enough to leave on per-worker, large enough to absorb roughly one
+/// flush tick of the densest emitter (a `schedule(dynamic,1)` loop records
+/// two events per iteration) before any overflow policy engages.
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
 /// Output configuration parsed from `OMP_TOOL` (or built programmatically).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// The pipeline fields (`ring_capacity`, `policy`, `rotate_kib`,
+/// `rotate_keep`) are not part of the `OMP_TOOL` grammar; they come from the
+/// dedicated `OMP4RS_TRACE_*` variables ([`crate::icv::Icvs::from_env`]) or
+/// are set programmatically with `..Default::default()` struct update syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ToolConfig {
     /// Write a Chrome-trace JSON dump to this path on [`finalize`].
     pub trace_path: Option<String>,
     /// Print the per-region summary to stderr on [`finalize`].
     pub summary: bool,
+    /// Per-thread ring buffer capacity in events (`OMP4RS_TRACE_RING`,
+    /// default [`DEFAULT_RING_CAPACITY`]).
+    pub ring_capacity: usize,
+    /// What to do when a ring is full (`OMP4RS_TRACE_POLICY`).
+    pub policy: TracePolicy,
+    /// When set together with `trace_path`, stream events into rotating part
+    /// files (`trace.0.json`, `trace.1.json`, …), starting a new part every
+    /// time the serialized output reaches this many KiB
+    /// (`OMP4RS_TRACE_ROTATE`). Streaming keeps *collected* output bounded
+    /// too: events go to disk instead of the in-memory collector, so
+    /// [`events`] and the summary only cover what has not been streamed.
+    pub rotate_kib: Option<u64>,
+    /// How many rotated part files to retain (`OMP4RS_TRACE_ROTATE_KEEP`,
+    /// default 4); older parts are deleted as new ones are written.
+    pub rotate_keep: usize,
+}
+
+impl Default for ToolConfig {
+    fn default() -> ToolConfig {
+        ToolConfig {
+            trace_path: None,
+            summary: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            policy: TracePolicy::default(),
+            rotate_kib: None,
+            rotate_keep: 4,
+        }
+    }
 }
 
 impl ToolConfig {
@@ -289,16 +414,40 @@ pub fn ensure_env_init() {
 
 /// Enable collection with the given output configuration.
 ///
+/// Publishes the ring capacity and overflow policy, arms the streaming sink
+/// when rotation is configured, and lazily spawns the flusher thread.
+///
 /// Prefer [`session`] in tests and benchmarks: it additionally serializes on
 /// a global lock and disables collection on drop.
 pub fn enable(config: ToolConfig) {
+    RING_CAP.store(config.ring_capacity.max(1), Ordering::SeqCst);
+    POLICY.store(config.policy.code(), Ordering::SeqCst);
+    let sink = match (&config.trace_path, config.rotate_kib) {
+        (Some(path), Some(kib)) => Some(StreamSink::new(path.clone(), kib, config.rotate_keep)),
+        _ => None,
+    };
+    *STREAM.lock() = sink;
     *ACTIVE.lock() = Some(config);
+    // A fresh session starts unpaused: set_flusher_paused is a per-session
+    // measurement aid, never sticky state.
+    FLUSHER_PAUSED.store(false, Ordering::SeqCst);
+    ensure_flusher();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
 /// Disable collection (recorded events are retained until [`reset`]).
+///
+/// Stops and joins the flusher, drains every ring, and — if a streaming sink
+/// is still armed (i.e. [`finalize`] did not run) — closes it, writing the
+/// final part file.
 pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
+    stop_flusher();
+    drain_all();
+    let sink = STREAM.lock().take();
+    if let Some(sink) = sink {
+        let _ = sink.close();
+    }
     *ACTIVE.lock() = None;
 }
 
@@ -325,35 +474,123 @@ pub fn new_region_id() -> u64 {
 
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
 
-/// Events recorded by threads that have exited (and explicit flushes).
+/// Events drained out of the rings when no streaming sink is armed (plus the
+/// safety-net drain of exiting threads).
 static COLLECTED: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 
-struct LocalBuf {
-    tid: u32,
-    events: Vec<Event>,
+/// Ring capacity applied to rings created after the last [`enable`].
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+/// Active overflow policy as a [`TracePolicy::code`].
+static POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Registry of live rings, one per recording thread; the flusher and
+/// [`events`] iterate it. Retired when the owning thread exits.
+static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+/// Bumped by [`reset`]: thread-local rings from an earlier generation are
+/// stale (their buffered events were discarded with the reset) and get
+/// recreated on the next record.
+static RING_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Drops carried over from retired rings (live rings keep their own count).
+static DROPPED_RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events drained out of rings since the last [`reset`].
+static FLUSHED: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes drain → sink sequences so [`events`] can never observe a batch
+/// that another drainer has popped from a ring but not yet sunk.
+static DRAIN: Mutex<()> = Mutex::new(());
+
+/// How often the flusher sweeps all rings when nothing wakes it earlier.
+const FLUSH_TICK: Duration = Duration::from_millis(2);
+
+/// Longest a `block`-policy push waits for the flusher before draining its
+/// own ring (the no-deadlock guarantee when the flusher is absent or behind).
+const BLOCK_SLICE: Duration = Duration::from_millis(5);
+
+struct RingState {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
 }
 
-impl Drop for LocalBuf {
+/// One thread's bounded event buffer. `space` is notified after every drain
+/// so `block`-policy pushes can park instead of spinning.
+struct Ring {
+    tid: u32,
+    space: Notifier,
+    state: Mutex<RingState>,
+}
+
+fn active_policy() -> TracePolicy {
+    TracePolicy::from_code(POLICY.load(Ordering::Relaxed))
+}
+
+/// The thread-local handle: an [`Arc`] into [`RINGS`] plus the generation it
+/// was created under. Dropping it (thread exit) drains leftovers and retires
+/// the ring — unless a [`reset`] made it stale, in which case the buffered
+/// events were already discarded by contract.
+struct LocalRing {
+    epoch: u64,
+    ring: Arc<Ring>,
+}
+
+impl Drop for LocalRing {
     fn drop(&mut self) {
-        if !self.events.is_empty() {
-            COLLECTED.lock().append(&mut self.events);
+        if self.epoch != RING_EPOCH.load(Ordering::SeqCst) {
+            return;
         }
+        let _guard = DRAIN.lock();
+        let (batch, dropped) = {
+            let mut s = self.ring.state.lock();
+            (
+                s.events.drain(..).collect::<Vec<Event>>(),
+                std::mem::take(&mut s.dropped),
+            )
+        };
+        DROPPED_RETIRED.fetch_add(dropped, Ordering::Relaxed);
+        sink_batch(batch);
+        RINGS.lock().retain(|r| !Arc::ptr_eq(r, &self.ring));
     }
 }
 
 thread_local! {
-    static BUF: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+    static RING: RefCell<Option<LocalRing>> = const { RefCell::new(None) };
+    /// Reentrancy guard: set while a `block`-policy push is in progress so a
+    /// nested record (e.g. the `DeadlineTrip` event emitted by
+    /// [`crate::team::Team::trip_deadline`] *from inside* that push) falls
+    /// back to drop-oldest instead of blocking recursively.
+    static IN_PUSH: Cell<bool> = const { Cell::new(false) };
 }
 
-fn with_buf(f: impl FnOnce(&mut LocalBuf)) {
-    BUF.with(|b| {
-        let mut b = b.borrow_mut();
-        let buf = b.get_or_insert_with(|| LocalBuf {
-            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
-            events: Vec::new(),
-        });
-        f(buf);
+fn with_ring(f: impl FnOnce(&Arc<Ring>)) {
+    // The `RefCell` borrow must end before `f` runs: a `block`-policy push
+    // inside `f` can trip a region deadline, which records a `DeadlineTrip`
+    // event and re-enters here on the same thread.
+    let ring = RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let epoch = RING_EPOCH.load(Ordering::Relaxed);
+        if slot.as_ref().is_none_or(|lr| lr.epoch != epoch) {
+            let cap = RING_CAP.load(Ordering::Relaxed).max(1);
+            let ring = Arc::new(Ring {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                space: Notifier::new(),
+                state: Mutex::new(RingState {
+                    cap,
+                    events: VecDeque::with_capacity(cap),
+                    dropped: 0,
+                }),
+            });
+            RINGS.lock().push(Arc::clone(&ring));
+            // Replacing a stale handle drops it; its Drop sees the epoch
+            // mismatch and discards silently (reset already disowned it).
+            *slot = Some(LocalRing { epoch, ring });
+        }
+        Arc::clone(&slot.as_ref().expect("just initialized").ring)
     });
+    f(&ring);
 }
 
 /// Record an event for an explicit region id. No-op (one relaxed load) when
@@ -380,53 +617,381 @@ pub fn record_here(kind: EventKind) {
 #[inline(never)]
 fn record_enabled(region: u64, kind: EventKind) {
     let ts_ns = now_ns();
-    with_buf(|buf| {
-        buf.events.push(Event {
+    with_ring(|ring| {
+        let ev = Event {
             region,
-            thread: buf.tid,
+            thread: ring.tid,
             ts_ns,
             kind,
-        });
+        };
+        push_event(ring, ev);
     });
 }
 
-/// Flush the calling thread's local buffer into the global collection.
+fn push_event(ring: &Arc<Ring>, ev: Event) {
+    let fill = {
+        let mut s = ring.state.lock();
+        if s.events.len() < s.cap {
+            s.events.push_back(ev);
+            Some((s.events.len(), s.cap))
+        } else {
+            None
+        }
+    };
+    match fill {
+        Some((len, cap)) => {
+            // Wake the flusher exactly as the ring crosses half-full (and
+            // again at full), keeping steady-state drains off this thread
+            // without a notify per event.
+            if len == cap / 2 + 1 || len == cap {
+                flush_wake().notify_all();
+            }
+        }
+        None => overflow(ring, ev),
+    }
+}
+
+/// The ring was observed full: apply the overflow policy. Re-checks for
+/// space under the lock first — the flusher may have drained between the
+/// fast-path check and here.
+#[cold]
+fn overflow(ring: &Arc<Ring>, ev: Event) {
+    let reentrant = IN_PUSH.with(Cell::get);
+    let policy = if reentrant {
+        // A nested record from inside block_push (deadline trip) must never
+        // block again; overwrite the oldest event instead.
+        TracePolicy::DropOldest
+    } else {
+        active_policy()
+    };
+    if policy == TracePolicy::Block {
+        block_push(ring, ev);
+        return;
+    }
+    let mut s = ring.state.lock();
+    if s.events.len() < s.cap {
+        s.events.push_back(ev);
+        return;
+    }
+    s.dropped += 1;
+    if policy == TracePolicy::DropOldest {
+        s.events.pop_front();
+        s.events.push_back(ev);
+    }
+}
+
+/// `block` policy: wait (bounded) for space, self-draining as a fallback.
+///
+/// The wait is sliced: each [`BLOCK_SLICE`] the thread gives up on the
+/// flusher and drains its own ring — lossless, and immune to a missing or
+/// wedged flusher. When the enclosing region has a deadline
+/// (`OMP4RS_REGION_DEADLINE`) and it expires mid-push, the event is counted
+/// dropped and the region's deadline trips ([`crate::team::Team`] poisons it
+/// and the join surfaces [`crate::error::OmpError::RegionTimeout`]) — tracing
+/// backpressure can stall a region, but it can never hang one.
+fn block_push(ring: &Arc<Ring>, ev: Event) {
+    struct PushGuard;
+    impl Drop for PushGuard {
+        fn drop(&mut self) {
+            IN_PUSH.with(|c| c.set(false));
+        }
+    }
+    IN_PUSH.with(|c| c.set(true));
+    let _guard = PushGuard;
+    let deadline = crate::team::current_deadline();
+    let cap = ring.state.lock().cap;
+    loop {
+        {
+            let mut s = ring.state.lock();
+            if s.events.len() < s.cap {
+                s.events.push_back(ev);
+                return;
+            }
+        }
+        flush_wake().notify_all();
+        let slice_end = Instant::now() + BLOCK_SLICE;
+        let has_space = || ring.state.lock().events.len() < cap;
+        match &deadline {
+            Some((team, dl)) => {
+                if Instant::now() >= *dl {
+                    ring.state.lock().dropped += 1;
+                    let _ = team.trip_deadline("trace");
+                    return;
+                }
+                let bound = (*dl).min(slice_end);
+                if !crate::sync::wait_until_deadline(&ring.space, bound, has_space)
+                    && Instant::now() < *dl
+                {
+                    drain_ring(ring);
+                }
+            }
+            None => {
+                if !crate::sync::wait_until_deadline(&ring.space, slice_end, has_space) {
+                    drain_ring(ring);
+                }
+            }
+        }
+    }
+}
+
+/// Hand a drained batch to the active sink: the streaming part-file writer
+/// when rotation is armed, the in-memory collector otherwise. Callers hold
+/// [`DRAIN`] (directly or transitively) so [`events`] never sees a batch
+/// in flight.
+fn sink_batch(batch: Vec<Event>) {
+    if batch.is_empty() {
+        return;
+    }
+    FLUSHED.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let mut stream = STREAM.lock();
+    if let Some(sink) = stream.as_mut() {
+        sink.append(&batch);
+    } else {
+        drop(stream);
+        COLLECTED.lock().extend(batch);
+    }
+}
+
+/// Drain one ring into the sink. Caller holds [`DRAIN`]. The ring's state
+/// lock is released before sinking (and `space` notified, unparking any
+/// `block`-policy pushers) so recording threads are never blocked on I/O.
+fn drain_ring_inner(ring: &Ring) {
+    let batch: Vec<Event> = {
+        let mut s = ring.state.lock();
+        s.events.drain(..).collect()
+    };
+    ring.space.notify_all();
+    sink_batch(batch);
+}
+
+fn drain_ring(ring: &Ring) {
+    let _guard = DRAIN.lock();
+    drain_ring_inner(ring);
+}
+
+/// Team threads currently inside a region epilogue: the window between
+/// arriving at the region's *final* barrier and flushing their ring. On the
+/// pooled path the final barrier's releaser completes the region latch for
+/// the whole gang, so the master can return — and call [`events`] — while a
+/// worker is still recording its final `BarrierExit`/`ParallelEnd`. Snapshot
+/// readers wait for this count to reach zero before draining.
+static OPEN_EPILOGUES: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII marker for a team thread's region epilogue (see [`OPEN_EPILOGUES`]).
+pub(crate) struct EpilogueGuard {
+    armed: bool,
+}
+
+/// Mark the calling team thread as inside its region epilogue.
+///
+/// Must be taken *before* the thread arrives at the region's final barrier:
+/// the increment then happens-before the barrier release that frees the
+/// master, so a master that subsequently snapshots is guaranteed to observe
+/// either the count or the events themselves. Inert (no atomic RMW) while
+/// the profiler is off.
+pub(crate) fn epilogue_begin() -> EpilogueGuard {
+    let armed = enabled();
+    if armed {
+        OPEN_EPILOGUES.fetch_add(1, Ordering::SeqCst);
+    }
+    EpilogueGuard { armed }
+}
+
+impl Drop for EpilogueGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            OPEN_EPILOGUES.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Wait (bounded) until no team thread is mid-epilogue, so a snapshot taken
+/// right after a pooled region returns sees the full event stream. The
+/// deadline only matters if new regions keep launching concurrently — then
+/// the snapshot is honestly racing live traffic and a cutoff is correct.
+fn quiesce_epilogues() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(100);
+    while OPEN_EPILOGUES.load(Ordering::SeqCst) != 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+/// Drain every live ring (the flusher's sweep; also the shutdown path).
+fn drain_all() {
+    let _guard = DRAIN.lock();
+    let rings: Vec<Arc<Ring>> = RINGS.lock().clone();
+    for ring in &rings {
+        drain_ring_inner(ring);
+    }
+}
+
+/// Flush the calling thread's ring into the sink.
 ///
 /// The runtime calls this at the end of every team thread's region body:
 /// scoped threads signal completion *before* their TLS destructors run, so
-/// relying on the thread-local buffer's drop-flush alone would let [`events`] race
-/// with a just-joined worker whose destructor is still pending. The drop
-/// remains as a safety net for threads outside any team.
+/// relying on the ring's drop-drain alone would let [`events`] race with a
+/// just-joined worker whose destructor is still pending. The drop remains as
+/// a safety net for threads outside any team.
 pub fn flush_thread() {
-    BUF.with(|b| {
-        if let Some(buf) = b.borrow_mut().as_mut() {
-            if !buf.events.is_empty() {
-                COLLECTED.lock().append(&mut buf.events);
+    RING.with(|slot| {
+        if let Some(lr) = slot.borrow().as_ref() {
+            if lr.epoch == RING_EPOCH.load(Ordering::Relaxed) {
+                drain_ring(&lr.ring);
             }
         }
     });
 }
 
-/// Snapshot every event recorded so far (flushes the calling thread's local
-/// buffer first; team workers flushed at the end of their region body).
+/// Snapshot every event recorded so far (drains all rings first).
 ///
 /// Call from the thread that ran the parallel regions *after* they complete.
+/// In streaming-rotation mode drained events go to part files instead of the
+/// in-memory collector, so this returns only what has not been streamed.
 pub fn events() -> Vec<Event> {
-    flush_thread();
+    quiesce_epilogues();
+    drain_all();
     let mut all = COLLECTED.lock().clone();
     all.sort_by_key(|e| e.ts_ns);
     all
 }
 
-/// Discard all recorded events and external counters.
+/// Discard all recorded events, drop/flush accounting, and external counters.
+///
+/// Bumps the ring generation: every thread's local ring is disowned (its
+/// buffered events discarded) and lazily recreated — with the capacity and
+/// policy of the *next* [`enable`] — on that thread's next record.
 pub fn reset() {
-    BUF.with(|b| {
-        if let Some(buf) = b.borrow_mut().as_mut() {
-            buf.events.clear();
-        }
-    });
+    let _guard = DRAIN.lock();
+    RING_EPOCH.fetch_add(1, Ordering::SeqCst);
+    RINGS.lock().clear();
+    DROPPED_RETIRED.store(0, Ordering::Relaxed);
+    FLUSHED.store(0, Ordering::Relaxed);
     COLLECTED.lock().clear();
     COUNTERS.lock().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Flusher thread
+// ---------------------------------------------------------------------------
+
+/// Wakes the flusher early (half-full rings, shutdown, unpause).
+fn flush_wake() -> &'static Notifier {
+    static WAKE: OnceLock<Notifier> = OnceLock::new();
+    WAKE.get_or_init(Notifier::new)
+}
+
+struct Flusher {
+    run: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+static FLUSHER: Mutex<Option<Flusher>> = Mutex::new(None);
+
+/// Test/bench determinism hook: a paused flusher skips its sweeps (see
+/// [`set_flusher_paused`]).
+static FLUSHER_PAUSED: AtomicBool = AtomicBool::new(false);
+
+/// Spawn the dedicated flusher if it is not already running. Spawn failure is
+/// tolerated: recording still works, drains just happen inline (`block`
+/// pushes self-drain after [`BLOCK_SLICE`]).
+fn ensure_flusher() {
+    let mut slot = FLUSHER.lock();
+    if slot.is_some() {
+        return;
+    }
+    let run = Arc::new(AtomicBool::new(true));
+    let run_flag = Arc::clone(&run);
+    let spawned = std::thread::Builder::new()
+        .name("omp4rs-trace-flusher".into())
+        .spawn(move || {
+            while run_flag.load(Ordering::SeqCst) {
+                if !FLUSHER_PAUSED.load(Ordering::SeqCst) {
+                    drain_all();
+                }
+                flush_wake().wait_timeout(FLUSH_TICK);
+            }
+            // Final sweep so a stop never strands buffered events.
+            drain_all();
+        });
+    if let Ok(handle) = spawned {
+        *slot = Some(Flusher { run, handle });
+    }
+}
+
+/// Stop and join the flusher (idempotent). Runs before any summary/trace
+/// rendering so output generation never races a live drain.
+fn stop_flusher() {
+    let flusher = FLUSHER.lock().take();
+    if let Some(f) = flusher {
+        f.run.store(false, Ordering::SeqCst);
+        flush_wake().notify_all();
+        let _ = f.handle.join();
+    }
+}
+
+/// Whether the dedicated flusher thread is currently running.
+pub fn flusher_running() -> bool {
+    FLUSHER.lock().is_some()
+}
+
+/// Pause or resume the flusher's periodic sweeps *without* stopping the
+/// thread. Deterministic overflow tests use this to guarantee a tiny ring
+/// actually fills; benchmarks use it to measure the no-flusher baseline.
+/// Inline drains ([`flush_thread`], [`events`], shutdown) are unaffected.
+pub fn set_flusher_paused(paused: bool) {
+    FLUSHER_PAUSED.store(paused, Ordering::SeqCst);
+    if !paused {
+        flush_wake().notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline introspection
+// ---------------------------------------------------------------------------
+
+/// A snapshot of the trace pipeline's capacity and throughput accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Live per-thread rings.
+    pub rings: usize,
+    /// Capacity (in events) rings are created with.
+    pub capacity: usize,
+    /// Events drained out of rings since the last [`reset`].
+    pub flushed: u64,
+    /// Events dropped by overflow policies since the last [`reset`].
+    pub dropped: u64,
+}
+
+impl RingStats {
+    /// The bounded-memory guarantee: the maximum bytes the live rings can
+    /// hold (`rings × capacity × sizeof(Event)`).
+    pub fn bounded_bytes(&self) -> usize {
+        self.rings * self.capacity * std::mem::size_of::<Event>()
+    }
+}
+
+/// Snapshot the pipeline accounting (see [`RingStats`]).
+pub fn ring_stats() -> RingStats {
+    // Bind the ring count first: a `RINGS.lock()` temporary inside the struct
+    // literal would outlive the `dropped_events()` field initializer, which
+    // locks `RINGS` again (parking_lot mutexes are not reentrant).
+    let rings = RINGS.lock().len();
+    RingStats {
+        rings,
+        capacity: RING_CAP.load(Ordering::Relaxed),
+        flushed: FLUSHED.load(Ordering::Relaxed),
+        dropped: dropped_events(),
+    }
+}
+
+/// Total events dropped by overflow policies since the last [`reset`]
+/// (retired rings' counts plus every live ring's).
+pub fn dropped_events() -> u64 {
+    let mut total = DROPPED_RETIRED.load(Ordering::Relaxed);
+    for ring in RINGS.lock().iter() {
+        total += ring.state.lock().dropped;
+    }
+    total
 }
 
 // ---------------------------------------------------------------------------
@@ -445,8 +1010,18 @@ pub fn set_counter(name: &'static str, value: u64) {
 }
 
 /// Snapshot all published counters.
+///
+/// When the trace pipeline has dropped events, an `omp4rs.trace.dropped`
+/// entry is folded in so every exporter (summary, trace footer, JSON bench
+/// output) reports the loss — truncation is never silent. Lossless runs get
+/// no entry.
 pub fn counters() -> BTreeMap<&'static str, u64> {
-    COUNTERS.lock().clone()
+    let mut map = COUNTERS.lock().clone();
+    let dropped = dropped_events();
+    if dropped > 0 {
+        map.insert("omp4rs.trace.dropped", dropped);
+    }
+    map
 }
 
 // ---------------------------------------------------------------------------
@@ -464,10 +1039,19 @@ pub struct RegionMetrics {
     pub span_ns: u64,
     /// Barrier arrivals.
     pub barriers: u64,
-    /// Total nanoseconds threads spent inside barriers.
+    /// Total nanoseconds threads spent inside barriers (idle wait *plus*
+    /// tasks drained while parked — the raw sum of `barrier-exit` windows).
     pub barrier_wait_ns: u64,
-    /// Longest single barrier wait, ns.
+    /// Longest single barrier window, ns.
     pub barrier_wait_max_ns: u64,
+    /// Of [`RegionMetrics::barrier_wait_ns`], nanoseconds actually spent
+    /// *executing tasks* inside barrier windows (task schedule→complete
+    /// spans that began while the thread was between `barrier-enter` and
+    /// `barrier-exit`). Reporting wait and drain as one number made summary
+    /// percentages exceed 100% when barriers drained heavy task queues; the
+    /// summary now shows `wait = barrier_wait_ns − barrier_drain_ns` and
+    /// drain as separate lines.
+    pub barrier_drain_ns: u64,
     /// Loop chunks claimed.
     pub chunks: u64,
     /// Total chunk execution time, ns.
@@ -525,6 +1109,11 @@ pub fn aggregate(events: &[Event]) -> Vec<RegionMetrics> {
         let mut end_ts: Option<u64> = None;
         let mut depth: u64 = 0;
         let mut per_thread_chunk_ns: BTreeMap<u32, u64> = BTreeMap::new();
+        // Per-thread "inside a barrier window" flag and the stack of open
+        // task executions (start ts, was-in-barrier), used to attribute task
+        // time drained at barriers separately from idle barrier waiting.
+        let mut in_barrier: BTreeMap<u32, bool> = BTreeMap::new();
+        let mut task_open: BTreeMap<u32, Vec<(u64, bool)>> = BTreeMap::new();
         for e in &evs {
             if !threads.contains(&e.thread) {
                 threads.push(e.thread);
@@ -536,21 +1125,34 @@ pub fn aggregate(events: &[Event]) -> Vec<RegionMetrics> {
                 EventKind::ParallelEnd => {
                     end_ts = Some(end_ts.map_or(e.ts_ns, |t| t.max(e.ts_ns)));
                 }
-                EventKind::BarrierEnter { .. } => m.barriers += 1,
+                EventKind::BarrierEnter { .. } => {
+                    m.barriers += 1;
+                    in_barrier.insert(e.thread, true);
+                }
                 EventKind::BarrierExit { wait_ns } => {
                     m.barrier_wait_ns += wait_ns;
                     m.barrier_wait_max_ns = m.barrier_wait_max_ns.max(wait_ns);
+                    in_barrier.insert(e.thread, false);
                 }
                 EventKind::TaskCreate { .. } => {
                     m.tasks_created += 1;
                     depth += 1;
                     m.task_depth_hwm = m.task_depth_hwm.max(depth);
                 }
-                EventKind::TaskSchedule => {}
+                EventKind::TaskSchedule => {
+                    let waiting = in_barrier.get(&e.thread).copied().unwrap_or(false);
+                    task_open
+                        .entry(e.thread)
+                        .or_default()
+                        .push((e.ts_ns, waiting));
+                }
                 EventKind::TaskSteal => m.task_steals += 1,
                 EventKind::TaskComplete => {
                     m.tasks_completed += 1;
                     depth = depth.saturating_sub(1);
+                    if let Some((start, true)) = task_open.get_mut(&e.thread).and_then(Vec::pop) {
+                        m.barrier_drain_ns += e.ts_ns.saturating_sub(start);
+                    }
                 }
                 EventKind::ChunkClaim { .. } => m.chunks += 1,
                 EventKind::ChunkDone { ns, .. } => {
@@ -608,12 +1210,28 @@ pub fn render_summary(events: &[Event], counters: &BTreeMap<&'static str, u64>) 
             m.threads,
             fmt_ms(m.span_ns)
         ));
+        // Barrier windows cover idle waiting plus tasks drained while
+        // parked; reporting them as one "wait" made the shares below exceed
+        // 100% of thread-time. Split them (drain clamped to the window).
+        let drain_ns = m.barrier_drain_ns.min(m.barrier_wait_ns);
+        let wait_ns = m.barrier_wait_ns - drain_ns;
         out.push_str(&format!(
-            "  barriers: {} arrivals, total wait {}, max {}\n",
+            "  barriers: {} arrivals, in-barrier {} (wait {} + task-drain {}), max {}\n",
             m.barriers,
             fmt_ms(m.barrier_wait_ns),
+            fmt_ms(wait_ns),
+            fmt_ms(drain_ns),
             fmt_ms(m.barrier_wait_max_ns)
         ));
+        let thread_time_ns = m.span_ns.saturating_mul(m.threads as u64);
+        if thread_time_ns > 0 {
+            let pct = |ns: u64| ns as f64 * 100.0 / thread_time_ns as f64;
+            out.push_str(&format!(
+                "  shares: barrier-wait {:.1}%, task-drain {:.1}% of thread-time\n",
+                pct(wait_ns),
+                pct(drain_ns)
+            ));
+        }
         out.push_str(&format!(
             "  chunks: {} claimed, mean {}, max {}, imbalance {:.2}\n",
             m.chunks,
@@ -634,6 +1252,12 @@ pub fn render_summary(events: &[Event], counters: &BTreeMap<&'static str, u64>) 
         if m.cancellations > 0 {
             out.push_str(&format!("  cancellations: {}\n", m.cancellations));
         }
+    }
+    if let Some(dropped) = counters.get("omp4rs.trace.dropped") {
+        out.push_str(&format!(
+            "!! trace ring overflow: {dropped} events dropped — raise \
+             OMP4RS_TRACE_RING or switch OMP4RS_TRACE_POLICY\n"
+        ));
     }
     if !counters.is_empty() {
         out.push_str("counters:\n");
@@ -753,13 +1377,33 @@ impl TraceWriter {
 /// profiler-assigned thread id.
 pub fn render_chrome_trace(events: &[Event], counters: &BTreeMap<&'static str, u64>) -> String {
     let mut w = TraceWriter::new();
-    // Pairing state per (region, thread).
-    let mut barrier_open: BTreeMap<(u64, u32), (u64, bool)> = BTreeMap::new();
-    let mut task_open: BTreeMap<(u64, u32), Vec<u64>> = BTreeMap::new();
-    let mut parallel_open: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    let mut pairs = PairState::default();
     let mut sorted: Vec<&Event> = events.iter().collect();
     sorted.sort_by_key(|e| e.ts_ns);
-    for e in &sorted {
+    for e in sorted {
+        pairs.emit(e, &mut w);
+    }
+    w.finish(counters)
+}
+
+/// Event-pairing state per (region, thread), shared by the one-shot exporter
+/// and the streaming sink. Kept *outside* [`TraceWriter`] so rotation can
+/// start a fresh part file while pairs that straddle the boundary (an open
+/// barrier, a running task) still close correctly — the duration slice is
+/// emitted into whichever part sees the closing event.
+#[derive(Default)]
+struct PairState {
+    barrier_open: BTreeMap<(u64, u32), (u64, bool)>,
+    task_open: BTreeMap<(u64, u32), Vec<u64>>,
+    parallel_open: BTreeMap<(u64, u32), u64>,
+}
+
+impl PairState {
+    /// Translate one event into trace output (possibly none, for openers).
+    fn emit(&mut self, e: &Event, w: &mut TraceWriter) {
+        let barrier_open = &mut self.barrier_open;
+        let task_open = &mut self.task_open;
+        let parallel_open = &mut self.parallel_open;
         let key = (e.region, e.thread);
         match e.kind {
             EventKind::ParallelBegin { team_size } => {
@@ -864,7 +1508,6 @@ pub fn render_chrome_trace(events: &[Event], counters: &BTreeMap<&'static str, u
             }
         }
     }
-    w.finish(counters)
 }
 
 /// Render the Chrome trace for everything recorded so far.
@@ -872,9 +1515,100 @@ pub fn chrome_trace() -> String {
     render_chrome_trace(&events(), &counters())
 }
 
+// ---------------------------------------------------------------------------
+// Streaming sink (rotating part files)
+// ---------------------------------------------------------------------------
+
+/// The rotation-mode sink: drained batches are serialized incrementally into
+/// a [`TraceWriter`], which is finished and written out as a standalone,
+/// independently valid Chrome-trace part file (`trace.0.json`,
+/// `trace.1.json`, …) every time it reaches the configured size. Old parts
+/// beyond `keep` are deleted, so disk use is bounded just like ring memory.
+struct StreamSink {
+    base: String,
+    rotate_bytes: usize,
+    keep: usize,
+    part: u64,
+    parts: VecDeque<String>,
+    writer: TraceWriter,
+    pairs: PairState,
+    /// First write error, surfaced by [`StreamSink::close`] ([`sink_batch`]
+    /// runs on the flusher where there is nowhere to propagate).
+    error: Option<std::io::Error>,
+}
+
+static STREAM: Mutex<Option<StreamSink>> = Mutex::new(None);
+
+impl StreamSink {
+    fn new(base: String, rotate_kib: u64, keep: usize) -> StreamSink {
+        StreamSink {
+            base,
+            rotate_bytes: (rotate_kib.max(1) as usize).saturating_mul(1024),
+            keep: keep.max(1),
+            part: 0,
+            parts: VecDeque::new(),
+            writer: TraceWriter::new(),
+            pairs: PairState::default(),
+            error: None,
+        }
+    }
+
+    /// `trace.json` → `trace.0.json`; anything else gets `.<part>` appended.
+    fn part_path(&self) -> String {
+        match self.base.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.{}.json", self.part),
+            None => format!("{}.{}", self.base, self.part),
+        }
+    }
+
+    fn append(&mut self, batch: &[Event]) {
+        for e in batch {
+            self.pairs.emit(e, &mut self.writer);
+        }
+        if self.writer.out.len() >= self.rotate_bytes {
+            self.rotate();
+        }
+    }
+
+    fn rotate(&mut self) {
+        let writer = std::mem::replace(&mut self.writer, TraceWriter::new());
+        let text = writer.finish(&counters());
+        let path = self.part_path();
+        if let Err(e) = std::fs::write(&path, text) {
+            self.error.get_or_insert(e);
+        }
+        self.parts.push_back(path);
+        self.part += 1;
+        while self.parts.len() > self.keep {
+            if let Some(old) = self.parts.pop_front() {
+                let _ = std::fs::remove_file(&old);
+            }
+        }
+    }
+
+    /// Write the final part (the drop counter lands in its footer) and
+    /// return its path, or the first write error encountered.
+    fn close(mut self) -> std::io::Result<String> {
+        self.rotate();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(self
+            .parts
+            .back()
+            .cloned()
+            .unwrap_or_else(|| self.base.clone()))
+    }
+}
+
 /// Emit the outputs configured by the active [`ToolConfig`] (write the trace
-/// file, print the summary to stderr). Returns the trace path written, if
-/// any. A no-op returning `Ok(None)` when no configuration is active.
+/// file, print the summary to stderr). Returns the trace path written — in
+/// rotation mode, the path of the final part file. A no-op returning
+/// `Ok(None)` when no configuration is active.
+///
+/// Shutdown ordering: the flusher is stopped and joined, every ring drained,
+/// and only *then* is anything rendered — the summary can never race a live
+/// drain and no events are lost on a normal exit.
 ///
 /// # Errors
 ///
@@ -884,8 +1618,15 @@ pub fn finalize() -> std::io::Result<Option<String>> {
     let Some(config) = config else {
         return Ok(None);
     };
+    stop_flusher();
+    quiesce_epilogues();
+    drain_all();
     if config.summary {
         eprintln!("{}", summary());
+    }
+    let sink = STREAM.lock().take();
+    if let Some(sink) = sink {
+        return sink.close().map(Some);
     }
     if let Some(path) = &config.trace_path {
         std::fs::write(path, chrome_trace())?;
@@ -1225,18 +1966,43 @@ mod tests {
             ToolConfig::parse("summary"),
             Some(ToolConfig {
                 trace_path: None,
-                summary: true
+                summary: true,
+                ..ToolConfig::default()
             })
         );
         assert_eq!(
             ToolConfig::parse("trace:/tmp/a.json , summary"),
             Some(ToolConfig {
                 trace_path: Some("/tmp/a.json".into()),
-                summary: true
+                summary: true,
+                ..ToolConfig::default()
             })
         );
         assert_eq!(ToolConfig::parse("trace:"), None);
         assert_eq!(ToolConfig::parse("bogus"), None);
+    }
+
+    #[test]
+    fn parse_trace_policy_forms() {
+        assert_eq!(
+            TracePolicy::parse("drop-oldest"),
+            Some(TracePolicy::DropOldest)
+        );
+        assert_eq!(TracePolicy::parse("OLDEST"), Some(TracePolicy::DropOldest));
+        assert_eq!(
+            TracePolicy::parse("drop-newest"),
+            Some(TracePolicy::DropNewest)
+        );
+        assert_eq!(TracePolicy::parse(" block "), Some(TracePolicy::Block));
+        assert_eq!(TracePolicy::parse("bogus"), None);
+        for policy in [
+            TracePolicy::DropOldest,
+            TracePolicy::DropNewest,
+            TracePolicy::Block,
+        ] {
+            assert_eq!(TracePolicy::parse(policy.name()), Some(policy));
+            assert_eq!(TracePolicy::from_code(policy.code()), policy);
+        }
     }
 
     #[test]
@@ -1298,6 +2064,37 @@ mod tests {
         assert_eq!(m.task_depth_hwm, 2);
         assert_eq!(m.lock_acquires, 1);
         assert_eq!(m.lock_contended, 1);
+    }
+
+    #[test]
+    fn barrier_drain_is_split_from_wait() {
+        let events = vec![
+            ev(2, 0, 0, EventKind::BarrierEnter { explicit: false }),
+            ev(2, 0, 10, EventKind::TaskSchedule),
+            ev(2, 0, 60, EventKind::TaskComplete),
+            ev(2, 0, 100, EventKind::BarrierExit { wait_ns: 100 }),
+            // The same task shape outside a barrier window adds no drain.
+            ev(2, 0, 110, EventKind::TaskSchedule),
+            ev(2, 0, 150, EventKind::TaskComplete),
+        ];
+        let metrics = aggregate(&events);
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].barrier_wait_ns, 100);
+        assert_eq!(metrics[0].barrier_drain_ns, 50);
+        let text = render_summary(&events, &BTreeMap::new());
+        assert!(text.contains("wait "), "{text}");
+        assert!(text.contains("task-drain "), "{text}");
+    }
+
+    #[test]
+    fn summary_flags_dropped_events() {
+        let mut counters = BTreeMap::new();
+        counters.insert("omp4rs.trace.dropped", 7u64);
+        let text = render_summary(&[], &counters);
+        assert!(
+            text.contains("trace ring overflow: 7 events dropped"),
+            "{text}"
+        );
     }
 
     #[test]

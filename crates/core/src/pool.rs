@@ -50,6 +50,14 @@
 //! barrier generations, task queue, cancellation flags — so the established
 //! "teams are created fresh per parallel region" invariants (cancellation
 //! latching, residual barrier counts) are untouched.
+//!
+//! Pooled workers and the trace pipeline ([`crate::ompt`]) compose without
+//! an ordering dependency: each worker drains its own event ring at region
+//! exit (`exec::run_worker` calls `ompt::flush_thread` before the worker
+//! docks), so a worker parked between regions — or parked forever because
+//! the pool shrank — never sits on buffered events. The pipeline's
+//! dedicated flusher thread is *not* a pool worker and is stopped by
+//! `ompt::finalize`/`disable` alone; nothing here needs to know it exists.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};

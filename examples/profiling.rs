@@ -34,6 +34,7 @@ fn main() {
         ompt::enable(ompt::ToolConfig {
             trace_path: Some(format!("trace_pi_{label}.json")),
             summary: false,
+            ..Default::default()
         });
         ompt::reset();
         minipy::stats::reset();

@@ -1,0 +1,117 @@
+//! Tour of the bounded trace pipeline: per-thread rings, the dedicated
+//! flusher, overflow policies, and rotating trace files.
+//!
+//! Run with: `cargo run --release --example tracing_pipeline`
+//!
+//! Three short acts, each printing what the pipeline did:
+//!
+//! 1. **Steady state** — a default session (8192-event rings, `drop-oldest`)
+//!    under an event-dense loop: the flusher keeps up, nothing drops.
+//! 2. **Overflow** — the same load on deliberately tiny rings under each
+//!    policy, with the flusher paused so the rings *must* fill: the lossy
+//!    policies count their drops (and the summary banner flags them), while
+//!    `block` trades latency for losslessness.
+//! 3. **Rotation** — a streaming session writing 4 KiB part files, each one
+//!    an independently valid Chrome trace, pruned to the newest few.
+//!
+//! Everything here is also reachable without code changes via the
+//! environment: `OMP_TOOL=summary OMP4RS_TRACE_RING=64
+//! OMP4RS_TRACE_POLICY=block OMP4RS_TRACE_ROTATE=64 <binary>`. See
+//! docs/OBSERVABILITY.md for the architecture and docs/ENVIRONMENT.md for
+//! the knobs.
+
+use omp4rs::exec::{parallel, ForSpec};
+use omp4rs::ompt::{self, ToolConfig, TracePolicy};
+
+/// An event-dense workload: `dynamic,1` scheduling records a claim and a
+/// completion per iteration, on every team thread.
+fn chatty_region(iters: i64) {
+    parallel("num_threads(4)", |ctx| {
+        ctx.for_range(
+            ForSpec::parse("schedule(dynamic, 1)").expect("valid spec"),
+            (0, iters, 1),
+            |i| {
+                std::hint::black_box(i);
+            },
+        );
+    });
+}
+
+fn main() {
+    // Act 1: default pipeline, flusher live. Nothing should drop.
+    {
+        let _s = ompt::session(ToolConfig::default());
+        chatty_region(2000);
+        let stats = ompt::ring_stats();
+        println!(
+            "steady state: {} events flushed, {} dropped, {} rings x {} cap (bound {} KiB)",
+            stats.flushed,
+            stats.dropped,
+            stats.rings,
+            stats.capacity,
+            stats.bounded_bytes() / 1024
+        );
+    }
+
+    // Act 2: 64-event rings, flusher paused — every policy must now decide
+    // what a full ring means.
+    for policy in [
+        TracePolicy::DropOldest,
+        TracePolicy::DropNewest,
+        TracePolicy::Block,
+    ] {
+        let _s = ompt::session(ToolConfig {
+            ring_capacity: 64,
+            policy,
+            ..Default::default()
+        });
+        ompt::set_flusher_paused(true);
+        chatty_region(2000);
+        ompt::set_flusher_paused(false);
+        let stats = ompt::ring_stats();
+        println!(
+            "overflow under {:<11} {:>6} dropped of {} handled",
+            format!("{}:", policy.name()),
+            stats.dropped,
+            stats.flushed + stats.dropped + ompt::events().len() as u64
+        );
+        if stats.dropped > 0 {
+            // The loss is never silent: the per-region summary carries a
+            // banner and every trace footer carries the counter.
+            assert!(ompt::summary().contains("trace ring overflow"));
+        }
+    }
+
+    // Act 3: streaming rotation — parts are bounded on disk like rings are
+    // bounded in memory.
+    {
+        let base = std::env::temp_dir()
+            .join(format!("tracing_pipeline_{}.json", std::process::id()))
+            .display()
+            .to_string();
+        let _s = ompt::session(ToolConfig {
+            trace_path: Some(base.clone()),
+            summary: false,
+            rotate_kib: Some(4),
+            rotate_keep: 3,
+            ..Default::default()
+        });
+        chatty_region(4000);
+        let last = ompt::finalize()
+            .expect("parts writable")
+            .expect("trace path configured");
+        let stem = base.strip_suffix(".json").unwrap_or(&base);
+        let mut kept = 0;
+        for idx in 0..4096 {
+            let path = format!("{stem}.{idx}.json");
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                kept += 1;
+                ompt::validate_chrome_trace(&text).expect("every part stands alone");
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        println!("rotation: {kept} part(s) on disk after pruning; final part was {last}");
+    }
+
+    println!("\nSee docs/OBSERVABILITY.md for the ring/flusher architecture.");
+}

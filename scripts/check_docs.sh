@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Documentation drift gate (run by scripts/ci.sh).
+#
+# Two invariants, both enforced by grepping the code rather than a manually
+# maintained list, so a new knob or counter cannot land undocumented:
+#
+#   1. every OMP_*/OMP4RS_*/MINIMPI_* environment variable the workspace
+#      reads appears in docs/ENVIRONMENT.md;
+#   2. every omp4rs.*/minipy.* counter the workspace publishes appears in
+#      docs/OBSERVABILITY.md (the dynamic minipy.vm.fallback.<reason>
+#      family is checked by its literal prefix).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. environment variables ---------------------------------------------
+# Readers use std::env::var / the icv.rs helpers env_usize / env_bool; the
+# variable name is always a string literal right after the open paren.
+env_vars=$(grep -rhoE '(var|env_usize|env_bool)\(\s*"(OMP4RS|OMP|MINIMPI)_[A-Z0-9_]+"' \
+        crates/ --include='*.rs' \
+    | grep -oE '"(OMP4RS|OMP|MINIMPI)_[A-Z0-9_]+"' | tr -d '"' | sort -u)
+
+for v in $env_vars; do
+    if ! grep -q "$v" docs/ENVIRONMENT.md; then
+        echo "check_docs: env var $v is read by the code but missing from docs/ENVIRONMENT.md" >&2
+        fail=1
+    fi
+done
+
+# --- 2. counters -----------------------------------------------------------
+counters=$(grep -rhoE '"(omp4rs|minipy)\.[a-z_]+\.[a-z_.]+"' \
+        crates/ --include='*.rs' | tr -d '"' | sort -u)
+
+for c in $counters; do
+    # minipy.vm.fallback. is a dynamic per-reason family; the prefix itself
+    # must be documented, individual reasons need not be.
+    if ! grep -qF "$c" docs/OBSERVABILITY.md; then
+        echo "check_docs: counter $c is published by the code but missing from docs/OBSERVABILITY.md" >&2
+        fail=1
+    fi
+done
+
+count_env=$(echo "$env_vars" | wc -w)
+count_ctr=$(echo "$counters" | wc -w)
+if [ "$count_env" -lt 10 ] || [ "$count_ctr" -lt 10 ]; then
+    # The greps returning almost nothing means the extraction patterns broke,
+    # not that the code stopped reading the environment.
+    echo "check_docs: extraction looks broken (env=$count_env counters=$count_ctr)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: OK ($count_env env vars, $count_ctr counters all documented)"

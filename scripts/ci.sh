@@ -24,13 +24,18 @@ run cargo test -q -p omp4rs-apps --test vm_differential
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+# Documentation drift: every env var read and counter published must be
+# documented (docs/ENVIRONMENT.md, docs/OBSERVABILITY.md).
+run ./scripts/check_docs.sh
 
 if [[ -z "${SKIP_SLOW:-}" ]]; then
     # Profiled smoke run: the walkthrough example must produce valid traces
     # (it validates them itself and panics otherwise).
     run cargo run --release --example profiling
     # Profiler overhead contract: a disabled profiler records zero events,
-    # an enabled one produces a Chrome trace that passes the validator.
+    # an enabled one produces a Chrome trace that passes the validator, the
+    # lossy overflow policies report their drops (stats + trace footer), and
+    # the block policy loses nothing.
     run cargo run --release -p omp4rs-bench --bin overhead -- --check
     # Construct-overhead contract: every syncbench cell (parallel, barrier,
     # reduction, single, task x backends x wait policies) completes and
