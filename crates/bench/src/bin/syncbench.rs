@@ -24,14 +24,23 @@
 //! quantized by thread-spawn and condvar-tick latencies.
 //!
 //! ```text
-//! syncbench [--threads 1,2,4] [--trials N] [--inner N] [--outer N]
-//!           [--json] [--check] [--trace]
+//! syncbench [--threads 1,2,4,8] [--trials N] [--inner N] [--outer N]
+//!           [--scale-limit R] [--json] [--check] [--trace]
 //! ```
 //!
 //! `--json` emits one row per (construct, backend, policy, threads) for
-//! `scripts/bench.sh` to assemble into `BENCH_sync.json`. `--check` runs a
-//! small sweep and exits nonzero unless every construct completed and every
-//! overhead number is finite and positive (the CI hook). `--trace` arms the
+//! `scripts/bench.sh` to assemble into `BENCH_sync.json` (plus a top-level
+//! `pool_shards` member recording the sharded-pool geometry the numbers
+//! were taken under). `--check` runs a 1..8-thread sweep and exits nonzero
+//! unless every construct completed, every overhead number is finite and
+//! positive, and `parallel` *scales*: the fastest-trial region cost at the
+//! widest team stays within `--scale-limit` (default 80) multiples of the
+//! 1-thread cost for every backend x policy cell. The limit is calibrated
+//! so the sharded pool with early-leave final barriers passes with ~1.7x
+//! headroom while the pre-sharding global-lock dispatch (measured ~89x on
+//! the same host) trips it — a scaling regression gate, not a noise gate
+//! (the cost *floor* is compared, so additive scheduler noise cannot trip
+//! it). `--trace` arms the
 //! streaming trace pipeline for the whole sweep and reports what it
 //! sustained ([`omp4rs_bench::traceprobe`]) — every overhead number is then
 //! measured *with* event recording on, so diffing against an untraced run
@@ -314,13 +323,15 @@ fn main() {
                 .filter_map(|t| t.trim().parse().ok())
                 .collect()
         })
-        .unwrap_or_else(|| {
-            if check {
-                vec![1, 2, 4]
-            } else {
-                vec![1, 2, 4, 8]
-            }
-        });
+        // The check sweep includes 8 threads so the scaling gate below
+        // exercises the contended regime the sharded pool exists for.
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let scale_limit = args
+        .iter()
+        .position(|a| a == "--scale-limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(80.0);
 
     let policies: &[&'static str] = &["passive", "active"];
     let backends = [Backend::Atomic, Backend::Mutex];
@@ -389,7 +400,9 @@ fn main() {
             .map(|t| format!(",\n \"trace\": {}", t.json()))
             .unwrap_or_default();
         println!(
-            "{{\n \"benchmark\": \"syncbench\",\n \"rows\": [\n  {body}\n ]{trace_member}\n}}"
+            "{{\n \"benchmark\": \"syncbench\",\n \"pool_shards\": {},\n \"rows\": [\n  \
+             {body}\n ]{trace_member}\n}}",
+            omp4rs::pool::shard_count()
         );
     } else {
         println!("construct overhead (ns/op):");
@@ -436,9 +449,51 @@ fn main() {
             eprintln!("CHECK FAILED: no positive parallel-region overhead measured");
             failed = true;
         }
+        // Scaling-regression gate: for every backend x policy cell, the
+        // fork/join cost floor at the widest team must stay within
+        // `scale_limit` multiples of the narrowest team's. Compares
+        // `ns_per_op_min` (the interference-free floor), so a noisy host
+        // inflates both sides additively rather than tripping the gate; a
+        // real regression — serialized dispatch, lost early-leave, a
+        // reintroduced global lock — multiplies the wide-team side only.
+        let lo = threads.iter().copied().min().unwrap_or(1);
+        let hi = threads.iter().copied().max().unwrap_or(1);
+        if hi > lo {
+            let floor = |backend: Backend, policy: &str, t: usize| {
+                rows.iter()
+                    .find(|r| {
+                        r.construct == Construct::Parallel
+                            && r.backend == backend
+                            && r.policy == policy
+                            && r.threads == t
+                    })
+                    .map(|r| r.ns_per_op_min)
+            };
+            for &policy in policies {
+                for backend in backends {
+                    if let (Some(narrow), Some(wide)) =
+                        (floor(backend, policy, lo), floor(backend, policy, hi))
+                    {
+                        let ratio = wide / narrow.max(1.0);
+                        if ratio > scale_limit {
+                            eprintln!(
+                                "CHECK FAILED: parallel ({}/{policy}) does not scale: \
+                                 {wide:.1}ns @{hi}T is {ratio:.1}x the {narrow:.1}ns @{lo}T \
+                                 floor (limit {scale_limit:.0}x)",
+                                backend_name(backend)
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
         if failed {
             std::process::exit(1);
         }
-        println!("check: OK ({} rows, all finite)", rows.len());
+        println!(
+            "check: OK ({} rows, all finite; parallel @{hi}T within {scale_limit:.0}x of @{lo}T)",
+            rows.len()
+        );
     }
 }

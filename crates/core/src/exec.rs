@@ -352,8 +352,16 @@ where
         size = crate::pool::admit(size, icvs.thread_limit);
     }
     // Threads-in-flight accounting feeding future admission decisions; the
-    // guard spans the whole region including the join below.
-    let _inflight = (level == 0 && icvs.pool).then(|| crate::pool::InflightGuard::new(size));
+    // guard spans the whole region including the join below. Only the pool
+    // workers (`size - 1`) are charged: the master runs on its caller's
+    // thread, which exists whether or not the region parallelizes, and a
+    // serial region (including one just shed by `admit`) takes no workers
+    // at all. Charging serial regions used to make shedding self-
+    // sustaining — each shed region's own charge helped keep the budget
+    // exhausted for the next — which is how BENCH_serve.json ended up
+    // shedding >90% of offered regions.
+    let _inflight =
+        (level == 0 && icvs.pool && size > 1).then(|| crate::pool::InflightGuard::new(size - 1));
 
     let team = Team::new(size, cfg.backend);
     let parent_positions = context::current_positions();
@@ -580,8 +588,15 @@ fn run_worker<'env, F>(
     // what lets `ompt::events()` wait out the BarrierExit/ParallelEnd records
     // still in flight on worker threads.
     let _epilogue = crate::ompt::epilogue_begin();
-    team.note_final_arrival();
-    if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| team.barrier())) {
+    // Region-end rendezvous: threads that are provably not the last arriver
+    // and see no outstanding tasks may leave without waiting for the
+    // release — their remaining obligation (the pooled latch decrement /
+    // scoped-join exit, which is also the master's own rendezvous) happens
+    // on return from this function. With a region deadline or the stall
+    // watchdog armed, everyone takes the full barrier instead — the parked
+    // threads are the detector's sensor (see `Team::final_barrier`).
+    if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| team.final_barrier()))
+    {
         team.poison();
         let mut slot = panic_slot.lock();
         if slot.is_none() {

@@ -148,21 +148,104 @@ impl Team {
 
     /// Attach the pooled region's completion latch (set by the master
     /// before any worker is dispatched). The final barrier's releaser
-    /// zeroes it for the whole gang — see [`Team::note_final_arrival`].
+    /// zeroes it for the whole gang — see [`Team::final_barrier`].
     pub(crate) fn set_final_latch(&self, latch: Arc<crate::pool::RegionLatch>) {
         *self.final_latch.lock() = Some(latch);
     }
 
-    /// Mark the calling thread as having reached the region's final
-    /// barrier. Every team thread calls this immediately before its
-    /// region-end `barrier()`; once all have, the next barrier release is
-    /// the region's last and completes the pooled latch early.
+    /// The region's final (region-end implicit) barrier, with an
+    /// *early-leave* fast path when no stall detector is armed.
+    ///
+    /// A full barrier makes every thread wait for the generation flip, which
+    /// on the final rendezvous buys the workers nothing: nothing after it
+    /// depends on cross-thread phase agreement — a worker's next steps are
+    /// its own trace flush and its dock. What the flip *does* protect is the
+    /// master (the region must not end before every body has returned and
+    /// every task has drained), and the pooled-latch / scoped-join
+    /// protocols already guarantee exactly that: each worker's latch
+    /// decrement (or thread exit) happens only after it has passed this
+    /// rendezvous, and the last arriver still drains tasks and completes
+    /// the latch for the gang. So a non-leader that (a) is provably not the
+    /// last arriver and (b) sees no outstanding tasks simply leaves —
+    /// saving a park/wake pair per worker per region, the dominant cost of
+    /// fine-grained regions under a passive wait policy. A thread that *is*
+    /// last, or that sees undrained tasks, falls into the ordinary
+    /// candidate-releaser wait loop and behaves exactly as before.
+    ///
+    /// The leader (region master) may early-leave too — its own rendezvous
+    /// is the pooled latch (`latch.wait()`) or the scoped join that follows
+    /// the region, and neither can complete before the last arriver has
+    /// drained the tasks and released.
+    ///
+    /// Two exceptions, one per stall detector — in both, the threads parked
+    /// at this barrier *are* the detector's sensor, so nobody early-leaves:
+    ///
+    /// * Under a region *deadline*, every arriver's park here is
+    ///   deadline-bounded (`park_until` → `trip_deadline`); the latch wait
+    ///   and the scoped join are not. A region whose slowest thread stalls
+    ///   *before* arriving is rescued by a teammate's bounded park tripping
+    ///   the deadline (typed as a `"barrier"` timeout) — if the teammates
+    ///   early-left instead, the trip would fall to the master's coarser
+    ///   region-level probe, or (for an early-leaving leader) to nothing at
+    ///   all, turning the deadline into a hang.
+    /// * With the stall *watchdog* armed, the sensor is a busy pool worker
+    ///   whose heartbeat went stale while parked here waiting out a stalled
+    ///   teammate. The master runs on the caller's thread and has no
+    ///   heartbeat, so if its teammates early-left and re-docked (idle,
+    ///   fresh heartbeats) a master stalled in its body would be invisible —
+    ///   the watchdog would watch an apparently idle pool while the region
+    ///   hangs. The full barrier preserves the PR 6 semantics: no
+    ///   synchronization progress anywhere in the team for the threshold ⇒
+    ///   some parked worker is flagged ⇒ the team is cancelled.
     ///
     /// (A non-conforming program whose threads execute *different* numbers
     /// of explicit barriers could fire this at a mismatched rendezvous —
     /// such programs already have no defined behavior under OpenMP.)
-    pub(crate) fn note_final_arrival(&self) {
+    pub(crate) fn final_barrier(&self) {
         self.finalists.fetch_add(1, Ordering::AcqRel);
+        if self.size == 1 || self.deadline.is_some() || self.registered {
+            return self.barrier();
+        }
+        if !ompt::enabled() {
+            return self.final_barrier_body();
+        }
+        ompt::record(
+            self.region,
+            ompt::EventKind::BarrierEnter { explicit: false },
+        );
+        let start = Instant::now();
+        self.final_barrier_body();
+        ompt::record(
+            self.region,
+            ompt::EventKind::BarrierExit {
+                wait_ns: start.elapsed().as_nanos() as u64,
+            },
+        );
+    }
+
+    /// Worker-side final-barrier arrival (see [`Team::final_barrier`]).
+    fn final_barrier_body(&self) {
+        crate::pool::heartbeat();
+        faults::on_event(FaultSite::BarrierArrival);
+        if self.cancelled.is_set() {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let prior = self.arrived.fetch_add(1, Ordering::AcqRel);
+        // Early leave: `prior + 1 < size` proves (exactly, via the fetch_add
+        // serialization) that another thread's arrival is still to come —
+        // that thread, or a waiter it wakes, will run the release and
+        // complete the pooled latch. With no tasks outstanding there is
+        // nothing to help drain, so this thread's only remaining obligation
+        // is its own latch decrement, which happens after return. (Tasks
+        // submitted later by a not-yet-arrived thread are drained by the
+        // threads still at the rendezvous — the last arriver is always
+        // one, and it cannot release, so its job cannot return and the
+        // region cannot end, before the queue is dry.)
+        if prior + 1 < self.size && self.tasks.outstanding() == 0 {
+            return;
+        }
+        self.barrier_wait(gen);
     }
 
     /// Number of threads in the team.
@@ -371,12 +454,18 @@ impl Team {
         // Sense-reversing wait: `generation` is the sense — a thread is
         // released the moment the generation it arrived under flips, and the
         // residual `arrived` count of the old generation can never confuse
-        // it. The wait burns the ICV-derived spin budget first, then parks
-        // on the team eventcount; every transition that can release it
-        // (last arrival, task completion, new task submission, cancellation)
-        // bumps `wake`'s epoch.
+        // it.
         let gen = self.generation.load(Ordering::Acquire);
         self.arrived.fetch_add(1, Ordering::AcqRel);
+        self.barrier_wait(gen);
+    }
+
+    /// The barrier wait loop, entered after the caller's arrival has been
+    /// counted under generation `gen`. The wait burns the ICV-derived spin
+    /// budget first, then parks on the team eventcount; every transition
+    /// that can release it (last arrival, task completion, new task
+    /// submission, cancellation) bumps `wake`'s epoch.
+    fn barrier_wait(&self, gen: u64) {
         let mut spins = sync::spin_iters();
         loop {
             let epoch = self.wake.epoch();

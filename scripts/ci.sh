@@ -21,6 +21,14 @@ run cargo test -q
 # test-filter or package-list change can never silently drop them.
 run cargo test -q -p minipy --test vm_differential
 run cargo test -q -p omp4rs-apps --test vm_differential
+# Shard-geometry matrix: the pool lifecycle invariants (panic poisons the
+# region not the pool, cancellation, pool-off bypass, hot-team reuse) must
+# hold under every shard count, and the single-shard legacy-shape test only
+# runs in a SHARDS=1 process (shard count freezes at first dispatch, so each
+# geometry needs its own process).
+for shards in 1 2 4 8; do
+    run env OMP4RS_POOL_SHARDS="$shards" cargo test -q -p omp4rs --test pool_lifecycle
+done
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -39,7 +47,9 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
     run cargo run --release -p omp4rs-bench --bin overhead -- --check
     # Construct-overhead contract: every syncbench cell (parallel, barrier,
     # reduction, single, task x backends x wait policies) completes and
-    # reports a finite overhead — the pool/waiting machinery stays sound.
+    # reports a finite overhead, and fork/join *scales* — the 8-thread
+    # parallel cost floor must stay within --scale-limit multiples of the
+    # 1-thread cost (catches serialized dispatch / lost early-leave).
     run cargo run --release -p omp4rs-bench --bin syncbench -- --check --trials 2
     # Resilience contract: a short seeded chaos soak (injected worker panic
     # + injected stall + minimpi rank failures, simultaneously) must finish
