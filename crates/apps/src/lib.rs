@@ -14,6 +14,9 @@
 //! | [`bfs`] | maze pathfinding | `parallel`, `single`, `task` |
 //! | [`clustering`] | clustering coefficient (NetworkX) | `parallel for` (library calls) |
 //! | [`wordcount`] | word count (dict/str heavy) | `parallel for` + `critical` merge |
+//! | [`wavefront`] | doacross block stencil | `parallel`, `single`, `task depend(in/out)` |
+//! | [`sparselu`] | block LU task DAG | `parallel`, `single`, `task depend(in/inout)` |
+//! | [`pagerank`] | PageRank pipeline (minigraph) | `task depend` + `priority` |
 //!
 //! Modes ([`Mode`]): **Pure** and **Hybrid** run the benchmark's minipy
 //! source through the `omp4rs-pyfront` transformer; **Compiled** runs native
@@ -38,10 +41,13 @@ pub mod jacobi;
 pub mod lu;
 pub mod md;
 pub mod modes;
+pub mod pagerank;
 pub mod pi;
 pub mod pyomp;
 pub mod qsort;
+pub mod sparselu;
 pub mod util;
+pub mod wavefront;
 pub mod wordcount;
 pub mod workloads;
 

@@ -1,0 +1,371 @@
+//! PageRank over `minigraph`, pipelined with versioned task dependences.
+//!
+//! Power iteration double-buffers the rank vector. Instead of a barrier
+//! between iterations, every `(chunk, iteration)` task takes `in` deps on
+//! *all* chunks of the previous iteration and an `out` dep on its own
+//! versioned key — the all-to-all reads make a barrier-free doacross
+//! pipeline (WAR on the physical buffers is covered because a writer of
+//! buffer `it % 2` waits for every reader of that buffer, i.e. all of
+//! iteration `it − 1`). Earlier iterations get a higher `priority(n)` hint
+//! so the pipeline head drains first. The whole graph — `iters × chunks`
+//! tasks — is submitted eagerly from a `single`.
+
+use minigraph::Graph;
+use minipy::Value;
+use omp4rs::exec::{parallel_region, DepSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::DEFAULT_SEED;
+
+/// Table I-style feature row for this benchmark.
+pub const FEATURES: &str = "parallel, single, task depend + priority | versioned pipeline";
+
+/// Damping factor (the standard 0.85).
+pub const DAMPING: f64 = 0.85;
+
+/// Chunks per iteration. Fixed (rather than thread-derived) so the task
+/// graph — and therefore the result — is identical in every mode,
+/// including the interpreted source whose `depend` lists are spelled out.
+pub const CHUNKS: usize = 4;
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Node count.
+    pub nodes: usize,
+    /// Edges added per node by the generator.
+    pub degree: usize,
+    /// Power iterations.
+    pub iters: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            nodes: 600,
+            degree: 4,
+            iters: 12,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// The input graph.
+pub fn input(p: &Params) -> Graph {
+    minigraph::random_graph(p.nodes, p.degree, p.seed)
+}
+
+/// Sequential reference.
+pub fn seq(p: &Params) -> Vec<f64> {
+    minigraph::pagerank(&input(p), DAMPING, p.iters)
+}
+
+/// Checksum of a rank vector (scaled so mode-vs-mode drift is visible).
+pub fn checksum(ranks: &[f64]) -> f64 {
+    ranks
+        .iter()
+        .enumerate()
+        .map(|(i, r)| r * (1.0 + (i % 7) as f64))
+        .sum()
+}
+
+/// Versioned dependence key: chunk `c` of iteration `it` (1-based so the
+/// `in` deps of iteration 0 land on never-written keys and release
+/// immediately).
+fn key(it: usize, c: usize) -> u64 {
+    ((it as u64) << 8) | c as u64
+}
+
+/// `[start, end)` node range of a chunk.
+fn chunk_bounds(n: usize, c: usize) -> (usize, usize) {
+    (c * n / CHUNKS, (c + 1) * n / CHUNKS)
+}
+
+fn chunk_spec(it: usize, c: usize, iters: usize) -> DepSpec {
+    let mut spec = DepSpec::new()
+        .output(key(it + 1, c))
+        // Head-of-pipeline first: earlier iterations carry higher priority.
+        .priority((iters - it) as i64);
+    for j in 0..CHUNKS {
+        spec = spec.input(key(it, j));
+    }
+    spec
+}
+
+/// CompiledDT: native buffers, the full pipeline DAG submitted eagerly.
+pub fn native(p: &Params, threads: usize) -> Vec<f64> {
+    let g = input(p);
+    let n = p.nodes;
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut buf0 = vec![1.0 / n as f64; n];
+    let mut buf1 = vec![0.0; n];
+    {
+        let bufs = [SharedSlice::new(&mut buf0), SharedSlice::new(&mut buf1)];
+        let (g, bufs) = (&g, &bufs);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                for it in 0..p.iters {
+                    for c in 0..CHUNKS {
+                        let (lo, hi) = chunk_bounds(n, c);
+                        ctx.task_depend(chunk_spec(it, c, p.iters), move |_| {
+                            let (src, dst) = (&bufs[it % 2], &bufs[(it + 1) % 2]);
+                            for u in lo..hi {
+                                let mut sum = 0.0;
+                                for &v in g.neighbors(u) {
+                                    let v = v as usize;
+                                    // SAFETY: `in` deps on every chunk of
+                                    // iteration `it` mean src is fully
+                                    // written and no longer mutated.
+                                    sum += unsafe { src.get(v) } / g.degree(v) as f64;
+                                }
+                                // SAFETY: this task is the only writer of
+                                // dst[lo..hi] (its `out` key), and readers
+                                // of dst wait on this task.
+                                unsafe { dst.set(u, base + DAMPING * sum) };
+                            }
+                        });
+                    }
+                }
+            });
+        });
+    }
+    if p.iters.is_multiple_of(2) {
+        buf0
+    } else {
+        buf1
+    }
+}
+
+/// Compiled: boxed rank buffers, native graph (library calls stay native
+/// in every mode, as in the clustering benchmark).
+pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
+    let g = input(p);
+    let n = p.nodes;
+    let base = (1.0 - DAMPING) / n as f64;
+    let bufs = [
+        Value::list((0..n).map(|_| Value::Float(1.0 / n as f64)).collect()),
+        Value::list((0..n).map(|_| Value::Float(0.0)).collect()),
+    ];
+    {
+        let (g, bufs) = (&g, &bufs);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                for it in 0..p.iters {
+                    for c in 0..CHUNKS {
+                        let (lo, hi) = chunk_bounds(n, c);
+                        ctx.task_depend(chunk_spec(it, c, p.iters), move |_| {
+                            let src: Vec<f64> = match &bufs[it % 2] {
+                                Value::List(l) => {
+                                    l.read().iter().map(|v| v.as_float().expect("r")).collect()
+                                }
+                                _ => unreachable!(),
+                            };
+                            let mut out = Vec::with_capacity(hi - lo);
+                            for u in lo..hi {
+                                let mut sum = 0.0;
+                                for &v in g.neighbors(u) {
+                                    let v = v as usize;
+                                    sum += src[v] / g.degree(v) as f64;
+                                }
+                                out.push(base + DAMPING * sum);
+                            }
+                            if let Value::List(l) = &bufs[(it + 1) % 2] {
+                                let mut l = l.write();
+                                for (u, v) in (lo..hi).zip(out) {
+                                    l[u] = Value::Float(v);
+                                }
+                            }
+                        });
+                    }
+                }
+            });
+        });
+    }
+    match &bufs[p.iters % 2] {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("r")).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// The minipy source (Pure/Hybrid). The graph travels as CSR lists
+/// (`off`/`nbr`/`deg`); the four-chunk `depend` lists are spelled out, and
+/// `priority` carries the same head-first hint.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def pr_chunk(src, dst, off, nbr, deg, lo, hi, base, damping):
+    for u in range(lo, hi):
+        s = 0.0
+        for e in range(off[u], off[u + 1]):
+            v = nbr[e]
+            s = s + src[v] / deg[v]
+        dst[u] = base + damping * s
+    return 0
+
+@omp
+def pagerank(r0, r1, off, nbr, deg, bounds, base, damping, iters, nthreads):
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            for it in range(iters):
+                for c in range(4):
+                    with omp("task depend(in: (it, 0), (it, 1), (it, 2), (it, 3)) depend(out: (it + 1, c)) priority(iters - it) firstprivate(it, c)"):
+                        if it % 2 == 0:
+                            pr_chunk(r0, r1, off, nbr, deg, bounds[c], bounds[c + 1], base, damping)
+                        else:
+                            pr_chunk(r1, r0, off, nbr, deg, bounds[c], bounds[c + 1], base, damping)
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
+    let g = input(p);
+    let n = p.nodes;
+    let base = (1.0 - DAMPING) / n as f64;
+    let runner = interpreted_runner(mode, SOURCE);
+    let mut off = Vec::with_capacity(n + 1);
+    let mut nbr = Vec::new();
+    off.push(Value::Int(0));
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            nbr.push(Value::Int(i64::from(v)));
+        }
+        off.push(Value::Int(nbr.len() as i64));
+    }
+    let deg = (0..n).map(|u| Value::Int(g.degree(u) as i64)).collect();
+    let bounds = (0..=CHUNKS)
+        .map(|c| Value::Int((c * n / CHUNKS) as i64))
+        .collect();
+    let r0 = Value::list((0..n).map(|_| Value::Float(1.0 / n as f64)).collect());
+    let r1 = Value::list((0..n).map(|_| Value::Float(0.0)).collect());
+    runner
+        .call_global(
+            "pagerank",
+            vec![
+                r0.clone(),
+                r1.clone(),
+                Value::list(off),
+                Value::list(nbr),
+                Value::list(deg),
+                Value::list(bounds),
+                Value::Float(base),
+                Value::Float(DAMPING),
+                Value::Int(p.iters as i64),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("pagerank benchmark failed");
+    let result = if p.iters.is_multiple_of(2) { &r0 } else { &r1 };
+    match result {
+        Value::List(l) => l.read().iter().map(|v| v.as_float().expect("r")).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns the PyOMP capability error for [`Mode::PyOmp`] (no `depend`).
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("pagerank")
+            .expect("pagerank unsupported")
+            .to_owned());
+    }
+    let (ranks, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&ranks),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params {
+            nodes: 120,
+            degree: 3,
+            iters: 6,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn seq_conserves_mass_on_connected_graphs() {
+        let p = small();
+        let ranks = seq(&p);
+        let total: f64 = ranks.iter().sum();
+        // Danglers leak a little mass; the bulk must remain.
+        assert!(total > 0.5 && total <= 1.0 + 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = seq(&p);
+        for threads in [1, 4] {
+            let ranks = native(&p, threads);
+            for (u, (&a, &b)) in ranks.iter().zip(&reference).enumerate() {
+                assert!(close(a, b, 1e-12), "threads={threads} node {u}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&dynamic(&p, 3)), checksum(&seq(&p)), 1e-12));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params {
+            nodes: 40,
+            degree: 3,
+            iters: 4,
+            seed: 29,
+        };
+        let reference = checksum(&seq(&p));
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(
+                close(checksum(&interpreted(mode, &p, 2)), reference, 1e-9),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_iteration_counts_read_the_right_buffer() {
+        let p = Params {
+            iters: 5,
+            ..small()
+        };
+        assert!(close(checksum(&native(&p, 2)), checksum(&seq(&p)), 1e-12));
+    }
+
+    #[test]
+    fn pyomp_reports_capability_error() {
+        let err = run(Mode::PyOmp, 2, &small()).unwrap_err();
+        assert!(err.contains("depend"), "{err}");
+    }
+}

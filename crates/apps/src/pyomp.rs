@@ -33,6 +33,9 @@ pub fn unsupported_reason(benchmark: &str) -> Option<&'static str> {
         "hybrid" | "jacobi_mpi" => {
             Some("Numba cannot integrate mpi4py calls into compiled functions")
         }
+        "wavefront" | "sparselu" | "pagerank" => {
+            Some("PyOMP has no task depend clause or taskgroup support (task-graph suite)")
+        }
         _ => None,
     }
 }

@@ -1,0 +1,539 @@
+//! Block LU factorization as a task graph (BOTS *sparselu*-style).
+//!
+//! The matrix is split into `nb × nb` blocks of `bs × bs`; each elimination
+//! step `k` runs four kernels — `lu0` on the diagonal block, `fwd`/`bdiv`
+//! on the panel blocks, `bmod` on the trailing blocks — and the *entire*
+//! graph for all steps is submitted eagerly from a `single` with
+//! `depend(in/out/inout)` block keys. Unlike the loop-parallel `lu`
+//! benchmark, steps overlap: a trailing `bmod` of step `k` can run
+//! concurrently with step `k+1`'s panel once its own inputs retire. Block
+//! LU without pivoting computes the same factors as the scalar Doolittle
+//! reference, which is how results are verified.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, DepSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{diag_dominant_system, DEFAULT_SEED};
+
+/// Table I-style feature row for this benchmark.
+pub const FEATURES: &str = "parallel, single, task depend(in/inout) | LU task DAG";
+
+/// Problem parameters: an `(nb·bs) × (nb·bs)` matrix in `nb × nb` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Blocks per side.
+    pub nb: usize,
+    /// Block side length.
+    pub bs: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            nb: 6,
+            bs: 12,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Full matrix side length.
+    pub fn n(&self) -> usize {
+        self.nb * self.bs
+    }
+}
+
+/// The input matrix as row-major blocks: `blocks[bi * nb + bj]` is the
+/// `bs × bs` block at block row `bi`, block column `bj` (row-major inside).
+pub fn input_blocks(p: &Params) -> Vec<Vec<f64>> {
+    let (a, _) = diag_dominant_system(p.n(), p.seed);
+    let (nb, bs) = (p.nb, p.bs);
+    let mut blocks = vec![vec![0.0; bs * bs]; nb * nb];
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            blocks[(i / bs) * nb + (j / bs)][(i % bs) * bs + (j % bs)] = v;
+        }
+    }
+    blocks
+}
+
+/// Reassemble blocks into a flat row-major `n × n` matrix.
+pub fn flatten(p: &Params, blocks: &[Vec<f64>]) -> Vec<f64> {
+    let (nb, bs, n) = (p.nb, p.bs, p.n());
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = blocks[(i / bs) * nb + (j / bs)][(i % bs) * bs + (j % bs)];
+        }
+    }
+    a
+}
+
+/// Sequential reference: scalar in-place Doolittle LU on the full matrix
+/// (identical factors to the block algorithm).
+pub fn seq(p: &Params) -> Vec<f64> {
+    let n = p.n();
+    let (rows, _) = diag_dominant_system(n, p.seed);
+    let mut a: Vec<f64> = rows.into_iter().flatten().collect();
+    for k in 0..n {
+        for i in (k + 1)..n {
+            let factor = a[i * n + k] / a[k * n + k];
+            a[i * n + k] = factor;
+            for j in (k + 1)..n {
+                a[i * n + j] -= factor * a[k * n + j];
+            }
+        }
+    }
+    a
+}
+
+/// Checksum of a factorization (flat matrix).
+pub fn checksum(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+// ------------------------------------------------------------- kernels
+// All four operate on row-major `bs × bs` blocks, in place.
+
+/// Scalar LU of the diagonal block.
+fn lu0(d: &mut [f64], bs: usize) {
+    for k in 0..bs {
+        for i in (k + 1)..bs {
+            let factor = d[i * bs + k] / d[k * bs + k];
+            d[i * bs + k] = factor;
+            for j in (k + 1)..bs {
+                d[i * bs + j] -= factor * d[k * bs + j];
+            }
+        }
+    }
+}
+
+/// Forward-substitute the unit-lower factor of `d` through a row-panel
+/// block: `a := L(d)⁻¹ · a`.
+fn fwd(d: &[f64], a: &mut [f64], bs: usize) {
+    for r in 1..bs {
+        for rr in 0..r {
+            let l = d[r * bs + rr];
+            for c in 0..bs {
+                a[r * bs + c] -= l * a[rr * bs + c];
+            }
+        }
+    }
+}
+
+/// Divide a column-panel block by the upper factor of `d`: `a := a · U(d)⁻¹`.
+fn bdiv(d: &[f64], a: &mut [f64], bs: usize) {
+    for r in 0..bs {
+        for c in 0..bs {
+            let mut v = a[r * bs + c];
+            for cc in 0..c {
+                v -= a[r * bs + cc] * d[cc * bs + c];
+            }
+            a[r * bs + c] = v / d[c * bs + c];
+        }
+    }
+}
+
+/// Trailing update: `a := a − l · u` (GEMM).
+fn bmod(l: &[f64], u: &[f64], a: &mut [f64], bs: usize) {
+    for r in 0..bs {
+        for k in 0..bs {
+            let lv = l[r * bs + k];
+            for c in 0..bs {
+                a[r * bs + c] -= lv * u[k * bs + c];
+            }
+        }
+    }
+}
+
+/// Dependence key for block `(bi, bj)`.
+fn key(bi: usize, bj: usize) -> u64 {
+    ((bi as u64) << 32) | bj as u64
+}
+
+/// CompiledDT: native blocks, the full task DAG submitted eagerly.
+pub fn native(p: &Params, threads: usize) -> Vec<f64> {
+    let (nb, bs) = (p.nb, p.bs);
+    let mut blocks = input_blocks(p);
+    {
+        let shared: Vec<SharedSlice<'_, f64>> =
+            blocks.iter_mut().map(|b| SharedSlice::new(b)).collect();
+        let shared = &shared[..];
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
+        // SAFETY (all task bodies): the dependence clauses below reproduce
+        // the data-flow of block LU exactly — every task takes `inout` on
+        // the block it writes and `in` on the blocks it reads, so the
+        // graph serializes conflicting block accesses.
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                for k in 0..nb {
+                    ctx.task_depend(DepSpec::new().inout(key(k, k)), move |_| unsafe {
+                        lu0(
+                            std::slice::from_raw_parts_mut(shared[k * nb + k].get_mut(0), bs * bs),
+                            bs,
+                        );
+                    });
+                    for j in (k + 1)..nb {
+                        ctx.task_depend(
+                            DepSpec::new().input(key(k, k)).inout(key(k, j)),
+                            move |_| unsafe {
+                                fwd(
+                                    std::slice::from_raw_parts(
+                                        shared[k * nb + k].get_mut(0),
+                                        bs * bs,
+                                    ),
+                                    std::slice::from_raw_parts_mut(
+                                        shared[k * nb + j].get_mut(0),
+                                        bs * bs,
+                                    ),
+                                    bs,
+                                );
+                            },
+                        );
+                    }
+                    for i in (k + 1)..nb {
+                        ctx.task_depend(
+                            DepSpec::new().input(key(k, k)).inout(key(i, k)),
+                            move |_| unsafe {
+                                bdiv(
+                                    std::slice::from_raw_parts(
+                                        shared[k * nb + k].get_mut(0),
+                                        bs * bs,
+                                    ),
+                                    std::slice::from_raw_parts_mut(
+                                        shared[i * nb + k].get_mut(0),
+                                        bs * bs,
+                                    ),
+                                    bs,
+                                );
+                            },
+                        );
+                    }
+                    for i in (k + 1)..nb {
+                        for j in (k + 1)..nb {
+                            ctx.task_depend(
+                                DepSpec::new()
+                                    .input(key(i, k))
+                                    .input(key(k, j))
+                                    .inout(key(i, j)),
+                                move |_| unsafe {
+                                    bmod(
+                                        std::slice::from_raw_parts(
+                                            shared[i * nb + k].get_mut(0),
+                                            bs * bs,
+                                        ),
+                                        std::slice::from_raw_parts(
+                                            shared[k * nb + j].get_mut(0),
+                                            bs * bs,
+                                        ),
+                                        std::slice::from_raw_parts_mut(
+                                            shared[i * nb + j].get_mut(0),
+                                            bs * bs,
+                                        ),
+                                        bs,
+                                    );
+                                },
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+    flatten(p, &blocks)
+}
+
+/// Compiled: boxed-value blocks, same DAG, kernels through block locks.
+pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
+    let (nb, bs) = (p.nb, p.bs);
+    let blocks: Vec<Value> = input_blocks(p)
+        .into_iter()
+        .map(|b| Value::list(b.into_iter().map(Value::Float).collect()))
+        .collect();
+
+    fn load(b: &Value) -> Vec<f64> {
+        match b {
+            Value::List(l) => l.read().iter().map(|v| v.as_float().expect("b")).collect(),
+            _ => unreachable!(),
+        }
+    }
+    fn store(b: &Value, data: &[f64]) {
+        if let Value::List(l) = b {
+            let mut l = l.write();
+            for (slot, &v) in l.iter_mut().zip(data) {
+                *slot = Value::Float(v);
+            }
+        }
+    }
+
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
+    {
+        let blocks = &blocks[..];
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                for k in 0..nb {
+                    ctx.task_depend(DepSpec::new().inout(key(k, k)), move |_| {
+                        let mut d = load(&blocks[k * nb + k]);
+                        lu0(&mut d, bs);
+                        store(&blocks[k * nb + k], &d);
+                    });
+                    for j in (k + 1)..nb {
+                        ctx.task_depend(
+                            DepSpec::new().input(key(k, k)).inout(key(k, j)),
+                            move |_| {
+                                let d = load(&blocks[k * nb + k]);
+                                let mut a = load(&blocks[k * nb + j]);
+                                fwd(&d, &mut a, bs);
+                                store(&blocks[k * nb + j], &a);
+                            },
+                        );
+                    }
+                    for i in (k + 1)..nb {
+                        ctx.task_depend(
+                            DepSpec::new().input(key(k, k)).inout(key(i, k)),
+                            move |_| {
+                                let d = load(&blocks[k * nb + k]);
+                                let mut a = load(&blocks[i * nb + k]);
+                                bdiv(&d, &mut a, bs);
+                                store(&blocks[i * nb + k], &a);
+                            },
+                        );
+                    }
+                    for i in (k + 1)..nb {
+                        for j in (k + 1)..nb {
+                            ctx.task_depend(
+                                DepSpec::new()
+                                    .input(key(i, k))
+                                    .input(key(k, j))
+                                    .inout(key(i, j)),
+                                move |_| {
+                                    let l = load(&blocks[i * nb + k]);
+                                    let u = load(&blocks[k * nb + j]);
+                                    let mut a = load(&blocks[i * nb + j]);
+                                    bmod(&l, &u, &mut a, bs);
+                                    store(&blocks[i * nb + j], &a);
+                                },
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+    let native_blocks: Vec<Vec<f64>> = blocks.iter().map(load).collect();
+    flatten(p, &native_blocks)
+}
+
+/// The minipy source (Pure/Hybrid): the same four kernels and the same
+/// eagerly-submitted DAG, with tuple `depend` keys per block.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def lu0(d, bs):
+    for k in range(bs):
+        for i in range(k + 1, bs):
+            factor = d[i * bs + k] / d[k * bs + k]
+            d[i * bs + k] = factor
+            for j in range(k + 1, bs):
+                d[i * bs + j] = d[i * bs + j] - factor * d[k * bs + j]
+    return 0
+
+@omp
+def fwd(d, a, bs):
+    for r in range(1, bs):
+        for rr in range(r):
+            l = d[r * bs + rr]
+            for c in range(bs):
+                a[r * bs + c] = a[r * bs + c] - l * a[rr * bs + c]
+    return 0
+
+@omp
+def bdiv(d, a, bs):
+    for r in range(bs):
+        for c in range(bs):
+            v = a[r * bs + c]
+            for cc in range(c):
+                v = v - a[r * bs + cc] * d[cc * bs + c]
+            a[r * bs + c] = v / d[c * bs + c]
+    return 0
+
+@omp
+def bmod(l, u, a, bs):
+    for r in range(bs):
+        for k in range(bs):
+            lv = l[r * bs + k]
+            for c in range(bs):
+                a[r * bs + c] = a[r * bs + c] - lv * u[k * bs + c]
+    return 0
+
+@omp
+def sparselu(blocks, nb, bs, nthreads):
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            for k in range(nb):
+                with omp("task depend(inout: (k, k)) firstprivate(k)"):
+                    lu0(blocks[k * nb + k], bs)
+                for j in range(k + 1, nb):
+                    with omp("task depend(in: (k, k)) depend(inout: (k, j)) firstprivate(k, j)"):
+                        fwd(blocks[k * nb + k], blocks[k * nb + j], bs)
+                for i in range(k + 1, nb):
+                    with omp("task depend(in: (k, k)) depend(inout: (i, k)) firstprivate(i, k)"):
+                        bdiv(blocks[k * nb + k], blocks[i * nb + k], bs)
+                for i in range(k + 1, nb):
+                    for j in range(k + 1, nb):
+                        with omp("task depend(in: (i, k), (k, j)) depend(inout: (i, j)) firstprivate(i, j, k)"):
+                            bmod(blocks[i * nb + k], blocks[k * nb + j], blocks[i * nb + j], bs)
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
+    let (nb, bs) = (p.nb, p.bs);
+    let runner = interpreted_runner(mode, SOURCE);
+    let blocks = Value::list(
+        input_blocks(p)
+            .into_iter()
+            .map(|b| Value::list(b.into_iter().map(Value::Float).collect()))
+            .collect(),
+    );
+    runner
+        .call_global(
+            "sparselu",
+            vec![
+                blocks.clone(),
+                Value::Int(nb as i64),
+                Value::Int(bs as i64),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("sparselu benchmark failed");
+    let native_blocks: Vec<Vec<f64>> = match &blocks {
+        Value::List(bl) => bl
+            .read()
+            .iter()
+            .map(|b| match b {
+                Value::List(l) => l.read().iter().map(|v| v.as_float().expect("b")).collect(),
+                _ => unreachable!(),
+            })
+            .collect(),
+        _ => unreachable!(),
+    };
+    flatten(p, &native_blocks)
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns the PyOMP capability error for [`Mode::PyOmp`] (no `depend`).
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("sparselu")
+            .expect("sparselu unsupported")
+            .to_owned());
+    }
+    let (a, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&a),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params {
+            nb: 4,
+            bs: 6,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn seq_matches_scalar_lu_reconstruction() {
+        // Reconstruct A from the in-place factors and compare.
+        let p = small();
+        let n = p.n();
+        let lu = seq(&p);
+        let (rows, _) = diag_dominant_system(n, p.seed);
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    let l = if k < i {
+                        lu[i * n + k]
+                    } else if k == i {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let u = if k <= j { lu[k * n + j] } else { 0.0 };
+                    v += l * u;
+                }
+                worst = worst.max((v - rows[i][j]).abs());
+            }
+        }
+        assert!(worst < 1e-9, "reconstruction error {worst}");
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = checksum(&seq(&p));
+        for threads in [1, 4] {
+            assert!(
+                close(checksum(&native(&p, threads)), reference, 1e-9),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&dynamic(&p, 3)), checksum(&seq(&p)), 1e-9));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params {
+            nb: 3,
+            bs: 4,
+            seed: 19,
+        };
+        let reference = checksum(&seq(&p));
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(
+                close(checksum(&interpreted(mode, &p, 2)), reference, 1e-8),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn pyomp_reports_capability_error() {
+        let err = run(Mode::PyOmp, 2, &small()).unwrap_err();
+        assert!(err.contains("depend"), "{err}");
+    }
+}

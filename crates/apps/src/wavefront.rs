@@ -1,0 +1,336 @@
+//! Wavefront (doacross-style) stencil over a blocked 2-D table.
+//!
+//! The recurrence `t[i][j] = w[i][j] + 0.5·t[i-1][j] + 0.5·t[i][j-1]`
+//! carries dependences along both axes, so no plain work-shared loop can
+//! run it — the classic OpenMP answer is one task per block with
+//! `depend(in: west, north) depend(out: self)`, letting the dependence
+//! graph unroll the anti-diagonal wavefront automatically. This benchmark
+//! exists to exercise exactly that: the whole task graph is submitted
+//! eagerly from a `single`, and the `depgraph` runtime orders it.
+
+use minipy::Value;
+use omp4rs::exec::{parallel_region, DepSpec, ParallelConfig};
+use omp4rs::Backend;
+
+use crate::modes::{interpreted_runner, timed, BenchOutput, Mode};
+use crate::pyomp;
+use crate::util::SharedSlice;
+use crate::workloads::{random_f64s, DEFAULT_SEED};
+
+/// Table I-style feature row for this benchmark.
+pub const FEATURES: &str = "parallel, single, task depend(in/out) | wavefront DAG";
+
+/// Problem parameters. `n` must be a multiple of `block`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Table side length.
+    pub n: usize,
+    /// Block side length (task granularity).
+    pub block: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            n: 96,
+            block: 16,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl Params {
+    /// Blocks per side.
+    pub fn nb(&self) -> usize {
+        assert!(
+            self.block > 0 && self.n.is_multiple_of(self.block),
+            "n must be a multiple of block"
+        );
+        self.n / self.block
+    }
+}
+
+/// The input weight table (flat, row-major).
+pub fn input(p: &Params) -> Vec<f64> {
+    random_f64s(p.n * p.n, p.seed)
+}
+
+/// Sequential reference: the recurrence cell by cell.
+pub fn seq(p: &Params) -> Vec<f64> {
+    let n = p.n;
+    let mut t = input(p);
+    for i in 0..n {
+        for j in 0..n {
+            let up = if i > 0 { t[(i - 1) * n + j] } else { 0.0 };
+            let left = if j > 0 { t[i * n + j - 1] } else { 0.0 };
+            t[i * n + j] += 0.5 * up + 0.5 * left;
+        }
+    }
+    t
+}
+
+/// Checksum of a table.
+pub fn checksum(t: &[f64]) -> f64 {
+    t.iter().sum()
+}
+
+/// Dependence key for block `(bi, bj)` (shifted so the virtual `(-1, ·)`
+/// and `(·, -1)` border keys are distinct and never written — an `in` dep
+/// on a never-written key is vacuously ready).
+fn key(bi: i64, bj: i64) -> u64 {
+    (((bi + 1) as u64) << 32) | (bj + 1) as u64
+}
+
+fn block_spec(bi: usize, bj: usize) -> DepSpec {
+    DepSpec::new()
+        .input(key(bi as i64 - 1, bj as i64))
+        .input(key(bi as i64, bj as i64 - 1))
+        .output(key(bi as i64, bj as i64))
+}
+
+/// Update one block in place (rows `i0..i0+bs`, cols `j0..j0+bs`).
+///
+/// # Safety
+///
+/// The caller must guarantee exclusive access to the block and completed
+/// west/north neighbors — exactly what the dependence graph provides.
+unsafe fn block_native(t: &SharedSlice<'_, f64>, n: usize, bs: usize, bi: usize, bj: usize) {
+    for i in bi * bs..(bi + 1) * bs {
+        for j in bj * bs..(bj + 1) * bs {
+            let up = if i > 0 { t.get((i - 1) * n + j) } else { 0.0 };
+            let left = if j > 0 { t.get(i * n + j - 1) } else { 0.0 };
+            let v = t.get(i * n + j) + 0.5 * up + 0.5 * left;
+            t.set(i * n + j, v);
+        }
+    }
+}
+
+/// CompiledDT: native `f64` table, one dependence task per block.
+pub fn native(p: &Params, threads: usize) -> Vec<f64> {
+    let nb = p.nb();
+    let (n, bs) = (p.n, p.block);
+    let mut t = input(p);
+    {
+        let shared = SharedSlice::new(&mut t);
+        let cfg = ParallelConfig::new()
+            .num_threads(threads)
+            .backend(Backend::Atomic);
+        let shared = &shared;
+        parallel_region(&cfg, |ctx| {
+            ctx.single_nowait(|| {
+                for bi in 0..nb {
+                    for bj in 0..nb {
+                        ctx.task_depend(block_spec(bi, bj), move |_| {
+                            // SAFETY: depend(in: west, north) depend(out:
+                            // self) gives exclusive block access in order.
+                            unsafe { block_native(shared, n, bs, bi, bj) };
+                        });
+                    }
+                }
+            });
+        });
+    }
+    t
+}
+
+/// Compiled: the same task graph over a boxed value table.
+pub fn dynamic(p: &Params, threads: usize) -> Vec<f64> {
+    let nb = p.nb();
+    let (n, bs) = (p.n, p.block);
+    let t = Value::list(input(p).into_iter().map(Value::Float).collect());
+    let cfg = ParallelConfig::new()
+        .num_threads(threads)
+        .backend(Backend::Atomic);
+    parallel_region(&cfg, |ctx| {
+        ctx.single_nowait(|| {
+            for bi in 0..nb {
+                for bj in 0..nb {
+                    let t = t.clone();
+                    ctx.task_depend(block_spec(bi, bj), move |_| {
+                        let Value::List(cells) = &t else {
+                            unreachable!()
+                        };
+                        for i in bi * bs..(bi + 1) * bs {
+                            for j in bj * bs..(bj + 1) * bs {
+                                let mut cells = cells.write();
+                                let at = |c: &[Value], idx: usize| -> f64 {
+                                    c[idx].as_float().expect("cell")
+                                };
+                                let up = if i > 0 {
+                                    at(&cells, (i - 1) * n + j)
+                                } else {
+                                    0.0
+                                };
+                                let left = if j > 0 {
+                                    at(&cells, i * n + j - 1)
+                                } else {
+                                    0.0
+                                };
+                                let v = at(&cells, i * n + j) + 0.5 * up + 0.5 * left;
+                                cells[i * n + j] = Value::Float(v);
+                            }
+                        }
+                    });
+                }
+            }
+        });
+    });
+    match &t {
+        Value::List(cells) => cells
+            .read()
+            .iter()
+            .map(|v| v.as_float().expect("cell"))
+            .collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// The minipy source (Pure/Hybrid). Tuple `depend` items key the blocks;
+/// the border keys `(-1, ·)`/`(·, -1)` are never written, so first-row and
+/// first-column blocks release immediately.
+pub const SOURCE: &str = r#"
+from omp4py import *
+
+@omp
+def wf_block(t, w, n, bs, bi, bj):
+    for i in range(bi * bs, bi * bs + bs):
+        for j in range(bj * bs, bj * bs + bs):
+            up = 0.0
+            if i > 0:
+                up = t[(i - 1) * n + j]
+            left = 0.0
+            if j > 0:
+                left = t[i * n + j - 1]
+            t[i * n + j] = w[i * n + j] + 0.5 * up + 0.5 * left
+    return 0
+
+@omp
+def wavefront(t, w, n, bs, nb, nthreads):
+    with omp("parallel num_threads(nthreads)"):
+        with omp("single"):
+            for bi in range(nb):
+                for bj in range(nb):
+                    with omp("task depend(in: (bi - 1, bj), (bi, bj - 1)) depend(out: (bi, bj)) firstprivate(bi, bj)"):
+                        wf_block(t, w, n, bs, bi, bj)
+    return 0
+"#;
+
+/// Pure/Hybrid: interpreted execution.
+pub fn interpreted(mode: Mode, p: &Params, threads: usize) -> Vec<f64> {
+    let nb = p.nb();
+    let w0 = input(p);
+    let runner = interpreted_runner(mode, SOURCE);
+    let t = Value::list(w0.iter().map(|&v| Value::Float(v)).collect());
+    let w = Value::list(w0.into_iter().map(Value::Float).collect());
+    runner
+        .call_global(
+            "wavefront",
+            vec![
+                t.clone(),
+                w,
+                Value::Int(p.n as i64),
+                Value::Int(p.block as i64),
+                Value::Int(nb as i64),
+                Value::Int(threads as i64),
+            ],
+        )
+        .expect("wavefront benchmark failed");
+    match &t {
+        Value::List(cells) => cells
+            .read()
+            .iter()
+            .map(|v| v.as_float().expect("cell"))
+            .collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// Run in any mode, timed.
+///
+/// # Errors
+///
+/// Returns the PyOMP capability error for [`Mode::PyOmp`] (no `depend`).
+pub fn run(mode: Mode, threads: usize, p: &Params) -> Result<BenchOutput, String> {
+    if mode == Mode::PyOmp {
+        return Err(pyomp::unsupported_reason("wavefront")
+            .expect("wavefront unsupported")
+            .to_owned());
+    }
+    let (t, seconds) = match mode {
+        Mode::Pure | Mode::Hybrid => timed(|| interpreted(mode, p, threads)),
+        Mode::Compiled => timed(|| dynamic(p, threads)),
+        Mode::CompiledDT => timed(|| native(p, threads)),
+        Mode::PyOmp => unreachable!(),
+    };
+    Ok(BenchOutput {
+        seconds,
+        check: checksum(&t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::close;
+
+    fn small() -> Params {
+        Params {
+            n: 24,
+            block: 8,
+            seed: 41,
+        }
+    }
+
+    #[test]
+    fn seq_accumulates_wavefront() {
+        let p = small();
+        let t = seq(&p);
+        // The recurrence only adds positive mass, growing toward the
+        // bottom-right corner.
+        let w = input(&p);
+        assert!(t[p.n * p.n - 1] > w[p.n * p.n - 1]);
+        assert!(checksum(&t) > checksum(&w));
+    }
+
+    #[test]
+    fn native_matches_seq() {
+        let p = small();
+        let reference = checksum(&seq(&p));
+        for threads in [1, 4] {
+            assert!(
+                close(checksum(&native(&p, threads)), reference, 1e-12),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_seq() {
+        let p = small();
+        assert!(close(checksum(&dynamic(&p, 3)), checksum(&seq(&p)), 1e-12));
+    }
+
+    #[test]
+    fn interpreted_matches_seq() {
+        let p = Params {
+            n: 12,
+            block: 4,
+            seed: 43,
+        };
+        let reference = checksum(&seq(&p));
+        for mode in [Mode::Pure, Mode::Hybrid] {
+            assert!(
+                close(checksum(&interpreted(mode, &p, 2)), reference, 1e-9),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn pyomp_reports_capability_error() {
+        let err = run(Mode::PyOmp, 2, &small()).unwrap_err();
+        assert!(err.contains("depend"), "{err}");
+    }
+}

@@ -24,6 +24,7 @@ fn usage() -> ! {
     eprintln!("usage: main <mode> <test> <threads> [scale] [--profile] [--json] [--repeat N]");
     eprintln!("  mode: 0=Pure 1=Hybrid 2=Compiled 3=CompiledDT -1=PyOMP");
     eprintln!("  test: fft jacobi lud maze md pi qsort wordcount graphic");
+    eprintln!("        wavefront sparselu pagerank   (task-dependence suite)");
     std::process::exit(2);
 }
 
@@ -229,6 +230,31 @@ fn run_at(app: AppKind, mode: Mode, threads: usize, scale: f64) -> Result<(f64, 
             &wordcount::Params {
                 lines: f(4_000.0),
                 ..wordcount::Params::default()
+            },
+        )?,
+        AppKind::Wavefront => wavefront::run(
+            mode,
+            threads,
+            &wavefront::Params {
+                n: f(6.0).max(2) * 16,
+                block: 16,
+                ..wavefront::Params::default()
+            },
+        )?,
+        AppKind::SparseLu => sparselu::run(
+            mode,
+            threads,
+            &sparselu::Params {
+                nb: f(6.0).max(2),
+                ..sparselu::Params::default()
+            },
+        )?,
+        AppKind::Pagerank => pagerank::run(
+            mode,
+            threads,
+            &pagerank::Params {
+                nodes: f(600.0),
+                ..pagerank::Params::default()
             },
         )?,
     };

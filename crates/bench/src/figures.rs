@@ -20,7 +20,9 @@
 
 use omp4rs::sync::Backend;
 use omp4rs::ScheduleKind;
-use omp4rs_apps::{bfs, clustering, fft, jacobi, lu, md, pi, qsort, wordcount, Mode};
+use omp4rs_apps::{
+    bfs, clustering, fft, jacobi, lu, md, pagerank, pi, qsort, sparselu, wavefront, wordcount, Mode,
+};
 use simcore::{
     simulate_report, ClaimCost, CostModel, Machine, Phase, SimReport, SimSchedule, TaskShape,
     Workload,
@@ -43,6 +45,9 @@ pub enum AppKind {
     Bfs,
     Clustering,
     Wordcount,
+    Wavefront,
+    SparseLu,
+    Pagerank,
 }
 
 impl AppKind {
@@ -64,6 +69,13 @@ impl AppKind {
         [AppKind::Clustering, AppKind::Wordcount]
     }
 
+    /// The task-dependence suite (`BENCH_tasks.json` / `figure_tasks`):
+    /// applications a loop-parallel runtime cannot run — every one needs
+    /// `depend(in/out/inout)` (and `priority`) to order its task DAG.
+    pub fn tasks_suite() -> [AppKind; 3] {
+        [AppKind::Wavefront, AppKind::SparseLu, AppKind::Pagerank]
+    }
+
     /// Artifact test name.
     pub fn name(self) -> &'static str {
         match self {
@@ -76,6 +88,9 @@ impl AppKind {
             AppKind::Bfs => "maze",
             AppKind::Clustering => "graphic",
             AppKind::Wordcount => "wordcount",
+            AppKind::Wavefront => "wavefront",
+            AppKind::SparseLu => "sparselu",
+            AppKind::Pagerank => "pagerank",
         }
     }
 
@@ -91,6 +106,9 @@ impl AppKind {
             "bfs" | "maze" => AppKind::Bfs,
             "clustering" | "graphic" => AppKind::Clustering,
             "wordcount" => AppKind::Wordcount,
+            "wavefront" => AppKind::Wavefront,
+            "sparselu" | "lu_tasks" => AppKind::SparseLu,
+            "pagerank" => AppKind::Pagerank,
             _ => return None,
         })
     }
@@ -262,6 +280,43 @@ fn measure_once(app: AppKind, mode: Mode, scale: f64) -> Option<MeasuredCost> {
             Some(MeasuredCost {
                 seconds: out.seconds,
                 units: p.lines as u64,
+            })
+        }
+        AppKind::Wavefront => {
+            let p = wavefront::Params {
+                n: f(6.0).max(2) * 16,
+                block: 16,
+                ..wavefront::Params::default()
+            };
+            let out = wavefront::run(mode, 1, &p).ok()?;
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: (p.n * p.n) as u64, // cells
+            })
+        }
+        AppKind::SparseLu => {
+            let p = sparselu::Params {
+                nb: f(6.0).max(2),
+                ..sparselu::Params::default()
+            };
+            let out = sparselu::run(mode, 1, &p).ok()?;
+            let n = p.n() as u64;
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                units: (n * n * n / 3).max(1), // ~flops of dense LU
+            })
+        }
+        AppKind::Pagerank => {
+            let p = pagerank::Params {
+                nodes: f(600.0),
+                ..pagerank::Params::default()
+            };
+            let out = pagerank::run(mode, 1, &p).ok()?;
+            Some(MeasuredCost {
+                seconds: out.seconds,
+                // ~edge traversals (each undirected edge is read twice per
+                // iteration, once from each endpoint).
+                units: (p.iters * p.nodes * p.degree * 2).max(1) as u64,
             })
         }
     }
@@ -556,6 +611,52 @@ pub fn workload_for(
                     cost: per_unit * 50.0,
                 });
         }
+        AppKind::Wavefront => {
+            // Paper-style size: 2k×2k cells in 64×64 blocks. One dependence
+            // task per block, submitted from a single. The DES has no
+            // dependence edges, so SingleProducer + the block grain bounds
+            // the achievable overlap the same way the anti-diagonal
+            // wavefront does on average (width ≈ nb/2 of nb² tasks).
+            let n = 2_048u64;
+            let bs = 64u64;
+            let nb = n / bs;
+            w = w.phase(Phase::Tasks {
+                count: nb * nb,
+                cost_per_task: per_unit * (bs * bs) as f64,
+                shared_ops_per_task: ops(per_unit) * (bs * bs) as f64,
+                spawn_cost: prims.task_round.max(1e-7),
+                shape: TaskShape::SingleProducer,
+            });
+        }
+        AppKind::SparseLu => {
+            // Paper-style size: 2k×2k in 32×32 blocks of 64. Kernel count
+            // per step k: 1 + 2(nb−k−1) + (nb−k−1)²; total ≈ nb³/3.
+            let nb = 32u64;
+            let bs = 64u64;
+            let kernels: u64 = (0..nb)
+                .map(|k| 1 + 2 * (nb - k - 1) + (nb - k - 1).pow(2))
+                .sum();
+            w = w.phase(Phase::Tasks {
+                count: kernels,
+                cost_per_task: per_unit * (bs * bs * bs) as f64 / 3.0,
+                shared_ops_per_task: ops(per_unit) * (bs * bs) as f64,
+                spawn_cost: prims.task_round.max(1e-7),
+                shape: TaskShape::SingleProducer,
+            });
+        }
+        AppKind::Pagerank => {
+            // Paper-style size: 300k nodes, degree 4, 20 iterations, 4
+            // chunks per iteration (the pipeline's task grain).
+            let (nodes, degree, iters, chunks) = (300_000u64, 4u64, 20u64, 4u64);
+            let traversals = nodes * degree * 2 * iters;
+            w = w.phase(Phase::Tasks {
+                count: iters * chunks,
+                cost_per_task: per_unit * (traversals / (iters * chunks)) as f64,
+                shared_ops_per_task: ops(per_unit) * (traversals / (iters * chunks)) as f64,
+                spawn_cost: prims.task_round.max(1e-7),
+                shape: TaskShape::SingleProducer,
+            });
+        }
     }
     w
 }
@@ -617,10 +718,21 @@ mod tests {
 
     #[test]
     fn app_names_round_trip() {
-        for app in AppKind::figure5().into_iter().chain(AppKind::figure6()) {
+        for app in AppKind::figure5()
+            .into_iter()
+            .chain(AppKind::figure6())
+            .chain(AppKind::tasks_suite())
+        {
             assert_eq!(AppKind::parse(app.name()), Some(app), "{app:?}");
         }
         assert_eq!(AppKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn tasks_suite_is_outside_pyomp_envelope() {
+        for app in AppKind::tasks_suite() {
+            assert!(!app.pyomp_supported(), "{app:?} needs depend");
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use crate::depgraph::DepKind;
+
 /// A parse or validation error for a directive string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectiveError {
@@ -85,6 +87,9 @@ pub enum DirectiveKind {
     /// extension ("their semantics build on existing constructs"), so it is
     /// implemented here.
     Taskloop,
+    /// `taskgroup` — structured wait over the tasks (and their descendants)
+    /// created inside the block, composing with `cancel taskgroup`.
+    Taskgroup,
     /// `taskwait`
     Taskwait,
     /// `taskyield`
@@ -133,6 +138,7 @@ impl DirectiveKind {
             DirectiveKind::Ordered => "ordered",
             DirectiveKind::Task => "task",
             DirectiveKind::Taskloop => "taskloop",
+            DirectiveKind::Taskgroup => "taskgroup",
             DirectiveKind::Taskwait => "taskwait",
             DirectiveKind::Taskyield => "taskyield",
             DirectiveKind::Flush(_) => "flush",
@@ -160,6 +166,7 @@ impl DirectiveKind {
                 | DirectiveKind::Ordered
                 | DirectiveKind::Task
                 | DirectiveKind::Taskloop
+                | DirectiveKind::Taskgroup
         )
     }
 }
@@ -388,6 +395,16 @@ pub enum Clause {
     Untied,
     /// `mergeable` (task)
     Mergeable,
+    /// `depend(kind: items)` (task) — each item is host-evaluated
+    /// expression text naming a storage location.
+    Depend {
+        /// The dependence type.
+        kind: DepKind,
+        /// The dependence items (expression text, parens-aware split).
+        items: Vec<String>,
+    },
+    /// `priority(expr)` (task/taskloop): scheduling hint, higher first.
+    Priority(String),
 }
 
 impl Clause {
@@ -414,6 +431,8 @@ impl Clause {
             Clause::Nogroup => "nogroup",
             Clause::Untied => "untied",
             Clause::Mergeable => "mergeable",
+            Clause::Depend { .. } => "depend",
+            Clause::Priority(_) => "priority",
         }
     }
 }
@@ -544,6 +563,27 @@ impl Directive {
     pub fn num_threads_expr(&self) -> Option<&str> {
         self.find_clause(|c| match c {
             Clause::NumThreads(e) => Some(e.as_str()),
+            _ => None,
+        })
+    }
+
+    /// All `(kind, item)` pairs from `depend` clauses, in source order.
+    pub fn depends(&self) -> Vec<(DepKind, &str)> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            if let Clause::Depend { kind, items } = c {
+                for item in items {
+                    out.push((*kind, item.as_str()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `priority` clause expression, if present.
+    pub fn priority_expr(&self) -> Option<&str> {
+        self.find_clause(|c| match c {
+            Clause::Priority(e) => Some(e.as_str()),
             _ => None,
         })
     }
@@ -705,6 +745,7 @@ impl<'a> DirParser<'a> {
             "ordered" => DirectiveKind::Ordered,
             "task" => DirectiveKind::Task,
             "taskloop" => DirectiveKind::Taskloop,
+            "taskgroup" => DirectiveKind::Taskgroup,
             "taskwait" => DirectiveKind::Taskwait,
             "taskyield" => DirectiveKind::Taskyield,
             "cancel" => {
@@ -895,6 +936,24 @@ impl<'a> DirParser<'a> {
                 }
             }
             "final" => Clause::Final(require_arg(self.paren_arg()?)?.trim().to_owned()),
+            "depend" => {
+                let arg = require_arg(self.paren_arg()?)?;
+                let (kind_text, items_text) = arg.split_once(':').ok_or_else(|| {
+                    DirectiveError::at("depend clause requires 'type : list'", offset)
+                })?;
+                let kind_text = kind_text.trim();
+                let kind = DepKind::parse(kind_text).ok_or_else(|| {
+                    DirectiveError::at(
+                        format!("invalid depend type '{kind_text}' (expected in, out, or inout)"),
+                        offset,
+                    )
+                })?;
+                Clause::Depend {
+                    kind,
+                    items: split_exprs(items_text)?,
+                }
+            }
+            "priority" => Clause::Priority(require_arg(self.paren_arg()?)?.trim().to_owned()),
             "grainsize" => Clause::Grainsize(require_arg(self.paren_arg()?)?.trim().to_owned()),
             "num_tasks" => Clause::NumTasks(require_arg(self.paren_arg()?)?.trim().to_owned()),
             "nogroup" => Clause::Nogroup,
@@ -925,6 +984,7 @@ fn is_directive_word(s: &str) -> bool {
             | "ordered"
             | "task"
             | "taskloop"
+            | "taskgroup"
             | "taskwait"
             | "taskyield"
             | "flush"
@@ -970,6 +1030,35 @@ fn parse_cancel_arg(arg: &str) -> Result<(CancelConstruct, Option<Clause>), Dire
         None => None,
     };
     Ok((construct, if_clause))
+}
+
+/// Split a comma-separated *expression* list (`depend` items) at top-level
+/// commas only: unlike [`split_names`], items may be arbitrary host
+/// expressions (`a[i][j]`, `key(i, j)`), so commas inside brackets or
+/// parens do not split.
+fn split_exprs(arg: &str) -> Result<Vec<String>, DirectiveError> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, ch) in arg.char_indices() {
+        match ch {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(arg[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(DirectiveError::new("unbalanced brackets in depend list"));
+    }
+    out.push(arg[start..].trim());
+    if out.iter().any(|s| s.is_empty()) {
+        return Err(DirectiveError::new("empty item in depend list"));
+    }
+    Ok(out.into_iter().map(str::to_owned).collect())
 }
 
 fn split_names(arg: &str) -> Result<Vec<String>, DirectiveError> {
@@ -1065,6 +1154,8 @@ fn allowed_clauses(kind: &DirectiveKind) -> &'static [&'static str] {
             "private",
             "firstprivate",
             "shared",
+            "depend",
+            "priority",
         ],
         DirectiveKind::Taskloop => &[
             "if",
@@ -1078,7 +1169,9 @@ fn allowed_clauses(kind: &DirectiveKind) -> &'static [&'static str] {
             "grainsize",
             "num_tasks",
             "nogroup",
+            "priority",
         ],
+        DirectiveKind::Taskgroup => &[],
         DirectiveKind::Taskwait | DirectiveKind::Taskyield => &[],
         DirectiveKind::Cancel(_) => &["if"],
         DirectiveKind::CancellationPoint(_) => &[],
@@ -1100,6 +1193,7 @@ const UNIQUE_CLAUSES: &[&str] = &[
     "grainsize",
     "num_tasks",
     "nogroup",
+    "priority",
 ];
 
 fn validate(d: &Directive) -> Result<(), DirectiveError> {
@@ -1450,6 +1544,51 @@ mod tests {
         assert!(Directive::parse("parallel private(2bad)").is_err());
         assert!(Directive::parse("parallel private(a, )").is_err());
         assert!(Directive::parse("parallel private(a b)").is_err());
+    }
+
+    #[test]
+    fn depend_clause_forms() {
+        let d = Directive::parse("task depend(in: a, b) depend(out: c)").unwrap();
+        assert_eq!(
+            d.depends(),
+            vec![(DepKind::In, "a"), (DepKind::In, "b"), (DepKind::Out, "c"),]
+        );
+        // Items are expressions: commas inside brackets/parens do not split.
+        let d = Directive::parse("task depend(inout: m[i][j], key(i, j))").unwrap();
+        assert_eq!(
+            d.depends(),
+            vec![(DepKind::Inout, "m[i][j]"), (DepKind::Inout, "key(i, j)")]
+        );
+        assert!(
+            Directive::parse("task depend(a, b)").is_err(),
+            "missing type"
+        );
+        assert!(Directive::parse("task depend(rw: a)").is_err(), "bad type");
+        assert!(Directive::parse("task depend(in: )").is_err(), "empty list");
+        assert!(
+            Directive::parse("task depend(in: a[)").is_err(),
+            "unbalanced"
+        );
+        assert!(Directive::parse("for depend(in: a)").is_err(), "placement");
+    }
+
+    #[test]
+    fn priority_clause() {
+        let d = Directive::parse("task priority(3) depend(out: x)").unwrap();
+        assert_eq!(d.priority_expr(), Some("3"));
+        let d = Directive::parse("taskloop priority(n + 1) grainsize(4)").unwrap();
+        assert_eq!(d.priority_expr(), Some("n + 1"));
+        assert!(Directive::parse("task priority(1) priority(2)").is_err());
+        assert!(Directive::parse("parallel priority(1)").is_err());
+    }
+
+    #[test]
+    fn taskgroup_directive() {
+        let d = Directive::parse("taskgroup").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Taskgroup);
+        assert!(d.kind.is_block());
+        assert!(d.clauses.is_empty());
+        assert!(Directive::parse("taskgroup nowait").is_err());
     }
 
     #[test]

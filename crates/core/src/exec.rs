@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 
 use crate::adaptive;
 use crate::context;
+use crate::depgraph::{self, Dep};
 use crate::directive::{CancelConstruct, Clause, Directive, ScheduleKind};
 use crate::error::OmpError;
 use crate::icv::Icvs;
@@ -491,6 +492,10 @@ where
         });
     }
 
+    // Region exit on both paths: publish the dependence-graph counters
+    // alongside the pool's (the pooled path published those at the latch).
+    depgraph::publish_counters();
+
     let task_panic = team.tasks().take_panic();
     let thread_panic = panic_slot.into_inner();
     if let Some(p) = thread_panic.or(task_panic) {
@@ -615,6 +620,75 @@ fn run_worker<'env, F>(
         // `ompt::events()`.
         crate::ompt::flush_thread();
     }));
+}
+
+/// Builder for a `task` directive's dependence clauses: `depend(in/out/inout)`
+/// lists plus a `priority(n)` hint.
+///
+/// Dependence *keys* are opaque `u64` storage identifiers — typically a
+/// pointer cast (`&block as *const _ as u64`) or an encoded index pair.
+/// Two tasks are ordered when their keys are equal and at least one side is
+/// a write (`out`/`inout`), exactly OpenMP's list-item aliasing rule.
+///
+/// ```
+/// use omp4rs::exec::{parallel, DepSpec};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let x = AtomicU64::new(0);
+/// let key = &x as *const _ as u64;
+/// parallel("num_threads(2)", |ctx| {
+///     ctx.single(|| {
+///         ctx.task_depend(DepSpec::new().output(key), |_| {
+///             x.store(1, Ordering::SeqCst);
+///         });
+///         ctx.task_depend(DepSpec::new().inout(key), |_| {
+///             x.fetch_add(10, Ordering::SeqCst);
+///         });
+///     });
+/// });
+/// assert_eq!(x.load(Ordering::SeqCst), 11);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DepSpec {
+    deps: Vec<Dep>,
+    priority: i64,
+}
+
+impl DepSpec {
+    /// Empty spec: no dependences, priority 0.
+    pub fn new() -> DepSpec {
+        DepSpec::default()
+    }
+
+    /// Add a `depend(in: key)` item: wait for the last writer of `key`.
+    #[must_use]
+    pub fn input(mut self, key: u64) -> DepSpec {
+        self.deps.push(Dep::input(key));
+        self
+    }
+
+    /// Add a `depend(out: key)` item: wait for the last writer *and* all
+    /// readers of `key`, then become its last writer.
+    #[must_use]
+    pub fn output(mut self, key: u64) -> DepSpec {
+        self.deps.push(Dep::output(key));
+        self
+    }
+
+    /// Add a `depend(inout: key)` item (same ordering as [`DepSpec::output`]).
+    #[must_use]
+    pub fn inout(mut self, key: u64) -> DepSpec {
+        self.deps.push(Dep::inout(key));
+        self
+    }
+
+    /// `priority(n)`: scheduling hint; ready tasks with higher priority are
+    /// dequeued before any deque/bag task.
+    #[must_use]
+    pub fn priority(mut self, n: i64) -> DepSpec {
+        self.priority = n;
+        self
+    }
 }
 
 /// Handle to the enclosing parallel region, passed to the region body.
@@ -1061,6 +1135,37 @@ impl<'scope> WorkerCtx<'scope> {
         submit_scoped_task(&self.team, deferred, f);
     }
 
+    /// `task depend(...)`: submit a deferred task ordered by the dependence
+    /// items (and optional priority) in `spec`. The task is released to the
+    /// scheduler only once every predecessor in the dependence graph has
+    /// retired; see [`DepSpec`] and [`crate::depgraph`].
+    pub fn task_depend<F>(&self, spec: DepSpec, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task_ex(&self.team, true, spec.priority, spec.deps, f);
+    }
+
+    /// `task priority(n)`: submit a deferred task with a scheduling-priority
+    /// hint. Ready tasks with higher `n` are dequeued first; equal
+    /// priorities run in submission order.
+    pub fn task_priority<F>(&self, priority: i64, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task_ex(&self.team, true, priority, Vec::new(), f);
+    }
+
+    /// `taskgroup`: run `f`, then wait for *all* tasks spawned inside it —
+    /// including transitively by descendant tasks on other threads — to
+    /// complete. Composes with `cancel("taskgroup")`: cancellation discards
+    /// queued members and the wait returns. If `f` unwinds, the group is
+    /// abandoned without waiting (the region's task-draining barrier still
+    /// accounts for its members).
+    pub fn taskgroup<R>(&self, f: impl FnOnce() -> R) -> R {
+        taskgroup_scoped(&self.team, f)
+    }
+
     /// `taskloop` (OpenMP 4.5; a §V extension the paper defers): distribute
     /// the iterations of a loop as tasks. `grainsize` fixes iterations per
     /// task; otherwise `num_tasks` (default `2 × team size`) decides the
@@ -1148,6 +1253,29 @@ impl<'scope> TaskCtx<'scope> {
         submit_scoped_task(&self.team, deferred, f);
     }
 
+    /// Submit a nested task with dependence clauses (see
+    /// [`WorkerCtx::task_depend`]).
+    pub fn task_depend<F>(&self, spec: DepSpec, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task_ex(&self.team, true, spec.priority, spec.deps, f);
+    }
+
+    /// Submit a nested task with a priority hint (see
+    /// [`WorkerCtx::task_priority`]).
+    pub fn task_priority<F>(&self, priority: i64, f: F)
+    where
+        F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+    {
+        submit_scoped_task_ex(&self.team, true, priority, Vec::new(), f);
+    }
+
+    /// Nested `taskgroup` (see [`WorkerCtx::taskgroup`]).
+    pub fn taskgroup<R>(&self, f: impl FnOnce() -> R) -> R {
+        taskgroup_scoped(&self.team, f)
+    }
+
     /// Wait for this task's direct children.
     pub fn taskwait(&self) {
         self.team.taskwait();
@@ -1178,6 +1306,18 @@ fn submit_scoped_task<'scope, F>(team: &Arc<Team>, deferred: bool, f: F)
 where
     F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
 {
+    submit_scoped_task_ex(team, deferred, 0, Vec::new(), f);
+}
+
+fn submit_scoped_task_ex<'scope, F>(
+    team: &Arc<Team>,
+    deferred: bool,
+    priority: i64,
+    deps: Vec<Dep>,
+    f: F,
+) where
+    F: FnOnce(&TaskCtx<'scope>) + Send + 'scope,
+{
     let team_for_body = Arc::clone(team);
     let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
         let tc = TaskCtx {
@@ -1189,12 +1329,39 @@ where
     // SAFETY: the task is guaranteed to complete (and its closure to be
     // dropped) before `parallel_region` returns: every worker executes the
     // team's final task-draining barrier, which releases only when the task
-    // queue is empty and no task is in progress. `'scope` outlives the
-    // `parallel_region` call (enforced by the invariant lifetime on
-    // `WorkerCtx`/`TaskCtx`), so the boxed closure never outlives the data
-    // it borrows. This is the same argument `std::thread::scope` makes.
+    // queue is empty and no task is in progress. A dependence-held task
+    // stays counted in the queue's `outstanding` from submission, so the
+    // barrier also covers tasks parked in the dependence graph (and a
+    // cancelled graph *discards* — runs the drop of — every held closure
+    // rather than stranding it). `'scope` outlives the `parallel_region`
+    // call (enforced by the invariant lifetime on `WorkerCtx`/`TaskCtx`),
+    // so the boxed closure never outlives the data it borrows. This is the
+    // same argument `std::thread::scope` makes.
     let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
-    team.submit_task(body, deferred);
+    team.submit_task_ex(body, deferred, priority, deps);
+}
+
+/// Shared `taskgroup` implementation for [`WorkerCtx`]/[`TaskCtx`]: enter the
+/// group, run the body, and wait for members on the way out — unless the body
+/// unwinds, in which case the group is popped without waiting (waiting during
+/// an unwind could deadlock on members the panic orphaned; the region's final
+/// barrier still drains them).
+fn taskgroup_scoped<R>(team: &Arc<Team>, f: impl FnOnce() -> R) -> R {
+    struct EndGuard<'a>(&'a Arc<Team>);
+    impl Drop for EndGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                let _ = crate::depgraph::pop_group();
+            } else {
+                self.0.taskgroup_end();
+            }
+        }
+    }
+    team.taskgroup_begin();
+    let guard = EndGuard(team);
+    let out = f();
+    drop(guard);
+    out
 }
 
 /// Convert clause strings or [`ForSpec`] values into a [`ForSpec`].

@@ -1,8 +1,8 @@
 //! Deterministic fault injection for runtime robustness tests.
 //!
-//! The runtime calls [`on_event`] at four well-defined sites: every barrier
-//! arrival, every task-body execution, every loop-chunk claim, and every
-//! pooled-worker region dispatch. A test
+//! The runtime calls [`on_event`] at five well-defined sites: every barrier
+//! arrival, every task-body execution, every loop-chunk claim, every
+//! pooled-worker region dispatch, and every dependence-graph release. A test
 //! arms a seeded [`FaultPlan`] describing *which* occurrence of *which* site
 //! should panic (or stall); the hook then fires deterministically — the same
 //! plan always kills the same event, independent of thread interleaving,
@@ -37,10 +37,15 @@ pub enum FaultSite {
     /// worker thread, before it binds to the region's team — exercising the
     /// pool's recycle-after-panic path).
     WorkerDispatch,
+    /// A dependence-held task being released to the ready deques after its
+    /// last predecessor retired ([`crate::depgraph`]). A panic here is
+    /// absorbed by the releaser: the successor is discarded (not stranded)
+    /// and its own successors cascade through the same release path.
+    DepRelease,
 }
 
 impl FaultSite {
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     fn index(self) -> usize {
         match self {
@@ -48,6 +53,7 @@ impl FaultSite {
             FaultSite::TaskExecute => 1,
             FaultSite::ChunkClaim => 2,
             FaultSite::WorkerDispatch => 3,
+            FaultSite::DepRelease => 4,
         }
     }
 
@@ -58,6 +64,7 @@ impl FaultSite {
             FaultSite::TaskExecute => "task-execute",
             FaultSite::ChunkClaim => "chunk-claim",
             FaultSite::WorkerDispatch => "worker-dispatch",
+            FaultSite::DepRelease => "dep-release",
         }
     }
 }
@@ -135,8 +142,9 @@ impl FaultPlan {
     /// Parse the `OMP4RS_FAULTS` grammar: a comma-separated list of
     /// `seed:<n>`, `panic:<site>@<occurrence>`, and
     /// `delay:<site>@<occurrence>:<millis>` items, where `<site>` is
-    /// `barrier-arrival`, `task-execute`, `chunk-claim`, or `worker-dispatch`
-    /// (short forms `barrier`, `task`, `chunk`, `dispatch` also accepted).
+    /// `barrier-arrival`, `task-execute`, `chunk-claim`, `worker-dispatch`,
+    /// or `dep-release` (short forms `barrier`, `task`, `chunk`, `dispatch`,
+    /// `dep` also accepted).
     ///
     /// Returns `None` for malformed text or a plan that injects nothing —
     /// matching the env-var convention of [`crate::ompt::ToolConfig::parse`].
@@ -156,6 +164,7 @@ impl FaultPlan {
                 "task-execute" | "task" => Some(FaultSite::TaskExecute),
                 "chunk-claim" | "chunk" => Some(FaultSite::ChunkClaim),
                 "worker-dispatch" | "dispatch" => Some(FaultSite::WorkerDispatch),
+                "dep-release" | "dep" => Some(FaultSite::DepRelease),
                 _ => None,
             }
         }
@@ -200,6 +209,7 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 
 /// Global per-site occurrence counters (reset on every arm).
 static COUNTERS: [AtomicU64; FaultSite::COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -14,7 +14,8 @@
 //!   ([`schedule`], [`worksharing`]) with static/dynamic/guided/auto/runtime
 //!   policies, `collapse`, `ordered`, and `lastprivate` support;
 //! * **tasking** ([`tasks`]) with deferred/undeferred tasks, `taskwait`
-//!   child-tracking, and `taskyield`;
+//!   child-tracking, `taskyield`, `priority`, and — via the dependence
+//!   graph in [`depgraph`] — `depend(in/out/inout)` and `taskgroup`;
 //! * the **OpenMP runtime API** ([`api`]) with ICVs and `OMP_*` environment
 //!   variables ([`icv`]), locks and criticals ([`locks`]), and reductions
 //!   ([`reduction`]);
@@ -62,6 +63,7 @@
 pub mod adaptive;
 pub mod api;
 pub mod context;
+pub mod depgraph;
 pub mod directive;
 pub mod error;
 pub mod exec;
@@ -78,10 +80,12 @@ pub mod team;
 pub mod worksharing;
 
 pub use api::*;
+pub use depgraph::{Dep, DepKind};
 pub use directive::{CancelConstruct, Clause, Directive, DirectiveKind, ReductionOp, ScheduleKind};
 pub use error::OmpError;
 pub use exec::{
-    parallel, parallel_region, parallel_region_result, ForSpec, ParallelConfig, TaskCtx, WorkerCtx,
+    parallel, parallel_region, parallel_region_result, DepSpec, ForSpec, ParallelConfig, TaskCtx,
+    WorkerCtx,
 };
 pub use faults::{FaultPlan, FaultSite, InjectedFault};
 pub use icv::{Icvs, MinipyVm};

@@ -12,11 +12,13 @@
 //! thread affinity. Deques are sized from the recorded high-water mark of
 //! outstanding tasks (override: `OMP4RS_STEAL_CAP`).
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::depgraph::{Dep, DepGraph, RetireGuard};
 use crate::faults::{self, FaultSite};
 use crate::icv::Icvs;
 use crate::ompt;
@@ -78,6 +80,10 @@ pub struct TaskNode {
     state: AtomicU8,
     done: OmpEvent,
     body: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Set while the task waits on unretired `depend` predecessors: a held
+    /// node refuses claims (from queue pops *and* `taskwait` inlining)
+    /// until the dependence graph's release path clears the flag.
+    held: AtomicBool,
 }
 
 impl std::fmt::Debug for TaskNode {
@@ -89,12 +95,23 @@ impl std::fmt::Debug for TaskNode {
 }
 
 impl TaskNode {
-    fn new(backend: Backend, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
+    pub(crate) fn new(backend: Backend, body: Box<dyn FnOnce() + Send>) -> Arc<TaskNode> {
         Arc::new(TaskNode {
             state: AtomicU8::new(STATE_FREE),
             done: OmpEvent::new(backend),
             body: Mutex::new(Some(body)),
+            held: AtomicBool::new(false),
         })
+    }
+
+    /// Bar claims until [`TaskNode::release_hold`] (dependence hold).
+    pub(crate) fn hold(&self) {
+        self.held.store(true, Ordering::Release);
+    }
+
+    /// Clear the dependence hold: the node is claimable again.
+    pub(crate) fn release_hold(&self) {
+        self.held.store(false, Ordering::Release);
     }
 
     /// Current lifecycle state.
@@ -131,6 +148,9 @@ impl TaskNode {
     /// inline (which bounds stack growth to the task-tree depth instead of
     /// the task count).
     pub fn try_claim(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        if self.held.load(Ordering::Acquire) {
+            return None;
+        }
         if self
             .state
             .compare_exchange(
@@ -176,6 +196,38 @@ impl TaskNode {
     }
 }
 
+/// A `priority(n)` task awaiting execution: max-heap by priority, FIFO
+/// (submission sequence) among equals.
+struct PrioEntry {
+    priority: i64,
+    seq: u64,
+    node: Arc<TaskNode>,
+}
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &PrioEntry) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for PrioEntry {}
+
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &PrioEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &PrioEntry) -> std::cmp::Ordering {
+        // Reversed seq: among equal priorities the max-heap yields the
+        // earliest submission first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// The team-shared task queue: per-thread steal deques over a shared
 /// overflow bag.
 pub struct TaskQueue {
@@ -194,6 +246,14 @@ pub struct TaskQueue {
     /// discarded (marked complete without running) so barriers and
     /// `taskwait` release.
     cancelled: CancelFlag,
+    /// `depend` tracking; held tasks live here until predecessors retire.
+    dep: Arc<DepGraph>,
+    /// `priority(n)` submissions, drained ahead of the deques.
+    prio: Mutex<BinaryHeap<PrioEntry>>,
+    /// Fast-path mirror of `prio.len()`.
+    prio_len: AtomicUsize,
+    /// FIFO tie-break for equal priorities.
+    prio_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for TaskQueue {
@@ -223,10 +283,14 @@ impl TaskQueue {
             deques: (0..nthreads).map(|_| WorkDeque::new(cap)).collect(),
             steals: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
+            dep: Arc::new(DepGraph::new(Arc::clone(&wake))),
             wake,
             backend,
             panic_slot: Mutex::new(None),
             cancelled: CancelFlag::new(backend),
+            prio: Mutex::new(BinaryHeap::new()),
+            prio_len: AtomicUsize::new(0),
+            prio_seq: AtomicU64::new(0),
         }
     }
 
@@ -260,7 +324,34 @@ impl TaskQueue {
                 self.discard(&node);
             }
         }
+        while let Some(entry) = self.pop_prio() {
+            self.discard(&entry.node);
+        }
+        // A cancelled graph releases — not strands — its successors: every
+        // held task is handed back and discarded like any queued one.
+        self.drain_dep_cancelled();
         self.wake.notify_all();
+    }
+
+    /// Drain and discard everything the dependence graph still holds (the
+    /// cancel path, and the submit/cancel race re-check).
+    fn drain_dep_cancelled(&self) {
+        for r in self.dep.cancel_all() {
+            r.node.release_hold();
+            self.discard(&r.node);
+        }
+    }
+
+    /// Pop the highest-priority queued `priority(n)` task, if any.
+    fn pop_prio(&self) -> Option<PrioEntry> {
+        if self.prio_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let entry = self.prio.lock().pop();
+        if entry.is_some() {
+            self.prio_len.fetch_sub(1, Ordering::AcqRel);
+        }
+        entry
     }
 
     /// Discard one queued node if it has not started (claim it, drop the
@@ -270,6 +361,9 @@ impl TaskQueue {
             drop(body);
             let _ = node.finish(None);
             self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            // Dropping the body retires the task, which may have released
+            // dependence-held successors — wake parked threads to admit them.
+            self.wake.notify_all();
         }
     }
 
@@ -311,6 +405,18 @@ impl TaskQueue {
         body: Box<dyn FnOnce() + Send>,
         owner: Option<usize>,
     ) -> Arc<TaskNode> {
+        self.submit_with(body, owner, 0)
+    }
+
+    /// [`TaskQueue::submit_from`] with a `priority(n)` hint: non-zero
+    /// priorities go to a shared max-heap drained ahead of the deques
+    /// (highest first, FIFO among equals) instead of the LIFO deque path.
+    pub fn submit_with(
+        &self,
+        body: Box<dyn FnOnce() + Send>,
+        owner: Option<usize>,
+        priority: i64,
+    ) -> Arc<TaskNode> {
         ompt::record_here(ompt::EventKind::TaskCreate { deferred: true });
         let node = TaskNode::new(self.backend, body);
         if self.cancelled.is_set() {
@@ -322,21 +428,85 @@ impl TaskQueue {
         }
         let outstanding = self.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
         QUEUE_HWM.fetch_max(outstanding, Ordering::Relaxed);
-        match owner.and_then(|t| self.deques.get(t)) {
-            Some(deque) => {
-                if let Err(node) = deque.push(Arc::clone(&node)) {
-                    self.bag.push(node);
-                }
+        self.place(&node, owner, priority);
+        node
+    }
+
+    /// Submit a task ordered by `depend` items: it runs only after every
+    /// live predecessor (per the in/out/inout rules in [`crate::depgraph`])
+    /// has retired. Held tasks still count as outstanding — region
+    /// barriers, deadlines, and the watchdog all see them — but cannot be
+    /// claimed until released. With an empty `deps` list this is
+    /// [`TaskQueue::submit_with`].
+    pub fn submit_depend(
+        &self,
+        body: Box<dyn FnOnce() + Send>,
+        owner: Option<usize>,
+        priority: i64,
+        deps: &[Dep],
+    ) -> Arc<TaskNode> {
+        if deps.is_empty() {
+            return self.submit_with(body, owner, priority);
+        }
+        ompt::record_here(ompt::EventKind::TaskCreate { deferred: true });
+        let id = self.dep.alloc_id();
+        // The guard lives in the closure's environment (not its body), so
+        // retirement fires on *every* exit: body ran, body unwound, or the
+        // body was dropped unrun by cancellation's discard.
+        let guard = RetireGuard::new(Arc::clone(&self.dep), id);
+        let node = TaskNode::new(
+            self.backend,
+            Box::new(move || {
+                let _retire = guard;
+                body();
+            }),
+        );
+        if self.cancelled.is_set() {
+            if let Some(body) = node.try_claim() {
+                drop(body);
+                let _ = node.finish(None);
             }
-            None => self.bag.push(Arc::clone(&node)),
+            return node;
+        }
+        let outstanding = self.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        QUEUE_HWM.fetch_max(outstanding, Ordering::Relaxed);
+        if !self.dep.insert(id, &node, owner, priority, deps) {
+            self.place(&node, owner, priority);
+        } else if self.cancelled.is_set() {
+            // Submit/cancel race: `cancel` may have drained the graph
+            // before this insert landed — drain again so nothing strands.
+            self.drain_dep_cancelled();
+        }
+        node
+    }
+
+    /// Place an outstanding node on the queue (priority heap, owner deque,
+    /// or shared bag) and re-check the submit/cancel race.
+    fn place(&self, node: &Arc<TaskNode>, owner: Option<usize>, priority: i64) {
+        if priority != 0 {
+            let seq = self.prio_seq.fetch_add(1, Ordering::Relaxed);
+            self.prio.lock().push(PrioEntry {
+                priority,
+                seq,
+                node: Arc::clone(node),
+            });
+            self.prio_len.fetch_add(1, Ordering::AcqRel);
+        } else {
+            match owner.and_then(|t| self.deques.get(t)) {
+                Some(deque) => {
+                    if let Err(node) = deque.push(Arc::clone(node)) {
+                        self.bag.push(node);
+                    }
+                }
+                None => self.bag.push(Arc::clone(node)),
+            }
         }
         // Submit/cancel race: the drain in `cancel` may already have run.
         // Discard here so the node cannot linger outstanding forever.
         if self.cancelled.is_set() {
-            self.discard(&node);
+            self.discard(node);
         }
         self.wake.notify_all();
-        node
     }
 
     /// Execute an *undeferred* task (an `if(false)` task) immediately on the
@@ -366,10 +536,20 @@ impl TaskQueue {
     /// Pop and execute one task, if any is available. Returns whether a task
     /// was run. Nodes already claimed inline by `taskwait` are skipped.
     ///
-    /// Search order for team thread `me`: own deque (LIFO, cache-warm),
-    /// then the shared overflow queue (FIFO), then the other threads'
-    /// deques (FIFO steals, rotating victim order so thieves spread out).
+    /// Search order for team thread `me`: dependence releases admitted
+    /// first, then the priority heap (highest first), then the own deque
+    /// (LIFO, cache-warm), then the shared overflow queue (FIFO), then the
+    /// other threads' deques (FIFO steals, rotating victim order so
+    /// thieves spread out).
     pub fn run_one_from(&self, me: Option<usize>) -> bool {
+        if self.dep.ready_len() > 0 {
+            self.admit_released();
+        }
+        while let Some(entry) = self.pop_prio() {
+            if self.try_execute(&entry.node, false) {
+                return true;
+            }
+        }
         if let Some(deque) = me.and_then(|t| self.deques.get(t)) {
             while let Some(node) = deque.pop() {
                 if self.try_execute(&node, false) {
@@ -422,9 +602,48 @@ impl TaskQueue {
         }
     }
 
-    /// Whether the queue currently holds no runnable tasks (advisory).
+    /// The single held→runnable funnel: move every dependence-released
+    /// task onto the queue proper. Carries the `dep-release` fault site —
+    /// an injected panic here is recorded like a task panic and the
+    /// affected successor is *discarded*, which retires it and cascades
+    /// the release to its own successors instead of stranding them.
+    fn admit_released(&self) {
+        // Loop until the ready list is drained: discarding a faulted
+        // successor retires it, which can release *its* successors into the
+        // ready list mid-funnel — those must be admitted in the same pass,
+        // not stranded until another thread happens to look.
+        loop {
+            let batch = self.dep.take_ready();
+            if batch.is_empty() {
+                break;
+            }
+            for r in batch {
+                let fault =
+                    std::panic::catch_unwind(|| faults::on_event(FaultSite::DepRelease)).err();
+                r.node.release_hold();
+                match fault {
+                    None => self.place(&r.node, r.owner, r.priority),
+                    Some(p) => {
+                        self.record_panic(Some(p));
+                        self.discard(&r.node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tasks currently held on unretired `depend` predecessors.
+    pub fn dep_held(&self) -> usize {
+        self.dep.held_len()
+    }
+
+    /// Whether the queue currently holds no runnable tasks (advisory; a
+    /// dependence-held task is not runnable and does not count).
     pub fn is_empty(&self) -> bool {
-        self.bag.is_empty() && self.deques.iter().all(WorkDeque::is_empty)
+        self.bag.is_empty()
+            && self.deques.iter().all(WorkDeque::is_empty)
+            && self.prio_len.load(Ordering::Acquire) == 0
+            && self.dep.ready_len() == 0
     }
 }
 
@@ -638,6 +857,84 @@ mod tests {
             assert_eq!(q.outstanding(), 0);
             assert!(q.is_empty());
             assert!(!q.run_one_from(Some(0)));
+        }
+    }
+
+    #[test]
+    fn priority_order_is_observable_single_thread() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 1);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            for (label, prio) in [("p1", 1i64), ("p3a", 3), ("p2", 2), ("p3b", 3), ("p0", 0)] {
+                let order = Arc::clone(&order);
+                q.submit_with(Box::new(move || order.lock().push(label)), Some(0), prio);
+            }
+            while q.run_one_from(Some(0)) {}
+            assert_eq!(
+                *order.lock(),
+                vec!["p3a", "p3b", "p2", "p1", "p0"],
+                "highest priority first, FIFO among equals, deque last"
+            );
+            assert_eq!(q.outstanding(), 0);
+        }
+    }
+
+    #[test]
+    fn depend_chain_overrides_lifo_order() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 1);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut nodes = Vec::new();
+            for i in 0..4 {
+                let order = Arc::clone(&order);
+                nodes.push(q.submit_depend(
+                    Box::new(move || order.lock().push(i)),
+                    Some(0),
+                    0,
+                    &[Dep::inout(7)],
+                ));
+            }
+            assert_eq!(q.dep_held(), 3, "everything after the head is held");
+            assert_eq!(q.outstanding(), 4, "held tasks still count");
+            while q.run_one_from(Some(0)) {}
+            assert_eq!(
+                *order.lock(),
+                vec![0, 1, 2, 3],
+                "inout chain serializes in submission order, not deque LIFO"
+            );
+            assert!(nodes.iter().all(|n| n.is_done()));
+            assert_eq!(q.outstanding(), 0);
+            assert_eq!(q.dep_held(), 0);
+        }
+    }
+
+    #[test]
+    fn cancel_releases_held_dependents() {
+        for backend in both() {
+            let q = TaskQueue::with_threads(backend, Arc::new(Notifier::new()), 1);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let mut nodes = Vec::new();
+            for _ in 0..4 {
+                let h = Arc::clone(&hits);
+                nodes.push(q.submit_depend(
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Some(0),
+                    0,
+                    &[Dep::inout(11)],
+                ));
+            }
+            assert_eq!(q.dep_held(), 3);
+            q.cancel();
+            assert_eq!(hits.load(Ordering::SeqCst), 0, "no cancelled task ran");
+            assert!(
+                nodes.iter().all(|n| n.is_done()),
+                "held successors are released and discarded, not stranded"
+            );
+            assert_eq!(q.outstanding(), 0);
+            assert_eq!(q.dep_held(), 0);
+            assert!(q.is_empty());
         }
     }
 

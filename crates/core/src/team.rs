@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use std::cell::Cell;
 
 use crate::context;
+use crate::depgraph::{self, Dep, TaskGroup};
 use crate::error::OmpError;
 use crate::faults::{self, FaultSite};
 use crate::ompt;
@@ -553,6 +554,26 @@ impl Team {
     /// frame is pushed (nested `task` directives then register as children
     /// of this task) and popped even if the body panics.
     pub fn submit_task(&self, body: Box<dyn FnOnce() + Send>, deferred: bool) -> Arc<TaskNode> {
+        self.submit_task_ex(body, deferred, 0, Vec::new())
+    }
+
+    /// [`Team::submit_task`] with the full clause set: a `priority(n)` hint
+    /// and `depend` items. A task with dependences enters the graph in
+    /// [`crate::depgraph`] and runs only after its predecessors retire; an
+    /// *undeferred* task with dependences is submitted deferred and then
+    /// waited for (it cannot legally run inline ahead of its predecessors).
+    ///
+    /// The body is additionally tied to the submitting thread's current
+    /// `taskgroup`, and installs that group while running so tasks it
+    /// spawns — on whatever thread ends up executing it — join too.
+    pub fn submit_task_ex(
+        &self,
+        body: Box<dyn FnOnce() + Send>,
+        deferred: bool,
+        priority: i64,
+        deps: Vec<Dep>,
+    ) -> Arc<TaskNode> {
+        let membership = depgraph::Membership::enter_current();
         let wrapped = Box::new(move || {
             let frame = context::current_frame();
             if let Some(f) = &frame {
@@ -568,10 +589,20 @@ impl Team {
                 }
             }
             let _guard = PopGuard(frame);
+            let _group = membership.install();
             body();
         });
-        let node = if deferred {
-            self.tasks.submit_from(wrapped, self.my_thread_num())
+        let node = if !deps.is_empty() {
+            let node = self
+                .tasks
+                .submit_depend(wrapped, self.my_thread_num(), priority, &deps);
+            if !deferred {
+                self.wait_node(&node);
+            }
+            node
+        } else if deferred {
+            self.tasks
+                .submit_with(wrapped, self.my_thread_num(), priority)
         } else {
             self.tasks.run_undeferred(wrapped)
         };
@@ -579,6 +610,72 @@ impl Team {
             frame.register_child(Arc::clone(&node));
         }
         node
+    }
+
+    /// Wait for one specific task to complete, executing queued tasks while
+    /// waiting. Used for undeferred `depend` tasks: the node may be held on
+    /// predecessors, so the wait loop keeps offering to claim it (the claim
+    /// succeeds only once the dependence hold clears) and otherwise makes
+    /// progress on the queue, with the usual deadline-bounded park.
+    pub fn wait_node(&self, node: &TaskNode) {
+        let mut spins = sync::spin_iters();
+        loop {
+            let epoch = self.wake.epoch();
+            if node.is_done() || self.cancelled.is_set() {
+                return;
+            }
+            if let Some(body) = node.try_claim() {
+                EXEC_DEPTH.with(|d| d.set(d.get() + 1));
+                self.tasks.execute_claimed(node, body);
+                EXEC_DEPTH.with(|d| d.set(d.get() - 1));
+                continue;
+            }
+            if self.run_one_task() {
+                spins = sync::spin_iters();
+                continue;
+            }
+            if spins > 0 {
+                spins -= 1;
+                sync::spin_hint(spins);
+                continue;
+            }
+            self.park_region(epoch, "taskwait");
+        }
+    }
+
+    /// Enter a `taskgroup`: every task submitted by this thread — or by a
+    /// descendant task, on whatever thread runs it — until the matching
+    /// [`Team::taskgroup_end`] belongs to the group.
+    pub fn taskgroup_begin(&self) {
+        depgraph::push_group(TaskGroup::new(Arc::clone(&self.wake)));
+    }
+
+    /// Leave a `taskgroup`: wait until every member task has completed (or
+    /// been discarded by `cancel taskgroup` / region cancellation),
+    /// executing queued tasks while waiting. The park is region-deadline
+    /// bounded like every other construct, so a stuck group trips a typed
+    /// `RegionTimeout` instead of hanging.
+    pub fn taskgroup_end(&self) {
+        let Some(group) = depgraph::pop_group() else {
+            return;
+        };
+        let mut spins = sync::spin_iters();
+        loop {
+            let epoch = self.wake.epoch();
+            if group.live() == 0 || self.cancelled.is_set() {
+                return;
+            }
+            if self.run_one_task() {
+                spins = sync::spin_iters();
+                continue;
+            }
+            if spins > 0 {
+                spins -= 1;
+                sync::spin_hint(spins);
+                continue;
+            }
+            self.park_region(epoch, "taskgroup");
+        }
     }
 
     /// `taskwait`: block until all direct children of the current task are

@@ -16,6 +16,34 @@ pub fn average_clustering(g: &Graph) -> f64 {
     total / n as f64
 }
 
+/// PageRank by fixed-iteration power method (NetworkX `pagerank` over an
+/// undirected graph, minus dangling-mass redistribution: a node with no
+/// neighbors converges to `(1 - damping) / n`). Deterministic: every mode of
+/// the parallel benchmark sums each node's neighbor contributions in the
+/// same (adjacency) order, so results agree across implementations to
+/// floating-point noise only.
+pub fn pagerank(g: &Graph, damping: f64, iters: usize) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f64;
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iters {
+        for (u, slot) in next.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                sum += ranks[v] / g.degree(v) as f64;
+            }
+            *slot = base + damping * sum;
+        }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
 /// Length (in edges) of the shortest path between two nodes, by BFS.
 /// `None` if unreachable.
 pub fn bfs_shortest_path_len(g: &Graph, from: usize, to: usize) -> Option<usize> {
@@ -60,6 +88,42 @@ mod tests {
     fn average_clustering_empty_graph() {
         assert_eq!(average_clustering(&Graph::new(0)), 0.0);
         assert_eq!(average_clustering(&Graph::new(5)), 0.0);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_without_danglers() {
+        // A connected graph has no danglers, so mass is conserved.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let pr = pagerank(&g, 0.85, 30);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+        // The 4-cycle is vertex-transitive: all ranks equal.
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_high_degree_nodes_higher() {
+        // Star: the center should dominate.
+        let mut g = Graph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        let pr = pagerank(&g, 0.85, 50);
+        assert!(pr[0] > pr[1] * 2.0, "center {} leaf {}", pr[0], pr[1]);
+    }
+
+    #[test]
+    fn pagerank_isolated_node_gets_base_mass() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let pr = pagerank(&g, 0.85, 60);
+        assert!((pr[2] - 0.15 / 3.0).abs() < 1e-9, "isolated rank {}", pr[2]);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod algorithms;
 pub mod generators;
 pub mod graph;
 
-pub use algorithms::{average_clustering, bfs_shortest_path_len};
+pub use algorithms::{average_clustering, bfs_shortest_path_len, pagerank};
 pub use generators::{maze_grid, random_graph, Maze};
 pub use graph::Graph;

@@ -21,6 +21,7 @@ use minipy::error::{ErrKind, PyErr};
 use minipy::value::FuncValue;
 use minipy::{Args, Interp, NativeFunc, Opaque, Value};
 use omp4rs::context;
+use omp4rs::depgraph::Dep;
 use omp4rs::directive::{CancelConstruct, Directive, DirectiveKind, ScheduleKind};
 use omp4rs::exec::ParallelConfig;
 use omp4rs::locks::OmpLock;
@@ -1147,6 +1148,68 @@ fn build_runtime_module(mode: ExecMode) -> Value {
         }
         Ok(Value::None)
     });
+    // `task depend(...)` / `task priority(n)`: the transform evaluates the
+    // dependence item expressions at creation time and hands the resulting
+    // *values* here; hashing them into storage keys makes two tasks naming
+    // equal values conflict, mirroring same-address list items in compiled
+    // mode. Signature: (func, deferred, in_items, out_items, inout_items,
+    // priority).
+    native(&module, "task_submit_ex", |interp, args: Args| {
+        let func = args.req(0)?.clone();
+        let deferred = args.opt(1).map(Value::truthy).unwrap_or(true);
+        let mut deps = Vec::new();
+        for (idx, make) in [
+            (2usize, Dep::input as fn(u64) -> Dep),
+            (3, Dep::output as fn(u64) -> Dep),
+            (4, Dep::inout as fn(u64) -> Dep),
+        ] {
+            if let Some(Value::List(items)) = args.opt(idx) {
+                for item in items.read().iter() {
+                    deps.push(make(dep_key(item)?));
+                }
+            }
+        }
+        let priority = match args.opt(5) {
+            Some(Value::None) | None => 0,
+            Some(v) => v.as_int()?,
+        };
+        match current_team() {
+            Some(team) => {
+                let task_interp = interp.clone();
+                let body = Box::new(move || {
+                    if let Err(e) = task_interp.call(&func, vec![]) {
+                        std::panic::panic_any(TaskPyErr(e));
+                    }
+                });
+                if deferred || deps.is_empty() {
+                    team.submit_task_ex(body, deferred, priority, deps);
+                } else {
+                    // An undeferred task with dependences waits for its
+                    // predecessors; release the GIL while parked so other
+                    // team threads can run the interpreted tasks it needs.
+                    blocking(interp, || team.submit_task_ex(body, false, priority, deps));
+                }
+            }
+            None => {
+                // Outside a parallel region tasks run undeferred in program
+                // order, which already satisfies every dependence.
+                interp.call(&func, vec![])?;
+            }
+        }
+        Ok(Value::None)
+    });
+    native(&module, "taskgroup_begin", |_, _| {
+        if let Some(team) = current_team() {
+            team.taskgroup_begin();
+        }
+        Ok(Value::None)
+    });
+    native(&module, "taskgroup_end", |interp, _| {
+        if let Some(team) = current_team() {
+            blocking(interp, || team.taskgroup_end());
+        }
+        Ok(Value::None)
+    });
     native(&module, "taskloop_run", |interp, args: Args| {
         let func = args.req(0)?.clone();
         let start = args.req(1)?.as_int()?;
@@ -1275,6 +1338,68 @@ fn build_runtime_module(mode: ExecMode) -> Value {
     native(&module, "mode", move |_, _| Ok(Value::str(mode.name())));
 
     Value::Opaque(Arc::new(module))
+}
+
+/// Hash a `depend` list-item value into a dependence-graph storage key
+/// (FNV-1a over a type tag and the value's bytes; tuples/lists fold their
+/// elements). Equal values — ints, floats, bools, strings, and nestings of
+/// those — produce equal keys, so two tasks naming the same item conflict
+/// exactly like same-address list items do in compiled mode.
+fn dep_key(v: &Value) -> Result<u64, PyErr> {
+    fn mix(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn go(v: &Value, h: &mut u64) -> Result<(), PyErr> {
+        match v {
+            Value::Int(i) => {
+                mix(h, b"i");
+                mix(h, &i.to_le_bytes());
+            }
+            Value::Bool(b) => {
+                mix(h, b"b");
+                mix(h, &[u8::from(*b)]);
+            }
+            Value::Float(f) => {
+                mix(h, b"f");
+                mix(h, &f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                mix(h, b"s");
+                mix(h, s.as_bytes());
+                mix(h, &[0xff]);
+            }
+            Value::Tuple(items) => {
+                mix(h, b"t");
+                for item in items.iter() {
+                    go(item, h)?;
+                }
+                mix(h, &[0xfe]);
+            }
+            Value::List(items) => {
+                mix(h, b"t");
+                for item in items.read().iter() {
+                    go(item, h)?;
+                }
+                mix(h, &[0xfe]);
+            }
+            other => {
+                return Err(err(
+                    ErrKind::Type,
+                    format!(
+                        "depend item of type {} cannot be used as a storage key",
+                        other.type_name()
+                    ),
+                ))
+            }
+        }
+        Ok(())
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    go(v, &mut h)?;
+    Ok(h)
 }
 
 /// Serial (no-team) `sections_next`: iterate sections with a per-handle

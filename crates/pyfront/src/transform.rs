@@ -477,6 +477,24 @@ impl Transformer {
                 let inner = self.transform_block(body)?;
                 self.emit_task(&directive, inner, body, line)
             }
+            DirectiveKind::Taskgroup => {
+                // Critical-style shape: enter, then leave in a `finally` so
+                // the group is closed even when the block raises (queued
+                // members still execute; the end-wait is deadline-bounded).
+                let inner = self.transform_block(body)?;
+                Ok(vec![
+                    omp_call_stmt("taskgroup_begin", vec![]),
+                    Stmt::new(
+                        StmtKind::Try {
+                            body: inner,
+                            handlers: Vec::new(),
+                            orelse: Vec::new(),
+                            finalbody: vec![omp_call_stmt("taskgroup_end", vec![])],
+                        },
+                        line,
+                    ),
+                ])
+            }
             DirectiveKind::Taskloop => self.handle_taskloop(&directive, body, line),
             DirectiveKind::Barrier
             | DirectiveKind::Taskwait
@@ -765,10 +783,44 @@ impl Transformer {
             };
         }
 
-        Ok(vec![
-            Stmt::new(StmtKind::FuncDef(func_def), line),
-            omp_call_stmt("task_submit", vec![Expr::name(&fname), deferred]),
-        ])
+        // depend/priority clauses route through `task_submit_ex`; the
+        // dependence item expressions are evaluated at *creation* time (like
+        // firstprivate captures) — the runtime hashes the resulting values
+        // into storage keys, so two tasks naming equal values conflict.
+        let depends = directive.depends();
+        let priority_text = directive.priority_expr();
+        let submit = if depends.is_empty() && priority_text.is_none() {
+            omp_call_stmt("task_submit", vec![Expr::name(&fname), deferred])
+        } else {
+            use omp4rs::depgraph::DepKind;
+            let mut ins = Vec::new();
+            let mut outs = Vec::new();
+            let mut inouts = Vec::new();
+            for (kind, item) in depends {
+                let e = parse_clause_expr(item, line)?;
+                match kind {
+                    DepKind::In => ins.push(e),
+                    DepKind::Out => outs.push(e),
+                    DepKind::Inout => inouts.push(e),
+                }
+            }
+            let priority = match priority_text {
+                Some(text) => parse_clause_expr(text, line)?,
+                None => Expr::Int(0),
+            };
+            omp_call_stmt(
+                "task_submit_ex",
+                vec![
+                    Expr::name(&fname),
+                    deferred,
+                    Expr::List(ins),
+                    Expr::List(outs),
+                    Expr::List(inouts),
+                    priority,
+                ],
+            )
+        };
+        Ok(vec![Stmt::new(StmtKind::FuncDef(func_def), line), submit])
     }
 
     // ---- for -----------------------------------------------------------------

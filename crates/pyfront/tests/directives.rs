@@ -832,3 +832,101 @@ fn mode_visible_to_interpreted_code() {
         );
     }
 }
+
+#[test]
+fn task_depend_chain_orders_siblings() {
+    // An inout chain on one key serializes the tasks in submission order
+    // even with a 4-thread team racing to steal them.
+    let src = r#"
+from omp4py import *
+
+@omp
+def chain(n):
+    order = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            for i in range(n):
+                with omp("task depend(inout: 0) firstprivate(i)"):
+                    order.append(i)
+    return order
+"#;
+    for mode in both_modes() {
+        let v = run_and_call(mode, src, "chain", vec![Value::Int(12)]);
+        let Value::List(items) = v else {
+            panic!("{mode:?}: expected list")
+        };
+        let got: Vec<i64> = items.read().iter().map(|x| x.as_int().unwrap()).collect();
+        assert_eq!(got, (0..12).collect::<Vec<_>>(), "{mode:?}");
+    }
+}
+
+#[test]
+fn taskgroup_waits_and_depend_takes_tuple_keys() {
+    // A diamond ordered by tuple dependence keys inside a taskgroup: the
+    // append after the group must observe all four members done.
+    let src = r#"
+from omp4py import *
+
+@omp
+def diamond():
+    log = []
+    with omp("parallel num_threads(4)"):
+        with omp("single"):
+            with omp("taskgroup"):
+                with omp("task depend(out: (0, 0))"):
+                    log.append("a")
+                with omp("task depend(in: (0, 0)) depend(out: (0, 1))"):
+                    log.append("b")
+                with omp("task depend(in: (0, 0)) depend(out: (1, 0))"):
+                    log.append("c")
+                with omp("task depend(in: (0, 1), (1, 0))"):
+                    log.append("d")
+            log.append("end")
+    return log
+"#;
+    for mode in both_modes() {
+        let v = run_and_call(mode, src, "diamond", vec![]);
+        let Value::List(items) = v else {
+            panic!("{mode:?}: expected list")
+        };
+        let got: Vec<String> = items
+            .read()
+            .iter()
+            .map(|x| x.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(got.len(), 5, "{mode:?}: {got:?}");
+        assert_eq!(got[0], "a", "{mode:?}: {got:?}");
+        let mut mid = [got[1].clone(), got[2].clone()];
+        mid.sort();
+        assert_eq!(mid, ["b", "c"], "{mode:?}: {got:?}");
+        assert_eq!(got[3], "d", "{mode:?}: {got:?}");
+        assert_eq!(got[4], "end", "{mode:?}: {got:?}");
+    }
+}
+
+#[test]
+fn task_priority_clause_is_honored() {
+    // One thread: every task defers into the priority heap while the
+    // single block runs, then drains highest-priority-first.
+    let src = r#"
+from omp4py import *
+
+@omp
+def prio():
+    order = []
+    with omp("parallel num_threads(1)"):
+        with omp("single"):
+            for p in [1, 3, 2, 5, 4]:
+                with omp("task priority(p) firstprivate(p)"):
+                    order.append(p)
+    return order
+"#;
+    for mode in both_modes() {
+        let v = run_and_call(mode, src, "prio", vec![]);
+        let Value::List(items) = v else {
+            panic!("{mode:?}: expected list")
+        };
+        let got: Vec<i64> = items.read().iter().map(|x| x.as_int().unwrap()).collect();
+        assert_eq!(got, vec![5, 4, 3, 2, 1], "{mode:?}");
+    }
+}

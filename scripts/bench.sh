@@ -14,6 +14,10 @@
 #     disabled per-event overhead, and sustained events/sec drained through
 #     the bounded-ring + flusher + rotating-sink pipeline per overflow
 #     policy (drop-oldest / drop-newest / block).
+#  5. BENCH_tasks.json — the task-dependence suite (wavefront, sparselu,
+#     pagerank: depend-ordered DAGs) across the four OMP4Py modes, plus a
+#     thread sweep for CompiledDT. PyOMP is absent by construction: it has
+#     no task depend clause (see omp4rs_apps::pyomp).
 #
 #   ./scripts/bench.sh                 # defaults: 4 threads, 5 repeats
 #   THREADS=8 REPEAT=9 ./scripts/bench.sh
@@ -44,6 +48,9 @@ SERVE_CLIENTS=${SERVE_CLIENTS:-1,2,4,8}
 TRACE_OUT=${TRACE_OUT:-BENCH_trace.json}
 TRACE_TRIALS=${TRACE_TRIALS:-7}
 TRACE_SUSTAINED_MS=${TRACE_SUSTAINED_MS:-1000}
+TASKS_OUT=${TASKS_OUT:-BENCH_tasks.json}
+TASKS_SCALE=${TASKS_SCALE:-1.0}
+TASKS_REPEAT=${TASKS_REPEAT:-3}
 # Shard-count sweep: re-run the contended cells under explicit
 # OMP4RS_POOL_SHARDS values (shard count freezes at first dispatch, so each
 # geometry is its own process). Results land as a "shard_sweep" member in
@@ -195,3 +202,50 @@ echo "==> overhead trials=$TRACE_TRIALS sustained-ms=$TRACE_SUSTAINED_MS" >&2
 python3 -c "import json,sys; json.load(open('$TRACE_OUT'))" 2>/dev/null \
     || { echo "$TRACE_OUT is not valid JSON" >&2; exit 1; }
 echo "wrote $TRACE_OUT"
+
+# ------------------------------------------------------------------- tasks
+# Task-dependence suite: the three depend-ordered DAG apps in every OMP4Py
+# mode at the shared thread count, then a CompiledDT thread sweep. Rows are
+# the same self-describing JSON objects as the pi section (effective_scale
+# records the per-mode problem multiplier).
+task_runs=""
+for app in wavefront sparselu pagerank; do
+    for mode in 0 1 2 3; do
+        echo "==> tasks app=$app mode=$mode threads=$THREADS scale=$TASKS_SCALE" >&2
+        line=$("$BIN" "$mode" "$app" "$THREADS" "$TASKS_SCALE" --json --repeat "$TASKS_REPEAT")
+        echo "    $line" >&2
+        task_runs+="${task_runs:+,
+  }$line"
+    done
+done
+
+task_sweep=""
+for t in "${SWEEP[@]}"; do
+    for app in wavefront sparselu pagerank; do
+        echo "==> tasks sweep app=$app mode=3 threads=$t" >&2
+        line=$("$BIN" 3 "$app" "$t" "$TASKS_SCALE" --json --repeat "$TASKS_REPEAT")
+        echo "    $line" >&2
+        task_sweep+="${task_sweep:+,
+  }$line"
+    done
+done
+
+cat > "$TASKS_OUT" <<EOF
+{
+ "benchmark": "tasks",
+ "apps": ["wavefront", "sparselu", "pagerank"],
+ "threads": $THREADS,
+ "repeat": $TASKS_REPEAT,
+ "scale": $TASKS_SCALE,
+ "pyomp": "cannot run: no task depend clause or taskgroup support",
+ "runs": [
+  $task_runs
+ ],
+ "sweep": [
+  $task_sweep
+ ]
+}
+EOF
+python3 -c "import json,sys; json.load(open('$TASKS_OUT'))" 2>/dev/null \
+    || { echo "$TASKS_OUT is not valid JSON" >&2; exit 1; }
+echo "wrote $TASKS_OUT"

@@ -21,6 +21,11 @@ run cargo test -q
 # test-filter or package-list change can never silently drop them.
 run cargo test -q -p minipy --test vm_differential
 run cargo test -q -p omp4rs-apps --test vm_differential
+# Task-dependence runtime: depgraph ordering (chain/diamond/WAR-WAW),
+# child-scoped taskwait, observable priority, taskgroup cancellation and
+# deadlines, the dep-release fault site, and the seeded chaos accounting
+# invariant (deferred == released) — named explicitly for the same reason.
+run cargo test -q -p omp4rs --test task_dependences
 # Shard-geometry matrix: the pool lifecycle invariants (panic poisons the
 # region not the pool, cancellation, pool-off bypass, hot-team reuse) must
 # hold under every shard count, and the single-shard legacy-shape test only
@@ -55,6 +60,10 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
     # + injected stall + minimpi rank failures, simultaneously) must finish
     # with zero hangs, zero cascading panics, and exact degradation counts.
     run cargo run --release -p omp4rs-bench --bin soak -- --check
+    # Task-dependence figure smoke: all three DAG apps in all four modes at a
+    # small scale; the bin itself brackets the omp4rs.task.dep.* counters, so
+    # a stranded successor (deferred != released) shows up in its output.
+    run cargo run --release -p omp4rs-bench --bin figure_tasks -- --scale 0.05
 fi
 
 echo
