@@ -806,7 +806,10 @@ mod tests {
     #[test]
     fn measured_costs_order_modes() {
         // The headline mode ordering, measured for real on this host:
-        // interpreted ≫ boxed-compiled ≫ native.
+        // interpreted ≫ boxed-compiled ≫ native. The interpreter gap bound
+        // accommodates the VM's quickened tier (fused range loops bring the
+        // interpreted π kernel within ~10-15× of native rather than the
+        // tree-walker-era 100×+); it must still be clearly interpreted.
         let pure = measure(AppKind::Pi, Mode::Pure, 0.2).unwrap().per_unit();
         let compiled = measure(AppKind::Pi, Mode::Compiled, 0.2)
             .unwrap()
@@ -819,7 +822,7 @@ mod tests {
             "per-unit costs must order: pure={pure:.2e} compiled={compiled:.2e} native={native:.2e}"
         );
         assert!(
-            pure / native > 20.0,
+            pure / native > 5.0,
             "interpreter gap should be large: {}",
             pure / native
         );

@@ -72,6 +72,15 @@ impl Profile {
         omp4rs::ompt::set_counter("minipy.gil.hold_ns", stats.gil_hold_ns);
         omp4rs::ompt::set_counter("minipy.obj_lock.acquisitions", stats.obj_lock_acquisitions);
         omp4rs::ompt::set_counter("minipy.obj_lock.contended", stats.obj_lock_contended);
+        omp4rs::ompt::set_counter("minipy.vm.compiles", stats.vm_compiles);
+        omp4rs::ompt::set_counter("minipy.vm.compile_ns", stats.vm_compile_ns);
+        omp4rs::ompt::set_counter("minipy.vm.fallbacks", stats.vm_fallbacks);
+        omp4rs::ompt::set_counter("minipy.vm.frames", stats.vm_frames);
+        omp4rs::ompt::set_counter("minipy.vm.ops", stats.vm_ops);
+        omp4rs::ompt::set_counter("minipy.vm.quicken.rewrites", stats.quicken_rewrites);
+        omp4rs::ompt::set_counter("minipy.vm.quicken.deopts", stats.quicken_deopts);
+        omp4rs::ompt::set_counter("minipy.vm.ic.hits", stats.ic_hits);
+        omp4rs::ompt::set_counter("minipy.vm.ic.misses", stats.ic_misses);
         match omp4rs::ompt::finalize() {
             Ok(Some(path)) => {
                 match std::fs::read_to_string(&path)

@@ -1177,8 +1177,13 @@ impl<'a> Compiler<'a> {
             let (argbase, kw) = self.eval_args(args, kwargs)?;
             let obj = self.operand(value)?;
             let attr = self.name_idx(attr);
+            // Method calls get an inline-cache slot like intrinsics: the
+            // quickening tier caches the receiver-type dispatch there.
+            let site = self.n_sites;
+            self.n_sites += 1;
             self.emit(Op::CallMethod {
                 dst,
+                site,
                 obj,
                 attr,
                 argbase,
@@ -1300,9 +1305,43 @@ impl<'a> Compiler<'a> {
                 _ => unreachable!("params are locals"),
             })
             .collect();
+        let quick = (0..self.ops.len())
+            .map(|_| std::sync::atomic::AtomicU8::new(0))
+            .collect();
+        // Fused-loop eligibility: an `IterNext` whose body is straight-line
+        // register-only numeric work closed by its own back-edge can run
+        // whole iterations in one quickened handler (`quick::FUSED_RANGE`).
+        // Any control flow, call, cell store, or container build in the body
+        // disqualifies the loop (those ops need per-op dispatch semantics —
+        // ticks, materialization, unwind targets). Encoded as body length
+        // plus one; 0 = ineligible.
+        use super::opcode::FUSED_MAX_BODY;
+        let fused = (0..self.ops.len())
+            .map(|pc| {
+                if !matches!(self.ops[pc], Op::IterNext { .. }) {
+                    return 0;
+                }
+                let mut k = pc + 1;
+                while k < self.ops.len() && k - pc <= FUSED_MAX_BODY {
+                    match &self.ops[k] {
+                        Op::Binary { .. }
+                        | Op::AugLocal { .. }
+                        | Op::Copy { .. }
+                        | Op::LoadFree { .. } => k += 1,
+                        Op::Jump { target } if *target as usize == pc => {
+                            return (k - pc) as u16;
+                        }
+                        _ => return 0,
+                    }
+                }
+                0
+            })
+            .collect();
         Ok(Arc::new(CompiledCode {
             name: self.def.name.clone(),
             ops: self.ops,
+            quick,
+            fused,
             lines: self.lines,
             consts: self.consts,
             names: self.names,

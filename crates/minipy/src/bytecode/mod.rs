@@ -42,6 +42,16 @@
 //! compile behaves exactly as before. Compile results (including negative
 //! ones) are cached per function definition, so the decision is paid once.
 //!
+//! # Tier 2 (`OMP4RS_MINIPY_QUICKEN`)
+//!
+//! On top of the compiled tier sits an adaptive specialization tier governed
+//! by [`QuickenMode`]: generic instructions rewrite themselves in place to
+//! type-specialized variants on first execution (guard-and-deopt back to
+//! generic on mismatch), cached dispatch sites become uniform inline caches
+//! with hit/miss counters, and — at `on` — provably-local `int`/`float`
+//! registers are kept unboxed in a per-frame tag plane. See
+//! [`vm`] for the state machine and escape rules.
+//!
 //! # Observability
 //!
 //! The tier publishes `minipy.vm.*` counters through [`crate::stats`] (the
@@ -108,8 +118,88 @@ impl VmMode {
     }
 }
 
+/// The `OMP4RS_MINIPY_QUICKEN` tri-state: how aggressive the VM's tier-2
+/// specialization (quickened opcodes, inline caches, unboxed registers) is.
+///
+/// The tier only changes *how* instructions execute, never *what* they
+/// compute: every specialized handler shares its semantics helpers with the
+/// tree-walker and deoptimizes back to the generic form on any guard
+/// failure, so all three settings are differential-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuickenMode {
+    /// Generic dispatch only — the exact tier-1 VM (the A/B baseline).
+    Off,
+    /// Quickened opcodes plus inline caches, with boxed register writes.
+    /// The default.
+    #[default]
+    Auto,
+    /// Like `Auto`, plus the unboxed-register tag plane: provably-local
+    /// `int`/`float` values stay out of `Value` inside a bytecode body and
+    /// are materialized only at escape points.
+    On,
+}
+
+impl QuickenMode {
+    /// Parse the `OMP4RS_MINIPY_QUICKEN` spellings (same table as
+    /// [`VmMode::parse`]). `None` for unrecognized text.
+    pub fn parse(text: &str) -> Option<QuickenMode> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "false" | "0" | "no" => Some(QuickenMode::Off),
+            "auto" => Some(QuickenMode::Auto),
+            "on" | "true" | "1" | "yes" => Some(QuickenMode::On),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> QuickenMode {
+        match v {
+            1 => QuickenMode::Off,
+            3 => QuickenMode::On,
+            _ => QuickenMode::Auto,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            QuickenMode::Off => 1,
+            QuickenMode::Auto => 2,
+            QuickenMode::On => 3,
+        }
+    }
+}
+
 /// 0 = uninitialized (read the environment on first use).
 static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// 0 = uninitialized (read the environment on first use).
+static QUICKEN: AtomicU8 = AtomicU8::new(0);
+
+/// The current quickening mode (initialized from `OMP4RS_MINIPY_QUICKEN` on
+/// first read).
+pub fn quicken_mode() -> QuickenMode {
+    match QUICKEN.load(Ordering::Relaxed) {
+        0 => {
+            let m = std::env::var("OMP4RS_MINIPY_QUICKEN")
+                .ok()
+                .as_deref()
+                .and_then(QuickenMode::parse)
+                .unwrap_or_default();
+            // Racing first reads agree (same env), so a plain store is fine.
+            QUICKEN.store(m.as_u8(), Ordering::Relaxed);
+            m
+        }
+        v => QuickenMode::from_u8(v),
+    }
+}
+
+/// Set the quickening mode, returning the previous one. Used by the pyfront
+/// bridge (mirroring `Icvs::minipy_quicken`) and by tests/benchmarks that
+/// sweep the tier in-process.
+pub fn set_quicken_mode(m: QuickenMode) -> QuickenMode {
+    let prev = quicken_mode();
+    QUICKEN.store(m.as_u8(), Ordering::SeqCst);
+    prev
+}
 
 /// The current VM mode (initialized from `OMP4RS_MINIPY_VM` on first read).
 pub fn mode() -> VmMode {
@@ -263,6 +353,23 @@ mod tests {
         assert_eq!(VmMode::parse("1"), Some(VmMode::On));
         assert_eq!(VmMode::parse("bogus"), None);
         assert_eq!(VmMode::default(), VmMode::Auto);
+    }
+
+    #[test]
+    fn quicken_spellings() {
+        assert_eq!(QuickenMode::parse("off"), Some(QuickenMode::Off));
+        assert_eq!(QuickenMode::parse(" ON "), Some(QuickenMode::On));
+        assert_eq!(QuickenMode::parse("auto"), Some(QuickenMode::Auto));
+        assert_eq!(QuickenMode::parse("no"), Some(QuickenMode::Off));
+        assert_eq!(QuickenMode::parse("bogus"), None);
+        assert_eq!(QuickenMode::default(), QuickenMode::Auto);
+    }
+
+    #[test]
+    fn quicken_mode_round_trips() {
+        let prev = set_quicken_mode(QuickenMode::On);
+        assert_eq!(quicken_mode(), QuickenMode::On);
+        assert_eq!(set_quicken_mode(prev), QuickenMode::On);
     }
 
     #[test]

@@ -8,8 +8,61 @@
 //! entry, so straight-line numeric code touches no hash map, no environment
 //! chain, and no per-object lock.
 
+use std::sync::atomic::AtomicU8;
+
 use crate::ast::{BinOp, CmpOp, UnaryOp};
 use crate::value::Value;
+
+/// Per-instruction specialization states for [`CompiledCode::quick`].
+///
+/// The state machine is monotone per slot: `UNSEEN` transitions (by CAS)
+/// either to exactly one specialized state — counted as a rewrite — or
+/// silently to `GENERIC` when the instruction shape is not specializable.
+/// A specialized state transitions (by CAS) at most once to `GENERIC` on a
+/// guard failure — counted as a deopt. Both transitions being one-shot per
+/// slot makes `minipy.vm.quicken.deopts <= minipy.vm.quicken.rewrites` an
+/// invariant by construction, even under concurrent execution of shared
+/// code.
+pub mod quick {
+    /// Never executed: the next execution profiles its operand types.
+    pub const UNSEEN: u8 = 0;
+    /// Permanently generic (unsupported shape, or deoptimized).
+    pub const GENERIC: u8 = 1;
+    /// `Binary` with two `int` operands (checked `i64` math).
+    pub const BIN_II: u8 = 2;
+    /// `Binary` with `int`/`float` operands, at least one `float`.
+    pub const BIN_FF: u8 = 3;
+    /// `Compare` (`==`/`!=`/`<`/`<=`/`>`/`>=`) on `int`/`float` operands.
+    pub const CMP_NUM: u8 = 4;
+    /// `AugLocal` on a set slot with two `int` operands.
+    pub const AUG_II: u8 = 5;
+    /// `AugLocal` on a set slot with `int`/`float` operands, one `float`.
+    pub const AUG_FF: u8 = 6;
+    /// `GetItem` on a `list` container with an `int` index.
+    pub const LIST_GET: u8 = 7;
+    /// `SetItem` on a `list` container with an `int` index.
+    pub const LIST_SET: u8 = 8;
+    /// `IterNext` over a `range` iterator (always yields `int`).
+    pub const ITER_RANGE: u8 = 9;
+    /// `LoadFree` whose cell holds an `int`/`float` (tag-plane store).
+    ///
+    /// An *unfilled* cell slot (the once-per-frame lazy fill) runs the
+    /// generic fill path without deopting — it is per-frame bootstrap, not
+    /// an operand-shape change; only a non-numeric cell value deopts.
+    pub const LOAD_FREE_NUM: u8 = 10;
+    /// `IterNext` over a `range` iterator whose loop body is straight-line
+    /// register-only numeric work closed by its own back-edge
+    /// ([`super::CompiledCode::fused`] is non-zero at this pc): the VM runs
+    /// whole iterations — `IterNext`, body, back-edge GIL tick — inside one
+    /// handler, bailing to per-op dispatch (with no effects from the failing
+    /// instruction) on any operand-guard failure or arithmetic error.
+    pub const FUSED_RANGE: u8 = 11;
+}
+
+/// Upper bound on a fused loop body ([`CompiledCode::fused`]): long bodies
+/// see diminishing returns and would bloat the fused handler's per-entry
+/// caches.
+pub const FUSED_MAX_BODY: usize = 32;
 
 /// A register index.
 pub type Reg = u16;
@@ -163,6 +216,9 @@ pub enum Op {
     CallMethod {
         /// Destination register.
         dst: Reg,
+        /// Per-frame inline-cache slot (caches the receiver-type method
+        /// dispatch under the quickening tier).
+        site: u16,
         /// Receiver register.
         obj: Reg,
         /// Attribute name-table index.
@@ -347,6 +403,19 @@ pub struct CompiledCode {
     pub name: String,
     /// The instruction stream.
     pub ops: Vec<Op>,
+    /// Per-instruction specialization state ([`quick`] constants). Lives
+    /// beside the immutable instruction stream as an atomic plane so the
+    /// quickening tier can rewrite instructions "in place" while the
+    /// `Arc<CompiledCode>` is shared across threads — a CAS on the state
+    /// byte, not a mutation of [`CompiledCode::ops`].
+    pub quick: Vec<AtomicU8>,
+    /// Fused-loop eligibility, per instruction: at an `IterNext` whose loop
+    /// body is straight-line register-only numeric work
+    /// (`Binary`/`AugLocal`/`Copy`/`LoadFree`) closed by its own back-edge
+    /// `Jump`, this holds the body length **plus one** (so `0` means
+    /// ineligible). Computed once at compile time so the quickened tier
+    /// ([`quick::FUSED_RANGE`]) never rescans the instruction stream.
+    pub fused: Vec<u16>,
     /// Per-instruction source line (innermost enclosing statement; 0 for
     /// synthesized code), used to annotate errors exactly as the
     /// tree-walker's per-statement `with_line` does.
@@ -368,7 +437,8 @@ pub struct CompiledCode {
     pub n_cells: u16,
     /// Iterator-table size (maximum loop nesting).
     pub n_iters: u16,
-    /// Intrinsic callable-cache size (one per `__omp.x(...)` call site).
+    /// Inline-cache array size (one slot per `CallIntrinsic` and
+    /// `CallMethod` site).
     pub n_sites: u16,
     /// Slot → name for locals (unset-slot fallback and diagnostics).
     pub local_names: Vec<String>,

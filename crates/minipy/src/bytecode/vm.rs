@@ -13,20 +13,56 @@
 //! loop iteration and each call boundary therefore remains a potential
 //! switch point (what CPython's eval loop guarantees), while straight-line
 //! arithmetic runs untouched — that is the point of the tier.
+//!
+//! # Quickening (tier 2, `OMP4RS_MINIPY_QUICKEN`)
+//!
+//! Under [`QuickenMode::Auto`]/[`QuickenMode::On`] the dispatch loop runs
+//! `step_quick` instead of the generic `step`. Each instruction slot
+//! carries a specialization state byte (`CompiledCode::quick`):
+//!
+//! * `UNSEEN` — the first execution profiles the actual operand types and
+//!   CAS-rewrites the slot to a specialized state (`BIN_II`, `BIN_FF`,
+//!   `CMP_NUM`, `AUG_II`, `AUG_FF`, `LIST_GET`, `LIST_SET`, `ITER_RANGE`),
+//!   counting `minipy.vm.quicken.rewrites`; shapes with no specialization
+//!   move to `GENERIC` silently.
+//! * specialized — every execution re-checks the operand-type guard; on
+//!   mismatch the slot CAS-deopts to `GENERIC` permanently, counting
+//!   `minipy.vm.quicken.deopts`, and the generic handler runs (so a failed
+//!   guard has no side effects and identical semantics).
+//! * `GENERIC` — the tier-1 handler, with the dispatch-site inline caches
+//!   ([`super::frame::IcEntry`]) armed and counted.
+//!
+//! Every specialized arithmetic handler calls the *same* semantic helpers
+//! as the tree-walker (`int_binary`, `float_binary`, the `py_eq` coercion
+//! table), so values, errors, and error messages cannot drift.
+//!
+//! # Unboxed registers ([`QuickenMode::On`])
+//!
+//! The frame grows a tag plane: specialized numeric handlers write results
+//! as raw `i64`/`f64` bits instead of `Value`s, and read operands from the
+//! plane. Tag-aware instructions (`Jump`, conditional jumps, `Copy`,
+//! `Return`, the specialized handlers themselves) execute without boxing;
+//! any other instruction is an escape point — the loop calls
+//! [`Frame::materialize`] first, so generic handlers (and anything that
+//! leaks a register into a call, container, cell, or closure) always see
+//! exactly the boxed state a tier-1 execution would have produced.
 
+use crate::ast::{BinOp, CmpOp};
 use crate::env::Env;
 use crate::error::{name_err, type_err, value_err, ErrKind, PyErr};
 use crate::interp::{
-    binary_op, compare, current_exception, exception_from_value, unary_op, Interp, SliceValue,
-    ValueIter,
+    binary_op, compare, current_exception, exception_from_value, float_binary, int_binary,
+    normalize_index, unary_op, Interp, SliceValue, ValueIter,
 };
 use crate::methods;
 use crate::stats;
 use crate::value::{Args, FuncValue, HKey, Value};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use super::frame::Frame;
-use super::opcode::{CompiledCode, Op, Reg, NO_KW};
+use super::frame::{Frame, IcEntry, Num};
+use super::opcode::{quick as qk, CompiledCode, Op, Reg, NO_KW};
+use super::QuickenMode;
 
 /// What one dispatched instruction asks the loop to do next.
 enum Ctl {
@@ -55,13 +91,42 @@ pub fn call_compiled(
     code: &Arc<CompiledCode>,
     args: Args,
 ) -> Result<Value, PyErr> {
-    let mut frame = Frame::new(code);
+    // The tier is resolved once per frame: `off` pays nothing (the generic
+    // tier-1 loop, bit for bit), `auto`/`on` take the quickened dispatcher.
+    // The loop is monomorphized per tier so each release-mode dispatch loop
+    // inlines exactly one stepper (merging them bloats the hot loop body
+    // and costs more than the quickening wins back).
+    let qm = super::quicken_mode();
+    let mut frame = Frame::new(code, qm == QuickenMode::On);
     bind_args(f, code, &mut frame, args)?;
-    let mut pc = 0usize;
     let mut ops = 0u64;
-    let result = loop {
-        ops += 1;
-        match step(interp, f, code, &mut frame, pc) {
+    let result = if qm == QuickenMode::Off {
+        run_frame::<false>(interp, f, code, &mut frame, &mut ops)
+    } else {
+        run_frame::<true>(interp, f, code, &mut frame, &mut ops)
+    };
+    if stats::enabled() {
+        stats::add_vm_frame(ops);
+    }
+    result
+}
+
+/// The dispatch loop, monomorphized over the tier (`QUICK` = quickened).
+fn run_frame<const QUICK: bool>(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    ops: &mut u64,
+) -> Result<Value, PyErr> {
+    let mut pc = 0usize;
+    loop {
+        *ops += 1;
+        match if QUICK {
+            step_quick(interp, f, code, frame, pc, ops)
+        } else {
+            step(interp, f, code, frame, pc)
+        } {
             Ok(Ctl::Next) => pc += 1,
             Ok(Ctl::Jump(target)) => pc = target,
             Ok(Ctl::Ret(v)) => break Ok(v),
@@ -85,11 +150,7 @@ pub fn call_compiled(
                 }
             }
         }
-    };
-    if stats::enabled() {
-        stats::add_vm_frame(ops);
     }
-    result
 }
 
 /// Bind call arguments into parameter slots, replicating the tree-walker's
@@ -172,7 +233,13 @@ fn read_args(
 }
 
 /// Dispatch one instruction.
-#[inline(always)]
+///
+/// Force-inlined into the dispatch loop only under optimization: in debug
+/// builds the unoptimized inlined frame (no stack-slot reuse across the big
+/// match) would multiply per-recursion-level stack usage — `step` is also
+/// inlined into [`step_ic`], so a recursive interpreted call would carry two
+/// copies per level.
+#[cfg_attr(not(debug_assertions), inline(always))]
 fn step(
     interp: &Interp,
     f: &FuncValue,
@@ -350,6 +417,7 @@ fn step(
         }
         Op::CallMethod {
             dst,
+            site: _,
             obj,
             attr,
             argbase,
@@ -383,7 +451,10 @@ fn step(
             let pos = read_args(frame, code, closure, *argbase, *argc)?;
             let call_args = Args::positional(pos);
             interp.gil().tick();
-            let cached = frame.sites[*site as usize].clone();
+            let cached = match &frame.ics[*site as usize] {
+                IcEntry::Callable(v) => Some(v.clone()),
+                _ => None,
+            };
             let v = match cached {
                 Some(callable) => interp.call_value(&callable, call_args)?,
                 None => {
@@ -396,7 +467,7 @@ fn step(
                                 // Cache the resolved runtime intrinsic: the
                                 // base is a free name this function never
                                 // rebinds, so the callable is call-invariant.
-                                frame.sites[*site as usize] = Some(callable.clone());
+                                frame.ics[*site as usize] = IcEntry::Callable(callable.clone());
                                 interp.call_value(&callable, call_args)?
                             }
                             None => methods::call_method(interp, &receiver, attr_nm, call_args)?,
@@ -565,6 +636,898 @@ fn step(
         Op::ReturnNone => return Ok(Ctl::Ret(Value::None)),
     }
     Ok(Ctl::Next)
+}
+
+/// Whether a generic handler can run with unboxed registers still pending:
+/// it neither reads a value register nor leaks one (it only touches the
+/// iterator/block planes, which the tag plane never shadows). Everything
+/// else must materialize first.
+#[inline]
+fn unbox_safe(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::IterNext { .. }
+            | Op::IterClear { .. }
+            | Op::SetupFinally { .. }
+            | Op::PopBlock
+            | Op::LoadFree { .. }
+    )
+}
+
+/// CAS an `UNSEEN` slot to `state`, counting a rewrite for specialized
+/// states. Returns the slot's winning state (another thread may have
+/// rewritten it first — the caller re-guards, so either outcome is safe).
+#[inline]
+fn try_specialize(code: &CompiledCode, pc: usize, state: u8) -> u8 {
+    match code.quick[pc].compare_exchange(qk::UNSEEN, state, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => {
+            if state != qk::GENERIC {
+                stats::count_quicken_rewrite();
+            }
+            state
+        }
+        Err(current) => current,
+    }
+}
+
+/// CAS a specialized slot back to `GENERIC` after a guard failure, counting
+/// the deopt. One-shot per slot (a racing deopt loses the CAS and counts
+/// nothing), so `deopts <= rewrites` holds by construction.
+#[inline]
+fn deopt(code: &CompiledCode, pc: usize, from: u8) {
+    if code.quick[pc]
+        .compare_exchange(from, qk::GENERIC, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        stats::count_quicken_deopt();
+    }
+}
+
+/// Dispatch one instruction under the quickened tier.
+///
+/// One primary match, parallel to the tier-1 stepper: tag-aware control ops
+/// run directly, each quickenable op loads its slot state and runs its
+/// specialized handler inline when the operand guard holds, and dispatch
+/// sites take the counted-IC generic handler. `UNSEEN` profiling, deopts,
+/// and post-deopt generic execution live out of line in [`quick_fallback`]
+/// so the hot loop body stays compact.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn step_quick(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+    ops: &mut u64,
+) -> Result<Ctl, PyErr> {
+    let closure = &f.closure;
+    match &code.ops[pc] {
+        Op::Jump { target } => {
+            let t = *target as usize;
+            if t <= pc {
+                // Loop back-edge: a GIL switch point per iteration.
+                interp.gil().tick();
+            }
+            Ok(Ctl::Jump(t))
+        }
+        Op::JumpIfFalse { cond, target } => {
+            let t = match frame.truthy_unboxed(*cond) {
+                Some(t) => t,
+                None => match frame.read_ref(*cond) {
+                    Some(v) => v.truthy(),
+                    None => frame.read(*cond, code, closure)?.truthy(),
+                },
+            };
+            Ok(if t {
+                Ctl::Next
+            } else {
+                Ctl::Jump(*target as usize)
+            })
+        }
+        Op::JumpIfTrue { cond, target } => {
+            let t = match frame.truthy_unboxed(*cond) {
+                Some(t) => t,
+                None => match frame.read_ref(*cond) {
+                    Some(v) => v.truthy(),
+                    None => frame.read(*cond, code, closure)?.truthy(),
+                },
+            };
+            Ok(if t {
+                Ctl::Jump(*target as usize)
+            } else {
+                Ctl::Next
+            })
+        }
+        Op::Copy { dst, src } => {
+            if !frame.copy_unboxed(*dst, *src) {
+                let v = frame.read(*src, code, closure)?;
+                frame.write(*dst, v);
+            }
+            Ok(Ctl::Next)
+        }
+        Op::Return { src } => Ok(Ctl::Ret(frame.read_boxed(*src, code, closure)?)),
+        Op::ReturnNone => Ok(Ctl::Ret(Value::None)),
+        Op::Binary { op, dst, l, r } => {
+            match code.quick[pc].load(Ordering::Relaxed) {
+                qk::BIN_II => {
+                    if let (Some(Num::I(a)), Some(Num::I(b))) =
+                        (frame.read_num(*l), frame.read_num(*r))
+                    {
+                        return write_num_result(frame, *dst, int_binary(*op, a, b));
+                    }
+                }
+                qk::BIN_FF => {
+                    if let (Some(a), Some(b)) = (frame.read_num(*l), frame.read_num(*r)) {
+                        // int/int must take the int path (e.g. `//` stays an
+                        // int).
+                        if !matches!((a, b), (Num::I(_), Num::I(_))) {
+                            return write_num_result(
+                                frame,
+                                *dst,
+                                float_binary(*op, a.as_f64(), b.as_f64()),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::AugLocal { op, slot, src } => {
+            match code.quick[pc].load(Ordering::Relaxed) {
+                qk::AUG_II => {
+                    if let (Some(Num::I(a)), Some(Num::I(b))) =
+                        (frame.read_num(*slot), frame.read_num(*src))
+                    {
+                        return write_num_result(frame, *slot, int_binary(*op, a, b));
+                    }
+                }
+                qk::AUG_FF => {
+                    if let (Some(a), Some(b)) = (frame.read_num(*slot), frame.read_num(*src)) {
+                        if !matches!((a, b), (Num::I(_), Num::I(_))) {
+                            return write_num_result(
+                                frame,
+                                *slot,
+                                float_binary(*op, a.as_f64(), b.as_f64()),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::Compare { op, dst, l, r } => {
+            if code.quick[pc].load(Ordering::Relaxed) == qk::CMP_NUM {
+                if let (Some(a), Some(b)) = (frame.read_num(*l), frame.read_num(*r)) {
+                    let t = match op {
+                        // The `py_eq` numeric coercion table: int/int exact,
+                        // anything involving a float compares as f64.
+                        CmpOp::Eq | CmpOp::NotEq => {
+                            let eq = match (a, b) {
+                                (Num::I(x), Num::I(y)) => x == y,
+                                (x, y) => x.as_f64() == y.as_f64(),
+                            };
+                            Some(eq == matches!(op, CmpOp::Eq))
+                        }
+                        // `py_ordering`'s numeric arm: both as f64,
+                        // `partial_cmp`, unordered (NaN) raises the
+                        // tree-walker's ValueError.
+                        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                            match a.as_f64().partial_cmp(&b.as_f64()) {
+                                Some(ord) => Some(match op {
+                                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                                    _ => ord != std::cmp::Ordering::Less,
+                                }),
+                                None => return Err(value_err("cannot order NaN")),
+                            }
+                        }
+                        // `CMP_NUM` is only ever installed for the six
+                        // numeric comparators; anything else re-routes.
+                        _ => None,
+                    };
+                    if let Some(t) = t {
+                        frame.write(*dst, Value::Bool(t));
+                        return Ok(Ctl::Next);
+                    }
+                }
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::GetItem { dst, obj, idx } => {
+            if code.quick[pc].load(Ordering::Relaxed) == qk::LIST_GET && !frame.is_unboxed(*obj) {
+                if let (Some(Num::I(i)), Some(Value::List(l))) =
+                    (frame.read_num(*idx), frame.read_ref(*obj))
+                {
+                    let l = Arc::clone(l);
+                    let v = {
+                        let items = l.read();
+                        match normalize_index(i, items.len()) {
+                            Ok(ix) => items[ix].clone(),
+                            Err(e) => return Err(e),
+                        }
+                    };
+                    frame.write(*dst, v);
+                    return Ok(Ctl::Next);
+                }
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::SetItem { obj, idx, src } => {
+            if code.quick[pc].load(Ordering::Relaxed) == qk::LIST_SET && !frame.is_unboxed(*obj) {
+                if let Some(Num::I(i)) = frame.read_num(*idx) {
+                    if matches!(frame.read_ref(*obj), Some(Value::List(_))) {
+                        // Guards passed: from here on, effects and error
+                        // order match the generic handler (src read first,
+                        // then the index check).
+                        let v = frame.read_boxed(*src, code, closure)?;
+                        let Some(Value::List(l)) = frame.read_ref(*obj) else {
+                            unreachable!("guard above matched a list");
+                        };
+                        let l = Arc::clone(l);
+                        let mut items = l.write();
+                        return match normalize_index(i, items.len()) {
+                            Ok(ix) => {
+                                items[ix] = v;
+                                Ok(Ctl::Next)
+                            }
+                            Err(e) => Err(e),
+                        };
+                    }
+                }
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::IterNext { iter, dst, exit } => {
+            let slot = *iter as usize;
+            let state = code.quick[pc].load(Ordering::Relaxed);
+            if state == qk::FUSED_RANGE {
+                if matches!(frame.iters[slot], Some(ValueIter::Range { .. })) {
+                    return run_fused(interp, code, frame, pc, ops);
+                }
+            } else if state == qk::ITER_RANGE {
+                if let Some(ValueIter::Range { cur, stop, step }) = frame.iters[slot].as_mut() {
+                    // `ValueIter::next`'s Range arm, writing to the tag
+                    // plane.
+                    let next = if (*step > 0 && *cur < *stop) || (*step < 0 && *cur > *stop) {
+                        let v = *cur;
+                        *cur += *step;
+                        Some(v)
+                    } else {
+                        None
+                    };
+                    return Ok(match next {
+                        Some(v) => {
+                            frame.write_num(*dst, Num::I(v));
+                            Ctl::Next
+                        }
+                        None => {
+                            frame.iters[slot] = None;
+                            Ctl::Jump(*exit as usize)
+                        }
+                    });
+                }
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        // `LoadFree` reads a cell and writes one register through tag-aware
+        // stores, so it never observes a stale unboxed register: no
+        // materialization (free-variable reads are common on loop hot paths
+        // — the pyfront outlining turns enclosing locals into free
+        // variables).
+        Op::LoadFree { dst, cell, .. } => {
+            if code.quick[pc].load(Ordering::Relaxed) == qk::LOAD_FREE_NUM {
+                let n = match &frame.cells[*cell as usize] {
+                    Some(c) => match &*c.read() {
+                        Value::Int(v) => Some(Num::I(*v)),
+                        Value::Float(v) => Some(Num::F(*v)),
+                        _ => None,
+                    },
+                    // Unfilled cell slot: the generic handler performs the
+                    // once-per-frame lazy fill (counted as the IC miss).
+                    // Frame bootstrap, not an operand-shape change — no
+                    // deopt.
+                    None => return step_ic(interp, f, code, frame, pc),
+                };
+                if let Some(n) = n {
+                    // A filled cell holding a number: one IC hit, exactly
+                    // as the generic tier counts this execution.
+                    if stats::enabled() {
+                        stats::count_ic(true);
+                    }
+                    frame.write_num(*dst, n);
+                    return Ok(Ctl::Next);
+                }
+                // The cell no longer holds a number: operand-shape change.
+                deopt(code, pc, qk::LOAD_FREE_NUM);
+                return step_ic(interp, f, code, frame, pc);
+            }
+            quick_fallback(interp, f, code, frame, pc)
+        }
+        Op::CallMethod { .. } | Op::CallIntrinsic { .. } => {
+            if frame.has_unboxed() {
+                frame.materialize();
+            }
+            step_ic(interp, f, code, frame, pc)
+        }
+        op => {
+            if frame.has_unboxed() && !unbox_safe(op) {
+                frame.materialize();
+            }
+            step_generic(interp, f, code, frame, pc)
+        }
+    }
+}
+
+/// Out-of-line tier-1 dispatch for ops the quickened tier has no fast path
+/// for. A plain call (rather than re-inlining [`step`]'s whole match into
+/// the quickened loop) keeps the numeric hot loop cache-resident; the off
+/// tier still gets `step` fully inlined via `run_frame::<false>`.
+#[inline(never)]
+fn step_generic(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+) -> Result<Ctl, PyErr> {
+    step(interp, f, code, frame, pc)
+}
+
+/// Execute a fused `range` loop ([`qk::FUSED_RANGE`]): the `IterNext`, its
+/// straight-line register-only body (`CompiledCode::fused` holds the
+/// compile-time-verified body length), and the back-edge run as one handler
+/// without returning to the dispatch loop between instructions.
+///
+/// Semantics are preserved exactly:
+///
+/// * **GIL cadence** — `tick()` runs once per completed iteration, where
+///   the back-edge `Jump` would have ticked.
+/// * **Errors and guard failures** — the handler bails via
+///   `Ctl::Jump(sub_pc)` *without executing the failing instruction* (the
+///   arithmetic helpers are pure, so nothing has happened); the per-op tier
+///   re-executes it and raises the identical error with the correct
+///   per-instruction line annotation.
+/// * **Counters** — `executed` tracks every completed sub-instruction so
+///   `vm_ops` matches per-op execution exactly, and a fused `LoadFree`
+///   counts its IC hit exactly as the generic tier would.
+#[inline(never)]
+fn run_fused(
+    interp: &Interp,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+    ops: &mut u64,
+) -> Result<Ctl, PyErr> {
+    let Op::IterNext { iter, dst, exit } = &code.ops[pc] else {
+        unreachable!("FUSED_RANGE is only installed on IterNext");
+    };
+    let slot = *iter as usize;
+    let body = code.fused[pc] as usize - 1;
+    // Hoist the range state into locals: body ops never touch the iterator
+    // plane, and the frame is per-call, so no other thread can observe the
+    // stale slot across a GIL yield. Written back before any bail-out.
+    let (mut cur, stop, step) = match &frame.iters[slot] {
+        Some(ValueIter::Range { cur, stop, step }) => (*cur, *stop, *step),
+        // Unreachable (the caller just checked), but bail to per-op
+        // dispatch rather than trusting that.
+        _ => return Ok(Ctl::Jump(pc)),
+    };
+    // Decode the body once: the iteration loop dispatches over flat
+    // [`FusedOp`]s instead of re-walking the `Op` enum (and the `BinOp`
+    // jump table inside the arithmetic helpers) every iteration.
+    let mut micro = [FusedOp::NOP; super::opcode::FUSED_MAX_BODY];
+    decode_fused(code, pc, body, &mut micro);
+    // Keep the GIL tick counter in a register for the whole loop; identical
+    // cadence to one `tick()` per back-edge.
+    let mut batch = interp.gil().tick_batch();
+    // Per-body-slot cache of `LoadFree` cell values. Sound because `tick`
+    // reports any window in which another thread may have run (and only
+    // Python code, which runs under the GIL, can write a cell): while it
+    // returns `false` the cell provably holds the cached value, and body
+    // ops themselves cannot write cells (`StoreCell`/`AugCell` are not
+    // fusible).
+    let mut free_cache = [None::<Num>; super::opcode::FUSED_MAX_BODY];
+    // Stats enablement is loop-invariant here: it only ever flips outside a
+    // measured region (tests/benches toggle it around whole calls).
+    let stats_on = stats::enabled();
+    // The caller's dispatch already counted one op for this pc.
+    let mut executed: u64 = 0;
+    let ctl = 'iter: loop {
+        // -- the IterNext itself --
+        executed += 1;
+        if !((step > 0 && cur < stop) || (step < 0 && cur > stop)) {
+            frame.iters[slot] = None;
+            break 'iter Ctl::Jump(*exit as usize);
+        }
+        let v = cur;
+        cur += step;
+        frame.write_num(*dst, Num::I(v));
+        // -- the body --
+        for k in 0..body {
+            if !exec_fused(frame, &micro[k], &mut free_cache[k], stats_on) {
+                if let Some(ValueIter::Range { cur: c, .. }) = frame.iters[slot].as_mut() {
+                    *c = cur;
+                }
+                break 'iter Ctl::Jump(pc + 1 + k);
+            }
+            executed += 1;
+        }
+        // -- the back-edge: a GIL switch point per iteration --
+        executed += 1;
+        if batch.tick() {
+            for c in free_cache[..body].iter_mut() {
+                *c = None;
+            }
+        }
+    };
+    *ops += executed.saturating_sub(1);
+    Ok(ctl)
+}
+
+/// The executable shape of one fused-body instruction; see [`FusedOp`].
+#[derive(Clone, Copy)]
+enum FusedKind {
+    /// `int`/`int` checked add, anything else numeric as `f64` add.
+    Add,
+    /// As [`FusedKind::Add`] for `-`.
+    Sub,
+    /// As [`FusedKind::Add`] for `*`.
+    Mul,
+    /// True division: zero divisors bail (the per-op helper raises).
+    Div,
+    /// Any other operator: route through [`fused_binary`].
+    Helper,
+    /// Register copy.
+    Copy,
+    /// Closure-cell read with the per-slot value cache.
+    LoadFree,
+}
+
+/// A fused-body instruction pre-decoded at loop entry: operator shape and
+/// register operands flattened out of the `Op` enum so the per-iteration
+/// dispatch is one small jump table with the common arithmetic inline. The
+/// inline arithmetic is bit-identical to `int_binary`/`float_binary` for
+/// the success cases; **every** error case (overflow, zero divisor) bails
+/// so the real helper raises it with identical kind and message.
+#[derive(Clone, Copy)]
+struct FusedOp {
+    kind: FusedKind,
+    /// The original operator, for the [`FusedKind::Helper`] path.
+    op: BinOp,
+    dst: Reg,
+    /// Left operand register, or the cell slot for `LoadFree`.
+    a: Reg,
+    b: Reg,
+}
+
+impl FusedOp {
+    /// Filler for unused decode slots; never executed.
+    const NOP: FusedOp = FusedOp {
+        kind: FusedKind::Helper,
+        op: BinOp::Add,
+        dst: 0,
+        a: 0,
+        b: 0,
+    };
+}
+
+/// Decode a compile-time-verified fused body (see `CompiledCode::fused`)
+/// into [`FusedOp`]s. Once per [`run_fused`] entry, not per iteration.
+#[inline(never)]
+fn decode_fused(code: &CompiledCode, pc: usize, body: usize, out: &mut [FusedOp]) {
+    let kind_of = |op: BinOp| match op {
+        BinOp::Add => FusedKind::Add,
+        BinOp::Sub => FusedKind::Sub,
+        BinOp::Mul => FusedKind::Mul,
+        BinOp::Div => FusedKind::Div,
+        _ => FusedKind::Helper,
+    };
+    for (k, slot) in out.iter_mut().enumerate().take(body) {
+        *slot = match &code.ops[pc + 1 + k] {
+            Op::Binary { op, dst, l, r } => FusedOp {
+                kind: kind_of(*op),
+                op: *op,
+                dst: *dst,
+                a: *l,
+                b: *r,
+            },
+            // In-place update: `dst = dst <op> src` on the same slot.
+            Op::AugLocal { op, slot, src } => FusedOp {
+                kind: kind_of(*op),
+                op: *op,
+                dst: *slot,
+                a: *slot,
+                b: *src,
+            },
+            Op::Copy { dst, src } => FusedOp {
+                kind: FusedKind::Copy,
+                dst: *dst,
+                a: *src,
+                ..FusedOp::NOP
+            },
+            Op::LoadFree { dst, cell, .. } => FusedOp {
+                kind: FusedKind::LoadFree,
+                dst: *dst,
+                a: *cell,
+                ..FusedOp::NOP
+            },
+            // `CompiledCode::fused` only marks bodies made of the arms above.
+            op => unreachable!("non-fusible op in fused body: {op:?}"),
+        };
+    }
+}
+
+/// Execute one pre-decoded fused-body instruction against the tag plane.
+/// Returns `false` — with **no effects** — when an operand guard fails or
+/// the operation would raise; the caller bails so the per-op tier
+/// re-executes the instruction and raises the identical error.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn exec_fused(frame: &mut Frame, m: &FusedOp, cache: &mut Option<Num>, stats_on: bool) -> bool {
+    // `int`/`int` takes the checked-int path, anything mixed computes as
+    // `f64` — the same coercion ladder as `binary_op`.
+    macro_rules! arith {
+        ($checked:ident, $op:tt) => {
+            match (frame.read_num(m.a), frame.read_num(m.b)) {
+                (Some(Num::I(x)), Some(Num::I(y))) => match x.$checked(y) {
+                    Some(v) => {
+                        frame.write_num(m.dst, Num::I(v));
+                        true
+                    }
+                    // Overflow: `int_binary` raises `OverflowError` per-op.
+                    None => false,
+                },
+                (Some(x), Some(y)) => {
+                    frame.write_num(m.dst, Num::F(x.as_f64() $op y.as_f64()));
+                    true
+                }
+                _ => false,
+            }
+        };
+    }
+    match m.kind {
+        FusedKind::Add => arith!(checked_add, +),
+        FusedKind::Sub => arith!(checked_sub, -),
+        FusedKind::Mul => arith!(checked_mul, *),
+        FusedKind::Div => match (frame.read_num(m.a), frame.read_num(m.b)) {
+            // Zero divisors bail: `int_binary`/`float_binary` raise the
+            // matching `ZeroDivisionError` per-op.
+            (Some(Num::I(x)), Some(Num::I(y))) => {
+                y != 0 && {
+                    frame.write_num(m.dst, Num::F(x as f64 / y as f64));
+                    true
+                }
+            }
+            (Some(x), Some(y)) => {
+                let d = y.as_f64();
+                d != 0.0 && {
+                    frame.write_num(m.dst, Num::F(x.as_f64() / d));
+                    true
+                }
+            }
+            _ => false,
+        },
+        FusedKind::Helper => fused_binary(frame, m.op, m.dst, m.a, m.b),
+        FusedKind::Copy => {
+            if frame.copy_unboxed(m.dst, m.a) {
+                return true;
+            }
+            match frame.read_ref(m.a) {
+                Some(v) => {
+                    let v = v.clone();
+                    frame.write(m.dst, v);
+                    true
+                }
+                // Unset local: the generic handler's closure-chain read.
+                None => false,
+            }
+        }
+        FusedKind::LoadFree => {
+            let n = match *cache {
+                Some(n) => n,
+                None => {
+                    let n = match &frame.cells[m.a as usize] {
+                        Some(c) => match &*c.read() {
+                            Value::Int(v) => Num::I(*v),
+                            Value::Float(v) => Num::F(*v),
+                            // Non-numeric cell value: bail.
+                            _ => return false,
+                        },
+                        // Unfilled cell slot: the generic handler performs
+                        // the once-per-frame lazy fill (counted as the IC
+                        // miss).
+                        None => return false,
+                    };
+                    *cache = Some(n);
+                    n
+                }
+            };
+            // One dispatch, one IC hit — cached or not, exactly as the
+            // generic tier counts this execution.
+            if stats_on {
+                stats::count_ic(true);
+            }
+            frame.write_num(m.dst, n);
+            true
+        }
+    }
+}
+
+/// The fused numeric-binary kernel: the same operand coercion as the
+/// generic `binary_op` (`int`/`int` takes the int path, anything mixed
+/// compares as `f64`) through the same semantic helpers. `false` (no
+/// effects) on a non-numeric operand or a helper error.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn fused_binary(frame: &mut Frame, op: BinOp, dst: Reg, l: Reg, r: Reg) -> bool {
+    let result = match (frame.read_num(l), frame.read_num(r)) {
+        (Some(Num::I(a)), Some(Num::I(b))) => int_binary(op, a, b),
+        (Some(a), Some(b)) => float_binary(op, a.as_f64(), b.as_f64()),
+        _ => return false,
+    };
+    match result {
+        Ok(Value::Int(v)) => frame.write_num(dst, Num::I(v)),
+        Ok(Value::Float(v)) => frame.write_num(dst, Num::F(v)),
+        Ok(v) => frame.write(dst, v),
+        Err(_) => return false,
+    }
+    true
+}
+
+/// Out-of-line slow path for a quickenable op whose inline fast path did
+/// not fire: profile and rewrite an `UNSEEN` slot, deopt a specialized slot
+/// whose operand guard just failed (guards are side-effect-free, so nothing
+/// has happened yet), then run this execution generically. The next
+/// execution of the slot dispatches on the settled state.
+#[cold]
+#[inline(never)]
+fn quick_fallback(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+) -> Result<Ctl, PyErr> {
+    match code.quick[pc].load(Ordering::Relaxed) {
+        qk::UNSEEN => {
+            // First execution: profile the live operand shapes and CAS the
+            // slot to the matching specialized state (or `GENERIC` when
+            // nothing applies).
+            let profiled = profile(f, code, frame, pc);
+            try_specialize(code, pc, profiled);
+        }
+        qk::GENERIC => {}
+        from => deopt(code, pc, from),
+    }
+    if frame.has_unboxed() && !unbox_safe(&code.ops[pc]) {
+        frame.materialize();
+    }
+    step_ic(interp, f, code, frame, pc)
+}
+
+/// Pick the specialized state matching a slot's live operand shapes, or
+/// `GENERIC` when nothing applies. Side-effect-free: the `LoadFree` arm
+/// peeks at the cell (or the closure chain) without filling the frame's
+/// cell slot — the generic execution that follows does the actual fill.
+fn profile(f: &FuncValue, code: &CompiledCode, frame: &Frame, pc: usize) -> u8 {
+    match &code.ops[pc] {
+        Op::LoadFree { cell, name, .. } => {
+            let numeric = match &frame.cells[*cell as usize] {
+                Some(c) => matches!(&*c.read(), Value::Int(_) | Value::Float(_)),
+                None => match f.closure.get_cell(&code.names[*name as usize]) {
+                    Some(c) => matches!(&*c.read(), Value::Int(_) | Value::Float(_)),
+                    // Unbound name: the generic handler raises NameError.
+                    None => false,
+                },
+            };
+            if numeric {
+                qk::LOAD_FREE_NUM
+            } else {
+                qk::GENERIC
+            }
+        }
+        Op::Binary { l, r, .. } => match (frame.read_num(*l), frame.read_num(*r)) {
+            (Some(Num::I(_)), Some(Num::I(_))) => qk::BIN_II,
+            (Some(_), Some(_)) => qk::BIN_FF,
+            _ => qk::GENERIC,
+        },
+        Op::AugLocal { slot, src, .. } => match (frame.read_num(*slot), frame.read_num(*src)) {
+            (Some(Num::I(_)), Some(Num::I(_))) => qk::AUG_II,
+            (Some(_), Some(_)) => qk::AUG_FF,
+            _ => qk::GENERIC,
+        },
+        Op::Compare {
+            op: CmpOp::Eq | CmpOp::NotEq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge,
+            l,
+            r,
+            ..
+        } => match (frame.read_num(*l), frame.read_num(*r)) {
+            (Some(_), Some(_)) => qk::CMP_NUM,
+            _ => qk::GENERIC,
+        },
+        Op::GetItem { obj, idx, .. } => {
+            if !frame.is_unboxed(*obj)
+                && matches!(frame.read_ref(*obj), Some(Value::List(_)))
+                && matches!(frame.read_num(*idx), Some(Num::I(_)))
+            {
+                qk::LIST_GET
+            } else {
+                qk::GENERIC
+            }
+        }
+        Op::SetItem { obj, idx, .. } => {
+            if !frame.is_unboxed(*obj)
+                && matches!(frame.read_ref(*obj), Some(Value::List(_)))
+                && matches!(frame.read_num(*idx), Some(Num::I(_)))
+            {
+                qk::LIST_SET
+            } else {
+                qk::GENERIC
+            }
+        }
+        Op::IterNext { iter, .. } => {
+            if matches!(frame.iters[*iter as usize], Some(ValueIter::Range { .. })) {
+                if code.fused[pc] != 0 {
+                    qk::FUSED_RANGE
+                } else {
+                    qk::ITER_RANGE
+                }
+            } else {
+                qk::GENERIC
+            }
+        }
+        _ => qk::GENERIC,
+    }
+}
+
+/// Store a specialized arithmetic result: numeric values go to the tag
+/// plane (unboxed under `on`, boxed under `auto`), anything else boxes.
+#[inline]
+fn write_num_result(frame: &mut Frame, dst: Reg, r: Result<Value, PyErr>) -> Result<Ctl, PyErr> {
+    match r? {
+        Value::Int(v) => frame.write_num(dst, Num::I(v)),
+        Value::Float(v) => frame.write_num(dst, Num::F(v)),
+        v => frame.write(dst, v),
+    }
+    Ok(Ctl::Next)
+}
+
+/// The `GENERIC` tier under quickening: identical to [`step`] except that
+/// the dispatch-site inline caches are armed and counted — `LoadFree` cell
+/// fills, `CallMethod` receiver-type dispatch, and `CallIntrinsic` callable
+/// caching each record a `minipy.vm.ic.*` hit or miss per execution.
+fn step_ic(
+    interp: &Interp,
+    f: &FuncValue,
+    code: &CompiledCode,
+    frame: &mut Frame,
+    pc: usize,
+) -> Result<Ctl, PyErr> {
+    let closure = &f.closure;
+    match &code.ops[pc] {
+        Op::LoadFree { dst, cell, name } => {
+            let v = match &frame.cells[*cell as usize] {
+                Some(c) => {
+                    if stats::enabled() {
+                        stats::count_ic(true);
+                    }
+                    c.read().clone()
+                }
+                None => {
+                    if stats::enabled() {
+                        stats::count_ic(false);
+                    }
+                    let nm = &code.names[*name as usize];
+                    let c = closure.get_cell(nm).ok_or_else(|| name_err(nm))?;
+                    let v = c.read().clone();
+                    frame.cells[*cell as usize] = Some(c);
+                    v
+                }
+            };
+            frame.write(*dst, v);
+            Ok(Ctl::Next)
+        }
+        Op::CallMethod {
+            dst,
+            site,
+            obj,
+            attr,
+            argbase,
+            argc,
+            kw,
+        } => {
+            let pos = read_args(frame, code, closure, *argbase, *argc)?;
+            let kwargs = read_kwargs(frame, code, closure, *argbase + *argc, *kw)?;
+            let call_args = Args { pos, kw: kwargs };
+            let receiver = frame.read(*obj, code, closure)?;
+            let nm = &code.names[*attr as usize];
+            interp.gil().tick();
+            let v = if let Value::Opaque(o) = &receiver {
+                // Opaque attribute tables are dynamic — never cached.
+                if stats::enabled() {
+                    stats::count_ic(false);
+                }
+                match o.get_attr(nm) {
+                    Some(callable) => interp.call_value(&callable, call_args)?,
+                    None => methods::call_method(interp, &receiver, nm, call_args)?,
+                }
+            } else {
+                let cached = match &frame.ics[*site as usize] {
+                    IcEntry::Method(tag, func) => Some((*tag, *func)),
+                    _ => None,
+                };
+                let dispatch = match (cached, methods::resolve_dispatch(&receiver)) {
+                    (Some((tag, func)), Some((t, _))) if tag == t => {
+                        if stats::enabled() {
+                            stats::count_ic(true);
+                        }
+                        Some(func)
+                    }
+                    (_, Some((t, func))) => {
+                        if stats::enabled() {
+                            stats::count_ic(false);
+                        }
+                        frame.ics[*site as usize] = IcEntry::Method(t, func);
+                        Some(func)
+                    }
+                    (_, None) => {
+                        if stats::enabled() {
+                            stats::count_ic(false);
+                        }
+                        None
+                    }
+                };
+                match dispatch {
+                    Some(func) => func(interp, &receiver, nm, call_args)?,
+                    None => methods::call_method(interp, &receiver, nm, call_args)?,
+                }
+            };
+            frame.write(*dst, v);
+            Ok(Ctl::Next)
+        }
+        Op::CallIntrinsic {
+            dst,
+            site,
+            base,
+            attr,
+            argbase,
+            argc,
+        } => {
+            let pos = read_args(frame, code, closure, *argbase, *argc)?;
+            let call_args = Args::positional(pos);
+            interp.gil().tick();
+            let cached = match &frame.ics[*site as usize] {
+                IcEntry::Callable(v) => Some(v.clone()),
+                _ => None,
+            };
+            if stats::enabled() {
+                stats::count_ic(cached.is_some());
+            }
+            let v = match cached {
+                Some(callable) => interp.call_value(&callable, call_args)?,
+                None => {
+                    let base_nm = &code.names[*base as usize];
+                    let attr_nm = &code.names[*attr as usize];
+                    let receiver = closure.get(base_nm).ok_or_else(|| name_err(base_nm))?;
+                    if let Value::Opaque(o) = &receiver {
+                        match o.get_attr(attr_nm) {
+                            Some(callable) => {
+                                frame.ics[*site as usize] = IcEntry::Callable(callable.clone());
+                                interp.call_value(&callable, call_args)?
+                            }
+                            None => methods::call_method(interp, &receiver, attr_nm, call_args)?,
+                        }
+                    } else {
+                        methods::call_method(interp, &receiver, attr_nm, call_args)?
+                    }
+                }
+            };
+            frame.write(*dst, v);
+            Ok(Ctl::Next)
+        }
+        _ => step(interp, f, code, frame, pc),
+    }
 }
 
 /// Read a call's keyword arguments (values follow the positionals).

@@ -132,9 +132,18 @@ impl Gil {
 
     /// Account one interpreter operation; yields the GIL at the switch
     /// interval so other threads can run (as CPython's eval loop does).
-    pub fn tick(&self) {
+    ///
+    /// Returns whether another thread may have executed since the previous
+    /// tick: `true` on a switch-interval boundary, and always when the GIL
+    /// is disabled (nothing serializes execution then). While it returns
+    /// `false` the GIL was held continuously, so no other thread can have
+    /// mutated interpreter-visible state — callers may cache values that
+    /// only Python code can change (e.g. closure cells) across such ticks,
+    /// invalidating on `true`.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    pub fn tick(&self) -> bool {
         if !self.is_enabled() {
-            return;
+            return true;
         }
         let should_switch = TICKS.with(|t| {
             let v = t.get() + 1;
@@ -146,7 +155,36 @@ impl Gil {
                 false
             }
         });
-        if should_switch && HOLD_DEPTH.with(|d| d.get()) > 0 {
+        if should_switch {
+            self.switch();
+            return true;
+        }
+        false
+    }
+
+    /// Open a batched tick account for a hot loop: the switch-interval
+    /// counter moves from thread-local storage into the returned value (a
+    /// register, once inlined) and is written back on drop. Tick cadence is
+    /// bit-identical to calling [`Gil::tick`] per operation — same counter,
+    /// same interval, same switch calls — only the counter's home changes.
+    /// The loop must not call [`Gil::tick`] directly while the batch is
+    /// live (the TLS counter would be stale); dropping the batch before any
+    /// other tick source runs restores it.
+    pub fn tick_batch(&self) -> TickBatch<'_> {
+        let enabled = self.is_enabled();
+        TickBatch {
+            gil: self,
+            ticks: if enabled { TICKS.with(|t| t.get()) } else { 0 },
+            enabled,
+        }
+    }
+
+    /// The switch-interval boundary: release the GIL (when held) so another
+    /// thread can run. Out of line so [`Gil::tick`]'s per-operation fast
+    /// path inlines into dispatch loops without this body.
+    #[cold]
+    fn switch(&self) {
+        if HOLD_DEPTH.with(|d| d.get()) > 0 {
             self.switches.fetch_add(1, Ordering::Relaxed);
             stats_hold_end();
             // SAFETY: this thread holds the raw lock (HOLD_DEPTH > 0 and the
@@ -194,6 +232,44 @@ impl Gil {
             }
         }
         result
+    }
+}
+
+/// A register-resident tick counter for hot loops; see [`Gil::tick_batch`].
+///
+/// Holds the thread-local switch-interval counter for the duration of a
+/// tight loop so each [`TickBatch::tick`] is an increment-and-compare on a
+/// local instead of a TLS access. Dropping writes the counter back.
+pub struct TickBatch<'g> {
+    gil: &'g Gil,
+    ticks: u32,
+    enabled: bool,
+}
+
+impl TickBatch<'_> {
+    /// Account one interpreter operation. Identical contract and cadence to
+    /// [`Gil::tick`]: returns whether another thread may have executed
+    /// since the previous tick.
+    #[inline(always)]
+    pub fn tick(&mut self) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks >= self.gil.switch_interval {
+            self.ticks = 0;
+            self.gil.switch();
+            return true;
+        }
+        false
+    }
+}
+
+impl Drop for TickBatch<'_> {
+    fn drop(&mut self) {
+        if self.enabled {
+            TICKS.with(|t| t.set(self.ticks));
+        }
     }
 }
 
@@ -283,6 +359,41 @@ mod tests {
             gil.tick();
         }
         assert!(gil.switch_count() >= 3);
+    }
+
+    #[test]
+    fn tick_batch_matches_tick_cadence() {
+        // Same interval, same number of ticks → same switch count, whether
+        // the counter lives in TLS or in a batch, including a batch opened
+        // mid-stride (it must pick up the TLS counter, not restart at 0).
+        let interval = 8;
+        // 96 ticks per block (a multiple of the interval) so the
+        // thread-local counter returns to its starting phase between blocks.
+        let plain = {
+            let gil = Gil::with_interval(GilMode::Enabled, interval);
+            let _s = gil.enter();
+            for _ in 0..96 {
+                gil.tick();
+            }
+            gil.switch_count()
+        };
+        let batched = {
+            let gil = Gil::with_interval(GilMode::Enabled, interval);
+            let _s = gil.enter();
+            for _ in 0..5 {
+                gil.tick();
+            }
+            let mut batch = gil.tick_batch();
+            for _ in 0..86 {
+                batch.tick();
+            }
+            drop(batch);
+            for _ in 0..5 {
+                gil.tick();
+            }
+            gil.switch_count()
+        };
+        assert_eq!(plain, batched);
     }
 
     #[test]

@@ -1095,7 +1095,7 @@ fn slice_bounds(lower: &Value, upper: &Value, step: i64, len: i64) -> Result<(i6
 }
 
 /// Normalize a (possibly negative) index against a container length.
-fn normalize_index(i: i64, len: usize) -> Result<usize, PyErr> {
+pub(crate) fn normalize_index(i: i64, len: usize) -> Result<usize, PyErr> {
     let len = len as i64;
     let idx = if i < 0 { i + len } else { i };
     if idx < 0 || idx >= len {
@@ -1164,101 +1164,11 @@ pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, PyErr> {
     use BinOp::*;
     // Fast numeric paths.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
-        let (a, b) = (*a, *b);
-        return match op {
-            Add => checked_int(a.checked_add(b)),
-            Sub => checked_int(a.checked_sub(b)),
-            Mul => checked_int(a.checked_mul(b)),
-            Div => {
-                if b == 0 {
-                    Err(PyErr::new(ErrKind::ZeroDivision, "division by zero"))
-                } else {
-                    Ok(Value::Float(a as f64 / b as f64))
-                }
-            }
-            FloorDiv => {
-                if b == 0 {
-                    Err(PyErr::new(
-                        ErrKind::ZeroDivision,
-                        "integer division or modulo by zero",
-                    ))
-                } else {
-                    Ok(Value::Int(python_floordiv(a, b)))
-                }
-            }
-            Mod => {
-                if b == 0 {
-                    Err(PyErr::new(
-                        ErrKind::ZeroDivision,
-                        "integer division or modulo by zero",
-                    ))
-                } else {
-                    Ok(Value::Int(python_mod(a, b)))
-                }
-            }
-            Pow => int_pow(a, b),
-            BitAnd => Ok(Value::Int(a & b)),
-            BitOr => Ok(Value::Int(a | b)),
-            BitXor => Ok(Value::Int(a ^ b)),
-            Shl => {
-                if !(0..64).contains(&b) {
-                    Err(value_err("shift count out of range"))
-                } else {
-                    checked_int(a.checked_shl(b as u32))
-                }
-            }
-            Shr => {
-                if !(0..64).contains(&b) {
-                    Err(value_err("shift count out of range"))
-                } else {
-                    Ok(Value::Int(a >> b))
-                }
-            }
-        };
+        return int_binary(op, *a, *b);
     }
     // Mixed numeric paths.
     if l.is_number() && r.is_number() {
-        let a = l.as_float()?;
-        let b = r.as_float()?;
-        return match op {
-            Add => Ok(Value::Float(a + b)),
-            Sub => Ok(Value::Float(a - b)),
-            Mul => Ok(Value::Float(a * b)),
-            Div => {
-                if b == 0.0 {
-                    Err(PyErr::new(ErrKind::ZeroDivision, "float division by zero"))
-                } else {
-                    Ok(Value::Float(a / b))
-                }
-            }
-            FloorDiv => {
-                if b == 0.0 {
-                    Err(PyErr::new(
-                        ErrKind::ZeroDivision,
-                        "float floor division by zero",
-                    ))
-                } else {
-                    Ok(Value::Float((a / b).floor()))
-                }
-            }
-            Mod => {
-                if b == 0.0 {
-                    Err(PyErr::new(ErrKind::ZeroDivision, "float modulo"))
-                } else {
-                    let r = a % b;
-                    Ok(Value::Float(if r != 0.0 && (r < 0.0) != (b < 0.0) {
-                        r + b
-                    } else {
-                        r
-                    }))
-                }
-            }
-            Pow => Ok(Value::Float(a.powf(b))),
-            _ => Err(type_err(format!(
-                "unsupported operand type(s) for {}: 'float'",
-                op.symbol()
-            ))),
-        };
+        return float_binary(op, l.as_float()?, r.as_float()?);
     }
     // Sequence/str operations.
     match (op, l, r) {
@@ -1297,6 +1207,118 @@ pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, PyErr> {
             op.symbol(),
             l.type_name(),
             r.type_name()
+        ))),
+    }
+}
+
+/// The `int <op> int` arm of [`binary_op`], shared with the VM's quickened
+/// `Binary`/`AugLocal` handlers so specialization cannot drift from the
+/// tree-walker (same checked math, same error messages).
+///
+/// # Errors
+///
+/// `ZeroDivisionError` and `OverflowError` as in [`binary_op`].
+#[cfg_attr(not(debug_assertions), inline(always))]
+pub fn int_binary(op: BinOp, a: i64, b: i64) -> Result<Value, PyErr> {
+    use BinOp::*;
+    match op {
+        Add => checked_int(a.checked_add(b)),
+        Sub => checked_int(a.checked_sub(b)),
+        Mul => checked_int(a.checked_mul(b)),
+        Div => {
+            if b == 0 {
+                Err(PyErr::new(ErrKind::ZeroDivision, "division by zero"))
+            } else {
+                Ok(Value::Float(a as f64 / b as f64))
+            }
+        }
+        FloorDiv => {
+            if b == 0 {
+                Err(PyErr::new(
+                    ErrKind::ZeroDivision,
+                    "integer division or modulo by zero",
+                ))
+            } else {
+                Ok(Value::Int(python_floordiv(a, b)))
+            }
+        }
+        Mod => {
+            if b == 0 {
+                Err(PyErr::new(
+                    ErrKind::ZeroDivision,
+                    "integer division or modulo by zero",
+                ))
+            } else {
+                Ok(Value::Int(python_mod(a, b)))
+            }
+        }
+        Pow => int_pow(a, b),
+        BitAnd => Ok(Value::Int(a & b)),
+        BitOr => Ok(Value::Int(a | b)),
+        BitXor => Ok(Value::Int(a ^ b)),
+        Shl => {
+            if !(0..64).contains(&b) {
+                Err(value_err("shift count out of range"))
+            } else {
+                checked_int(a.checked_shl(b as u32))
+            }
+        }
+        Shr => {
+            if !(0..64).contains(&b) {
+                Err(value_err("shift count out of range"))
+            } else {
+                Ok(Value::Int(a >> b))
+            }
+        }
+    }
+}
+
+/// The mixed-numeric arm of [`binary_op`] (operands already coerced to
+/// `f64`), shared with the VM's quickened handlers.
+///
+/// # Errors
+///
+/// `ZeroDivisionError` and `TypeError` as in [`binary_op`].
+#[cfg_attr(not(debug_assertions), inline(always))]
+pub fn float_binary(op: BinOp, a: f64, b: f64) -> Result<Value, PyErr> {
+    use BinOp::*;
+    match op {
+        Add => Ok(Value::Float(a + b)),
+        Sub => Ok(Value::Float(a - b)),
+        Mul => Ok(Value::Float(a * b)),
+        Div => {
+            if b == 0.0 {
+                Err(PyErr::new(ErrKind::ZeroDivision, "float division by zero"))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        FloorDiv => {
+            if b == 0.0 {
+                Err(PyErr::new(
+                    ErrKind::ZeroDivision,
+                    "float floor division by zero",
+                ))
+            } else {
+                Ok(Value::Float((a / b).floor()))
+            }
+        }
+        Mod => {
+            if b == 0.0 {
+                Err(PyErr::new(ErrKind::ZeroDivision, "float modulo"))
+            } else {
+                let r = a % b;
+                Ok(Value::Float(if r != 0.0 && (r < 0.0) != (b < 0.0) {
+                    r + b
+                } else {
+                    r
+                }))
+            }
+        }
+        Pow => Ok(Value::Float(a.powf(b))),
+        _ => Err(type_err(format!(
+            "unsupported operand type(s) for {}: 'float'",
+            op.symbol()
         ))),
     }
 }

@@ -31,6 +31,70 @@ pub fn call_method(interp: &Interp, obj: &Value, method: &str, args: Args) -> Re
     }
 }
 
+/// Receiver-type tag guarding the VM's method inline caches: a cached
+/// dispatch entry is valid only while the receiver register keeps producing
+/// the same built-in type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeTag {
+    /// `Value::List` receivers.
+    List,
+    /// `Value::Str` receivers.
+    Str,
+    /// `Value::Dict` receivers.
+    Dict,
+    /// `Value::Tuple` receivers.
+    Tuple,
+    /// `Value::Float` receivers.
+    Float,
+}
+
+/// A cached per-type method dispatch function. The method name is still
+/// validated by the per-type table on every call (so a cache hit cannot
+/// change which `AttributeError`/`TypeError` is raised); what the cache
+/// removes is the receiver-type dispatch of [`call_method`].
+pub type MethodFn = fn(&Interp, &Value, &str, Args) -> Result<Value, PyErr>;
+
+/// Resolve a receiver to its method-dispatch entry for the VM inline cache.
+///
+/// `None` for receivers whose dispatch is not cacheable: opaque objects
+/// (their attribute table is dynamic) and types with no methods at all
+/// (which raise `AttributeError` through [`call_method`]).
+pub fn resolve_dispatch(obj: &Value) -> Option<(TypeTag, MethodFn)> {
+    Some(match obj {
+        Value::List(_) => (TypeTag::List, list_method),
+        Value::Str(_) => (TypeTag::Str, dispatch_str),
+        Value::Dict(_) => (TypeTag::Dict, dispatch_dict),
+        Value::Tuple(_) => (TypeTag::Tuple, dispatch_tuple),
+        Value::Float(_) => (TypeTag::Float, dispatch_float),
+        _ => return None,
+    })
+}
+
+fn dispatch_str(_: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    match obj {
+        Value::Str(s) => str_method(s, method, args),
+        _ => unreachable!("IC tag guard matched str"),
+    }
+}
+
+fn dispatch_dict(_: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    dict_method(obj, method, args)
+}
+
+fn dispatch_tuple(_: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    match obj {
+        Value::Tuple(t) => tuple_method(t, method, args),
+        _ => unreachable!("IC tag guard matched tuple"),
+    }
+}
+
+fn dispatch_float(_: &Interp, obj: &Value, method: &str, args: Args) -> Result<Value, PyErr> {
+    match obj {
+        Value::Float(f) => float_method(*f, method, args),
+        _ => unreachable!("IC tag guard matched float"),
+    }
+}
+
 fn attr_err(type_name: &str, method: &str) -> PyErr {
     PyErr::new(
         ErrKind::Attribute,

@@ -25,6 +25,10 @@ static VM_COMPILE_NS: AtomicU64 = AtomicU64::new(0);
 static VM_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static VM_FRAMES: AtomicU64 = AtomicU64::new(0);
 static VM_OPS: AtomicU64 = AtomicU64::new(0);
+static QUICKEN_REWRITES: AtomicU64 = AtomicU64::new(0);
+static QUICKEN_DEOPTS: AtomicU64 = AtomicU64::new(0);
+static IC_HITS: AtomicU64 = AtomicU64::new(0);
+static IC_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Whether interpreter counters are being collected.
 #[inline]
@@ -49,6 +53,10 @@ pub fn reset() {
     VM_FALLBACKS.store(0, Ordering::Relaxed);
     VM_FRAMES.store(0, Ordering::Relaxed);
     VM_OPS.store(0, Ordering::Relaxed);
+    QUICKEN_REWRITES.store(0, Ordering::Relaxed);
+    QUICKEN_DEOPTS.store(0, Ordering::Relaxed);
+    IC_HITS.store(0, Ordering::Relaxed);
+    IC_MISSES.store(0, Ordering::Relaxed);
 }
 
 /// A snapshot of the interpreter contention counters.
@@ -74,6 +82,18 @@ pub struct InterpStats {
     pub vm_frames: u64,
     /// Bytecode instructions dispatched.
     pub vm_ops: u64,
+    /// Generic instructions rewritten in place to a type-specialized
+    /// variant by the quickening tier (at most one per instruction slot).
+    pub quicken_rewrites: u64,
+    /// Specialized instructions deoptimized back to the generic form on a
+    /// guard failure (at most one per instruction slot, so always
+    /// `<= quicken_rewrites`).
+    pub quicken_deopts: u64,
+    /// Inline-cache hits across every cached dispatch site (intrinsic call
+    /// sites, method call sites, free-name loads).
+    pub ic_hits: u64,
+    /// Inline-cache misses (first resolution or invalidated entry).
+    pub ic_misses: u64,
 }
 
 /// Read the current counter values.
@@ -88,6 +108,10 @@ pub fn snapshot() -> InterpStats {
         vm_fallbacks: VM_FALLBACKS.load(Ordering::Relaxed),
         vm_frames: VM_FRAMES.load(Ordering::Relaxed),
         vm_ops: VM_OPS.load(Ordering::Relaxed),
+        quicken_rewrites: QUICKEN_REWRITES.load(Ordering::Relaxed),
+        quicken_deopts: QUICKEN_DEOPTS.load(Ordering::Relaxed),
+        ic_hits: IC_HITS.load(Ordering::Relaxed),
+        ic_misses: IC_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -124,6 +148,28 @@ pub(crate) fn count_vm_fallback() {
 pub(crate) fn add_vm_frame(ops: u64) {
     VM_FRAMES.fetch_add(1, Ordering::Relaxed);
     VM_OPS.fetch_add(ops, Ordering::Relaxed);
+}
+
+// Quickening transitions are once-per-instruction-slot events (a CAS on the
+// specialization byte guards each), so like compiles they are counted
+// unconditionally.
+
+pub(crate) fn count_quicken_rewrite() {
+    QUICKEN_REWRITES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_quicken_deopt() {
+    QUICKEN_DEOPTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One inline-cache probe (gated on [`enabled`] by the caller: cached
+/// dispatch sites are per-iteration hot paths).
+pub(crate) fn count_ic(hit: bool) {
+    if hit {
+        IC_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        IC_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -1,46 +1,61 @@
 //! Differential harness: every corpus program runs under all three
-//! `OMP4RS_MINIPY_VM` settings and must produce identical stdout, results,
-//! and errors (message *and* line). `off` is the reference tree-walker;
-//! `auto`/`on` route VM-eligible functions through the bytecode tier and
-//! must be observationally indistinguishable — including for programs the
-//! compiler rejects (nested `def`, `try`/`except`, …), where the per-function
+//! `OMP4RS_MINIPY_VM` settings — and, on the VM, under all three
+//! `OMP4RS_MINIPY_QUICKEN` settings — and must produce identical stdout,
+//! results, and errors (message *and* line). (`off`, `off`) is the
+//! reference tree-walker; every other cell routes through the bytecode
+//! tier (generic, quickened, or quickened+unboxed) and must be
+//! observationally indistinguishable — including for programs the compiler
+//! rejects (nested `def`, `try`/`except`, …), where the per-function
 //! fallback has to preserve semantics exactly.
 
-use minipy::bytecode::{self, VmMode};
+use minipy::bytecode::{self, QuickenMode, VmMode};
 use minipy::Interp;
 use proptest::prelude::*;
 
-/// `set_mode` is process-global; serialize every differential comparison so
-/// concurrently running tests in this binary cannot observe each other's
-/// mode flips.
+/// `set_mode`/`set_quicken_mode` are process-global; serialize every
+/// differential comparison so concurrently running tests in this binary
+/// cannot observe each other's mode flips.
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Run one program under one mode: (outcome, stdout). Errors are collapsed
-/// to `Display@line` so the comparison covers message and attribution.
-fn run_with(src: &str, mode: VmMode) -> (Result<(), String>, String) {
+/// Run one program under one (VM, quicken) cell: (outcome, stdout). Errors
+/// are collapsed to `Display@line` so the comparison covers message and
+/// attribution.
+fn run_with(src: &str, mode: VmMode, quicken: QuickenMode) -> (Result<(), String>, String) {
     let prev = bytecode::set_mode(mode);
+    let prev_q = bytecode::set_quicken_mode(quicken);
     let interp = Interp::new().capture_output();
     let result = interp
         .run(src)
         .map(|_| ())
         .map_err(|e| format!("{e}@{:?}", e.line));
     let out = interp.output().unwrap_or_default();
+    bytecode::set_quicken_mode(prev_q);
     bytecode::set_mode(prev);
     (result, out)
 }
 
-/// Assert `auto` and `on` match the tree-walker (`off`) exactly.
+/// Every non-reference (VM, quicken) cell the differential sweep covers:
+/// the generic VM tiers, then the quickened tier and the unboxed tier on
+/// top of the full VM.
+const CELLS: &[(VmMode, QuickenMode)] = &[
+    (VmMode::Auto, QuickenMode::Off),
+    (VmMode::On, QuickenMode::Off),
+    (VmMode::On, QuickenMode::Auto),
+    (VmMode::On, QuickenMode::On),
+];
+
+/// Assert every VM/quicken cell matches the tree-walker exactly.
 fn differential(src: &str) {
     let _guard = lock();
-    let reference = run_with(src, VmMode::Off);
-    for mode in [VmMode::Auto, VmMode::On] {
-        let got = run_with(src, mode);
+    let reference = run_with(src, VmMode::Off, QuickenMode::Off);
+    for (mode, quicken) in CELLS {
+        let got = run_with(src, *mode, *quicken);
         assert_eq!(
             got, reference,
-            "{mode:?} diverges from tree-walker on:\n{src}"
+            "vm={mode:?} quicken={quicken:?} diverges from tree-walker on:\n{src}"
         );
     }
 }
@@ -96,6 +111,25 @@ const CORPUS: &[&str] = &[
     "def f():\n    import math\n    return math.floor(2.5)\nprint(f())\n",
     // -- recursion (every level re-enters the VM) ---------------------------
     "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nprint(fib(12))\n",
+    // -- int overflow boundaries (quickened BIN_II/AUG_II must raise the
+    //    tree-walker's OverflowError, not wrap) ------------------------------
+    "def f(a, b):\n    return a * b\nprint(f(3037000499, 3037000500))\n",
+    "def f():\n    x = 9223372036854775807\n    x += 1\n    return x\nf()\n",
+    "def f():\n    x = -9223372036854775807\n    return x - 2\nf()\n",
+    "def f(n):\n    x = 1\n    for i in range(n):\n        x = x * 10\n    return x\nprint(f(18))\nf(20)\n",
+    // -- float NaN/inf (quickened BIN_FF/CMP_NUM must keep IEEE equality and
+    //    the tree-walker's ValueError on NaN ordering) -----------------------
+    "def f():\n    inf = 1e308 * 10.0\n    nan = inf - inf\n    return nan == nan, nan != nan, inf > 1.0, 0.0 < inf, inf == inf\nprint(f())\n",
+    "def f():\n    nan = (1e308 * 10.0) - (1e308 * 10.0)\n    return nan < 1.0\nf()\n",
+    "def f():\n    inf = 1e308 * 10.0\n    return inf - inf == 0.0, 1.0 / inf\nprint(f())\n",
+    // -- mixed int/float boundary programs (a quickened site that first sees
+    //    ints then floats must deopt, and f64 coercion must round exactly as
+    //    the tree-walker's) --------------------------------------------------
+    "def f(x):\n    return x * 2 + 1\nprint(f(10))\nprint(f(0.5))\nprint(f(10))\n",
+    "def f():\n    big = 9007199254740993\n    return big == 9007199254740992.0, big < 9007199254740994.0, big + 0.0\nprint(f())\n",
+    "def f(x, y):\n    return x < y, x == y, x // y, x % y\nprint(f(7, 2))\nprint(f(7.0, 2))\nprint(f(-7, 2.5))\n",
+    "def f(x):\n    return x + 1\nprint(f(5))\nprint(f(True))\n",
+    "def f(xs, i):\n    xs[i] = xs[i] + 1\n    return xs[i]\nprint(f([1, 2], 1))\nprint(f([1.5, 2.5], 1.0))\n",
 ];
 
 #[test]
@@ -124,6 +158,45 @@ fn vm_actually_executes_the_eligible_corpus() {
         stats.vm_frames > CORPUS.len() as u64,
         "expected most corpus programs on the VM, got {} frames",
         stats.vm_frames
+    );
+}
+
+#[test]
+fn quickening_actually_rewrites_and_deopts_on_the_corpus() {
+    // Anti-vacuity guard for the quicken sweep: if specialization never
+    // fired (or guards never failed), the differential cells above would
+    // pass without testing the tier at all. The corpus must drive both
+    // counters, and the rewrite/deopt invariant must hold.
+    let _guard = lock();
+    let prev = bytecode::set_mode(VmMode::On);
+    let prev_q = bytecode::set_quicken_mode(QuickenMode::On);
+    minipy::stats::reset();
+    minipy::stats::set_enabled(true);
+    for src in CORPUS {
+        let interp = Interp::new().capture_output();
+        let _ = interp.run(src);
+    }
+    let stats = minipy::stats::snapshot();
+    minipy::stats::set_enabled(false);
+    bytecode::set_quicken_mode(prev_q);
+    bytecode::set_mode(prev);
+    assert!(
+        stats.quicken_rewrites > 0,
+        "corpus never specialized an instruction"
+    );
+    assert!(
+        stats.quicken_deopts >= 1,
+        "corpus never fired a deopt guard (mixed-type programs missing?)"
+    );
+    assert!(
+        stats.quicken_deopts <= stats.quicken_rewrites,
+        "deopts ({}) exceed rewrites ({})",
+        stats.quicken_deopts,
+        stats.quicken_rewrites
+    );
+    assert!(
+        stats.ic_hits + stats.ic_misses > 0,
+        "corpus never exercised a dispatch-site inline cache"
     );
 }
 
@@ -157,6 +230,68 @@ proptest! {
     ) {
         let src = format!(
             "def f():\n    total = 0\n    for i in range({start}, {stop}, {step}):\n        if i == {cut}:\n            break\n        total += i\n    return total\nprint(f())\n"
+        );
+        differential(&src);
+    }
+
+    /// Int arithmetic at the i64 overflow boundary raises the identical
+    /// OverflowError in every cell (quickened BIN_II/AUG_II use checked
+    /// arithmetic through the same helper as the tree-walker).
+    #[test]
+    fn random_overflow_boundaries_are_mode_invariant(
+        near_max in prop_oneof![Just(true), Just(false)],
+        delta in 0i64..4,
+        op in prop_oneof![Just("+"), Just("-"), Just("*")],
+        rhs in 1i64..3,
+    ) {
+        let base = if near_max {
+            format!("9223372036854775807 - {delta}")
+        } else {
+            format!("-9223372036854775807 + {delta}")
+        };
+        let src = format!(
+            "def f(a, b):\n    x = a {op} b\n    a {op}= b\n    return x, a\nprint(f({base}, {rhs}))\n"
+        );
+        differential(&src);
+    }
+
+    /// Float NaN/inf propagation — IEEE equality, the NaN-ordering
+    /// ValueError, and inf arithmetic — agrees across every cell.
+    #[test]
+    fn random_nan_inf_programs_are_mode_invariant(
+        lhs in prop_oneof![
+            Just("1e308 * 10.0"),
+            Just("-(1e308 * 10.0)"),
+            Just("(1e308 * 10.0) - (1e308 * 10.0)"),
+            Just("0.5"),
+        ],
+        op in prop_oneof![
+            Just("+"), Just("*"), Just("=="), Just("!="), Just("<"), Just(">="),
+        ],
+        rhs in -4i64..4,
+    ) {
+        let src = format!(
+            "def f(x, y):\n    return x {op} y\nprint(f({lhs}, {rhs}))\nprint(f({lhs}, 0.25))\n"
+        );
+        differential(&src);
+    }
+
+    /// Mixed int/float programs around the 2^53 precision boundary: the
+    /// quickened compare/arithmetic must coerce through f64 exactly as the
+    /// tree-walker does (including equality that "succeeds" by rounding).
+    #[test]
+    fn random_mixed_boundary_programs_are_mode_invariant(
+        offset in -2i64..3,
+        op in prop_oneof![Just("=="), Just("<"), Just("+"), Just("//")],
+        float_side in prop_oneof![Just(true), Just(false)],
+    ) {
+        let (a, b) = if float_side {
+            (format!("9007199254740992 + {offset}"), "9007199254740993.0".to_string())
+        } else {
+            (format!("{offset}"), "0.5".to_string())
+        };
+        let src = format!(
+            "def f(x, y):\n    r1 = x {op} y\n    r2 = y {op} x\n    return r1, r2\nprint(f({a}, {b}))\nprint(f(2, 3))\n"
         );
         differential(&src);
     }

@@ -205,10 +205,17 @@ pub fn install(interp: &Interp, mode: ExecMode) {
     // Mirror the `OMP4RS_MINIPY_VM` ICV into the interpreter's bytecode
     // tier. `Icvs` owns the env parse (and test overrides via
     // `Icvs::update`); the interpreter only sees the resolved mode.
-    minipy::bytecode::set_mode(match omp4rs::Icvs::current().minipy_vm {
+    let icvs = omp4rs::Icvs::current();
+    minipy::bytecode::set_mode(match icvs.minipy_vm {
         omp4rs::MinipyVm::Off => minipy::bytecode::VmMode::Off,
         omp4rs::MinipyVm::Auto => minipy::bytecode::VmMode::Auto,
         omp4rs::MinipyVm::On => minipy::bytecode::VmMode::On,
+    });
+    // Same mirror for the VM's quickening tier (`OMP4RS_MINIPY_QUICKEN`).
+    minipy::bytecode::set_quicken_mode(match icvs.minipy_quicken {
+        omp4rs::MinipyQuicken::Off => minipy::bytecode::QuickenMode::Off,
+        omp4rs::MinipyQuicken::Auto => minipy::bytecode::QuickenMode::Auto,
+        omp4rs::MinipyQuicken::On => minipy::bytecode::QuickenMode::On,
     });
     let runtime = build_runtime_module(mode);
     interp.set_global("__omp", runtime.clone());
@@ -531,8 +538,10 @@ fn install_api(module: &ModuleObj) {
 /// `minipy.gil.switches`, `minipy.obj_lock.acquisitions`,
 /// `minipy.obj_lock.contended`, `minipy.vm.compiles`,
 /// `minipy.vm.compile_ns`, `minipy.vm.fallbacks`, `minipy.vm.frames`,
-/// `minipy.vm.ops`, and one `minipy.vm.fallback.<reason>` per observed
-/// fallback reason. See [`minipy::stats`] for what each counts.
+/// `minipy.vm.ops`, `minipy.vm.quicken.rewrites`,
+/// `minipy.vm.quicken.deopts`, `minipy.vm.ic.hits`, `minipy.vm.ic.misses`,
+/// and one `minipy.vm.fallback.<reason>` per observed fallback reason. See
+/// [`minipy::stats`] for what each counts.
 pub fn sync_interp_counters(interp: &Interp) {
     let stats = minipy::stats::snapshot();
     omp4rs::ompt::set_counter("minipy.gil.acquisitions", stats.gil_acquisitions);
@@ -545,6 +554,10 @@ pub fn sync_interp_counters(interp: &Interp) {
     omp4rs::ompt::set_counter("minipy.vm.fallbacks", stats.vm_fallbacks);
     omp4rs::ompt::set_counter("minipy.vm.frames", stats.vm_frames);
     omp4rs::ompt::set_counter("minipy.vm.ops", stats.vm_ops);
+    omp4rs::ompt::set_counter("minipy.vm.quicken.rewrites", stats.quicken_rewrites);
+    omp4rs::ompt::set_counter("minipy.vm.quicken.deopts", stats.quicken_deopts);
+    omp4rs::ompt::set_counter("minipy.vm.ic.hits", stats.ic_hits);
+    omp4rs::ompt::set_counter("minipy.vm.ic.misses", stats.ic_misses);
     for (reason, count) in minipy::bytecode::fallback_reasons() {
         omp4rs::ompt::set_counter(vm_fallback_counter(reason), count);
     }

@@ -94,6 +94,28 @@ for row in "${ROWS[@]}"; do
 done
 emit_pi 2 auto "$THREADS" "$EQ_SCALE" "$REPEAT"   # Compiled, equal problem
 
+# -------------------------------------------------------------- pi: quicken
+# VM tier-2 cells: interpreted modes on the bytecode VM under each
+# OMP4RS_MINIPY_QUICKEN tier. `off` is the tier-1 baseline, `auto` quickens
+# after profiling (the default), `on` additionally starts frames with the
+# unboxed register plane armed. The off-vs-on Pure contrast at equal scale
+# is the headline quickening speedup EXPERIMENTS.md quotes.
+quicken=""
+emit_quicken() { # mode quicken threads scale repeat
+    local line
+    echo "==> mode=$1 OMP4RS_MINIPY_VM=on OMP4RS_MINIPY_QUICKEN=$2 threads=$3 scale=$4 repeat=$5" >&2
+    line=$(OMP4RS_MINIPY_VM=on OMP4RS_MINIPY_QUICKEN="$2" "$BIN" "$1" pi "$3" "$4" --json --repeat "$5")
+    echo "    $line" >&2
+    quicken+="${quicken:+,
+  }$line"
+}
+
+for mode in 0 1; do            # Pure, Hybrid (Compiled never interprets)
+    for tier in off auto on; do
+        emit_quicken "$mode" "$tier" "$THREADS" "$SCALE" "$REPEAT"
+    done
+done
+
 # ---------------------------------------------------------------- pi: sweep
 # Thread sweep for the headline interpreted mode (Hybrid) and Compiled,
 # each at its own default problem size (rows are self-describing via
@@ -118,6 +140,9 @@ cat > "$OUT" <<EOF
  "scale": $SCALE,
  "runs": [
   $runs
+ ],
+ "quicken": [
+  $quicken
  ],
  "sweep": [
   $sweep

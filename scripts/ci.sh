@@ -18,9 +18,14 @@ if [[ -z "${SKIP_SLOW:-}" ]]; then
 fi
 run cargo test -q
 # Bytecode-VM equivalence: both differential suites named explicitly so a
-# test-filter or package-list change can never silently drop them.
-run cargo test -q -p minipy --test vm_differential
-run cargo test -q -p omp4rs-apps --test vm_differential
+# test-filter or package-list change can never silently drop them, and under
+# both quickening tiers — `off` pins the tier-1 baseline, `on` forces the
+# quickened dispatch (specialized opcodes, inline caches, unboxed registers,
+# fused range loops) through the same semantic oracle.
+for quicken in off on; do
+    run env OMP4RS_MINIPY_QUICKEN="$quicken" cargo test -q -p minipy --test vm_differential
+    run env OMP4RS_MINIPY_QUICKEN="$quicken" cargo test -q -p omp4rs-apps --test vm_differential
+done
 # Task-dependence runtime: depgraph ordering (chain/diamond/WAR-WAW),
 # child-scoped taskwait, observable priority, taskgroup cancellation and
 # deadlines, the dep-release fault site, and the seeded chaos accounting
